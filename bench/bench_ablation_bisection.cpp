@@ -1,0 +1,74 @@
+// Ablation: k-way spectral clustering (the paper's pipeline) vs recursive
+// spectral bisection (the related-work special case, ref [13]).
+//
+// Bisection needs k-1 small eigensolves (nev=2 each) instead of one big one
+// (nev=k), trading eigensolver cost structure for potentially worse global
+// cuts (each split is locally optimal).  This bench compares wall time, cut
+// quality and ground-truth recovery across k.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/bisection.h"
+#include "data/sbm.h"
+#include "metrics/cut.h"
+
+int main(int argc, char** argv) {
+  using namespace fastsc;
+  CliParser cli(
+      "bench_ablation_bisection: k-way spectral clustering vs recursive "
+      "spectral bisection");
+  const bool run = cli.parse(argc, argv);
+  bench::CommonFlags flags = bench::CommonFlags::parse(cli, /*default_k=*/0);
+  const auto n = cli.get_int("n", 4000, "node count");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  device::DeviceContext ctx(static_cast<usize>(flags.workers));
+  TextTable table("k-way pipeline vs recursive bisection (n=" +
+                  std::to_string(n) + ")");
+  table.header({"k", "k-way time/s", "k-way Ncut", "k-way ARI",
+                "bisect time/s", "bisect Ncut", "bisect ARI"});
+
+  for (const index_t k : {4, 16, 64}) {
+    data::SbmParams p;
+    p.block_sizes = data::equal_blocks(n, k);
+    p.p_in = 0.3;
+    p.p_out = 0.01;
+    p.seed = flags.seed;
+    const data::SbmGraph g = data::make_sbm(p);
+    const sparse::Csr w = sparse::coo_to_csr(g.w);
+
+    std::fprintf(stderr, "[bench] k=%lld k-way...\n",
+                 static_cast<long long>(k));
+    core::SpectralConfig kcfg;
+    kcfg.num_clusters = k;
+    kcfg.seed = flags.seed;
+    WallTimer t1;
+    const auto kway = core::spectral_cluster_graph(g.w, kcfg, &ctx);
+    const double kway_s = t1.seconds();
+
+    std::fprintf(stderr, "[bench] k=%lld bisection...\n",
+                 static_cast<long long>(k));
+    core::BisectionConfig bcfg;
+    bcfg.num_clusters = k;
+    bcfg.seed = flags.seed;
+    WallTimer t2;
+    const auto bis = core::spectral_bisection(g.w, bcfg);
+    const double bis_s = t2.seconds();
+
+    table.row(
+        {TextTable::fmt(k), TextTable::fmt_seconds(kway_s),
+         TextTable::fmt(metrics::normalized_cut(w, kway.labels, k), 4),
+         TextTable::fmt(metrics::adjusted_rand_index(kway.labels, g.labels),
+                        4),
+         TextTable::fmt_seconds(bis_s),
+         TextTable::fmt(metrics::normalized_cut(w, bis.labels, k), 4),
+         TextTable::fmt(metrics::adjusted_rand_index(bis.labels, g.labels),
+                        4)});
+  }
+  table.print();
+  return 0;
+}

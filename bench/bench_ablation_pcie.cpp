@@ -1,0 +1,73 @@
+// Ablation: PCIe link bandwidth sweep.
+//
+// Table VII's conclusion — communication stays negligible next to
+// computation — depends on the link speed.  The simulated device makes the
+// link a parameter: this bench reruns the eigensolver stage under several
+// modeled bandwidths (PCIe gen2 x16 down to gen1 x4) and reports where the
+// communication share would stop being negligible.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/sbm.h"
+#include "graph/laplacian.h"
+#include "lanczos/rci.h"
+#include "sparse/spmv.h"
+
+int main(int argc, char** argv) {
+  using namespace fastsc;
+  CliParser cli(
+      "bench_ablation_pcie: modeled link-bandwidth sweep for the Table VII "
+      "communication/computation split");
+  const bool run = cli.parse(argc, argv);
+  bench::CommonFlags flags = bench::CommonFlags::parse(cli, /*default_k=*/32);
+  const auto n = cli.get_int("n", 6000, "node count");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(n, flags.k);
+  p.p_in = 0.3;
+  p.p_out = 0.01;
+  p.seed = flags.seed;
+  const data::SbmGraph g = data::make_sbm(p);
+
+  struct Link {
+    const char* name;
+    double gbps;
+  };
+  const Link links[] = {
+      {"PCIe gen2 x16 (paper, 8 GB/s)", 8.0},
+      {"PCIe gen2 x8 (4 GB/s)", 4.0},
+      {"PCIe gen1 x8 (2 GB/s)", 2.0},
+      {"PCIe gen1 x4 (1 GB/s)", 1.0},
+      {"slow interconnect (0.25 GB/s)", 0.25},
+  };
+
+  TextTable table("Eigensolver stage: modeled communication vs computation "
+                  "across link speeds (n=" +
+                  std::to_string(n) + ", k=" + std::to_string(flags.k) + ")");
+  table.header({"Link", "comm (modeled)/s", "comp/s", "comm share"});
+
+  for (const Link& link : links) {
+    device::TransferModel model;
+    model.bandwidth_bytes_per_sec = link.gbps * 1e9;
+    device::DeviceContext ctx(static_cast<usize>(flags.workers), model);
+
+    core::SpectralConfig cfg;
+    cfg.num_clusters = flags.k;
+    cfg.seed = flags.seed;
+    std::fprintf(stderr, "[bench] link %s...\n", link.name);
+    const core::SpectralResult r = core::spectral_cluster_graph(g.w, cfg, &ctx);
+    const double comm = r.device_counters.modeled_transfer_seconds;
+    const double total = r.clock.total_seconds();
+    const double comp = total > comm ? total - comm : 0;
+    table.row({link.name, TextTable::fmt_seconds(comm),
+               TextTable::fmt_seconds(comp),
+               TextTable::fmt(100.0 * comm / (comm + comp), 3) + "%"});
+  }
+  table.print();
+  return 0;
+}

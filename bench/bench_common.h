@@ -1,0 +1,160 @@
+// Shared scaffolding for the paper-table reproduction benches.
+//
+// Every table bench follows the same shape: build one dataset, run the
+// three backends (CUDA-sim / Matlab-like / Python-like) through the public
+// pipeline API, and print the paper-shaped tables plus the figure series.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "core/report.h"
+#include "graph/build.h"
+#include "core/spectral.h"
+#include "metrics/external.h"
+#include "sparse/convert.h"
+
+namespace fastsc::bench {
+
+struct CommonFlags {
+  index_t k = 0;
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  bool baselines = true;
+  index_t workers = 0;  // 0 = hardware concurrency
+
+  static CommonFlags parse(CliParser& cli, index_t default_k) {
+    CommonFlags f;
+    f.k = cli.get_int("k", default_k, "number of clusters");
+    f.seed = static_cast<std::uint64_t>(
+        cli.get_int("seed", 42, "random seed"));
+    f.scale = cli.get_double("scale", 1.0,
+                             "problem-size multiplier (1.0 = bench default; "
+                             "paper sizes need a large machine)");
+    f.baselines = cli.get_bool("baselines", true,
+                               "run the Matlab/Python-like baselines too");
+    f.workers = cli.get_int("workers", 0,
+                            "simulated-device worker threads (0 = all cores)");
+    return f;
+  }
+};
+
+/// Drop zero-degree vertices (paper §IV.B: "isolated nodes can be removed
+/// from the graph") and keep the truth labels aligned.
+inline void prune_isolated(sparse::Coo& w, std::vector<index_t>* truth) {
+  std::vector<index_t> old_of_new;
+  sparse::Coo pruned = graph::remove_isolated(w, old_of_new);
+  if (pruned.rows == w.rows) return;
+  std::fprintf(stderr, "[bench] removed %lld isolated vertices\n",
+               static_cast<long long>(w.rows - pruned.rows));
+  if (truth != nullptr && !truth->empty()) {
+    std::vector<index_t> kept;
+    kept.reserve(old_of_new.size());
+    for (index_t old : old_of_new) {
+      kept.push_back((*truth)[static_cast<usize>(old)]);
+    }
+    *truth = std::move(kept);
+  }
+  w = std::move(pruned);
+}
+
+inline std::vector<core::Backend> selected_backends(bool baselines) {
+  std::vector<core::Backend> backends{core::Backend::kDevice};
+  if (baselines) {
+    backends.push_back(core::Backend::kMatlabLike);
+    backends.push_back(core::Backend::kPythonLike);
+  }
+  return backends;
+}
+
+/// Run the graph-input pipeline for each backend and assemble the report.
+inline core::BackendRuns run_graph_backends(const std::string& dataset,
+                                            const sparse::Coo& w, index_t k,
+                                            const CommonFlags& flags,
+                                            device::DeviceContext& ctx) {
+  core::BackendRuns runs;
+  runs.dataset = dataset;
+  runs.nodes = w.rows;
+  runs.edges = w.nnz();
+  runs.clusters = k;
+  for (core::Backend b : selected_backends(flags.baselines)) {
+    core::SpectralConfig cfg;
+    cfg.num_clusters = k;
+    cfg.backend = b;
+    cfg.seed = flags.seed;
+    std::fprintf(stderr, "[bench] %s: running %s backend...\n",
+                 dataset.c_str(), core::backend_name(b).c_str());
+    runs.runs.emplace_back(b, core::spectral_cluster_graph(w, cfg, &ctx));
+  }
+  return runs;
+}
+
+/// Run the points-input pipeline (DTI mode) for each backend.
+inline core::BackendRuns run_points_backends(
+    const std::string& dataset, const real* x, index_t n, index_t d,
+    const graph::EdgeList& edges, index_t k, const CommonFlags& flags,
+    device::DeviceContext& ctx) {
+  core::BackendRuns runs;
+  runs.dataset = dataset;
+  runs.nodes = n;
+  runs.edges = 2 * edges.size();
+  runs.clusters = k;
+  for (core::Backend b : selected_backends(flags.baselines)) {
+    core::SpectralConfig cfg;
+    cfg.num_clusters = k;
+    cfg.backend = b;
+    cfg.seed = flags.seed;
+    cfg.similarity.measure = graph::SimilarityMeasure::kCrossCorrelation;
+    std::fprintf(stderr, "[bench] %s: running %s backend...\n",
+                 dataset.c_str(), core::backend_name(b).c_str());
+    runs.runs.emplace_back(
+        b, core::spectral_cluster_points(x, n, d, edges, cfg, &ctx));
+  }
+  return runs;
+}
+
+/// Speedup summary of the device backend over each baseline, per stage.
+inline TextTable speedup_table(const core::BackendRuns& runs) {
+  TextTable table("Device speedup per stage on " + runs.dataset);
+  table.header({"Stage", "vs Matlab", "vs Python"});
+  const core::SpectralResult* device = nullptr;
+  const core::SpectralResult* matlab = nullptr;
+  const core::SpectralResult* python = nullptr;
+  for (const auto& [b, r] : runs.runs) {
+    if (b == core::Backend::kDevice) device = &r;
+    if (b == core::Backend::kMatlabLike) matlab = &r;
+    if (b == core::Backend::kPythonLike) python = &r;
+  }
+  if (device == nullptr) return table;
+  for (const std::string& stage : device->clock.stages()) {
+    const double dev_t = device->clock.seconds(stage);
+    auto cell = [&](const core::SpectralResult* other) -> std::string {
+      if (other == nullptr || dev_t <= 0) return "-";
+      return TextTable::fmt_speedup(other->clock.seconds(stage) / dev_t);
+    };
+    table.row({stage, cell(matlab), cell(python)});
+  }
+  return table;
+}
+
+/// Print the standard block every table bench emits.
+inline void print_standard_report(const core::BackendRuns& runs,
+                                  bool include_similarity,
+                                  const std::vector<index_t>* truth,
+                                  const sparse::Csr* w) {
+  core::stage_table(runs, include_similarity).print();
+  std::printf("\n");
+  core::figure_series(runs).print();
+  std::printf("\n");
+  speedup_table(runs).print();
+  std::printf("\n");
+  core::communication_table({runs}).print();
+  std::printf("\n");
+  if (truth != nullptr && w != nullptr) {
+    core::quality_table(runs, *truth, *w).print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace fastsc::bench

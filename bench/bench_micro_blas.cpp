@@ -1,0 +1,106 @@
+// Micro benchmark: dense BLAS tiers — blocked vs naive gemm (the Matlab-like
+// vs Python-like dense difference) and host vs device kernels.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/dblas.h"
+#include "blas/hblas.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace fastsc;
+
+std::vector<real> random_vec(usize n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<real> v(n);
+  for (real& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_vec(static_cast<usize>(n * n), 1);
+  const auto b = random_vec(static_cast<usize>(n * n), 2);
+  std::vector<real> c(static_cast<usize>(n * n));
+  for (auto _ : state) {
+    hblas::gemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_vec(static_cast<usize>(n * n), 1);
+  const auto b = random_vec(static_cast<usize>(n * n), 2);
+  std::vector<real> c(static_cast<usize>(n * n));
+  for (auto _ : state) {
+    hblas::gemm_naive(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(),
+                      n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void BM_GemmDevice(benchmark::State& state) {
+  const index_t n = state.range(0);
+  device::DeviceContext ctx;
+  const auto a = random_vec(static_cast<usize>(n * n), 1);
+  const auto b = random_vec(static_cast<usize>(n * n), 2);
+  device::DeviceBuffer<real> da(ctx, std::span<const real>(a));
+  device::DeviceBuffer<real> db(ctx, std::span<const real>(b));
+  device::DeviceBuffer<real> dc(ctx, static_cast<usize>(n * n));
+  for (auto _ : state) {
+    dblas::gemm(ctx, n, n, n, 1.0, da.data(), n, db.data(), n, 0.0, dc.data(),
+                n);
+    benchmark::DoNotOptimize(dc.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+
+void BM_GemmNtBlocked(benchmark::State& state) {
+  // The k-means shape: (n x d) @ (k x d)^T.
+  const index_t n = 4096, k = state.range(0), d = 64;
+  const auto v = random_vec(static_cast<usize>(n * d), 3);
+  const auto c = random_vec(static_cast<usize>(k * d), 4);
+  std::vector<real> s(static_cast<usize>(n * k));
+  for (auto _ : state) {
+    hblas::gemm_nt(n, k, d, -2.0, v.data(), d, c.data(), d, 0.0, s.data(), k);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * k * d);
+}
+
+void BM_DotHost(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto x = random_vec(static_cast<usize>(n), 5);
+  const auto y = random_vec(static_cast<usize>(n), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hblas::dot(n, x.data(), y.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_DotDevice(benchmark::State& state) {
+  const index_t n = state.range(0);
+  device::DeviceContext ctx;
+  const auto x = random_vec(static_cast<usize>(n), 5);
+  const auto y = random_vec(static_cast<usize>(n), 6);
+  device::DeviceBuffer<real> dx(ctx, std::span<const real>(x));
+  device::DeviceBuffer<real> dy(ctx, std::span<const real>(y));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dblas::dot(ctx, n, dx.data(), dy.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(192)->Arg(384);
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(192)->Arg(384);
+BENCHMARK(BM_GemmDevice)->Arg(192)->Arg(384);
+BENCHMARK(BM_GemmNtBlocked)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_DotHost)->Arg(1 << 16);
+BENCHMARK(BM_DotDevice)->Arg(1 << 16);

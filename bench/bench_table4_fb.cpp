@@ -1,0 +1,59 @@
+// Table IV + Figure 4 reproduction: spectral clustering on the FB dataset.
+//
+// Paper numbers (4039 nodes, 88K edges, k=10):
+//   eigensolver CUDA 0.0216   Matlab 0.1027  Python 0.0851   (~5x)
+//   k-means     CUDA 0.00725  Matlab 0.0205  Python 0.0259   (~4x)
+//
+// This dataset is small enough to run at paper size.  Expected shape: small
+// speedups (the problem is too small for massive parallelism to matter).
+// Pass --edges=path to run on the real SNAP facebook_combined.txt instead
+// of the calibrated generator.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/io.h"
+#include "data/social.h"
+
+int main(int argc, char** argv) {
+  using namespace fastsc;
+  CliParser cli(
+      "bench_table4_fb: reproduce paper Table IV / Figure 4 (FB dataset)");
+  const bool run = cli.parse(argc, argv);
+  bench::CommonFlags flags = bench::CommonFlags::parse(cli, /*default_k=*/10);
+  const auto n = cli.get_int("n", 4039, "node count (paper: 4039)");
+  const std::string edge_file = cli.get_string(
+      "edges", "", "optional SNAP edge-list file to use instead of the generator");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  sparse::Coo w;
+  std::vector<index_t> truth;
+  bool have_truth = false;
+  if (!edge_file.empty()) {
+    std::fprintf(stderr, "[bench] reading %s...\n", edge_file.c_str());
+    w = data::read_edge_list(edge_file, /*symmetrize=*/true);
+  } else {
+    const auto scaled_n =
+        std::max<index_t>(200, static_cast<index_t>(
+                                   static_cast<double>(n) * flags.scale));
+    const data::SocialParams params =
+        data::fb_like_params(scaled_n, flags.k, flags.seed);
+    const data::SbmGraph g = data::make_social_graph(params);
+    w = g.w;
+    truth = g.labels;
+    have_truth = true;
+  }
+
+  bench::prune_isolated(w, have_truth ? &truth : nullptr);
+  device::DeviceContext ctx(static_cast<usize>(flags.workers));
+  const core::BackendRuns runs =
+      bench::run_graph_backends("FB", w, flags.k, flags, ctx);
+  const sparse::Csr w_csr = sparse::coo_to_csr(w);
+  bench::print_standard_report(runs, /*include_similarity=*/false,
+                               have_truth ? &truth : nullptr,
+                               have_truth ? &w_csr : nullptr);
+  return 0;
+}

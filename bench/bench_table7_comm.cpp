@@ -1,0 +1,104 @@
+// Table VII reproduction: data communication time vs computation time for
+// the device pipeline on all four datasets.
+//
+// Paper numbers (communication / computation, seconds):
+//   DTI    2.248    / 475.2      FB     0.00213 / 0.0264
+//   DBLP   2.731    / 680.3      Syn200 0.0741  / 3.820
+//
+// Expected shape: communication is 1-3 orders of magnitude below
+// computation, with the gap widening for the larger problems.  Here
+// "communication" is the modeled PCIe time of every staged transfer
+// (H2D inputs, per-iteration RCI vectors, D2H results) and "computation"
+// is the remaining pipeline wall time.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/dti.h"
+#include "data/sbm.h"
+#include "data/social.h"
+
+int main(int argc, char** argv) {
+  using namespace fastsc;
+  CliParser cli(
+      "bench_table7_comm: reproduce paper Table VII (communication vs "
+      "computation)");
+  const bool run = cli.parse(argc, argv);
+  bench::CommonFlags flags = bench::CommonFlags::parse(cli, /*default_k=*/0);
+  flags.baselines = false;  // Table VII concerns only the device backend
+  const auto dti_side =
+      cli.get_int("dti_side", 18, "DTI lattice side for this bench");
+  const auto fb_n = cli.get_int("fb_n", 4039, "FB-like node count");
+  const auto dblp_n = cli.get_int("dblp_n", 10000, "DBLP-like node count");
+  const auto syn_n = cli.get_int("syn_n", 5000, "Syn200-like node count");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  device::DeviceContext ctx(static_cast<usize>(flags.workers));
+  std::vector<core::BackendRuns> all;
+
+  {
+    data::DtiParams p;
+    p.nx = p.ny = p.nz = dti_side;
+    p.num_parcels = 32;
+    p.epsilon = 2.0;
+    p.seed = flags.seed;
+    std::fprintf(stderr, "[bench] DTI-like volume...\n");
+    const data::DtiVolume vol = data::make_dti_like(p);
+    all.push_back(bench::run_points_backends("DTI", vol.profiles.data(),
+                                             vol.n, vol.d, vol.edges, 32,
+                                             flags, ctx));
+  }
+  {
+    std::fprintf(stderr, "[bench] FB-like graph...\n");
+    data::SbmGraph g =
+        data::make_social_graph(data::fb_like_params(fb_n, 10, flags.seed));
+    bench::prune_isolated(g.w, &g.labels);
+    all.push_back(bench::run_graph_backends("FB", g.w, 10, flags, ctx));
+  }
+  {
+    std::fprintf(stderr, "[bench] DBLP-like graph...\n");
+    data::SbmGraph g = data::make_social_graph(
+        data::dblp_like_params(dblp_n, 80, flags.seed));
+    bench::prune_isolated(g.w, &g.labels);
+    all.push_back(bench::run_graph_backends("DBLP", g.w, 40, flags, ctx));
+  }
+  {
+    std::fprintf(stderr, "[bench] Syn200-like graph...\n");
+    data::SbmParams p;
+    p.block_sizes = data::equal_blocks(syn_n, 50);
+    p.p_in = 0.3;
+    p.p_out = 0.01;
+    p.seed = flags.seed;
+    const data::SbmGraph g = data::make_sbm(p);
+    all.push_back(bench::run_graph_backends("Syn200", g.w, 50, flags, ctx));
+  }
+
+  core::dataset_table(all).print();
+  std::printf("\n");
+  core::communication_table(all).print();
+  std::printf("\n");
+
+  TextTable detail("Transfer detail (device backend)");
+  detail.header({"Dataset", "H2D transfers", "D2H transfers",
+                 "measured memcpy s", "modeled PCIe s", "eig matvecs"});
+  for (const auto& runs : all) {
+    for (const auto& [b, r] : runs.runs) {
+      if (b != core::Backend::kDevice) continue;
+      detail.row({runs.dataset,
+                  TextTable::fmt(static_cast<index_t>(
+                      r.device_counters.transfers_h2d)),
+                  TextTable::fmt(static_cast<index_t>(
+                      r.device_counters.transfers_d2h)),
+                  TextTable::fmt_seconds(
+                      r.device_counters.measured_transfer_seconds),
+                  TextTable::fmt_seconds(
+                      r.device_counters.modeled_transfer_seconds),
+                  TextTable::fmt(r.eig_stats.matvec_count)});
+    }
+  }
+  detail.print();
+  return 0;
+}

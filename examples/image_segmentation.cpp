@@ -1,0 +1,137 @@
+// Image segmentation via normalized cuts (Shi & Malik — reference [18] of
+// the paper and the classic spectral clustering application).
+//
+//   $ ./image_segmentation [--width 96] [--height 64] [--segments 4]
+//
+// Synthesizes a grayscale test image (distinct-intensity regions + noise),
+// builds the pixel-grid similarity graph with the exponential-decay kernel
+// on intensity and spatial distance, runs the pipeline, and writes
+// segmentation.pgm / original.pgm for visual inspection.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "core/spectral.h"
+#include "metrics/external.h"
+#include "sparse/coo.h"
+
+namespace {
+
+using namespace fastsc;
+
+void write_pgm(const std::string& path, const std::vector<real>& img,
+               index_t width, index_t height, real lo, real hi) {
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n" << width << " " << height << "\n255\n";
+  for (real v : img) {
+    const real t = (v - lo) / (hi - lo);
+    const int byte = std::max(0, std::min(255, static_cast<int>(t * 255)));
+    out.put(static_cast<char>(byte));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("image_segmentation: normalized-cut segmentation of a "
+                "synthetic grayscale image");
+  const bool run = cli.parse(argc, argv);
+  const auto width = cli.get_int("width", 96, "image width");
+  const auto height = cli.get_int("height", 64, "image height");
+  const auto segments = cli.get_int("segments", 4, "segments (k)");
+  const auto seed = cli.get_int("seed", 42, "random seed");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  const index_t n = width * height;
+  Rng rng(static_cast<std::uint64_t>(seed));
+
+  // Synthetic image: `segments` vertical-ish bands with distinct
+  // intensities, wavy borders, plus noise — plus ground truth per pixel.
+  std::vector<real> img(static_cast<usize>(n));
+  std::vector<index_t> truth(static_cast<usize>(n));
+  for (index_t y = 0; y < height; ++y) {
+    for (index_t x = 0; x < width; ++x) {
+      const real wave = 4.0 * std::sin(0.15 * static_cast<real>(y));
+      const auto band = std::min<index_t>(
+          segments - 1,
+          static_cast<index_t>((static_cast<real>(x) + wave) /
+                               (static_cast<real>(width) /
+                                static_cast<real>(segments))));
+      const auto b = std::max<index_t>(0, band);
+      truth[static_cast<usize>(y * width + x)] = b;
+      img[static_cast<usize>(y * width + x)] =
+          static_cast<real>(b) / static_cast<real>(segments - 1) +
+          0.06 * rng.normal();
+    }
+  }
+
+  // Pixel feature = (intensity, x/scale, y/scale): the RBF kernel on this
+  // 3-vector is the classic intensity+proximity affinity.
+  const real spatial_scale = 24.0;
+  std::vector<real> features(static_cast<usize>(n) * 3);
+  for (index_t y = 0; y < height; ++y) {
+    for (index_t x = 0; x < width; ++x) {
+      const index_t i = y * width + x;
+      features[static_cast<usize>(i * 3 + 0)] =
+          img[static_cast<usize>(i)] * 4.0;
+      features[static_cast<usize>(i * 3 + 1)] =
+          static_cast<real>(x) / spatial_scale;
+      features[static_cast<usize>(i * 3 + 2)] =
+          static_cast<real>(y) / spatial_scale;
+    }
+  }
+
+  // Edges: 8-connected pixel lattice.
+  graph::EdgeList edges;
+  for (index_t y = 0; y < height; ++y) {
+    for (index_t x = 0; x < width; ++x) {
+      const index_t i = y * width + x;
+      if (x + 1 < width) edges.push(i, i + 1);
+      if (y + 1 < height) edges.push(i, i + width);
+      if (x + 1 < width && y + 1 < height) edges.push(i, i + width + 1);
+      if (x > 0 && y + 1 < height) edges.push(i, i + width - 1);
+    }
+  }
+
+  core::SpectralConfig cfg;
+  cfg.num_clusters = segments;
+  cfg.similarity.measure = graph::SimilarityMeasure::kExpDecay;
+  cfg.similarity.sigma = 0.3;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+
+  std::printf("segmenting %lldx%lld image (%lld pixels, %lld edges)...\n",
+              static_cast<long long>(width), static_cast<long long>(height),
+              static_cast<long long>(n),
+              static_cast<long long>(edges.size()));
+  const core::SpectralResult result = core::spectral_cluster_points(
+      features.data(), n, 3, edges, cfg);
+
+  const real ari = metrics::adjusted_rand_index(result.labels, truth);
+  std::printf("done in %.3fs (similarity %.3fs, eigensolver %.3fs, "
+              "k-means %.3fs)\n",
+              result.clock.total_seconds(),
+              result.clock.seconds(core::kStageSimilarity),
+              result.clock.seconds(core::kStageEigensolver),
+              result.clock.seconds(core::kStageKmeans));
+  std::printf("segment recovery ARI vs planted bands: %.4f\n", ari);
+
+  std::vector<real> seg(static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    seg[static_cast<usize>(i)] =
+        static_cast<real>(result.labels[static_cast<usize>(i)]);
+  }
+  write_pgm("original.pgm", img, width, height, -0.2, 1.2);
+  write_pgm("segmentation.pgm", seg, width, height, 0,
+            static_cast<real>(segments - 1));
+  std::printf("wrote original.pgm and segmentation.pgm\n");
+  return ari > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Non-convex clusters: concentric rings, the textbook case where spectral
+// clustering succeeds and plain k-means fails (paper §I: spectral clustering
+// "is able to discover non-convex regions which may not be detected by
+// other clustering algorithms").
+//
+//   $ ./nonconvex_rings [--points 400]
+//
+// Draws points on two concentric rings, clusters them (a) directly with
+// k-means on the coordinates and (b) with the spectral pipeline on an
+// threshold similarity graph, and prints the ARI of each vs the ring labels.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "core/spectral.h"
+#include "graph/build.h"
+#include "kmeans/lloyd.h"
+#include "metrics/external.h"
+
+int main(int argc, char** argv) {
+  using namespace fastsc;
+  CliParser cli("nonconvex_rings: spectral clustering vs plain k-means on "
+                "concentric rings");
+  const bool run = cli.parse(argc, argv);
+  const auto points = cli.get_int("points", 400, "points per ring");
+  const auto seed = cli.get_int("seed", 42, "random seed");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  const index_t n = 2 * points;
+  std::vector<real> xy(static_cast<usize>(n) * 2);
+  std::vector<index_t> truth(static_cast<usize>(n));
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (index_t i = 0; i < n; ++i) {
+    const index_t ring = i < points ? 0 : 1;
+    const real radius = ring == 0 ? 1.0 : 3.0;
+    const real angle = rng.uniform(0, 2 * M_PI);
+    xy[static_cast<usize>(i * 2 + 0)] =
+        (radius + 0.1 * rng.normal()) * std::cos(angle);
+    xy[static_cast<usize>(i * 2 + 1)] =
+        (radius + 0.1 * rng.normal()) * std::sin(angle);
+    truth[static_cast<usize>(i)] = ring;
+  }
+
+  // (a) Plain k-means on raw coordinates: centroids cannot separate rings.
+  kmeans::KmeansConfig kc;
+  kc.k = 2;
+  kc.seed = static_cast<std::uint64_t>(seed);
+  const auto plain = kmeans::kmeans_lloyd_host(xy.data(), n, 2, kc);
+  const real ari_plain = metrics::adjusted_rand_index(plain.labels, truth);
+
+  // (b) Spectral clustering on a lambda-threshold similarity graph (paper
+  // §IV.A): the RBF kernel makes within-ring neighbors strongly connected
+  // and cross-ring pairs exponentially weak — but still nonzero, keeping
+  // the graph connected so the Fiedler vector cleanly separates the rings.
+  // (A hard epsilon graph would split into two components, and a Krylov
+  // eigensolver cannot resolve the resulting multiplicity-2 eigenvalue at
+  // 1 from a single start vector; see graph::connected_components.)
+  graph::SimilarityParams sp;
+  sp.measure = graph::SimilarityMeasure::kExpDecay;
+  sp.sigma = 0.5;
+  const sparse::Coo w = graph::build_threshold_graph(xy.data(), n, 2,
+                                                     /*lambda=*/1e-9, sp);
+  core::SpectralConfig cfg;
+  cfg.num_clusters = 2;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  const auto spectral = core::spectral_cluster_graph(w, cfg);
+  const real ari_spectral =
+      metrics::adjusted_rand_index(spectral.labels, truth);
+
+  std::printf("%lld points on two concentric rings (radii 1 and 3)\n",
+              static_cast<long long>(n));
+  std::printf("  plain k-means on coordinates:      ARI = %.4f\n", ari_plain);
+  std::printf("  spectral clustering (this paper):  ARI = %.4f\n",
+              ari_spectral);
+  std::printf("\nspectral pipeline: eigensolver %.4fs, k-means %.4fs\n",
+              spectral.clock.seconds(core::kStageEigensolver),
+              spectral.clock.seconds(core::kStageKmeans));
+  // Spectral must succeed where plain k-means fails.
+  return (ari_spectral > 0.99 && ari_plain < 0.5) ? 0 : 1;
+}

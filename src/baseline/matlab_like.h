@@ -1,0 +1,45 @@
+// Matlab-like serial reference pipeline stages (paper §V comparator).
+//
+// Models the execution profile of the paper's Matlab 2015a setup:
+//  * similarity — a serial loop over the edge list calling the built-in
+//    correlation per pair (recomputing means and norms every edge, the
+//    O(d)-redundant pattern behind the paper's 221 s figure), plus the
+//    vectorized alternative the paper measured at 5.75 s;
+//  * eigensolver — ARPACK reverse communication with serial CPU SpMV and
+//    optimized (blocked) dense kernels (Matlab ships a tuned BLAS);
+//  * k-means — Lloyd's algorithm with uniform random seeding (the Matlab
+//    default the paper contrasts with k-means++), naive distance loops.
+#pragma once
+
+#include "baseline/host_eig.h"
+#include "graph/build.h"
+#include "kmeans/lloyd.h"
+#include "sparse/coo.h"
+
+namespace fastsc::baseline {
+
+/// Per-edge loop similarity construction (recomputes statistics per edge).
+[[nodiscard]] sparse::Coo similarity_loop(const real* x, index_t n, index_t d,
+                                          const graph::EdgeList& edges,
+                                          const graph::SimilarityParams& params,
+                                          bool clamp_nonpositive = true);
+
+/// Vectorized similarity construction (precomputed statistics; the paper's
+/// "optimized Matlab implementation").
+[[nodiscard]] sparse::Coo similarity_vectorized(
+    const real* x, index_t n, index_t d, const graph::EdgeList& edges,
+    const graph::SimilarityParams& params, bool clamp_nonpositive = true);
+
+/// Matlab-like eigensolver stage (blocked dense tier).
+[[nodiscard]] HostEigResult eigensolve_matlab(const sparse::Csr& a, index_t nev,
+                                              lanczos::EigWhich which, real tol,
+                                              index_t ncv, index_t max_restarts,
+                                              std::uint64_t seed = 42);
+
+/// Matlab-like k-means stage: Lloyd + random seeding.
+[[nodiscard]] kmeans::KmeansResult kmeans_matlab(const real* v, index_t n,
+                                                 index_t d, index_t k,
+                                                 index_t max_iters,
+                                                 std::uint64_t seed = 42);
+
+}  // namespace fastsc::baseline

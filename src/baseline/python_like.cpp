@@ -1,0 +1,23 @@
+#include "baseline/python_like.h"
+
+namespace fastsc::baseline {
+
+HostEigResult eigensolve_python(const sparse::Csr& a, index_t nev,
+                                lanczos::EigWhich which, real tol, index_t ncv,
+                                index_t max_restarts, std::uint64_t seed) {
+  return host_eigensolve(a, nev, which, tol, ncv, max_restarts,
+                         lanczos::DenseTier::kNaive, seed);
+}
+
+kmeans::KmeansResult kmeans_python(const real* v, index_t n, index_t d,
+                                   index_t k, index_t max_iters,
+                                   std::uint64_t seed) {
+  kmeans::KmeansConfig cfg;
+  cfg.k = k;
+  cfg.max_iters = max_iters;
+  cfg.seeding = kmeans::Seeding::kKmeansPlusPlus;
+  cfg.seed = seed;
+  return kmeans::kmeans_lloyd_host(v, n, d, cfg);
+}
+
+}  // namespace fastsc::baseline

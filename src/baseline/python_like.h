@@ -1,0 +1,31 @@
+// Python-like (NumPy/SciPy/sklearn) serial reference pipeline stages.
+//
+// Same ARPACK-style structure as the Matlab baseline, with the differences
+// the paper observed between the two environments:
+//  * the dense CPU-side restart work runs on the naive (unblocked) gemm
+//    tier, modeling the slower BLAS builds behind SciPy's 3281 s vs
+//    Matlab's 603 s eigensolver time on DTI;
+//  * k-means uses k-means++ seeding (sklearn's default), like our device
+//    implementation, so it needs fewer iterations than the Matlab baseline.
+#pragma once
+
+#include "baseline/host_eig.h"
+#include "graph/build.h"
+#include "kmeans/lloyd.h"
+#include "sparse/coo.h"
+
+namespace fastsc::baseline {
+
+/// Python-like eigensolver stage (naive dense tier).
+[[nodiscard]] HostEigResult eigensolve_python(const sparse::Csr& a, index_t nev,
+                                              lanczos::EigWhich which, real tol,
+                                              index_t ncv, index_t max_restarts,
+                                              std::uint64_t seed = 42);
+
+/// Python-like k-means stage: Lloyd + k-means++ seeding.
+[[nodiscard]] kmeans::KmeansResult kmeans_python(const real* v, index_t n,
+                                                 index_t d, index_t k,
+                                                 index_t max_iters,
+                                                 std::uint64_t seed = 42);
+
+}  // namespace fastsc::baseline

@@ -1,0 +1,114 @@
+#include "blas/dblas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/hblas.h"
+#include "device/algorithms.h"
+
+namespace fastsc::dblas {
+
+real dot(DeviceContext& ctx, index_t n, const real* x, const real* y) {
+  if (n <= 0) return 0;
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  real result = 0;
+  if (workers == 1) {
+    result = hblas::dot(n, x, y);
+  } else {
+    const index_t chunk = (n + workers - 1) / workers;
+    std::vector<real> partials(static_cast<usize>(workers), 0.0);
+    std::function<void(usize)> job = [&](usize w) {
+      const index_t lo = static_cast<index_t>(w) * chunk;
+      const index_t hi = lo + chunk < n ? lo + chunk : n;
+      if (lo < hi) partials[w] = hblas::dot(hi - lo, x + lo, y + lo);
+    };
+    ctx.pool().run_workers(job);
+    for (real p : partials) result += p;
+  }
+  ctx.record_kernel(t.seconds());
+  return result;
+}
+
+real nrm2(DeviceContext& ctx, index_t n, const real* x) {
+  return std::sqrt(dot(ctx, n, x, x));
+}
+
+void axpy(DeviceContext& ctx, index_t n, real alpha, const real* x, real* y) {
+  device::launch(ctx, n, [=](index_t i) { y[i] += alpha * x[i]; });
+}
+
+void scal(DeviceContext& ctx, index_t n, real alpha, real* x) {
+  device::launch(ctx, n, [=](index_t i) { x[i] *= alpha; });
+}
+
+void copy(DeviceContext& ctx, index_t n, const real* x, real* y) {
+  device::launch(ctx, n, [=](index_t i) { y[i] = x[i]; });
+}
+
+void gemv(DeviceContext& ctx, index_t m, index_t n, real alpha, const real* a,
+          index_t lda, const real* x, real beta, real* y) {
+  device::launch(ctx, m, [=](index_t i) {
+    const real* row = a + i * lda;
+    real acc = 0;
+    for (index_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    y[i] = alpha * acc + beta * y[i];
+  });
+}
+
+namespace {
+
+/// Run a blocked host-gemm over a horizontal panel of C rows; the device gemm
+/// parallelizes across row panels (one per worker), each worker calling the
+/// cache-blocked serial kernel on its slice.
+template <class PanelKernel>
+void parallel_row_panels(DeviceContext& ctx, index_t m,
+                         const PanelKernel& panel) {
+  if (m <= 0) return;
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  const index_t chunk = (m + workers - 1) / workers;
+  std::function<void(usize)> job = [&](usize w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < m ? lo + chunk : m;
+    if (lo < hi) panel(lo, hi);
+  };
+  if (workers == 1) {
+    job(0);
+  } else {
+    ctx.pool().run_workers(job);
+  }
+  ctx.record_kernel(t.seconds());
+}
+
+}  // namespace
+
+void gemm(DeviceContext& ctx, index_t m, index_t n, index_t k, real alpha,
+          const real* a, index_t lda, const real* b, index_t ldb, real beta,
+          real* c, index_t ldc) {
+  parallel_row_panels(ctx, m, [=](index_t lo, index_t hi) {
+    hblas::gemm(hi - lo, n, k, alpha, a + lo * lda, lda, b, ldb, beta,
+                c + lo * ldc, ldc);
+  });
+}
+
+void gemm_nt(DeviceContext& ctx, index_t m, index_t n, index_t k, real alpha,
+             const real* a, index_t lda, const real* b, index_t ldb, real beta,
+             real* c, index_t ldc) {
+  parallel_row_panels(ctx, m, [=](index_t lo, index_t hi) {
+    hblas::gemm_nt(hi - lo, n, k, alpha, a + lo * lda, lda, b, ldb, beta,
+                   c + lo * ldc, ldc);
+  });
+}
+
+void row_squared_norms(DeviceContext& ctx, index_t m, index_t n, const real* a,
+                       index_t lda, real* rownorms) {
+  device::launch(ctx, m, [=](index_t i) {
+    const real* row = a + i * lda;
+    real acc = 0;
+    for (index_t j = 0; j < n; ++j) acc += row[j] * row[j];
+    rownorms[i] = acc;
+  });
+}
+
+}  // namespace fastsc::dblas

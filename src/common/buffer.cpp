@@ -1,0 +1,17 @@
+#include "common/buffer.h"
+
+#include <cstdlib>
+
+namespace fastsc::detail {
+
+void* aligned_alloc_bytes(usize bytes, usize alignment) {
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  const usize rounded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void aligned_free_bytes(void* p) noexcept { std::free(p); }
+
+}  // namespace fastsc::detail

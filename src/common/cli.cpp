@@ -1,0 +1,130 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/error.h"
+
+namespace fastsc {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  bool help = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help = true;
+      continue;
+    }
+    FASTSC_CHECK(arg.size() > 2 && arg.substr(0, 2) == "--",
+                 "flags must look like --name=value or --name value");
+    arg.remove_prefix(2);
+    std::string name, value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag => boolean
+      }
+    }
+    values_.emplace_back(std::move(name), std::move(value));
+  }
+  return !help;
+}
+
+void CliParser::check_unknown() const {
+  for (const auto& [k, v] : values_) {
+    const bool known = std::any_of(known_.begin(), known_.end(),
+                                   [&](const Flag& f) { return f.name == k; });
+    if (!known) {
+      throw std::invalid_argument("unknown flag --" + k +
+                                  " (run with --help for the flag list)");
+    }
+  }
+}
+
+std::optional<std::string> CliParser::raw(std::string_view name) const {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+void CliParser::note_flag(std::string_view name, std::string_view help,
+                          std::string default_repr) {
+  auto it = std::find_if(known_.begin(), known_.end(),
+                         [&](const Flag& f) { return f.name == name; });
+  if (it == known_.end()) {
+    known_.push_back(Flag{std::string(name), std::string(help),
+                          std::move(default_repr)});
+  }
+}
+
+index_t CliParser::get_int(std::string_view name, index_t default_value,
+                           std::string_view help) {
+  note_flag(name, help, std::to_string(default_value));
+  if (auto v = raw(name)) {
+    try {
+      return static_cast<index_t>(std::stoll(*v));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("flag --" + std::string(name) +
+                                  " expects an integer, got '" + *v + "'");
+    }
+  }
+  return default_value;
+}
+
+double CliParser::get_double(std::string_view name, double default_value,
+                             std::string_view help) {
+  note_flag(name, help, std::to_string(default_value));
+  if (auto v = raw(name)) {
+    try {
+      return std::stod(*v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("flag --" + std::string(name) +
+                                  " expects a number, got '" + *v + "'");
+    }
+  }
+  return default_value;
+}
+
+std::string CliParser::get_string(std::string_view name,
+                                  std::string_view default_value,
+                                  std::string_view help) {
+  note_flag(name, help, std::string(default_value));
+  if (auto v = raw(name)) return *v;
+  return std::string(default_value);
+}
+
+bool CliParser::get_bool(std::string_view name, bool default_value,
+                         std::string_view help) {
+  note_flag(name, help, default_value ? "true" : "false");
+  if (auto v = raw(name)) {
+    if (*v == "true" || *v == "1" || *v == "yes") return true;
+    if (*v == "false" || *v == "0" || *v == "no") return false;
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                " expects a boolean, got '" + *v + "'");
+  }
+  return default_value;
+}
+
+bool CliParser::provided(std::string_view name) const {
+  return raw(name).has_value();
+}
+
+void CliParser::print_help() const {
+  std::printf("%s\n\nFlags:\n", description_.c_str());
+  for (const Flag& f : known_) {
+    std::printf("  --%-24s %s (default: %s)\n", f.name.c_str(), f.help.c_str(),
+                f.default_repr.c_str());
+  }
+}
+
+}  // namespace fastsc

@@ -1,0 +1,62 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports --name=value and --name value forms, typed getters with defaults,
+// and --help text assembled from the registered flags.  Unknown flags are an
+// error so bench sweeps fail loudly instead of silently ignoring a typo.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Parse argv; returns false (after printing help) if --help was given.
+  /// Throws std::invalid_argument on malformed or unknown flags.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed getters; register the flag (for --help) and return its value.
+  [[nodiscard]] index_t get_int(std::string_view name, index_t default_value,
+                                std::string_view help = "");
+  [[nodiscard]] double get_double(std::string_view name, double default_value,
+                                  std::string_view help = "");
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view default_value,
+                                       std::string_view help = "");
+  [[nodiscard]] bool get_bool(std::string_view name, bool default_value,
+                              std::string_view help = "");
+
+  /// True if the user explicitly supplied the flag.
+  [[nodiscard]] bool provided(std::string_view name) const;
+
+  /// Print accumulated help text to stdout.
+  void print_help() const;
+
+  /// Throw if the user supplied a flag that no getter registered.  Call after
+  /// all get_* calls so typos fail loudly.
+  void check_unknown() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+  };
+
+  std::optional<std::string> raw(std::string_view name) const;
+  void note_flag(std::string_view name, std::string_view help,
+                 std::string default_repr);
+
+  std::string description_;
+  std::vector<std::pair<std::string, std::string>> values_;  // name -> raw
+  std::vector<Flag> known_;
+};
+
+}  // namespace fastsc

@@ -1,0 +1,46 @@
+// Error handling helpers: FASTSC_CHECK for recoverable precondition
+// violations (throws std::invalid_argument / std::runtime_error) and
+// FASTSC_ASSERT for internal invariants (active in all build types; the
+// numerical kernels are cheap to guard relative to their O(n)+ bodies).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fastsc::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "fastsc check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr, const char* file,
+                                              int line) {
+  std::ostringstream os;
+  os << "fastsc internal invariant violated: (" << expr << ") at " << file
+     << ":" << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace fastsc::detail
+
+/// Validate a user-facing precondition; throws std::invalid_argument.
+#define FASTSC_CHECK(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::fastsc::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                            (msg));                          \
+    }                                                                        \
+  } while (false)
+
+/// Validate an internal invariant; throws std::logic_error.
+#define FASTSC_ASSERT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::fastsc::detail::throw_assert_failure(#expr, __FILE__, __LINE__);     \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr.
+//
+// Benches and examples print their primary output (tables) to stdout; the
+// logger is for progress/diagnostic lines so that `bench > table.txt` stays
+// clean.  Level is controlled programmatically or by FASTSC_LOG=debug|info|
+// warn|error|off.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace fastsc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current global level (initialized from FASTSC_LOG on first use).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+/// Streaming log statement: FASTSC_LOG_INFO("built graph, nnz=" << nnz);
+#define FASTSC_LOG_AT(level, expr)                                      \
+  do {                                                                  \
+    if (static_cast<int>(level) >= static_cast<int>(::fastsc::log_level())) { \
+      std::ostringstream fastsc_log_os;                                 \
+      fastsc_log_os << expr;                                            \
+      ::fastsc::detail::log_line(level, fastsc_log_os.str());           \
+    }                                                                   \
+  } while (false)
+
+#define FASTSC_LOG_DEBUG(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kDebug, expr)
+#define FASTSC_LOG_INFO(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kInfo, expr)
+#define FASTSC_LOG_WARN(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kWarn, expr)
+#define FASTSC_LOG_ERROR(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kError, expr)
+
+}  // namespace fastsc

@@ -1,0 +1,76 @@
+// Data-parallel loop primitives over a ThreadPool.
+//
+// parallel_for splits [begin, end) into one contiguous chunk per worker —
+// the same owner-computes decomposition the paper's CUDA kernels use (one
+// logical GPU thread per row / edge / data point, scheduled in blocks).
+#pragma once
+
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "common/types.h"
+
+namespace fastsc {
+
+/// Invoke body(i) for every i in [begin, end) using the pool.
+/// body must be safe to call concurrently for distinct i.
+template <class Body>
+void parallel_for(ThreadPool& pool, index_t begin, index_t end, const Body& body) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const auto workers = static_cast<index_t>(pool.worker_count());
+  if (workers == 1 || n == 1) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const index_t chunk = (n + workers - 1) / workers;
+  std::function<void(usize)> job = [&](usize w) {
+    const index_t lo = begin + static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < end ? lo + chunk : end;
+    for (index_t i = lo; i < hi; ++i) body(i);
+  };
+  pool.run_workers(job);
+}
+
+/// parallel_for on the process-default pool.
+template <class Body>
+void parallel_for(index_t begin, index_t end, const Body& body) {
+  parallel_for(default_thread_pool(), begin, end, body);
+}
+
+/// Reduce body(i) over [begin, end) with `combine`, starting from `init`.
+/// combine must be associative; per-worker partials are combined in worker
+/// order so the result is deterministic for a fixed worker count.
+template <class T, class Body, class Combine>
+T parallel_reduce(ThreadPool& pool, index_t begin, index_t end, T init,
+                  const Body& body, const Combine& combine) {
+  const index_t n = end - begin;
+  if (n <= 0) return init;
+  const auto workers = static_cast<index_t>(pool.worker_count());
+  if (workers == 1) {
+    T acc = init;
+    for (index_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    return acc;
+  }
+  const index_t chunk = (n + workers - 1) / workers;
+  std::vector<T> partials(static_cast<usize>(workers), init);
+  std::function<void(usize)> job = [&](usize w) {
+    const index_t lo = begin + static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < end ? lo + chunk : end;
+    T acc = init;
+    for (index_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+    partials[w] = acc;
+  };
+  pool.run_workers(job);
+  T acc = init;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+template <class T, class Body, class Combine>
+T parallel_reduce(index_t begin, index_t end, T init, const Body& body,
+                  const Combine& combine) {
+  return parallel_reduce(default_thread_pool(), begin, end, init, body, combine);
+}
+
+}  // namespace fastsc

@@ -1,0 +1,38 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace fastsc {
+
+real Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  real u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const real factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+std::uint64_t Rng::geometric_skip(real p) noexcept {
+  // Number of failures before the first success of Bernoulli(p).
+  // For p >= 1 every trial succeeds; for p <= 0 treat as "never" (huge skip).
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  const real u = uniform();
+  // floor(log(1-u) / log(1-p)); 1-u in (0,1] so log is finite or 0.
+  const real num = std::log1p(-u);
+  const real den = std::log1p(-p);
+  const real skip = std::floor(num / den);
+  if (skip >= 9.2e18) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(skip);
+}
+
+}  // namespace fastsc

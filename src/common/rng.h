@@ -1,0 +1,113 @@
+// Deterministic, splittable random number generation.
+//
+// fastsc uses xoshiro256++ seeded through splitmix64.  Determinism across
+// runs (given a seed) is part of the public contract: every benchmark and
+// every dataset generator takes a seed, so paper-style experiments are
+// exactly repeatable.  The generator satisfies the C++ UniformRandomBitGenerator
+// requirements so it can be used with <random> distributions, but we also
+// provide inline helpers that avoid libstdc++'s distribution state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.h"
+
+namespace fastsc {
+
+/// splitmix64 step; used for seeding and cheap hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG (Blackman & Vigna).  Fast, high quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] real uniform() noexcept {
+    // 53 high-quality mantissa bits.
+    return static_cast<real>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] real uniform(real lo, real hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n) using Lemire's multiply-shift rejection.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] real normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] real normal(real mean, real stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Geometric sample: number of Bernoulli(p) failures before first success.
+  /// Used for O(E[edges]) stochastic-block-model sampling via skipping.
+  [[nodiscard]] std::uint64_t geometric_skip(real p) noexcept;
+
+  /// Split off an independent stream (for per-thread determinism).
+  [[nodiscard]] Rng split() noexcept {
+    std::uint64_t sm = (*this)();
+    Rng child(0);
+    for (auto& word : child.s_) word = splitmix64(sm);
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+  real cached_normal_ = 0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace fastsc

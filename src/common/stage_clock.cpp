@@ -1,0 +1,58 @@
+#include "common/stage_clock.h"
+
+#include <algorithm>
+
+namespace fastsc {
+
+StageClock::Entry& StageClock::entry(std::string_view stage) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const Entry& e) { return e.name == stage; });
+  if (it != entries_.end()) return *it;
+  entries_.push_back(Entry{std::string(stage), 0.0});
+  return entries_.back();
+}
+
+void StageClock::start(std::string_view stage) {
+  stop();
+  Entry& e = entry(stage);
+  running_ = static_cast<int>(&e - entries_.data());
+  timer_.reset();
+}
+
+void StageClock::stop() {
+  if (running_ >= 0) {
+    entries_[static_cast<usize>(running_)].seconds += timer_.seconds();
+    running_ = -1;
+  }
+}
+
+void StageClock::add(std::string_view stage, double seconds) {
+  entry(stage).seconds += seconds;
+}
+
+double StageClock::seconds(std::string_view stage) const {
+  for (const Entry& e : entries_) {
+    if (e.name == stage) return e.seconds;
+  }
+  return 0.0;
+}
+
+double StageClock::total_seconds() const {
+  double total = 0;
+  for (const Entry& e : entries_) total += e.seconds;
+  return total;
+}
+
+std::vector<std::string> StageClock::stages() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+void StageClock::clear() {
+  entries_.clear();
+  running_ = -1;
+}
+
+}  // namespace fastsc

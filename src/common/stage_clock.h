@@ -1,0 +1,55 @@
+// StageClock: named accumulating timers for pipeline-stage reports.
+//
+// The paper reports per-stage times (similarity matrix, sparse eigensolver,
+// k-means) for each implementation; StageClock is the common mechanism every
+// pipeline and bench uses to produce those rows.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/types.h"
+
+namespace fastsc {
+
+/// Accumulates wall time into named stages.  Not thread-safe by design: a
+/// pipeline owns one clock and times its own sequential stages.
+class StageClock {
+ public:
+  /// Start (or resume) accumulation for `stage`; stops the current stage.
+  void start(std::string_view stage);
+
+  /// Stop the currently running stage, adding its elapsed time.
+  void stop();
+
+  /// Add externally measured seconds to a stage (e.g. modeled PCIe time).
+  void add(std::string_view stage, double seconds);
+
+  /// Accumulated seconds for a stage; 0 if the stage never ran.
+  [[nodiscard]] double seconds(std::string_view stage) const;
+
+  /// Total over all stages.
+  [[nodiscard]] double total_seconds() const;
+
+  /// Stage names in first-start order.
+  [[nodiscard]] std::vector<std::string> stages() const;
+
+  /// Remove all recorded stages.
+  void clear();
+
+ private:
+  struct Entry {
+    std::string name;
+    double seconds = 0;
+  };
+
+  Entry& entry(std::string_view stage);
+
+  std::vector<Entry> entries_;
+  WallTimer timer_;
+  int running_ = -1;  // index into entries_, or -1
+};
+
+}  // namespace fastsc

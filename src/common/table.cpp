@@ -1,0 +1,95 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fastsc {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt_seconds(double s) {
+  char buf[64];
+  if (s >= 100) {
+    std::snprintf(buf, sizeof buf, "%.1f", s);
+  } else if (s >= 1) {
+    std::snprintf(buf, sizeof buf, "%.3f", s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.5f", s);
+  }
+  return buf;
+}
+
+std::string TextTable::fmt_speedup(double r) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1fx", r);
+  return buf;
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt(index_t v) { return std::to_string(v); }
+
+std::string TextTable::to_string() const {
+  std::vector<usize> widths;
+  auto account = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (usize i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& r : rows_) account(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (usize i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    usize total = 0;
+    for (usize w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (usize i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TextTable::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace fastsc

@@ -1,0 +1,48 @@
+// TextTable: aligned ASCII tables for bench/report output.
+//
+// Every bench prints its paper-table reproduction through this class so the
+// output format is uniform and greppable (rows also exported as CSV).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  /// Set the header row.
+  void header(std::vector<std::string> columns);
+
+  /// Append a data row (cells already formatted).
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format seconds with 4 significant decimals ("0.0331").
+  static std::string fmt_seconds(double s);
+  /// Format a ratio like "12.3x".
+  static std::string fmt_speedup(double r);
+  /// Format a generic double with given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(index_t v);
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (header + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print the ASCII form to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastsc

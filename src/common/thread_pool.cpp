@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace fastsc {
+
+ThreadPool::ThreadPool(usize workers) {
+  usize n = workers;
+  if (n == 0) {
+    n = std::max<usize>(1, std::thread::hardware_concurrency());
+  }
+  // Worker 0 is the calling thread; spawn n-1 helpers.
+  threads_.reserve(n - 1);
+  for (usize i = 1; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_workers(const std::function<void(usize)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    job_ = &fn;
+    remaining_ = threads_.size();
+    ++job_epoch_;
+  }
+  work_ready_.notify_all();
+  fn(0);  // calling thread participates as worker 0
+  std::unique_lock lock(mu_);
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(usize worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(usize)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    (*job)(worker_index);
+    {
+      std::lock_guard lock(mu_);
+      if (--remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& default_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace fastsc

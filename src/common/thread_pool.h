@@ -1,0 +1,54 @@
+// A small fixed-size thread pool with blocking bulk-dispatch.
+//
+// This pool is the execution engine under the simulated device runtime
+// (device::DeviceContext): kernel launches decompose their global index
+// space into contiguous chunks, one per worker, mirroring how CUDA thread
+// blocks are scheduled across streaming multiprocessors.  The pool supports
+// nested-free, synchronous `run_blocks(n, fn)` dispatch — the caller blocks
+// until all workers finish, which matches CUDA's default-stream semantics
+// where a kernel launch followed by a transfer is ordered.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `workers` threads; 0 means hardware_concurrency.
+  explicit ThreadPool(usize workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] usize worker_count() const noexcept { return threads_.size() + 1; }
+
+  /// Execute fn(worker_index) for worker_index in [0, worker_count()), in
+  /// parallel, and block until all invocations return.  Worker 0 runs on the
+  /// calling thread so a 1-worker pool degenerates to a plain call.
+  void run_workers(const std::function<void(usize)>& fn);
+
+ private:
+  void worker_loop(usize worker_index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(usize)>* job_ = nullptr;
+  std::uint64_t job_epoch_ = 0;
+  usize remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide default pool (sized to hardware concurrency).
+ThreadPool& default_thread_pool();
+
+}  // namespace fastsc

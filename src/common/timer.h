@@ -1,0 +1,25 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+
+namespace fastsc {
+
+/// Monotonic wall-clock stopwatch with double-precision seconds.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fastsc

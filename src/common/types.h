@@ -1,0 +1,23 @@
+// Core scalar and index types used throughout fastsc.
+//
+// The library follows the paper's numerical setting: double-precision values
+// (ARPACK's dsaupd/dseupd path, cusparseDcsrmv) and 64-bit indices so that
+// edge counts beyond 2^31 are representable on large graphs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fastsc {
+
+/// Floating-point type for all numerical kernels.
+using real = double;
+
+/// Signed index type for rows/columns/edges.  Signed so that reverse loops
+/// and differences are safe; 64-bit so large graphs fit.
+using index_t = std::int64_t;
+
+/// Unsigned size alias for container sizing.
+using usize = std::size_t;
+
+}  // namespace fastsc

@@ -1,0 +1,30 @@
+// Input validation helpers for numeric arrays.
+//
+// NaN/Inf propagate silently through BLAS and SpMV and surface as cryptic
+// eigensolver non-convergence or degenerate clusterings; the public pipeline
+// entry points reject them up front instead.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace fastsc {
+
+/// True if any element is NaN or +-Inf.
+[[nodiscard]] inline bool has_nonfinite(std::span<const real> values) noexcept {
+  for (real v : values) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+/// Throw std::invalid_argument if any element is NaN or +-Inf.
+inline void check_finite(std::span<const real> values, const char* what) {
+  FASTSC_CHECK(!has_nonfinite(values),
+               std::string(what) + " contains NaN or Inf");
+}
+
+}  // namespace fastsc

@@ -1,0 +1,159 @@
+#include "core/bisection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "graph/components.h"
+#include "graph/laplacian.h"
+#include "lanczos/rci.h"
+#include "sparse/spmv.h"
+
+namespace fastsc::core {
+
+namespace {
+
+/// Induced subgraph over `vertices` (original ids, any order); entries whose
+/// endpoints both lie in the set are kept with remapped indices.
+sparse::Coo induced_subgraph(const sparse::Coo& w,
+                             const std::vector<index_t>& vertices) {
+  std::vector<index_t> new_of_old(static_cast<usize>(w.rows), -1);
+  for (usize i = 0; i < vertices.size(); ++i) {
+    new_of_old[static_cast<usize>(vertices[i])] = static_cast<index_t>(i);
+  }
+  sparse::Coo sub(static_cast<index_t>(vertices.size()),
+                  static_cast<index_t>(vertices.size()));
+  for (usize e = 0; e < w.values.size(); ++e) {
+    const index_t u = new_of_old[static_cast<usize>(w.row_idx[e])];
+    const index_t v = new_of_old[static_cast<usize>(w.col_idx[e])];
+    if (u >= 0 && v >= 0) sub.push(u, v, w.values[e]);
+  }
+  return sub;
+}
+
+/// Fiedler-based two-way split of a *connected* subgraph; returns the side
+/// (0/1) per local vertex.  Returns false if the eigensolve failed.
+bool fiedler_split(const sparse::Coo& sub, const BisectionConfig& cfg,
+                   std::vector<char>& side, index_t& eigensolves,
+                   bool& converged) {
+  const index_t n = sub.rows;
+  std::vector<real> isd;
+  const sparse::Csr s = graph::sym_normalized_host(sub, isd);
+
+  lanczos::LanczosConfig lc;
+  lc.n = n;
+  lc.nev = 2;  // trivial vector + Fiedler vector
+  lc.tol = cfg.eig_tol;
+  lc.max_restarts = cfg.max_restarts;
+  lc.which = lanczos::EigWhich::kLargestAlgebraic;
+  lc.seed = cfg.seed;
+  const auto eig = lanczos::solve_symmetric(
+      lc, [&](const real* x, real* y) { sparse::csr_mv(s, x, y); });
+  ++eigensolves;
+  converged = converged && eig.converged;
+
+  // Fiedler vector of the random-walk operator: second eigenvector of S
+  // scaled by D^-1/2.
+  std::vector<real> fiedler(static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    fiedler[static_cast<usize>(i)] =
+        eig.eigenvectors[static_cast<usize>(n + i)] * isd[static_cast<usize>(i)];
+  }
+
+  real threshold = 0;
+  if (cfg.split == BisectionConfig::SplitRule::kMedian) {
+    std::vector<real> sorted = fiedler;
+    std::nth_element(sorted.begin(), sorted.begin() + n / 2, sorted.end());
+    threshold = sorted[static_cast<usize>(n / 2)];
+  }
+  side.assign(static_cast<usize>(n), 0);
+  index_t ones = 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (fiedler[static_cast<usize>(i)] > threshold) {
+      side[static_cast<usize>(i)] = 1;
+      ++ones;
+    }
+  }
+  // Degenerate threshold (e.g. many ties): force a balanced split by rank.
+  if (ones == 0 || ones == n) {
+    std::vector<index_t> order(static_cast<usize>(n));
+    std::iota(order.begin(), order.end(), index_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+      return fiedler[static_cast<usize>(a)] < fiedler[static_cast<usize>(b)];
+    });
+    for (index_t r = 0; r < n; ++r) {
+      side[static_cast<usize>(order[static_cast<usize>(r)])] =
+          r >= n / 2 ? 1 : 0;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+BisectionResult spectral_bisection(const sparse::Coo& w,
+                                   const BisectionConfig& config) {
+  FASTSC_CHECK(w.rows == w.cols, "graph matrix must be square");
+  FASTSC_CHECK(config.num_clusters >= 1 && config.num_clusters <= w.rows,
+               "cluster count must be in [1, n]");
+
+  BisectionResult result;
+  result.labels.assign(static_cast<usize>(w.rows), 0);
+  result.clock.start("bisection");
+
+  // Parts as vertex-id lists; split the largest until we have k.
+  std::vector<std::vector<index_t>> parts(1);
+  parts[0].resize(static_cast<usize>(w.rows));
+  std::iota(parts[0].begin(), parts[0].end(), index_t{0});
+
+  while (static_cast<index_t>(parts.size()) < config.num_clusters) {
+    // Largest splittable part.
+    index_t target = -1;
+    usize best_size = 1;  // parts of size 1 cannot split
+    for (usize p = 0; p < parts.size(); ++p) {
+      if (parts[p].size() > best_size) {
+        best_size = parts[p].size();
+        target = static_cast<index_t>(p);
+      }
+    }
+    FASTSC_CHECK(target >= 0,
+                 "cannot reach the requested cluster count: all parts are "
+                 "singletons");
+
+    std::vector<index_t> vertices = std::move(parts[static_cast<usize>(target)]);
+    const sparse::Coo sub = induced_subgraph(w, vertices);
+
+    std::vector<char> side;
+    const graph::ComponentInfo comp = graph::connected_components(sub);
+    if (comp.count > 1) {
+      // Disconnected: peel the largest component — no eigensolve needed.
+      const index_t keep = comp.largest();
+      side.resize(vertices.size());
+      for (usize i = 0; i < vertices.size(); ++i) {
+        side[i] = comp.component_of[i] == keep ? 0 : 1;
+      }
+    } else {
+      fiedler_split(sub, config, side, result.eigensolves,
+                    result.all_converged);
+    }
+    ++result.splits;
+
+    std::vector<index_t> left, right;
+    for (usize i = 0; i < vertices.size(); ++i) {
+      (side[i] == 0 ? left : right).push_back(vertices[i]);
+    }
+    FASTSC_ASSERT(!left.empty() && !right.empty());
+    parts[static_cast<usize>(target)] = std::move(left);
+    parts.push_back(std::move(right));
+  }
+
+  for (usize p = 0; p < parts.size(); ++p) {
+    for (index_t v : parts[p]) {
+      result.labels[static_cast<usize>(v)] = static_cast<index_t>(p);
+    }
+  }
+  result.clock.stop();
+  return result;
+}
+
+}  // namespace fastsc::core

@@ -1,0 +1,48 @@
+// Recursive spectral bisection.
+//
+// The special case of spectral clustering the paper cites as related work
+// (Matam & Kothapalli [13]): split the graph in two with the Fiedler vector,
+// then recursively split the largest remaining part until k clusters exist.
+// Provided as an alternative to the k-way pipeline; the bisection-vs-k-way
+// ablation (bench_ablation_bisection) compares cut quality and cost.
+#pragma once
+
+#include <vector>
+
+#include "common/stage_clock.h"
+#include "lanczos/irlm.h"
+#include "sparse/coo.h"
+
+namespace fastsc::core {
+
+struct BisectionConfig {
+  index_t num_clusters = 2;
+  /// How to threshold the Fiedler vector.  kSign follows the natural
+  /// cluster boundary (default; recovers planted partitions), kMedian
+  /// forces balanced halves (the graph-partitioning use case, at the cost
+  /// of cutting through natural clusters whose sizes are not powers of two).
+  enum class SplitRule {
+    kSign,    ///< split at 0 (classic; parts may be unbalanced)
+    kMedian,  ///< split at the median (balanced halves)
+  };
+  SplitRule split = SplitRule::kSign;
+  real eig_tol = 1e-8;
+  index_t max_restarts = 300;
+  std::uint64_t seed = 42;
+};
+
+struct BisectionResult {
+  std::vector<index_t> labels;  ///< cluster per vertex, in [0, k)
+  index_t splits = 0;           ///< bisections performed
+  index_t eigensolves = 0;      ///< Fiedler computations (component splits skip it)
+  bool all_converged = true;
+  StageClock clock;
+};
+
+/// Partition the graph into exactly `num_clusters` parts by recursive
+/// bisection, always splitting the currently largest part.  Disconnected
+/// parts are split along component boundaries without an eigensolve.
+[[nodiscard]] BisectionResult spectral_bisection(const sparse::Coo& w,
+                                                 const BisectionConfig& config);
+
+}  // namespace fastsc::core

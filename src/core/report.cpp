@@ -1,0 +1,109 @@
+#include "core/report.h"
+
+#include "metrics/cut.h"
+#include "metrics/external.h"
+
+namespace fastsc::core {
+
+TextTable stage_table(const BackendRuns& runs, bool include_similarity) {
+  TextTable table("Running time of spectral clustering on " + runs.dataset +
+                  " (n=" + std::to_string(runs.nodes) +
+                  ", nnz=" + std::to_string(runs.edges) +
+                  ", k=" + std::to_string(runs.clusters) + ")");
+  std::vector<std::string> header{"Time/s"};
+  for (const auto& [backend, result] : runs.runs) {
+    header.push_back(backend_name(backend));
+  }
+  table.header(std::move(header));
+
+  std::vector<std::string> stages;
+  if (include_similarity) stages.push_back(kStageSimilarity);
+  stages.push_back(kStageEigensolver);
+  stages.push_back(kStageKmeans);
+  const std::map<std::string, std::string> pretty{
+      {kStageSimilarity, "Compute Similarity Matrix"},
+      {kStageEigensolver, "Sparse Eigensolver"},
+      {kStageKmeans, "K-means Clustering"},
+  };
+
+  for (const std::string& stage : stages) {
+    std::vector<std::string> row{pretty.at(stage)};
+    for (const auto& [backend, result] : runs.runs) {
+      row.push_back(TextTable::fmt_seconds(result.clock.seconds(stage)));
+    }
+    table.row(std::move(row));
+  }
+  return table;
+}
+
+TextTable figure_series(const BackendRuns& runs) {
+  TextTable table("Figure series: per-stage times on " + runs.dataset);
+  table.header({"dataset", "backend", "stage", "seconds"});
+  for (const auto& [backend, result] : runs.runs) {
+    for (const std::string& stage : result.clock.stages()) {
+      table.row({runs.dataset, backend_name(backend), stage,
+                 TextTable::fmt_seconds(result.clock.seconds(stage))});
+    }
+  }
+  return table;
+}
+
+TextTable communication_table(const std::vector<BackendRuns>& all_runs) {
+  TextTable table(
+      "Comparison between data communication time and computation time "
+      "(device backend; communication = modeled PCIe time, computation = "
+      "total stage time minus communication)");
+  table.header({"Dataset", "Communication/s", "Computation/s", "H2D MB",
+                "D2H MB", "Transfers"});
+  for (const BackendRuns& runs : all_runs) {
+    for (const auto& [backend, result] : runs.runs) {
+      if (backend != Backend::kDevice) continue;
+      const auto& c = result.device_counters;
+      const double comm = c.modeled_transfer_seconds;
+      const double total = result.clock.total_seconds();
+      const double comp = total > comm ? total - comm : 0;
+      table.row({runs.dataset, TextTable::fmt_seconds(comm),
+                 TextTable::fmt_seconds(comp),
+                 TextTable::fmt(static_cast<double>(c.bytes_h2d) / 1e6, 4),
+                 TextTable::fmt(static_cast<double>(c.bytes_d2h) / 1e6, 4),
+                 TextTable::fmt(static_cast<index_t>(c.transfers_h2d +
+                                                     c.transfers_d2h))});
+    }
+  }
+  return table;
+}
+
+TextTable dataset_table(const std::vector<BackendRuns>& all_runs) {
+  TextTable table("Datasets");
+  table.header({"Dataset", "Nodes", "Edges", "Clusters"});
+  for (const BackendRuns& runs : all_runs) {
+    table.row({runs.dataset, TextTable::fmt(runs.nodes),
+               TextTable::fmt(runs.edges), TextTable::fmt(runs.clusters)});
+  }
+  return table;
+}
+
+TextTable quality_table(const BackendRuns& runs,
+                        const std::vector<index_t>& ground_truth,
+                        const sparse::Csr& w) {
+  TextTable table("Clustering quality on " + runs.dataset +
+                  " (vs planted ground truth)");
+  table.header({"Backend", "ARI", "NMI", "Purity", "Ncut"});
+  for (const auto& [backend, result] : runs.runs) {
+    table.row(
+        {backend_name(backend),
+         TextTable::fmt(metrics::adjusted_rand_index(result.labels,
+                                                     ground_truth),
+                        4),
+         TextTable::fmt(
+             metrics::normalized_mutual_information(result.labels,
+                                                    ground_truth),
+             4),
+         TextTable::fmt(metrics::purity(result.labels, ground_truth), 4),
+         TextTable::fmt(metrics::normalized_cut(w, result.labels, result.k),
+                        4)});
+  }
+  return table;
+}
+
+}  // namespace fastsc::core

@@ -1,0 +1,50 @@
+// Report assembly: turn pipeline results into the paper's tables.
+//
+// Each table bench runs the three backends on one dataset and prints:
+//  * the paper-style per-stage time table (Table III-VI shape),
+//  * the figure series (same numbers, one row per stage per backend,
+//    CSV-friendly — Figures 3-6 are bar charts of these),
+//  * the communication/computation split (Table VII shape) for kDevice.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/spectral.h"
+#include "sparse/csr.h"
+
+namespace fastsc::core {
+
+/// One dataset's worth of backend results keyed by backend.
+struct BackendRuns {
+  std::string dataset;
+  index_t nodes = 0;
+  index_t edges = 0;
+  index_t clusters = 0;
+  std::vector<std::pair<Backend, SpectralResult>> runs;
+};
+
+/// Paper Table III-VI: rows = stages, columns = backends.
+[[nodiscard]] TextTable stage_table(const BackendRuns& runs,
+                                    bool include_similarity);
+
+/// Figure 3-6 series: dataset,backend,stage,seconds rows (CSV-friendly).
+[[nodiscard]] TextTable figure_series(const BackendRuns& runs);
+
+/// Paper Table VII row for the device run: communication vs computation.
+/// `comm_seconds`/`comp_seconds` are returned for aggregation.
+[[nodiscard]] TextTable communication_table(
+    const std::vector<BackendRuns>& all_runs);
+
+/// Paper Table II: dataset inventory.
+[[nodiscard]] TextTable dataset_table(const std::vector<BackendRuns>& all_runs);
+
+/// Clustering-quality table (beyond the paper: ARI/NMI vs planted truth and
+/// Ncut), one row per backend.
+[[nodiscard]] TextTable quality_table(
+    const BackendRuns& runs, const std::vector<index_t>& ground_truth,
+    const sparse::Csr& w);
+
+}  // namespace fastsc::core

@@ -1,0 +1,324 @@
+#include "core/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/matlab_like.h"
+#include "baseline/python_like.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/validation.h"
+#include "common/timer.h"
+#include "graph/build.h"
+#include "graph/components.h"
+#include "graph/laplacian.h"
+#include "lanczos/rci.h"
+#include "sparse/convert.h"
+#include "sparse/spmv.h"
+
+namespace fastsc::core {
+
+std::string backend_name(Backend b) {
+  switch (b) {
+    case Backend::kDevice: return "CUDA";         // paper's column name
+    case Backend::kMatlabLike: return "Matlab";
+    case Backend::kPythonLike: return "Python";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Build the (n x k) spectral embedding from the eigenvectors of the
+/// symmetric operator S = D^-1/2 W D^-1/2 (row-major k x n input).
+///
+/// The paper's Step 3 asks for eigenvectors of D^-1 W; those are
+/// v_rw = D^-1/2 u_sym, so each vertex row is scaled by 1/sqrt(d_j) and the
+/// resulting eigenvectors are renormalized to unit length before k-means
+/// (paper Step 4 clusters the rows of this matrix).
+std::vector<real> to_embedding(const std::vector<real>& vectors,
+                               const std::vector<real>& inv_sqrt_degree,
+                               index_t k, index_t n) {
+  std::vector<real> emb(static_cast<usize>(n) * static_cast<usize>(k));
+  for (index_t i = 0; i < k; ++i) {
+    real norm2 = 0;
+    for (index_t j = 0; j < n; ++j) {
+      const real v = vectors[static_cast<usize>(i * n + j)] *
+                     inv_sqrt_degree[static_cast<usize>(j)];
+      emb[static_cast<usize>(j * k + i)] = v;
+      norm2 += v * v;
+    }
+    if (norm2 > 0) {
+      const real inv = 1.0 / std::sqrt(norm2);
+      for (index_t j = 0; j < n; ++j) {
+        emb[static_cast<usize>(j * k + i)] *= inv;
+      }
+    }
+  }
+  return emb;
+}
+
+lanczos::LanczosConfig eig_config(const SpectralConfig& cfg, index_t n) {
+  lanczos::LanczosConfig ec;
+  ec.n = n;
+  ec.nev = cfg.num_clusters;
+  ec.ncv = cfg.ncv;
+  ec.tol = cfg.eig_tol;
+  ec.max_restarts = cfg.max_restarts;
+  ec.which = cfg.which;
+  ec.seed = cfg.seed;
+  ec.dense_tier = cfg.backend == Backend::kPythonLike
+                      ? lanczos::DenseTier::kNaive
+                      : lanczos::DenseTier::kBlocked;
+  return ec;
+}
+
+/// Device eigensolver stage: Algorithm 3.  The COO similarity matrix is
+/// already device-resident; normalize (Algorithm 2), then run the reverse
+/// communication loop with device csrmv, staging the iteration vectors over
+/// the link each step.
+void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
+                       const SpectralConfig& cfg, SpectralResult& result) {
+  const index_t n = w.rows;
+  device::DeviceBuffer<real> dev_isd;
+  sparse::DeviceCsr p = graph::sym_normalized_device(ctx, w, dev_isd);
+
+  // Optional format conversion for the SpMV loop (paper §IV.A: CSC/BSR are
+  // also supported).  The conversion round-trips through the host, which is
+  // metered like any other staging.
+  sparse::DeviceBsr p_bsr;
+  if (cfg.spmv_format == DeviceSpmvFormat::kBsr) {
+    const sparse::Csr host_csr = p.to_host();
+    p_bsr = sparse::DeviceBsr(
+        ctx, sparse::csr_to_bsr(host_csr, cfg.bsr_block_size));
+  }
+  auto spmv = [&](const real* x, real* y) {
+    if (cfg.spmv_format == DeviceSpmvFormat::kBsr) {
+      sparse::device_bsrmv(ctx, p_bsr, x, y);
+    } else {
+      sparse::device_csrmv(ctx, p, x, y);
+    }
+  };
+
+  lanczos::SymEigProb prob(eig_config(cfg, n));
+  device::DeviceBuffer<real> dev_x(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_y(ctx, static_cast<usize>(n));
+  std::vector<real> host_y(static_cast<usize>(n));
+
+  while (!prob.converge()) {
+    WallTimer t;
+    // H2D: the vector ARPACK hands out.
+    dev_x.copy_from_host(
+        std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
+    // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
+    spmv(dev_x.data(), dev_y.data());
+    // D2H: the product back to the RCI.
+    dev_y.copy_to_host(std::span<real>(host_y));
+    std::copy(host_y.begin(), host_y.end(), prob.PutVector());
+    result.spmv_seconds += t.seconds();
+    prob.TakeStep();
+  }
+  result.eigenvalues = prob.Eigenvalues();
+  result.eig_converged = !prob.Failed();
+  result.eig_stats = prob.Stats();
+  const std::vector<real> vectors = prob.FindEigenvectors();
+  const std::vector<real> isd = dev_isd.to_host();  // D2H, metered
+  result.embedding = to_embedding(vectors, isd, cfg.num_clusters, n);
+}
+
+void eigensolve_host(const sparse::Coo& w, const SpectralConfig& cfg,
+                     SpectralResult& result) {
+  std::vector<real> isd;
+  const sparse::Csr p = graph::sym_normalized_host(w, isd);
+  const auto eig =
+      cfg.backend == Backend::kMatlabLike
+          ? baseline::eigensolve_matlab(p, cfg.num_clusters, cfg.which,
+                                        cfg.eig_tol, cfg.ncv, cfg.max_restarts,
+                                        cfg.seed)
+          : baseline::eigensolve_python(p, cfg.num_clusters, cfg.which,
+                                        cfg.eig_tol, cfg.ncv, cfg.max_restarts,
+                                        cfg.seed);
+  result.eigenvalues = eig.eigenvalues;
+  result.eig_converged = eig.converged;
+  result.eig_stats = eig.stats;
+  result.spmv_seconds = eig.spmv_seconds;
+  result.embedding =
+      to_embedding(eig.eigenvectors, isd, cfg.num_clusters, w.rows);
+}
+
+void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
+                  SpectralResult& result) {
+  const index_t n = result.n;
+  const index_t k = cfg.num_clusters;
+  if (cfg.row_normalize_embedding) {
+    // Ng-Jordan-Weiss: project each embedded point onto the unit sphere.
+    for (index_t i = 0; i < n; ++i) {
+      real* row = result.embedding.data() + i * k;
+      real norm = 0;
+      for (index_t l = 0; l < k; ++l) norm += row[l] * row[l];
+      if (norm > 0) {
+        const real inv = 1.0 / std::sqrt(norm);
+        for (index_t l = 0; l < k; ++l) row[l] *= inv;
+      }
+    }
+  }
+  switch (cfg.backend) {
+    case Backend::kDevice: {
+      kmeans::KmeansConfig kc;
+      kc.k = k;
+      kc.max_iters = cfg.kmeans_max_iters;
+      kc.seeding = cfg.seeding;
+      kc.seed = cfg.seed;
+      const auto res =
+          kmeans::kmeans_device(ctx, result.embedding.data(), n, k, kc);
+      result.labels = res.labels;
+      result.kmeans_converged = res.converged;
+      result.kmeans_iterations = res.iterations;
+      break;
+    }
+    case Backend::kMatlabLike: {
+      const auto res = baseline::kmeans_matlab(result.embedding.data(), n, k,
+                                               k, cfg.kmeans_max_iters,
+                                               cfg.seed);
+      result.labels = res.labels;
+      result.kmeans_converged = res.converged;
+      result.kmeans_iterations = res.iterations;
+      break;
+    }
+    case Backend::kPythonLike: {
+      const auto res = baseline::kmeans_python(result.embedding.data(), n, k,
+                                               k, cfg.kmeans_max_iters,
+                                               cfg.seed);
+      result.labels = res.labels;
+      result.kmeans_converged = res.converged;
+      result.kmeans_iterations = res.iterations;
+      break;
+    }
+  }
+}
+
+device::DeviceContext& resolve_ctx(device::DeviceContext* ctx) {
+  return ctx != nullptr ? *ctx : device::default_device();
+}
+
+/// Difference of two counter snapshots (per-run accounting).
+device::DeviceCounters counters_delta(const device::DeviceCounters& after,
+                                      const device::DeviceCounters& before) {
+  device::DeviceCounters d = after;
+  d.bytes_h2d -= before.bytes_h2d;
+  d.bytes_d2h -= before.bytes_d2h;
+  d.transfers_h2d -= before.transfers_h2d;
+  d.transfers_d2h -= before.transfers_d2h;
+  d.measured_transfer_seconds -= before.measured_transfer_seconds;
+  d.modeled_transfer_seconds -= before.modeled_transfer_seconds;
+  d.kernel_seconds -= before.kernel_seconds;
+  d.kernel_launches -= before.kernel_launches;
+  return d;
+}
+
+}  // namespace
+
+SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
+                                       const graph::EdgeList& edges,
+                                       const SpectralConfig& config,
+                                       device::DeviceContext* ctx_in) {
+  FASTSC_CHECK(n >= 2, "need at least two points");
+  FASTSC_CHECK(config.num_clusters >= 1 && config.num_clusters <= n,
+               "cluster count must be in [1, n]");
+  check_finite({x, static_cast<usize>(n) * static_cast<usize>(d)},
+               "input points");
+  device::DeviceContext& ctx = resolve_ctx(ctx_in);
+  const device::DeviceCounters counters_before = ctx.counters();
+
+  SpectralResult result;
+  result.n = n;
+  result.k = config.num_clusters;
+
+  const graph::EdgeList sym = graph::symmetrized(edges);
+
+  if (config.backend == Backend::kDevice) {
+    result.clock.start(kStageSimilarity);
+    sparse::DeviceCoo w;
+    if (config.similarity_chunk_edges > 0) {
+      // Out-of-core Algorithm 1: the edge list streams through the device.
+      const sparse::Coo host_w = graph::build_similarity_device_chunked(
+          ctx, x, n, d, sym, config.similarity,
+          config.similarity_chunk_edges);
+      w = sparse::DeviceCoo(ctx, host_w);
+    } else {
+      w = graph::build_similarity_device(ctx, x, n, d, sym,
+                                         config.similarity);
+    }
+    result.clock.stop();
+
+    result.clock.start(kStageEigensolver);
+    eigensolve_device(ctx, w, config, result);
+    result.clock.stop();
+  } else {
+    result.clock.start(kStageSimilarity);
+    const sparse::Coo w = baseline::similarity_loop(x, n, d, sym,
+                                                    config.similarity);
+    result.clock.stop();
+
+    result.clock.start(kStageEigensolver);
+    eigensolve_host(w, config, result);
+    result.clock.stop();
+  }
+
+  result.clock.start(kStageKmeans);
+  kmeans_stage(ctx, config, result);
+  result.clock.stop();
+
+  result.device_counters = counters_delta(ctx.counters(), counters_before);
+  return result;
+}
+
+SpectralResult spectral_cluster_graph(const sparse::Coo& w,
+                                      const SpectralConfig& config,
+                                      device::DeviceContext* ctx_in) {
+  FASTSC_CHECK(w.rows == w.cols, "graph matrix must be square");
+  FASTSC_CHECK(config.num_clusters >= 1 && config.num_clusters <= w.rows,
+               "cluster count must be in [1, n]");
+  check_finite(w.values, "similarity matrix values");
+  {
+    // A disconnected graph makes the eigenvalue 1 of D^-1 W degenerate
+    // (one copy per component), which a Krylov iteration from a single
+    // start vector resolves slowly and unreliably.  Warn so callers can
+    // split components (graph::largest_component) or reconnect weakly.
+    const graph::ComponentInfo info = graph::connected_components(w);
+    if (info.count > 1) {
+      FASTSC_LOG_WARN("input graph has "
+                      << info.count
+                      << " connected components; spectral clustering is "
+                         "only well-posed per component — consider "
+                         "graph::largest_component or a connected "
+                         "similarity graph");
+    }
+  }
+  device::DeviceContext& ctx = resolve_ctx(ctx_in);
+  const device::DeviceCounters counters_before = ctx.counters();
+
+  SpectralResult result;
+  result.n = w.rows;
+  result.k = config.num_clusters;
+
+  result.clock.start(kStageEigensolver);
+  if (config.backend == Backend::kDevice) {
+    // Transfer the graph to the device (part of the eigensolver stage cost,
+    // matching the paper's accounting for the graph datasets).
+    sparse::DeviceCoo dev_w(ctx, w);
+    eigensolve_device(ctx, dev_w, config, result);
+  } else {
+    eigensolve_host(w, config, result);
+  }
+  result.clock.stop();
+
+  result.clock.start(kStageKmeans);
+  kmeans_stage(ctx, config, result);
+  result.clock.stop();
+
+  result.device_counters = counters_delta(ctx.counters(), counters_before);
+  return result;
+}
+
+}  // namespace fastsc::core

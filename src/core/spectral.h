@@ -1,0 +1,119 @@
+// Public API: the spectral clustering pipeline (the paper's contribution).
+//
+// Two entry points mirror the paper's two input modes:
+//  * spectral_cluster_points — data points in R^d plus an epsilon edge list
+//    (the DTI mode): Step 1 builds the similarity matrix, then Steps 2-4;
+//  * spectral_cluster_graph — a graph given directly as a sparse matrix
+//    (the FB/DBLP/Syn200 mode): the pipeline starts at Step 2.
+//
+// Three backends run the same mathematical pipeline with different
+// execution strategies, enabling the paper's CUDA / Matlab / Python
+// comparisons from one code path:
+//  * kDevice     — the paper's hybrid scheme: device kernels for similarity,
+//                  device csrmv inside the reverse-communication eigensolver
+//                  (vectors staged over the modeled PCIe link), device
+//                  BLAS-formulated k-means;
+//  * kMatlabLike — serial loop similarity, CPU SpMV + blocked dense tier,
+//                  Lloyd k-means with random seeding;
+//  * kPythonLike — serial loop similarity, CPU SpMV + naive dense tier,
+//                  Lloyd k-means with k-means++ seeding.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stage_clock.h"
+#include "device/device.h"
+#include "graph/grid_index.h"
+#include "graph/similarity.h"
+#include "kmeans/kmeans.h"
+#include "lanczos/irlm.h"
+#include "sparse/coo.h"
+
+namespace fastsc::core {
+
+enum class Backend { kDevice, kMatlabLike, kPythonLike };
+
+[[nodiscard]] std::string backend_name(Backend b);
+
+/// Sparse format for the device eigensolver SpMV (paper §IV.A: COO/CSR are
+/// primary, "other sparse formats such as CSC, BSR are also supported").
+enum class DeviceSpmvFormat { kCsr, kBsr };
+
+/// Canonical stage names used in StageClock and reports.
+inline constexpr const char* kStageSimilarity = "similarity";
+inline constexpr const char* kStageEigensolver = "eigensolver";
+inline constexpr const char* kStageKmeans = "kmeans";
+
+struct SpectralConfig {
+  /// Number of clusters (the paper's k; also the eigenpair count).
+  index_t num_clusters = 2;
+  Backend backend = Backend::kDevice;
+
+  graph::SimilarityParams similarity{};
+
+  /// Eigensolver knobs (paper §IV.B).  ncv = 0 selects the ARPACK-style
+  /// default m = max(2k+1, 20) capped at n.
+  index_t ncv = 0;
+  real eig_tol = 1e-8;
+  index_t max_restarts = 500;
+  /// Largest-algebraic of D^-1 W (the paper's numerically stable choice).
+  lanczos::EigWhich which = lanczos::EigWhich::kLargestAlgebraic;
+  /// Device SpMV format inside the eigensolver loop.
+  DeviceSpmvFormat spmv_format = DeviceSpmvFormat::kCsr;
+  /// Block size when spmv_format == kBsr.
+  index_t bsr_block_size = 4;
+
+  /// Out-of-core similarity construction (device backend, points mode):
+  /// 0 builds the whole edge list on the device at once (Algorithm 1);
+  /// > 0 streams the edge list through the device in chunks of this many
+  /// edges, for edge lists beyond the device-memory budget.
+  index_t similarity_chunk_edges = 0;
+
+  /// k-means knobs (paper §IV.C).
+  index_t kmeans_max_iters = 100;
+  kmeans::Seeding seeding = kmeans::Seeding::kKmeansPlusPlus;
+
+  /// Normalize each embedding row to unit length before k-means — the
+  /// Ng-Jordan-Weiss variant of Step 4 (the paper follows Shi-Malik and
+  /// clusters the raw rows; bench_ablation_embedding_norm compares both).
+  bool row_normalize_embedding = false;
+
+  std::uint64_t seed = 42;
+};
+
+struct SpectralResult {
+  std::vector<index_t> labels;       ///< cluster per vertex
+  std::vector<real> eigenvalues;     ///< k best eigenvalues of D^-1 W
+  std::vector<real> embedding;       ///< n x k spectral embedding (rows)
+  index_t n = 0;
+  index_t k = 0;
+
+  bool eig_converged = false;
+  bool kmeans_converged = false;
+  index_t kmeans_iterations = 0;
+
+  /// Per-stage wall times (kStage* names).
+  StageClock clock;
+  /// Device counter delta over this run (kDevice backend; zeros otherwise).
+  device::DeviceCounters device_counters;
+  lanczos::LanczosStats eig_stats;
+  /// Wall time spent in SpMV callbacks during the eigensolver stage.
+  double spmv_seconds = 0;
+};
+
+/// Cluster n points in R^d whose candidate edges are given by `edges`
+/// (unordered pairs; the pipeline symmetrizes).  Steps 1-4.
+[[nodiscard]] SpectralResult spectral_cluster_points(
+    const real* x, index_t n, index_t d, const graph::EdgeList& edges,
+    const SpectralConfig& config,
+    device::DeviceContext* ctx = nullptr);
+
+/// Cluster the graph given by the symmetric nonnegative matrix `w`
+/// (both edge directions stored).  Steps 2-4.
+[[nodiscard]] SpectralResult spectral_cluster_graph(
+    const sparse::Coo& w, const SpectralConfig& config,
+    device::DeviceContext* ctx = nullptr);
+
+}  // namespace fastsc::core

@@ -1,0 +1,94 @@
+#include "data/dti.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "graph/build.h"
+
+namespace fastsc::data {
+
+DtiVolume make_dti_like(const DtiParams& params) {
+  FASTSC_CHECK(params.nx >= 1 && params.ny >= 1 && params.nz >= 1,
+               "lattice dimensions must be positive");
+  FASTSC_CHECK(params.num_parcels >= 1, "need at least one parcel");
+  FASTSC_CHECK(params.profile_dim >= 1, "profile dimension must be positive");
+
+  DtiVolume vol;
+  vol.n = params.nx * params.ny * params.nz;
+  vol.d = params.profile_dim;
+  FASTSC_CHECK(params.num_parcels <= vol.n, "more parcels than voxels");
+
+  Rng rng(params.seed);
+
+  // Voxel centers.
+  vol.positions.resize(static_cast<usize>(vol.n) * 3);
+  index_t v = 0;
+  for (index_t x = 0; x < params.nx; ++x) {
+    for (index_t y = 0; y < params.ny; ++y) {
+      for (index_t z = 0; z < params.nz; ++z, ++v) {
+        vol.positions[static_cast<usize>(v * 3 + 0)] = static_cast<real>(x);
+        vol.positions[static_cast<usize>(v * 3 + 1)] = static_cast<real>(y);
+        vol.positions[static_cast<usize>(v * 3 + 2)] = static_cast<real>(z);
+      }
+    }
+  }
+
+  // Seeded Voronoi parcellation: random parcel centers, each voxel joins the
+  // nearest center — yields spatially contiguous parcels like a brain atlas.
+  std::vector<real> centers(static_cast<usize>(params.num_parcels) * 3);
+  for (index_t c = 0; c < params.num_parcels; ++c) {
+    centers[static_cast<usize>(c * 3 + 0)] =
+        rng.uniform() * static_cast<real>(params.nx);
+    centers[static_cast<usize>(c * 3 + 1)] =
+        rng.uniform() * static_cast<real>(params.ny);
+    centers[static_cast<usize>(c * 3 + 2)] =
+        rng.uniform() * static_cast<real>(params.nz);
+  }
+  vol.labels.assign(static_cast<usize>(vol.n), 0);
+  for (index_t i = 0; i < vol.n; ++i) {
+    const real* p = vol.positions.data() + i * 3;
+    real best = std::numeric_limits<real>::max();
+    index_t best_c = 0;
+    for (index_t c = 0; c < params.num_parcels; ++c) {
+      const real* q = centers.data() + c * 3;
+      const real d0 = p[0] - q[0], d1 = p[1] - q[1], d2 = p[2] - q[2];
+      const real dist = d0 * d0 + d1 * d1 + d2 * d2;
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    vol.labels[static_cast<usize>(i)] = best_c;
+  }
+
+  // Prototype connectivity profiles: sparse nonnegative patterns so that
+  // cross-correlation separates parcels the way fiber-connectivity does.
+  std::vector<real> prototypes(static_cast<usize>(params.num_parcels) *
+                               static_cast<usize>(vol.d));
+  for (index_t c = 0; c < params.num_parcels; ++c) {
+    real* proto = prototypes.data() + c * vol.d;
+    for (index_t l = 0; l < vol.d; ++l) {
+      // ~20% strong connections per parcel.
+      proto[l] = rng.uniform() < 0.2 ? 1.0 + rng.uniform() : 0.05 * rng.uniform();
+    }
+  }
+
+  vol.profiles.resize(static_cast<usize>(vol.n) * static_cast<usize>(vol.d));
+  for (index_t i = 0; i < vol.n; ++i) {
+    const real* proto =
+        prototypes.data() + vol.labels[static_cast<usize>(i)] * vol.d;
+    real* row = vol.profiles.data() + i * vol.d;
+    for (index_t l = 0; l < vol.d; ++l) {
+      row[l] = proto[l] + params.noise * rng.normal();
+    }
+  }
+
+  // Epsilon-lattice edge list (the E input of Algorithm 1).
+  vol.edges =
+      graph::build_epsilon_edges_3d(vol.positions.data(), vol.n, params.epsilon);
+  return vol;
+}
+
+}  // namespace fastsc::data

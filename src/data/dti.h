@@ -1,0 +1,39 @@
+// Synthetic DTI-like brain volume (substitute for the NKI dataset).
+//
+// The paper's DTI workload is a 3D voxel lattice where each voxel carries a
+// 90-dimensional connectivity profile, and voxels within a 4 mm spatial
+// radius are candidate graph edges.  This generator reproduces that input
+// *type*: voxels on an nx x ny x nz lattice, planted parcels (seeded Voronoi
+// regions), a distinct prototype profile per parcel, per-voxel Gaussian
+// noise, and the epsilon-lattice edge list.  Ground-truth parcel labels come
+// along for quality evaluation (which the real dataset cannot provide).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/grid_index.h"
+
+namespace fastsc::data {
+
+struct DtiParams {
+  index_t nx = 24, ny = 24, nz = 24;  ///< lattice dimensions
+  index_t profile_dim = 90;           ///< connectivity regions (paper: 90)
+  index_t num_parcels = 64;           ///< planted clusters
+  real noise = 0.25;                  ///< profile noise std dev
+  real epsilon = 2.0;                 ///< edge radius in voxel units (paper: 4mm / 2mm voxels)
+  std::uint64_t seed = 42;
+};
+
+struct DtiVolume {
+  index_t n = 0;                 ///< number of voxels
+  index_t d = 0;                 ///< profile dimension
+  std::vector<real> positions;   ///< n x 3, voxel centers
+  std::vector<real> profiles;    ///< n x d connectivity profiles
+  std::vector<index_t> labels;   ///< planted parcel per voxel
+  graph::EdgeList edges;         ///< pairs within epsilon (unordered, i<j)
+};
+
+[[nodiscard]] DtiVolume make_dti_like(const DtiParams& params);
+
+}  // namespace fastsc::data

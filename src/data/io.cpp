@@ -1,0 +1,179 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace fastsc::data {
+
+sparse::Coo read_edge_list(const std::string& path, bool symmetrize) {
+  std::ifstream in(path);
+  FASTSC_CHECK(in.good(), "cannot open edge list file: " + path);
+  std::unordered_map<index_t, index_t> compact;
+  std::vector<index_t> us, vs;
+  std::vector<real> ws;
+  std::string line;
+  auto id_of = [&](index_t raw) {
+    const auto it =
+        compact.try_emplace(raw, static_cast<index_t>(compact.size())).first;
+    return it->second;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    index_t u, v;
+    if (!(ls >> u >> v)) continue;
+    real w = 1.0;
+    ls >> w;  // optional; keeps 1.0 on failure
+    if (u == v) continue;
+    us.push_back(id_of(u));
+    vs.push_back(id_of(v));
+    ws.push_back(w);
+  }
+  const auto n = static_cast<index_t>(compact.size());
+  sparse::Coo coo(n, n);
+  coo.reserve(static_cast<index_t>(us.size()) * (symmetrize ? 2 : 1));
+  for (usize e = 0; e < us.size(); ++e) {
+    coo.push(us[e], vs[e], ws[e]);
+    if (symmetrize) coo.push(vs[e], us[e], ws[e]);
+  }
+  return coo;
+}
+
+void write_edge_list(const std::string& path, const sparse::Coo& coo) {
+  std::ofstream out(path);
+  FASTSC_CHECK(out.good(), "cannot open file for writing: " + path);
+  out << "# fastsc edge list: " << coo.rows << " nodes, " << coo.nnz()
+      << " entries\n";
+  for (usize e = 0; e < coo.values.size(); ++e) {
+    out << coo.row_idx[e] << ' ' << coo.col_idx[e] << ' ' << coo.values[e]
+        << '\n';
+  }
+}
+
+void write_labels(const std::string& path,
+                  const std::vector<index_t>& labels) {
+  std::ofstream out(path);
+  FASTSC_CHECK(out.good(), "cannot open file for writing: " + path);
+  for (index_t l : labels) out << l << '\n';
+}
+
+std::vector<index_t> read_labels(const std::string& path) {
+  std::ifstream in(path);
+  FASTSC_CHECK(in.good(), "cannot open labels file: " + path);
+  std::vector<index_t> labels;
+  index_t l;
+  while (in >> l) labels.push_back(l);
+  return labels;
+}
+
+std::vector<real> read_points(const std::string& path, index_t& rows,
+                              index_t& cols) {
+  std::ifstream in(path);
+  FASTSC_CHECK(in.good(), "cannot open points file: " + path);
+  std::vector<real> data;
+  rows = 0;
+  cols = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    index_t count = 0;
+    real v;
+    while (ls >> v) {
+      data.push_back(v);
+      ++count;
+    }
+    if (count == 0) continue;
+    if (cols < 0) {
+      cols = count;
+    } else {
+      FASTSC_CHECK(count == cols, "ragged rows in points file: " + path);
+    }
+    ++rows;
+  }
+  if (cols < 0) cols = 0;
+  return data;
+}
+
+void write_points(const std::string& path, const real* data, index_t rows,
+                  index_t cols) {
+  std::ofstream out(path);
+  FASTSC_CHECK(out.good(), "cannot open file for writing: " + path);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (c != 0) out << ' ';
+      out << data[r * cols + c];
+    }
+    out << '\n';
+  }
+}
+
+sparse::Coo read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  FASTSC_CHECK(in.good(), "cannot open MatrixMarket file: " + path);
+  std::string line;
+  FASTSC_CHECK(static_cast<bool>(std::getline(in, line)),
+               "empty MatrixMarket file: " + path);
+  std::istringstream banner(line);
+  std::string mm, object, format, field, symmetry;
+  banner >> mm >> object >> format >> field >> symmetry;
+  FASTSC_CHECK(mm == "%%MatrixMarket", "missing MatrixMarket banner: " + path);
+  FASTSC_CHECK(object == "matrix" && format == "coordinate",
+               "only coordinate matrices are supported: " + path);
+  FASTSC_CHECK(field == "real" || field == "integer" || field == "pattern",
+               "unsupported MatrixMarket field type: " + field);
+  FASTSC_CHECK(symmetry == "general" || symmetry == "symmetric",
+               "unsupported MatrixMarket symmetry: " + symmetry);
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  index_t rows = 0, cols = 0, nnz = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    FASTSC_CHECK(static_cast<bool>(ls >> rows >> cols >> nnz),
+                 "malformed MatrixMarket size line: " + path);
+    break;
+  }
+  sparse::Coo coo(rows, cols);
+  coo.reserve(symmetric ? 2 * nnz : nnz);
+  index_t seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    index_t r, c;
+    real v = 1.0;
+    FASTSC_CHECK(static_cast<bool>(ls >> r >> c),
+                 "malformed MatrixMarket entry: " + line);
+    if (!pattern) {
+      FASTSC_CHECK(static_cast<bool>(ls >> v),
+                   "missing value in MatrixMarket entry: " + line);
+    }
+    FASTSC_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                 "MatrixMarket index out of range: " + line);
+    coo.push(r - 1, c - 1, v);
+    if (symmetric && r != c) coo.push(c - 1, r - 1, v);
+    ++seen;
+  }
+  FASTSC_CHECK(seen == nnz, "MatrixMarket file truncated: " + path);
+  return coo;
+}
+
+void write_matrix_market(const std::string& path, const sparse::Coo& coo) {
+  std::ofstream out(path);
+  FASTSC_CHECK(out.good(), "cannot open file for writing: " + path);
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by fastsc\n";
+  out << coo.rows << ' ' << coo.cols << ' ' << coo.nnz() << '\n';
+  out.precision(17);
+  for (usize e = 0; e < coo.values.size(); ++e) {
+    out << coo.row_idx[e] + 1 << ' ' << coo.col_idx[e] + 1 << ' '
+        << coo.values[e] << '\n';
+  }
+}
+
+}  // namespace fastsc::data

@@ -1,0 +1,130 @@
+#include "data/sbm.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace fastsc::data {
+
+std::vector<index_t> equal_blocks(index_t n, index_t r) {
+  FASTSC_CHECK(r >= 1 && r <= n, "block count must be in [1, n]");
+  std::vector<index_t> sizes(static_cast<usize>(r), n / r);
+  for (index_t i = 0; i < n % r; ++i) sizes[static_cast<usize>(i)] += 1;
+  return sizes;
+}
+
+namespace {
+
+/// Emit successes of a Bernoulli(p) process over [0, space) via geometric
+/// skipping; visit(t) is called for each success index t.
+template <class Visit>
+void bernoulli_process(Rng& rng, std::uint64_t space, real p,
+                       const Visit& visit) {
+  if (p <= 0 || space == 0) return;
+  std::uint64_t t = rng.geometric_skip(p);
+  while (t < space) {
+    visit(t);
+    const std::uint64_t skip = rng.geometric_skip(p);
+    if (skip >= space - t) break;  // avoid overflow on huge skips
+    t += skip + 1;
+  }
+}
+
+}  // namespace
+
+SbmGraph make_sbm(const SbmParams& params) {
+  const index_t r = static_cast<index_t>(params.block_sizes.size());
+  FASTSC_CHECK(r >= 1, "at least one block required");
+  FASTSC_CHECK(params.p_in >= 0 && params.p_in <= 1, "p_in must be in [0,1]");
+  FASTSC_CHECK(params.p_out >= 0 && params.p_out <= 1,
+               "p_out must be in [0,1]");
+
+  std::vector<index_t> offsets(static_cast<usize>(r) + 1, 0);
+  for (index_t b = 0; b < r; ++b) {
+    FASTSC_CHECK(params.block_sizes[static_cast<usize>(b)] >= 1,
+                 "block sizes must be positive");
+    offsets[static_cast<usize>(b) + 1] =
+        offsets[static_cast<usize>(b)] +
+        params.block_sizes[static_cast<usize>(b)];
+  }
+  const index_t n = offsets.back();
+
+  SbmGraph graph;
+  graph.labels.assign(static_cast<usize>(n), 0);
+  for (index_t b = 0; b < r; ++b) {
+    for (index_t i = offsets[static_cast<usize>(b)];
+         i < offsets[static_cast<usize>(b) + 1]; ++i) {
+      graph.labels[static_cast<usize>(i)] = b;
+    }
+  }
+
+  Rng rng(params.seed);
+  sparse::Coo coo(n, n);
+
+  auto add_edge = [&](index_t u, index_t v) {
+    coo.push(u, v, params.edge_weight);
+    coo.push(v, u, params.edge_weight);
+  };
+
+  // Within-block pairs: linearize the strict upper triangle of each block.
+  for (index_t b = 0; b < r; ++b) {
+    const index_t base = offsets[static_cast<usize>(b)];
+    const std::uint64_t s =
+        static_cast<std::uint64_t>(params.block_sizes[static_cast<usize>(b)]);
+    const std::uint64_t space = s * (s - 1) / 2;
+    bernoulli_process(rng, space, params.p_in, [&](std::uint64_t t) {
+      // Invert the triangular index: find i such that
+      // i*(2s-i-1)/2 <= t < (i+1)*(2s-i-2)/2.
+      // Solve by the quadratic formula then fix up.
+      const real fs = static_cast<real>(s);
+      const real ft = static_cast<real>(t);
+      auto i = static_cast<std::uint64_t>(
+          fs - 0.5 - std::sqrt((fs - 0.5) * (fs - 0.5) - 2.0 * ft));
+      auto row_start = [&](std::uint64_t ii) {
+        return ii * (2 * s - ii - 1) / 2;
+      };
+      while (i > 0 && row_start(i) > t) --i;
+      while (row_start(i + 1) <= t) ++i;
+      const std::uint64_t j = i + 1 + (t - row_start(i));
+      add_edge(base + static_cast<index_t>(i), base + static_cast<index_t>(j));
+    });
+  }
+
+  // Cross-block pairs: for each ordered block pair a < b, the pair space is
+  // the |a| x |b| rectangle.
+  for (index_t a = 0; a < r; ++a) {
+    const index_t base_a = offsets[static_cast<usize>(a)];
+    const auto sa =
+        static_cast<std::uint64_t>(params.block_sizes[static_cast<usize>(a)]);
+    for (index_t b = a + 1; b < r; ++b) {
+      const index_t base_b = offsets[static_cast<usize>(b)];
+      const auto sb = static_cast<std::uint64_t>(
+          params.block_sizes[static_cast<usize>(b)]);
+      bernoulli_process(rng, sa * sb, params.p_out, [&](std::uint64_t t) {
+        const auto i = static_cast<index_t>(t / sb);
+        const auto j = static_cast<index_t>(t % sb);
+        add_edge(base_a + i, base_b + j);
+      });
+    }
+  }
+
+  graph.w = std::move(coo);
+  return graph;
+}
+
+real sbm_expected_edges(const SbmParams& params) {
+  real within_pairs = 0;
+  real total = 0;
+  real n = 0;
+  for (index_t s : params.block_sizes) {
+    const real fs = static_cast<real>(s);
+    within_pairs += fs * (fs - 1) / 2;
+    n += fs;
+  }
+  const real all_pairs = n * (n - 1) / 2;
+  total = within_pairs * params.p_in + (all_pairs - within_pairs) * params.p_out;
+  return total;
+}
+
+}  // namespace fastsc::data

@@ -1,0 +1,46 @@
+// Stochastic block model generator (Karrer & Newman, the model behind the
+// paper's Syn200 dataset).
+//
+// Sampling uses geometric skipping so the cost is O(#edges), not O(n^2):
+// within each Bernoulli(p) run over a linearized pair space, the distance to
+// the next success is a geometric variate.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sparse/coo.h"
+
+namespace fastsc::data {
+
+struct SbmParams {
+  /// Sizes of the r blocks (sum = n).
+  std::vector<index_t> block_sizes;
+  /// Edge probability within a block (paper Syn200: 0.3).
+  real p_in = 0.3;
+  /// Edge probability across blocks (paper Syn200: 0.01).
+  real p_out = 0.01;
+  std::uint64_t seed = 42;
+  /// Weight assigned to every sampled edge.
+  real edge_weight = 1.0;
+};
+
+struct SbmGraph {
+  /// Symmetric adjacency (both directions stored), no self loops.
+  sparse::Coo w;
+  /// Planted block id per node — ground truth for quality metrics.
+  std::vector<index_t> labels;
+};
+
+/// r equal blocks covering n nodes (remainder spread over the first blocks).
+[[nodiscard]] std::vector<index_t> equal_blocks(index_t n, index_t r);
+
+/// Sample a graph from the model.
+[[nodiscard]] SbmGraph make_sbm(const SbmParams& params);
+
+/// Expected number of undirected edges for the given parameters (used by the
+/// generators' tests and by the social-graph calibration).
+[[nodiscard]] real sbm_expected_edges(const SbmParams& params);
+
+}  // namespace fastsc::data

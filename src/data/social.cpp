@@ -1,0 +1,90 @@
+#include "data/social.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fastsc::data {
+
+SocialParams fb_like_params(index_t n, index_t k, std::uint64_t seed) {
+  SocialParams p;
+  p.n = n;
+  p.communities = k;
+  p.mean_degree = 43.7;  // 2 * 88234 / 4039
+  p.within_fraction = 0.92;
+  p.size_skew = 0.8;
+  p.seed = seed;
+  return p;
+}
+
+SocialParams dblp_like_params(index_t n, index_t k, std::uint64_t seed) {
+  SocialParams p;
+  p.n = n;
+  p.communities = k;
+  p.mean_degree = 6.62;  // 2 * 1049866 / 317080
+  p.within_fraction = 0.85;
+  p.size_skew = 1.2;
+  p.seed = seed;
+  return p;
+}
+
+SbmGraph make_social_graph(const SocialParams& params) {
+  FASTSC_CHECK(params.communities >= 1 && params.communities <= params.n,
+               "community count must be in [1, n]");
+  FASTSC_CHECK(params.within_fraction > 0 && params.within_fraction <= 1,
+               "within_fraction must be in (0, 1]");
+  Rng rng(params.seed);
+
+  // Community sizes: weights w_c = u^(-skew) normalized to n, floor 2 nodes.
+  const index_t r = params.communities;
+  std::vector<real> weights(static_cast<usize>(r));
+  real wsum = 0;
+  for (index_t c = 0; c < r; ++c) {
+    const real u = rng.uniform(0.05, 1.0);
+    weights[static_cast<usize>(c)] =
+        params.size_skew == 0 ? 1.0 : std::pow(u, -params.size_skew);
+    wsum += weights[static_cast<usize>(c)];
+  }
+  std::vector<index_t> sizes(static_cast<usize>(r));
+  index_t assigned = 0;
+  for (index_t c = 0; c < r; ++c) {
+    const auto s = std::max<index_t>(
+        2, static_cast<index_t>(std::floor(
+               weights[static_cast<usize>(c)] / wsum *
+               static_cast<real>(params.n))));
+    sizes[static_cast<usize>(c)] = s;
+    assigned += s;
+  }
+  // Fix up the total to exactly n by adjusting the largest community.
+  auto largest = std::max_element(sizes.begin(), sizes.end());
+  *largest += params.n - assigned;
+  FASTSC_CHECK(*largest >= 2, "size fix-up produced a degenerate community");
+
+  // Calibrate probabilities to the target edge budget.
+  const real target_edges =
+      params.mean_degree * static_cast<real>(params.n) / 2.0;
+  real within_pairs = 0;
+  for (index_t s : sizes) {
+    const real fs = static_cast<real>(s);
+    within_pairs += fs * (fs - 1) / 2;
+  }
+  const real all_pairs = static_cast<real>(params.n) *
+                         static_cast<real>(params.n - 1) / 2.0;
+  const real cross_pairs = all_pairs - within_pairs;
+  FASTSC_CHECK(within_pairs > 0, "degenerate community structure");
+
+  SbmParams sbm;
+  sbm.block_sizes = sizes;
+  sbm.p_in = std::min<real>(1.0, params.within_fraction * target_edges /
+                                     within_pairs);
+  sbm.p_out = cross_pairs > 0
+                  ? std::min<real>(1.0, (1.0 - params.within_fraction) *
+                                            target_edges / cross_pairs)
+                  : 0.0;
+  sbm.seed = params.seed + 1;
+  return make_sbm(sbm);
+}
+
+}  // namespace fastsc::data

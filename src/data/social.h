@@ -1,0 +1,40 @@
+// Social-graph generators standing in for the SNAP FB and DBLP datasets.
+//
+// Both are planted-community graphs calibrated to the node/edge counts in
+// the paper's Table II: FB-like (4039 nodes, ~88K edges, 10 communities,
+// dense ego-network structure) and DBLP-like (large sparse co-authorship
+// graph, many small communities with power-law-ish sizes).  Real SNAP edge
+// lists can be substituted through data/io.h.
+#pragma once
+
+#include "data/sbm.h"
+
+namespace fastsc::data {
+
+struct SocialParams {
+  index_t n = 4039;
+  index_t communities = 10;
+  /// Target mean degree (FB: ~43.7; DBLP: ~6.6).
+  real mean_degree = 43.7;
+  /// Fraction of edges that fall within communities (modularity knob).
+  real within_fraction = 0.9;
+  /// Pareto-ish exponent for community sizes; 0 = equal sizes.
+  real size_skew = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// FB-like defaults (paper Table II row 2).
+[[nodiscard]] SocialParams fb_like_params(index_t n = 4039, index_t k = 10,
+                                          std::uint64_t seed = 42);
+
+/// DBLP-like defaults, scaled to n nodes and k communities
+/// (paper: 317080 nodes, 1049866 edges, k = 500).
+[[nodiscard]] SocialParams dblp_like_params(index_t n, index_t k,
+                                            std::uint64_t seed = 42);
+
+/// Generate the graph: community sizes are drawn from the skewed
+/// distribution, then p_in/p_out are calibrated so the expected edge count
+/// matches mean_degree * n / 2 split per within_fraction.
+[[nodiscard]] SbmGraph make_social_graph(const SocialParams& params);
+
+}  // namespace fastsc::data

@@ -1,0 +1,283 @@
+// Thrust-like device algorithms.
+//
+// The paper leans on the Thrust library for sort / transform / scan style
+// primitives inside the k-means and graph-construction kernels; this header
+// provides the equivalents over DeviceBuffer storage, executed on the device
+// context's pool and metered as kernel time.
+//
+// All functions operate on raw device pointers (like thrust::device_ptr) and
+// assume the caller keeps the data on one context.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "device/device.h"
+
+namespace fastsc::device {
+
+/// Fill [out, out+n) with value.
+template <class T>
+void fill(DeviceContext& ctx, T* out, index_t n, T value) {
+  launch(ctx, n, [=](index_t i) { out[i] = value; });
+}
+
+/// out[i] = i + start.
+template <class T>
+void sequence(DeviceContext& ctx, T* out, index_t n, T start = T{0}) {
+  launch(ctx, n, [=](index_t i) { out[i] = start + static_cast<T>(i); });
+}
+
+/// out[i] = op(in[i]).
+template <class T, class U, class UnaryOp>
+void transform(DeviceContext& ctx, const T* in, U* out, index_t n,
+               const UnaryOp& op) {
+  launch(ctx, n, [=](index_t i) { out[i] = op(in[i]); });
+}
+
+/// out[i] = op(a[i], b[i]).
+template <class T, class U, class V, class BinaryOp>
+void transform(DeviceContext& ctx, const T* a, const U* b, V* out, index_t n,
+               const BinaryOp& op) {
+  launch(ctx, n, [=](index_t i) { out[i] = op(a[i], b[i]); });
+}
+
+/// out[i] = in[map[i]].
+template <class T, class I>
+void gather(DeviceContext& ctx, const I* map, const T* in, T* out, index_t n) {
+  launch(ctx, n, [=](index_t i) { out[i] = in[map[i]]; });
+}
+
+/// Tree-style parallel reduction: combine(...combine(init, x0)..., xn-1).
+/// combine must be associative and commutative-safe for the partials order.
+template <class T, class Combine>
+[[nodiscard]] T reduce(DeviceContext& ctx, const T* in, index_t n, T init,
+                       const Combine& combine) {
+  if (n <= 0) return init;
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  T result = init;
+  if (workers == 1) {
+    for (index_t i = 0; i < n; ++i) result = combine(result, in[i]);
+  } else {
+    const index_t chunk = (n + workers - 1) / workers;
+    std::vector<T> partials(static_cast<usize>(workers), init);
+    std::function<void(usize)> job = [&](usize w) {
+      const index_t lo = static_cast<index_t>(w) * chunk;
+      const index_t hi = lo + chunk < n ? lo + chunk : n;
+      T acc = init;
+      for (index_t i = lo; i < hi; ++i) acc = combine(acc, in[i]);
+      partials[w] = acc;
+    };
+    ctx.pool().run_workers(job);
+    for (const T& p : partials) result = combine(result, p);
+  }
+  ctx.record_kernel(t.seconds());
+  return result;
+}
+
+/// Sum reduction.
+template <class T>
+[[nodiscard]] T reduce_sum(DeviceContext& ctx, const T* in, index_t n) {
+  return reduce(ctx, in, n, T{0}, [](T a, T b) { return a + b; });
+}
+
+/// Index of the minimum element (first occurrence); -1 for empty input.
+template <class T>
+[[nodiscard]] index_t min_element_index(DeviceContext& ctx, const T* in,
+                                        index_t n) {
+  if (n <= 0) return -1;
+  struct Pair {
+    T value;
+    index_t index;
+  };
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  std::vector<Pair> partials(static_cast<usize>(workers),
+                             Pair{in[0], index_t{0}});
+  const index_t chunk = (n + workers - 1) / workers;
+  std::function<void(usize)> job = [&](usize w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < n ? lo + chunk : n;
+    if (lo >= hi) return;
+    Pair best{in[lo], lo};
+    for (index_t i = lo + 1; i < hi; ++i) {
+      if (in[i] < best.value) best = Pair{in[i], i};
+    }
+    partials[w] = best;
+  };
+  if (workers == 1) {
+    job(0);
+  } else {
+    ctx.pool().run_workers(job);
+  }
+  Pair best = partials[0];
+  for (const Pair& p : partials) {
+    if (p.value < best.value || (p.value == best.value && p.index < best.index)) {
+      best = p;
+    }
+  }
+  ctx.record_kernel(t.seconds());
+  return best.index;
+}
+
+/// Blocked parallel exclusive scan (prefix sums); returns the total.
+template <class T>
+T exclusive_scan(DeviceContext& ctx, const T* in, T* out, index_t n,
+                 T init = T{0}) {
+  if (n <= 0) return init;
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  const index_t chunk = (n + workers - 1) / workers;
+  std::vector<T> block_sums(static_cast<usize>(workers), T{0});
+  // Pass 1: per-block local exclusive scans and block totals.
+  std::function<void(usize)> pass1 = [&](usize w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < n ? lo + chunk : n;
+    T acc = T{0};
+    for (index_t i = lo; i < hi; ++i) {
+      out[i] = acc;
+      acc += in[i];
+    }
+    if (lo < hi) block_sums[w] = acc;
+  };
+  // Scan of the block totals (small, serial).
+  // Pass 2: add each block's offset.
+  if (workers == 1) {
+    pass1(0);
+  } else {
+    ctx.pool().run_workers(pass1);
+  }
+  std::vector<T> offsets(static_cast<usize>(workers), init);
+  T running = init;
+  for (usize w = 0; w < offsets.size(); ++w) {
+    offsets[w] = running;
+    running += block_sums[w];
+  }
+  std::function<void(usize)> pass2 = [&](usize w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < n ? lo + chunk : n;
+    const T off = offsets[w];
+    for (index_t i = lo; i < hi; ++i) out[i] += off;
+  };
+  if (workers == 1) {
+    pass2(0);
+  } else {
+    ctx.pool().run_workers(pass2);
+  }
+  ctx.record_kernel(t.seconds());
+  return running;
+}
+
+/// Inclusive scan; returns the total.
+template <class T>
+T inclusive_scan(DeviceContext& ctx, const T* in, T* out, index_t n) {
+  const T total = exclusive_scan(ctx, in, out, n);
+  launch(ctx, n, [=](index_t i) { out[i] += in[i]; });
+  return total;
+}
+
+/// Stable key-value sort by key (thrust::sort_by_key): per-worker chunks are
+/// sorted in parallel, then merged pairwise.
+template <class K, class V>
+void sort_by_key(DeviceContext& ctx, K* keys, V* values, index_t n) {
+  if (n <= 1) return;
+  WallTimer t;
+  // Pack into pairs for cache-friendly merging.
+  std::vector<std::pair<K, V>> tmp(static_cast<usize>(n));
+  launch(ctx, n, [&](index_t i) {
+    tmp[static_cast<usize>(i)] = {keys[i], values[i]};
+  });
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  const index_t chunk = (n + workers - 1) / workers;
+  auto cmp = [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+    return a.first < b.first;
+  };
+  std::function<void(usize)> sort_job = [&](usize w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < n ? lo + chunk : n;
+    if (lo < hi) {
+      std::stable_sort(tmp.begin() + lo, tmp.begin() + hi, cmp);
+    }
+  };
+  if (workers == 1) {
+    sort_job(0);
+  } else {
+    ctx.pool().run_workers(sort_job);
+  }
+  // Pairwise merge passes (log(workers) of them).
+  for (index_t width = chunk; width < n; width *= 2) {
+    for (index_t lo = 0; lo + width < n; lo += 2 * width) {
+      const index_t mid = lo + width;
+      const index_t hi = std::min(lo + 2 * width, n);
+      std::inplace_merge(tmp.begin() + lo, tmp.begin() + mid, tmp.begin() + hi,
+                         cmp);
+    }
+  }
+  launch(ctx, n, [&](index_t i) {
+    keys[i] = tmp[static_cast<usize>(i)].first;
+    values[i] = tmp[static_cast<usize>(i)].second;
+  });
+  ctx.record_kernel(t.seconds());
+}
+
+/// reduce_by_key over sorted keys: writes unique keys and per-key sums,
+/// returns the number of segments.  (thrust::reduce_by_key)
+template <class K, class V>
+index_t reduce_by_key(DeviceContext& ctx, const K* keys, const V* values,
+                      index_t n, K* out_keys, V* out_sums) {
+  if (n <= 0) return 0;
+  WallTimer t;
+  index_t seg = 0;
+  K current = keys[0];
+  V acc = values[0];
+  for (index_t i = 1; i < n; ++i) {
+    FASTSC_ASSERT(!(keys[i] < current));  // must be sorted
+    if (keys[i] == current) {
+      acc += values[i];
+    } else {
+      out_keys[seg] = current;
+      out_sums[seg] = acc;
+      ++seg;
+      current = keys[i];
+      acc = values[i];
+    }
+  }
+  out_keys[seg] = current;
+  out_sums[seg] = acc;
+  ++seg;
+  ctx.record_kernel(t.seconds());
+  return seg;
+}
+
+/// Count elements satisfying pred.
+template <class T, class Pred>
+[[nodiscard]] index_t count_if(DeviceContext& ctx, const T* in, index_t n,
+                               const Pred& pred) {
+  if (n <= 0) return 0;
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  std::vector<index_t> partials(static_cast<usize>(workers), 0);
+  const index_t chunk = (n + workers - 1) / workers;
+  std::function<void(usize)> job = [&](usize w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < n ? lo + chunk : n;
+    index_t c = 0;
+    for (index_t i = lo; i < hi; ++i) {
+      if (pred(in[i])) ++c;
+    }
+    partials[w] = c;
+  };
+  if (workers == 1) {
+    job(0);
+  } else {
+    ctx.pool().run_workers(job);
+  }
+  index_t total = 0;
+  for (index_t p : partials) total += p;
+  ctx.record_kernel(t.seconds());
+  return total;
+}
+
+}  // namespace fastsc::device

@@ -1,0 +1,23 @@
+#include "device/device.h"
+
+#include <sstream>
+#include <thread>
+
+namespace fastsc::device {
+
+std::string DeviceContext::description() const {
+  std::ostringstream os;
+  os << "fastsc simulated device: " << pool_.worker_count()
+     << " worker thread(s), modeled PCIe "
+     << model_.bandwidth_bytes_per_sec / 1e9 << " GB/s x "
+     << model_.efficiency << " efficiency, "
+     << model_.latency_seconds * 1e6 << " us latency";
+  return os.str();
+}
+
+DeviceContext& default_device() {
+  static DeviceContext ctx;
+  return ctx;
+}
+
+}  // namespace fastsc::device

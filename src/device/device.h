@@ -1,0 +1,275 @@
+// Simulated CUDA-style device runtime.
+//
+// This module stands in for the NVIDIA Tesla K20c + CUDA 7.5 stack the paper
+// runs on (DESIGN.md §2).  It preserves the *structure* of a CUDA program:
+//
+//   * device memory is a distinct allocation space (DeviceBuffer<T>) that
+//     host code may only reach through explicit copies,
+//   * every host<->device copy is metered: bytes, transfer count, measured
+//     wall time of the staging memcpy, and modeled PCIe time from
+//     TransferModel — this drives the Table VII reproduction,
+//   * kernels are launched over a (grid, block) decomposition and execute
+//     data-parallel on a worker thread pool; kernel wall time is metered,
+//   * the default stream is synchronous: launch() returns when the kernel
+//     has completed, matching the paper's use of the default CUDA stream.
+//
+// On the evaluation machine the pool may have a single worker; the runtime
+// is still exercised end-to-end (decomposition, staging, accounting), which
+// is the point of the substitution.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <stdexcept>
+
+#include "common/buffer.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "device/transfer_model.h"
+
+namespace fastsc::device {
+
+/// Thrown when an allocation would exceed the context's device-memory
+/// budget (cudaErrorMemoryAllocation equivalent).
+class DeviceOutOfMemory : public std::runtime_error {
+ public:
+  DeviceOutOfMemory(usize requested, usize live, usize limit)
+      : std::runtime_error(
+            "simulated device out of memory: requested " +
+            std::to_string(requested) + " bytes with " + std::to_string(live) +
+            " live of " + std::to_string(limit) + " budget") {}
+};
+
+/// Running totals kept by a DeviceContext.
+struct DeviceCounters {
+  usize bytes_h2d = 0;
+  usize bytes_d2h = 0;
+  usize transfers_h2d = 0;
+  usize transfers_d2h = 0;
+  /// Wall time actually spent staging (host memcpy in this simulation).
+  double measured_transfer_seconds = 0;
+  /// Modeled PCIe time from the TransferModel.
+  double modeled_transfer_seconds = 0;
+  /// Wall time spent inside kernel bodies.
+  double kernel_seconds = 0;
+  usize kernel_launches = 0;
+  /// Device-memory accounting.
+  usize live_bytes = 0;
+  usize peak_bytes = 0;
+  usize total_allocations = 0;
+
+  void reset() { *this = DeviceCounters{}; }
+};
+
+/// A simulated GPU: an executor plus metering.  Thread-compatible (use one
+/// context per thread of control, like a CUDA context).
+class DeviceContext {
+ public:
+  /// workers == 0 selects hardware concurrency.
+  explicit DeviceContext(usize workers = 0, TransferModel model = {})
+      : pool_(workers), model_(model) {}
+
+  /// Device-memory budget in bytes; 0 = unlimited.  The paper's K20c has
+  /// 5 GB — set this to study out-of-core behaviour (the chunked builders
+  /// in graph/build.h stay within any budget).
+  void set_memory_limit(usize bytes) noexcept { memory_limit_bytes_ = bytes; }
+  [[nodiscard]] usize memory_limit() const noexcept {
+    return memory_limit_bytes_;
+  }
+
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const TransferModel& transfer_model() const noexcept {
+    return model_;
+  }
+  void set_transfer_model(TransferModel m) noexcept { model_ = m; }
+
+  [[nodiscard]] DeviceCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const DeviceCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Human-readable device description for Table I style output.
+  [[nodiscard]] std::string description() const;
+
+  // --- metering hooks (used by DeviceBuffer and launch) -------------------
+  void record_h2d(usize bytes, double measured_seconds) {
+    counters_.bytes_h2d += bytes;
+    counters_.transfers_h2d += 1;
+    counters_.measured_transfer_seconds += measured_seconds;
+    counters_.modeled_transfer_seconds += model_.seconds_for(bytes);
+  }
+  void record_d2h(usize bytes, double measured_seconds) {
+    counters_.bytes_d2h += bytes;
+    counters_.transfers_d2h += 1;
+    counters_.measured_transfer_seconds += measured_seconds;
+    counters_.modeled_transfer_seconds += model_.seconds_for(bytes);
+  }
+  void record_kernel(double seconds) {
+    counters_.kernel_seconds += seconds;
+    counters_.kernel_launches += 1;
+  }
+  void record_alloc(usize bytes) {
+    if (memory_limit_bytes_ != 0 &&
+        counters_.live_bytes + bytes > memory_limit_bytes_) {
+      throw DeviceOutOfMemory(bytes, counters_.live_bytes,
+                              memory_limit_bytes_);
+    }
+    counters_.live_bytes += bytes;
+    counters_.total_allocations += 1;
+    if (counters_.live_bytes > counters_.peak_bytes) {
+      counters_.peak_bytes = counters_.live_bytes;
+    }
+  }
+  void record_free(usize bytes) noexcept {
+    counters_.live_bytes = counters_.live_bytes >= bytes
+                               ? counters_.live_bytes - bytes
+                               : 0;
+  }
+
+ private:
+  ThreadPool pool_;
+  TransferModel model_;
+  DeviceCounters counters_;
+  usize memory_limit_bytes_ = 0;
+};
+
+/// Process-wide default device (lazy-constructed), like cudaSetDevice(0).
+DeviceContext& default_device();
+
+/// Device-resident array of trivially-copyable T.
+///
+/// Host code must not dereference device data directly in library code; use
+/// copy_to_host / copy_from_host (cudaMemcpy equivalents).  Kernels receive
+/// raw pointers via data().
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() noexcept : ctx_(nullptr) {}
+
+  /// "cudaMalloc": allocate n uninitialized elements on the device.
+  DeviceBuffer(DeviceContext& ctx, usize n)
+      : ctx_(&ctx), storage_(n, AlignedBuffer<T>::uninitialized) {
+    ctx_->record_alloc(storage_.size_bytes());
+  }
+
+  /// Allocate and upload in one step (cudaMalloc + cudaMemcpyHostToDevice).
+  DeviceBuffer(DeviceContext& ctx, std::span<const T> host)
+      : DeviceBuffer(ctx, host.size()) {
+    copy_from_host(host);
+  }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { release(); }
+
+  void swap(DeviceBuffer& other) noexcept {
+    std::swap(ctx_, other.ctx_);
+    storage_.swap(other.storage_);
+  }
+
+  /// cudaMemcpyHostToDevice.
+  void copy_from_host(std::span<const T> host) {
+    FASTSC_CHECK(host.size() == storage_.size(),
+                 "host span size must match device buffer size");
+    WallTimer t;
+    if (!host.empty()) {
+      std::memcpy(storage_.data(), host.data(), host.size_bytes());
+    }
+    ctx_->record_h2d(host.size_bytes(), t.seconds());
+  }
+
+  /// cudaMemcpyDeviceToHost.
+  void copy_to_host(std::span<T> host) const {
+    FASTSC_CHECK(host.size() == storage_.size(),
+                 "host span size must match device buffer size");
+    WallTimer t;
+    if (!host.empty()) {
+      std::memcpy(host.data(), storage_.data(), host.size_bytes());
+    }
+    ctx_->record_d2h(host.size_bytes(), t.seconds());
+  }
+
+  /// Convenience: download into a new host vector.
+  [[nodiscard]] std::vector<T> to_host() const {
+    std::vector<T> out(storage_.size());
+    copy_to_host(std::span<T>(out));
+    return out;
+  }
+
+  /// Device pointer (for kernels and device algorithms only).
+  [[nodiscard]] T* data() noexcept { return storage_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+  [[nodiscard]] usize size() const noexcept { return storage_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return storage_.empty(); }
+  [[nodiscard]] usize size_bytes() const noexcept {
+    return storage_.size_bytes();
+  }
+  [[nodiscard]] DeviceContext* context() const noexcept { return ctx_; }
+
+  [[nodiscard]] std::span<T> device_span() noexcept { return storage_.span(); }
+  [[nodiscard]] std::span<const T> device_span() const noexcept {
+    return storage_.span();
+  }
+
+ private:
+  void release() noexcept {
+    if (ctx_ != nullptr) ctx_->record_free(storage_.size_bytes());
+    ctx_ = nullptr;
+    storage_.reset();
+  }
+
+  DeviceContext* ctx_ = nullptr;
+  AlignedBuffer<T> storage_;
+};
+
+/// Kernel launch geometry, mirroring <<<grid, block>>>.
+struct LaunchConfig {
+  index_t block = 256;
+
+  /// Blocks needed to cover n logical threads.
+  [[nodiscard]] index_t grid_for(index_t n) const noexcept {
+    return (n + block - 1) / block;
+  }
+};
+
+/// Launch `kernel(i)` for every global thread id i in [0, n), blocking until
+/// completion (default-stream semantics).  Kernel wall time is metered.
+template <class Kernel>
+void launch(DeviceContext& ctx, index_t n, const Kernel& kernel,
+            LaunchConfig /*cfg*/ = {}) {
+  if (n <= 0) {
+    ctx.record_kernel(0.0);
+    return;
+  }
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  if (workers == 1) {
+    for (index_t i = 0; i < n; ++i) kernel(i);
+  } else {
+    const index_t chunk = (n + workers - 1) / workers;
+    std::function<void(usize)> job = [&](usize w) {
+      const index_t lo = static_cast<index_t>(w) * chunk;
+      const index_t hi = lo + chunk < n ? lo + chunk : n;
+      for (index_t i = lo; i < hi; ++i) kernel(i);
+    };
+    ctx.pool().run_workers(job);
+  }
+  ctx.record_kernel(t.seconds());
+}
+
+}  // namespace fastsc::device

@@ -1,0 +1,4 @@
+#include "device/transfer_model.h"
+
+// Header-only today; the translation unit anchors the header in the build so
+// ODR/interface changes are compile-checked even if no other TU includes it.

@@ -1,0 +1,32 @@
+// PCIe transfer cost model.
+//
+// The paper's platform (Table I) connects CPU and GPU over PCIe x16 Gen2
+// with a theoretical peak of 8 GB/s; Table VII reports the resulting
+// communication-vs-computation split.  Because this reproduction's "device"
+// shares host memory, actual copies are nearly free; the TransferModel
+// supplies the modeled PCIe time for every host<->device copy so the Table
+// VII accounting (and the PCIe ablation bench) can be reproduced.
+#pragma once
+
+#include "common/types.h"
+
+namespace fastsc::device {
+
+struct TransferModel {
+  /// Link bandwidth in bytes/second.  Default: 8 GB/s theoretical peak of
+  /// PCIe x16 Gen2 derated to a typical 75% achievable efficiency.
+  double bandwidth_bytes_per_sec = 8.0e9;
+  double efficiency = 0.75;
+
+  /// Fixed per-transfer latency (driver + DMA setup), seconds.
+  double latency_seconds = 10.0e-6;
+
+  /// Modeled seconds to move `bytes` across the link.
+  [[nodiscard]] double seconds_for(usize bytes) const noexcept {
+    return latency_seconds +
+           static_cast<double>(bytes) /
+               (bandwidth_bytes_per_sec * efficiency);
+  }
+};
+
+}  // namespace fastsc::device

@@ -1,0 +1,117 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sparse/convert.h"
+
+namespace fastsc::graph {
+
+index_t ComponentInfo::largest() const {
+  FASTSC_CHECK(count > 0, "no components in an empty graph");
+  return static_cast<index_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(index_t n) : parent_(static_cast<usize>(n)),
+                                     size_(static_cast<usize>(n), 1) {
+    for (index_t i = 0; i < n; ++i) parent_[static_cast<usize>(i)] = i;
+  }
+
+  index_t find(index_t x) {
+    while (parent_[static_cast<usize>(x)] != x) {
+      parent_[static_cast<usize>(x)] =
+          parent_[static_cast<usize>(parent_[static_cast<usize>(x)])];
+      x = parent_[static_cast<usize>(x)];
+    }
+    return x;
+  }
+
+  void unite(index_t a, index_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[static_cast<usize>(a)] < size_[static_cast<usize>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<usize>(b)] = a;
+    size_[static_cast<usize>(a)] += size_[static_cast<usize>(b)];
+  }
+
+ private:
+  std::vector<index_t> parent_;
+  std::vector<index_t> size_;
+};
+
+ComponentInfo label_from_sets(DisjointSets& sets, index_t n) {
+  ComponentInfo info;
+  info.component_of.assign(static_cast<usize>(n), -1);
+  std::vector<index_t> id_of_root(static_cast<usize>(n), -1);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t root = sets.find(v);
+    if (id_of_root[static_cast<usize>(root)] < 0) {
+      id_of_root[static_cast<usize>(root)] = info.count;
+      info.sizes.push_back(0);
+      ++info.count;
+    }
+    const index_t id = id_of_root[static_cast<usize>(root)];
+    info.component_of[static_cast<usize>(v)] = id;
+    info.sizes[static_cast<usize>(id)] += 1;
+  }
+  return info;
+}
+
+}  // namespace
+
+ComponentInfo connected_components(const sparse::Csr& w) {
+  FASTSC_CHECK(w.rows == w.cols, "components need a square matrix");
+  DisjointSets sets(w.rows);
+  for (index_t r = 0; r < w.rows; ++r) {
+    for (index_t p = w.row_ptr[static_cast<usize>(r)];
+         p < w.row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      if (w.values[static_cast<usize>(p)] != 0) {
+        sets.unite(r, w.col_idx[static_cast<usize>(p)]);
+      }
+    }
+  }
+  return label_from_sets(sets, w.rows);
+}
+
+ComponentInfo connected_components(const sparse::Coo& w) {
+  FASTSC_CHECK(w.rows == w.cols, "components need a square matrix");
+  DisjointSets sets(w.rows);
+  for (usize e = 0; e < w.values.size(); ++e) {
+    if (w.values[e] != 0) sets.unite(w.row_idx[e], w.col_idx[e]);
+  }
+  return label_from_sets(sets, w.rows);
+}
+
+sparse::Coo largest_component(const sparse::Coo& w,
+                              std::vector<index_t>& old_of_new) {
+  const ComponentInfo info = connected_components(w);
+  const index_t keep = info.largest();
+  std::vector<index_t> new_of_old(static_cast<usize>(w.rows), -1);
+  old_of_new.clear();
+  for (index_t v = 0; v < w.rows; ++v) {
+    if (info.component_of[static_cast<usize>(v)] == keep) {
+      new_of_old[static_cast<usize>(v)] =
+          static_cast<index_t>(old_of_new.size());
+      old_of_new.push_back(v);
+    }
+  }
+  sparse::Coo out(static_cast<index_t>(old_of_new.size()),
+                  static_cast<index_t>(old_of_new.size()));
+  for (usize e = 0; e < w.values.size(); ++e) {
+    const index_t u = new_of_old[static_cast<usize>(w.row_idx[e])];
+    const index_t v = new_of_old[static_cast<usize>(w.col_idx[e])];
+    if (u >= 0 && v >= 0) out.push(u, v, w.values[e]);
+  }
+  return out;
+}
+
+}  // namespace fastsc::graph

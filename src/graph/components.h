@@ -1,0 +1,40 @@
+// Connected components of an undirected graph.
+//
+// Spectral clustering is only well-posed per connected component: each
+// component contributes an eigenvalue-1 eigenvector of D^-1 W, so asking for
+// fewer clusters than components (or clustering a fragmented graph) produces
+// degenerate embeddings.  The pipeline and examples use this module to
+// detect and report fragmentation.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace fastsc::graph {
+
+struct ComponentInfo {
+  /// Component id per vertex, ids in [0, count) ordered by first vertex.
+  std::vector<index_t> component_of;
+  /// Number of components.
+  index_t count = 0;
+  /// Vertices per component.
+  std::vector<index_t> sizes;
+
+  /// Index of the largest component.
+  [[nodiscard]] index_t largest() const;
+};
+
+/// Label connected components (treats the matrix pattern as undirected —
+/// both (i,j) and (j,i) connect i and j).
+[[nodiscard]] ComponentInfo connected_components(const sparse::Csr& w);
+[[nodiscard]] ComponentInfo connected_components(const sparse::Coo& w);
+
+/// Extract the induced subgraph of the largest component; fills
+/// `old_of_new` with the surviving original vertex ids.
+[[nodiscard]] sparse::Coo largest_component(const sparse::Coo& w,
+                                            std::vector<index_t>& old_of_new);
+
+}  // namespace fastsc::graph

@@ -1,0 +1,89 @@
+#include "graph/grid_index.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fastsc::graph {
+
+GridIndex3D::GridIndex3D(const real* positions, index_t n, real cell_size)
+    : positions_(positions), n_(n), cell_size_(cell_size) {
+  FASTSC_CHECK(cell_size > 0, "cell size must be positive");
+  cells_.reserve(static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const auto c = cell_of(i);
+    cells_[key_of(c[0], c[1], c[2])].push_back(i);
+  }
+}
+
+std::array<std::int64_t, 3> GridIndex3D::cell_of(index_t i) const {
+  const real* p = positions_ + i * 3;
+  return {static_cast<std::int64_t>(std::floor(p[0] / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p[1] / cell_size_)),
+          static_cast<std::int64_t>(std::floor(p[2] / cell_size_))};
+}
+
+GridIndex3D::CellKey GridIndex3D::key_of(std::int64_t cx, std::int64_t cy,
+                                         std::int64_t cz) {
+  // Pack 21 bits per axis with offset; fine for |cell index| < 2^20.
+  const auto ux = static_cast<std::uint64_t>(cx + (1 << 20));
+  const auto uy = static_cast<std::uint64_t>(cy + (1 << 20));
+  const auto uz = static_cast<std::uint64_t>(cz + (1 << 20));
+  return (ux << 42) | (uy << 21) | uz;
+}
+
+EdgeList GridIndex3D::epsilon_pairs(real eps) const {
+  FASTSC_CHECK(eps <= cell_size_,
+               "epsilon_pairs requires eps <= cell size (build the index "
+               "with cell_size >= eps)");
+  const real eps2 = eps * eps;
+  EdgeList edges;
+  for (index_t i = 0; i < n_; ++i) {
+    const real* pi = positions_ + i * 3;
+    const auto c = cell_of(i);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dz = -1; dz <= 1; ++dz) {
+          const auto it = cells_.find(key_of(c[0] + dx, c[1] + dy, c[2] + dz));
+          if (it == cells_.end()) continue;
+          for (index_t j : it->second) {
+            if (j <= i) continue;  // emit each unordered pair once
+            const real* pj = positions_ + j * 3;
+            const real d0 = pi[0] - pj[0];
+            const real d1 = pi[1] - pj[1];
+            const real d2 = pi[2] - pj[2];
+            if (d0 * d0 + d1 * d1 + d2 * d2 <= eps2) edges.push(i, j);
+          }
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+std::vector<index_t> GridIndex3D::neighbors_of(index_t i, real eps) const {
+  FASTSC_CHECK(eps <= cell_size_, "neighbors_of requires eps <= cell size");
+  const real eps2 = eps * eps;
+  std::vector<index_t> out;
+  const real* pi = positions_ + i * 3;
+  const auto c = cell_of(i);
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dz = -1; dz <= 1; ++dz) {
+        const auto it = cells_.find(key_of(c[0] + dx, c[1] + dy, c[2] + dz));
+        if (it == cells_.end()) continue;
+        for (index_t j : it->second) {
+          if (j == i) continue;
+          const real* pj = positions_ + j * 3;
+          const real d0 = pi[0] - pj[0];
+          const real d1 = pi[1] - pj[1];
+          const real d2 = pi[2] - pj[2];
+          if (d0 * d0 + d1 * d1 + d2 * d2 <= eps2) out.push_back(j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fastsc::graph

@@ -1,0 +1,58 @@
+// Uniform-grid spatial index for epsilon-neighbourhood queries in R^3.
+//
+// The paper's DTI workload arrives with a precomputed edge list of voxel
+// pairs within 4 mm; this index is the substrate that *produces* such edge
+// lists from point coordinates (DESIGN.md substitution table).  Cells have
+// side >= eps so each query only visits the 27 surrounding cells.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::graph {
+
+/// Undirected edge list in struct-of-arrays form (the paper's E array).
+struct EdgeList {
+  std::vector<index_t> u;
+  std::vector<index_t> v;
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(u.size());
+  }
+  void push(index_t a, index_t b) {
+    u.push_back(a);
+    v.push_back(b);
+  }
+};
+
+class GridIndex3D {
+ public:
+  /// positions: row-major n x 3.
+  GridIndex3D(const real* positions, index_t n, real cell_size);
+
+  /// All unordered pairs (i < j) within Euclidean distance <= eps.
+  /// Requires eps <= cell_size.
+  [[nodiscard]] EdgeList epsilon_pairs(real eps) const;
+
+  /// Indices of points within distance <= eps of point i (excluding i).
+  [[nodiscard]] std::vector<index_t> neighbors_of(index_t i, real eps) const;
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+
+ private:
+  using CellKey = std::uint64_t;
+
+  [[nodiscard]] std::array<std::int64_t, 3> cell_of(index_t i) const;
+  [[nodiscard]] static CellKey key_of(std::int64_t cx, std::int64_t cy,
+                                      std::int64_t cz);
+
+  const real* positions_;
+  index_t n_;
+  real cell_size_;
+  std::unordered_map<CellKey, std::vector<index_t>> cells_;
+};
+
+}  // namespace fastsc::graph

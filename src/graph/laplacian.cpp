@@ -1,0 +1,169 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "device/algorithms.h"
+#include "sparse/convert.h"
+
+namespace fastsc::graph {
+
+std::vector<real> degrees(const sparse::Coo& w) {
+  std::vector<real> d(static_cast<usize>(w.rows), 0.0);
+  for (usize e = 0; e < w.values.size(); ++e) {
+    d[static_cast<usize>(w.row_idx[e])] += w.values[e];
+  }
+  return d;
+}
+
+sparse::Csr normalized_rw_host(const sparse::Coo& w) {
+  FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  const std::vector<real> d = degrees(w);
+  for (real di : d) {
+    FASTSC_CHECK(di > 0,
+                 "zero-degree vertex: remove isolated nodes before "
+                 "normalizing (paper §IV.B)");
+  }
+  sparse::Coo scaled = w;
+  for (usize e = 0; e < scaled.values.size(); ++e) {
+    scaled.values[e] /= d[static_cast<usize>(scaled.row_idx[e])];
+  }
+  return sparse::coo_to_csr(scaled);
+}
+
+sparse::Csr unnormalized_laplacian(const sparse::Coo& w) {
+  FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  const std::vector<real> d = degrees(w);
+  sparse::Coo l(w.rows, w.cols);
+  l.reserve(w.nnz() + w.rows);
+  for (index_t i = 0; i < w.rows; ++i) {
+    l.push(i, i, d[static_cast<usize>(i)]);
+  }
+  for (usize e = 0; e < w.values.size(); ++e) {
+    l.push(w.row_idx[e], w.col_idx[e], -w.values[e]);
+  }
+  sparse::sort_and_merge(l);
+  return sparse::coo_to_csr(l);
+}
+
+sparse::Csr sym_normalized_laplacian(const sparse::Coo& w) {
+  FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  const std::vector<real> d = degrees(w);
+  for (real di : d) {
+    FASTSC_CHECK(di > 0, "zero-degree vertex in sym_normalized_laplacian");
+  }
+  sparse::Coo l(w.rows, w.cols);
+  l.reserve(w.nnz() + w.rows);
+  for (index_t i = 0; i < w.rows; ++i) l.push(i, i, 1.0);
+  for (usize e = 0; e < w.values.size(); ++e) {
+    const real scale = std::sqrt(d[static_cast<usize>(w.row_idx[e])] *
+                                 d[static_cast<usize>(w.col_idx[e])]);
+    l.push(w.row_idx[e], w.col_idx[e], -w.values[e] / scale);
+  }
+  sparse::sort_and_merge(l);
+  return sparse::coo_to_csr(l);
+}
+
+sparse::DeviceCsr normalized_rw_device(device::DeviceContext& ctx,
+                                       sparse::DeviceCoo& w) {
+  FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  const index_t n = w.rows;
+  const index_t nnz = w.nnz();
+
+  // The paper's Algorithm 2 performs the degree SpMV with cusparseDcsrmv,
+  // which needs a CSR view of W first: sort the COO by (row, col) and
+  // compress.
+  sparse::device_sort_coo(ctx, w);
+  sparse::DeviceCsr w_csr;
+  sparse::device_coo2csr(ctx, w, w_csr);
+
+  // Step 1-2: ones vector, y = W * 1 (y_i = d_ii).
+  device::DeviceBuffer<real> ones(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> y(ctx, static_cast<usize>(n));
+  device::fill(ctx, ones.data(), n, real{1});
+  sparse::device_csrmv(ctx, w_csr, ones.data(), y.data());
+
+  // Degree positivity check (downloads n doubles; one-off).
+  {
+    const std::vector<real> yh = y.to_host();
+    for (real di : yh) {
+      FASTSC_CHECK(di > 0,
+                   "zero-degree vertex: remove isolated nodes before "
+                   "normalizing (paper §IV.B)");
+    }
+  }
+
+  // Step 3: ScaleElements — thread e scales COO entry e by 1 / y[row].
+  const index_t* rows = w.row_idx.data();
+  real* vals = w.values.data();
+  const real* yp = y.data();
+  device::launch(ctx, nnz, [=](index_t e) { vals[e] /= yp[rows[e]]; });
+
+  // Step 4-5: compress row indices -> CSR of D^-1 W.
+  sparse::DeviceCsr out;
+  sparse::device_coo2csr(ctx, w, out);
+  return out;
+}
+
+sparse::Csr sym_normalized_host(const sparse::Coo& w,
+                                std::vector<real>& inv_sqrt_degree) {
+  FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  const std::vector<real> d = degrees(w);
+  inv_sqrt_degree.assign(static_cast<usize>(w.rows), 0.0);
+  for (usize i = 0; i < d.size(); ++i) {
+    FASTSC_CHECK(d[i] > 0,
+                 "zero-degree vertex: remove isolated nodes before "
+                 "normalizing (paper §IV.B)");
+    inv_sqrt_degree[i] = 1.0 / std::sqrt(d[i]);
+  }
+  sparse::Coo scaled = w;
+  for (usize e = 0; e < scaled.values.size(); ++e) {
+    scaled.values[e] *= inv_sqrt_degree[static_cast<usize>(scaled.row_idx[e])] *
+                        inv_sqrt_degree[static_cast<usize>(scaled.col_idx[e])];
+  }
+  return sparse::coo_to_csr(scaled);
+}
+
+sparse::DeviceCsr sym_normalized_device(
+    device::DeviceContext& ctx, sparse::DeviceCoo& w,
+    device::DeviceBuffer<real>& inv_sqrt_degree) {
+  FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  const index_t n = w.rows;
+  const index_t nnz = w.nnz();
+
+  sparse::device_sort_coo(ctx, w);
+  sparse::DeviceCsr w_csr;
+  sparse::device_coo2csr(ctx, w, w_csr);
+
+  device::DeviceBuffer<real> ones(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> y(ctx, static_cast<usize>(n));
+  device::fill(ctx, ones.data(), n, real{1});
+  sparse::device_csrmv(ctx, w_csr, ones.data(), y.data());
+
+  {
+    const std::vector<real> yh = y.to_host();
+    for (real di : yh) {
+      FASTSC_CHECK(di > 0,
+                   "zero-degree vertex: remove isolated nodes before "
+                   "normalizing (paper §IV.B)");
+    }
+  }
+
+  inv_sqrt_degree = device::DeviceBuffer<real>(ctx, static_cast<usize>(n));
+  real* isd = inv_sqrt_degree.data();
+  const real* yp = y.data();
+  device::launch(ctx, n, [=](index_t i) { isd[i] = 1.0 / std::sqrt(yp[i]); });
+
+  // ScaleElements: thread e scales entry e by isd[row] * isd[col].
+  const index_t* rows = w.row_idx.data();
+  const index_t* cols = w.col_idx.data();
+  real* vals = w.values.data();
+  device::launch(ctx, nnz,
+                 [=](index_t e) { vals[e] *= isd[rows[e]] * isd[cols[e]]; });
+
+  sparse::DeviceCsr out;
+  sparse::device_coo2csr(ctx, w, out);
+  return out;
+}
+
+}  // namespace fastsc::graph

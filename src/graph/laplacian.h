@@ -1,0 +1,55 @@
+// Graph Laplacians (paper §II Step 2 and §IV.B, Algorithm 2).
+//
+// The pipeline's eigenproblem is on the random-walk operator P = D^-1 W:
+// its largest-algebraic eigenvectors equal the smallest eigenvectors of the
+// normalized Laplacian Ln = I - D^-1 W (the paper computes the largest of
+// D^-1 W for numerical stability).  The device path follows Algorithm 2:
+// degrees via SpMV with a ones vector, a ScaleElements kernel over the COO
+// entries, then coo2csr.
+#pragma once
+
+#include "device/device.h"
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+#include "sparse/spmv.h"
+
+namespace fastsc::graph {
+
+/// Weighted degree vector d_i = sum_j W_ij from COO.
+[[nodiscard]] std::vector<real> degrees(const sparse::Coo& w);
+
+/// Host: random-walk normalized operator P = D^-1 W as CSR.
+/// Throws if any degree is <= 0 (remove isolated nodes first).
+[[nodiscard]] sparse::Csr normalized_rw_host(const sparse::Coo& w);
+
+/// Host: unnormalized Laplacian L = D - W as CSR.
+[[nodiscard]] sparse::Csr unnormalized_laplacian(const sparse::Coo& w);
+
+/// Host: symmetric normalized Laplacian Lsym = I - D^-1/2 W D^-1/2 as CSR.
+[[nodiscard]] sparse::Csr sym_normalized_laplacian(const sparse::Coo& w);
+
+/// Device (Algorithm 2): from a device COO W (row-sorted), produce the CSR
+/// of D^-1 W on the device.  Steps: ones vector; y = W * 1 via csrmv;
+/// ScaleElements kernel (each thread scales one COO entry by 1/y_row);
+/// cusparseXcoo2csr.  Throws if a zero degree is found.
+[[nodiscard]] sparse::DeviceCsr normalized_rw_device(device::DeviceContext& ctx,
+                                                     sparse::DeviceCoo& w);
+
+/// Host: the symmetric operator S = D^-1/2 W D^-1/2.
+///
+/// D^-1 W itself is similar to S (S = D^1/2 (D^-1 W) D^-1/2), so the two
+/// share eigenvalues and their eigenvectors map as v_rw = D^-1/2 u_sym.
+/// The symmetric Lanczos iteration requires a symmetric operand, so the
+/// pipeline's eigensolver stage runs on S and back-maps the eigenvectors —
+/// numerically equivalent to the paper's "largest eigenvectors of D^-1 W"
+/// formulation (§IV.B).  Fills `inv_sqrt_degree` with 1/sqrt(d_i).
+[[nodiscard]] sparse::Csr sym_normalized_host(
+    const sparse::Coo& w, std::vector<real>& inv_sqrt_degree);
+
+/// Device variant of sym_normalized_host: Algorithm 2 with the ScaleElements
+/// kernel scaling each COO entry by 1/sqrt(y_row * y_col).
+[[nodiscard]] sparse::DeviceCsr sym_normalized_device(
+    device::DeviceContext& ctx, sparse::DeviceCoo& w,
+    device::DeviceBuffer<real>& inv_sqrt_degree);
+
+}  // namespace fastsc::graph

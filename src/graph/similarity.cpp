@@ -1,0 +1,99 @@
+#include "graph/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fastsc::graph {
+
+SimilarityMeasure parse_measure(std::string_view name) {
+  if (name == "cosine") return SimilarityMeasure::kCosine;
+  if (name == "crosscorr") return SimilarityMeasure::kCrossCorrelation;
+  if (name == "expdecay") return SimilarityMeasure::kExpDecay;
+  FASTSC_CHECK(false, "unknown similarity measure: " + std::string(name));
+  return SimilarityMeasure::kCosine;  // unreachable
+}
+
+std::string measure_name(SimilarityMeasure m) {
+  switch (m) {
+    case SimilarityMeasure::kCosine: return "cosine";
+    case SimilarityMeasure::kCrossCorrelation: return "crosscorr";
+    case SimilarityMeasure::kExpDecay: return "expdecay";
+  }
+  return "?";
+}
+
+namespace {
+
+real dot(const real* a, const real* b, index_t d) {
+  real acc = 0;
+  for (index_t l = 0; l < d; ++l) acc += a[l] * b[l];
+  return acc;
+}
+
+real norm(const real* a, index_t d) { return std::sqrt(dot(a, a, d)); }
+
+}  // namespace
+
+real similarity_direct(const real* xi, const real* xj, index_t d,
+                       const SimilarityParams& params) {
+  switch (params.measure) {
+    case SimilarityMeasure::kCosine: {
+      const real ni = norm(xi, d);
+      const real nj = norm(xj, d);
+      if (ni == 0 || nj == 0) return 0;
+      return dot(xi, xj, d) / (ni * nj);
+    }
+    case SimilarityMeasure::kCrossCorrelation: {
+      // Recompute means and centered norms per call — deliberately the
+      // redundant form a scripting-language loop executes.
+      real mi = 0, mj = 0;
+      for (index_t l = 0; l < d; ++l) {
+        mi += xi[l];
+        mj += xj[l];
+      }
+      mi /= static_cast<real>(d);
+      mj /= static_cast<real>(d);
+      real num = 0, di = 0, dj = 0;
+      for (index_t l = 0; l < d; ++l) {
+        const real a = xi[l] - mi;
+        const real b = xj[l] - mj;
+        num += a * b;
+        di += a * a;
+        dj += b * b;
+      }
+      if (di == 0 || dj == 0) return 0;
+      return num / std::sqrt(di * dj);
+    }
+    case SimilarityMeasure::kExpDecay: {
+      real dist2 = 0;
+      for (index_t l = 0; l < d; ++l) {
+        const real delta = xi[l] - xj[l];
+        dist2 += delta * delta;
+      }
+      return std::exp(-dist2 / (2.0 * params.sigma * params.sigma));
+    }
+  }
+  return 0;
+}
+
+real similarity_precomputed(const real* ci, const real* cj, real ni, real nj,
+                            index_t d, const SimilarityParams& params) {
+  switch (params.measure) {
+    case SimilarityMeasure::kCosine:
+    case SimilarityMeasure::kCrossCorrelation: {
+      if (ni == 0 || nj == 0) return 0;
+      return dot(ci, cj, d) / (ni * nj);
+    }
+    case SimilarityMeasure::kExpDecay: {
+      // ||a-b||^2 = ||a||^2 + ||b||^2 - 2 <a,b>
+      const real dist2 = ni * ni + nj * nj - 2.0 * dot(ci, cj, d);
+      return std::exp(-std::max<real>(dist2, 0) /
+                      (2.0 * params.sigma * params.sigma));
+    }
+  }
+  return 0;
+}
+
+}  // namespace fastsc::graph

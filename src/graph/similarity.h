@@ -1,0 +1,47 @@
+// Similarity measures between data points (paper §IV.A, Eq. 6-8).
+//
+// Three measures are supported, matching the paper: cosine similarity,
+// cross-correlation (cosine of mean-centered vectors — the measure used for
+// the DTI workload), and the exponential-decay (Gaussian/RBF) kernel.  The
+// paper's Eq. 8 prints the exponent with a positive sign; that is a typo for
+// the standard RBF kernel exp(-||xi-xj||^2 / (2 sigma^2)), which we use.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace fastsc::graph {
+
+enum class SimilarityMeasure {
+  kCosine,
+  kCrossCorrelation,
+  kExpDecay,
+};
+
+struct SimilarityParams {
+  SimilarityMeasure measure = SimilarityMeasure::kCrossCorrelation;
+  real sigma = 1.0;  ///< RBF bandwidth (kExpDecay only)
+};
+
+/// Parse "cosine" / "crosscorr" / "expdecay"; throws on anything else.
+[[nodiscard]] SimilarityMeasure parse_measure(std::string_view name);
+[[nodiscard]] std::string measure_name(SimilarityMeasure m);
+
+/// Direct (no precomputation) similarity between two d-vectors.  This is the
+/// form a naive per-edge loop computes: cross-correlation re-derives both
+/// means and both norms on every call (O(d) redundant work per edge), which
+/// is exactly what the Matlab/Python loop baselines in the paper do.
+[[nodiscard]] real similarity_direct(const real* xi, const real* xj, index_t d,
+                                     const SimilarityParams& params);
+
+/// Similarity from precomputed statistics: `ci`/`cj` point to mean-centered
+/// rows (cross-correlation) or raw rows (cosine / RBF); `ni`/`nj` are their
+/// Euclidean norms.  One O(d) dot product per edge — the vectorized /
+/// device fast path of Algorithm 1.
+[[nodiscard]] real similarity_precomputed(const real* ci, const real* cj,
+                                          real ni, real nj, index_t d,
+                                          const SimilarityParams& params);
+
+}  // namespace fastsc::graph

@@ -1,0 +1,309 @@
+#include "kmeans/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "blas/dblas.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/validation.h"
+#include "device/algorithms.h"
+#include "kmeans/seeding.h"
+
+namespace fastsc::kmeans {
+
+namespace {
+
+/// Empty-cluster repair: re-seed each empty centroid at the point currently
+/// farthest from its assigned centroid (classic farthest-point heuristic).
+/// Host-side over the downloaded per-point min distances — k and the number
+/// of empties are small relative to n.
+void repair_empty_clusters(std::vector<real>& centroids,
+                           const std::vector<index_t>& counts,
+                           const std::vector<real>& host_v,
+                           std::vector<real> min_dist, index_t n, index_t d) {
+  const index_t k = static_cast<index_t>(counts.size());
+  for (index_t c = 0; c < k; ++c) {
+    if (counts[static_cast<usize>(c)] != 0) continue;
+    index_t far = 0;
+    real best = -1;
+    for (index_t j = 0; j < n; ++j) {
+      if (min_dist[static_cast<usize>(j)] > best) {
+        best = min_dist[static_cast<usize>(j)];
+        far = j;
+      }
+    }
+    std::copy(host_v.begin() + far * d, host_v.begin() + (far + 1) * d,
+              centroids.begin() + c * d);
+    min_dist[static_cast<usize>(far)] = -1;  // don't reuse for another empty
+  }
+}
+
+}  // namespace
+
+namespace {
+KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
+                                  index_t n, index_t d,
+                                  const KmeansConfig& config);
+}  // namespace
+
+KmeansResult kmeans_device(device::DeviceContext& ctx, const real* v, index_t n,
+                           index_t d, const KmeansConfig& config) {
+  FASTSC_CHECK(config.restarts >= 1, "restarts must be positive");
+  KmeansResult best;
+  for (index_t r = 0; r < config.restarts; ++r) {
+    KmeansConfig cfg = config;
+    cfg.seed = config.seed + static_cast<std::uint64_t>(r) * 0x9e3779b9ULL;
+    KmeansResult candidate = kmeans_device_single(ctx, v, n, d, cfg);
+    if (r == 0 || candidate.objective < best.objective) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+namespace {
+KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
+                                  index_t n, index_t d,
+                                  const KmeansConfig& config) {
+  FASTSC_CHECK(n >= 1 && d >= 1, "data must be nonempty");
+  FASTSC_CHECK(config.k >= 1 && config.k <= n, "k must be in [1, n]");
+  check_finite({v, static_cast<usize>(n) * static_cast<usize>(d)},
+               "k-means input data");
+  const index_t k = config.k;
+  Rng rng(config.seed);
+
+  // Algorithm 4 step 1: transfer V to the device.
+  device::DeviceBuffer<real> dev_v(
+      ctx,
+      std::span<const real>(v, static_cast<usize>(n) * static_cast<usize>(d)));
+
+  // Step 2: seeding.
+  std::vector<index_t> seed_rows;
+  if (config.seeding == Seeding::kKmeansPlusPlus) {
+    seed_rows = kmeanspp_seeds_device(ctx, dev_v.data(), n, d, k, rng);
+  } else {
+    seed_rows = random_seeds_host(n, k, rng);
+  }
+  std::vector<real> centroids(static_cast<usize>(k) * static_cast<usize>(d));
+  const std::vector<real> host_v(
+      v, v + static_cast<usize>(n) * static_cast<usize>(d));
+  for (index_t c = 0; c < k; ++c) {
+    std::copy(host_v.begin() + seed_rows[static_cast<usize>(c)] * d,
+              host_v.begin() + (seed_rows[static_cast<usize>(c)] + 1) * d,
+              centroids.begin() + c * d);
+  }
+
+  device::DeviceBuffer<real> dev_c(ctx, std::span<const real>(centroids));
+  device::DeviceBuffer<real> dev_s(
+      ctx, static_cast<usize>(n) * static_cast<usize>(k));
+  device::DeviceBuffer<real> dev_vnorm(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_cnorm(ctx, static_cast<usize>(k));
+  device::DeviceBuffer<index_t> dev_labels(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_mindist(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<index_t> dev_changed(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<index_t> sort_keys(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<index_t> sort_vals(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_newc(
+      ctx, static_cast<usize>(k) * static_cast<usize>(d));
+  device::DeviceBuffer<index_t> seg_offsets(ctx, static_cast<usize>(k) + 1);
+
+  device::fill(ctx, dev_labels.data(), n, index_t{-1});
+  dblas::row_squared_norms(ctx, n, d, dev_v.data(), d, dev_vnorm.data());
+
+  KmeansResult result;
+  result.labels.assign(static_cast<usize>(n), -1);
+
+  real* sp = dev_s.data();
+  const real* vnorm = dev_vnorm.data();
+  const real* cnorm = dev_cnorm.data();
+  index_t* labels = dev_labels.data();
+  real* mind = dev_mindist.data();
+  index_t* changed = dev_changed.data();
+
+  index_t iter = 0;
+  for (; iter < config.max_iters; ++iter) {
+    // --- pairwise distances: S_ij = Vnorm_i + Cnorm_j - 2 <v_i, c_j> -------
+    dblas::row_squared_norms(ctx, k, d, dev_c.data(), d, dev_cnorm.data());
+    device::launch(ctx, n * k, [=](index_t t) {
+      const index_t i = t / k;
+      const index_t j = t % k;
+      sp[t] = vnorm[i] + cnorm[j];
+    });
+    dblas::gemm_nt(ctx, n, k, d, -2.0, dev_v.data(), d, dev_c.data(), d, 1.0,
+                   dev_s.data(), k);
+
+    // --- label update: argmin over each row of S ---------------------------
+    device::launch(ctx, n, [=](index_t i) {
+      const real* row = sp + i * k;
+      index_t best = 0;
+      real best_val = row[0];
+      for (index_t j = 1; j < k; ++j) {
+        if (row[j] < best_val) {
+          best_val = row[j];
+          best = j;
+        }
+      }
+      changed[i] = (labels[i] != best) ? 1 : 0;
+      labels[i] = best;
+      mind[i] = best_val;
+    });
+    const index_t num_changed =
+        device::reduce_sum(ctx, dev_changed.data(), n);
+
+    // --- centroid update -----------------------------------------------------
+    std::vector<index_t> counts(static_cast<usize>(k), 0);
+    if (config.centroid_update == CentroidUpdate::kSortByLabel) {
+      // The paper's scheme: sort point ids by label, segmented means.
+      device::transform(ctx, dev_labels.data(), sort_keys.data(), n,
+                        [](index_t l) { return l; });
+      device::sequence(ctx, sort_vals.data(), n, index_t{0});
+      device::sort_by_key(ctx, sort_keys.data(), sort_vals.data(), n);
+
+      // Segment offsets: first occurrence of each label via binary search.
+      const index_t* skeys = sort_keys.data();
+      index_t* soff = seg_offsets.data();
+      const index_t nn = n;
+      device::launch(ctx, k + 1, [=](index_t c) {
+        index_t lo = 0, hi = nn;
+        while (lo < hi) {
+          const index_t mid = lo + (hi - lo) / 2;
+          if (skeys[mid] < c) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        soff[c] = lo;
+      });
+
+      // One thread per cluster accumulates its consecutive segment.
+      const index_t* svals = sort_vals.data();
+      const real* vp = dev_v.data();
+      real* newc = dev_newc.data();
+      const real* oldc = dev_c.data();
+      const index_t dd = d;
+      device::launch(ctx, k, [=](index_t c) {
+        const index_t lo = soff[c];
+        const index_t hi = soff[c + 1];
+        real* out = newc + c * dd;
+        if (lo == hi) {
+          // Empty cluster: keep the previous centroid (repaired below).
+          for (index_t l = 0; l < dd; ++l) out[l] = oldc[c * dd + l];
+          return;
+        }
+        for (index_t l = 0; l < dd; ++l) out[l] = 0;
+        for (index_t p = lo; p < hi; ++p) {
+          const real* row = vp + svals[p] * dd;
+          for (index_t l = 0; l < dd; ++l) out[l] += row[l];
+        }
+        const real inv = 1.0 / static_cast<real>(hi - lo);
+        for (index_t l = 0; l < dd; ++l) out[l] *= inv;
+      });
+      const std::vector<index_t> off = seg_offsets.to_host();
+      for (index_t c = 0; c < k; ++c) {
+        counts[static_cast<usize>(c)] =
+            off[static_cast<usize>(c) + 1] - off[static_cast<usize>(c)];
+      }
+    } else {
+      // Direct accumulation: per-worker partial (sum, count) over a
+      // point-parallel sweep, folded cluster-parallel.  Deterministic
+      // (fixed chunk boundaries), no sort.
+      const auto workers =
+          static_cast<index_t>(ctx.pool().worker_count());
+      std::vector<real> part_sums(
+          static_cast<usize>(workers) * static_cast<usize>(k) *
+              static_cast<usize>(d),
+          0.0);
+      std::vector<index_t> part_counts(
+          static_cast<usize>(workers) * static_cast<usize>(k), 0);
+      const real* vp = dev_v.data();
+      const index_t* lab = dev_labels.data();
+      const index_t dd = d;
+      const index_t kk = k;
+      {
+        WallTimer t;
+        const index_t chunk = (n + workers - 1) / workers;
+        std::function<void(usize)> job = [&](usize w) {
+          const index_t lo = static_cast<index_t>(w) * chunk;
+          const index_t hi = lo + chunk < n ? lo + chunk : n;
+          real* sums = part_sums.data() +
+                       static_cast<index_t>(w) * kk * dd;
+          index_t* cnts = part_counts.data() + static_cast<index_t>(w) * kk;
+          for (index_t i = lo; i < hi; ++i) {
+            const index_t c = lab[i];
+            cnts[c] += 1;
+            const real* row = vp + i * dd;
+            real* sum = sums + c * dd;
+            for (index_t l = 0; l < dd; ++l) sum[l] += row[l];
+          }
+        };
+        if (workers == 1) {
+          job(0);
+        } else {
+          ctx.pool().run_workers(job);
+        }
+        ctx.record_kernel(t.seconds());
+      }
+      real* newc = dev_newc.data();
+      const real* oldc = dev_c.data();
+      device::launch(ctx, k, [&part_sums, &part_counts, newc, oldc, workers,
+                              kk, dd](index_t c) {
+        real* out = newc + c * dd;
+        for (index_t l = 0; l < dd; ++l) out[l] = 0;
+        index_t count = 0;
+        for (index_t w = 0; w < workers; ++w) {
+          count += part_counts[static_cast<usize>(w * kk + c)];
+          const real* sum =
+              part_sums.data() + (w * kk + c) * dd;
+          for (index_t l = 0; l < dd; ++l) out[l] += sum[l];
+        }
+        if (count == 0) {
+          for (index_t l = 0; l < dd; ++l) out[l] = oldc[c * dd + l];
+          return;
+        }
+        const real inv = 1.0 / static_cast<real>(count);
+        for (index_t l = 0; l < dd; ++l) out[l] *= inv;
+      });
+      for (index_t c = 0; c < k; ++c) {
+        index_t count = 0;
+        for (index_t w = 0; w < workers; ++w) {
+          count += part_counts[static_cast<usize>(w * k + c)];
+        }
+        counts[static_cast<usize>(c)] = count;
+      }
+    }
+    dblas::copy(ctx, k * d, dev_newc.data(), dev_c.data());
+
+    // Empty-cluster repair (host side, rare path).
+    {
+      bool any_empty = false;
+      for (index_t c = 0; c < k; ++c) {
+        if (counts[static_cast<usize>(c)] == 0) any_empty = true;
+      }
+      if (any_empty) {
+        std::vector<real> cent = dev_c.to_host();
+        repair_empty_clusters(cent, counts, host_v, dev_mindist.to_host(), n,
+                              d);
+        dev_c.copy_from_host(std::span<const real>(cent));
+      }
+    }
+
+    if (num_changed == 0) {
+      result.converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  result.iterations = iter;
+  result.objective = device::reduce_sum(ctx, dev_mindist.data(), n);
+  // Algorithm 4 step 4: transfer the labels back to the host.
+  result.labels = dev_labels.to_host();
+  result.centroids = dev_c.to_host();
+  return result;
+}
+}  // namespace
+
+}  // namespace fastsc::kmeans

@@ -1,0 +1,60 @@
+// Parallel k-means on the (simulated) device — the paper's Algorithm 4.
+//
+// The distance matrix is never formed point-by-point: following Eq. 11-16,
+// S_ij = ||v_i||^2 + ||c_j||^2 - 2 <v_i, c_j> is assembled from two squared-
+// norm vectors plus one level-3 BLAS product (dblas::gemm_nt), which is the
+// paper's main source of k-means speedup.  Labels update with an argmin
+// kernel; centroids update by sorting point indices by label and having
+// each thread reduce a consecutive segment (paper §IV.C).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "device/device.h"
+
+namespace fastsc::kmeans {
+
+enum class Seeding {
+  kRandom,          ///< uniform sample of k points (Matlab-style default)
+  kKmeansPlusPlus,  ///< D^2-weighted seeding (Algorithm 5)
+};
+
+/// Centroid-update strategy for the device k-means.
+enum class CentroidUpdate {
+  /// The paper's §IV.C scheme: sort point indices by label, then one thread
+  /// per cluster reduces its consecutive segment.
+  kSortByLabel,
+  /// Per-worker partial sums over a point-parallel sweep, folded by a
+  /// cluster-parallel reduction (no sort; the GPU-atomics-free alternative).
+  kDirectAccumulate,
+};
+
+struct KmeansConfig {
+  index_t k = 2;
+  index_t max_iters = 300;
+  Seeding seeding = Seeding::kKmeansPlusPlus;
+  CentroidUpdate centroid_update = CentroidUpdate::kSortByLabel;
+  /// Independent runs with different seeds; the best objective wins
+  /// (sklearn's n_init; Matlab's "replicates").
+  index_t restarts = 1;
+  std::uint64_t seed = 42;
+};
+
+struct KmeansResult {
+  std::vector<index_t> labels;    ///< length n
+  std::vector<real> centroids;    ///< k x d row-major
+  index_t iterations = 0;
+  real objective = 0;             ///< sum of squared point-centroid distances
+  bool converged = false;         ///< true if labels stabilized before max_iters
+};
+
+/// Device k-means.  `v` is the host-resident n x d row-major data (the rows
+/// of the eigenvector matrix in the pipeline); it is transferred to the
+/// device, clustered, and the labels transferred back (Algorithm 4 steps 1
+/// and 4).
+[[nodiscard]] KmeansResult kmeans_device(device::DeviceContext& ctx,
+                                         const real* v, index_t n, index_t d,
+                                         const KmeansConfig& config);
+
+}  // namespace fastsc::kmeans

@@ -1,0 +1,25 @@
+// Host Lloyd's k-means — the scripting-environment comparator.
+//
+// Models how Matlab's `kmeans` and scikit-learn execute on CPU: per-point /
+// per-centroid distance loops (no level-3 BLAS reformulation).  Combined
+// with `Seeding::kRandom` this is the Matlab-like configuration (more
+// iterations, §V.C); with `Seeding::kKmeansPlusPlus` the Python-like one.
+#pragma once
+
+#include "kmeans/kmeans.h"
+
+namespace fastsc::kmeans {
+
+/// Serial Lloyd iterations with naive O(n k d) distance computation.
+[[nodiscard]] KmeansResult kmeans_lloyd_host(const real* v, index_t n,
+                                             index_t d,
+                                             const KmeansConfig& config);
+
+/// Sum of squared distances of each point to its assigned centroid
+/// (the k-means objective; shared by tests and ablation benches).
+[[nodiscard]] real kmeans_objective(const real* v, index_t n, index_t d,
+                                    const std::vector<index_t>& labels,
+                                    const std::vector<real>& centroids,
+                                    index_t k);
+
+}  // namespace fastsc::kmeans

@@ -1,0 +1,151 @@
+#include "kmeans/seeding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "device/algorithms.h"
+
+namespace fastsc::kmeans {
+
+namespace {
+
+real sq_dist(const real* a, const real* b, index_t d) {
+  real acc = 0;
+  for (index_t l = 0; l < d; ++l) {
+    const real delta = a[l] - b[l];
+    acc += delta * delta;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<index_t> random_seeds_host(index_t n, index_t k, Rng& rng) {
+  FASTSC_CHECK(k >= 1 && k <= n, "k must be in [1, n]");
+  // Partial Fisher-Yates over an index array.
+  std::vector<index_t> idx(static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) idx[static_cast<usize>(i)] = i;
+  for (index_t i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<index_t>(rng.uniform_index(
+                static_cast<std::uint64_t>(n - i)));
+    std::swap(idx[static_cast<usize>(i)], idx[static_cast<usize>(j)]);
+  }
+  idx.resize(static_cast<usize>(k));
+  return idx;
+}
+
+std::vector<index_t> kmeanspp_seeds_host(const real* v, index_t n, index_t d,
+                                         index_t k, Rng& rng) {
+  FASTSC_CHECK(k >= 1 && k <= n, "k must be in [1, n]");
+  std::vector<index_t> seeds;
+  seeds.reserve(static_cast<usize>(k));
+  // Step 1: first centroid uniformly at random.
+  seeds.push_back(static_cast<index_t>(rng.uniform_index(
+      static_cast<std::uint64_t>(n))));
+  // Step 2: Dist_j = squared distance to the nearest chosen centroid.
+  std::vector<real> dist2(static_cast<usize>(n));
+  const real* c0 = v + seeds[0] * d;
+  for (index_t j = 0; j < n; ++j) {
+    dist2[static_cast<usize>(j)] = sq_dist(v + j * d, c0, d);
+  }
+  for (index_t i = 1; i < k; ++i) {
+    // Sample proportional to Dist^2 (squared Euclidean distance).
+    real total = 0;
+    for (real x : dist2) total += x;
+    index_t pick;
+    if (total <= 0) {
+      // All remaining points coincide with centroids; fall back to uniform.
+      pick = static_cast<index_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(n)));
+    } else {
+      const real target = rng.uniform() * total;
+      real acc = 0;
+      pick = n - 1;
+      for (index_t j = 0; j < n; ++j) {
+        acc += dist2[static_cast<usize>(j)];
+        if (acc >= target) {
+          pick = j;
+          break;
+        }
+      }
+    }
+    seeds.push_back(pick);
+    const real* ci = v + pick * d;
+    for (index_t j = 0; j < n; ++j) {
+      dist2[static_cast<usize>(j)] =
+          std::min(dist2[static_cast<usize>(j)], sq_dist(v + j * d, ci, d));
+    }
+  }
+  return seeds;
+}
+
+std::vector<index_t> kmeanspp_seeds_device(device::DeviceContext& ctx,
+                                           const real* dev_v, index_t n,
+                                           index_t d, index_t k, Rng& rng) {
+  FASTSC_CHECK(k >= 1 && k <= n, "k must be in [1, n]");
+  std::vector<index_t> seeds;
+  seeds.reserve(static_cast<usize>(k));
+  seeds.push_back(static_cast<index_t>(rng.uniform_index(
+      static_cast<std::uint64_t>(n))));
+
+  device::DeviceBuffer<real> dist2(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> prefix(ctx, static_cast<usize>(n));
+  real* dp = dist2.data();
+
+  // Initialize Dist with distances to the first centroid.
+  {
+    const real* c = dev_v + seeds[0] * d;
+    device::launch(ctx, n, [=](index_t j) {
+      const real* row = dev_v + j * d;
+      real acc = 0;
+      for (index_t l = 0; l < d; ++l) {
+        const real delta = row[l] - c[l];
+        acc += delta * delta;
+      }
+      dp[j] = acc;
+    });
+  }
+
+  for (index_t i = 1; i < k; ++i) {
+    // P_j = Dist_j^2 / sum_l Dist_l^2, sampled via inclusive scan + one
+    // uniform draw (a single binary search on the device prefix array).
+    const real total =
+        device::inclusive_scan(ctx, dist2.data(), prefix.data(), n);
+    index_t pick;
+    if (total <= 0) {
+      pick = static_cast<index_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(n)));
+    } else {
+      const real target = rng.uniform() * total;
+      // Binary search the prefix array (device data; one logical thread).
+      const real* pf = prefix.data();
+      index_t lo = 0, hi = n - 1;
+      while (lo < hi) {
+        const index_t mid = lo + (hi - lo) / 2;
+        if (pf[mid] < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pick = lo;
+    }
+    seeds.push_back(pick);
+    // newDist kernel + elementwise min fold (Algorithm 5's last two lines).
+    const real* c = dev_v + pick * d;
+    device::launch(ctx, n, [=](index_t j) {
+      const real* row = dev_v + j * d;
+      real acc = 0;
+      for (index_t l = 0; l < d; ++l) {
+        const real delta = row[l] - c[l];
+        acc += delta * delta;
+      }
+      if (acc < dp[j]) dp[j] = acc;
+    });
+  }
+  return seeds;
+}
+
+}  // namespace fastsc::kmeans

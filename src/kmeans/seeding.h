@@ -1,0 +1,31 @@
+// Centroid seeding: uniform random and k-means++ (paper's Algorithm 5,
+// Arthur & Vassilvitskii 2007).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "device/device.h"
+
+namespace fastsc::kmeans {
+
+/// Host k-means++: returns k row indices into v (n x d).  D^2 weighting.
+[[nodiscard]] std::vector<index_t> kmeanspp_seeds_host(const real* v, index_t n,
+                                                       index_t d, index_t k,
+                                                       Rng& rng);
+
+/// Host uniform seeding without replacement.
+[[nodiscard]] std::vector<index_t> random_seeds_host(index_t n, index_t k,
+                                                     Rng& rng);
+
+/// Device k-means++ (Algorithm 5): maintains the Dist vector on the device,
+/// updates it with a per-point kernel after each pick, and samples the next
+/// centroid by an inclusive scan of the squared distances plus a single
+/// uniform draw (Thrust-style).  `dev_v` is the device-resident n x d data;
+/// returns the chosen row indices.
+[[nodiscard]] std::vector<index_t> kmeanspp_seeds_device(
+    device::DeviceContext& ctx, const real* dev_v, index_t n, index_t d,
+    index_t k, Rng& rng);
+
+}  // namespace fastsc::kmeans

@@ -1,0 +1,106 @@
+#include "lanczos/dense_eig.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "lanczos/tridiag_eig.h"
+
+namespace fastsc::lanczos {
+
+// Householder reduction to tridiagonal form, EISPACK tred2 layout adapted to
+// row-major storage.  On exit `a` holds the orthogonal transform Q (columns
+// form the basis: Q^T A Q = T).
+void householder_tridiagonalize(real* a, index_t n, std::vector<real>& d,
+                                std::vector<real>& e) {
+  d.assign(static_cast<usize>(n), 0.0);
+  e.assign(n > 0 ? static_cast<usize>(n) : 0, 0.0);  // e[0] unused scratch
+  if (n == 0) return;
+
+  auto A = [&](index_t i, index_t j) -> real& { return a[i * n + j]; };
+
+  for (index_t i = n - 1; i >= 1; --i) {
+    const index_t l = i - 1;
+    real h = 0.0;
+    real scale = 0.0;
+    if (l > 0) {
+      for (index_t k = 0; k <= l; ++k) scale += std::fabs(A(i, k));
+      if (scale == 0.0) {
+        e[static_cast<usize>(i)] = A(i, l);
+      } else {
+        for (index_t k = 0; k <= l; ++k) {
+          A(i, k) /= scale;
+          h += A(i, k) * A(i, k);
+        }
+        real f = A(i, l);
+        real g = (f >= 0.0 ? -std::sqrt(h) : std::sqrt(h));
+        e[static_cast<usize>(i)] = scale * g;
+        h -= f * g;
+        A(i, l) = f - g;
+        f = 0.0;
+        for (index_t j = 0; j <= l; ++j) {
+          A(j, i) = A(i, j) / h;  // store u/H in column i
+          g = 0.0;
+          for (index_t k = 0; k <= j; ++k) g += A(j, k) * A(i, k);
+          for (index_t k = j + 1; k <= l; ++k) g += A(k, j) * A(i, k);
+          e[static_cast<usize>(j)] = g / h;
+          f += e[static_cast<usize>(j)] * A(i, j);
+        }
+        const real hh = f / (h + h);
+        for (index_t j = 0; j <= l; ++j) {
+          f = A(i, j);
+          e[static_cast<usize>(j)] = g = e[static_cast<usize>(j)] - hh * f;
+          for (index_t k = 0; k <= j; ++k) {
+            A(j, k) -= f * e[static_cast<usize>(k)] + g * A(i, k);
+          }
+        }
+      }
+    } else {
+      e[static_cast<usize>(i)] = A(i, l);
+    }
+    d[static_cast<usize>(i)] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate transformations.
+  for (index_t i = 0; i < n; ++i) {
+    const index_t l = i - 1;
+    if (d[static_cast<usize>(i)] != 0.0) {
+      for (index_t j = 0; j <= l; ++j) {
+        real g = 0.0;
+        for (index_t k = 0; k <= l; ++k) g += A(i, k) * A(k, j);
+        for (index_t k = 0; k <= l; ++k) A(k, j) -= g * A(k, i);
+      }
+    }
+    d[static_cast<usize>(i)] = A(i, i);
+    A(i, i) = 1.0;
+    for (index_t j = 0; j <= l; ++j) {
+      A(j, i) = 0.0;
+      A(i, j) = 0.0;
+    }
+  }
+  // Shift e so that e[k] couples k and k+1 (tridiag_eig convention).
+  for (index_t k = 0; k + 1 < n; ++k) {
+    e[static_cast<usize>(k)] = e[static_cast<usize>(k) + 1];
+  }
+  e.resize(n > 0 ? static_cast<usize>(n - 1) : 0);
+}
+
+DenseEigResult dense_sym_eig(const real* a, index_t n, real sym_tol) {
+  FASTSC_CHECK(n >= 0, "matrix size must be nonnegative");
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) {
+      FASTSC_CHECK(std::fabs(a[i * n + j] - a[j * n + i]) <= sym_tol,
+                   "dense_sym_eig requires a symmetric matrix");
+    }
+  }
+  DenseEigResult result;
+  result.eigenvectors.assign(a, a + static_cast<usize>(n) * static_cast<usize>(n));
+  std::vector<real> d, e;
+  householder_tridiagonalize(result.eigenvectors.data(), n, d, e);
+  const bool ok = tridiag_eig(d, e, result.eigenvectors.data(), n);
+  FASTSC_CHECK(ok, "tridiagonal QL failed to converge");
+  result.eigenvalues = std::move(d);
+  return result;
+}
+
+}  // namespace fastsc::lanczos

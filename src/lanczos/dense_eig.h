@@ -1,0 +1,32 @@
+// Dense symmetric eigensolver (Householder tridiagonalization + QL).
+//
+// Used three ways: (1) as the reference oracle in the eigensolver tests,
+// (2) by the baselines for tiny problems, and (3) conceptually mirrors the
+// LAPACK routines ARPACK++ links against.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::lanczos {
+
+/// Full eigen-decomposition of the symmetric matrix A (n x n, row-major).
+/// Eigenvalues ascend; eigenvectors fill the COLUMNS of the returned
+/// row-major n x n matrix (column j pairs with eigenvalues[j]).
+struct DenseEigResult {
+  std::vector<real> eigenvalues;
+  std::vector<real> eigenvectors;  // n x n row-major, eigenvectors in columns
+};
+
+/// Throws std::invalid_argument if A is not square-symmetric within `sym_tol`.
+[[nodiscard]] DenseEigResult dense_sym_eig(const real* a, index_t n,
+                                           real sym_tol = 1e-10);
+
+/// Householder reduction of symmetric A (row-major, overwritten) to
+/// tridiagonal form; returns diagonal d, off-diagonal e, and the accumulated
+/// orthogonal transform Q in `a` (row-major, columns are the basis).
+void householder_tridiagonalize(real* a, index_t n, std::vector<real>& d,
+                                std::vector<real>& e);
+
+}  // namespace fastsc::lanczos

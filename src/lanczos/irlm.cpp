@@ -1,0 +1,343 @@
+#include "lanczos/irlm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "blas/hblas.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "lanczos/dense_eig.h"
+
+namespace fastsc::lanczos {
+
+namespace {
+constexpr real kEps = std::numeric_limits<real>::epsilon();
+}
+
+SymLanczos::SymLanczos(LanczosConfig config) : config_(config), rng_(config.seed) {
+  FASTSC_CHECK(config_.n >= 1, "problem size must be positive");
+  FASTSC_CHECK(config_.nev >= 1 && config_.nev <= config_.n,
+               "nev must be in [1, n]");
+  if (config_.ncv == 0) {
+    config_.ncv = std::max<index_t>(2 * config_.nev + 1, 20);
+  }
+  config_.ncv = std::min(config_.ncv, config_.n);
+  config_.ncv = std::max(config_.ncv, std::min(config_.n, config_.nev + 2));
+  FASTSC_CHECK(config_.ncv > config_.nev || config_.ncv == config_.n,
+               "ncv must exceed nev (or equal n)");
+  if (config_.tol <= 0) config_.tol = 1e-10;
+  v_.assign(static_cast<usize>(config_.ncv + 1) * static_cast<usize>(config_.n),
+            0.0);
+  t_.assign(static_cast<usize>(config_.ncv) * static_cast<usize>(config_.ncv),
+            0.0);
+  w_.assign(static_cast<usize>(config_.n), 0.0);
+}
+
+std::span<const real> SymLanczos::multiply_input() const {
+  return {v_row(j_), static_cast<usize>(config_.n)};
+}
+
+std::span<real> SymLanczos::multiply_output() {
+  return {w_.data(), w_.size()};
+}
+
+const std::vector<real>& SymLanczos::eigenvalues() const {
+  return out_eigenvalues_;
+}
+
+const std::vector<real>& SymLanczos::residuals() const {
+  return out_residuals_;
+}
+
+void SymLanczos::start_iteration() {
+  const index_t n = config_.n;
+  real* v0 = v_row(0);
+  if (!config_.initial_vector.empty()) {
+    FASTSC_CHECK(static_cast<index_t>(config_.initial_vector.size()) == n,
+                 "initial_vector must have length n");
+    hblas::copy(n, config_.initial_vector.data(), v0);
+  } else {
+    for (index_t i = 0; i < n; ++i) v0[i] = rng_.uniform() - 0.5;
+  }
+  real norm = hblas::nrm2(n, v0);
+  if (norm == 0) {
+    // A zero warm start degenerates to the random path.
+    for (index_t i = 0; i < n; ++i) v0[i] = rng_.uniform() - 0.5;
+    norm = hblas::nrm2(n, v0);
+  }
+  FASTSC_ASSERT(norm > 0);
+  hblas::scal(n, 1.0 / norm, v0);
+  j_ = 0;
+  nkept_ = 0;
+}
+
+SymLanczos::Action SymLanczos::step() {
+  WallTimer timer;
+  Action action;
+  switch (phase_) {
+    case Phase::kStart:
+      start_iteration();
+      phase_ = Phase::kAwaitMatvec;
+      action = Action::kMultiply;
+      break;
+    case Phase::kAwaitMatvec:
+      action = process_matvec();
+      break;
+    case Phase::kConverged:
+      action = Action::kConverged;
+      break;
+    case Phase::kFailed:
+      action = Action::kFailed;
+      break;
+    default:
+      action = Action::kFailed;
+      break;
+  }
+  stats_.rci_seconds += timer.seconds();
+  return action;
+}
+
+void SymLanczos::reorthogonalize(real* w, index_t upto, real* alpha_correction) {
+  // Two-pass modified Gram-Schmidt.  kFull sweeps basis rows 0..upto;
+  // kLocal touches only the kept Ritz vectors (0..nkept_) and the previous
+  // two Lanczos vectors — O(nkept + 2) instead of O(j) vectors per step.
+  WallTimer timer;
+  const index_t n = config_.n;
+  const index_t local_floor =
+      config_.reorth == ReorthMode::kLocal
+          ? std::max<index_t>(nkept_ + 1, upto - 1)
+          : 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (index_t i = 0; i <= upto; ++i) {
+      if (config_.reorth == ReorthMode::kLocal && i > nkept_ &&
+          i < local_floor) {
+        continue;
+      }
+      const real c = hblas::dot(n, v_row(i), w);
+      if (c != 0.0) {
+        hblas::axpy(n, -c, v_row(i), w);
+        if (alpha_correction != nullptr && i == upto) *alpha_correction += c;
+      }
+    }
+  }
+  stats_.ortho_seconds += timer.seconds();
+}
+
+void SymLanczos::random_unit_orthogonal(real* w, index_t upto) {
+  const index_t n = config_.n;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    for (index_t i = 0; i < n; ++i) w[i] = rng_.uniform() - 0.5;
+    reorthogonalize(w, upto, nullptr);
+    const real norm = hblas::nrm2(n, w);
+    if (norm > kEps * std::sqrt(static_cast<real>(n))) {
+      hblas::scal(n, 1.0 / norm, w);
+      return;
+    }
+  }
+  // The basis spans the whole space (upto + 1 == n); a zero continuation
+  // vector is harmless because every Ritz residual is already ~0.
+  std::fill(w, w + n, 0.0);
+}
+
+SymLanczos::Action SymLanczos::process_matvec() {
+  const index_t n = config_.n;
+  const index_t m = config_.ncv;
+  ++stats_.matvec_count;
+
+  // w_ currently holds A * v_j.
+  real* w = w_.data();
+  real alpha = hblas::dot(n, v_row(j_), w);
+  hblas::axpy(n, -alpha, v_row(j_), w);
+  if (nkept_ > 0 && j_ == nkept_) {
+    // Thick-restart arrowhead: subtract the couplings to the kept Ritz
+    // vectors, s_i = T(i, j_).
+    for (index_t i = 0; i < nkept_; ++i) {
+      const real s = t_at(i, j_);
+      if (s != 0.0) hblas::axpy(n, -s, v_row(i), w);
+    }
+  } else if (j_ > 0) {
+    const real beta_prev = t_at(j_ - 1, j_);
+    if (beta_prev != 0.0) hblas::axpy(n, -beta_prev, v_row(j_ - 1), w);
+  }
+  reorthogonalize(w, j_, &alpha);
+  t_at(j_, j_) = alpha;
+
+  real beta = hblas::nrm2(n, w);
+  const real breakdown_tol =
+      kEps * std::max<real>(1.0, std::fabs(alpha)) * 100.0;
+  if (beta > breakdown_tol) {
+    hblas::scal(n, 1.0 / beta, w);
+    hblas::copy(n, w, v_row(j_ + 1));
+  } else {
+    // Invariant subspace found: continue with a random orthogonal direction
+    // and a zero coupling (ARPACK does the same).
+    beta = 0.0;
+    random_unit_orthogonal(v_row(j_ + 1), j_);
+  }
+  if (j_ + 1 < m) {
+    t_at(j_, j_ + 1) = beta;
+    t_at(j_ + 1, j_) = beta;
+  } else {
+    beta_last_ = beta;
+  }
+
+  ++j_;
+  if (j_ < m) {
+    return Action::kMultiply;  // input is v_row(j_), output w_
+  }
+  return restart_or_finish();
+}
+
+std::vector<index_t> SymLanczos::ritz_order(
+    const std::vector<real>& theta) const {
+  std::vector<index_t> order(theta.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  auto cmp = [&](index_t a, index_t b) {
+    const real ta = theta[static_cast<usize>(a)];
+    const real tb = theta[static_cast<usize>(b)];
+    switch (config_.which) {
+      case EigWhich::kLargestAlgebraic: return ta > tb;
+      case EigWhich::kSmallestAlgebraic: return ta < tb;
+      case EigWhich::kLargestMagnitude: return std::fabs(ta) > std::fabs(tb);
+      case EigWhich::kSmallestMagnitude: return std::fabs(ta) < std::fabs(tb);
+    }
+    return ta > tb;
+  };
+  std::stable_sort(order.begin(), order.end(), cmp);
+  return order;
+}
+
+void SymLanczos::finalize(const std::vector<real>& theta,
+                          const std::vector<real>& y,
+                          const std::vector<index_t>& order, Phase end_phase) {
+  const index_t m = config_.ncv;
+  out_eigenvalues_.clear();
+  out_residuals_.clear();
+  final_order_.clear();
+  for (index_t i = 0; i < config_.nev; ++i) {
+    const index_t col = order[static_cast<usize>(i)];
+    out_eigenvalues_.push_back(theta[static_cast<usize>(col)]);
+    out_residuals_.push_back(
+        std::fabs(beta_last_ * y[static_cast<usize>((m - 1) * m + col)]));
+    final_order_.push_back(col);
+  }
+  final_y_ = y;
+  phase_ = end_phase;
+}
+
+SymLanczos::Action SymLanczos::restart_or_finish() {
+  const index_t n = config_.n;
+  const index_t m = config_.ncv;
+  WallTimer restart_timer;
+
+  // Dense symmetric eigensolve of the projected matrix T (m x m).
+  std::vector<real> tcopy(t_);
+  DenseEigResult eig = dense_sym_eig(tcopy.data(), m, /*sym_tol=*/1e-8);
+  std::vector<real>& theta = eig.eigenvalues;
+  std::vector<real>& y = eig.eigenvectors;  // m x m, eigvecs in columns
+
+  const std::vector<index_t> order = ritz_order(theta);
+
+  real norm_estimate = 0;
+  for (real t : theta) norm_estimate = std::max(norm_estimate, std::fabs(t));
+  norm_estimate = std::max(norm_estimate, kEps);
+
+  index_t converged = 0;
+  for (index_t i = 0; i < config_.nev; ++i) {
+    const index_t col = order[static_cast<usize>(i)];
+    const real res =
+        std::fabs(beta_last_ * y[static_cast<usize>((m - 1) * m + col)]);
+    if (res <= config_.tol * norm_estimate) ++converged;
+  }
+  stats_.converged_count = converged;
+
+  if (converged >= config_.nev) {
+    finalize(theta, y, order, Phase::kConverged);
+    stats_.restart_seconds += restart_timer.seconds();
+    return Action::kConverged;
+  }
+  if (stats_.restart_count >= config_.max_restarts || m >= n) {
+    // m == n means the factorization is exact; anything unconverged now is a
+    // numerical artifact, report as converged-with-residuals via kFailed
+    // only if truly over budget.
+    finalize(theta, y, order, m >= n ? Phase::kConverged : Phase::kFailed);
+    stats_.restart_seconds += restart_timer.seconds();
+    return m >= n ? Action::kConverged : Action::kFailed;
+  }
+
+  // ---- Thick restart -------------------------------------------------------
+  ++stats_.restart_count;
+  index_t l = config_.nev + std::min(config_.nev, (m - config_.nev) / 2);
+  l = std::min(l, m - 2);
+  l = std::max(l, std::min(config_.nev, m - 2));
+
+  // Basis compaction: rows 0..l-1 of the new V are (Y_sel)^T V_old.
+  // Build G (l x m) with G[i, p] = Y[p, order[i]].
+  std::vector<real> g(static_cast<usize>(l) * static_cast<usize>(m));
+  for (index_t i = 0; i < l; ++i) {
+    const index_t col = order[static_cast<usize>(i)];
+    for (index_t p = 0; p < m; ++p) {
+      g[static_cast<usize>(i * m + p)] = y[static_cast<usize>(p * m + col)];
+    }
+  }
+  std::vector<real> vnew(static_cast<usize>(l) * static_cast<usize>(n));
+  if (config_.dense_tier == DenseTier::kBlocked) {
+    hblas::gemm(l, n, m, 1.0, g.data(), m, v_.data(), n, 0.0, vnew.data(), n);
+  } else {
+    hblas::gemm_naive(l, n, m, 1.0, g.data(), m, v_.data(), n, 0.0,
+                      vnew.data(), n);
+  }
+  std::copy(vnew.begin(), vnew.end(), v_.begin());
+  // The residual vector v_m becomes the continuation vector at row l.
+  hblas::copy(n, v_row(m), v_row(l));
+
+  // Rebuild T: diag of kept Ritz values plus the arrowhead couplings.
+  std::fill(t_.begin(), t_.end(), 0.0);
+  for (index_t i = 0; i < l; ++i) {
+    const index_t col = order[static_cast<usize>(i)];
+    t_at(i, i) = theta[static_cast<usize>(col)];
+    const real s =
+        beta_last_ * y[static_cast<usize>((m - 1) * m + col)];
+    t_at(i, l) = s;
+    t_at(l, i) = s;
+  }
+  nkept_ = l;
+  j_ = l;
+  stats_.restart_seconds += restart_timer.seconds();
+  return Action::kMultiply;  // next product: A * v_l
+}
+
+std::vector<real> SymLanczos::extract_eigenvectors() const {
+  FASTSC_CHECK(phase_ == Phase::kConverged || phase_ == Phase::kFailed,
+               "extract_eigenvectors requires a finished iteration");
+  const index_t n = config_.n;
+  const index_t m = config_.ncv;
+  const index_t count = static_cast<index_t>(final_order_.size());
+  std::vector<real> g(static_cast<usize>(count) * static_cast<usize>(m));
+  for (index_t i = 0; i < count; ++i) {
+    const index_t col = final_order_[static_cast<usize>(i)];
+    for (index_t p = 0; p < m; ++p) {
+      g[static_cast<usize>(i * m + p)] =
+          final_y_[static_cast<usize>(p * m + col)];
+    }
+  }
+  std::vector<real> x(static_cast<usize>(count) * static_cast<usize>(n));
+  if (config_.dense_tier == DenseTier::kBlocked) {
+    hblas::gemm(count, n, m, 1.0, g.data(), m, v_.data(), n, 0.0, x.data(), n);
+  } else {
+    hblas::gemm_naive(count, n, m, 1.0, g.data(), m, v_.data(), n, 0.0,
+                      x.data(), n);
+  }
+  // Normalize each Ritz vector (defensive: Y columns are orthonormal so the
+  // products are unit up to roundoff already).
+  for (index_t i = 0; i < count; ++i) {
+    real* row = x.data() + i * n;
+    const real norm = hblas::nrm2(n, row);
+    if (norm > 0) hblas::scal(n, 1.0 / norm, row);
+  }
+  return x;
+}
+
+}  // namespace fastsc::lanczos

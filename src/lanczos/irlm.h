@@ -1,0 +1,159 @@
+// Implicitly restarted Lanczos (ARPACK dsaupd/dseupd equivalent) with a
+// reverse communication interface.
+//
+// The paper's Algorithm 3 couples ARPACK's CPU-side iteration to GPU-side
+// SpMV through reverse communication: the solver never sees the matrix, it
+// only hands out a vector x and expects y = A x back.  SymLanczos preserves
+// exactly that interface and cost structure:
+//
+//   * step() returns kMultiply when it needs y = A x; the caller reads x
+//     from multiply_input(), computes the product anywhere it likes (our
+//     pipeline: device_csrmv with H2D/D2H staging), writes y into
+//     multiply_output() and calls step() again;
+//   * the CPU-side work per restart is one dense m x m symmetric
+//     eigen-decomposition plus an (l x m)(m x n) basis compaction GEMM —
+//     the O(m^3) + O(n m^2) terms of the paper's Eq. 10;
+//   * restarting uses the thick-restart formulation (Wu & Simon 2000),
+//     which is algebraically equivalent to ARPACK's implicit QR restart
+//     with exact shifts for symmetric matrices, and numerically more robust.
+//
+// Full (two-pass) reorthogonalization is applied at every expansion step,
+// matching ARPACK's practical behaviour on the clustered spectra produced
+// by graph Laplacians.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace fastsc::lanczos {
+
+/// Which end of the spectrum to compute (ARPACK's `which` parameter).
+enum class EigWhich {
+  kLargestAlgebraic,   // "LA": spectral clustering on D^-1 W uses this
+  kSmallestAlgebraic,  // "SA"
+  kLargestMagnitude,   // "LM"
+  kSmallestMagnitude,  // "SM" — converges slowly without shift-invert
+};
+
+/// Dense-kernel tier for the CPU-side restart work; the python-like baseline
+/// models an unoptimized BLAS build with kNaive (DESIGN.md §2).
+enum class DenseTier { kBlocked, kNaive };
+
+/// Reorthogonalization policy for the Lanczos expansion.
+///
+/// kFull is ARPACK-grade: two Gram-Schmidt passes against the whole basis
+/// per step, O(n*j) per step.  kLocal orthogonalizes only against the kept
+/// thick-restart Ritz vectors plus the previous two Lanczos vectors —
+/// cheaper per step but susceptible to ghost eigenvalues on clustered
+/// spectra (bench_ablation_reorth quantifies the tradeoff).
+enum class ReorthMode { kFull, kLocal };
+
+struct LanczosConfig {
+  index_t n = 0;    ///< problem size
+  index_t nev = 1;  ///< number of eigenpairs wanted (paper's k)
+  /// Lanczos basis size m; 0 selects min(n, max(2*nev + 1, 20)), the
+  /// ARPACK-style default the paper quotes as m = max(2k, ...).
+  index_t ncv = 0;
+  /// Relative residual tolerance: ||A v - theta v|| <= tol * ||A||_est.
+  real tol = 1e-10;
+  index_t max_restarts = 300;
+  EigWhich which = EigWhich::kLargestAlgebraic;
+  std::uint64_t seed = 42;
+  DenseTier dense_tier = DenseTier::kBlocked;
+  ReorthMode reorth = ReorthMode::kFull;
+  /// Optional starting vector (length n); empty selects a seeded random
+  /// vector.  A good warm start (e.g. the previous solution when the matrix
+  /// changed slightly) reduces restarts — ARPACK's `resid/info=1` option.
+  std::vector<real> initial_vector;
+};
+
+struct LanczosStats {
+  index_t matvec_count = 0;
+  index_t restart_count = 0;
+  index_t converged_count = 0;
+  /// Wall time spent inside step() — the CPU-side "TakeStep" cost.
+  double rci_seconds = 0;
+  /// Wall time of the dense eigensolves + basis compactions only.
+  double restart_seconds = 0;
+  /// Wall time of reorthogonalization.
+  double ortho_seconds = 0;
+};
+
+/// Reverse-communication symmetric Lanczos eigensolver.
+class SymLanczos {
+ public:
+  enum class Action {
+    kMultiply,   ///< compute multiply_output() = A * multiply_input(), call step() again
+    kConverged,  ///< nev pairs converged; results available
+    kFailed,     ///< restart budget exhausted; best partial results available
+  };
+
+  explicit SymLanczos(LanczosConfig config);
+
+  /// Advance the state machine.  The first call begins the iteration.
+  Action step();
+
+  /// Vector x the solver wants multiplied (valid after step() == kMultiply).
+  [[nodiscard]] std::span<const real> multiply_input() const;
+
+  /// Destination for y = A x (write all n entries before the next step()).
+  [[nodiscard]] std::span<real> multiply_output();
+
+  /// Converged eigenvalues, best-first per `which` (valid after
+  /// kConverged/kFailed); size min(nev, converged_count) — on kFailed the
+  /// best unconverged estimates are included up to nev.
+  [[nodiscard]] const std::vector<real>& eigenvalues() const;
+
+  /// Residual norm estimates matching eigenvalues().
+  [[nodiscard]] const std::vector<real>& residuals() const;
+
+  /// Extract the Ritz vectors matching eigenvalues() into a row-major
+  /// (count x n) matrix (ARPACK's dseupd / the paper's FindEigenvectors).
+  [[nodiscard]] std::vector<real> extract_eigenvectors() const;
+
+  [[nodiscard]] const LanczosStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LanczosConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool done() const noexcept {
+    return phase_ == Phase::kConverged || phase_ == Phase::kFailed;
+  }
+
+ private:
+  enum class Phase { kStart, kAwaitMatvec, kConverged, kFailed };
+
+  real* v_row(index_t j) noexcept { return v_.data() + j * config_.n; }
+  const real* v_row(index_t j) const noexcept {
+    return v_.data() + j * config_.n;
+  }
+  real& t_at(index_t i, index_t j) noexcept { return t_[i * config_.ncv + j]; }
+
+  void start_iteration();
+  Action process_matvec();
+  Action restart_or_finish();
+  void reorthogonalize(real* w, index_t upto, real* alpha_correction);
+  void random_unit_orthogonal(real* w, index_t upto);
+  /// Order Ritz indices best-first per config_.which.
+  [[nodiscard]] std::vector<index_t> ritz_order(
+      const std::vector<real>& theta) const;
+  void finalize(const std::vector<real>& theta, const std::vector<real>& y,
+                const std::vector<index_t>& order, Phase end_phase);
+
+  LanczosConfig config_;
+  Phase phase_ = Phase::kStart;
+  Rng rng_;
+  std::vector<real> v_;   // (ncv+1) x n row-major basis, rows are vectors
+  std::vector<real> t_;   // ncv x ncv projected matrix (symmetric)
+  std::vector<real> w_;   // matvec result / working vector, length n
+  index_t j_ = 0;         // current Lanczos step
+  index_t nkept_ = 0;     // thick-restart kept count (arrowhead column)
+  real beta_last_ = 0;    // coupling of v_m to the basis
+  LanczosStats stats_;
+  std::vector<real> out_eigenvalues_;
+  std::vector<real> out_residuals_;
+  std::vector<real> final_y_;          // ncv x ncv eigvecs of final T
+  std::vector<index_t> final_order_;   // selected columns, best-first
+};
+
+}  // namespace fastsc::lanczos

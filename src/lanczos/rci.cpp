@@ -1,0 +1,22 @@
+#include "lanczos/rci.h"
+
+namespace fastsc::lanczos {
+
+SymEigResult solve_symmetric(
+    const LanczosConfig& config,
+    const std::function<void(const real* x, real* y)>& matvec) {
+  SymEigProb prob(config);
+  while (!prob.converge()) {
+    matvec(prob.GetVector(), prob.PutVector());
+    prob.TakeStep();
+  }
+  SymEigResult result;
+  result.eigenvalues = prob.Eigenvalues();
+  result.residuals = prob.Residuals();
+  result.eigenvectors = prob.FindEigenvectors();
+  result.converged = !prob.Failed();
+  result.stats = prob.Stats();
+  return result;
+}
+
+}  // namespace fastsc::lanczos

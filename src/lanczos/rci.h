@@ -1,0 +1,87 @@
+// ARPACK++-style problem wrapper over SymLanczos.
+//
+// The paper's Algorithm 3 is written against ARPACK++'s interface:
+//
+//   while (!Prob.converge()) {
+//     Prob.TakeStep();
+//     <y = A x, with x at Prob.GetVector(), y to Prob.PutVector()>
+//   }
+//   Prob.FindEigenvectors();
+//
+// SymEigProb reproduces those method names and that calling convention so
+// the pipeline code reads like the paper.  A convenience free function
+// `solve_symmetric` runs the loop with a caller-supplied matvec.
+#pragma once
+
+#include <functional>
+
+#include "lanczos/irlm.h"
+
+namespace fastsc::lanczos {
+
+class SymEigProb {
+ public:
+  explicit SymEigProb(LanczosConfig config) : solver_(config) {}
+
+  /// True once the requested eigenpairs have converged (or the solver gave
+  /// up; check Failed()).
+  [[nodiscard]] bool converge() {
+    if (!started_) {
+      // Prime the state machine so GetVector() is valid.
+      last_action_ = solver_.step();
+      started_ = true;
+    }
+    return last_action_ != SymLanczos::Action::kMultiply;
+  }
+
+  /// Advance one reverse-communication step.  Call after writing the matvec
+  /// result to PutVector().  (The first TakeStep happens inside converge().)
+  void TakeStep() { last_action_ = solver_.step(); }
+
+  /// Pointer to the vector the solver wants multiplied (length n).
+  [[nodiscard]] const real* GetVector() const {
+    return solver_.multiply_input().data();
+  }
+
+  /// Pointer to the destination for the product (length n).
+  [[nodiscard]] real* PutVector() { return solver_.multiply_output().data(); }
+
+  /// Compute the Ritz vectors (row-major count x n).
+  [[nodiscard]] std::vector<real> FindEigenvectors() const {
+    return solver_.extract_eigenvectors();
+  }
+
+  [[nodiscard]] const std::vector<real>& Eigenvalues() const {
+    return solver_.eigenvalues();
+  }
+  [[nodiscard]] const std::vector<real>& Residuals() const {
+    return solver_.residuals();
+  }
+  [[nodiscard]] bool Failed() const {
+    return last_action_ == SymLanczos::Action::kFailed;
+  }
+  [[nodiscard]] const LanczosStats& Stats() const { return solver_.stats(); }
+  [[nodiscard]] SymLanczos& Solver() { return solver_; }
+
+ private:
+  SymLanczos solver_;
+  SymLanczos::Action last_action_ = SymLanczos::Action::kMultiply;
+  bool started_ = false;
+};
+
+/// Result bundle for the convenience driver.
+struct SymEigResult {
+  std::vector<real> eigenvalues;     // best-first per config.which
+  std::vector<real> eigenvectors;    // row-major nev x n
+  std::vector<real> residuals;
+  bool converged = false;
+  LanczosStats stats;
+};
+
+/// Run the full reverse-communication loop with `matvec(x, y)` computing
+/// y = A x (both length n).
+SymEigResult solve_symmetric(
+    const LanczosConfig& config,
+    const std::function<void(const real* x, real* y)>& matvec);
+
+}  // namespace fastsc::lanczos

@@ -1,0 +1,119 @@
+#include "lanczos/tridiag_eig.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace fastsc::lanczos {
+
+namespace {
+
+/// sqrt(a^2 + b^2) without destructive over/underflow.
+real hypot2(real a, real b) { return std::hypot(a, b); }
+
+/// Core QL-with-implicit-shifts sweep.  If z != nullptr, accumulate the
+/// rotations into the n x ldz row-major matrix (columns transform).
+bool ql_implicit(std::vector<real>& d, std::vector<real>& e, real* z,
+                 index_t ldz) {
+  const index_t n = static_cast<index_t>(d.size());
+  if (n == 0) return true;
+  FASTSC_CHECK(e.size() + 1 == d.size(),
+               "off-diagonal must have n-1 entries");
+  if (n == 1) return true;
+
+  // Work on a copy of e with a trailing zero sentinel.
+  std::vector<real> sub(e);
+  sub.push_back(0.0);
+
+  for (index_t l = 0; l < n; ++l) {
+    index_t iter = 0;
+    index_t m;
+    do {
+      // Find a negligible off-diagonal element.
+      for (m = l; m < n - 1; ++m) {
+        const real dd = std::fabs(d[static_cast<usize>(m)]) +
+                        std::fabs(d[static_cast<usize>(m) + 1]);
+        if (std::fabs(sub[static_cast<usize>(m)]) <=
+            std::numeric_limits<real>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (++iter == 50) return false;
+        // Wilkinson shift.
+        real g = (d[static_cast<usize>(l) + 1] - d[static_cast<usize>(l)]) /
+                 (2.0 * sub[static_cast<usize>(l)]);
+        real r = hypot2(g, 1.0);
+        g = d[static_cast<usize>(m)] - d[static_cast<usize>(l)] +
+            sub[static_cast<usize>(l)] /
+                (g + (g >= 0 ? std::fabs(r) : -std::fabs(r)));
+        real s = 1.0, c = 1.0, p = 0.0;
+        bool underflow = false;
+        for (index_t i = m - 1; i >= l; --i) {
+          real f = s * sub[static_cast<usize>(i)];
+          const real b = c * sub[static_cast<usize>(i)];
+          r = hypot2(f, g);
+          sub[static_cast<usize>(i) + 1] = r;
+          if (r == 0.0) {
+            d[static_cast<usize>(i) + 1] -= p;
+            sub[static_cast<usize>(m)] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<usize>(i) + 1] - p;
+          r = (d[static_cast<usize>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<usize>(i) + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            // Apply the rotation to columns i and i+1 of z.
+            for (index_t row = 0; row < n; ++row) {
+              real* zr = z + row * ldz;
+              const real fz = zr[i + 1];
+              zr[i + 1] = s * zr[i] + c * fz;
+              zr[i] = c * zr[i] - s * fz;
+            }
+          }
+        }
+        if (underflow) continue;
+        d[static_cast<usize>(l)] -= p;
+        sub[static_cast<usize>(l)] = g;
+        sub[static_cast<usize>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort eigenvalues (and columns of z) ascending by selection sort —
+  // n here is the Lanczos basis size (small), so O(n^2) swaps are fine.
+  for (index_t i = 0; i < n - 1; ++i) {
+    index_t kmin = i;
+    for (index_t j = i + 1; j < n; ++j) {
+      if (d[static_cast<usize>(j)] < d[static_cast<usize>(kmin)]) kmin = j;
+    }
+    if (kmin != i) {
+      std::swap(d[static_cast<usize>(i)], d[static_cast<usize>(kmin)]);
+      if (z != nullptr) {
+        for (index_t row = 0; row < n; ++row) {
+          std::swap(z[row * ldz + i], z[row * ldz + kmin]);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool tridiag_eig(std::vector<real>& d, std::vector<real>& e, real* z,
+                 index_t ldz) {
+  return ql_implicit(d, e, z, ldz);
+}
+
+bool tridiag_eigvalues(std::vector<real>& d, std::vector<real>& e) {
+  return ql_implicit(d, e, nullptr, 0);
+}
+
+}  // namespace fastsc::lanczos

@@ -1,0 +1,32 @@
+// Symmetric tridiagonal eigensolver (implicit-shift QL, EISPACK tql2 family).
+//
+// This is the inner dense kernel of the implicitly restarted Lanczos method:
+// every restart diagonalizes the projected m x m matrix T.  The routine
+// optionally accumulates the rotations into a caller-supplied basis so Ritz
+// vectors come out directly.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::lanczos {
+
+/// Eigen-decomposition of the symmetric tridiagonal matrix with diagonal d
+/// (length n) and off-diagonal e (length n-1, e[i] couples rows i and i+1).
+///
+/// On return `d` holds eigenvalues in ascending order.  If `z` is non-null it
+/// must point to a row-major n x ldz matrix whose COLUMNS are transformed:
+/// pass the identity to get eigenvectors of T in columns, or pass an existing
+/// basis V (n_basis rows... see dense_eig.cpp) to accumulate.  Here we keep
+/// the classic contract: z is n x n row-major, columns become eigenvectors.
+///
+/// Returns false if the QL iteration failed to converge within 50 sweeps for
+/// some eigenvalue (essentially never for well-formed input).
+bool tridiag_eig(std::vector<real>& d, std::vector<real>& e, real* z,
+                 index_t ldz);
+
+/// Eigenvalues-only variant.
+bool tridiag_eigvalues(std::vector<real>& d, std::vector<real>& e);
+
+}  // namespace fastsc::lanczos

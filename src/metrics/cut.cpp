@@ -1,0 +1,76 @@
+#include "metrics/cut.h"
+
+#include "common/error.h"
+
+namespace fastsc::metrics {
+
+namespace {
+
+struct CutParts {
+  std::vector<real> boundary;  // W(A_i, complement)
+  std::vector<real> volume;    // vol(A_i)
+  std::vector<index_t> count;  // |A_i|
+};
+
+CutParts accumulate(const sparse::Csr& w, const std::vector<index_t>& labels,
+                    index_t k) {
+  FASTSC_CHECK(w.rows == w.cols, "cut metrics need a square matrix");
+  FASTSC_CHECK(static_cast<index_t>(labels.size()) == w.rows,
+               "labels size must match matrix");
+  CutParts parts;
+  parts.boundary.assign(static_cast<usize>(k), 0.0);
+  parts.volume.assign(static_cast<usize>(k), 0.0);
+  parts.count.assign(static_cast<usize>(k), 0);
+  for (index_t r = 0; r < w.rows; ++r) {
+    const index_t lr = labels[static_cast<usize>(r)];
+    FASTSC_CHECK(lr >= 0 && lr < k, "label out of range");
+    parts.count[static_cast<usize>(lr)] += 1;
+    for (index_t p = w.row_ptr[static_cast<usize>(r)];
+         p < w.row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      const real v = w.values[static_cast<usize>(p)];
+      const index_t c = w.col_idx[static_cast<usize>(p)];
+      const index_t lc = labels[static_cast<usize>(c)];
+      parts.volume[static_cast<usize>(lr)] += v;
+      if (lc != lr) parts.boundary[static_cast<usize>(lr)] += v;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+real cut_value(const sparse::Csr& w, const std::vector<index_t>& labels,
+               index_t k) {
+  const CutParts parts = accumulate(w, labels, k);
+  real acc = 0;
+  for (real b : parts.boundary) acc += b;
+  return acc / 2;
+}
+
+real ratio_cut(const sparse::Csr& w, const std::vector<index_t>& labels,
+               index_t k) {
+  const CutParts parts = accumulate(w, labels, k);
+  real acc = 0;
+  for (index_t i = 0; i < k; ++i) {
+    if (parts.count[static_cast<usize>(i)] > 0) {
+      acc += parts.boundary[static_cast<usize>(i)] /
+             static_cast<real>(parts.count[static_cast<usize>(i)]);
+    }
+  }
+  return acc / 2;
+}
+
+real normalized_cut(const sparse::Csr& w, const std::vector<index_t>& labels,
+                    index_t k) {
+  const CutParts parts = accumulate(w, labels, k);
+  real acc = 0;
+  for (index_t i = 0; i < k; ++i) {
+    if (parts.volume[static_cast<usize>(i)] > 0) {
+      acc += parts.boundary[static_cast<usize>(i)] /
+             parts.volume[static_cast<usize>(i)];
+    }
+  }
+  return acc / 2;
+}
+
+}  // namespace fastsc::metrics

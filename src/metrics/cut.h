@@ -1,0 +1,29 @@
+// Graph-cut quality measures (paper Eq. 1-4): Cut, RatioCut and Ncut.
+//
+// Spectral clustering minimizes a relaxation of Ncut; the integration tests
+// verify that the pipeline's partitions achieve lower Ncut than random ones.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sparse/csr.h"
+
+namespace fastsc::metrics {
+
+/// W(A, B) = sum of w_ij over i in A, j in B for the partition given by
+/// labels; returns the total cut value Cut = 1/2 sum_i W(A_i, complement).
+[[nodiscard]] real cut_value(const sparse::Csr& w,
+                             const std::vector<index_t>& labels, index_t k);
+
+/// RatioCut = 1/2 sum_i W(A_i, ~A_i) / |A_i|  (Eq. 3).
+[[nodiscard]] real ratio_cut(const sparse::Csr& w,
+                             const std::vector<index_t>& labels, index_t k);
+
+/// Ncut = 1/2 sum_i W(A_i, ~A_i) / vol(A_i)  (Eq. 4).  Empty or zero-volume
+/// parts contribute nothing (treated as absent).
+[[nodiscard]] real normalized_cut(const sparse::Csr& w,
+                                  const std::vector<index_t>& labels,
+                                  index_t k);
+
+}  // namespace fastsc::metrics

@@ -1,0 +1,131 @@
+#include "metrics/external.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fastsc::metrics {
+
+namespace {
+
+index_t label_range(const std::vector<index_t>& labels) {
+  index_t maxv = -1;
+  for (index_t l : labels) {
+    FASTSC_CHECK(l >= 0, "labels must be nonnegative");
+    maxv = std::max(maxv, l);
+  }
+  return maxv + 1;
+}
+
+real comb2(real x) { return x * (x - 1) / 2; }
+
+}  // namespace
+
+std::vector<index_t> contingency_table(const std::vector<index_t>& a,
+                                       const std::vector<index_t>& b,
+                                       index_t& ka, index_t& kb) {
+  FASTSC_CHECK(a.size() == b.size(), "labelings must have equal length");
+  ka = label_range(a);
+  kb = label_range(b);
+  std::vector<index_t> table(static_cast<usize>(ka) * static_cast<usize>(kb),
+                             0);
+  for (usize i = 0; i < a.size(); ++i) {
+    table[static_cast<usize>(a[i]) * static_cast<usize>(kb) +
+          static_cast<usize>(b[i])] += 1;
+  }
+  return table;
+}
+
+real adjusted_rand_index(const std::vector<index_t>& a,
+                         const std::vector<index_t>& b) {
+  index_t ka, kb;
+  const std::vector<index_t> table = contingency_table(a, b, ka, kb);
+  const real n = static_cast<real>(a.size());
+  if (n < 2) return 1.0;
+
+  std::vector<real> row_sums(static_cast<usize>(ka), 0.0);
+  std::vector<real> col_sums(static_cast<usize>(kb), 0.0);
+  real sum_comb_cells = 0;
+  for (index_t i = 0; i < ka; ++i) {
+    for (index_t j = 0; j < kb; ++j) {
+      const real v = static_cast<real>(
+          table[static_cast<usize>(i) * static_cast<usize>(kb) +
+                static_cast<usize>(j)]);
+      row_sums[static_cast<usize>(i)] += v;
+      col_sums[static_cast<usize>(j)] += v;
+      sum_comb_cells += comb2(v);
+    }
+  }
+  real sum_comb_rows = 0, sum_comb_cols = 0;
+  for (real v : row_sums) sum_comb_rows += comb2(v);
+  for (real v : col_sums) sum_comb_cols += comb2(v);
+
+  const real expected = sum_comb_rows * sum_comb_cols / comb2(n);
+  const real max_index = (sum_comb_rows + sum_comb_cols) / 2;
+  const real denom = max_index - expected;
+  if (denom == 0) return 1.0;  // both partitions trivial
+  return (sum_comb_cells - expected) / denom;
+}
+
+real normalized_mutual_information(const std::vector<index_t>& a,
+                                   const std::vector<index_t>& b) {
+  index_t ka, kb;
+  const std::vector<index_t> table = contingency_table(a, b, ka, kb);
+  const real n = static_cast<real>(a.size());
+  if (n == 0) return 1.0;
+
+  std::vector<real> pa(static_cast<usize>(ka), 0.0);
+  std::vector<real> pb(static_cast<usize>(kb), 0.0);
+  for (index_t i = 0; i < ka; ++i) {
+    for (index_t j = 0; j < kb; ++j) {
+      const real v = static_cast<real>(
+          table[static_cast<usize>(i) * static_cast<usize>(kb) +
+                static_cast<usize>(j)]);
+      pa[static_cast<usize>(i)] += v / n;
+      pb[static_cast<usize>(j)] += v / n;
+    }
+  }
+  real mi = 0, ha = 0, hb = 0;
+  for (index_t i = 0; i < ka; ++i) {
+    for (index_t j = 0; j < kb; ++j) {
+      const real pij = static_cast<real>(
+                           table[static_cast<usize>(i) * static_cast<usize>(kb) +
+                                 static_cast<usize>(j)]) /
+                       n;
+      if (pij > 0) {
+        mi += pij * std::log(pij / (pa[static_cast<usize>(i)] *
+                                    pb[static_cast<usize>(j)]));
+      }
+    }
+  }
+  for (real p : pa) {
+    if (p > 0) ha -= p * std::log(p);
+  }
+  for (real p : pb) {
+    if (p > 0) hb -= p * std::log(p);
+  }
+  const real denom = (ha + hb) / 2;
+  if (denom == 0) return 1.0;  // both partitions trivial
+  return mi / denom;
+}
+
+real purity(const std::vector<index_t>& predicted,
+            const std::vector<index_t>& truth) {
+  index_t ka, kb;
+  const std::vector<index_t> table = contingency_table(predicted, truth, ka, kb);
+  if (predicted.empty()) return 1.0;
+  index_t correct = 0;
+  for (index_t i = 0; i < ka; ++i) {
+    index_t best = 0;
+    for (index_t j = 0; j < kb; ++j) {
+      best = std::max(best,
+                      table[static_cast<usize>(i) * static_cast<usize>(kb) +
+                            static_cast<usize>(j)]);
+    }
+    correct += best;
+  }
+  return static_cast<real>(correct) / static_cast<real>(predicted.size());
+}
+
+}  // namespace fastsc::metrics

@@ -1,0 +1,32 @@
+// External clustering quality indices against ground-truth labels.
+//
+// The synthetic datasets carry planted partitions, so unlike the paper we
+// can validate that the pipeline recovers them: Adjusted Rand Index,
+// Normalized Mutual Information and purity.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::metrics {
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, ~0 = random.
+[[nodiscard]] real adjusted_rand_index(const std::vector<index_t>& a,
+                                       const std::vector<index_t>& b);
+
+/// Normalized Mutual Information in [0, 1] (arithmetic-mean normalization).
+[[nodiscard]] real normalized_mutual_information(
+    const std::vector<index_t>& a, const std::vector<index_t>& b);
+
+/// Purity in (0, 1]: fraction of points in the majority true class of their
+/// predicted cluster.
+[[nodiscard]] real purity(const std::vector<index_t>& predicted,
+                          const std::vector<index_t>& truth);
+
+/// Contingency table between two labelings (ka x kb, row-major).
+[[nodiscard]] std::vector<index_t> contingency_table(
+    const std::vector<index_t>& a, const std::vector<index_t>& b, index_t& ka,
+    index_t& kb);
+
+}  // namespace fastsc::metrics

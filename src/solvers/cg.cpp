@@ -1,0 +1,86 @@
+#include "solvers/cg.h"
+
+#include <cmath>
+
+#include "blas/hblas.h"
+#include "common/error.h"
+
+namespace fastsc::solvers {
+
+namespace {
+
+/// Shared PCG loop; `apply_prec` maps r -> z (identity for plain CG).
+template <class Prec>
+CgResult pcg(const std::function<void(const real*, real*)>& matvec, index_t n,
+             const real* b, real* x, const Prec& apply_prec,
+             const CgConfig& config) {
+  FASTSC_CHECK(n >= 1, "system size must be positive");
+  std::vector<real> r(static_cast<usize>(n));
+  std::vector<real> z(static_cast<usize>(n));
+  std::vector<real> p(static_cast<usize>(n));
+  std::vector<real> ap(static_cast<usize>(n));
+
+  const real bnorm = hblas::nrm2(n, b);
+  CgResult result;
+  if (bnorm == 0) {
+    for (index_t i = 0; i < n; ++i) x[i] = 0;
+    result.converged = true;
+    return result;
+  }
+
+  // r = b - A x
+  matvec(x, r.data());
+  for (index_t i = 0; i < n; ++i) r[static_cast<usize>(i)] = b[i] - r[static_cast<usize>(i)];
+  apply_prec(r.data(), z.data());
+  hblas::copy(n, z.data(), p.data());
+  real rz = hblas::dot(n, r.data(), z.data());
+
+  for (index_t it = 0; it < config.max_iters; ++it) {
+    result.relative_residual = hblas::nrm2(n, r.data()) / bnorm;
+    if (result.relative_residual <= config.tol) {
+      result.converged = true;
+      result.iterations = it;
+      return result;
+    }
+    matvec(p.data(), ap.data());
+    const real pap = hblas::dot(n, p.data(), ap.data());
+    FASTSC_CHECK(pap > 0, "operator is not positive definite (p'Ap <= 0)");
+    const real alpha = rz / pap;
+    hblas::axpy(n, alpha, p.data(), x);
+    hblas::axpy(n, -alpha, ap.data(), r.data());
+    apply_prec(r.data(), z.data());
+    const real rz_new = hblas::dot(n, r.data(), z.data());
+    const real beta = rz_new / rz;
+    rz = rz_new;
+    for (index_t i = 0; i < n; ++i) {
+      p[static_cast<usize>(i)] = z[static_cast<usize>(i)] +
+                                 beta * p[static_cast<usize>(i)];
+    }
+    result.iterations = it + 1;
+  }
+  result.relative_residual = hblas::nrm2(n, r.data()) / bnorm;
+  result.converged = result.relative_residual <= config.tol;
+  return result;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(
+    const std::function<void(const real*, real*)>& matvec, index_t n,
+    const real* b, real* x, const CgConfig& config) {
+  return pcg(matvec, n, b, x,
+             [n](const real* r, real* z) { hblas::copy(n, r, z); }, config);
+}
+
+CgResult conjugate_gradient_jacobi(
+    const std::function<void(const real*, real*)>& matvec, index_t n,
+    const real* b, const real* inv_diag, real* x, const CgConfig& config) {
+  return pcg(
+      matvec, n, b, x,
+      [n, inv_diag](const real* r, real* z) {
+        for (index_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+      },
+      config);
+}
+
+}  // namespace fastsc::solvers

@@ -1,0 +1,40 @@
+// Conjugate gradient solver for symmetric positive definite operators.
+//
+// Substrate for the shift-invert spectral transformation (solvers/
+// shift_invert.h): ARPACK users pair the reverse-communication eigensolver
+// with a linear solve per iteration when they need interior/smallest
+// eigenvalues; CG is the matching iterative solver for our SPD shifted
+// operators.  Operator-based (like the eigensolver), so any SpMV backend
+// plugs in.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::solvers {
+
+struct CgConfig {
+  real tol = 1e-10;          ///< relative residual ||r|| / ||b||
+  index_t max_iters = 1000;  ///< iteration cap
+};
+
+struct CgResult {
+  index_t iterations = 0;
+  real relative_residual = 0;
+  bool converged = false;
+};
+
+/// Solve A x = b for SPD A given as matvec(x, y) computing y = A x.
+/// `x` is the initial guess on entry and the solution on exit.
+CgResult conjugate_gradient(
+    const std::function<void(const real*, real*)>& matvec, index_t n,
+    const real* b, real* x, const CgConfig& config = {});
+
+/// Jacobi-preconditioned CG: `inv_diag` holds 1 / A_ii.
+CgResult conjugate_gradient_jacobi(
+    const std::function<void(const real*, real*)>& matvec, index_t n,
+    const real* b, const real* inv_diag, real* x, const CgConfig& config = {});
+
+}  // namespace fastsc::solvers

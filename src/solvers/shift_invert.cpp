@@ -1,0 +1,70 @@
+#include "solvers/shift_invert.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fastsc::solvers {
+
+lanczos::SymEigResult solve_smallest_shift_invert(
+    const std::function<void(const real*, real*)>& matvec,
+    const ShiftInvertConfig& config, ShiftInvertStats* stats) {
+  const index_t n = config.lanczos.n;
+  FASTSC_CHECK(n >= 1, "problem size must be positive");
+  const real sigma = config.sigma;
+
+  // Shifted operator B = A - sigma I (SPD by assumption).
+  auto shifted = [&](const real* x, real* y) {
+    matvec(x, y);
+    for (index_t i = 0; i < n; ++i) y[i] -= sigma * x[i];
+  };
+
+  ShiftInvertStats local_stats;
+
+  lanczos::LanczosConfig lcfg = config.lanczos;
+  lcfg.which = lanczos::EigWhich::kLargestAlgebraic;  // largest of B^-1
+
+  lanczos::SymEigResult result = lanczos::solve_symmetric(
+      lcfg, [&](const real* x, real* y) {
+        // y = (A - sigma I)^-1 x via CG from a zero initial guess
+        // (consecutive Lanczos vectors are mutually orthogonal, so the
+        // previous solution carries no useful warm-start information).
+        std::fill(y, y + n, 0.0);
+        const CgResult cg =
+            config.inv_diag != nullptr
+                ? conjugate_gradient_jacobi(shifted, n, x, config.inv_diag, y,
+                                            config.cg)
+                : conjugate_gradient(shifted, n, x, y, config.cg);
+        local_stats.outer_matvecs += 1;
+        local_stats.total_cg_iterations += cg.iterations;
+        local_stats.all_solves_converged &= cg.converged;
+      });
+
+  // Back-map eigenvalues: theta = 1/(lambda - sigma) => lambda = sigma + 1/theta.
+  for (real& theta : result.eigenvalues) {
+    FASTSC_ASSERT(theta != 0);
+    theta = sigma + 1.0 / theta;
+  }
+  // Ascending order of the original problem (largest theta = smallest lambda
+  // already first; just reverse-check ordering).
+  std::vector<index_t> order(result.eigenvalues.size());
+  for (usize i = 0; i < order.size(); ++i) order[i] = static_cast<index_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return result.eigenvalues[static_cast<usize>(a)] <
+           result.eigenvalues[static_cast<usize>(b)];
+  });
+  lanczos::SymEigResult sorted = result;
+  for (usize i = 0; i < order.size(); ++i) {
+    const auto src = static_cast<usize>(order[i]);
+    sorted.eigenvalues[i] = result.eigenvalues[src];
+    sorted.residuals[i] = result.residuals[src];
+    std::copy(result.eigenvectors.begin() + static_cast<index_t>(src) * n,
+              result.eigenvectors.begin() + static_cast<index_t>(src + 1) * n,
+              sorted.eigenvectors.begin() + static_cast<index_t>(i) * n);
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return sorted;
+}
+
+}  // namespace fastsc::solvers

@@ -1,0 +1,142 @@
+#include "solvers/subspace_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/hblas.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "lanczos/dense_eig.h"
+
+namespace fastsc::solvers {
+
+namespace {
+
+/// Modified Gram-Schmidt on the rows of X (p x n), two passes.
+void orthonormalize_rows(real* x, index_t p, index_t n, Rng& rng) {
+  for (index_t i = 0; i < p; ++i) {
+    real* row = x + i * n;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (index_t j = 0; j < i; ++j) {
+        const real c = hblas::dot(n, x + j * n, row);
+        if (c != 0) hblas::axpy(n, -c, x + j * n, row);
+      }
+    }
+    real norm = hblas::nrm2(n, row);
+    if (norm < 1e-14) {
+      // Deficient direction: replace with a random one and retry once.
+      for (index_t l = 0; l < n; ++l) row[l] = rng.uniform() - 0.5;
+      for (index_t j = 0; j < i; ++j) {
+        const real c = hblas::dot(n, x + j * n, row);
+        hblas::axpy(n, -c, x + j * n, row);
+      }
+      norm = hblas::nrm2(n, row);
+      FASTSC_ASSERT(norm > 0);
+    }
+    hblas::scal(n, 1.0 / norm, row);
+  }
+}
+
+}  // namespace
+
+SubspaceResult subspace_iteration(
+    const std::function<void(const real*, real*)>& matvec,
+    const SubspaceConfig& config) {
+  const index_t n = config.n;
+  const index_t nev = config.nev;
+  FASTSC_CHECK(n >= 1 && nev >= 1 && nev <= n, "bad subspace dimensions");
+  index_t p = config.block;
+  if (p == 0) p = nev + std::min<index_t>(nev, 10);
+  p = std::min(p, n);
+
+  Rng rng(config.seed);
+  std::vector<real> x(static_cast<usize>(p) * static_cast<usize>(n));
+  for (real& v : x) v = rng.uniform() - 0.5;
+  orthonormalize_rows(x.data(), p, n, rng);
+
+  std::vector<real> ax(x.size());
+  std::vector<real> b(static_cast<usize>(p) * static_cast<usize>(p));
+  std::vector<real> rotated(x.size());
+
+  SubspaceResult result;
+  real norm_est = 1.0;
+
+  for (index_t iter = 0; iter < config.max_iters; ++iter) {
+    result.iterations = iter + 1;
+    // AX (one operator application per block row).
+    for (index_t i = 0; i < p; ++i) {
+      matvec(x.data() + i * n, ax.data() + i * n);
+    }
+    result.matvec_count += p;
+
+    const bool do_ritz =
+        (iter % config.ritz_every) == config.ritz_every - 1 ||
+        iter == config.max_iters - 1;
+    if (!do_ritz) {
+      std::swap(x, ax);
+      orthonormalize_rows(x.data(), p, n, rng);
+      continue;
+    }
+
+    // Rayleigh-Ritz: B = X A X^T (p x p symmetric; rows of X orthonormal).
+    hblas::gemm_nt(p, p, n, 1.0, x.data(), n, ax.data(), n, 0.0, b.data(), p);
+    // Symmetrize against roundoff.
+    for (index_t i = 0; i < p; ++i) {
+      for (index_t j = i + 1; j < p; ++j) {
+        const real avg = 0.5 * (b[static_cast<usize>(i * p + j)] +
+                                b[static_cast<usize>(j * p + i)]);
+        b[static_cast<usize>(i * p + j)] = avg;
+        b[static_cast<usize>(j * p + i)] = avg;
+      }
+    }
+    const lanczos::DenseEigResult eig = lanczos::dense_sym_eig(b.data(), p);
+    for (real lam : eig.eigenvalues) {
+      norm_est = std::max(norm_est, std::fabs(lam));
+    }
+    // Order by |lambda| descending (dominant pairs).
+    std::vector<index_t> order(static_cast<usize>(p));
+    for (index_t i = 0; i < p; ++i) order[static_cast<usize>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b2) {
+      return std::fabs(eig.eigenvalues[static_cast<usize>(a)]) >
+             std::fabs(eig.eigenvalues[static_cast<usize>(b2)]);
+    });
+    // Rotate the basis: rows of X_new = Y_sel^T X.
+    std::vector<real> g(static_cast<usize>(p) * static_cast<usize>(p));
+    for (index_t i = 0; i < p; ++i) {
+      const index_t col = order[static_cast<usize>(i)];
+      for (index_t q = 0; q < p; ++q) {
+        g[static_cast<usize>(i * p + q)] =
+            eig.eigenvectors[static_cast<usize>(q * p + col)];
+      }
+    }
+    hblas::gemm(p, n, p, 1.0, g.data(), p, x.data(), n, 0.0, rotated.data(),
+                n);
+    std::swap(x, rotated);
+
+    // Residual check for the nev wanted pairs: ||A v - lambda v||.
+    result.eigenvalues.assign(static_cast<usize>(nev), 0.0);
+    result.residuals.assign(static_cast<usize>(nev), 0.0);
+    bool all_ok = true;
+    std::vector<real> av(static_cast<usize>(n));
+    for (index_t i = 0; i < nev; ++i) {
+      const real lam = eig.eigenvalues[static_cast<usize>(
+          order[static_cast<usize>(i)])];
+      result.eigenvalues[static_cast<usize>(i)] = lam;
+      matvec(x.data() + i * n, av.data());
+      result.matvec_count += 1;
+      hblas::axpy(n, -lam, x.data() + i * n, av.data());
+      const real res = hblas::nrm2(n, av.data());
+      result.residuals[static_cast<usize>(i)] = res;
+      if (res > config.tol * norm_est) all_ok = false;
+    }
+    if (all_ok) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.eigenvectors.assign(x.begin(), x.begin() + nev * n);
+  return result;
+}
+
+}  // namespace fastsc::solvers

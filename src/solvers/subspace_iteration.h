@@ -1,0 +1,43 @@
+// Block power (subspace) iteration with Rayleigh-Ritz acceleration.
+//
+// The classic pre-Lanczos method for a few extreme eigenpairs, implemented
+// as an algorithmic baseline for the eigensolver ablation: the paper claims
+// IRAM/ARPACK is "the most efficient and convenient way" (§IV.B), and
+// bench_ablation_eigensolvers quantifies that against this simpler method
+// (typically many more operator applications for clustered spectra).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::solvers {
+
+struct SubspaceConfig {
+  index_t n = 0;
+  index_t nev = 1;
+  /// Block size; 0 selects nev + min(nev, 10) guard vectors.
+  index_t block = 0;
+  real tol = 1e-8;            ///< residual tolerance relative to ||A|| est.
+  index_t max_iters = 1000;   ///< outer iterations
+  index_t ritz_every = 5;     ///< Rayleigh-Ritz projection cadence
+  std::uint64_t seed = 42;
+};
+
+struct SubspaceResult {
+  std::vector<real> eigenvalues;   ///< nev values, largest-magnitude first
+  std::vector<real> eigenvectors;  ///< row-major nev x n
+  std::vector<real> residuals;
+  index_t iterations = 0;
+  index_t matvec_count = 0;  ///< operator applications (counting block cols)
+  bool converged = false;
+};
+
+/// Compute the nev dominant (largest-magnitude) eigenpairs of the symmetric
+/// operator `matvec`.
+SubspaceResult subspace_iteration(
+    const std::function<void(const real*, real*)>& matvec,
+    const SubspaceConfig& config);
+
+}  // namespace fastsc::solvers

@@ -1,0 +1,31 @@
+#include "sparse/bsr.h"
+
+#include "common/error.h"
+
+namespace fastsc::sparse {
+
+void Bsr::validate() const {
+  FASTSC_CHECK(block_size >= 1, "BSR block size must be positive");
+  FASTSC_CHECK(block_rows == (rows + block_size - 1) / block_size,
+               "BSR block_rows inconsistent with rows/block_size");
+  FASTSC_CHECK(block_cols == (cols + block_size - 1) / block_size,
+               "BSR block_cols inconsistent with cols/block_size");
+  FASTSC_CHECK(block_row_ptr.size() == static_cast<usize>(block_rows) + 1,
+               "BSR block_row_ptr must have block_rows+1 entries");
+  FASTSC_CHECK(block_row_ptr.front() == 0, "BSR block_row_ptr must start at 0");
+  FASTSC_CHECK(block_row_ptr.back() == block_count(),
+               "BSR block_row_ptr must end at block count");
+  FASTSC_CHECK(values.size() == static_cast<usize>(block_count()) *
+                                    static_cast<usize>(block_size) *
+                                    static_cast<usize>(block_size),
+               "BSR values must hold b*b entries per block");
+  for (usize r = 0; r < static_cast<usize>(block_rows); ++r) {
+    FASTSC_CHECK(block_row_ptr[r] <= block_row_ptr[r + 1],
+                 "BSR block_row_ptr must be nondecreasing");
+  }
+  for (index_t c : block_col_idx) {
+    FASTSC_CHECK(c >= 0 && c < block_cols, "BSR block col index out of range");
+  }
+}
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,32 @@
+// Block Compressed Sparse Row matrix (BSR).
+//
+// Supported per the paper ("... Block Compressed Sparse Row Format (BSR) are
+// also supported").  Dense b x b blocks stored row-major; rows/cols are
+// padded up to a multiple of the block size at conversion time (zero fill),
+// matching cuSPARSE's bsr behaviour.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::sparse {
+
+struct Bsr {
+  index_t rows = 0;        // logical (unpadded) rows
+  index_t cols = 0;        // logical (unpadded) cols
+  index_t block_size = 1;  // b
+  index_t block_rows = 0;  // ceil(rows / b)
+  index_t block_cols = 0;  // ceil(cols / b)
+  std::vector<index_t> block_row_ptr;  // length block_rows + 1
+  std::vector<index_t> block_col_idx;  // length nblocks
+  std::vector<real> values;            // nblocks * b * b, block-major
+
+  [[nodiscard]] index_t block_count() const noexcept {
+    return static_cast<index_t>(block_col_idx.size());
+  }
+
+  void validate() const;
+};
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,45 @@
+// Conversions between sparse formats.
+//
+// coo_to_csr is the cusparseXcoo2csr step of the paper's Algorithm 2; the
+// other conversions back the "other formats are also supported" claim and
+// give the SpMV format-comparison bench its inputs.
+#pragma once
+
+#include "sparse/bsr.h"
+#include "sparse/coo.h"
+#include "sparse/csc.h"
+#include "sparse/csr.h"
+
+namespace fastsc::sparse {
+
+/// Sort COO entries by (row, col) and sum duplicates in place.
+void sort_and_merge(Coo& coo);
+
+/// COO -> CSR via counting sort on rows; within-row order follows the COO
+/// order (stable).  Duplicates are kept; call sort_and_merge first if the
+/// input may contain them.
+[[nodiscard]] Csr coo_to_csr(const Coo& coo);
+
+/// CSR -> COO (rows expanded from the prefix sums).
+[[nodiscard]] Coo csr_to_coo(const Csr& csr);
+
+/// CSR -> CSC (equivalently: CSR of the transpose).
+[[nodiscard]] Csc csr_to_csc(const Csr& csr);
+
+/// CSC -> CSR.
+[[nodiscard]] Csr csc_to_csr(const Csc& csc);
+
+/// CSR -> BSR with the given block size (zero-padded partial blocks).
+[[nodiscard]] Bsr csr_to_bsr(const Csr& csr, index_t block_size);
+
+/// BSR -> CSR (drops stored zeros introduced by padding).
+[[nodiscard]] Csr bsr_to_csr(const Bsr& bsr);
+
+/// Dense row-major -> CSR, keeping entries with |v| > drop_tol.
+[[nodiscard]] Csr dense_to_csr(index_t rows, index_t cols, const real* dense,
+                               real drop_tol = 0.0);
+
+/// CSR -> dense row-major (caller-sized output of rows*cols).
+void csr_to_dense(const Csr& csr, real* dense);
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,30 @@
+#include "sparse/coo.h"
+
+#include "common/error.h"
+
+namespace fastsc::sparse {
+
+void Coo::validate() const {
+  FASTSC_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
+  FASTSC_CHECK(row_idx.size() == values.size() &&
+                   col_idx.size() == values.size(),
+               "COO arrays must have equal length");
+  for (usize i = 0; i < values.size(); ++i) {
+    FASTSC_CHECK(row_idx[i] >= 0 && row_idx[i] < rows,
+                 "COO row index out of range");
+    FASTSC_CHECK(col_idx[i] >= 0 && col_idx[i] < cols,
+                 "COO col index out of range");
+  }
+}
+
+bool Coo::is_sorted_unique() const noexcept {
+  for (usize i = 1; i < values.size(); ++i) {
+    if (row_idx[i] < row_idx[i - 1]) return false;
+    if (row_idx[i] == row_idx[i - 1] && col_idx[i] <= col_idx[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,49 @@
+// Coordinate-format sparse matrix (COO).
+//
+// The paper's graph-construction step (Algorithm 1) produces the similarity
+// matrix in COO: the given edge list supplies (row, col) pairs and a device
+// kernel fills the value array.  COO is also the interchange format between
+// the dataset generators and the pipeline.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::sparse {
+
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_idx;
+  std::vector<index_t> col_idx;
+  std::vector<real> values;
+
+  Coo() = default;
+  Coo(index_t rows_, index_t cols_) : rows(rows_), cols(cols_) {}
+
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values.size());
+  }
+
+  void reserve(index_t nnz_hint) {
+    row_idx.reserve(static_cast<usize>(nnz_hint));
+    col_idx.reserve(static_cast<usize>(nnz_hint));
+    values.reserve(static_cast<usize>(nnz_hint));
+  }
+
+  void push(index_t r, index_t c, real v) {
+    row_idx.push_back(r);
+    col_idx.push_back(c);
+    values.push_back(v);
+  }
+
+  /// Throws std::invalid_argument if the arrays are inconsistent or any
+  /// index is out of bounds.
+  void validate() const;
+
+  /// True if entries are sorted by (row, col) with no duplicates.
+  [[nodiscard]] bool is_sorted_unique() const noexcept;
+};
+
+}  // namespace fastsc::sparse

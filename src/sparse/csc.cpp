@@ -1,0 +1,24 @@
+#include "sparse/csc.h"
+
+#include "common/error.h"
+
+namespace fastsc::sparse {
+
+void Csc::validate() const {
+  FASTSC_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
+  FASTSC_CHECK(col_ptr.size() == static_cast<usize>(cols) + 1,
+               "CSC col_ptr must have cols+1 entries");
+  FASTSC_CHECK(row_idx.size() == values.size(),
+               "CSC row_idx and values must have equal length");
+  FASTSC_CHECK(col_ptr.front() == 0, "CSC col_ptr must start at 0");
+  FASTSC_CHECK(col_ptr.back() == nnz(), "CSC col_ptr must end at nnz");
+  for (usize c = 0; c < static_cast<usize>(cols); ++c) {
+    FASTSC_CHECK(col_ptr[c] <= col_ptr[c + 1],
+                 "CSC col_ptr must be nondecreasing");
+  }
+  for (index_t r : row_idx) {
+    FASTSC_CHECK(r >= 0 && r < rows, "CSC row index out of range");
+  }
+}
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,33 @@
+// Compressed Sparse Column matrix (CSC).
+//
+// Supported per the paper ("Other sparse formats such as CSC ... are also
+// supported in our implementation").  Useful as the transpose view of a CSR
+// matrix; for symmetric similarity matrices CSC SpMV equals CSR SpMV, which
+// the tests exploit as a consistency check.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::sparse {
+
+struct Csc {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> col_ptr;  // length cols + 1
+  std::vector<index_t> row_idx;  // length nnz
+  std::vector<real> values;      // length nnz
+
+  Csc() = default;
+  Csc(index_t rows_, index_t cols_)
+      : rows(rows_), cols(cols_), col_ptr(static_cast<usize>(cols_) + 1, 0) {}
+
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values.size());
+  }
+
+  void validate() const;
+};
+
+}  // namespace fastsc::sparse

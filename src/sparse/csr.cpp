@@ -1,0 +1,48 @@
+#include "sparse/csr.h"
+
+#include "common/error.h"
+
+namespace fastsc::sparse {
+
+void Csr::validate() const {
+  FASTSC_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
+  FASTSC_CHECK(row_ptr.size() == static_cast<usize>(rows) + 1,
+               "CSR row_ptr must have rows+1 entries");
+  FASTSC_CHECK(col_idx.size() == values.size(),
+               "CSR col_idx and values must have equal length");
+  FASTSC_CHECK(row_ptr.front() == 0, "CSR row_ptr must start at 0");
+  FASTSC_CHECK(row_ptr.back() == nnz(), "CSR row_ptr must end at nnz");
+  for (usize r = 0; r < static_cast<usize>(rows); ++r) {
+    FASTSC_CHECK(row_ptr[r] <= row_ptr[r + 1],
+                 "CSR row_ptr must be nondecreasing");
+  }
+  for (index_t c : col_idx) {
+    FASTSC_CHECK(c >= 0 && c < cols, "CSR col index out of range");
+  }
+}
+
+bool Csr::has_sorted_rows() const noexcept {
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t p = row_ptr[static_cast<usize>(r)] + 1;
+         p < row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      if (col_idx[static_cast<usize>(p)] <= col_idx[static_cast<usize>(p) - 1]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+real Csr::at(index_t r, index_t c) const noexcept {
+  if (r < 0 || r >= rows) return 0;
+  real acc = 0;  // sum stored duplicates, matching the dense interpretation
+  for (index_t p = row_ptr[static_cast<usize>(r)];
+       p < row_ptr[static_cast<usize>(r) + 1]; ++p) {
+    if (col_idx[static_cast<usize>(p)] == c) {
+      acc += values[static_cast<usize>(p)];
+    }
+  }
+  return acc;
+}
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,46 @@
+// Compressed Sparse Row matrix (CSR).
+//
+// The workhorse format: the eigensolver's repeated SpMV (cusparseDcsrmv in
+// the paper's Algorithm 3) runs on CSR, produced from COO via coo2csr
+// (Algorithm 2, step 4).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::sparse {
+
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row_ptr;  // length rows + 1, prefix sums of row nnz
+  std::vector<index_t> col_idx;  // length nnz
+  std::vector<real> values;      // length nnz
+
+  Csr() = default;
+  Csr(index_t rows_, index_t cols_)
+      : rows(rows_), cols(cols_), row_ptr(static_cast<usize>(rows_) + 1, 0) {}
+
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values.size());
+  }
+
+  /// Number of stored entries in a row.
+  [[nodiscard]] index_t row_nnz(index_t r) const noexcept {
+    return row_ptr[static_cast<usize>(r) + 1] - row_ptr[static_cast<usize>(r)];
+  }
+
+  /// Throws std::invalid_argument on malformed structure (bad prefix sums,
+  /// out-of-range column indices).
+  void validate() const;
+
+  /// True if each row's column indices are strictly increasing.
+  [[nodiscard]] bool has_sorted_rows() const noexcept;
+
+  /// Stored value at (r, c) or 0 if absent (linear scan of row r; for tests
+  /// and small-matrix work, not hot paths).
+  [[nodiscard]] real at(index_t r, index_t c) const noexcept;
+};
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,122 @@
+#include "sparse/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sparse/convert.h"
+
+namespace fastsc::sparse {
+
+std::vector<real> row_sums(const Csr& a) {
+  std::vector<real> sums(static_cast<usize>(a.rows), 0.0);
+  for (index_t r = 0; r < a.rows; ++r) {
+    real acc = 0;
+    for (index_t p = a.row_ptr[static_cast<usize>(r)];
+         p < a.row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      acc += a.values[static_cast<usize>(p)];
+    }
+    sums[static_cast<usize>(r)] = acc;
+  }
+  return sums;
+}
+
+Csr transpose(const Csr& a) {
+  const Csc csc = csr_to_csc(a);
+  // The CSC of A holds exactly the CSR of A^T with rows/cols swapped.
+  Csr t;
+  t.rows = a.cols;
+  t.cols = a.rows;
+  t.row_ptr = csc.col_ptr;
+  t.col_idx = csc.row_idx;
+  t.values = csc.values;
+  return t;
+}
+
+bool is_symmetric(const Csr& a, real tol) {
+  if (a.rows != a.cols) return false;
+  const Csr t = transpose(a);
+  if (t.nnz() != a.nnz()) return false;
+  // transpose() yields sorted rows; sort a's rows by comparing via transpose
+  // twice (cheap and simple: transpose(transpose(a)) is a with sorted rows).
+  const Csr sorted_a = transpose(t);
+  for (usize i = 0; i < sorted_a.values.size(); ++i) {
+    if (sorted_a.col_idx[i] != t.col_idx[i]) return false;
+    if (std::fabs(sorted_a.values[i] - t.values[i]) > tol) return false;
+  }
+  return sorted_a.row_ptr == t.row_ptr;
+}
+
+std::vector<real> diagonal(const Csr& a) {
+  FASTSC_CHECK(a.rows == a.cols, "diagonal requires a square matrix");
+  std::vector<real> d(static_cast<usize>(a.rows), 0.0);
+  for (index_t r = 0; r < a.rows; ++r) {
+    for (index_t p = a.row_ptr[static_cast<usize>(r)];
+         p < a.row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      if (a.col_idx[static_cast<usize>(p)] == r) {
+        d[static_cast<usize>(r)] += a.values[static_cast<usize>(p)];
+      }
+    }
+  }
+  return d;
+}
+
+real frobenius_norm(const Csr& a) {
+  real acc = 0;
+  for (real v : a.values) acc += v * v;
+  return std::sqrt(acc);
+}
+
+real inf_norm(const Csr& a) {
+  real best = 0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    real acc = 0;
+    for (index_t p = a.row_ptr[static_cast<usize>(r)];
+         p < a.row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      acc += std::fabs(a.values[static_cast<usize>(p)]);
+    }
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+Csr drop_small(const Csr& a, real tol) {
+  Csr out(a.rows, a.cols);
+  out.col_idx.reserve(a.col_idx.size());
+  out.values.reserve(a.values.size());
+  for (index_t r = 0; r < a.rows; ++r) {
+    for (index_t p = a.row_ptr[static_cast<usize>(r)];
+         p < a.row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      if (std::fabs(a.values[static_cast<usize>(p)]) > tol) {
+        out.col_idx.push_back(a.col_idx[static_cast<usize>(p)]);
+        out.values.push_back(a.values[static_cast<usize>(p)]);
+      }
+    }
+    out.row_ptr[static_cast<usize>(r) + 1] =
+        static_cast<index_t>(out.values.size());
+  }
+  return out;
+}
+
+Csr symmetrize(const Csr& a) {
+  FASTSC_CHECK(a.rows == a.cols, "symmetrize requires a square matrix");
+  Coo acc = csr_to_coo(a);
+  const Csr t = transpose(a);
+  const Coo tc = csr_to_coo(t);
+  acc.row_idx.insert(acc.row_idx.end(), tc.row_idx.begin(), tc.row_idx.end());
+  acc.col_idx.insert(acc.col_idx.end(), tc.col_idx.begin(), tc.col_idx.end());
+  acc.values.insert(acc.values.end(), tc.values.begin(), tc.values.end());
+  for (real& v : acc.values) v *= 0.5;
+  sort_and_merge(acc);
+  return coo_to_csr(acc);
+}
+
+index_t empty_row_count(const Csr& a) {
+  index_t count = 0;
+  for (index_t r = 0; r < a.rows; ++r) {
+    if (a.row_nnz(r) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace fastsc::sparse

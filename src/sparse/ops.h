@@ -1,0 +1,38 @@
+// Structural and numeric operations on sparse matrices.
+#pragma once
+
+#include <vector>
+
+#include "sparse/coo.h"
+#include "sparse/csr.h"
+
+namespace fastsc::sparse {
+
+/// Row sums (weighted degrees d_ii = sum_j W_ij of the paper's Step 2).
+[[nodiscard]] std::vector<real> row_sums(const Csr& a);
+
+/// Transpose as CSR.
+[[nodiscard]] Csr transpose(const Csr& a);
+
+/// True if A equals A^T up to `tol` on every stored entry.
+[[nodiscard]] bool is_symmetric(const Csr& a, real tol = 0.0);
+
+/// Stored diagonal (0 where absent); square matrices only.
+[[nodiscard]] std::vector<real> diagonal(const Csr& a);
+
+/// Frobenius norm of stored values.
+[[nodiscard]] real frobenius_norm(const Csr& a);
+
+/// Infinity norm (max absolute row sum).
+[[nodiscard]] real inf_norm(const Csr& a);
+
+/// Remove entries with |v| <= tol; keeps structure sorted if it was sorted.
+[[nodiscard]] Csr drop_small(const Csr& a, real tol);
+
+/// Symmetrize: (A + A^T) / 2.
+[[nodiscard]] Csr symmetrize(const Csr& a);
+
+/// Number of rows with zero stored entries (isolated graph nodes).
+[[nodiscard]] index_t empty_row_count(const Csr& a);
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,305 @@
+#include "sparse/spmv.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "device/algorithms.h"
+
+namespace fastsc::sparse {
+
+void csr_mv(const Csr& a, const real* x, real* y, real alpha, real beta) {
+  for (index_t r = 0; r < a.rows; ++r) {
+    real acc = 0;
+    for (index_t p = a.row_ptr[static_cast<usize>(r)];
+         p < a.row_ptr[static_cast<usize>(r) + 1]; ++p) {
+      acc += a.values[static_cast<usize>(p)] *
+             x[a.col_idx[static_cast<usize>(p)]];
+    }
+    y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+  }
+}
+
+void coo_mv(const Coo& a, const real* x, real* y, real alpha, real beta) {
+  if (beta == 0) {
+    std::fill(y, y + a.rows, 0.0);
+  } else if (beta != 1) {
+    for (index_t r = 0; r < a.rows; ++r) y[r] *= beta;
+  }
+  const usize nnz = a.values.size();
+  for (usize i = 0; i < nnz; ++i) {
+    y[a.row_idx[i]] += alpha * a.values[i] * x[a.col_idx[i]];
+  }
+}
+
+void csc_mv(const Csc& a, const real* x, real* y, real alpha, real beta) {
+  if (beta == 0) {
+    std::fill(y, y + a.rows, 0.0);
+  } else if (beta != 1) {
+    for (index_t r = 0; r < a.rows; ++r) y[r] *= beta;
+  }
+  for (index_t c = 0; c < a.cols; ++c) {
+    const real s = alpha * x[c];
+    if (s == 0) continue;
+    for (index_t p = a.col_ptr[static_cast<usize>(c)];
+         p < a.col_ptr[static_cast<usize>(c) + 1]; ++p) {
+      y[a.row_idx[static_cast<usize>(p)]] +=
+          s * a.values[static_cast<usize>(p)];
+    }
+  }
+}
+
+void bsr_mv(const Bsr& a, const real* x, real* y, real alpha, real beta) {
+  const index_t b = a.block_size;
+  if (beta == 0) {
+    std::fill(y, y + a.rows, 0.0);
+  } else if (beta != 1) {
+    for (index_t r = 0; r < a.rows; ++r) y[r] *= beta;
+  }
+  for (index_t br = 0; br < a.block_rows; ++br) {
+    const index_t r_lo = br * b;
+    const index_t r_hi = std::min(r_lo + b, a.rows);
+    for (index_t s = a.block_row_ptr[static_cast<usize>(br)];
+         s < a.block_row_ptr[static_cast<usize>(br) + 1]; ++s) {
+      const index_t c_lo = a.block_col_idx[static_cast<usize>(s)] * b;
+      const index_t c_hi = std::min(c_lo + b, a.cols);
+      const real* block = a.values.data() +
+                          static_cast<usize>(s) * static_cast<usize>(b) *
+                              static_cast<usize>(b);
+      for (index_t r = r_lo; r < r_hi; ++r) {
+        real acc = 0;
+        const real* brow = block + (r - r_lo) * b;
+        for (index_t c = c_lo; c < c_hi; ++c) acc += brow[c - c_lo] * x[c];
+        y[r] += alpha * acc;
+      }
+    }
+  }
+}
+
+DeviceCsr::DeviceCsr(device::DeviceContext& ctx, const Csr& host)
+    : rows(host.rows),
+      cols(host.cols),
+      row_ptr(ctx, std::span<const index_t>(host.row_ptr)),
+      col_idx(ctx, std::span<const index_t>(host.col_idx)),
+      values(ctx, std::span<const real>(host.values)) {}
+
+Csr DeviceCsr::to_host() const {
+  Csr out;
+  out.rows = rows;
+  out.cols = cols;
+  out.row_ptr = row_ptr.to_host();
+  out.col_idx = col_idx.to_host();
+  out.values = values.to_host();
+  return out;
+}
+
+DeviceCoo::DeviceCoo(device::DeviceContext& ctx, const Coo& host)
+    : rows(host.rows),
+      cols(host.cols),
+      row_idx(ctx, std::span<const index_t>(host.row_idx)),
+      col_idx(ctx, std::span<const index_t>(host.col_idx)),
+      values(ctx, std::span<const real>(host.values)) {}
+
+Coo DeviceCoo::to_host() const {
+  Coo out(rows, cols);
+  out.row_idx = row_idx.to_host();
+  out.col_idx = col_idx.to_host();
+  out.values = values.to_host();
+  return out;
+}
+
+void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
+                  real* y, real alpha, real beta) {
+  const index_t* row_ptr = a.row_ptr.data();
+  const index_t* col_idx = a.col_idx.data();
+  const real* values = a.values.data();
+  device::launch(ctx, a.rows, [=](index_t r) {
+    real acc = 0;
+    for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      acc += values[p] * x[col_idx[p]];
+    }
+    y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+  });
+}
+
+void device_coo2csr(device::DeviceContext& ctx, const DeviceCoo& coo,
+                    DeviceCsr& out) {
+  out.rows = coo.rows;
+  out.cols = coo.cols;
+  const index_t nnz = coo.nnz();
+  out.row_ptr = device::DeviceBuffer<index_t>(
+      ctx, static_cast<usize>(coo.rows) + 1);
+  out.col_idx = device::DeviceBuffer<index_t>(ctx, static_cast<usize>(nnz));
+  out.values = device::DeviceBuffer<real>(ctx, static_cast<usize>(nnz));
+
+  const index_t* rows_in = coo.row_idx.data();
+  index_t* row_ptr = out.row_ptr.data();
+  const index_t n_rows = coo.rows;
+
+  // Each thread r finds the first entry with row >= r by binary search over
+  // the sorted row-index array — the standard GPU coo2csr formulation.
+  device::launch(ctx, n_rows + 1, [=](index_t r) {
+    index_t lo = 0, hi = nnz;
+    while (lo < hi) {
+      const index_t mid = lo + (hi - lo) / 2;
+      if (rows_in[mid] < r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    row_ptr[r] = lo;
+  });
+
+  device::transform(ctx, coo.col_idx.data(), out.col_idx.data(), nnz,
+                    [](index_t c) { return c; });
+  device::transform(ctx, coo.values.data(), out.values.data(), nnz,
+                    [](real v) { return v; });
+}
+
+DeviceCsc::DeviceCsc(device::DeviceContext& ctx, const Csc& host)
+    : rows(host.rows),
+      cols(host.cols),
+      col_ptr(ctx, std::span<const index_t>(host.col_ptr)),
+      row_idx(ctx, std::span<const index_t>(host.row_idx)),
+      values(ctx, std::span<const real>(host.values)) {}
+
+Csc DeviceCsc::to_host() const {
+  Csc out;
+  out.rows = rows;
+  out.cols = cols;
+  out.col_ptr = col_ptr.to_host();
+  out.row_idx = row_idx.to_host();
+  out.values = values.to_host();
+  return out;
+}
+
+DeviceBsr::DeviceBsr(device::DeviceContext& ctx, const Bsr& host)
+    : rows(host.rows),
+      cols(host.cols),
+      block_size(host.block_size),
+      block_rows(host.block_rows),
+      block_cols(host.block_cols),
+      block_row_ptr(ctx, std::span<const index_t>(host.block_row_ptr)),
+      block_col_idx(ctx, std::span<const index_t>(host.block_col_idx)),
+      values(ctx, std::span<const real>(host.values)) {}
+
+Bsr DeviceBsr::to_host() const {
+  Bsr out;
+  out.rows = rows;
+  out.cols = cols;
+  out.block_size = block_size;
+  out.block_rows = block_rows;
+  out.block_cols = block_cols;
+  out.block_row_ptr = block_row_ptr.to_host();
+  out.block_col_idx = block_col_idx.to_host();
+  out.values = values.to_host();
+  return out;
+}
+
+void device_cscmv(device::DeviceContext& ctx, const DeviceCsc& a, const real* x,
+                  real* y, real alpha, real beta) {
+  const index_t rows = a.rows;
+  const index_t cols = a.cols;
+  // Scale/clear the output first.
+  if (beta == 0) {
+    device::fill(ctx, y, rows, real{0});
+  } else if (beta != 1) {
+    device::launch(ctx, rows, [=](index_t i) { y[i] *= beta; });
+  }
+  if (a.nnz() == 0 || alpha == 0) {
+    return;
+  }
+  const index_t* col_ptr = a.col_ptr.data();
+  const index_t* row_idx = a.row_idx.data();
+  const real* values = a.values.data();
+
+  // Column-parallel scatter: each worker accumulates into a private output
+  // slice, then a row-parallel reduction folds the partials into y (the
+  // deterministic stand-in for GPU atomics).
+  WallTimer t;
+  const auto workers = static_cast<index_t>(ctx.pool().worker_count());
+  if (workers == 1) {
+    for (index_t c = 0; c < cols; ++c) {
+      const real s = alpha * x[c];
+      if (s == 0) continue;
+      for (index_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+        y[row_idx[p]] += s * values[p];
+      }
+    }
+    ctx.record_kernel(t.seconds());
+    return;
+  }
+  std::vector<real> partials(
+      static_cast<usize>(workers) * static_cast<usize>(rows), 0.0);
+  const index_t chunk = (cols + workers - 1) / workers;
+  std::function<void(usize)> job = [&](usize w) {
+    const index_t lo = static_cast<index_t>(w) * chunk;
+    const index_t hi = lo + chunk < cols ? lo + chunk : cols;
+    real* part = partials.data() + static_cast<index_t>(w) * rows;
+    for (index_t c = lo; c < hi; ++c) {
+      const real s = alpha * x[c];
+      if (s == 0) continue;
+      for (index_t p = col_ptr[c]; p < col_ptr[c + 1]; ++p) {
+        part[row_idx[p]] += s * values[p];
+      }
+    }
+  };
+  ctx.pool().run_workers(job);
+  ctx.record_kernel(t.seconds());
+  device::launch(ctx, rows, [&partials, y, workers, rows](index_t i) {
+    real acc = 0;
+    for (index_t w = 0; w < workers; ++w) acc += partials[w * rows + i];
+    y[i] += acc;
+  });
+}
+
+void device_bsrmv(device::DeviceContext& ctx, const DeviceBsr& a, const real* x,
+                  real* y, real alpha, real beta) {
+  const index_t b = a.block_size;
+  const index_t* block_row_ptr = a.block_row_ptr.data();
+  const index_t* block_col_idx = a.block_col_idx.data();
+  const real* values = a.values.data();
+  const index_t rows = a.rows;
+  const index_t cols = a.cols;
+  device::launch(ctx, a.block_rows, [=](index_t br) {
+    const index_t r_lo = br * b;
+    const index_t r_hi = r_lo + b < rows ? r_lo + b : rows;
+    for (index_t r = r_lo; r < r_hi; ++r) {
+      real acc = 0;
+      for (index_t s = block_row_ptr[br]; s < block_row_ptr[br + 1]; ++s) {
+        const index_t c_lo = block_col_idx[s] * b;
+        const index_t c_hi = c_lo + b < cols ? c_lo + b : cols;
+        const real* brow = values + s * b * b + (r - r_lo) * b;
+        for (index_t c = c_lo; c < c_hi; ++c) acc += brow[c - c_lo] * x[c];
+      }
+      y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+    }
+  });
+}
+
+void device_sort_coo(device::DeviceContext& ctx, DeviceCoo& coo) {
+  const index_t nnz = coo.nnz();
+  if (nnz <= 1) return;
+  device::DeviceBuffer<index_t> keys(ctx, static_cast<usize>(nnz));
+  device::DeviceBuffer<index_t> perm(ctx, static_cast<usize>(nnz));
+  const index_t cols = coo.cols;
+  const index_t* rows_in = coo.row_idx.data();
+  const index_t* cols_in = coo.col_idx.data();
+  index_t* keyp = keys.data();
+  device::launch(ctx, nnz,
+                 [=](index_t e) { keyp[e] = rows_in[e] * cols + cols_in[e]; });
+  device::sequence(ctx, perm.data(), nnz, index_t{0});
+  device::sort_by_key(ctx, keys.data(), perm.data(), nnz);
+
+  device::DeviceBuffer<index_t> rows_out(ctx, static_cast<usize>(nnz));
+  device::DeviceBuffer<index_t> cols_out(ctx, static_cast<usize>(nnz));
+  device::DeviceBuffer<real> vals_out(ctx, static_cast<usize>(nnz));
+  device::gather(ctx, perm.data(), coo.row_idx.data(), rows_out.data(), nnz);
+  device::gather(ctx, perm.data(), coo.col_idx.data(), cols_out.data(), nnz);
+  device::gather(ctx, perm.data(), coo.values.data(), vals_out.data(), nnz);
+  coo.row_idx = std::move(rows_out);
+  coo.col_idx = std::move(cols_out);
+  coo.values = std::move(vals_out);
+}
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,133 @@
+// Sparse matrix-vector multiplication, host and device.
+//
+// device_csrmv is the cusparseDcsrmv stand-in driving the paper's Algorithm
+// 3: the eigensolver's reverse-communication loop hands a vector to the
+// device, the device multiplies by D^-1 W in CSR, and the result goes back.
+// Host variants cover all four formats for the baselines and the format-
+// comparison bench.
+#pragma once
+
+#include "device/device.h"
+#include "sparse/bsr.h"
+#include "sparse/coo.h"
+#include "sparse/csc.h"
+#include "sparse/csr.h"
+
+namespace fastsc::sparse {
+
+// ---- host SpMV: y = alpha * A @ x + beta * y ------------------------------
+
+void csr_mv(const Csr& a, const real* x, real* y, real alpha = 1.0,
+            real beta = 0.0);
+
+void coo_mv(const Coo& a, const real* x, real* y, real alpha = 1.0,
+            real beta = 0.0);
+
+void csc_mv(const Csc& a, const real* x, real* y, real alpha = 1.0,
+            real beta = 0.0);
+
+void bsr_mv(const Bsr& a, const real* x, real* y, real alpha = 1.0,
+            real beta = 0.0);
+
+// ---- device-resident CSR and SpMV -----------------------------------------
+
+/// CSR matrix living in (simulated) device memory.
+struct DeviceCsr {
+  index_t rows = 0;
+  index_t cols = 0;
+  device::DeviceBuffer<index_t> row_ptr;
+  device::DeviceBuffer<index_t> col_idx;
+  device::DeviceBuffer<real> values;
+
+  DeviceCsr() = default;
+
+  /// Upload a host CSR (three H2D transfers, metered).
+  DeviceCsr(device::DeviceContext& ctx, const Csr& host);
+
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values.size());
+  }
+
+  /// Download back to the host (three D2H transfers, metered).
+  [[nodiscard]] Csr to_host() const;
+};
+
+/// COO matrix living in device memory (graph construction output).
+struct DeviceCoo {
+  index_t rows = 0;
+  index_t cols = 0;
+  device::DeviceBuffer<index_t> row_idx;
+  device::DeviceBuffer<index_t> col_idx;
+  device::DeviceBuffer<real> values;
+
+  DeviceCoo() = default;
+  DeviceCoo(device::DeviceContext& ctx, const Coo& host);
+
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values.size());
+  }
+
+  [[nodiscard]] Coo to_host() const;
+};
+
+/// y = alpha * A @ x + beta * y with device pointers (cusparseDcsrmv).
+/// One logical GPU thread per row.
+void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
+                  real* y, real alpha = 1.0, real beta = 0.0);
+
+/// cusparseXcoo2csr: compress sorted device COO row indices into row_ptr.
+/// Requires row_idx sorted ascending; col order within a row is preserved.
+void device_coo2csr(device::DeviceContext& ctx, const DeviceCoo& coo,
+                    DeviceCsr& out);
+
+/// Sort device COO entries by (row, col) in place (thrust::sort_by_key
+/// equivalent; preparation for device_coo2csr).
+void device_sort_coo(device::DeviceContext& ctx, DeviceCoo& coo);
+
+/// CSC matrix living in device memory.
+struct DeviceCsc {
+  index_t rows = 0;
+  index_t cols = 0;
+  device::DeviceBuffer<index_t> col_ptr;
+  device::DeviceBuffer<index_t> row_idx;
+  device::DeviceBuffer<real> values;
+
+  DeviceCsc() = default;
+  DeviceCsc(device::DeviceContext& ctx, const Csc& host);
+  [[nodiscard]] index_t nnz() const noexcept {
+    return static_cast<index_t>(values.size());
+  }
+  [[nodiscard]] Csc to_host() const;
+};
+
+/// BSR matrix living in device memory.
+struct DeviceBsr {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t block_size = 1;
+  index_t block_rows = 0;
+  index_t block_cols = 0;
+  device::DeviceBuffer<index_t> block_row_ptr;
+  device::DeviceBuffer<index_t> block_col_idx;
+  device::DeviceBuffer<real> values;
+
+  DeviceBsr() = default;
+  DeviceBsr(device::DeviceContext& ctx, const Bsr& host);
+  [[nodiscard]] index_t block_count() const noexcept {
+    return static_cast<index_t>(block_col_idx.size());
+  }
+  [[nodiscard]] Bsr to_host() const;
+};
+
+/// y = alpha * A @ x + beta * y for device CSC.  Column-parallel scatter
+/// with per-worker partial outputs reduced at the end (the CPU-simulated
+/// equivalent of cuSPARSE's atomics-based cscmv).
+void device_cscmv(device::DeviceContext& ctx, const DeviceCsc& a, const real* x,
+                  real* y, real alpha = 1.0, real beta = 0.0);
+
+/// y = alpha * A @ x + beta * y for device BSR; one logical thread per
+/// block row (cusparseDbsrmv).
+void device_bsrmv(device::DeviceContext& ctx, const DeviceBsr& a, const real* x,
+                  real* y, real alpha = 1.0, real beta = 0.0);
+
+}  // namespace fastsc::sparse

@@ -1,0 +1,146 @@
+#include "core/bisection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/sbm.h"
+#include "metrics/cut.h"
+#include "metrics/external.h"
+#include "sparse/convert.h"
+
+namespace fastsc::core {
+namespace {
+
+data::SbmGraph blocks(index_t n, index_t k, real p_out, std::uint64_t seed) {
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(n, k);
+  p.p_in = 0.4;
+  p.p_out = p_out;
+  p.seed = seed;
+  return data::make_sbm(p);
+}
+
+TEST(SpectralBisection, TwoWaySplitRecoversTwoBlocks) {
+  const data::SbmGraph g = blocks(200, 2, 0.01, 3);
+  BisectionConfig cfg;
+  cfg.num_clusters = 2;
+  const BisectionResult r = spectral_bisection(g.w, cfg);
+  EXPECT_EQ(r.splits, 1);
+  EXPECT_GT(metrics::adjusted_rand_index(r.labels, g.labels), 0.95);
+}
+
+TEST(SpectralBisection, PowerOfTwoClusterCounts) {
+  const data::SbmGraph g = blocks(320, 4, 0.005, 7);
+  BisectionConfig cfg;
+  cfg.num_clusters = 4;
+  const BisectionResult r = spectral_bisection(g.w, cfg);
+  EXPECT_EQ(r.splits, 3);
+  EXPECT_GT(metrics::adjusted_rand_index(r.labels, g.labels), 0.95);
+}
+
+TEST(SpectralBisection, NonPowerOfTwoCounts) {
+  const data::SbmGraph g = blocks(300, 3, 0.005, 11);
+  BisectionConfig cfg;
+  cfg.num_clusters = 3;
+  const BisectionResult r = spectral_bisection(g.w, cfg);
+  std::set<index_t> used(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(used.size(), 3u);
+  EXPECT_GT(metrics::adjusted_rand_index(r.labels, g.labels), 0.95);
+}
+
+TEST(SpectralBisection, MedianRuleForcesBalancedHalves) {
+  // The balanced rule serves graph partitioning: sizes within 1 of n/2
+  // after the first split even when the natural clusters are unbalanced.
+  data::SbmParams p;
+  p.block_sizes = {150, 50};
+  p.p_in = 0.4;
+  p.p_out = 0.01;
+  const data::SbmGraph g = data::make_sbm(p);
+  BisectionConfig cfg;
+  cfg.num_clusters = 2;
+  cfg.split = BisectionConfig::SplitRule::kMedian;
+  const BisectionResult r = spectral_bisection(g.w, cfg);
+  index_t side0 = 0;
+  for (index_t l : r.labels) side0 += (l == 0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(side0), 100.0, 1.0);
+}
+
+TEST(SpectralBisection, KEqualsOneIsIdentity) {
+  const data::SbmGraph g = blocks(50, 2, 0.05, 13);
+  BisectionConfig cfg;
+  cfg.num_clusters = 1;
+  const BisectionResult r = spectral_bisection(g.w, cfg);
+  EXPECT_EQ(r.splits, 0);
+  for (index_t l : r.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(SpectralBisection, DisconnectedGraphSplitsAlongComponents) {
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(100, 2);
+  p.p_in = 0.5;
+  p.p_out = 0.0;  // two components
+  const data::SbmGraph g = data::make_sbm(p);
+  BisectionConfig cfg;
+  cfg.num_clusters = 2;
+  const BisectionResult r = spectral_bisection(g.w, cfg);
+  // Component split happens without any eigensolve.
+  EXPECT_EQ(r.eigensolves, 0);
+  EXPECT_DOUBLE_EQ(
+      metrics::adjusted_rand_index(r.labels, g.labels), 1.0);
+}
+
+TEST(SpectralBisection, SignAndMedianRulesBothWork) {
+  const data::SbmGraph g = blocks(200, 2, 0.01, 17);
+  for (const auto rule : {BisectionConfig::SplitRule::kSign,
+                          BisectionConfig::SplitRule::kMedian}) {
+    BisectionConfig cfg;
+    cfg.num_clusters = 2;
+    cfg.split = rule;
+    const BisectionResult r = spectral_bisection(g.w, cfg);
+    // Equal-sized blocks: both rules recover the planted split.
+    EXPECT_GT(metrics::adjusted_rand_index(r.labels, g.labels), 0.9)
+        << "rule " << static_cast<int>(rule);
+  }
+}
+
+TEST(SpectralBisection, LabelsAlwaysCoverExactlyK) {
+  const data::SbmGraph g = blocks(120, 2, 0.05, 19);
+  for (index_t k : {1, 2, 3, 5, 8}) {
+    BisectionConfig cfg;
+    cfg.num_clusters = k;
+    const BisectionResult r = spectral_bisection(g.w, cfg);
+    std::set<index_t> used(r.labels.begin(), r.labels.end());
+    EXPECT_EQ(static_cast<index_t>(used.size()), k) << "k=" << k;
+  }
+}
+
+TEST(SpectralBisection, ValidatesArguments) {
+  const data::SbmGraph g = blocks(20, 2, 0.05, 23);
+  BisectionConfig cfg;
+  cfg.num_clusters = 0;
+  EXPECT_THROW((void)spectral_bisection(g.w, cfg), std::invalid_argument);
+  cfg.num_clusters = 21;
+  EXPECT_THROW((void)spectral_bisection(g.w, cfg), std::invalid_argument);
+  sparse::Coo rect(2, 3);
+  cfg.num_clusters = 2;
+  EXPECT_THROW((void)spectral_bisection(rect, cfg), std::invalid_argument);
+}
+
+TEST(SpectralBisection, CutQualityBeatsRandomPartition) {
+  const data::SbmGraph g = blocks(240, 4, 0.02, 29);
+  BisectionConfig cfg;
+  cfg.num_clusters = 4;
+  const BisectionResult r = spectral_bisection(g.w, cfg);
+  const sparse::Csr w = sparse::coo_to_csr(g.w);
+  const real ncut = metrics::normalized_cut(w, r.labels, 4);
+  Rng rng(5);
+  std::vector<index_t> random_labels(240);
+  for (auto& l : random_labels) {
+    l = static_cast<index_t>(rng.uniform_index(4));
+  }
+  EXPECT_LT(ncut, metrics::normalized_cut(w, random_labels, 4));
+}
+
+}  // namespace
+}  // namespace fastsc::core

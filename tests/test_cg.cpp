@@ -1,0 +1,192 @@
+#include "solvers/cg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/sbm.h"
+#include "graph/laplacian.h"
+#include "sparse/spmv.h"
+
+namespace fastsc::solvers {
+namespace {
+
+/// SPD test matrix: diagonally dominant random symmetric.
+struct SpdSystem {
+  std::vector<real> a;  // n x n dense
+  index_t n;
+
+  explicit SpdSystem(index_t n_, std::uint64_t seed) : n(n_) {
+    Rng rng(seed);
+    a.assign(static_cast<usize>(n) * static_cast<usize>(n), 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < i; ++j) {
+        const real v = rng.uniform(-1, 1);
+        a[static_cast<usize>(i * n + j)] = v;
+        a[static_cast<usize>(j * n + i)] = v;
+      }
+    }
+    for (index_t i = 0; i < n; ++i) {
+      real off = 0;
+      for (index_t j = 0; j < n; ++j) {
+        if (j != i) off += std::fabs(a[static_cast<usize>(i * n + j)]);
+      }
+      a[static_cast<usize>(i * n + i)] = off + 1.0;  // strict dominance
+    }
+  }
+
+  void matvec(const real* x, real* y) const {
+    for (index_t i = 0; i < n; ++i) {
+      real acc = 0;
+      for (index_t j = 0; j < n; ++j) {
+        acc += a[static_cast<usize>(i * n + j)] * x[j];
+      }
+      y[i] = acc;
+    }
+  }
+};
+
+class CgSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgSizes, SolvesSpdSystem) {
+  const index_t n = GetParam();
+  SpdSystem sys(n, static_cast<std::uint64_t>(n));
+  Rng rng(9);
+  std::vector<real> x_true(static_cast<usize>(n));
+  for (real& v : x_true) v = rng.uniform(-1, 1);
+  std::vector<real> b(static_cast<usize>(n));
+  sys.matvec(x_true.data(), b.data());
+
+  std::vector<real> x(static_cast<usize>(n), 0.0);
+  const CgResult r = conjugate_gradient(
+      [&](const real* in, real* out) { sys.matvec(in, out); }, n, b.data(),
+      x.data());
+  ASSERT_TRUE(r.converged);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<usize>(i)], x_true[static_cast<usize>(i)], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgSizes, ::testing::Values(1, 2, 10, 50, 200));
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  SpdSystem sys(10, 1);
+  std::vector<real> b(10, 0.0), x(10, 5.0);
+  const CgResult r = conjugate_gradient(
+      [&](const real* in, real* out) { sys.matvec(in, out); }, 10, b.data(),
+      x.data());
+  EXPECT_TRUE(r.converged);
+  for (real v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Cg, WarmStartReducesIterations) {
+  SpdSystem sys(80, 3);
+  Rng rng(5);
+  std::vector<real> b(80);
+  for (real& v : b) v = rng.uniform(-1, 1);
+  std::vector<real> x_cold(80, 0.0);
+  const CgResult cold = conjugate_gradient(
+      [&](const real* in, real* out) { sys.matvec(in, out); }, 80, b.data(),
+      x_cold.data());
+  // Warm start from the solution: should converge immediately.
+  std::vector<real> x_warm = x_cold;
+  const CgResult warm = conjugate_gradient(
+      [&](const real* in, real* out) { sys.matvec(in, out); }, 80, b.data(),
+      x_warm.data());
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(Cg, RespectsIterationCap) {
+  SpdSystem sys(100, 7);
+  Rng rng(11);
+  std::vector<real> b(100);
+  for (real& v : b) v = rng.uniform(-1, 1);
+  std::vector<real> x(100, 0.0);
+  CgConfig cfg;
+  cfg.max_iters = 2;
+  cfg.tol = 1e-15;
+  const CgResult r = conjugate_gradient(
+      [&](const real* in, real* out) { sys.matvec(in, out); }, 100, b.data(),
+      x.data(), cfg);
+  EXPECT_LE(r.iterations, 2);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Cg, IndefiniteOperatorThrows) {
+  // A = -I is negative definite: p'Ap < 0 on the first step.
+  std::vector<real> b{1.0, 2.0};
+  std::vector<real> x(2, 0.0);
+  EXPECT_THROW(conjugate_gradient(
+                   [](const real* in, real* out) {
+                     out[0] = -in[0];
+                     out[1] = -in[1];
+                   },
+                   2, b.data(), x.data()),
+               std::invalid_argument);
+}
+
+TEST(CgJacobi, PreconditioningHelpsIllConditioned) {
+  // Strongly scaled diagonal + small coupling: Jacobi fixes the scaling.
+  const index_t n = 120;
+  std::vector<real> diag(static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    diag[static_cast<usize>(i)] = std::pow(10.0, (i % 7));
+  }
+  auto matvec = [&](const real* in, real* out) {
+    for (index_t i = 0; i < n; ++i) {
+      out[i] = diag[static_cast<usize>(i)] * in[i];
+      if (i > 0) out[i] += 0.1 * in[i - 1];
+      if (i + 1 < n) out[i] += 0.1 * in[i + 1];
+    }
+  };
+  Rng rng(13);
+  std::vector<real> b(static_cast<usize>(n));
+  for (real& v : b) v = rng.uniform(-1, 1);
+  std::vector<real> inv_diag(static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    inv_diag[static_cast<usize>(i)] = 1.0 / diag[static_cast<usize>(i)];
+  }
+  std::vector<real> x_plain(static_cast<usize>(n), 0.0);
+  std::vector<real> x_prec(static_cast<usize>(n), 0.0);
+  CgConfig cfg;
+  cfg.max_iters = 5000;
+  const CgResult plain =
+      conjugate_gradient(matvec, n, b.data(), x_plain.data(), cfg);
+  const CgResult prec = conjugate_gradient_jacobi(
+      matvec, n, b.data(), inv_diag.data(), x_prec.data(), cfg);
+  ASSERT_TRUE(prec.converged);
+  EXPECT_LT(prec.iterations, plain.iterations);
+}
+
+TEST(Cg, SolvesShiftedLaplacian) {
+  // (L + delta I) x = b for a graph Laplacian — the shift-invert inner
+  // system shape.
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(100, 4);
+  p.p_in = 0.4;
+  p.p_out = 0.05;
+  const data::SbmGraph g = data::make_sbm(p);
+  const sparse::Csr l = graph::unnormalized_laplacian(g.w);
+  const real delta = 0.1;
+  auto matvec = [&](const real* in, real* out) {
+    sparse::csr_mv(l, in, out);
+    for (index_t i = 0; i < l.rows; ++i) out[i] += delta * in[i];
+  };
+  Rng rng(17);
+  std::vector<real> b(static_cast<usize>(l.rows));
+  for (real& v : b) v = rng.uniform(-1, 1);
+  std::vector<real> x(static_cast<usize>(l.rows), 0.0);
+  const CgResult r = conjugate_gradient(matvec, l.rows, b.data(), x.data());
+  ASSERT_TRUE(r.converged);
+  // Verify the residual directly.
+  std::vector<real> ax(static_cast<usize>(l.rows));
+  matvec(x.data(), ax.data());
+  for (index_t i = 0; i < l.rows; ++i) {
+    EXPECT_NEAR(ax[static_cast<usize>(i)], b[static_cast<usize>(i)], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace fastsc::solvers

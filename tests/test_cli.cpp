@@ -1,0 +1,112 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace fastsc {
+namespace {
+
+bool parse(CliParser& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CliParser, DefaultsWhenNoFlags) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 1.5), 1.5);
+  EXPECT_EQ(cli.get_string("name", "abc"), "abc");
+  EXPECT_FALSE(cli.get_bool("flag", false));
+}
+
+TEST(CliParser, EqualsForm) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--n=7", "--eps=0.25", "--name=xyz"}));
+  EXPECT_EQ(cli.get_int("n", 0), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0), 0.25);
+  EXPECT_EQ(cli.get_string("name", ""), "xyz");
+}
+
+TEST(CliParser, SpaceForm) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--n", "9", "--name", "hello"}));
+  EXPECT_EQ(cli.get_int("n", 0), 9);
+  EXPECT_EQ(cli.get_string("name", ""), "hello");
+}
+
+TEST(CliParser, BareFlagIsTrue) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--verbose"}));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(CliParser, BooleanSpellings) {
+  for (const char* t : {"true", "1", "yes"}) {
+    CliParser cli("test");
+    ASSERT_TRUE(parse(cli, {"--f", t}));
+    EXPECT_TRUE(cli.get_bool("f", false)) << t;
+  }
+  for (const char* f : {"false", "0", "no"}) {
+    CliParser cli("test");
+    ASSERT_TRUE(parse(cli, {"--f", f}));
+    EXPECT_FALSE(cli.get_bool("f", true)) << f;
+  }
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser cli("test");
+  EXPECT_FALSE(parse(cli, {"--help"}));
+  CliParser cli2("test");
+  EXPECT_FALSE(parse(cli2, {"-h"}));
+}
+
+TEST(CliParser, NegativeNumbersAsValues) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--n=-5", "--eps=-0.5"}));
+  EXPECT_EQ(cli.get_int("n", 0), -5);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0), -0.5);
+}
+
+TEST(CliParser, MalformedIntegerThrows) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--n=abc"}));
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(CliParser, MalformedBooleanThrows) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--f=maybe"}));
+  EXPECT_THROW((void)cli.get_bool("f", false), std::invalid_argument);
+}
+
+TEST(CliParser, NonFlagArgumentThrows) {
+  CliParser cli("test");
+  EXPECT_THROW(parse(cli, {"positional"}), std::invalid_argument);
+}
+
+TEST(CliParser, ProvidedDetectsExplicitFlags) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--n=1"}));
+  EXPECT_TRUE(cli.provided("n"));
+  EXPECT_FALSE(cli.provided("m"));
+}
+
+TEST(CliParser, CheckUnknownThrowsOnTypo) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--nodes=5"}));
+  (void)cli.get_int("n", 1);  // registers "n", not "nodes"
+  EXPECT_THROW(cli.check_unknown(), std::invalid_argument);
+}
+
+TEST(CliParser, CheckUnknownPassesWhenAllRegistered) {
+  CliParser cli("test");
+  ASSERT_TRUE(parse(cli, {"--n=5"}));
+  (void)cli.get_int("n", 1);
+  EXPECT_NO_THROW(cli.check_unknown());
+}
+
+}  // namespace
+}  // namespace fastsc

@@ -1,0 +1,115 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/sbm.h"
+#include "sparse/convert.h"
+
+namespace fastsc::graph {
+namespace {
+
+sparse::Coo two_triangles_and_isolated() {
+  // Component A: {0,1,2} triangle; component B: {3,4} edge; {5} isolated.
+  sparse::Coo w(6, 6);
+  auto add = [&](index_t a, index_t b) {
+    w.push(a, b, 1.0);
+    w.push(b, a, 1.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(0, 2);
+  add(3, 4);
+  return w;
+}
+
+TEST(ConnectedComponents, LabelsComponentsAndSizes) {
+  const ComponentInfo info = connected_components(two_triangles_and_isolated());
+  EXPECT_EQ(info.count, 3);
+  EXPECT_EQ(info.sizes[static_cast<usize>(
+                info.component_of[0])],
+            3);
+  EXPECT_EQ(info.component_of[0], info.component_of[1]);
+  EXPECT_EQ(info.component_of[0], info.component_of[2]);
+  EXPECT_EQ(info.component_of[3], info.component_of[4]);
+  EXPECT_NE(info.component_of[0], info.component_of[3]);
+  EXPECT_NE(info.component_of[5], info.component_of[0]);
+  EXPECT_NE(info.component_of[5], info.component_of[3]);
+}
+
+TEST(ConnectedComponents, LargestPicksTriangle) {
+  const ComponentInfo info = connected_components(two_triangles_and_isolated());
+  EXPECT_EQ(info.sizes[static_cast<usize>(info.largest())], 3);
+}
+
+TEST(ConnectedComponents, CsrAndCooAgree) {
+  const sparse::Coo coo = two_triangles_and_isolated();
+  const ComponentInfo a = connected_components(coo);
+  const ComponentInfo b = connected_components(sparse::coo_to_csr(coo));
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.component_of, b.component_of);
+}
+
+TEST(ConnectedComponents, FullyConnectedIsOneComponent) {
+  data::SbmParams p;
+  p.block_sizes = {30};
+  p.p_in = 1.0;
+  const data::SbmGraph g = data::make_sbm(p);
+  const ComponentInfo info = connected_components(g.w);
+  EXPECT_EQ(info.count, 1);
+  EXPECT_EQ(info.sizes[0], 30);
+}
+
+TEST(ConnectedComponents, DisconnectedBlocksAreComponents) {
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(60, 4);
+  p.p_in = 1.0;
+  p.p_out = 0.0;  // no cross edges -> 4 components
+  const data::SbmGraph g = data::make_sbm(p);
+  const ComponentInfo info = connected_components(g.w);
+  EXPECT_EQ(info.count, 4);
+  for (index_t s : info.sizes) EXPECT_EQ(s, 15);
+}
+
+TEST(ConnectedComponents, EmptyGraphIsAllSingletons) {
+  sparse::Coo w(5, 5);
+  const ComponentInfo info = connected_components(w);
+  EXPECT_EQ(info.count, 5);
+}
+
+TEST(ConnectedComponents, ZeroWeightEdgesDoNotConnect) {
+  sparse::Coo w(3, 3);
+  w.push(0, 1, 0.0);
+  w.push(1, 0, 0.0);
+  const ComponentInfo info = connected_components(w);
+  EXPECT_EQ(info.count, 3);
+}
+
+TEST(LargestComponent, ExtractsInducedSubgraph) {
+  std::vector<index_t> old_of_new;
+  const sparse::Coo sub =
+      largest_component(two_triangles_and_isolated(), old_of_new);
+  EXPECT_EQ(sub.rows, 3);
+  EXPECT_EQ(old_of_new, (std::vector<index_t>{0, 1, 2}));
+  EXPECT_EQ(sub.nnz(), 6);  // triangle, both directions
+}
+
+TEST(LargestComponent, WholeGraphWhenConnected) {
+  sparse::Coo w(3, 3);
+  w.push(0, 1, 1);
+  w.push(1, 0, 1);
+  w.push(1, 2, 1);
+  w.push(2, 1, 1);
+  std::vector<index_t> old_of_new;
+  const sparse::Coo sub = largest_component(w, old_of_new);
+  EXPECT_EQ(sub.rows, 3);
+  EXPECT_EQ(sub.nnz(), 4);
+}
+
+TEST(ConnectedComponents, RejectsNonSquare) {
+  sparse::Coo w(2, 3);
+  EXPECT_THROW((void)connected_components(w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastsc::graph

@@ -1,0 +1,139 @@
+#include "blas/dblas.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/hblas.h"
+#include "common/rng.h"
+#include "device/algorithms.h"
+
+namespace fastsc::dblas {
+namespace {
+
+using device::DeviceBuffer;
+using device::DeviceContext;
+
+class DblasTest : public ::testing::TestWithParam<int> {
+ protected:
+  DeviceContext ctx_{static_cast<usize>(GetParam())};
+  Rng rng_{99};
+
+  DeviceBuffer<real> upload(const std::vector<real>& host) {
+    return DeviceBuffer<real>(ctx_, std::span<const real>(host));
+  }
+
+  std::vector<real> random_vec(usize n) {
+    std::vector<real> v(n);
+    for (real& x : v) x = rng_.uniform() - 0.5;
+    return v;
+  }
+};
+
+TEST_P(DblasTest, DotMatchesHost) {
+  const auto x = random_vec(3001);
+  const auto y = random_vec(3001);
+  auto dx = upload(x);
+  auto dy = upload(y);
+  EXPECT_NEAR(dot(ctx_, 3001, dx.data(), dy.data()),
+              hblas::dot(3001, x.data(), y.data()), 1e-9);
+}
+
+TEST_P(DblasTest, Nrm2MatchesHost) {
+  const auto x = random_vec(513);
+  auto dx = upload(x);
+  EXPECT_NEAR(nrm2(ctx_, 513, dx.data()), hblas::nrm2(513, x.data()), 1e-10);
+}
+
+TEST_P(DblasTest, AxpyMatchesHost) {
+  const auto x = random_vec(777);
+  auto y = random_vec(777);
+  auto dx = upload(x);
+  auto dy = upload(y);
+  axpy(ctx_, 777, 2.5, dx.data(), dy.data());
+  hblas::axpy(777, 2.5, x.data(), y.data());
+  const auto h = dy.to_host();
+  for (usize i = 0; i < h.size(); ++i) EXPECT_NEAR(h[i], y[i], 1e-12);
+}
+
+TEST_P(DblasTest, ScalAndCopy) {
+  const auto x = random_vec(100);
+  auto dx = upload(x);
+  DeviceBuffer<real> dy(ctx_, 100);
+  copy(ctx_, 100, dx.data(), dy.data());
+  scal(ctx_, 100, -1.0, dy.data());
+  const auto h = dy.to_host();
+  for (usize i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(h[i], -x[i]);
+}
+
+TEST_P(DblasTest, GemvMatchesHost) {
+  const index_t m = 37, n = 53;
+  const auto a = random_vec(static_cast<usize>(m * n));
+  const auto x = random_vec(static_cast<usize>(n));
+  auto y = random_vec(static_cast<usize>(m));
+  auto da = upload(a);
+  auto dx = upload(x);
+  auto dy = upload(y);
+  gemv(ctx_, m, n, 1.5, da.data(), n, dx.data(), 0.5, dy.data());
+  hblas::gemv(m, n, 1.5, a.data(), n, x.data(), 0.5, y.data());
+  const auto h = dy.to_host();
+  for (usize i = 0; i < h.size(); ++i) EXPECT_NEAR(h[i], y[i], 1e-10);
+}
+
+TEST_P(DblasTest, GemmMatchesHost) {
+  const index_t m = 45, n = 33, k = 27;
+  const auto a = random_vec(static_cast<usize>(m * k));
+  const auto b = random_vec(static_cast<usize>(k * n));
+  auto c = random_vec(static_cast<usize>(m * n));
+  auto da = upload(a);
+  auto db = upload(b);
+  auto dc = upload(c);
+  gemm(ctx_, m, n, k, 2.0, da.data(), k, db.data(), n, -1.0, dc.data(), n);
+  hblas::gemm(m, n, k, 2.0, a.data(), k, b.data(), n, -1.0, c.data(), n);
+  const auto h = dc.to_host();
+  for (usize i = 0; i < h.size(); ++i) EXPECT_NEAR(h[i], c[i], 1e-10);
+}
+
+TEST_P(DblasTest, GemmNtMatchesHost) {
+  const index_t m = 50, n = 20, k = 8;
+  const auto a = random_vec(static_cast<usize>(m * k));
+  const auto b = random_vec(static_cast<usize>(n * k));
+  auto c = random_vec(static_cast<usize>(m * n));
+  auto da = upload(a);
+  auto db = upload(b);
+  auto dc = upload(c);
+  gemm_nt(ctx_, m, n, k, -2.0, da.data(), k, db.data(), k, 1.0, dc.data(), n);
+  hblas::gemm_nt(m, n, k, -2.0, a.data(), k, b.data(), k, 1.0, c.data(), n);
+  const auto h = dc.to_host();
+  for (usize i = 0; i < h.size(); ++i) EXPECT_NEAR(h[i], c[i], 1e-10);
+}
+
+TEST_P(DblasTest, RowSquaredNormsMatchesManual) {
+  const index_t m = 13, n = 7;
+  const auto a = random_vec(static_cast<usize>(m * n));
+  auto da = upload(a);
+  DeviceBuffer<real> out(ctx_, static_cast<usize>(m));
+  row_squared_norms(ctx_, m, n, da.data(), n, out.data());
+  const auto h = out.to_host();
+  for (index_t i = 0; i < m; ++i) {
+    real expect = 0;
+    for (index_t j = 0; j < n; ++j) {
+      expect += a[static_cast<usize>(i * n + j)] *
+                a[static_cast<usize>(i * n + j)];
+    }
+    EXPECT_NEAR(h[static_cast<usize>(i)], expect, 1e-12);
+  }
+}
+
+TEST_P(DblasTest, KernelsAreMetered) {
+  const auto before = ctx_.counters().kernel_launches;
+  const auto x = random_vec(10);
+  auto dx = upload(x);
+  scal(ctx_, 10, 2.0, dx.data());
+  EXPECT_GT(ctx_.counters().kernel_launches, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DblasTest, ::testing::Values(1, 3, 8));
+
+}  // namespace
+}  // namespace fastsc::dblas

@@ -1,0 +1,145 @@
+#include "lanczos/dense_eig.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastsc::lanczos {
+namespace {
+
+std::vector<real> random_symmetric(index_t n, Rng& rng) {
+  std::vector<real> a(static_cast<usize>(n) * static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      const real v = rng.uniform(-1, 1);
+      a[static_cast<usize>(i * n + j)] = v;
+      a[static_cast<usize>(j * n + i)] = v;
+    }
+  }
+  return a;
+}
+
+TEST(DenseEig, RejectsAsymmetricInput) {
+  std::vector<real> a{1, 2, 3, 4};  // 2x2, a[0][1] != a[1][0]
+  EXPECT_THROW((void)dense_sym_eig(a.data(), 2), std::invalid_argument);
+}
+
+TEST(DenseEig, DiagonalMatrix) {
+  std::vector<real> a{3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const auto r = dense_sym_eig(a.data(), 3);
+  EXPECT_NEAR(r.eigenvalues[0], 1, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 2, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 3, 1e-12);
+}
+
+TEST(DenseEig, TwoByTwoAnalytic) {
+  // [[a, b], [b, c]] eigenvalues: (a+c)/2 +- sqrt(((a-c)/2)^2 + b^2)
+  std::vector<real> a{2, 1, 1, 2};
+  const auto r = dense_sym_eig(a.data(), 2);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(DenseEig, HandlesTinySizes) {
+  const auto r0 = dense_sym_eig(nullptr, 0);
+  EXPECT_TRUE(r0.eigenvalues.empty());
+  std::vector<real> a1{7.5};
+  const auto r1 = dense_sym_eig(a1.data(), 1);
+  ASSERT_EQ(r1.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(r1.eigenvalues[0], 7.5);
+  EXPECT_DOUBLE_EQ(r1.eigenvectors[0], 1.0);
+}
+
+class DenseEigRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseEigRandom, ResidualsAndOrthonormality) {
+  const index_t n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 7 + 1);
+  const auto a = random_symmetric(n, rng);
+  const auto r = dense_sym_eig(a.data(), n);
+
+  ASSERT_EQ(r.eigenvalues.size(), static_cast<usize>(n));
+  EXPECT_TRUE(std::is_sorted(r.eigenvalues.begin(), r.eigenvalues.end()));
+
+  // A z_k = lambda_k z_k.
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = 0; i < n; ++i) {
+      real av = 0;
+      for (index_t j = 0; j < n; ++j) {
+        av += a[static_cast<usize>(i * n + j)] *
+              r.eigenvectors[static_cast<usize>(j * n + k)];
+      }
+      EXPECT_NEAR(av,
+                  r.eigenvalues[static_cast<usize>(k)] *
+                      r.eigenvectors[static_cast<usize>(i * n + k)],
+                  1e-9);
+    }
+  }
+  // Z^T Z = I.
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t l = k; l < n; ++l) {
+      real dotp = 0;
+      for (index_t i = 0; i < n; ++i) {
+        dotp += r.eigenvectors[static_cast<usize>(i * n + k)] *
+                r.eigenvectors[static_cast<usize>(i * n + l)];
+      }
+      EXPECT_NEAR(dotp, k == l ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseEigRandom,
+                         ::testing::Values(2, 3, 4, 7, 12, 25, 50));
+
+TEST(DenseEig, TraceAndFrobeniusPreserved) {
+  Rng rng(123);
+  const index_t n = 20;
+  const auto a = random_symmetric(n, rng);
+  const auto r = dense_sym_eig(a.data(), n);
+  real trace = 0, frob2 = 0;
+  for (index_t i = 0; i < n; ++i) {
+    trace += a[static_cast<usize>(i * n + i)];
+    for (index_t j = 0; j < n; ++j) {
+      frob2 += a[static_cast<usize>(i * n + j)] *
+               a[static_cast<usize>(i * n + j)];
+    }
+  }
+  real lam_sum = 0, lam2_sum = 0;
+  for (real lam : r.eigenvalues) {
+    lam_sum += lam;
+    lam2_sum += lam * lam;
+  }
+  EXPECT_NEAR(lam_sum, trace, 1e-9);
+  EXPECT_NEAR(lam2_sum, frob2, 1e-8);
+}
+
+TEST(DenseEig, RankOneMatrix) {
+  // a = u u^T has one nonzero eigenvalue ||u||^2.
+  const index_t n = 6;
+  Rng rng(9);
+  std::vector<real> u(static_cast<usize>(n));
+  real norm2 = 0;
+  for (real& v : u) {
+    v = rng.uniform(-1, 1);
+    norm2 += v * v;
+  }
+  std::vector<real> a(static_cast<usize>(n) * static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      a[static_cast<usize>(i * n + j)] =
+          u[static_cast<usize>(i)] * u[static_cast<usize>(j)];
+    }
+  }
+  const auto r = dense_sym_eig(a.data(), n);
+  EXPECT_NEAR(r.eigenvalues.back(), norm2, 1e-10);
+  for (usize k = 0; k + 1 < static_cast<usize>(n); ++k) {
+    EXPECT_NEAR(r.eigenvalues[k], 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace fastsc::lanczos

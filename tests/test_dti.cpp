@@ -1,0 +1,116 @@
+#include "data/dti.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/similarity.h"
+
+namespace fastsc::data {
+namespace {
+
+DtiParams small_params() {
+  DtiParams p;
+  p.nx = 8;
+  p.ny = 8;
+  p.nz = 8;
+  p.profile_dim = 30;
+  p.num_parcels = 6;
+  p.noise = 0.1;
+  p.epsilon = 1.0;
+  p.seed = 5;
+  return p;
+}
+
+TEST(DtiGenerator, ShapesAreConsistent) {
+  const DtiVolume vol = make_dti_like(small_params());
+  EXPECT_EQ(vol.n, 512);
+  EXPECT_EQ(vol.d, 30);
+  EXPECT_EQ(vol.positions.size(), static_cast<usize>(vol.n) * 3);
+  EXPECT_EQ(vol.profiles.size(),
+            static_cast<usize>(vol.n) * static_cast<usize>(vol.d));
+  EXPECT_EQ(vol.labels.size(), static_cast<usize>(vol.n));
+}
+
+TEST(DtiGenerator, LabelsCoverParcels) {
+  const DtiVolume vol = make_dti_like(small_params());
+  std::set<index_t> used(vol.labels.begin(), vol.labels.end());
+  EXPECT_GE(used.size(), 4u);  // Voronoi may starve a couple of parcels
+  for (index_t l : vol.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 6);
+  }
+}
+
+TEST(DtiGenerator, EdgesRespectEpsilon) {
+  const DtiVolume vol = make_dti_like(small_params());
+  for (index_t e = 0; e < vol.edges.size(); ++e) {
+    const index_t i = vol.edges.u[static_cast<usize>(e)];
+    const index_t j = vol.edges.v[static_cast<usize>(e)];
+    real d2 = 0;
+    for (int a = 0; a < 3; ++a) {
+      const real delta = vol.positions[static_cast<usize>(i * 3 + a)] -
+                         vol.positions[static_cast<usize>(j * 3 + a)];
+      d2 += delta * delta;
+    }
+    EXPECT_LE(d2, 1.0 + 1e-12);
+    EXPECT_LT(i, j);  // unordered pairs, each once
+  }
+}
+
+TEST(DtiGenerator, LatticeEdgeCountIsExact) {
+  // eps=1 on a unit lattice connects axis neighbors only:
+  // 3 * (n-1) * n^2 edges for an n^3 cube.
+  const DtiVolume vol = make_dti_like(small_params());
+  EXPECT_EQ(vol.edges.size(), 3 * 7 * 8 * 8);
+}
+
+TEST(DtiGenerator, SameParcelProfilesCorrelateHigher) {
+  DtiParams p = small_params();
+  p.noise = 0.15;
+  const DtiVolume vol = make_dti_like(p);
+  graph::SimilarityParams sp{graph::SimilarityMeasure::kCrossCorrelation};
+  real same_sum = 0, cross_sum = 0;
+  index_t same_n = 0, cross_n = 0;
+  for (index_t i = 0; i < vol.n; i += 7) {
+    for (index_t j = i + 1; j < vol.n; j += 13) {
+      const real s = graph::similarity_direct(
+          vol.profiles.data() + i * vol.d, vol.profiles.data() + j * vol.d,
+          vol.d, sp);
+      if (vol.labels[static_cast<usize>(i)] ==
+          vol.labels[static_cast<usize>(j)]) {
+        same_sum += s;
+        ++same_n;
+      } else {
+        cross_sum += s;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same_sum / same_n, cross_sum / cross_n + 0.3);
+}
+
+TEST(DtiGenerator, DeterministicForSeed) {
+  const DtiVolume a = make_dti_like(small_params());
+  const DtiVolume b = make_dti_like(small_params());
+  EXPECT_EQ(a.profiles, b.profiles);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(DtiGenerator, RejectsBadParams) {
+  DtiParams p = small_params();
+  p.num_parcels = 0;
+  EXPECT_THROW((void)make_dti_like(p), std::invalid_argument);
+  p = small_params();
+  p.nx = 0;
+  EXPECT_THROW((void)make_dti_like(p), std::invalid_argument);
+  p = small_params();
+  p.num_parcels = 10000;  // more parcels than voxels
+  EXPECT_THROW((void)make_dti_like(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastsc::data

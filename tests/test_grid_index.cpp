@@ -1,0 +1,143 @@
+#include "graph/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastsc::graph {
+namespace {
+
+using Pair = std::pair<index_t, index_t>;
+
+std::set<Pair> brute_force_pairs(const std::vector<real>& pos, index_t n,
+                                 real eps) {
+  std::set<Pair> pairs;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) {
+      real d2 = 0;
+      for (int a = 0; a < 3; ++a) {
+        const real delta = pos[static_cast<usize>(i * 3 + a)] -
+                           pos[static_cast<usize>(j * 3 + a)];
+        d2 += delta * delta;
+      }
+      if (d2 <= eps * eps) pairs.emplace(i, j);
+    }
+  }
+  return pairs;
+}
+
+std::set<Pair> to_set(const EdgeList& edges) {
+  std::set<Pair> pairs;
+  for (index_t e = 0; e < edges.size(); ++e) {
+    index_t a = edges.u[static_cast<usize>(e)];
+    index_t b = edges.v[static_cast<usize>(e)];
+    if (a > b) std::swap(a, b);
+    pairs.emplace(a, b);
+  }
+  return pairs;
+}
+
+TEST(GridIndex, RejectsNonPositiveCellSize) {
+  const real pos[] = {0, 0, 0};
+  EXPECT_THROW(GridIndex3D(pos, 1, 0.0), std::invalid_argument);
+}
+
+TEST(GridIndex, EpsLargerThanCellThrows) {
+  const real pos[] = {0, 0, 0};
+  GridIndex3D index(pos, 1, 1.0);
+  EXPECT_THROW((void)index.epsilon_pairs(2.0), std::invalid_argument);
+}
+
+TEST(GridIndex, TwoPointsWithinEps) {
+  const real pos[] = {0, 0, 0, 0.5, 0, 0};
+  GridIndex3D index(pos, 2, 1.0);
+  const auto edges = index.epsilon_pairs(1.0);
+  ASSERT_EQ(edges.size(), 1);
+  EXPECT_EQ(edges.u[0], 0);
+  EXPECT_EQ(edges.v[0], 1);
+}
+
+TEST(GridIndex, TwoPointsBeyondEps) {
+  const real pos[] = {0, 0, 0, 2.0, 0, 0};
+  GridIndex3D index(pos, 2, 1.5);
+  EXPECT_EQ(index.epsilon_pairs(1.5).size(), 0);
+}
+
+TEST(GridIndex, BoundaryDistanceIsIncluded) {
+  const real pos[] = {0, 0, 0, 1.0, 0, 0};
+  GridIndex3D index(pos, 2, 1.0);
+  EXPECT_EQ(index.epsilon_pairs(1.0).size(), 1);
+}
+
+TEST(GridIndex, NegativeCoordinatesWork) {
+  const real pos[] = {-5.2, -3.1, -0.5, -5.0, -3.0, -0.4};
+  GridIndex3D index(pos, 2, 1.0);
+  EXPECT_EQ(index.epsilon_pairs(1.0).size(), 1);
+}
+
+class GridVsBrute : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridVsBrute, MatchesBruteForce) {
+  const index_t n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<real> pos(static_cast<usize>(n) * 3);
+  for (real& v : pos) v = rng.uniform(-4, 4);
+  for (const real eps : {0.5, 1.0, 2.0}) {
+    GridIndex3D index(pos.data(), n, eps);
+    EXPECT_EQ(to_set(index.epsilon_pairs(eps)),
+              brute_force_pairs(pos, n, eps))
+        << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridVsBrute,
+                         ::testing::Values(2, 10, 50, 200));
+
+TEST(GridIndex, NeighborsOfMatchesPairs) {
+  Rng rng(9);
+  const index_t n = 60;
+  std::vector<real> pos(static_cast<usize>(n) * 3);
+  for (real& v : pos) v = rng.uniform(0, 5);
+  const real eps = 1.0;
+  GridIndex3D index(pos.data(), n, eps);
+  const auto pairs = brute_force_pairs(pos, n, eps);
+  for (index_t i = 0; i < n; ++i) {
+    auto nbrs = index.neighbors_of(i, eps);
+    std::sort(nbrs.begin(), nbrs.end());
+    std::vector<index_t> expect;
+    for (const auto& [a, b] : pairs) {
+      if (a == i) expect.push_back(b);
+      if (b == i) expect.push_back(a);
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(nbrs, expect) << "point " << i;
+  }
+}
+
+TEST(GridIndex, LatticeNeighborCountIsRegular) {
+  // 5x5x5 unit lattice with eps=1: interior points have exactly 6 neighbors.
+  std::vector<real> pos;
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      for (int z = 0; z < 5; ++z) {
+        pos.push_back(x);
+        pos.push_back(y);
+        pos.push_back(z);
+      }
+    }
+  }
+  const index_t n = 125;
+  GridIndex3D index(pos.data(), n, 1.0);
+  // Point (2,2,2) has linear index 2*25 + 2*5 + 2 = 62.
+  EXPECT_EQ(index.neighbors_of(62, 1.0).size(), 6u);
+  // Corner (0,0,0) has 3.
+  EXPECT_EQ(index.neighbors_of(0, 1.0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace fastsc::graph

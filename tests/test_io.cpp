@@ -1,0 +1,209 @@
+#include "data/io.h"
+
+#include "sparse/convert.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fastsc::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fastsc_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  sparse::Coo coo(3, 3);
+  coo.push(0, 1, 1.5);
+  coo.push(1, 0, 1.5);
+  coo.push(1, 2, 2.0);
+  coo.push(2, 1, 2.0);
+  write_edge_list(path("g.txt"), coo);
+  const sparse::Coo back = read_edge_list(path("g.txt"), /*symmetrize=*/false);
+  EXPECT_EQ(back.nnz(), 4);
+  EXPECT_EQ(back.rows, 3);
+}
+
+TEST_F(IoTest, ReadEdgeListSymmetrizes) {
+  std::ofstream(path("e.txt")) << "0 1\n1 2\n";
+  const sparse::Coo coo = read_edge_list(path("e.txt"), true);
+  EXPECT_EQ(coo.nnz(), 4);
+}
+
+TEST_F(IoTest, ReadEdgeListSkipsCommentsAndSelfLoops) {
+  std::ofstream(path("e.txt")) << "# comment\n0 0\n0 1\n\n# more\n";
+  const sparse::Coo coo = read_edge_list(path("e.txt"), false);
+  EXPECT_EQ(coo.nnz(), 1);
+}
+
+TEST_F(IoTest, ReadEdgeListCompactsSparseIds) {
+  std::ofstream(path("e.txt")) << "100 900\n900 5000\n";
+  const sparse::Coo coo = read_edge_list(path("e.txt"), false);
+  EXPECT_EQ(coo.rows, 3);  // ids compacted to 0..2
+}
+
+TEST_F(IoTest, ReadEdgeListParsesWeights) {
+  std::ofstream(path("e.txt")) << "0 1 2.5\n1 2\n";
+  const sparse::Coo coo = read_edge_list(path("e.txt"), false);
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_DOUBLE_EQ(coo.values[0], 2.5);
+  EXPECT_DOUBLE_EQ(coo.values[1], 1.0);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_edge_list(path("nope.txt")), std::invalid_argument);
+  EXPECT_THROW((void)read_labels(path("nope.txt")), std::invalid_argument);
+  index_t r, c;
+  EXPECT_THROW((void)read_points(path("nope.txt"), r, c),
+               std::invalid_argument);
+}
+
+TEST_F(IoTest, LabelsRoundTrip) {
+  const std::vector<index_t> labels{0, 2, 1, 2, 0};
+  write_labels(path("l.txt"), labels);
+  EXPECT_EQ(read_labels(path("l.txt")), labels);
+}
+
+TEST_F(IoTest, PointsRoundTrip) {
+  const std::vector<real> pts{1.5, -2, 3, 0.25, 5, 6};
+  write_points(path("p.txt"), pts.data(), 2, 3);
+  index_t rows, cols;
+  const auto back = read_points(path("p.txt"), rows, cols);
+  EXPECT_EQ(rows, 2);
+  EXPECT_EQ(cols, 3);
+  ASSERT_EQ(back.size(), 6u);
+  for (usize i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(back[i], pts[i]);
+}
+
+TEST_F(IoTest, RaggedPointsThrow) {
+  std::ofstream(path("p.txt")) << "1 2 3\n4 5\n";
+  index_t r, c;
+  EXPECT_THROW((void)read_points(path("p.txt"), r, c), std::invalid_argument);
+}
+
+TEST_F(IoTest, PointsSkipComments) {
+  std::ofstream(path("p.txt")) << "# header\n1 2\n3 4\n";
+  index_t r, c;
+  const auto pts = read_points(path("p.txt"), r, c);
+  EXPECT_EQ(r, 2);
+  EXPECT_EQ(c, 2);
+  EXPECT_DOUBLE_EQ(pts[3], 4.0);
+}
+
+TEST_F(IoTest, MatrixMarketRoundTrip) {
+  sparse::Coo coo(3, 4);
+  coo.push(0, 1, 1.5);
+  coo.push(2, 3, -2.25);
+  coo.push(1, 0, 7.0);
+  write_matrix_market(path("m.mtx"), coo);
+  const sparse::Coo back = read_matrix_market(path("m.mtx"));
+  EXPECT_EQ(back.rows, 3);
+  EXPECT_EQ(back.cols, 4);
+  ASSERT_EQ(back.nnz(), 3);
+  EXPECT_DOUBLE_EQ(back.values[0], 1.5);
+  EXPECT_DOUBLE_EQ(back.values[1], -2.25);
+  EXPECT_DOUBLE_EQ(back.values[2], 7.0);
+  EXPECT_EQ(back.row_idx, coo.row_idx);
+  EXPECT_EQ(back.col_idx, coo.col_idx);
+}
+
+TEST_F(IoTest, MatrixMarketSymmetricMirrors) {
+  std::ofstream(path("s.mtx"))
+      << "%%MatrixMarket matrix coordinate real symmetric\n"
+      << "3 3 2\n"
+      << "2 1 5.0\n"
+      << "3 3 1.0\n";
+  const sparse::Coo coo = read_matrix_market(path("s.mtx"));
+  ASSERT_EQ(coo.nnz(), 3);  // off-diagonal mirrored, diagonal not
+  sparse::Csr csr = sparse::coo_to_csr(coo);
+  EXPECT_DOUBLE_EQ(csr.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(csr.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(csr.at(2, 2), 1.0);
+}
+
+TEST_F(IoTest, MatrixMarketPatternDefaultsToOne) {
+  std::ofstream(path("p.mtx"))
+      << "%%MatrixMarket matrix coordinate pattern general\n"
+      << "% comment line\n"
+      << "2 2 1\n"
+      << "1 2\n";
+  const sparse::Coo coo = read_matrix_market(path("p.mtx"));
+  ASSERT_EQ(coo.nnz(), 1);
+  EXPECT_DOUBLE_EQ(coo.values[0], 1.0);
+  EXPECT_EQ(coo.row_idx[0], 0);
+  EXPECT_EQ(coo.col_idx[0], 1);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsBadInput) {
+  std::ofstream(path("bad1.mtx")) << "not a banner\n1 1 0\n";
+  EXPECT_THROW((void)read_matrix_market(path("bad1.mtx")),
+               std::invalid_argument);
+  std::ofstream(path("bad2.mtx"))
+      << "%%MatrixMarket matrix array real general\n1 1\n1.0\n";
+  EXPECT_THROW((void)read_matrix_market(path("bad2.mtx")),
+               std::invalid_argument);
+  std::ofstream(path("bad3.mtx"))
+      << "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+  EXPECT_THROW((void)read_matrix_market(path("bad3.mtx")),
+               std::invalid_argument);  // truncated
+  std::ofstream(path("bad4.mtx"))
+      << "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+  EXPECT_THROW((void)read_matrix_market(path("bad4.mtx")),
+               std::invalid_argument);  // out of range
+}
+
+TEST_F(IoTest, GarbageInputsThrowOrDegradeGracefully) {
+  // Binary junk in an edge list: unparseable lines are skipped, valid
+  // numeric prefixes are honored — never a crash.
+  std::ofstream(path("junk.txt"), std::ios::binary)
+      << "\x01\x02\xff garbage\n12 bananas\n3 4\n";
+  const sparse::Coo coo = read_edge_list(path("junk.txt"), false);
+  EXPECT_LE(coo.nnz(), 2);  // at most the "12 ..." and "3 4" lines
+
+  // Junk in a MatrixMarket body throws cleanly.
+  std::ofstream(path("junk.mtx"))
+      << "%%MatrixMarket matrix coordinate real general\n"
+      << "2 2 1\nhello world\n";
+  EXPECT_THROW((void)read_matrix_market(path("junk.mtx")),
+               std::invalid_argument);
+
+  // Junk in a points file: non-numeric rows are skipped entirely.
+  std::ofstream(path("junk.pts")) << "abc def\n1 2\n";
+  index_t r, c;
+  const auto pts = read_points(path("junk.pts"), r, c);
+  EXPECT_EQ(r, 1);
+  EXPECT_EQ(c, 2);
+  (void)pts;
+}
+
+TEST_F(IoTest, EmptyFilesAreHandled) {
+  std::ofstream(path("empty.txt")).close();
+  const sparse::Coo coo = read_edge_list(path("empty.txt"), true);
+  EXPECT_EQ(coo.rows, 0);
+  EXPECT_EQ(coo.nnz(), 0);
+  index_t r, c;
+  const auto pts = read_points(path("empty.txt"), r, c);
+  EXPECT_EQ(r, 0);
+  EXPECT_TRUE(pts.empty());
+  EXPECT_TRUE(read_labels(path("empty.txt")).empty());
+  EXPECT_THROW((void)read_matrix_market(path("empty.txt")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastsc::data

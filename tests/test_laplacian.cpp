@@ -1,0 +1,277 @@
+#include "graph/laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparse/convert.h"
+#include "sparse/ops.h"
+
+namespace fastsc::graph {
+namespace {
+
+sparse::Coo triangle_graph() {
+  // Weighted triangle: w(0,1)=1, w(0,2)=2, w(1,2)=3.
+  sparse::Coo w(3, 3);
+  w.push(0, 1, 1);
+  w.push(1, 0, 1);
+  w.push(0, 2, 2);
+  w.push(2, 0, 2);
+  w.push(1, 2, 3);
+  w.push(2, 1, 3);
+  return w;
+}
+
+sparse::Coo random_graph(index_t n, index_t edges, std::uint64_t seed) {
+  Rng rng(seed);
+  sparse::Coo w(n, n);
+  for (index_t e = 0; e < edges; ++e) {
+    const auto i = static_cast<index_t>(rng.uniform_index(
+        static_cast<std::uint64_t>(n)));
+    auto j = static_cast<index_t>(rng.uniform_index(
+        static_cast<std::uint64_t>(n)));
+    if (i == j) j = (j + 1) % n;
+    const real v = rng.uniform(0.1, 1.0);
+    w.push(i, j, v);
+    w.push(j, i, v);
+  }
+  // Ensure no isolated nodes: chain everything.
+  for (index_t i = 0; i + 1 < n; ++i) {
+    w.push(i, i + 1, 0.5);
+    w.push(i + 1, i, 0.5);
+  }
+  sparse::sort_and_merge(w);
+  return w;
+}
+
+TEST(Degrees, MatchHandComputation) {
+  const auto d = degrees(triangle_graph());
+  EXPECT_EQ(d, (std::vector<real>{3, 4, 5}));
+}
+
+TEST(NormalizedRwHost, RowsSumToOne) {
+  const sparse::Csr p = normalized_rw_host(triangle_graph());
+  const auto sums = sparse::row_sums(p);
+  for (real s : sums) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(NormalizedRwHost, ThrowsOnIsolatedNode) {
+  sparse::Coo w(3, 3);
+  w.push(0, 1, 1);
+  w.push(1, 0, 1);  // node 2 isolated
+  EXPECT_THROW((void)normalized_rw_host(w), std::invalid_argument);
+}
+
+TEST(NormalizedRwHost, ThrowsOnNonSquare) {
+  sparse::Coo w(2, 3);
+  EXPECT_THROW((void)normalized_rw_host(w), std::invalid_argument);
+}
+
+TEST(UnnormalizedLaplacian, RowsSumToZeroAndDiagIsDegree) {
+  const sparse::Csr l = unnormalized_laplacian(triangle_graph());
+  const auto sums = sparse::row_sums(l);
+  for (real s : sums) EXPECT_NEAR(s, 0.0, 1e-12);
+  const auto diag = sparse::diagonal(l);
+  EXPECT_NEAR(diag[0], 3, 1e-12);
+  EXPECT_NEAR(diag[1], 4, 1e-12);
+  EXPECT_NEAR(diag[2], 5, 1e-12);
+}
+
+TEST(UnnormalizedLaplacian, IsSymmetricPSDLike) {
+  const sparse::Csr l = unnormalized_laplacian(random_graph(20, 40, 3));
+  EXPECT_TRUE(sparse::is_symmetric(l, 1e-12));
+  // x^T L x >= 0 for random x (PSD spot check).
+  Rng rng(5);
+  std::vector<real> x(20), y(20);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (real& v : x) v = rng.uniform(-1, 1);
+    sparse::csr_mv(l, x.data(), y.data());
+    real quad = 0;
+    for (usize i = 0; i < 20; ++i) quad += x[i] * y[i];
+    EXPECT_GE(quad, -1e-10);
+  }
+}
+
+TEST(SymNormalizedLaplacian, DiagonalIsOne) {
+  const sparse::Csr l = sym_normalized_laplacian(triangle_graph());
+  const auto diag = sparse::diagonal(l);
+  for (real v : diag) EXPECT_NEAR(v, 1.0, 1e-12);
+  EXPECT_TRUE(sparse::is_symmetric(l, 1e-12));
+}
+
+class DeviceLaplacian : public ::testing::TestWithParam<int> {
+ protected:
+  device::DeviceContext ctx_{static_cast<usize>(GetParam())};
+};
+
+TEST_P(DeviceLaplacian, MatchesHostNormalization) {
+  const sparse::Coo w = random_graph(50, 150, 7);
+  const sparse::Csr host = normalized_rw_host(w);
+
+  sparse::DeviceCoo dev_w(ctx_, w);
+  sparse::DeviceCsr dev_p = normalized_rw_device(ctx_, dev_w);
+  const sparse::Csr got = dev_p.to_host();
+
+  ASSERT_EQ(got.rows, host.rows);
+  ASSERT_EQ(got.nnz(), host.nnz());
+  // Host conversion from sorted COO gives the same ordering.
+  EXPECT_EQ(got.row_ptr, host.row_ptr);
+  EXPECT_EQ(got.col_idx, host.col_idx);
+  for (usize i = 0; i < got.values.size(); ++i) {
+    EXPECT_NEAR(got.values[i], host.values[i], 1e-12);
+  }
+}
+
+TEST_P(DeviceLaplacian, RowStochasticOnDevice) {
+  const sparse::Coo w = random_graph(30, 80, 11);
+  sparse::DeviceCoo dev_w(ctx_, w);
+  sparse::DeviceCsr dev_p = normalized_rw_device(ctx_, dev_w);
+  const auto sums = sparse::row_sums(dev_p.to_host());
+  for (real s : sums) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST_P(DeviceLaplacian, ThrowsOnIsolatedNode) {
+  sparse::Coo w(3, 3);
+  w.push(0, 1, 1);
+  w.push(1, 0, 1);
+  sparse::DeviceCoo dev_w(ctx_, w);
+  EXPECT_THROW((void)normalized_rw_device(ctx_, dev_w),
+               std::invalid_argument);
+}
+
+TEST_P(DeviceLaplacian, UnsortedCooIsHandled) {
+  // Shuffled entry order must not change the result (device path sorts).
+  sparse::Coo w(4, 4);
+  w.push(3, 0, 1.0);
+  w.push(0, 3, 1.0);
+  w.push(1, 2, 2.0);
+  w.push(2, 1, 2.0);
+  w.push(0, 1, 1.0);
+  w.push(1, 0, 1.0);
+  sparse::Coo sorted = w;
+  sparse::sort_and_merge(sorted);
+  const sparse::Csr host = normalized_rw_host(sorted);
+
+  sparse::DeviceCoo dev_w(ctx_, w);
+  sparse::DeviceCsr dev_p = normalized_rw_device(ctx_, dev_w);
+  const sparse::Csr got = dev_p.to_host();
+  EXPECT_EQ(got.row_ptr, host.row_ptr);
+  EXPECT_EQ(got.col_idx, host.col_idx);
+  for (usize i = 0; i < got.values.size(); ++i) {
+    EXPECT_NEAR(got.values[i], host.values[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DeviceLaplacian,
+                         ::testing::Values(1, 4));
+
+TEST(SymNormalizedHost, MatchesDirectFormula) {
+  const sparse::Coo w = triangle_graph();
+  std::vector<real> isd;
+  const sparse::Csr s = sym_normalized_host(w, isd);
+  const auto d = degrees(w);
+  ASSERT_EQ(isd.size(), 3u);
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_NEAR(isd[i], 1.0 / std::sqrt(d[i]), 1e-14);
+  }
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      const real w_ij = (i == j) ? 0
+                        : (i + j == 1) ? 1.0
+                        : (i + j == 2) ? 2.0
+                                       : 3.0;
+      EXPECT_NEAR(s.at(i, j),
+                  w_ij / std::sqrt(d[static_cast<usize>(i)] *
+                                   d[static_cast<usize>(j)]),
+                  1e-12);
+    }
+  }
+}
+
+TEST(SymNormalizedHost, OutputIsSymmetric) {
+  const sparse::Coo w = random_graph(40, 120, 21);
+  std::vector<real> isd;
+  const sparse::Csr s = sym_normalized_host(w, isd);
+  EXPECT_TRUE(sparse::is_symmetric(s, 1e-12));
+}
+
+TEST(SymNormalizedHost, SimilarToRandomWalkOperator) {
+  // S = D^1/2 (D^-1 W) D^-1/2 entrywise.
+  const sparse::Coo w = random_graph(25, 60, 23);
+  std::vector<real> isd;
+  const sparse::Csr s = sym_normalized_host(w, isd);
+  const sparse::Csr rw = normalized_rw_host(w);
+  for (index_t i = 0; i < 25; ++i) {
+    for (index_t j = 0; j < 25; ++j) {
+      const real expected = rw.at(i, j) * isd[static_cast<usize>(j)] /
+                            isd[static_cast<usize>(i)];
+      EXPECT_NEAR(s.at(i, j), expected, 1e-12);
+    }
+  }
+}
+
+TEST(SymNormalizedHost, ThrowsOnIsolatedNode) {
+  sparse::Coo w(3, 3);
+  w.push(0, 1, 1);
+  w.push(1, 0, 1);
+  std::vector<real> isd;
+  EXPECT_THROW((void)sym_normalized_host(w, isd), std::invalid_argument);
+}
+
+class DeviceSymNormalized : public ::testing::TestWithParam<int> {
+ protected:
+  device::DeviceContext ctx_{static_cast<usize>(GetParam())};
+};
+
+TEST_P(DeviceSymNormalized, MatchesHost) {
+  const sparse::Coo w = random_graph(50, 150, 29);
+  std::vector<real> isd_host;
+  const sparse::Csr host = sym_normalized_host(w, isd_host);
+
+  sparse::DeviceCoo dev_w(ctx_, w);
+  device::DeviceBuffer<real> dev_isd;
+  sparse::DeviceCsr dev_s = sym_normalized_device(ctx_, dev_w, dev_isd);
+  const sparse::Csr got = dev_s.to_host();
+  const auto isd_got = dev_isd.to_host();
+
+  ASSERT_EQ(got.nnz(), host.nnz());
+  EXPECT_EQ(got.row_ptr, host.row_ptr);
+  EXPECT_EQ(got.col_idx, host.col_idx);
+  for (usize i = 0; i < got.values.size(); ++i) {
+    EXPECT_NEAR(got.values[i], host.values[i], 1e-12);
+  }
+  for (usize i = 0; i < isd_got.size(); ++i) {
+    EXPECT_NEAR(isd_got[i], isd_host[i], 1e-14);
+  }
+}
+
+TEST_P(DeviceSymNormalized, UnsortedInputIsHandled) {
+  sparse::Coo w(3, 3);
+  w.push(2, 0, 2.0);
+  w.push(0, 2, 2.0);
+  w.push(0, 1, 1.0);
+  w.push(1, 0, 1.0);
+  w.push(1, 2, 3.0);
+  w.push(2, 1, 3.0);
+  std::vector<real> isd_host;
+  sparse::Coo sorted = w;
+  sparse::sort_and_merge(sorted);
+  const sparse::Csr host = sym_normalized_host(sorted, isd_host);
+
+  sparse::DeviceCoo dev_w(ctx_, w);
+  device::DeviceBuffer<real> dev_isd;
+  sparse::DeviceCsr dev_s = sym_normalized_device(ctx_, dev_w, dev_isd);
+  const sparse::Csr got = dev_s.to_host();
+  EXPECT_EQ(got.col_idx, host.col_idx);
+  for (usize i = 0; i < got.values.size(); ++i) {
+    EXPECT_NEAR(got.values[i], host.values[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DeviceSymNormalized,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace fastsc::graph

@@ -1,0 +1,140 @@
+#include "kmeans/lloyd.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastsc::kmeans {
+namespace {
+
+std::vector<real> blob_data(index_t per, index_t k, index_t d,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<real> x(static_cast<usize>(per * k) * static_cast<usize>(d));
+  for (index_t i = 0; i < per * k; ++i) {
+    const real base = static_cast<real>((i / per) * 20);
+    for (index_t l = 0; l < d; ++l) {
+      x[static_cast<usize>(i * d + l)] = base + 0.3 * rng.normal();
+    }
+  }
+  return x;
+}
+
+TEST(Lloyd, ConvergesOnSeparatedBlobs) {
+  const auto x = blob_data(30, 3, 2, 1);
+  KmeansConfig cfg;
+  cfg.k = 3;
+  const auto r = kmeans_lloyd_host(x.data(), 90, 2, cfg);
+  EXPECT_TRUE(r.converged);
+  // Each blob of 30 shares one label.
+  for (index_t c = 0; c < 3; ++c) {
+    const index_t first = r.labels[static_cast<usize>(c * 30)];
+    for (index_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(r.labels[static_cast<usize>(c * 30 + i)], first);
+    }
+  }
+}
+
+TEST(Lloyd, ObjectiveMonotoneAcrossIterationCaps) {
+  // Running longer can never produce a worse objective from the same seed.
+  const auto x = blob_data(40, 4, 3, 2);
+  KmeansConfig cfg;
+  cfg.k = 4;
+  cfg.seed = 5;
+  real prev = std::numeric_limits<real>::max();
+  for (index_t iters : {1, 2, 4, 8, 32}) {
+    cfg.max_iters = iters;
+    const auto r = kmeans_lloyd_host(x.data(), 160, 3, cfg);
+    EXPECT_LE(r.objective, prev + 1e-9) << "iters=" << iters;
+    prev = r.objective;
+  }
+}
+
+TEST(Lloyd, KmeansppNeedsNoMoreIterationsThanRandom) {
+  // Aggregate over seeds: ++ seeding should not be slower on blob data.
+  const auto x = blob_data(25, 6, 2, 3);
+  index_t pp_total = 0, rand_total = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    KmeansConfig cfg;
+    cfg.k = 6;
+    cfg.seed = s;
+    cfg.seeding = Seeding::kKmeansPlusPlus;
+    pp_total += kmeans_lloyd_host(x.data(), 150, 2, cfg).iterations;
+    cfg.seeding = Seeding::kRandom;
+    rand_total += kmeans_lloyd_host(x.data(), 150, 2, cfg).iterations;
+  }
+  EXPECT_LE(pp_total, rand_total + 5);
+}
+
+TEST(Lloyd, ObjectiveMatchesHelper) {
+  const auto x = blob_data(10, 2, 2, 7);
+  KmeansConfig cfg;
+  cfg.k = 2;
+  const auto r = kmeans_lloyd_host(x.data(), 20, 2, cfg);
+  EXPECT_NEAR(r.objective,
+              kmeans_objective(x.data(), 20, 2, r.labels, r.centroids, 2),
+              1e-9);
+}
+
+TEST(Lloyd, RestartsNeverWorsenObjective) {
+  const auto x = blob_data(20, 5, 3, 11);
+  KmeansConfig cfg;
+  cfg.k = 5;
+  cfg.seed = 1;
+  cfg.seeding = Seeding::kRandom;  // random init benefits most from restarts
+  const auto one = kmeans_lloyd_host(x.data(), 100, 3, cfg);
+  cfg.restarts = 8;
+  const auto eight = kmeans_lloyd_host(x.data(), 100, 3, cfg);
+  EXPECT_LE(eight.objective, one.objective + 1e-9);
+}
+
+TEST(Lloyd, RejectsZeroRestarts) {
+  const auto x = blob_data(10, 2, 2, 13);
+  KmeansConfig cfg;
+  cfg.k = 2;
+  cfg.restarts = 0;
+  EXPECT_THROW((void)kmeans_lloyd_host(x.data(), 20, 2, cfg),
+               std::invalid_argument);
+}
+
+TEST(KmeansObjective, ValidatesInput) {
+  std::vector<real> x{0, 1};
+  std::vector<index_t> labels{0, 5};
+  std::vector<real> centroids{0, 1};
+  EXPECT_THROW((void)kmeans_objective(x.data(), 2, 1, labels, centroids, 2),
+               std::invalid_argument);
+}
+
+TEST(Lloyd, SinglePointSingleCluster) {
+  std::vector<real> x{1.5, -2.5};
+  KmeansConfig cfg;
+  cfg.k = 1;
+  const auto r = kmeans_lloyd_host(x.data(), 1, 2, cfg);
+  EXPECT_EQ(r.labels, (std::vector<index_t>{0}));
+  EXPECT_DOUBLE_EQ(r.centroids[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Lloyd, EmptyClusterRepairKeepsKClusters) {
+  // k=3 but only 2 distinct locations: a cluster will empty out, repair
+  // must still leave valid centroids and labels.
+  std::vector<real> x;
+  for (int i = 0; i < 10; ++i) x.push_back(0.0);
+  for (int i = 0; i < 10; ++i) x.push_back(50.0);
+  KmeansConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 2;
+  const auto r = kmeans_lloyd_host(x.data(), 20, 1, cfg);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  for (index_t l : r.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+}
+
+}  // namespace
+}  // namespace fastsc::kmeans

@@ -1,0 +1,88 @@
+#include "metrics/cut.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/convert.h"
+
+namespace fastsc::metrics {
+namespace {
+
+/// Two triangles joined by a single bridge edge of weight 1; all triangle
+/// edges have weight 2.
+sparse::Csr barbell() {
+  sparse::Coo w(6, 6);
+  auto add = [&](index_t a, index_t b, real v) {
+    w.push(a, b, v);
+    w.push(b, a, v);
+  };
+  add(0, 1, 2);
+  add(0, 2, 2);
+  add(1, 2, 2);
+  add(3, 4, 2);
+  add(3, 5, 2);
+  add(4, 5, 2);
+  add(2, 3, 1);  // bridge
+  return sparse::coo_to_csr(w);
+}
+
+const std::vector<index_t> kPerfect{0, 0, 0, 1, 1, 1};
+const std::vector<index_t> kBad{0, 1, 0, 1, 0, 1};
+
+TEST(CutValue, BridgeOnlyForPerfectSplit) {
+  EXPECT_DOUBLE_EQ(cut_value(barbell(), kPerfect, 2), 1.0);
+}
+
+TEST(CutValue, WorseSplitCutsMore) {
+  EXPECT_GT(cut_value(barbell(), kBad, 2), cut_value(barbell(), kPerfect, 2));
+}
+
+TEST(CutValue, SingleClusterHasZeroCut) {
+  const std::vector<index_t> all_zero(6, 0);
+  EXPECT_DOUBLE_EQ(cut_value(barbell(), all_zero, 1), 0.0);
+}
+
+TEST(RatioCut, HandComputedBarbell) {
+  // Perfect split: each side boundary 1, |A| = 3 -> 0.5*(1/3 + 1/3) = 1/3.
+  EXPECT_NEAR(ratio_cut(barbell(), kPerfect, 2), 1.0 / 3, 1e-12);
+}
+
+TEST(NormalizedCut, HandComputedBarbell) {
+  // vol(A) = sum of degrees in A. Each triangle node has degree 4 except the
+  // bridge endpoints (5). vol = 4+4+5 = 13 per side.
+  // Ncut = 0.5 * (1/13 + 1/13) = 1/13.
+  EXPECT_NEAR(normalized_cut(barbell(), kPerfect, 2), 1.0 / 13, 1e-12);
+}
+
+TEST(NormalizedCut, PerfectBeatsBad) {
+  EXPECT_LT(normalized_cut(barbell(), kPerfect, 2),
+            normalized_cut(barbell(), kBad, 2));
+}
+
+TEST(NormalizedCut, EmptyClustersContributeNothing) {
+  // k=3 but only 2 used labels.
+  EXPECT_NEAR(normalized_cut(barbell(), kPerfect, 3), 1.0 / 13, 1e-12);
+}
+
+TEST(CutMetrics, ValidateInputs) {
+  const auto w = barbell();
+  std::vector<index_t> short_labels{0, 1};
+  EXPECT_THROW((void)cut_value(w, short_labels, 2), std::invalid_argument);
+  std::vector<index_t> bad_range{0, 0, 0, 1, 1, 7};
+  EXPECT_THROW((void)normalized_cut(w, bad_range, 2), std::invalid_argument);
+}
+
+TEST(CutMetrics, DisconnectedGraphZeroCut) {
+  sparse::Coo w(4, 4);
+  w.push(0, 1, 1);
+  w.push(1, 0, 1);
+  w.push(2, 3, 1);
+  w.push(3, 2, 1);
+  const auto csr = sparse::coo_to_csr(w);
+  const std::vector<index_t> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(cut_value(csr, labels, 2), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_cut(csr, labels, 2), 0.0);
+  EXPECT_DOUBLE_EQ(ratio_cut(csr, labels, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace fastsc::metrics

@@ -1,0 +1,131 @@
+#include "metrics/external.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastsc::metrics {
+namespace {
+
+TEST(Ari, IdenticalPartitionsScoreOne) {
+  const std::vector<index_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, RelabelingStillScoresOne) {
+  const std::vector<index_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<index_t> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), 1.0);
+}
+
+TEST(Ari, IndependentRandomPartitionsNearZero) {
+  Rng rng(3);
+  const usize n = 5000;
+  std::vector<index_t> a(n), b(n);
+  for (usize i = 0; i < n; ++i) {
+    a[i] = static_cast<index_t>(rng.uniform_index(5));
+    b[i] = static_cast<index_t>(rng.uniform_index(5));
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.02);
+}
+
+TEST(Ari, KnownSmallExample) {
+  // Classic example: ARI is symmetric and < 1 for a partial match.
+  const std::vector<index_t> a{0, 0, 0, 1, 1, 1};
+  const std::vector<index_t> b{0, 0, 1, 1, 1, 1};
+  const real ab = adjusted_rand_index(a, b);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+  EXPECT_DOUBLE_EQ(ab, adjusted_rand_index(b, a));
+}
+
+TEST(Ari, TrivialPartitionsScoreOne) {
+  const std::vector<index_t> a{0, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, LengthMismatchThrows) {
+  const std::vector<index_t> a{0, 1};
+  const std::vector<index_t> b{0};
+  EXPECT_THROW((void)adjusted_rand_index(a, b), std::invalid_argument);
+}
+
+TEST(Nmi, IdenticalPartitionsScoreOne) {
+  const std::vector<index_t> a{0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(normalized_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsNearZero) {
+  Rng rng(11);
+  const usize n = 20000;
+  std::vector<index_t> a(n), b(n);
+  for (usize i = 0; i < n; ++i) {
+    a[i] = static_cast<index_t>(rng.uniform_index(4));
+    b[i] = static_cast<index_t>(rng.uniform_index(4));
+  }
+  EXPECT_NEAR(normalized_mutual_information(a, b), 0.0, 0.01);
+}
+
+TEST(Nmi, BoundedInUnitInterval) {
+  Rng rng(13);
+  std::vector<index_t> a(100), b(100);
+  for (usize i = 0; i < 100; ++i) {
+    a[i] = static_cast<index_t>(rng.uniform_index(7));
+    b[i] = static_cast<index_t>(rng.uniform_index(3));
+  }
+  const real v = normalized_mutual_information(a, b);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(Nmi, RefinementScoresBelowOne) {
+  const std::vector<index_t> coarse{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<index_t> fine{0, 0, 1, 1, 2, 2, 3, 3};
+  const real v = normalized_mutual_information(coarse, fine);
+  EXPECT_GT(v, 0.5);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Purity, PerfectClusteringIsOne) {
+  const std::vector<index_t> pred{0, 0, 1, 1};
+  const std::vector<index_t> truth{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 1.0);
+}
+
+TEST(Purity, MajorityRule) {
+  const std::vector<index_t> pred{0, 0, 0, 1, 1, 1};
+  const std::vector<index_t> truth{0, 0, 1, 1, 1, 0};
+  // Cluster 0: majority truth 0 (2 of 3). Cluster 1: majority 1 (2 of 3).
+  EXPECT_NEAR(purity(pred, truth), 4.0 / 6, 1e-12);
+}
+
+TEST(Purity, SingleClusterEqualsLargestClassShare) {
+  const std::vector<index_t> pred{0, 0, 0, 0};
+  const std::vector<index_t> truth{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(pred, truth), 0.75);
+}
+
+TEST(ContingencyTable, CountsCells) {
+  const std::vector<index_t> a{0, 0, 1, 1};
+  const std::vector<index_t> b{0, 1, 1, 1};
+  index_t ka, kb;
+  const auto table = contingency_table(a, b, ka, kb);
+  EXPECT_EQ(ka, 2);
+  EXPECT_EQ(kb, 2);
+  EXPECT_EQ(table[0], 1);  // (0,0)
+  EXPECT_EQ(table[1], 1);  // (0,1)
+  EXPECT_EQ(table[2], 0);  // (1,0)
+  EXPECT_EQ(table[3], 2);  // (1,1)
+}
+
+TEST(ContingencyTable, NegativeLabelThrows) {
+  const std::vector<index_t> a{0, -1};
+  const std::vector<index_t> b{0, 0};
+  index_t ka, kb;
+  EXPECT_THROW((void)contingency_table(a, b, ka, kb), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastsc::metrics

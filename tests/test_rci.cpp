@@ -1,0 +1,117 @@
+// Tests of the ARPACK++-style reverse communication interface — the calling
+// convention of the paper's Algorithm 3.
+#include "lanczos/rci.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastsc::lanczos {
+namespace {
+
+LanczosConfig diag_config(index_t n, index_t nev) {
+  LanczosConfig cfg;
+  cfg.n = n;
+  cfg.nev = nev;
+  cfg.which = EigWhich::kLargestAlgebraic;
+  return cfg;
+}
+
+TEST(SymEigProb, PaperAlgorithm3LoopShape) {
+  // The exact loop from the paper:
+  //   while (!Prob.converge()) { TakeStep-with-matvec }
+  //   Prob.FindEigenvectors();
+  const index_t n = 50;
+  SymEigProb prob(diag_config(n, 2));
+  index_t matvecs = 0;
+  while (!prob.converge()) {
+    const real* x = prob.GetVector();
+    real* y = prob.PutVector();
+    for (index_t i = 0; i < n; ++i) y[i] = static_cast<real>(i) * x[i];
+    ++matvecs;
+    prob.TakeStep();
+  }
+  EXPECT_FALSE(prob.Failed());
+  EXPECT_GT(matvecs, 0);
+  EXPECT_EQ(prob.Stats().matvec_count, matvecs);
+  ASSERT_EQ(prob.Eigenvalues().size(), 2u);
+  EXPECT_NEAR(prob.Eigenvalues()[0], 49, 1e-8);
+  EXPECT_NEAR(prob.Eigenvalues()[1], 48, 1e-8);
+
+  const auto vectors = prob.FindEigenvectors();
+  ASSERT_EQ(vectors.size(), static_cast<usize>(2 * n));
+  // Eigenvector of a diagonal matrix is a coordinate axis.
+  EXPECT_NEAR(std::fabs(vectors[static_cast<usize>(n - 1)]), 1.0, 1e-6);
+}
+
+TEST(SymEigProb, GetVectorStableBetweenStepCalls) {
+  SymEigProb prob(diag_config(30, 1));
+  ASSERT_FALSE(prob.converge());
+  const real* x1 = prob.GetVector();
+  const real* x2 = prob.GetVector();
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(SymEigProb, ConvergeIsIdempotentBeforeTakeStep) {
+  SymEigProb prob(diag_config(30, 1));
+  EXPECT_FALSE(prob.converge());
+  EXPECT_FALSE(prob.converge());  // does not advance the state machine
+}
+
+TEST(SolveSymmetric, MatvecCallbackDrivesSolution) {
+  const index_t n = 40;
+  std::vector<real> diag(static_cast<usize>(n));
+  for (index_t i = 0; i < n; ++i) {
+    diag[static_cast<usize>(i)] = static_cast<real>((i * 7) % 23);
+  }
+  LanczosConfig cfg = diag_config(n, 1);
+  const auto result = solve_symmetric(cfg, [&](const real* x, real* y) {
+    for (index_t i = 0; i < n; ++i) y[i] = diag[static_cast<usize>(i)] * x[i];
+  });
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalues[0], 22, 1e-8);
+}
+
+TEST(SolveSymmetric, EigenvectorRowsAreUnitNorm) {
+  const index_t n = 35;
+  LanczosConfig cfg = diag_config(n, 3);
+  const auto result = solve_symmetric(cfg, [&](const real* x, real* y) {
+    for (index_t i = 0; i < n; ++i) y[i] = static_cast<real>(i % 9) * x[i];
+  });
+  for (index_t k = 0; k < 3; ++k) {
+    real norm2 = 0;
+    for (index_t i = 0; i < n; ++i) {
+      const real v = result.eigenvectors[static_cast<usize>(k * n + i)];
+      norm2 += v * v;
+    }
+    EXPECT_NEAR(norm2, 1.0, 1e-9);
+  }
+}
+
+TEST(SolveSymmetric, FailureReportedWhenBudgetTooSmall) {
+  // A hard spectrum with an absurdly tight restart budget must raise the
+  // failed flag rather than pretend convergence.
+  const index_t n = 400;
+  Rng rng(3);
+  std::vector<real> diag(static_cast<usize>(n));
+  // Densely clustered eigenvalues make the top-k hard to separate.
+  for (index_t i = 0; i < n; ++i) {
+    diag[static_cast<usize>(i)] = 1.0 + 1e-7 * static_cast<real>(i);
+  }
+  LanczosConfig cfg = diag_config(n, 8);
+  cfg.max_restarts = 0;
+  cfg.tol = 1e-14;
+  cfg.ncv = 17;
+  const auto result = solve_symmetric(cfg, [&](const real* x, real* y) {
+    for (index_t i = 0; i < n; ++i) y[i] = diag[static_cast<usize>(i)] * x[i];
+  });
+  EXPECT_FALSE(result.converged);
+  // Best-effort estimates are still produced.
+  EXPECT_EQ(result.eigenvalues.size(), 8u);
+}
+
+}  // namespace
+}  // namespace fastsc::lanczos

@@ -1,0 +1,85 @@
+// Tests for the report-assembly module (the tables the benches print).
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "data/sbm.h"
+#include "sparse/convert.h"
+
+namespace fastsc::core {
+namespace {
+
+BackendRuns make_runs(index_t n, index_t k, bool with_device) {
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(n, k);
+  p.p_in = 0.4;
+  p.p_out = 0.02;
+  const data::SbmGraph g = data::make_sbm(p);
+
+  BackendRuns runs;
+  runs.dataset = "unit";
+  runs.nodes = n;
+  runs.edges = g.w.nnz();
+  runs.clusters = k;
+  device::DeviceContext ctx(1);
+  std::vector<Backend> backends{Backend::kMatlabLike};
+  if (with_device) backends.insert(backends.begin(), Backend::kDevice);
+  for (Backend b : backends) {
+    SpectralConfig cfg;
+    cfg.num_clusters = k;
+    cfg.backend = b;
+    runs.runs.emplace_back(b, spectral_cluster_graph(g.w, cfg, &ctx));
+  }
+  return runs;
+}
+
+TEST(Report, FigureSeriesHasOneRowPerBackendStage) {
+  const BackendRuns runs = make_runs(100, 2, true);
+  const std::string csv = figure_series(runs).to_csv();
+  // Graph mode: 2 stages x 2 backends + header.
+  index_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5);
+  EXPECT_NE(csv.find("unit,CUDA,eigensolver"), std::string::npos);
+  EXPECT_NE(csv.find("unit,Matlab,kmeans"), std::string::npos);
+}
+
+TEST(Report, DatasetTableListsEveryDataset) {
+  const BackendRuns a = make_runs(80, 2, false);
+  BackendRuns b = make_runs(60, 3, false);
+  b.dataset = "second";
+  const std::string t = dataset_table({a, b}).to_string();
+  EXPECT_NE(t.find("unit"), std::string::npos);
+  EXPECT_NE(t.find("second"), std::string::npos);
+  EXPECT_NE(t.find("80"), std::string::npos);
+}
+
+TEST(Report, CommunicationTableOnlyCoversDeviceRuns) {
+  const BackendRuns no_device = make_runs(80, 2, false);
+  const std::string empty = communication_table({no_device}).to_csv();
+  // Header only: no device run to report.
+  index_t lines = 0;
+  for (char c : empty) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1);
+
+  const BackendRuns with_device = make_runs(80, 2, true);
+  const std::string full = communication_table({with_device}).to_string();
+  EXPECT_NE(full.find("unit"), std::string::npos);
+}
+
+TEST(Report, StageTableSimilarityRowIsOptional) {
+  const BackendRuns runs = make_runs(80, 2, true);
+  const std::string without = stage_table(runs, false).to_string();
+  EXPECT_EQ(without.find("Similarity"), std::string::npos);
+  const std::string with = stage_table(runs, true).to_string();
+  EXPECT_NE(with.find("Similarity"), std::string::npos);
+}
+
+TEST(Report, BackendNamesMatchPaperColumns) {
+  EXPECT_EQ(backend_name(Backend::kDevice), "CUDA");
+  EXPECT_EQ(backend_name(Backend::kMatlabLike), "Matlab");
+  EXPECT_EQ(backend_name(Backend::kPythonLike), "Python");
+}
+
+}  // namespace
+}  // namespace fastsc::core

@@ -1,0 +1,147 @@
+#include "data/sbm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sparse/convert.h"
+#include "sparse/ops.h"
+
+namespace fastsc::data {
+namespace {
+
+TEST(EqualBlocks, SplitsEvenly) {
+  EXPECT_EQ(equal_blocks(10, 2), (std::vector<index_t>{5, 5}));
+  EXPECT_EQ(equal_blocks(11, 3), (std::vector<index_t>{4, 4, 3}));
+  EXPECT_EQ(equal_blocks(5, 5), (std::vector<index_t>{1, 1, 1, 1, 1}));
+}
+
+TEST(EqualBlocks, RejectsBadCounts) {
+  EXPECT_THROW((void)equal_blocks(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)equal_blocks(3, 4), std::invalid_argument);
+}
+
+TEST(MakeSbm, LabelsMatchBlockStructure) {
+  SbmParams p;
+  p.block_sizes = {3, 2, 4};
+  const SbmGraph g = make_sbm(p);
+  ASSERT_EQ(g.labels.size(), 9u);
+  EXPECT_EQ(g.labels[0], 0);
+  EXPECT_EQ(g.labels[2], 0);
+  EXPECT_EQ(g.labels[3], 1);
+  EXPECT_EQ(g.labels[4], 1);
+  EXPECT_EQ(g.labels[5], 2);
+  EXPECT_EQ(g.labels[8], 2);
+}
+
+TEST(MakeSbm, GraphIsSymmetricNoSelfLoops) {
+  SbmParams p;
+  p.block_sizes = equal_blocks(200, 10);
+  p.p_in = 0.2;
+  p.p_out = 0.02;
+  const SbmGraph g = make_sbm(p);
+  g.w.validate();
+  for (usize e = 0; e < g.w.values.size(); ++e) {
+    EXPECT_NE(g.w.row_idx[e], g.w.col_idx[e]);
+  }
+  EXPECT_TRUE(sparse::is_symmetric(sparse::coo_to_csr(g.w), 1e-12));
+}
+
+TEST(MakeSbm, NoDuplicateEdges) {
+  SbmParams p;
+  p.block_sizes = equal_blocks(100, 4);
+  p.p_in = 0.5;
+  p.p_out = 0.05;
+  const SbmGraph g = make_sbm(p);
+  std::set<std::pair<index_t, index_t>> seen;
+  for (usize e = 0; e < g.w.values.size(); ++e) {
+    EXPECT_TRUE(seen.emplace(g.w.row_idx[e], g.w.col_idx[e]).second);
+  }
+}
+
+TEST(MakeSbm, EdgeCountNearExpectation) {
+  SbmParams p;
+  p.block_sizes = equal_blocks(2000, 20);
+  p.p_in = 0.1;
+  p.p_out = 0.005;
+  p.seed = 77;
+  const SbmGraph g = make_sbm(p);
+  const real expected = sbm_expected_edges(p);
+  const real actual = static_cast<real>(g.w.nnz()) / 2;  // both directions
+  // 5 sigma-ish tolerance for a binomial with ~expected trials.
+  EXPECT_NEAR(actual, expected, 5 * std::sqrt(expected));
+}
+
+TEST(MakeSbm, ExtremeProbabilities) {
+  SbmParams p;
+  p.block_sizes = {4, 4};
+  p.p_in = 1.0;
+  p.p_out = 0.0;
+  const SbmGraph g = make_sbm(p);
+  // Complete within blocks: 2 * (4 choose 2) undirected edges per block.
+  EXPECT_EQ(g.w.nnz(), 2 * 2 * 6);
+  for (usize e = 0; e < g.w.values.size(); ++e) {
+    EXPECT_EQ(g.labels[static_cast<usize>(g.w.row_idx[e])],
+              g.labels[static_cast<usize>(g.w.col_idx[e])]);
+  }
+}
+
+TEST(MakeSbm, DeterministicForSeed) {
+  SbmParams p;
+  p.block_sizes = equal_blocks(300, 6);
+  p.seed = 123;
+  const SbmGraph a = make_sbm(p);
+  const SbmGraph b = make_sbm(p);
+  EXPECT_EQ(a.w.row_idx, b.w.row_idx);
+  EXPECT_EQ(a.w.col_idx, b.w.col_idx);
+}
+
+TEST(MakeSbm, DifferentSeedsDiffer) {
+  SbmParams p;
+  p.block_sizes = equal_blocks(300, 6);
+  p.seed = 1;
+  const SbmGraph a = make_sbm(p);
+  p.seed = 2;
+  const SbmGraph b = make_sbm(p);
+  EXPECT_NE(a.w.row_idx, b.w.row_idx);
+}
+
+TEST(MakeSbm, PaperSyn200ParametersScaled) {
+  // Scaled Syn200: r blocks of 100 at p=0.3/q=0.01 (paper Table II).
+  SbmParams p;
+  p.block_sizes = equal_blocks(2000, 20);
+  p.p_in = 0.3;
+  p.p_out = 0.01;
+  const SbmGraph g = make_sbm(p);
+  // Within-block edges should dominate per-pair density.
+  index_t within = 0, cross = 0;
+  for (usize e = 0; e < g.w.values.size(); ++e) {
+    if (g.labels[static_cast<usize>(g.w.row_idx[e])] ==
+        g.labels[static_cast<usize>(g.w.col_idx[e])]) {
+      ++within;
+    } else {
+      ++cross;
+    }
+  }
+  EXPECT_GT(within, 0);
+  EXPECT_GT(cross, 0);
+  // Density ratio ~ p/q = 30 with pair-count correction.
+  const real within_pairs = 20.0 * (100.0 * 99 / 2);
+  const real cross_pairs = 2000.0 * 1999 / 2 - within_pairs;
+  const real ratio = (static_cast<real>(within) / within_pairs) /
+                     (static_cast<real>(cross) / cross_pairs);
+  EXPECT_NEAR(ratio, 30.0, 6.0);
+}
+
+TEST(SbmExpectedEdges, HandComputed) {
+  SbmParams p;
+  p.block_sizes = {3, 3};
+  p.p_in = 0.5;
+  p.p_out = 0.1;
+  // within pairs: 2 * 3 = 6; cross pairs: 15 - 6 = 9.
+  EXPECT_NEAR(sbm_expected_edges(p), 6 * 0.5 + 9 * 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace fastsc::data

@@ -1,0 +1,129 @@
+#include "kmeans/seeding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "device/device.h"
+
+namespace fastsc::kmeans {
+namespace {
+
+TEST(RandomSeeds, WithoutReplacement) {
+  Rng rng(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto seeds = random_seeds_host(10, 10, rng);
+    std::set<index_t> unique(seeds.begin(), seeds.end());
+    EXPECT_EQ(unique.size(), 10u);
+  }
+}
+
+TEST(RandomSeeds, InRange) {
+  Rng rng(7);
+  const auto seeds = random_seeds_host(100, 5, rng);
+  ASSERT_EQ(seeds.size(), 5u);
+  for (index_t s : seeds) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 100);
+  }
+}
+
+TEST(RandomSeeds, RejectsBadK) {
+  Rng rng(1);
+  EXPECT_THROW((void)random_seeds_host(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_seeds_host(5, 6, rng), std::invalid_argument);
+}
+
+std::vector<real> two_far_groups() {
+  // Points 0-3 near origin, points 4-7 near (100).
+  std::vector<real> x;
+  for (int i = 0; i < 4; ++i) x.push_back(0.1 * i);
+  for (int i = 0; i < 4; ++i) x.push_back(100 + 0.1 * i);
+  return x;
+}
+
+TEST(KmeansppHost, SpreadsSeedsAcrossFarGroups) {
+  const auto x = two_far_groups();
+  // With k=2, k-means++ should essentially always pick one seed per group.
+  int split = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const auto seeds = kmeanspp_seeds_host(x.data(), 8, 1, 2, rng);
+    const bool a = seeds[0] < 4;
+    const bool b = seeds[1] < 4;
+    if (a != b) ++split;
+  }
+  EXPECT_GE(split, 48);  // D^2 weighting: cross-group pick ~certain
+}
+
+TEST(KmeansppHost, HandlesDuplicatePoints) {
+  std::vector<real> x(20, 3.14);  // all identical
+  Rng rng(3);
+  const auto seeds = kmeanspp_seeds_host(x.data(), 20, 1, 4, rng);
+  EXPECT_EQ(seeds.size(), 4u);  // falls back to uniform, still returns k
+}
+
+TEST(KmeansppHost, FirstSeedUniform) {
+  std::vector<real> x{0, 1, 2, 3};
+  std::set<index_t> seen;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    Rng rng(s);
+    seen.insert(kmeanspp_seeds_host(x.data(), 4, 1, 1, rng)[0]);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+class KmeansppDevice : public ::testing::TestWithParam<int> {
+ protected:
+  device::DeviceContext ctx_{static_cast<usize>(GetParam())};
+};
+
+TEST_P(KmeansppDevice, SpreadsSeedsLikeHost) {
+  const auto x = two_far_groups();
+  device::DeviceBuffer<real> dx(ctx_, std::span<const real>(x));
+  int split = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const auto seeds = kmeanspp_seeds_device(ctx_, dx.data(), 8, 1, 2, rng);
+    if ((seeds[0] < 4) != (seeds[1] < 4)) ++split;
+  }
+  EXPECT_GE(split, 48);
+}
+
+TEST_P(KmeansppDevice, SeedsAreValidIndices) {
+  std::vector<real> x(60);
+  Rng data_rng(9);
+  for (real& v : x) v = data_rng.uniform(-1, 1);
+  device::DeviceBuffer<real> dx(ctx_, std::span<const real>(x));
+  Rng rng(17);
+  const auto seeds = kmeanspp_seeds_device(ctx_, dx.data(), 20, 3, 7, rng);
+  ASSERT_EQ(seeds.size(), 7u);
+  for (index_t s : seeds) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 20);
+  }
+}
+
+TEST_P(KmeansppDevice, MatchesHostDistributionOnBimodalData) {
+  // Statistical agreement: the probability mass of picking the far group
+  // for the second seed should match between host and device samplers.
+  const auto x = two_far_groups();
+  device::DeviceBuffer<real> dx(ctx_, std::span<const real>(x));
+  int host_far = 0, dev_far = 0;
+  for (std::uint64_t seed = 100; seed < 300; ++seed) {
+    Rng hr(seed), dr(seed);
+    const auto hs = kmeanspp_seeds_host(x.data(), 8, 1, 2, hr);
+    const auto ds = kmeanspp_seeds_device(ctx_, dx.data(), 8, 1, 2, dr);
+    if ((hs[0] < 4) != (hs[1] < 4)) ++host_far;
+    if ((ds[0] < 4) != (ds[1] < 4)) ++dev_far;
+  }
+  EXPECT_NEAR(host_far, dev_far, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, KmeansppDevice,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace fastsc::kmeans

@@ -1,0 +1,154 @@
+#include "graph/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastsc::graph {
+namespace {
+
+TEST(Similarity, ParseAndName) {
+  EXPECT_EQ(parse_measure("cosine"), SimilarityMeasure::kCosine);
+  EXPECT_EQ(parse_measure("crosscorr"), SimilarityMeasure::kCrossCorrelation);
+  EXPECT_EQ(parse_measure("expdecay"), SimilarityMeasure::kExpDecay);
+  EXPECT_THROW((void)parse_measure("bogus"), std::invalid_argument);
+  EXPECT_EQ(measure_name(SimilarityMeasure::kCosine), "cosine");
+}
+
+TEST(Similarity, CosineIdenticalVectorsIsOne) {
+  const real x[] = {1, 2, 3};
+  SimilarityParams p{SimilarityMeasure::kCosine};
+  EXPECT_NEAR(similarity_direct(x, x, 3, p), 1.0, 1e-12);
+}
+
+TEST(Similarity, CosineOrthogonalIsZero) {
+  const real a[] = {1, 0};
+  const real b[] = {0, 1};
+  SimilarityParams p{SimilarityMeasure::kCosine};
+  EXPECT_NEAR(similarity_direct(a, b, 2, p), 0.0, 1e-12);
+}
+
+TEST(Similarity, CosineScaleInvariant) {
+  const real a[] = {1, 2, -1};
+  const real b[] = {3, 6, -3};
+  SimilarityParams p{SimilarityMeasure::kCosine};
+  EXPECT_NEAR(similarity_direct(a, b, 3, p), 1.0, 1e-12);
+}
+
+TEST(Similarity, CosineZeroVectorIsZero) {
+  const real a[] = {0, 0};
+  const real b[] = {1, 1};
+  SimilarityParams p{SimilarityMeasure::kCosine};
+  EXPECT_EQ(similarity_direct(a, b, 2, p), 0.0);
+}
+
+TEST(Similarity, CrossCorrelationIsShiftInvariant) {
+  const real a[] = {1, 2, 3, 4};
+  real b[] = {101, 102, 103, 104};  // a + 100
+  SimilarityParams p{SimilarityMeasure::kCrossCorrelation};
+  EXPECT_NEAR(similarity_direct(a, b, 4, p), 1.0, 1e-12);
+}
+
+TEST(Similarity, CrossCorrelationAnticorrelated) {
+  const real a[] = {1, 2, 3};
+  const real b[] = {3, 2, 1};
+  SimilarityParams p{SimilarityMeasure::kCrossCorrelation};
+  EXPECT_NEAR(similarity_direct(a, b, 3, p), -1.0, 1e-12);
+}
+
+TEST(Similarity, CrossCorrelationConstantVectorIsZero) {
+  const real a[] = {5, 5, 5};
+  const real b[] = {1, 2, 3};
+  SimilarityParams p{SimilarityMeasure::kCrossCorrelation};
+  EXPECT_EQ(similarity_direct(a, b, 3, p), 0.0);
+}
+
+TEST(Similarity, ExpDecayIdenticalIsOne) {
+  const real a[] = {1, 2};
+  SimilarityParams p{SimilarityMeasure::kExpDecay, 2.0};
+  EXPECT_NEAR(similarity_direct(a, a, 2, p), 1.0, 1e-12);
+}
+
+TEST(Similarity, ExpDecayMatchesFormula) {
+  const real a[] = {0, 0};
+  const real b[] = {3, 4};  // dist^2 = 25
+  SimilarityParams p{SimilarityMeasure::kExpDecay, 2.5};
+  EXPECT_NEAR(similarity_direct(a, b, 2, p), std::exp(-25.0 / (2 * 6.25)),
+              1e-12);
+}
+
+TEST(Similarity, ExpDecayDecreasesWithDistance) {
+  const real a[] = {0};
+  const real b[] = {1};
+  const real c[] = {2};
+  SimilarityParams p{SimilarityMeasure::kExpDecay, 1.0};
+  EXPECT_GT(similarity_direct(a, b, 1, p), similarity_direct(a, c, 1, p));
+}
+
+class PrecomputedVsDirect : public ::testing::TestWithParam<SimilarityMeasure> {};
+
+TEST_P(PrecomputedVsDirect, AgreeOnRandomVectors) {
+  SimilarityParams p;
+  p.measure = GetParam();
+  p.sigma = 1.7;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const index_t d = 25;
+  std::vector<real> xi(static_cast<usize>(d)), xj(static_cast<usize>(d));
+  for (int rep = 0; rep < 20; ++rep) {
+    for (real& v : xi) v = rng.uniform(-2, 2);
+    for (real& v : xj) v = rng.uniform(-2, 2);
+    const real direct = similarity_direct(xi.data(), xj.data(), d, p);
+
+    // Precompute exactly what the device path precomputes.
+    std::vector<real> ci = xi, cj = xj;
+    if (p.measure == SimilarityMeasure::kCrossCorrelation) {
+      real mi = 0, mj = 0;
+      for (index_t l = 0; l < d; ++l) {
+        mi += ci[static_cast<usize>(l)];
+        mj += cj[static_cast<usize>(l)];
+      }
+      mi /= d;
+      mj /= d;
+      for (index_t l = 0; l < d; ++l) {
+        ci[static_cast<usize>(l)] -= mi;
+        cj[static_cast<usize>(l)] -= mj;
+      }
+    }
+    real ni = 0, nj = 0;
+    for (index_t l = 0; l < d; ++l) {
+      ni += ci[static_cast<usize>(l)] * ci[static_cast<usize>(l)];
+      nj += cj[static_cast<usize>(l)] * cj[static_cast<usize>(l)];
+    }
+    ni = std::sqrt(ni);
+    nj = std::sqrt(nj);
+    const real pre =
+        similarity_precomputed(ci.data(), cj.data(), ni, nj, d, p);
+    EXPECT_NEAR(pre, direct, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Measures, PrecomputedVsDirect,
+                         ::testing::Values(SimilarityMeasure::kCosine,
+                                           SimilarityMeasure::kCrossCorrelation,
+                                           SimilarityMeasure::kExpDecay));
+
+TEST(Similarity, BoundedByOneInMagnitude) {
+  Rng rng(7);
+  SimilarityParams cc{SimilarityMeasure::kCrossCorrelation};
+  SimilarityParams cos{SimilarityMeasure::kCosine};
+  std::vector<real> a(10), b(10);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (real& v : a) v = rng.uniform(-5, 5);
+    for (real& v : b) v = rng.uniform(-5, 5);
+    EXPECT_LE(std::fabs(similarity_direct(a.data(), b.data(), 10, cc)),
+              1.0 + 1e-12);
+    EXPECT_LE(std::fabs(similarity_direct(a.data(), b.data(), 10, cos)),
+              1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fastsc::graph

@@ -1,0 +1,92 @@
+#include "data/social.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/convert.h"
+#include "sparse/ops.h"
+
+namespace fastsc::data {
+namespace {
+
+TEST(SocialParams, FbDefaultsMatchPaperTable2) {
+  const SocialParams p = fb_like_params();
+  EXPECT_EQ(p.n, 4039);
+  EXPECT_EQ(p.communities, 10);
+  EXPECT_NEAR(p.mean_degree, 2.0 * 88234 / 4039, 0.2);
+}
+
+TEST(SocialParams, DblpDefaultsMatchPaperTable2) {
+  const SocialParams p = dblp_like_params(317080, 500);
+  EXPECT_NEAR(p.mean_degree, 2.0 * 1049866 / 317080, 0.2);
+}
+
+TEST(MakeSocialGraph, EdgeBudgetApproximatelyMet) {
+  SocialParams p = fb_like_params(2000, 8, 3);
+  const SbmGraph g = make_social_graph(p);
+  const real target = p.mean_degree * static_cast<real>(p.n) / 2;
+  const real actual = static_cast<real>(g.w.nnz()) / 2;
+  EXPECT_NEAR(actual, target, 0.15 * target);
+}
+
+TEST(MakeSocialGraph, CommunityCountRespected) {
+  SocialParams p = fb_like_params(1000, 12, 5);
+  const SbmGraph g = make_social_graph(p);
+  index_t max_label = 0;
+  for (index_t l : g.labels) max_label = std::max(max_label, l);
+  EXPECT_EQ(max_label, 11);
+  EXPECT_EQ(g.labels.size(), 1000u);
+}
+
+TEST(MakeSocialGraph, GraphIsValidAndSymmetric) {
+  SocialParams p = dblp_like_params(1500, 30, 7);
+  const SbmGraph g = make_social_graph(p);
+  g.w.validate();
+  EXPECT_TRUE(sparse::is_symmetric(sparse::coo_to_csr(g.w), 1e-12));
+  EXPECT_EQ(g.w.rows, 1500);
+}
+
+TEST(MakeSocialGraph, ModularityStructurePresent) {
+  SocialParams p = fb_like_params(1200, 6, 11);
+  const SbmGraph g = make_social_graph(p);
+  index_t within = 0;
+  for (usize e = 0; e < g.w.values.size(); ++e) {
+    if (g.labels[static_cast<usize>(g.w.row_idx[e])] ==
+        g.labels[static_cast<usize>(g.w.col_idx[e])]) {
+      ++within;
+    }
+  }
+  const real frac = static_cast<real>(within) /
+                    static_cast<real>(g.w.nnz());
+  EXPECT_GT(frac, 0.75);  // within_fraction = 0.92 on expectation
+}
+
+TEST(MakeSocialGraph, SkewProducesUnevenCommunities) {
+  SocialParams p = dblp_like_params(3000, 40, 13);
+  p.size_skew = 1.5;
+  const SbmGraph g = make_social_graph(p);
+  std::vector<index_t> counts(40, 0);
+  for (index_t l : g.labels) counts[static_cast<usize>(l)] += 1;
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GE(*mx, 3 * (*mn));  // visibly skewed sizes
+}
+
+TEST(MakeSocialGraph, RejectsBadParams) {
+  SocialParams p = fb_like_params(100, 0);
+  EXPECT_THROW((void)make_social_graph(p), std::invalid_argument);
+  p = fb_like_params(100, 101);
+  EXPECT_THROW((void)make_social_graph(p), std::invalid_argument);
+}
+
+TEST(MakeSocialGraph, DeterministicForSeed) {
+  SocialParams p = fb_like_params(800, 5, 99);
+  const SbmGraph a = make_social_graph(p);
+  const SbmGraph b = make_social_graph(p);
+  EXPECT_EQ(a.w.row_idx, b.w.row_idx);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace fastsc::data

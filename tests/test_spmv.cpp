@@ -1,0 +1,242 @@
+#include "sparse/spmv.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparse/convert.h"
+
+namespace fastsc::sparse {
+namespace {
+
+Coo random_coo(index_t rows, index_t cols, index_t nnz, Rng& rng) {
+  Coo coo(rows, cols);
+  for (index_t e = 0; e < nnz; ++e) {
+    coo.push(static_cast<index_t>(
+                 rng.uniform_index(static_cast<std::uint64_t>(rows))),
+             static_cast<index_t>(
+                 rng.uniform_index(static_cast<std::uint64_t>(cols))),
+             rng.uniform() - 0.5);
+  }
+  sort_and_merge(coo);
+  return coo;
+}
+
+std::vector<real> dense_mv(const Coo& coo, const std::vector<real>& x,
+                           real alpha, real beta,
+                           const std::vector<real>& y0) {
+  std::vector<real> y(static_cast<usize>(coo.rows));
+  for (index_t r = 0; r < coo.rows; ++r) {
+    y[static_cast<usize>(r)] = beta * y0[static_cast<usize>(r)];
+  }
+  for (usize e = 0; e < coo.values.size(); ++e) {
+    y[static_cast<usize>(coo.row_idx[e])] +=
+        alpha * coo.values[e] * x[static_cast<usize>(coo.col_idx[e])];
+  }
+  return y;
+}
+
+class SpmvFormats
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SpmvFormats, AllFormatsMatchDenseReference) {
+  const auto [rows, cols, nnz] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rows * 7919 + cols * 31 + nnz));
+  const Coo coo = random_coo(rows, cols, nnz, rng);
+  const Csr csr = coo_to_csr(coo);
+  const Csc csc = csr_to_csc(csr);
+  const Bsr bsr = csr_to_bsr(csr, 3);
+
+  std::vector<real> x(static_cast<usize>(cols));
+  for (real& v : x) v = rng.uniform() - 0.5;
+  std::vector<real> y0(static_cast<usize>(rows));
+  for (real& v : y0) v = rng.uniform();
+
+  for (const auto& [alpha, beta] :
+       {std::pair<real, real>{1, 0}, {2.5, 0}, {1, 1}, {-1, 0.5}}) {
+    const auto expect = dense_mv(coo, x, alpha, beta, y0);
+    auto check = [&](const std::vector<real>& got, const char* what) {
+      for (usize i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], expect[i], 1e-10)
+            << what << " alpha=" << alpha << " beta=" << beta << " i=" << i;
+      }
+    };
+    std::vector<real> y;
+    y = y0;
+    csr_mv(csr, x.data(), y.data(), alpha, beta);
+    check(y, "csr");
+    y = y0;
+    coo_mv(coo, x.data(), y.data(), alpha, beta);
+    check(y, "coo");
+    y = y0;
+    csc_mv(csc, x.data(), y.data(), alpha, beta);
+    check(y, "csc");
+    y = y0;
+    bsr_mv(bsr, x.data(), y.data(), alpha, beta);
+    check(y, "bsr");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpmvFormats,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(10, 10, 30),
+                      std::make_tuple(33, 17, 100),
+                      std::make_tuple(17, 33, 100),
+                      std::make_tuple(100, 100, 0),
+                      std::make_tuple(200, 200, 2000)));
+
+class DeviceSparse : public ::testing::TestWithParam<int> {
+ protected:
+  device::DeviceContext ctx_{static_cast<usize>(GetParam())};
+};
+
+TEST_P(DeviceSparse, UploadDownloadRoundTrip) {
+  Rng rng(17);
+  const Coo coo = random_coo(30, 30, 100, rng);
+  const Csr csr = coo_to_csr(coo);
+  DeviceCsr dev(ctx_, csr);
+  const Csr back = dev.to_host();
+  EXPECT_EQ(back.row_ptr, csr.row_ptr);
+  EXPECT_EQ(back.col_idx, csr.col_idx);
+  EXPECT_EQ(back.values, csr.values);
+
+  DeviceCoo dcoo(ctx_, coo);
+  const Coo cback = dcoo.to_host();
+  EXPECT_EQ(cback.row_idx, coo.row_idx);
+  EXPECT_EQ(cback.values, coo.values);
+}
+
+TEST_P(DeviceSparse, DeviceCsrmvMatchesHost) {
+  Rng rng(23);
+  const Coo coo = random_coo(120, 120, 1500, rng);
+  const Csr csr = coo_to_csr(coo);
+  DeviceCsr dev(ctx_, csr);
+
+  std::vector<real> x(120);
+  for (real& v : x) v = rng.uniform() - 0.5;
+  std::vector<real> y_host(120, 0.0);
+  csr_mv(csr, x.data(), y_host.data());
+
+  device::DeviceBuffer<real> dx(ctx_, std::span<const real>(x));
+  device::DeviceBuffer<real> dy(ctx_, 120);
+  device_csrmv(ctx_, dev, dx.data(), dy.data());
+  const auto y_dev = dy.to_host();
+  for (usize i = 0; i < 120; ++i) EXPECT_NEAR(y_dev[i], y_host[i], 1e-10);
+}
+
+TEST_P(DeviceSparse, DeviceCsrmvAlphaBeta) {
+  Rng rng(29);
+  const Coo coo = random_coo(50, 50, 300, rng);
+  const Csr csr = coo_to_csr(coo);
+  DeviceCsr dev(ctx_, csr);
+  std::vector<real> x(50, 1.0), y(50, 2.0);
+  std::vector<real> expect = y;
+  csr_mv(csr, x.data(), expect.data(), 3.0, 0.5);
+
+  device::DeviceBuffer<real> dx(ctx_, std::span<const real>(x));
+  device::DeviceBuffer<real> dy(ctx_, std::span<const real>(y));
+  device_csrmv(ctx_, dev, dx.data(), dy.data(), 3.0, 0.5);
+  const auto got = dy.to_host();
+  for (usize i = 0; i < 50; ++i) EXPECT_NEAR(got[i], expect[i], 1e-12);
+}
+
+TEST_P(DeviceSparse, Coo2CsrMatchesHostConversion) {
+  Rng rng(31);
+  const Coo coo = random_coo(60, 45, 400, rng);  // sorted by sort_and_merge
+  DeviceCoo dcoo(ctx_, coo);
+  DeviceCsr dcsr;
+  device_coo2csr(ctx_, dcoo, dcsr);
+  const Csr host = coo_to_csr(coo);
+  const Csr got = dcsr.to_host();
+  EXPECT_EQ(got.row_ptr, host.row_ptr);
+  EXPECT_EQ(got.col_idx, host.col_idx);
+  EXPECT_EQ(got.values, host.values);
+}
+
+TEST_P(DeviceSparse, SortCooOrdersByRowCol) {
+  Coo coo(4, 4);
+  coo.push(3, 1, 1.0);
+  coo.push(0, 2, 2.0);
+  coo.push(3, 0, 3.0);
+  coo.push(1, 1, 4.0);
+  DeviceCoo dcoo(ctx_, coo);
+  device_sort_coo(ctx_, dcoo);
+  const Coo sorted = dcoo.to_host();
+  EXPECT_EQ(sorted.row_idx, (std::vector<index_t>{0, 1, 3, 3}));
+  EXPECT_EQ(sorted.col_idx, (std::vector<index_t>{2, 1, 0, 1}));
+  EXPECT_EQ(sorted.values, (std::vector<real>{2.0, 4.0, 3.0, 1.0}));
+}
+
+TEST_P(DeviceSparse, DeviceCscmvMatchesHost) {
+  Rng rng(37);
+  const Coo coo = random_coo(90, 70, 800, rng);
+  const Csc csc = csr_to_csc(coo_to_csr(coo));
+  DeviceCsc dev(ctx_, csc);
+
+  std::vector<real> x(70), y0(90);
+  for (real& v : x) v = rng.uniform(-1, 1);
+  for (real& v : y0) v = rng.uniform(-1, 1);
+
+  for (const auto& [alpha, beta] :
+       {std::pair<real, real>{1, 0}, {2.0, 0.5}, {-1, 1}}) {
+    std::vector<real> expect = y0;
+    csc_mv(csc, x.data(), expect.data(), alpha, beta);
+
+    device::DeviceBuffer<real> dx(ctx_, std::span<const real>(x));
+    device::DeviceBuffer<real> dy(ctx_, std::span<const real>(y0));
+    device_cscmv(ctx_, dev, dx.data(), dy.data(), alpha, beta);
+    const auto got = dy.to_host();
+    for (usize i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], expect[i], 1e-10)
+          << "alpha=" << alpha << " beta=" << beta;
+    }
+  }
+}
+
+TEST_P(DeviceSparse, DeviceBsrmvMatchesHost) {
+  Rng rng(41);
+  const Coo coo = random_coo(85, 85, 700, rng);
+  for (index_t bs : {1, 3, 4}) {
+    const Bsr bsr = csr_to_bsr(coo_to_csr(coo), bs);
+    DeviceBsr dev(ctx_, bsr);
+
+    std::vector<real> x(85), y0(85);
+    for (real& v : x) v = rng.uniform(-1, 1);
+    for (real& v : y0) v = rng.uniform(-1, 1);
+
+    std::vector<real> expect = y0;
+    bsr_mv(bsr, x.data(), expect.data(), 1.5, 0.25);
+
+    device::DeviceBuffer<real> dx(ctx_, std::span<const real>(x));
+    device::DeviceBuffer<real> dy(ctx_, std::span<const real>(y0));
+    device_bsrmv(ctx_, dev, dx.data(), dy.data(), 1.5, 0.25);
+    const auto got = dy.to_host();
+    for (usize i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], expect[i], 1e-10) << "block size " << bs;
+    }
+  }
+}
+
+TEST_P(DeviceSparse, DeviceCscBsrRoundTrip) {
+  Rng rng(43);
+  const Coo coo = random_coo(40, 30, 200, rng);
+  const Csc csc = csr_to_csc(coo_to_csr(coo));
+  DeviceCsc dcsc(ctx_, csc);
+  const Csc csc_back = dcsc.to_host();
+  EXPECT_EQ(csc_back.col_ptr, csc.col_ptr);
+  EXPECT_EQ(csc_back.values, csc.values);
+
+  const Bsr bsr = csr_to_bsr(coo_to_csr(coo), 4);
+  DeviceBsr dbsr(ctx_, bsr);
+  const Bsr bsr_back = dbsr.to_host();
+  EXPECT_EQ(bsr_back.block_row_ptr, bsr.block_row_ptr);
+  EXPECT_EQ(bsr_back.values, bsr.values);
+  EXPECT_EQ(dbsr.block_count(), bsr.block_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, DeviceSparse, ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace fastsc::sparse

@@ -1,0 +1,98 @@
+#include "common/stage_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace fastsc {
+namespace {
+
+void spin_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(StageClock, UnknownStageIsZero) {
+  StageClock clock;
+  EXPECT_EQ(clock.seconds("never"), 0.0);
+  EXPECT_EQ(clock.total_seconds(), 0.0);
+}
+
+TEST(StageClock, AccumulatesElapsedTime) {
+  StageClock clock;
+  clock.start("a");
+  spin_ms(20);
+  clock.stop();
+  EXPECT_GE(clock.seconds("a"), 0.015);
+  EXPECT_LT(clock.seconds("a"), 2.0);
+}
+
+TEST(StageClock, StartStopsPreviousStage) {
+  StageClock clock;
+  clock.start("a");
+  spin_ms(10);
+  clock.start("b");
+  spin_ms(10);
+  clock.stop();
+  EXPECT_GE(clock.seconds("a"), 0.005);
+  EXPECT_GE(clock.seconds("b"), 0.005);
+  // "a" must not have kept running while "b" was active.
+  EXPECT_LT(clock.seconds("a"), clock.seconds("a") + clock.seconds("b"));
+}
+
+TEST(StageClock, ResumingAccumulates) {
+  StageClock clock;
+  clock.start("x");
+  spin_ms(10);
+  clock.stop();
+  const double first = clock.seconds("x");
+  clock.start("x");
+  spin_ms(10);
+  clock.stop();
+  EXPECT_GT(clock.seconds("x"), first);
+}
+
+TEST(StageClock, AddInjectsExternalTime) {
+  StageClock clock;
+  clock.add("modeled", 1.5);
+  clock.add("modeled", 0.5);
+  EXPECT_DOUBLE_EQ(clock.seconds("modeled"), 2.0);
+}
+
+TEST(StageClock, TotalIsSumOfStages) {
+  StageClock clock;
+  clock.add("a", 1.0);
+  clock.add("b", 2.0);
+  EXPECT_DOUBLE_EQ(clock.total_seconds(), 3.0);
+}
+
+TEST(StageClock, StagesInFirstStartOrder) {
+  StageClock clock;
+  clock.add("third", 0);
+  clock.add("first", 0);
+  clock.add("third", 1);
+  const auto names = clock.stages();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "third");
+  EXPECT_EQ(names[1], "first");
+}
+
+TEST(StageClock, ClearRemovesEverything) {
+  StageClock clock;
+  clock.add("a", 1.0);
+  clock.clear();
+  EXPECT_EQ(clock.total_seconds(), 0.0);
+  EXPECT_TRUE(clock.stages().empty());
+}
+
+TEST(StageClock, DoubleStopIsHarmless) {
+  StageClock clock;
+  clock.start("a");
+  clock.stop();
+  const double t = clock.seconds("a");
+  clock.stop();
+  EXPECT_DOUBLE_EQ(clock.seconds("a"), t);
+}
+
+}  // namespace
+}  // namespace fastsc

@@ -1,0 +1,143 @@
+#include "solvers/subspace_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lanczos/dense_eig.h"
+
+namespace fastsc::solvers {
+namespace {
+
+TEST(SubspaceIteration, DominantPairsOfDiagonal) {
+  const index_t n = 80;
+  SubspaceConfig cfg;
+  cfg.n = n;
+  cfg.nev = 3;
+  const auto result = subspace_iteration(
+      [&](const real* x, real* y) {
+        for (index_t i = 0; i < n; ++i) y[i] = static_cast<real>(i + 1) * x[i];
+      },
+      cfg);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalues[0], 80, 1e-5);
+  EXPECT_NEAR(result.eigenvalues[1], 79, 1e-5);
+  EXPECT_NEAR(result.eigenvalues[2], 78, 1e-5);
+}
+
+TEST(SubspaceIteration, MatchesDenseOracleOnRandomSymmetric) {
+  const index_t n = 60;
+  Rng rng(5);
+  std::vector<real> a(static_cast<usize>(n) * static_cast<usize>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      const real v = rng.uniform(-1, 1);
+      a[static_cast<usize>(i * n + j)] = v;
+      a[static_cast<usize>(j * n + i)] = v;
+    }
+  }
+  const auto dense = lanczos::dense_sym_eig(a.data(), n);
+  SubspaceConfig cfg;
+  cfg.n = n;
+  cfg.nev = 2;
+  cfg.tol = 1e-8;
+  cfg.max_iters = 3000;
+  const auto result = subspace_iteration(
+      [&](const real* x, real* y) {
+        for (index_t i = 0; i < n; ++i) {
+          real acc = 0;
+          for (index_t j = 0; j < n; ++j) {
+            acc += a[static_cast<usize>(i * n + j)] * x[j];
+          }
+          y[i] = acc;
+        }
+      },
+      cfg);
+  ASSERT_TRUE(result.converged);
+  // Dominant = largest magnitude: compare against both spectrum ends.
+  std::vector<real> by_mag(dense.eigenvalues);
+  std::sort(by_mag.begin(), by_mag.end(),
+            [](real x, real y) { return std::fabs(x) > std::fabs(y); });
+  EXPECT_NEAR(result.eigenvalues[0], by_mag[0], 1e-6);
+  EXPECT_NEAR(result.eigenvalues[1], by_mag[1], 1e-6);
+}
+
+TEST(SubspaceIteration, EigenvectorResiduals) {
+  // Well-separated dominant eigenvalues (subspace iteration converges at
+  // the eigenvalue-ratio rate, so a clustered spectrum would stall — that
+  // is exactly what bench_ablation_eigensolvers demonstrates).
+  const index_t n = 70;
+  auto matvec = [&](const real* x, real* y) {
+    for (index_t i = 0; i < n; ++i) {
+      const real diag = i < 3 ? 100.0 / static_cast<real>(1 + i) : 1.0;
+      y[i] = diag * x[i];
+      if (i > 0) y[i] += 0.1 * x[i - 1];
+      if (i + 1 < n) y[i] += 0.1 * x[i + 1];
+    }
+  };
+  SubspaceConfig cfg;
+  cfg.n = n;
+  cfg.nev = 3;
+  const auto result = subspace_iteration(matvec, cfg);
+  ASSERT_TRUE(result.converged);
+  std::vector<real> av(static_cast<usize>(n));
+  for (index_t k = 0; k < 3; ++k) {
+    const real* v = result.eigenvectors.data() + k * n;
+    matvec(v, av.data());
+    real worst = 0;
+    for (index_t i = 0; i < n; ++i) {
+      worst = std::max(worst,
+                       std::fabs(av[static_cast<usize>(i)] -
+                                 result.eigenvalues[static_cast<usize>(k)] *
+                                     v[i]));
+    }
+    EXPECT_LT(worst, 1e-6);
+  }
+}
+
+TEST(SubspaceIteration, ReportsNonConvergenceHonestly) {
+  const index_t n = 100;
+  // Clustered dominant eigenvalues (1.0 vs 0.9999) with a tiny budget.
+  SubspaceConfig cfg;
+  cfg.n = n;
+  cfg.nev = 2;
+  cfg.max_iters = 3;
+  cfg.tol = 1e-12;
+  const auto result = subspace_iteration(
+      [&](const real* x, real* y) {
+        for (index_t i = 0; i < n; ++i) {
+          y[i] = (i == 0 ? 1.0 : (i == 1 ? 0.9999 : 0.1)) * x[i];
+        }
+      },
+      cfg);
+  EXPECT_FALSE(result.converged);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(SubspaceIteration, ValidatesConfig) {
+  SubspaceConfig cfg;
+  cfg.n = 0;
+  EXPECT_THROW((void)subspace_iteration([](const real*, real*) {}, cfg),
+               std::invalid_argument);
+  cfg.n = 5;
+  cfg.nev = 6;
+  EXPECT_THROW((void)subspace_iteration([](const real*, real*) {}, cfg),
+               std::invalid_argument);
+}
+
+TEST(SubspaceIteration, CountsMatvecs) {
+  const index_t n = 30;
+  SubspaceConfig cfg;
+  cfg.n = n;
+  cfg.nev = 1;
+  const auto result = subspace_iteration(
+      [&](const real* x, real* y) {
+        for (index_t i = 0; i < n; ++i) y[i] = static_cast<real>(i) * x[i];
+      },
+      cfg);
+  EXPECT_GT(result.matvec_count, 0);
+}
+
+}  // namespace
+}  // namespace fastsc::solvers

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fastsc {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("demo");
+  t.header({"a", "bee"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("bee"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t;
+  t.header({"x", "y"});
+  t.row({"longvalue", "1"});
+  const std::string s = t.to_string();
+  // Header "y" must start at the same column as "1".
+  const auto header_line = s.substr(0, s.find('\n'));
+  EXPECT_GE(header_line.size(), std::string("longvalue").size());
+}
+
+TEST(TextTable, CsvEscapesNothingButJoins) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, ShortRowsPadInAscii) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(TextTable, FmtSecondsPrecisionTiers) {
+  EXPECT_EQ(TextTable::fmt_seconds(0.03312345), "0.03312");
+  EXPECT_EQ(TextTable::fmt_seconds(5.40712), "5.407");
+  EXPECT_EQ(TextTable::fmt_seconds(1785.17), "1785.2");
+}
+
+TEST(TextTable, FmtSpeedup) { EXPECT_EQ(TextTable::fmt_speedup(12.34), "12.3x"); }
+
+TEST(TextTable, FmtIndex) { EXPECT_EQ(TextTable::fmt(index_t{12345}), "12345"); }
+
+TEST(TextTable, FmtDoublePrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 3), "3.14");
+}
+
+TEST(TextTable, EmptyTableRenders) {
+  TextTable t;
+  EXPECT_EQ(t.to_string(), "");
+  EXPECT_EQ(t.to_csv(), "");
+}
+
+}  // namespace
+}  // namespace fastsc

@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/par.h"
+
+namespace fastsc {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  int calls = 0;
+  pool.run_workers([&](usize w) {
+    EXPECT_EQ(w, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, EveryWorkerInvokedExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_workers([&](usize w) { hits[w].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RepeatedDispatchesAreIndependent) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run_workers([&](usize) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&default_thread_pool(), &default_thread_pool());
+  EXPECT_GE(default_thread_pool().worker_count(), 1u);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const index_t n = 10007;
+  std::vector<std::atomic<int>> hits(static_cast<usize>(n));
+  parallel_for(pool, index_t{0}, n,
+               [&](index_t i) { hits[static_cast<usize>(i)].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeDoesNothing) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, index_t{5}, index_t{5}, [&](index_t) { ++calls; });
+  parallel_for(pool, index_t{5}, index_t{3}, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<index_t> sum{0};
+  parallel_for(pool, index_t{10}, index_t{20},
+               [&](index_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const index_t n = 100000;
+  const auto sum = parallel_reduce(
+      pool, index_t{0}, n, index_t{0}, [](index_t i) { return i; },
+      [](index_t a, index_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const auto result = parallel_reduce(
+      pool, index_t{3}, index_t{3}, index_t{-7}, [](index_t i) { return i; },
+      [](index_t a, index_t b) { return a + b; });
+  EXPECT_EQ(result, -7);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ThreadPool pool(4);
+  std::vector<double> data(5000);
+  for (usize i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>((i * 37) % 1000);
+  }
+  data[1234] = 5000.0;
+  const double m = parallel_reduce(
+      pool, index_t{0}, static_cast<index_t>(data.size()), 0.0,
+      [&](index_t i) { return data[static_cast<usize>(i)]; },
+      [](double a, double b) { return a > b ? a : b; });
+  EXPECT_EQ(m, 5000.0);
+}
+
+}  // namespace
+}  // namespace fastsc

@@ -1,0 +1,143 @@
+#include "lanczos/tridiag_eig.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fastsc::lanczos {
+namespace {
+
+/// Multiply the tridiagonal (d, e) by vector x.
+std::vector<real> tri_mv(const std::vector<real>& d,
+                         const std::vector<real>& e,
+                         const std::vector<real>& x) {
+  const index_t n = static_cast<index_t>(d.size());
+  std::vector<real> y(static_cast<usize>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    y[static_cast<usize>(i)] = d[static_cast<usize>(i)] * x[static_cast<usize>(i)];
+    if (i > 0) {
+      y[static_cast<usize>(i)] +=
+          e[static_cast<usize>(i) - 1] * x[static_cast<usize>(i) - 1];
+    }
+    if (i + 1 < n) {
+      y[static_cast<usize>(i)] +=
+          e[static_cast<usize>(i)] * x[static_cast<usize>(i) + 1];
+    }
+  }
+  return y;
+}
+
+std::vector<real> identity(index_t n) {
+  std::vector<real> z(static_cast<usize>(n) * static_cast<usize>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) z[static_cast<usize>(i * n + i)] = 1.0;
+  return z;
+}
+
+TEST(TridiagEig, EmptyAndSingleton) {
+  std::vector<real> d, e;
+  EXPECT_TRUE(tridiag_eigvalues(d, e));
+  d = {4.2};
+  e = {};
+  EXPECT_TRUE(tridiag_eigvalues(d, e));
+  EXPECT_DOUBLE_EQ(d[0], 4.2);
+}
+
+TEST(TridiagEig, TwoByTwoExact) {
+  // [[2, 1], [1, 2]] -> eigenvalues 1 and 3.
+  std::vector<real> d{2, 2}, e{1};
+  ASSERT_TRUE(tridiag_eigvalues(d, e));
+  EXPECT_NEAR(d[0], 1.0, 1e-12);
+  EXPECT_NEAR(d[1], 3.0, 1e-12);
+}
+
+TEST(TridiagEig, DiagonalMatrixIsSorted) {
+  std::vector<real> d{5, 1, 3}, e{0, 0};
+  ASSERT_TRUE(tridiag_eigvalues(d, e));
+  EXPECT_EQ(d, (std::vector<real>{1, 3, 5}));
+}
+
+TEST(TridiagEig, LaplacianChainKnownSpectrum) {
+  // Path-graph Laplacian-like tridiagonal: d=2, e=-1 has eigenvalues
+  // 2 - 2 cos(k pi / (n+1)), k=1..n.
+  const index_t n = 20;
+  std::vector<real> d(static_cast<usize>(n), 2.0);
+  std::vector<real> e(static_cast<usize>(n) - 1, -1.0);
+  ASSERT_TRUE(tridiag_eigvalues(d, e));
+  for (index_t k = 1; k <= n; ++k) {
+    const real expect =
+        2.0 - 2.0 * std::cos(static_cast<real>(k) * M_PI /
+                             static_cast<real>(n + 1));
+    EXPECT_NEAR(d[static_cast<usize>(k - 1)], expect, 1e-10);
+  }
+}
+
+class TridiagRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(TridiagRandom, EigenpairsSatisfyResidual) {
+  const index_t n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 101);
+  std::vector<real> d(static_cast<usize>(n));
+  std::vector<real> e(static_cast<usize>(n) - 1);
+  for (real& v : d) v = rng.uniform(-2, 2);
+  for (real& v : e) v = rng.uniform(-1, 1);
+  const auto d0 = d;
+  const auto e0 = e;
+
+  std::vector<real> z = identity(n);
+  ASSERT_TRUE(tridiag_eig(d, e, z.data(), n));
+
+  // Ascending order.
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+
+  // Residuals ||T v - lambda v||_inf and orthonormality.
+  for (index_t k = 0; k < n; ++k) {
+    std::vector<real> v(static_cast<usize>(n));
+    for (index_t i = 0; i < n; ++i) {
+      v[static_cast<usize>(i)] = z[static_cast<usize>(i * n + k)];
+    }
+    const auto tv = tri_mv(d0, e0, v);
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(tv[static_cast<usize>(i)],
+                  d[static_cast<usize>(k)] * v[static_cast<usize>(i)], 1e-9);
+    }
+    real norm = 0;
+    for (real x : v) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-10);
+  }
+  // Pairwise orthogonality (spot check adjacent columns).
+  for (index_t k = 0; k + 1 < n; ++k) {
+    real dotp = 0;
+    for (index_t i = 0; i < n; ++i) {
+      dotp += z[static_cast<usize>(i * n + k)] *
+              z[static_cast<usize>(i * n + k + 1)];
+    }
+    EXPECT_NEAR(dotp, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagRandom,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+TEST(TridiagEig, TraceIsPreserved) {
+  Rng rng(77);
+  const index_t n = 30;
+  std::vector<real> d(static_cast<usize>(n));
+  std::vector<real> e(static_cast<usize>(n) - 1);
+  real trace = 0;
+  for (real& v : d) {
+    v = rng.uniform(-1, 1);
+    trace += v;
+  }
+  for (real& v : e) v = rng.uniform(-1, 1);
+  ASSERT_TRUE(tridiag_eigvalues(d, e));
+  real sum = 0;
+  for (real v : d) sum += v;
+  EXPECT_NEAR(sum, trace, 1e-10);
+}
+
+}  // namespace
+}  // namespace fastsc::lanczos
