@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kmeans_dist.dir/bench_ablation_kmeans_dist.cpp.o"
+  "CMakeFiles/bench_ablation_kmeans_dist.dir/bench_ablation_kmeans_dist.cpp.o.d"
+  "bench_ablation_kmeans_dist"
+  "bench_ablation_kmeans_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kmeans_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

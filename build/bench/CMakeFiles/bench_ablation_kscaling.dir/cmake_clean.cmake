@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kscaling.dir/bench_ablation_kscaling.cpp.o"
+  "CMakeFiles/bench_ablation_kscaling.dir/bench_ablation_kscaling.cpp.o.d"
+  "bench_ablation_kscaling"
+  "bench_ablation_kscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

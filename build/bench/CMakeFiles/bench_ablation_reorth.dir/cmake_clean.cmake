@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reorth.dir/bench_ablation_reorth.cpp.o"
+  "CMakeFiles/bench_ablation_reorth.dir/bench_ablation_reorth.cpp.o.d"
+  "bench_ablation_reorth"
+  "bench_ablation_reorth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reorth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

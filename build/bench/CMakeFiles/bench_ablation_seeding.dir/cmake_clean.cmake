@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seeding.dir/bench_ablation_seeding.cpp.o"
+  "CMakeFiles/bench_ablation_seeding.dir/bench_ablation_seeding.cpp.o.d"
+  "bench_ablation_seeding"
+  "bench_ablation_seeding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

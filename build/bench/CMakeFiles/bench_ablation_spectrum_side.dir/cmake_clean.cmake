@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spectrum_side.dir/bench_ablation_spectrum_side.cpp.o"
+  "CMakeFiles/bench_ablation_spectrum_side.dir/bench_ablation_spectrum_side.cpp.o.d"
+  "bench_ablation_spectrum_side"
+  "bench_ablation_spectrum_side.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spectrum_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_blas.dir/bench_micro_blas.cpp.o"
+  "CMakeFiles/bench_micro_blas.dir/bench_micro_blas.cpp.o.d"
+  "bench_micro_blas"
+  "bench_micro_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

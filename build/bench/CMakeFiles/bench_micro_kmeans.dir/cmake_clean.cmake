@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_kmeans.dir/bench_micro_kmeans.cpp.o"
+  "CMakeFiles/bench_micro_kmeans.dir/bench_micro_kmeans.cpp.o.d"
+  "bench_micro_kmeans"
+  "bench_micro_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmv_formats.dir/bench_spmv_formats.cpp.o"
+  "CMakeFiles/bench_spmv_formats.dir/bench_spmv_formats.cpp.o.d"
+  "bench_spmv_formats"
+  "bench_spmv_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmv_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

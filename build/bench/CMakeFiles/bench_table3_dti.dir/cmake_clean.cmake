@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dti.dir/bench_table3_dti.cpp.o"
+  "CMakeFiles/bench_table3_dti.dir/bench_table3_dti.cpp.o.d"
+  "bench_table3_dti"
+  "bench_table3_dti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

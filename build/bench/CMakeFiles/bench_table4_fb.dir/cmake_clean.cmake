@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fb.dir/bench_table4_fb.cpp.o"
+  "CMakeFiles/bench_table4_fb.dir/bench_table4_fb.cpp.o.d"
+  "bench_table4_fb"
+  "bench_table4_fb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_dblp.dir/bench_table6_dblp.cpp.o"
+  "CMakeFiles/bench_table6_dblp.dir/bench_table6_dblp.cpp.o.d"
+  "bench_table6_dblp"
+  "bench_table6_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brain_parcellation.dir/brain_parcellation.cpp.o"
+  "CMakeFiles/brain_parcellation.dir/brain_parcellation.cpp.o.d"
+  "brain_parcellation"
+  "brain_parcellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brain_parcellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

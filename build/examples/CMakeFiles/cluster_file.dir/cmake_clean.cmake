@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_file.dir/cluster_file.cpp.o"
+  "CMakeFiles/cluster_file.dir/cluster_file.cpp.o.d"
+  "cluster_file"
+  "cluster_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonconvex_rings.dir/nonconvex_rings.cpp.o"
+  "CMakeFiles/nonconvex_rings.dir/nonconvex_rings.cpp.o.d"
+  "nonconvex_rings"
+  "nonconvex_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonconvex_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

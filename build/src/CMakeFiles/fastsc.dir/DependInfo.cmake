@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/matlab_like.cpp" "src/CMakeFiles/fastsc.dir/baseline/matlab_like.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/baseline/matlab_like.cpp.o.d"
+  "/root/repo/src/baseline/python_like.cpp" "src/CMakeFiles/fastsc.dir/baseline/python_like.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/baseline/python_like.cpp.o.d"
+  "/root/repo/src/blas/dblas.cpp" "src/CMakeFiles/fastsc.dir/blas/dblas.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/blas/dblas.cpp.o.d"
+  "/root/repo/src/blas/hblas.cpp" "src/CMakeFiles/fastsc.dir/blas/hblas.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/blas/hblas.cpp.o.d"
+  "/root/repo/src/common/buffer.cpp" "src/CMakeFiles/fastsc.dir/common/buffer.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/common/buffer.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/fastsc.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/fastsc.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/fastsc.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stage_clock.cpp" "src/CMakeFiles/fastsc.dir/common/stage_clock.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/common/stage_clock.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/fastsc.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/fastsc.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/bisection.cpp" "src/CMakeFiles/fastsc.dir/core/bisection.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/core/bisection.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/fastsc.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/spectral.cpp" "src/CMakeFiles/fastsc.dir/core/spectral.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/core/spectral.cpp.o.d"
+  "/root/repo/src/data/dti.cpp" "src/CMakeFiles/fastsc.dir/data/dti.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/data/dti.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/fastsc.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/sbm.cpp" "src/CMakeFiles/fastsc.dir/data/sbm.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/data/sbm.cpp.o.d"
+  "/root/repo/src/data/social.cpp" "src/CMakeFiles/fastsc.dir/data/social.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/data/social.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/fastsc.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/device/device.cpp.o.d"
+  "/root/repo/src/device/transfer_model.cpp" "src/CMakeFiles/fastsc.dir/device/transfer_model.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/device/transfer_model.cpp.o.d"
+  "/root/repo/src/graph/build.cpp" "src/CMakeFiles/fastsc.dir/graph/build.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/graph/build.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/fastsc.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/grid_index.cpp" "src/CMakeFiles/fastsc.dir/graph/grid_index.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/graph/grid_index.cpp.o.d"
+  "/root/repo/src/graph/laplacian.cpp" "src/CMakeFiles/fastsc.dir/graph/laplacian.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/graph/laplacian.cpp.o.d"
+  "/root/repo/src/graph/similarity.cpp" "src/CMakeFiles/fastsc.dir/graph/similarity.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/graph/similarity.cpp.o.d"
+  "/root/repo/src/kmeans/kmeans.cpp" "src/CMakeFiles/fastsc.dir/kmeans/kmeans.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/kmeans/kmeans.cpp.o.d"
+  "/root/repo/src/kmeans/lloyd.cpp" "src/CMakeFiles/fastsc.dir/kmeans/lloyd.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/kmeans/lloyd.cpp.o.d"
+  "/root/repo/src/kmeans/seeding.cpp" "src/CMakeFiles/fastsc.dir/kmeans/seeding.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/kmeans/seeding.cpp.o.d"
+  "/root/repo/src/lanczos/dense_eig.cpp" "src/CMakeFiles/fastsc.dir/lanczos/dense_eig.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/lanczos/dense_eig.cpp.o.d"
+  "/root/repo/src/lanczos/irlm.cpp" "src/CMakeFiles/fastsc.dir/lanczos/irlm.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/lanczos/irlm.cpp.o.d"
+  "/root/repo/src/lanczos/rci.cpp" "src/CMakeFiles/fastsc.dir/lanczos/rci.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/lanczos/rci.cpp.o.d"
+  "/root/repo/src/lanczos/tridiag_eig.cpp" "src/CMakeFiles/fastsc.dir/lanczos/tridiag_eig.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/lanczos/tridiag_eig.cpp.o.d"
+  "/root/repo/src/metrics/cut.cpp" "src/CMakeFiles/fastsc.dir/metrics/cut.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/metrics/cut.cpp.o.d"
+  "/root/repo/src/metrics/external.cpp" "src/CMakeFiles/fastsc.dir/metrics/external.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/metrics/external.cpp.o.d"
+  "/root/repo/src/solvers/cg.cpp" "src/CMakeFiles/fastsc.dir/solvers/cg.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/solvers/cg.cpp.o.d"
+  "/root/repo/src/solvers/shift_invert.cpp" "src/CMakeFiles/fastsc.dir/solvers/shift_invert.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/solvers/shift_invert.cpp.o.d"
+  "/root/repo/src/solvers/subspace_iteration.cpp" "src/CMakeFiles/fastsc.dir/solvers/subspace_iteration.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/solvers/subspace_iteration.cpp.o.d"
+  "/root/repo/src/sparse/bsr.cpp" "src/CMakeFiles/fastsc.dir/sparse/bsr.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/sparse/bsr.cpp.o.d"
+  "/root/repo/src/sparse/convert.cpp" "src/CMakeFiles/fastsc.dir/sparse/convert.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/sparse/convert.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/fastsc.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csc.cpp" "src/CMakeFiles/fastsc.dir/sparse/csc.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/sparse/csc.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/fastsc.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/CMakeFiles/fastsc.dir/sparse/ops.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/sparse/ops.cpp.o.d"
+  "/root/repo/src/sparse/spmv.cpp" "src/CMakeFiles/fastsc.dir/sparse/spmv.cpp.o" "gcc" "src/CMakeFiles/fastsc.dir/sparse/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

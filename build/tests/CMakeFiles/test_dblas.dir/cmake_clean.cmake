@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dblas.dir/test_dblas.cpp.o"
+  "CMakeFiles/test_dblas.dir/test_dblas.cpp.o.d"
+  "test_dblas"
+  "test_dblas.pdb"
+  "test_dblas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

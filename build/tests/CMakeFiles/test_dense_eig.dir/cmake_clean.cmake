@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_eig.dir/test_dense_eig.cpp.o"
+  "CMakeFiles/test_dense_eig.dir/test_dense_eig.cpp.o.d"
+  "test_dense_eig"
+  "test_dense_eig.pdb"
+  "test_dense_eig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

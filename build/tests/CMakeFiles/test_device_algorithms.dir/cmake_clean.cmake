@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_algorithms.dir/test_device_algorithms.cpp.o"
+  "CMakeFiles/test_device_algorithms.dir/test_device_algorithms.cpp.o.d"
+  "test_device_algorithms"
+  "test_device_algorithms.pdb"
+  "test_device_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dti.dir/test_dti.cpp.o"
+  "CMakeFiles/test_dti.dir/test_dti.cpp.o.d"
+  "test_dti"
+  "test_dti.pdb"
+  "test_dti[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

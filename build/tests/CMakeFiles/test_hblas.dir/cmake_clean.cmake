@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hblas.dir/test_hblas.cpp.o"
+  "CMakeFiles/test_hblas.dir/test_hblas.cpp.o.d"
+  "test_hblas"
+  "test_hblas.pdb"
+  "test_hblas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

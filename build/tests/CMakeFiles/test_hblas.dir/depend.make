@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hblas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_laplacian.dir/test_laplacian.cpp.o"
+  "CMakeFiles/test_laplacian.dir/test_laplacian.cpp.o.d"
+  "test_laplacian"
+  "test_laplacian.pdb"
+  "test_laplacian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_laplacian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_cut.dir/test_metrics_cut.cpp.o"
+  "CMakeFiles/test_metrics_cut.dir/test_metrics_cut.cpp.o.d"
+  "test_metrics_cut"
+  "test_metrics_cut.pdb"
+  "test_metrics_cut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

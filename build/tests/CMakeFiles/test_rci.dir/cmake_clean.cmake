@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rci.dir/test_rci.cpp.o"
+  "CMakeFiles/test_rci.dir/test_rci.cpp.o.d"
+  "test_rci"
+  "test_rci.pdb"
+  "test_rci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sbm.dir/test_sbm.cpp.o"
+  "CMakeFiles/test_sbm.dir/test_sbm.cpp.o.d"
+  "test_sbm"
+  "test_sbm.pdb"
+  "test_sbm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

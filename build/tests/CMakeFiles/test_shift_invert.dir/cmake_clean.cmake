@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shift_invert.dir/test_shift_invert.cpp.o"
+  "CMakeFiles/test_shift_invert.dir/test_shift_invert.cpp.o.d"
+  "test_shift_invert"
+  "test_shift_invert.pdb"
+  "test_shift_invert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shift_invert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectral_pipeline.dir/test_spectral_pipeline.cpp.o"
+  "CMakeFiles/test_spectral_pipeline.dir/test_spectral_pipeline.cpp.o.d"
+  "test_spectral_pipeline"
+  "test_spectral_pipeline.pdb"
+  "test_spectral_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectral_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

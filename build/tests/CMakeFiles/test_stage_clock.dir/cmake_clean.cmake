@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage_clock.dir/test_stage_clock.cpp.o"
+  "CMakeFiles/test_stage_clock.dir/test_stage_clock.cpp.o.d"
+  "test_stage_clock"
+  "test_stage_clock.pdb"
+  "test_stage_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subspace_iteration.dir/test_subspace_iteration.cpp.o"
+  "CMakeFiles/test_subspace_iteration.dir/test_subspace_iteration.cpp.o.d"
+  "test_subspace_iteration"
+  "test_subspace_iteration.pdb"
+  "test_subspace_iteration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subspace_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

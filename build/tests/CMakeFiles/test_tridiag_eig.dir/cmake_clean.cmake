@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tridiag_eig.dir/test_tridiag_eig.cpp.o"
+  "CMakeFiles/test_tridiag_eig.dir/test_tridiag_eig.cpp.o.d"
+  "test_tridiag_eig"
+  "test_tridiag_eig.pdb"
+  "test_tridiag_eig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tridiag_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
