@@ -23,7 +23,7 @@ real dot(DeviceContext& ctx, index_t n, const real* x, const real* y) {
       const index_t hi = lo + chunk < n ? lo + chunk : n;
       if (lo < hi) partials[w] = hblas::dot(hi - lo, x + lo, y + lo);
     };
-    ctx.pool().run_workers(job);
+    ctx.run_compute(job);
     for (real p : partials) result += p;
   }
   ctx.record_kernel(t.seconds());
@@ -76,7 +76,7 @@ void parallel_row_panels(DeviceContext& ctx, index_t m,
   if (workers == 1) {
     job(0);
   } else {
-    ctx.pool().run_workers(job);
+    ctx.run_compute(job);
   }
   ctx.record_kernel(t.seconds());
 }

@@ -4,7 +4,42 @@
 
 namespace fastsc {
 
-StageClock::Entry& StageClock::entry(std::string_view stage) {
+StageClock::StageClock(const StageClock& other) {
+  std::lock_guard lock(other.mu_);
+  entries_ = other.entries_;
+  timer_ = other.timer_;
+  running_ = other.running_;
+}
+
+StageClock& StageClock::operator=(const StageClock& other) {
+  if (this == &other) return *this;
+  // Lock both; address order prevents deadlock on cross-assignment.
+  std::scoped_lock lock(mu_, other.mu_);
+  entries_ = other.entries_;
+  timer_ = other.timer_;
+  running_ = other.running_;
+  return *this;
+}
+
+StageClock::StageClock(StageClock&& other) noexcept {
+  std::lock_guard lock(other.mu_);
+  entries_ = std::move(other.entries_);
+  timer_ = other.timer_;
+  running_ = other.running_;
+  other.running_ = -1;
+}
+
+StageClock& StageClock::operator=(StageClock&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  entries_ = std::move(other.entries_);
+  timer_ = other.timer_;
+  running_ = other.running_;
+  other.running_ = -1;
+  return *this;
+}
+
+StageClock::Entry& StageClock::entry_locked(std::string_view stage) {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const Entry& e) { return e.name == stage; });
   if (it != entries_.end()) return *it;
@@ -13,13 +48,19 @@ StageClock::Entry& StageClock::entry(std::string_view stage) {
 }
 
 void StageClock::start(std::string_view stage) {
-  stop();
-  Entry& e = entry(stage);
+  std::lock_guard lock(mu_);
+  stop_locked();
+  Entry& e = entry_locked(stage);
   running_ = static_cast<int>(&e - entries_.data());
   timer_.reset();
 }
 
 void StageClock::stop() {
+  std::lock_guard lock(mu_);
+  stop_locked();
+}
+
+void StageClock::stop_locked() {
   if (running_ >= 0) {
     entries_[static_cast<usize>(running_)].seconds += timer_.seconds();
     running_ = -1;
@@ -27,10 +68,12 @@ void StageClock::stop() {
 }
 
 void StageClock::add(std::string_view stage, double seconds) {
-  entry(stage).seconds += seconds;
+  std::lock_guard lock(mu_);
+  entry_locked(stage).seconds += seconds;
 }
 
 double StageClock::seconds(std::string_view stage) const {
+  std::lock_guard lock(mu_);
   for (const Entry& e : entries_) {
     if (e.name == stage) return e.seconds;
   }
@@ -38,12 +81,14 @@ double StageClock::seconds(std::string_view stage) const {
 }
 
 double StageClock::total_seconds() const {
+  std::lock_guard lock(mu_);
   double total = 0;
   for (const Entry& e : entries_) total += e.seconds;
   return total;
 }
 
 std::vector<std::string> StageClock::stages() const {
+  std::lock_guard lock(mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const Entry& e : entries_) names.push_back(e.name);
@@ -51,6 +96,7 @@ std::vector<std::string> StageClock::stages() const {
 }
 
 void StageClock::clear() {
+  std::lock_guard lock(mu_);
   entries_.clear();
   running_ = -1;
 }

@@ -5,6 +5,7 @@
 // pipeline and bench uses to produce those rows.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,10 +15,21 @@
 
 namespace fastsc {
 
-/// Accumulates wall time into named stages.  Not thread-safe by design: a
-/// pipeline owns one clock and times its own sequential stages.
+/// Accumulates wall time into named stages.  Thread-safe: the pipeline owns
+/// one clock and start()/stop()s its own sequential stages, while stream
+/// completion callbacks may add() modeled transfer time from worker threads
+/// concurrently.  The start/stop pair itself still assumes one driving
+/// thread (there is one "currently running" stage).
 class StageClock {
  public:
+  StageClock() = default;
+  // Copy/move keep the recorded times but not the lock (SpectralResult is
+  // copied between backends in the benches).
+  StageClock(const StageClock& other);
+  StageClock& operator=(const StageClock& other);
+  StageClock(StageClock&& other) noexcept;
+  StageClock& operator=(StageClock&& other) noexcept;
+
   /// Start (or resume) accumulation for `stage`; stops the current stage.
   void start(std::string_view stage);
 
@@ -25,6 +37,7 @@ class StageClock {
   void stop();
 
   /// Add externally measured seconds to a stage (e.g. modeled PCIe time).
+  /// Safe to call from any thread, including while another stage runs.
   void add(std::string_view stage, double seconds);
 
   /// Accumulated seconds for a stage; 0 if the stage never ran.
@@ -45,8 +58,10 @@ class StageClock {
     double seconds = 0;
   };
 
-  Entry& entry(std::string_view stage);
+  Entry& entry_locked(std::string_view stage);
+  void stop_locked();
 
+  mutable std::mutex mu_;
   std::vector<Entry> entries_;
   WallTimer timer_;
   int running_ = -1;  // index into entries_, or -1

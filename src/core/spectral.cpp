@@ -9,6 +9,7 @@
 #include "common/log.h"
 #include "common/validation.h"
 #include "common/timer.h"
+#include "device/executor.h"
 #include "graph/build.h"
 #include "graph/components.h"
 #include "graph/laplacian.h"
@@ -73,10 +74,79 @@ lanczos::LanczosConfig eig_config(const SpectralConfig& cfg, index_t n) {
   return ec;
 }
 
+/// One overlapped SpMV wave on a {transfer, compute} stream pair.
+///
+/// The matrix is pre-split into column blocks; block b's kernel reads only
+/// x[col_start[b], col_start[b+1]), so the transfer stream stages tile b+1
+/// H2D while the compute stream multiplies block b (partial products
+/// accumulate into y with beta = 1).  The final block is row-tiled: tile
+/// t's rows are final after its partial product, so its D2H starts on the
+/// transfer stream while later tiles still multiply.  Events order each
+/// compute node after its x tile and each D2H after its y tile; everything
+/// else rides the streams' FIFO order.
+void pipelined_matvec(device::DeviceContext& ctx,
+                      device::PipelineExecutor& exec,
+                      const sparse::DeviceCsrColBlocks& a, const real* x,
+                      device::DeviceBuffer<real>& dev_x,
+                      device::DeviceBuffer<real>& dev_y,
+                      std::vector<real>& host_y, index_t row_tiles) {
+  using Exec = device::PipelineExecutor;
+  exec.reset();
+  const index_t n = a.rows;
+  const usize nb = a.block_count();
+  real* xp = dev_x.data();
+  real* yp = dev_y.data();
+
+  std::vector<Exec::NodeId> h2d(nb);
+  for (usize b = 0; b < nb; ++b) {
+    const index_t c0 = a.col_start[b];
+    const index_t c1 = a.col_start[b + 1];
+    h2d[b] = exec.add(Exec::kTransferStream, "h2d-x" + std::to_string(b),
+                      [&ctx, xp, x, c0, c1] {
+                        device::copy_h2d(ctx, xp + c0, x + c0,
+                                         static_cast<usize>(c1 - c0));
+                      });
+  }
+  for (usize b = 0; b + 1 < nb; ++b) {
+    const sparse::DeviceCsr& blk = a.blocks[b];
+    const real beta = b == 0 ? 0.0 : 1.0;
+    exec.add(
+        Exec::kComputeStream, "csrmv-b" + std::to_string(b),
+        [&ctx, &blk, xp, yp, n, beta] {
+          sparse::device_csrmv_range(ctx, blk, xp, yp, 0, n, 1.0, beta);
+        },
+        {h2d[b]});
+  }
+  const sparse::DeviceCsr& last = a.blocks[nb - 1];
+  const real last_beta = nb == 1 ? 0.0 : 1.0;
+  index_t tiles = row_tiles < 1 ? 1 : row_tiles;
+  if (tiles > n) tiles = n;
+  real* hy = host_y.data();
+  for (index_t t = 0; t < tiles; ++t) {
+    const index_t r0 = (n * t) / tiles;
+    const index_t r1 = (n * (t + 1)) / tiles;
+    const Exec::NodeId compute = exec.add(
+        Exec::kComputeStream, "csrmv-tail" + std::to_string(t),
+        [&ctx, &last, xp, yp, r0, r1, last_beta] {
+          sparse::device_csrmv_range(ctx, last, xp, yp, r0, r1, 1.0,
+                                     last_beta);
+        },
+        {h2d[nb - 1]});
+    exec.add(Exec::kTransferStream, "d2h-y" + std::to_string(t),
+             [&ctx, hy, yp, r0, r1] {
+               device::copy_d2h(ctx, hy + r0, yp + r0,
+                                static_cast<usize>(r1 - r0));
+             },
+             {compute});
+  }
+  exec.run();
+}
+
 /// Device eigensolver stage: Algorithm 3.  The COO similarity matrix is
 /// already device-resident; normalize (Algorithm 2), then run the reverse
 /// communication loop with device csrmv, staging the iteration vectors over
-/// the link each step.
+/// the link each step — double-buffered through the pipeline executor when
+/// cfg.async_pipeline is set.
 void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
                        const SpectralConfig& cfg, SpectralResult& result) {
   const index_t n = w.rows;
@@ -100,6 +170,19 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
     }
   };
 
+  // Overlapped path: repartition the device-resident normalized matrix into
+  // column blocks with device kernels (no matrix PCIe traffic) and keep a
+  // {transfer, compute} stream pair alive across iterations.
+  const bool pipelined =
+      cfg.async_pipeline && cfg.spmv_format == DeviceSpmvFormat::kCsr;
+  sparse::DeviceCsrColBlocks p_blocks;
+  std::unique_ptr<device::PipelineExecutor> exec;
+  if (pipelined) {
+    p_blocks = sparse::split_device_csr_col_blocks(ctx, p,
+                                                   cfg.overlap_col_blocks);
+    exec = std::make_unique<device::PipelineExecutor>(ctx);
+  }
+
   lanczos::SymEigProb prob(eig_config(cfg, n));
   device::DeviceBuffer<real> dev_x(ctx, static_cast<usize>(n));
   device::DeviceBuffer<real> dev_y(ctx, static_cast<usize>(n));
@@ -107,13 +190,18 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
 
   while (!prob.converge()) {
     WallTimer t;
-    // H2D: the vector ARPACK hands out.
-    dev_x.copy_from_host(
-        std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
-    // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
-    spmv(dev_x.data(), dev_y.data());
-    // D2H: the product back to the RCI.
-    dev_y.copy_to_host(std::span<real>(host_y));
+    if (pipelined) {
+      pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x, dev_y,
+                       host_y, cfg.overlap_row_tiles);
+    } else {
+      // H2D: the vector ARPACK hands out.
+      dev_x.copy_from_host(
+          std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
+      // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
+      spmv(dev_x.data(), dev_y.data());
+      // D2H: the product back to the RCI.
+      dev_y.copy_to_host(std::span<real>(host_y));
+    }
     std::copy(host_y.begin(), host_y.end(), prob.PutVector());
     result.spmv_seconds += t.seconds();
     prob.TakeStep();
@@ -169,6 +257,7 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
       kc.max_iters = cfg.kmeans_max_iters;
       kc.seeding = cfg.seeding;
       kc.seed = cfg.seed;
+      kc.async_pipeline = cfg.async_pipeline;
       const auto res =
           kmeans::kmeans_device(ctx, result.embedding.data(), n, k, kc);
       result.labels = res.labels;
@@ -213,6 +302,11 @@ device::DeviceCounters counters_delta(const device::DeviceCounters& after,
   d.modeled_transfer_seconds -= before.modeled_transfer_seconds;
   d.kernel_seconds -= before.kernel_seconds;
   d.kernel_launches -= before.kernel_launches;
+  d.overlapped_seconds -= before.overlapped_seconds;
+  d.overlapped_h2d_seconds -= before.overlapped_h2d_seconds;
+  d.overlapped_d2h_seconds -= before.overlapped_d2h_seconds;
+  d.async_copies -= before.async_copies;
+  d.async_kernel_launches -= before.async_kernel_launches;
   return d;
 }
 

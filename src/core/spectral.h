@@ -65,6 +65,21 @@ struct SpectralConfig {
   /// Block size when spmv_format == kBsr.
   index_t bsr_block_size = 4;
 
+  /// Overlapped transfer–compute pipeline for the device backend (CSR only;
+  /// BSR keeps the synchronous path).  The eigensolver matrix is split into
+  /// `overlap_col_blocks` column blocks so the RCI vector's tile b+1 stages
+  /// H2D on a transfer stream while block b multiplies on a compute stream;
+  /// the final block is split into `overlap_row_tiles` row ranges so
+  /// finished y tiles start their D2H behind the remaining compute.  This is
+  /// the stream/event answer to Table VII's communication bottleneck;
+  /// bench_ablation_overlap ablates sync vs. async.  Few column blocks:
+  /// each extra block re-sweeps every row to accumulate its partial
+  /// products, while row tiles partition the final sweep and are nearly
+  /// free — the bench's tile sweep picked these defaults.
+  bool async_pipeline = true;
+  index_t overlap_col_blocks = 2;
+  index_t overlap_row_tiles = 4;
+
   /// Out-of-core similarity construction (device backend, points mode):
   /// 0 builds the whole edge list on the device at once (Algorithm 1);
   /// > 0 streams the edge list through the device in chunks of this many

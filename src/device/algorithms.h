@@ -70,7 +70,7 @@ template <class T, class Combine>
       for (index_t i = lo; i < hi; ++i) acc = combine(acc, in[i]);
       partials[w] = acc;
     };
-    ctx.pool().run_workers(job);
+    ctx.run_compute(job);
     for (const T& p : partials) result = combine(result, p);
   }
   ctx.record_kernel(t.seconds());
@@ -110,7 +110,7 @@ template <class T>
   if (workers == 1) {
     job(0);
   } else {
-    ctx.pool().run_workers(job);
+    ctx.run_compute(job);
   }
   Pair best = partials[0];
   for (const Pair& p : partials) {
@@ -147,7 +147,7 @@ T exclusive_scan(DeviceContext& ctx, const T* in, T* out, index_t n,
   if (workers == 1) {
     pass1(0);
   } else {
-    ctx.pool().run_workers(pass1);
+    ctx.run_compute(pass1);
   }
   std::vector<T> offsets(static_cast<usize>(workers), init);
   T running = init;
@@ -164,7 +164,7 @@ T exclusive_scan(DeviceContext& ctx, const T* in, T* out, index_t n,
   if (workers == 1) {
     pass2(0);
   } else {
-    ctx.pool().run_workers(pass2);
+    ctx.run_compute(pass2);
   }
   ctx.record_kernel(t.seconds());
   return running;
@@ -204,7 +204,7 @@ void sort_by_key(DeviceContext& ctx, K* keys, V* values, index_t n) {
   if (workers == 1) {
     sort_job(0);
   } else {
-    ctx.pool().run_workers(sort_job);
+    ctx.run_compute(sort_job);
   }
   // Pairwise merge passes (log(workers) of them).
   for (index_t width = chunk; width < n; width *= 2) {
@@ -272,7 +272,7 @@ template <class T, class Pred>
   if (workers == 1) {
     job(0);
   } else {
-    ctx.pool().run_workers(job);
+    ctx.run_compute(job);
   }
   index_t total = 0;
   for (index_t p : partials) total += p;

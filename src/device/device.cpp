@@ -1,9 +1,209 @@
 #include "device/device.h"
 
+#include <algorithm>
 #include <sstream>
 #include <thread>
 
 namespace fastsc::device {
+
+namespace {
+
+/// Metering target for the calling thread: a stream's clock inside a
+/// ClockScope, the context's host clock otherwise.  One slot suffices —
+/// a thread executes ops for at most one stream at a time.
+thread_local VirtualClock* t_current_clock = nullptr;
+
+}  // namespace
+
+// --- PinnedPool -------------------------------------------------------------
+
+PinnedPool::Block PinnedPool::acquire(usize bytes) {
+  std::lock_guard lock(mu_);
+  stats_.acquires += 1;
+  // Smallest free block that fits; avoids pinning a large block under a
+  // small recurring copy.
+  usize best = free_.size();
+  for (usize i = 0; i < free_.size(); ++i) {
+    if (free_[i].capacity() >= bytes &&
+        (best == free_.size() || free_[i].capacity() < free_[best].capacity())) {
+      best = i;
+    }
+  }
+  Block block;
+  if (best != free_.size()) {
+    stats_.reuses += 1;
+    stats_.allocated_bytes -= free_[best].capacity();
+    block = std::move(free_[best]);
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+  } else {
+    stats_.allocated_blocks += 1;
+  }
+  block.resize(bytes);
+  return block;
+}
+
+void PinnedPool::release(Block&& block) {
+  std::lock_guard lock(mu_);
+  stats_.allocated_bytes += block.capacity();
+  stats_.peak_allocated_bytes =
+      std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+  free_.push_back(std::move(block));
+}
+
+PinnedPool::Stats PinnedPool::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void PinnedPool::clear() {
+  std::lock_guard lock(mu_);
+  free_.clear();
+  stats_.allocated_bytes = 0;
+  stats_.allocated_blocks = 0;
+}
+
+// --- DeviceContext: metering + virtual timeline -----------------------------
+
+DeviceContext::ClockScope::ClockScope(VirtualClock& clock)
+    : previous_(t_current_clock) {
+  t_current_clock = &clock;
+}
+
+DeviceContext::ClockScope::~ClockScope() { t_current_clock = previous_; }
+
+VirtualClock& DeviceContext::current_clock_locked() {
+  return t_current_clock != nullptr ? *t_current_clock : host_clock_;
+}
+
+double DeviceContext::current_clock_now() const {
+  std::lock_guard lock(meter_mu_);
+  return t_current_clock != nullptr ? t_current_clock->now : host_clock_.now;
+}
+
+void DeviceContext::sync_current_clock_to(double t) {
+  std::lock_guard lock(meter_mu_);
+  VirtualClock& clk = current_clock_locked();
+  clk.now = std::max(clk.now, t);
+}
+
+void DeviceContext::advance_clock_to(VirtualClock& clock, double floor) {
+  std::lock_guard lock(meter_mu_);
+  clock.now = std::max(clock.now, floor);
+}
+
+double DeviceContext::clock_now(const VirtualClock& clock) const {
+  std::lock_guard lock(meter_mu_);
+  return clock.now;
+}
+
+DeviceCounters DeviceContext::counters_snapshot() const {
+  std::lock_guard lock(meter_mu_);
+  return counters_;
+}
+
+void DeviceContext::prune_intervals_locked() {
+  // A future copy starts at or after link_free_at_, a future kernel at or
+  // after compute_free_at_; intervals entirely behind the opposite frontier
+  // can never overlap new work and have already been paired with the past.
+  std::erase_if(copy_intervals_,
+                [this](const Interval& iv) { return iv.end <= compute_free_at_; });
+  std::erase_if(kernel_intervals_,
+                [this](const Interval& iv) { return iv.end <= link_free_at_; });
+}
+
+void DeviceContext::meter_transfer(usize bytes, double measured_seconds,
+                                   bool h2d) {
+  std::lock_guard lock(meter_mu_);
+  const double modeled = model_.seconds_for(bytes);
+  VirtualClock& clk = current_clock_locked();
+  const double begin = std::max(clk.now, link_free_at_);
+  const double end = begin + modeled;
+  clk.now = end;
+  link_free_at_ = end;
+
+  if (h2d) {
+    counters_.bytes_h2d += bytes;
+    counters_.transfers_h2d += 1;
+  } else {
+    counters_.bytes_d2h += bytes;
+    counters_.transfers_d2h += 1;
+  }
+  counters_.measured_transfer_seconds += measured_seconds;
+  counters_.modeled_transfer_seconds += modeled;
+  if (t_current_clock != nullptr) counters_.async_copies += 1;
+
+  // Overlap against every kernel interval still near the frontier.  Kernel
+  // intervals are pairwise disjoint (one compute engine), so the sum is the
+  // measure of this window's intersection with kernel busy time — each
+  // overlap window counted exactly once.
+  for (const Interval& k : kernel_intervals_) {
+    const double ov = std::min(end, k.end) - std::max(begin, k.begin);
+    if (ov > 0) {
+      counters_.overlapped_seconds += ov;
+      (h2d ? counters_.overlapped_h2d_seconds
+           : counters_.overlapped_d2h_seconds) += ov;
+    }
+  }
+  copy_intervals_.push_back(Interval{begin, end, h2d});
+  prune_intervals_locked();
+}
+
+void DeviceContext::record_h2d(usize bytes, double measured_seconds) {
+  meter_transfer(bytes, measured_seconds, /*h2d=*/true);
+}
+
+void DeviceContext::record_d2h(usize bytes, double measured_seconds) {
+  meter_transfer(bytes, measured_seconds, /*h2d=*/false);
+}
+
+void DeviceContext::record_kernel(double seconds, double modeled_override) {
+  std::lock_guard lock(meter_mu_);
+  const double duration = modeled_override >= 0 ? modeled_override : seconds;
+  VirtualClock& clk = current_clock_locked();
+  const double begin = std::max(clk.now, compute_free_at_);
+  const double end = begin + duration;
+  clk.now = end;
+  compute_free_at_ = end;
+
+  counters_.kernel_seconds += duration;
+  counters_.kernel_launches += 1;
+  if (t_current_clock != nullptr) counters_.async_kernel_launches += 1;
+
+  for (const Interval& c : copy_intervals_) {
+    const double ov = std::min(end, c.end) - std::max(begin, c.begin);
+    if (ov > 0) {
+      counters_.overlapped_seconds += ov;
+      (c.h2d ? counters_.overlapped_h2d_seconds
+             : counters_.overlapped_d2h_seconds) += ov;
+    }
+  }
+  kernel_intervals_.push_back(Interval{begin, end, false});
+  prune_intervals_locked();
+}
+
+void DeviceContext::record_alloc(usize bytes) {
+  std::lock_guard lock(meter_mu_);
+  if (memory_limit_bytes_ != 0 &&
+      counters_.live_bytes + bytes > memory_limit_bytes_) {
+    throw DeviceOutOfMemory(bytes, counters_.live_bytes, memory_limit_bytes_);
+  }
+  counters_.live_bytes += bytes;
+  counters_.total_allocations += 1;
+  if (counters_.live_bytes > counters_.peak_bytes) {
+    counters_.peak_bytes = counters_.live_bytes;
+  }
+}
+
+void DeviceContext::record_free(usize bytes) noexcept {
+  std::lock_guard lock(meter_mu_);
+  counters_.live_bytes =
+      counters_.live_bytes >= bytes ? counters_.live_bytes - bytes : 0;
+}
+
+void DeviceContext::run_compute(const std::function<void(usize)>& job) {
+  std::lock_guard lock(compute_mu_);
+  pool_.run_workers(job);
+}
 
 std::string DeviceContext::description() const {
   std::ostringstream os;

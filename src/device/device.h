@@ -11,7 +11,14 @@
 //   * kernels are launched over a (grid, block) decomposition and execute
 //     data-parallel on a worker thread pool; kernel wall time is metered,
 //   * the default stream is synchronous: launch() returns when the kernel
-//     has completed, matching the paper's use of the default CUDA stream.
+//     has completed, matching the paper's use of the default CUDA stream,
+//   * asynchronous streams (device/stream.h) carry ordered work queues whose
+//     copies and kernels are attributed to a *virtual timeline*: each copy
+//     occupies the modeled PCIe link, each kernel occupies the compute
+//     engine, and the window where a transfer and a kernel coincide is
+//     accounted once as DeviceCounters::overlapped_seconds.  This is how the
+//     overlap ablation quantifies hiding Table VII's communication behind
+//     computation.
 //
 // On the evaluation machine the pool may have a single worker; the runtime
 // is still exercised end-to-end (decomposition, staging, accounting), which
@@ -20,6 +27,7 @@
 
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -46,7 +54,8 @@ class DeviceOutOfMemory : public std::runtime_error {
             " live of " + std::to_string(limit) + " budget") {}
 };
 
-/// Running totals kept by a DeviceContext.
+/// Running totals kept by a DeviceContext.  Snapshot with
+/// DeviceContext::counters_snapshot() when streams may be in flight.
 struct DeviceCounters {
   usize bytes_h2d = 0;
   usize bytes_d2h = 0;
@@ -56,19 +65,83 @@ struct DeviceCounters {
   double measured_transfer_seconds = 0;
   /// Modeled PCIe time from the TransferModel.
   double modeled_transfer_seconds = 0;
-  /// Wall time spent inside kernel bodies.
+  /// Time spent inside kernel bodies (measured wall time, unless a launch
+  /// supplied LaunchConfig::modeled_seconds).
   double kernel_seconds = 0;
   usize kernel_launches = 0;
+  /// Virtual-timeline seconds during which a PCIe transfer and a kernel were
+  /// in flight simultaneously.  Each overlap window is counted once (link
+  /// and compute engine are each serialized, so transfer intervals are
+  /// pairwise disjoint, as are kernel intervals), which makes
+  ///   modeled pipeline time = kernel_seconds + modeled_transfer_seconds
+  ///                           - overlapped_seconds
+  /// the busy-time of the two engines combined.  Split by copy direction so
+  /// benches can show which staging leg hid behind compute.
+  double overlapped_seconds = 0;
+  double overlapped_h2d_seconds = 0;
+  double overlapped_d2h_seconds = 0;
+  /// Operations issued through streams (subset of the totals above).
+  usize async_copies = 0;
+  usize async_kernel_launches = 0;
   /// Device-memory accounting.
   usize live_bytes = 0;
   usize peak_bytes = 0;
   usize total_allocations = 0;
 
+  /// kernel + modeled PCIe with every transfer/compute overlap counted once
+  /// — the modeled end-to-end busy time of the device.
+  [[nodiscard]] double modeled_pipeline_seconds() const noexcept {
+    return kernel_seconds + modeled_transfer_seconds - overlapped_seconds;
+  }
+
   void reset() { *this = DeviceCounters{}; }
 };
 
-/// A simulated GPU: an executor plus metering.  Thread-compatible (use one
-/// context per thread of control, like a CUDA context).
+/// A virtual clock, in modeled seconds since context creation.  The host
+/// thread of control owns one (inside DeviceContext) and every Stream owns
+/// one; all are guarded by the context's metering mutex.
+struct VirtualClock {
+  double now = 0;
+};
+
+/// Recycling pool of host staging buffers — the stand-in for CUDA pinned
+/// (page-locked) memory.  Stream::copy_to_device_async snapshots the
+/// caller's data into a pool block at enqueue time, so the caller may reuse
+/// its buffer immediately; the block returns to the pool once the copy
+/// retires.  Thread-safe.
+class PinnedPool {
+ public:
+  using Block = std::vector<unsigned char>;
+
+  struct Stats {
+    usize acquires = 0;        ///< total acquire() calls
+    usize reuses = 0;          ///< acquires served from the free list
+    usize allocated_blocks = 0;
+    usize allocated_bytes = 0;  ///< capacity currently owned by the pool
+    usize peak_allocated_bytes = 0;
+  };
+
+  /// A block with capacity >= bytes, sized to exactly `bytes`.
+  [[nodiscard]] Block acquire(usize bytes);
+
+  /// Return a block to the free list for reuse.
+  void release(Block&& block);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop all free blocks (cudaFreeHost equivalent).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Block> free_;
+  Stats stats_;
+};
+
+/// A simulated GPU: an executor plus metering.  The metering and the
+/// virtual timeline are thread-safe so streams (device/stream.h) can retire
+/// work concurrently with the host; kernel execution itself is serialized
+/// on the compute engine (one pool), like a single-SM-partition GPU.
 class DeviceContext {
  public:
   /// workers == 0 selects hardware concurrency.
@@ -89,54 +162,100 @@ class DeviceContext {
   }
   void set_transfer_model(TransferModel m) noexcept { model_ = m; }
 
+  /// Direct counter access: safe while no stream work is in flight (the
+  /// historical single-threaded contract).  Prefer counters_snapshot()
+  /// around async regions.
   [[nodiscard]] DeviceCounters& counters() noexcept { return counters_; }
   [[nodiscard]] const DeviceCounters& counters() const noexcept {
     return counters_;
   }
 
+  /// Consistent copy of the counters under the metering lock.
+  [[nodiscard]] DeviceCounters counters_snapshot() const;
+
+  [[nodiscard]] PinnedPool& staging_pool() noexcept { return staging_pool_; }
+
   /// Human-readable device description for Table I style output.
   [[nodiscard]] std::string description() const;
 
-  // --- metering hooks (used by DeviceBuffer and launch) -------------------
-  void record_h2d(usize bytes, double measured_seconds) {
-    counters_.bytes_h2d += bytes;
-    counters_.transfers_h2d += 1;
-    counters_.measured_transfer_seconds += measured_seconds;
-    counters_.modeled_transfer_seconds += model_.seconds_for(bytes);
-  }
-  void record_d2h(usize bytes, double measured_seconds) {
-    counters_.bytes_d2h += bytes;
-    counters_.transfers_d2h += 1;
-    counters_.measured_transfer_seconds += measured_seconds;
-    counters_.modeled_transfer_seconds += model_.seconds_for(bytes);
-  }
-  void record_kernel(double seconds) {
-    counters_.kernel_seconds += seconds;
-    counters_.kernel_launches += 1;
-  }
-  void record_alloc(usize bytes) {
-    if (memory_limit_bytes_ != 0 &&
-        counters_.live_bytes + bytes > memory_limit_bytes_) {
-      throw DeviceOutOfMemory(bytes, counters_.live_bytes,
-                              memory_limit_bytes_);
-    }
-    counters_.live_bytes += bytes;
-    counters_.total_allocations += 1;
-    if (counters_.live_bytes > counters_.peak_bytes) {
-      counters_.peak_bytes = counters_.live_bytes;
-    }
-  }
-  void record_free(usize bytes) noexcept {
-    counters_.live_bytes = counters_.live_bytes >= bytes
-                               ? counters_.live_bytes - bytes
-                               : 0;
-  }
+  // --- metering hooks (used by DeviceBuffer, launch, and streams) ---------
+  //
+  // Each record_* call both updates the running totals and places the
+  // operation on the virtual timeline: copies occupy the PCIe link for
+  // their modeled duration, kernels occupy the compute engine for their
+  // measured (or overridden) duration.  The interval is anchored at the
+  // calling thread's clock — a stream's clock when invoked from inside a
+  // stream op (see ClockScope), the host clock otherwise — so overlap
+  // between concurrent streams and the host is attributed exactly once.
+  void record_h2d(usize bytes, double measured_seconds);
+  void record_d2h(usize bytes, double measured_seconds);
+  /// `modeled_override` >= 0 replaces the duration on the virtual timeline
+  /// and in kernel_seconds (deterministic tests, future kernel cost models).
+  void record_kernel(double seconds, double modeled_override = -1.0);
+  void record_alloc(usize bytes);
+  void record_free(usize bytes) noexcept;
+
+  /// Run a bulk job on the worker pool under the compute-engine lock.  All
+  /// device kernels funnel through here so concurrent streams never race on
+  /// the shared pool's dispatch state.
+  void run_compute(const std::function<void(usize)>& job);
+
+  // --- virtual timeline plumbing (used by Stream/Event) -------------------
+
+  /// Route this thread's metering to `clock` for the scope's lifetime.
+  class ClockScope {
+   public:
+    explicit ClockScope(VirtualClock& clock);
+    ~ClockScope();
+    ClockScope(const ClockScope&) = delete;
+    ClockScope& operator=(const ClockScope&) = delete;
+
+   private:
+    VirtualClock* previous_;
+  };
+
+  /// The clock metering on this thread currently targets (host clock unless
+  /// inside a ClockScope).
+  [[nodiscard]] double current_clock_now() const;
+
+  /// Advance the current thread's clock to at least `t` (event wait,
+  /// stream synchronize join points).
+  void sync_current_clock_to(double t);
+
+  /// Advance `clock` to at least `floor` (op issue-time lower bound).
+  void advance_clock_to(VirtualClock& clock, double floor);
+
+  /// Read `clock` under the metering lock.
+  [[nodiscard]] double clock_now(const VirtualClock& clock) const;
 
  private:
+  struct Interval {
+    double begin = 0;
+    double end = 0;
+    bool h2d = false;  // copies only
+  };
+
+  void meter_transfer(usize bytes, double measured_seconds, bool h2d);
+  [[nodiscard]] VirtualClock& current_clock_locked();
+  void prune_intervals_locked();
+
   ThreadPool pool_;
   TransferModel model_;
   DeviceCounters counters_;
   usize memory_limit_bytes_ = 0;
+
+  mutable std::mutex meter_mu_;   // counters + timeline + clocks
+  std::mutex compute_mu_;         // the pool is a single compute engine
+  PinnedPool staging_pool_;
+
+  // Virtual timeline: per-resource frontier plus the recent busy intervals
+  // still able to overlap future work (older ones are pruned as the
+  // frontiers advance past them).
+  VirtualClock host_clock_;
+  double link_free_at_ = 0;
+  double compute_free_at_ = 0;
+  std::vector<Interval> copy_intervals_;
+  std::vector<Interval> kernel_intervals_;
 };
 
 /// Process-wide default device (lazy-constructed), like cudaSetDevice(0).
@@ -241,6 +360,13 @@ class DeviceBuffer {
 struct LaunchConfig {
   index_t block = 256;
 
+  /// Virtual-timeline duration override in seconds.  < 0 (default) uses the
+  /// measured wall time of the kernel body; >= 0 substitutes this duration
+  /// both on the timeline and in DeviceCounters::kernel_seconds, which lets
+  /// tests build deterministic overlap scenarios and future work model
+  /// kernels whose simulated speed should not depend on the host machine.
+  double modeled_seconds = -1.0;
+
   /// Blocks needed to cover n logical threads.
   [[nodiscard]] index_t grid_for(index_t n) const noexcept {
     return (n + block - 1) / block;
@@ -248,10 +374,12 @@ struct LaunchConfig {
 };
 
 /// Launch `kernel(i)` for every global thread id i in [0, n), blocking until
-/// completion (default-stream semantics).  Kernel wall time is metered.
+/// completion (default-stream semantics; from inside a stream op this blocks
+/// only the stream, which is exactly a stream-ordered kernel launch).
+/// Kernel time is metered onto the calling thread's virtual clock.
 template <class Kernel>
 void launch(DeviceContext& ctx, index_t n, const Kernel& kernel,
-            LaunchConfig /*cfg*/ = {}) {
+            LaunchConfig cfg = {}) {
   if (n <= 0) {
     ctx.record_kernel(0.0);
     return;
@@ -267,9 +395,9 @@ void launch(DeviceContext& ctx, index_t n, const Kernel& kernel,
       const index_t hi = lo + chunk < n ? lo + chunk : n;
       for (index_t i = lo; i < hi; ++i) kernel(i);
     };
-    ctx.pool().run_workers(job);
+    ctx.run_compute(job);
   }
-  ctx.record_kernel(t.seconds());
+  ctx.record_kernel(t.seconds(), cfg.modeled_seconds);
 }
 
 }  // namespace fastsc::device

@@ -1,0 +1,39 @@
+#include "device/event.h"
+
+#include "device/device.h"
+
+namespace fastsc::device {
+
+void Event::wait() const {
+  DeviceContext* ctx = nullptr;
+  double vt = 0;
+  {
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->recorded; });
+    ctx = state_->ctx;
+    vt = state_->virtual_time;
+  }
+  if (ctx != nullptr) ctx->sync_current_clock_to(vt);
+}
+
+bool Event::query() const {
+  std::lock_guard lock(state_->mu);
+  return state_->recorded;
+}
+
+double Event::virtual_time() const {
+  std::lock_guard lock(state_->mu);
+  return state_->virtual_time;
+}
+
+void Event::mark_recorded(DeviceContext& ctx, double virtual_time) const {
+  {
+    std::lock_guard lock(state_->mu);
+    state_->recorded = true;
+    state_->virtual_time = virtual_time;
+    state_->ctx = &ctx;
+  }
+  state_->cv.notify_all();
+}
+
+}  // namespace fastsc::device

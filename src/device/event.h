@@ -1,0 +1,57 @@
+// Events: cross-stream and host<->stream synchronization markers.
+//
+// An Event is a shareable completion flag carrying a virtual timestamp
+// (cudaEvent_t equivalent).  A stream records it (Stream::record) when the
+// work enqueued before the record has retired; other streams
+// (Stream::wait) or the host (Event::wait) block on it and, on release,
+// advance their own virtual clock to the event's timestamp so the modeled
+// timeline respects the dependency.
+//
+// Semantics note vs. CUDA: waiting on an event that has not been recorded
+// yet *blocks until the record happens* (a fence), whereas CUDA's
+// cudaStreamWaitEvent on a never-recorded event is a no-op.  The fence
+// semantics are what a dependency-graph executor needs — wait-before-record
+// is an ordering to honor, not a race to ignore.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace fastsc::device {
+
+class DeviceContext;
+class Stream;
+
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  /// Block the calling thread until the event is recorded, then advance the
+  /// caller's virtual clock (host clock, or the enclosing stream's clock
+  /// when called from inside a stream op) to the event's timestamp.
+  void wait() const;
+
+  /// True once recorded (cudaEventQuery == cudaSuccess).
+  [[nodiscard]] bool query() const;
+
+  /// Virtual timestamp of the (last) record; 0 if never recorded.
+  [[nodiscard]] double virtual_time() const;
+
+ private:
+  friend class Stream;
+
+  struct State {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    bool recorded = false;
+    double virtual_time = 0;
+    DeviceContext* ctx = nullptr;  // context of the recording stream
+  };
+
+  void mark_recorded(DeviceContext& ctx, double virtual_time) const;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace fastsc::device

@@ -1,0 +1,57 @@
+#include "device/executor.h"
+
+#include "common/error.h"
+
+namespace fastsc::device {
+
+PipelineExecutor::PipelineExecutor(DeviceContext& ctx, usize num_streams)
+    : ctx_(ctx) {
+  FASTSC_CHECK(num_streams >= 1, "executor needs at least one stream");
+  streams_.reserve(num_streams);
+  for (usize i = 0; i < num_streams; ++i) {
+    streams_.push_back(
+        std::make_unique<Stream>(ctx, "exec-stream-" + std::to_string(i)));
+  }
+}
+
+PipelineExecutor::NodeId PipelineExecutor::add(usize stream_index,
+                                               std::string label,
+                                               std::function<void()> body,
+                                               const std::vector<NodeId>& deps) {
+  FASTSC_CHECK(stream_index < streams_.size(), "stream index out of range");
+  const NodeId id = nodes_.size();
+  Node node;
+  node.stream = stream_index;
+  node.label = std::move(label);
+  Stream& s = *streams_[stream_index];
+  for (NodeId dep : deps) {
+    FASTSC_CHECK(dep < id, "dependency must name an already-added node");
+    // Same-stream dependencies are already honored by FIFO order.
+    if (nodes_[dep].stream != stream_index) s.wait(nodes_[dep].completed);
+  }
+  s.enqueue(std::move(body));
+  s.record(node.completed);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+const Event& PipelineExecutor::done(NodeId node) const {
+  FASTSC_CHECK(node < nodes_.size(), "node id out of range");
+  return nodes_[node].completed;
+}
+
+void PipelineExecutor::run() {
+  std::exception_ptr first_error;
+  for (auto& s : streams_) {
+    try {
+      s->synchronize();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void PipelineExecutor::reset() { nodes_.clear(); }
+
+}  // namespace fastsc::device

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <limits>
 
+#include <memory>
+
 #include "blas/dblas.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/validation.h"
 #include "device/algorithms.h"
+#include "device/executor.h"
 #include "kmeans/seeding.h"
 
 namespace fastsc::kmeans {
@@ -112,6 +115,16 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
   device::fill(ctx, dev_labels.data(), n, index_t{-1});
   dblas::row_squared_norms(ctx, n, d, dev_v.data(), d, dev_vnorm.data());
 
+  // Overlapped distance phase: a {transfer, compute} stream pair kept alive
+  // across iterations so centroid tiles prefetch behind the GEMM.
+  std::unique_ptr<device::PipelineExecutor> exec;
+  index_t dist_tiles = 1;
+  if (config.async_pipeline) {
+    exec = std::make_unique<device::PipelineExecutor>(ctx);
+    dist_tiles = config.centroid_tiles < 1 ? 1 : config.centroid_tiles;
+    if (dist_tiles > k) dist_tiles = k;
+  }
+
   KmeansResult result;
   result.labels.assign(static_cast<usize>(n), -1);
 
@@ -125,14 +138,55 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
   index_t iter = 0;
   for (; iter < config.max_iters; ++iter) {
     // --- pairwise distances: S_ij = Vnorm_i + Cnorm_j - 2 <v_i, c_j> -------
-    dblas::row_squared_norms(ctx, k, d, dev_c.data(), d, dev_cnorm.data());
-    device::launch(ctx, n * k, [=](index_t t) {
-      const index_t i = t / k;
-      const index_t j = t % k;
-      sp[t] = vnorm[i] + cnorm[j];
-    });
-    dblas::gemm_nt(ctx, n, k, d, -2.0, dev_v.data(), d, dev_c.data(), d, 1.0,
-                   dev_s.data(), k);
+    if (exec) {
+      // Prefetched centroid tiles: tile t+1 stages its centroid rows H2D on
+      // the transfer stream while tile t's norms and GEMM slice run on the
+      // compute stream; each tile fills its own column range of S.
+      using Exec = device::PipelineExecutor;
+      exec->reset();
+      real* cp = dev_c.data();
+      real* cnp = dev_cnorm.data();
+      const real* vp = dev_v.data();
+      const real* host_c = centroids.data();
+      const index_t kk = k;
+      const index_t dd = d;
+      const index_t nn = n;
+      for (index_t t = 0; t < dist_tiles; ++t) {
+        const index_t j0 = (k * t) / dist_tiles;
+        const index_t j1 = (k * (t + 1)) / dist_tiles;
+        const index_t jt = j1 - j0;
+        const Exec::NodeId h2d = exec->add(
+            Exec::kTransferStream, "h2d-c" + std::to_string(t),
+            [&ctx, cp, host_c, j0, jt, dd] {
+              device::copy_h2d(ctx, cp + j0 * dd, host_c + j0 * dd,
+                               static_cast<usize>(jt * dd));
+            });
+        exec->add(
+            Exec::kComputeStream, "dist-c" + std::to_string(t),
+            [&ctx, cp, cnp, vp, sp, vnorm, cnorm, j0, jt, kk, dd, nn] {
+              dblas::row_squared_norms(ctx, jt, dd, cp + j0 * dd, dd,
+                                       cnp + j0);
+              device::launch(ctx, nn * jt, [=](index_t u) {
+                const index_t i = u / jt;
+                const index_t j = j0 + u % jt;
+                sp[i * kk + j] = vnorm[i] + cnorm[j];
+              });
+              dblas::gemm_nt(ctx, nn, jt, dd, -2.0, vp, dd, cp + j0 * dd, dd,
+                             1.0, sp + j0, kk);
+            },
+            {h2d});
+      }
+      exec->run();
+    } else {
+      dblas::row_squared_norms(ctx, k, d, dev_c.data(), d, dev_cnorm.data());
+      device::launch(ctx, n * k, [=](index_t t) {
+        const index_t i = t / k;
+        const index_t j = t % k;
+        sp[t] = vnorm[i] + cnorm[j];
+      });
+      dblas::gemm_nt(ctx, n, k, d, -2.0, dev_v.data(), d, dev_c.data(), d, 1.0,
+                     dev_s.data(), k);
+    }
 
     // --- label update: argmin over each row of S ---------------------------
     device::launch(ctx, n, [=](index_t i) {
@@ -242,7 +296,7 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
         if (workers == 1) {
           job(0);
         } else {
-          ctx.pool().run_workers(job);
+          ctx.run_compute(job);
         }
         ctx.record_kernel(t.seconds());
       }
@@ -288,6 +342,11 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
                               d);
         dev_c.copy_from_host(std::span<const real>(cent));
       }
+    }
+    if (exec) {
+      // Async mode keeps the authoritative centroids host-resident so the
+      // next iteration's tiles can stream from them (k x d, metered D2H).
+      centroids = dev_c.to_host();
     }
 
     if (num_changed == 0) {

@@ -38,6 +38,13 @@ struct KmeansConfig {
   /// Independent runs with different seeds; the best objective wins
   /// (sklearn's n_init; Matlab's "replicates").
   index_t restarts = 1;
+  /// Overlapped distance phase: the centroids stay host-resident and stream
+  /// to the device in `centroid_tiles` column tiles, each tile's H2D
+  /// prefetched on a transfer stream while the previous tile's norms and
+  /// GEMM slice occupy the compute stream (the spectral pipeline forwards
+  /// its async_pipeline flag here).
+  bool async_pipeline = false;
+  index_t centroid_tiles = 2;
   std::uint64_t seed = 42;
 };
 

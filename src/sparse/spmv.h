@@ -130,4 +130,60 @@ void device_cscmv(device::DeviceContext& ctx, const DeviceCsc& a, const real* x,
 void device_bsrmv(device::DeviceContext& ctx, const DeviceBsr& a, const real* x,
                   real* y, real alpha = 1.0, real beta = 0.0);
 
+// ---- column-blocked CSR for the overlapped eigensolver pipeline -----------
+
+/// Partition of a CSR matrix into contiguous column blocks: block b holds
+/// exactly the entries whose column lies in [col_start[b], col_start[b+1]),
+/// with *absolute* column indices preserved.  The overlapped RCI pipeline
+/// computes y = A x as an ordered accumulation of partial products
+/// y += A_b x, so block b's kernel only needs x's b-th tile to be
+/// device-resident — the H2D staging of tile b+1 runs on the transfer
+/// stream while block b multiplies on the compute stream.  Because the
+/// blocks partition each row's entries in ascending column order, the
+/// per-row accumulation order matches plain csrmv up to the partial-sum
+/// grouping.
+struct DeviceCsrColBlocks {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> col_start;  ///< size block_count() + 1
+  std::vector<DeviceCsr> blocks;
+
+  DeviceCsrColBlocks() = default;
+
+  /// Split `host` into `num_blocks` near-equal column ranges and upload
+  /// each block (3 metered H2D transfers per block).  num_blocks is clamped
+  /// to [1, cols].
+  DeviceCsrColBlocks(device::DeviceContext& ctx, const Csr& host,
+                     index_t num_blocks);
+
+  [[nodiscard]] usize block_count() const noexcept { return blocks.size(); }
+  [[nodiscard]] index_t nnz() const noexcept {
+    index_t total = 0;
+    for (const DeviceCsr& b : blocks) total += b.nnz();
+    return total;
+  }
+};
+
+/// Host-side column split used by the device constructor (exposed for
+/// tests): returns one CSR per block and fills `col_start`.
+[[nodiscard]] std::vector<Csr> split_csr_col_blocks(
+    const Csr& a, index_t num_blocks, std::vector<index_t>& col_start);
+
+/// Repartition a device-resident CSR into column blocks without moving the
+/// matrix over the link: per-row range search, prefix-sum, and compaction
+/// run as kernels on the device copy (cusparse-style format conversion),
+/// and only one nnz count per block crosses PCIe to size the allocations.
+/// Use this instead of `DeviceCsrColBlocks(ctx, a.to_host(), nb)` when the
+/// matrix is already on the device.
+[[nodiscard]] DeviceCsrColBlocks split_device_csr_col_blocks(
+    device::DeviceContext& ctx, const DeviceCsr& a, index_t num_blocks);
+
+/// Partial csrmv over rows [row_begin, row_end):
+///   y[r] = alpha * (A x)[r] + beta * y[r]
+/// The building block of the tiled/pipelined SpMV; call with a column
+/// block's CSR and beta=1 to accumulate partial products.
+void device_csrmv_range(device::DeviceContext& ctx, const DeviceCsr& a,
+                        const real* x, real* y, index_t row_begin,
+                        index_t row_end, real alpha = 1.0, real beta = 0.0);
+
 }  // namespace fastsc::sparse

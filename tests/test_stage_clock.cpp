@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
 namespace fastsc {
 namespace {
@@ -92,6 +94,48 @@ TEST(StageClock, DoubleStopIsHarmless) {
   const double t = clock.seconds("a");
   clock.stop();
   EXPECT_DOUBLE_EQ(clock.seconds("a"), t);
+}
+
+TEST(StageClock, ConcurrentAddsFromWorkerThreadsAllLand) {
+  // The async runtime calls add() from stream threads while the pipeline
+  // drives start()/stop() from its own thread; every modeled second must be
+  // accounted and no entry lost to a race.
+  StageClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&clock, w] {
+      const std::string mine = "worker-" + std::to_string(w % 2);
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        clock.add("pcie", 0.001);
+        clock.add(mine, 0.002);
+      }
+    });
+  }
+  clock.start("driver");
+  spin_ms(5);
+  clock.stop();
+  for (std::thread& t : workers) t.join();
+  EXPECT_NEAR(clock.seconds("pcie"), 0.001 * kThreads * kAddsPerThread, 1e-9);
+  EXPECT_NEAR(clock.seconds("worker-0") + clock.seconds("worker-1"),
+              0.002 * kThreads * kAddsPerThread, 1e-9);
+  EXPECT_GT(clock.seconds("driver"), 0.0);
+}
+
+TEST(StageClock, CopyAndMovePreserveRecordedTimes) {
+  StageClock clock;
+  clock.add("a", 1.25);
+  StageClock copied(clock);
+  EXPECT_DOUBLE_EQ(copied.seconds("a"), 1.25);
+  copied.add("a", 0.25);
+  EXPECT_DOUBLE_EQ(copied.seconds("a"), 1.5);
+  EXPECT_DOUBLE_EQ(clock.seconds("a"), 1.25);  // deep copy, not shared
+  StageClock moved(std::move(copied));
+  EXPECT_DOUBLE_EQ(moved.seconds("a"), 1.5);
+  clock = moved;
+  EXPECT_DOUBLE_EQ(clock.seconds("a"), 1.5);
 }
 
 }  // namespace

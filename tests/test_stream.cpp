@@ -1,0 +1,313 @@
+// Tests for the asynchronous stream/event runtime: ordering guarantees,
+// event fence semantics, pinned-staging snapshot behaviour, deterministic
+// transfer/compute overlap attribution on the virtual timeline, and error
+// propagation (including DeviceOutOfMemory from concurrent async
+// allocations).
+#include "device/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "device/event.h"
+
+namespace fastsc::device {
+namespace {
+
+/// A transfer model where modeled seconds == bytes / 1e6, exactly (no
+/// latency, unit efficiency) — lets tests predict timeline placement.
+TransferModel unit_model() {
+  TransferModel m;
+  m.bandwidth_bytes_per_sec = 1e6;
+  m.efficiency = 1.0;
+  m.latency_seconds = 0;
+  return m;
+}
+
+TEST(Stream, OpsRunInFifoOrder) {
+  DeviceContext ctx(1);
+  Stream s(ctx, "fifo");
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.enqueue([&order, i] { order.push_back(i); });
+  }
+  s.synchronize();
+  std::vector<int> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Stream, LaunchAsyncIsStreamOrdered) {
+  DeviceContext ctx(1);
+  Stream s(ctx, "launch");
+  DeviceBuffer<double> dev(ctx, 64);
+  double* p = dev.data();
+  s.launch_async(64, [=](index_t i) { p[i] = static_cast<double>(i); });
+  s.launch_async(64, [=](index_t i) { p[i] *= 2; });
+  std::vector<double> back(64);
+  s.copy_to_host_async(std::span<double>(back), dev);
+  s.synchronize();
+  for (index_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(back[static_cast<usize>(i)], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(Stream, CopyToDeviceSnapshotsAtEnqueue) {
+  DeviceContext ctx(1);
+  Stream s(ctx, "snapshot");
+  DeviceBuffer<double> dev(ctx, 256);
+  std::vector<double> host(256, 1.0);
+  // Hold the stream busy so the copy op cannot run before the overwrite.
+  s.enqueue([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  s.copy_to_device_async(dev, std::span<const double>(host));
+  std::fill(host.begin(), host.end(), 2.0);  // caller reuses its buffer
+  s.synchronize();
+  const std::vector<double> back = dev.to_host();
+  for (double v : back) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Stream, StagingBlocksAreRecycled) {
+  DeviceContext ctx(1);
+  Stream s(ctx, "staging");
+  DeviceBuffer<double> dev(ctx, 128);
+  std::vector<double> host(128, 3.0);
+  s.copy_to_device_async(dev, std::span<const double>(host));
+  s.synchronize();
+  s.copy_to_device_async(dev, std::span<const double>(host));
+  s.synchronize();
+  const PinnedPool::Stats stats = ctx.staging_pool().stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_GE(stats.reuses, 1u);
+  EXPECT_EQ(stats.allocated_blocks, 1u);
+}
+
+TEST(Stream, AsyncOpsAreCountedSeparately) {
+  DeviceContext ctx(1);
+  Stream s(ctx, "counted");
+  DeviceBuffer<double> dev(ctx, 16);
+  std::vector<double> host(16, 0.0);
+  s.copy_to_device_async(dev, std::span<const double>(host));
+  s.launch_async(16, [p = dev.data()](index_t i) { p[i] = 1; });
+  s.copy_to_host_async(std::span<double>(host), dev);
+  s.synchronize();
+  const DeviceCounters c = ctx.counters_snapshot();
+  EXPECT_EQ(c.async_copies, 2u);
+  EXPECT_EQ(c.async_kernel_launches, 1u);
+}
+
+TEST(Event, WaitBeforeRecordBlocksUntilRecorded) {
+  DeviceContext ctx(1);
+  Stream a(ctx, "producer");
+  Stream b(ctx, "consumer");
+  Event e;
+  std::atomic<bool> ran{false};
+  b.wait(e);
+  b.add_callback([&ran] { ran = true; });
+  // The wait is a fence: until someone records, the consumer cannot make
+  // progress no matter how long we give it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(ran.load());
+  EXPECT_FALSE(e.query());
+  a.record(e);
+  b.synchronize();
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(e.query());
+}
+
+TEST(Event, CrossStreamOrderIsEnforced) {
+  DeviceContext ctx(1);
+  Stream a(ctx, "a");
+  Stream b(ctx, "b");
+  Event e;
+  std::mutex mu;
+  std::vector<char> order;
+  a.add_callback([&] {
+    std::lock_guard lock(mu);
+    order.push_back('a');
+  });
+  a.record(e);
+  b.wait(e);
+  b.add_callback([&] {
+    std::lock_guard lock(mu);
+    order.push_back('b');
+  });
+  a.synchronize();
+  b.synchronize();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b'}));
+}
+
+TEST(Event, CarriesVirtualTimestampAcrossStreams) {
+  DeviceContext ctx(1, unit_model());
+  Stream a(ctx, "a");
+  Stream b(ctx, "b");
+  DeviceBuffer<unsigned char> dev(ctx, 500000);
+  std::vector<unsigned char> host(500000, 0);
+  // 500000 bytes at 1e6 B/s = 0.5 virtual seconds on stream a.
+  a.copy_to_device_async(dev.data(), std::span<const unsigned char>(host));
+  Event e;
+  a.record(e);
+  b.wait(e);
+  b.launch_async(
+      1, [](index_t) {}, LaunchConfig{.modeled_seconds = 0.25});
+  a.synchronize();
+  b.synchronize();
+  EXPECT_DOUBLE_EQ(e.virtual_time(), 0.5);
+  // b's clock: joined to 0.5 by the wait, then +0.25 of modeled kernel.
+  EXPECT_DOUBLE_EQ(b.virtual_now(), 0.75);
+}
+
+TEST(Overlap, ConcurrentCopyAndKernelCountedOnce) {
+  DeviceContext ctx(1, unit_model());
+  Stream transfer(ctx, "transfer");
+  Stream compute(ctx, "compute");
+  DeviceBuffer<unsigned char> dev(ctx, 500000);
+  std::vector<unsigned char> host(500000, 0);
+  // Copy occupies the link over virtual [0, 0.5]; the kernel occupies the
+  // compute engine over [0, 1].  Intersection = 0.5, counted exactly once.
+  transfer.copy_to_device_async(dev.data(),
+                                std::span<const unsigned char>(host));
+  compute.launch_async(
+      1, [](index_t) {}, LaunchConfig{.modeled_seconds = 1.0});
+  transfer.synchronize();
+  compute.synchronize();
+  const DeviceCounters c = ctx.counters_snapshot();
+  EXPECT_DOUBLE_EQ(c.overlapped_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(c.overlapped_h2d_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(c.overlapped_d2h_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(c.modeled_pipeline_seconds(),
+                   c.kernel_seconds + c.modeled_transfer_seconds - 0.5);
+}
+
+TEST(Overlap, SameStreamSerializesWithNoOverlap) {
+  DeviceContext ctx(1, unit_model());
+  Stream s(ctx, "serial");
+  DeviceBuffer<unsigned char> dev(ctx, 500000);
+  std::vector<unsigned char> host(500000, 0);
+  // Same ops as above, one stream: copy [0, 0.5], then kernel [0.5, 1.5].
+  s.copy_to_device_async(dev.data(), std::span<const unsigned char>(host));
+  s.launch_async(1, [](index_t) {}, LaunchConfig{.modeled_seconds = 1.0});
+  s.synchronize();
+  const DeviceCounters c = ctx.counters_snapshot();
+  EXPECT_DOUBLE_EQ(c.overlapped_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(s.virtual_now(), 1.5);
+}
+
+TEST(Overlap, BidirectionalSplitAttribution) {
+  DeviceContext ctx(1, unit_model());
+  Stream transfer(ctx, "transfer");
+  Stream compute(ctx, "compute");
+  DeviceBuffer<unsigned char> dev(ctx, 500000);
+  std::vector<unsigned char> host(500000, 0);
+  // Link: H2D [0, 0.5] then D2H [0.5, 1.0]; compute engine: kernel [0, 1].
+  // Both legs fully hide behind the kernel: h2d overlap 0.5, d2h 0.5.
+  transfer.copy_to_device_async(dev.data(),
+                                std::span<const unsigned char>(host));
+  transfer.copy_to_host_async(std::span<unsigned char>(host), dev.data());
+  compute.launch_async(
+      1, [](index_t) {}, LaunchConfig{.modeled_seconds = 1.0});
+  transfer.synchronize();
+  compute.synchronize();
+  const DeviceCounters c = ctx.counters_snapshot();
+  EXPECT_DOUBLE_EQ(c.overlapped_h2d_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(c.overlapped_d2h_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(c.overlapped_seconds, 1.0);
+}
+
+TEST(Stream, SynchronizeJoinsHostClock) {
+  DeviceContext ctx(1, unit_model());
+  Stream s(ctx, "join");
+  DeviceBuffer<unsigned char> dev(ctx, 500000);
+  std::vector<unsigned char> host(500000, 0);
+  s.copy_to_device_async(dev.data(), std::span<const unsigned char>(host));
+  s.synchronize();
+  // The host clock has advanced to at least the stream's position, so a
+  // following host-side kernel cannot appear to overlap the stream's copy.
+  const double before_overlap = ctx.counters_snapshot().overlapped_seconds;
+  launch(ctx, 1, [](index_t) {}, LaunchConfig{.modeled_seconds = 1.0});
+  EXPECT_DOUBLE_EQ(ctx.counters_snapshot().overlapped_seconds, before_overlap);
+}
+
+TEST(StreamError, AsyncAllocationFailureSurfacesAtSynchronize) {
+  DeviceContext ctx(1);
+  ctx.set_memory_limit(1000);
+  Stream s(ctx, "oom");
+  std::atomic<bool> later_ran{false};
+  s.enqueue([&ctx] {
+    DeviceBuffer<double> big(ctx, 1024);  // 8 KiB > 1000 B budget
+  });
+  s.enqueue([&later_ran] { later_ran = true; });
+  EXPECT_THROW(s.synchronize(), DeviceOutOfMemory);
+  // Ops after the failure are skipped (sticky error), and the error is
+  // cleared once thrown: the stream is usable again.
+  EXPECT_FALSE(later_ran.load());
+  s.enqueue([&later_ran] { later_ran = true; });
+  s.synchronize();
+  EXPECT_TRUE(later_ran.load());
+}
+
+TEST(StreamError, ConcurrentAsyncAllocationsExactlyOneFails) {
+  DeviceContext ctx(1);
+  ctx.set_memory_limit(1000);
+  Stream a(ctx, "alloc-a");
+  Stream b(ctx, "alloc-b");
+  // Two async allocations of 800 bytes race for a 1000-byte budget; the
+  // accounting is serialized, so exactly one succeeds and the other throws.
+  std::mutex mu;
+  std::vector<DeviceBuffer<unsigned char>> live;
+  auto alloc = [&] {
+    DeviceBuffer<unsigned char> buf(ctx, 800);
+    std::lock_guard lock(mu);
+    live.push_back(std::move(buf));
+  };
+  a.enqueue(alloc);
+  b.enqueue(alloc);
+  int failures = 0;
+  try {
+    a.synchronize();
+  } catch (const DeviceOutOfMemory&) {
+    ++failures;
+  }
+  try {
+    b.synchronize();
+  } catch (const DeviceOutOfMemory&) {
+    ++failures;
+  }
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(live.size(), 1u);
+}
+
+TEST(StreamError, EventRecordFiresAfterFailureSoWaitersDoNotDeadlock) {
+  DeviceContext ctx(1);
+  ctx.set_memory_limit(1000);
+  Stream producer(ctx, "failing-producer");
+  Stream consumer(ctx, "consumer");
+  Event e;
+  producer.enqueue([&ctx] { DeviceBuffer<double> big(ctx, 1024); });
+  producer.record(e);  // must fire despite the failed op before it
+  consumer.wait(e);
+  std::atomic<bool> consumed{false};
+  consumer.add_callback([&consumed] { consumed = true; });
+  EXPECT_THROW(producer.synchronize(), DeviceOutOfMemory);
+  consumer.synchronize();  // would deadlock if the record were skipped
+  EXPECT_TRUE(consumed.load());
+}
+
+TEST(Stream, DestructorDrainsOutstandingWork) {
+  DeviceContext ctx(1);
+  std::atomic<int> done{0};
+  {
+    Stream s(ctx, "drain");
+    for (int i = 0; i < 10; ++i) {
+      s.enqueue([&done] { ++done; });
+    }
+  }
+  EXPECT_EQ(done.load(), 10);
+}
+
+}  // namespace
+}  // namespace fastsc::device

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# ThreadSanitizer pass over the concurrency-heavy parts of the tree: the
+# stream/event runtime (stream FIFOs, event fences, virtual clocks, the
+# pipeline executor) and the thread-safe StageClock.  Usage:
+#
+#   tools/check_sanitize.sh [thread|address] [build-dir]
+#
+# Defaults to a TSan build in build-tsan/.  Exits non-zero if the build or
+# any sanitized test fails.
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+BUILD_DIR="${2:-build-${SANITIZER}san}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+case "${SANITIZER}" in
+  thread|address) ;;
+  *)
+    echo "usage: $0 [thread|address] [build-dir]" >&2
+    exit 2
+    ;;
+esac
+
+# The async runtime's regression surface: everything that crosses stream
+# threads plus the tests that drive full pipelines through it.
+TESTS=(
+  test_thread_pool
+  test_stage_clock
+  test_device
+  test_device_algorithms
+  test_stream
+  test_executor
+  test_spectral_pipeline
+)
+
+echo "== configuring ${SANITIZER}-sanitized build in ${BUILD_DIR} =="
+cmake -S "${ROOT}" -B "${ROOT}/${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFASTSC_SANITIZE="${SANITIZER}"
+
+targets=("${TESTS[@]}")
+echo "== building ${targets[*]} =="
+cmake --build "${ROOT}/${BUILD_DIR}" -j "$(nproc)" --target "${targets[@]}"
+
+status=0
+for t in "${TESTS[@]}"; do
+  echo "== running ${t} under ${SANITIZER} sanitizer =="
+  if ! "${ROOT}/${BUILD_DIR}/tests/${t}"; then
+    echo "!! ${t} FAILED" >&2
+    status=1
+  fi
+done
+
+if [ "${status}" -eq 0 ]; then
+  echo "== all sanitized tests passed =="
+fi
+exit "${status}"
