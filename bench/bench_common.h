@@ -13,6 +13,9 @@
 #include "graph/build.h"
 #include "core/spectral.h"
 #include "metrics/external.h"
+#include "obs/metrics.h"
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
 #include "sparse/convert.h"
 
 namespace fastsc::bench {
@@ -23,6 +26,9 @@ struct CommonFlags {
   double scale = 1.0;
   bool baselines = true;
   index_t workers = 0;  // 0 = hardware concurrency
+  std::string trace_out;    // Chrome trace-event JSON path ("" = off)
+  std::string metrics_out;  // metrics snapshot JSON path ("" = off)
+  std::string report_out;   // RunReport JSON path ("" = off)
 
   static CommonFlags parse(CliParser& cli, index_t default_k) {
     CommonFlags f;
@@ -36,6 +42,17 @@ struct CommonFlags {
                                "run the Matlab/Python-like baselines too");
     f.workers = cli.get_int("workers", 0,
                             "simulated-device worker threads (0 = all cores)");
+    f.trace_out = cli.get_string(
+        "trace-out", "",
+        "write a Chrome trace-event / Perfetto JSON timeline here");
+    f.metrics_out = cli.get_string(
+        "metrics-out", "", "write a metrics-registry JSON snapshot here");
+    f.report_out = cli.get_string(
+        "report-out", "", "write the machine-readable run report JSON here");
+    // Tracing must be on before the DeviceContext records its first event so
+    // the trace's virtual timeline is complete (check_trace.py recomputes
+    // the overlap counter from it and expects every interval).
+    if (!f.trace_out.empty()) obs::trace().set_enabled(true);
     return f;
   }
 };
@@ -138,22 +155,71 @@ inline TextTable speedup_table(const core::BackendRuns& runs) {
   return table;
 }
 
+/// The standard table block every single-dataset bench emits, in print order.
+inline std::vector<TextTable> standard_report_tables(
+    const core::BackendRuns& runs, bool include_similarity,
+    const std::vector<index_t>* truth, const sparse::Csr* w) {
+  std::vector<TextTable> tables;
+  tables.push_back(core::stage_table(runs, include_similarity));
+  tables.push_back(core::figure_series(runs));
+  tables.push_back(speedup_table(runs));
+  tables.push_back(core::communication_table({runs}));
+  if (truth != nullptr && w != nullptr) {
+    tables.push_back(core::quality_table(runs, *truth, *w));
+  }
+  return tables;
+}
+
+inline void print_tables(const std::vector<TextTable>& tables) {
+  for (const TextTable& t : tables) {
+    t.print();
+    std::printf("\n");
+  }
+}
+
 /// Print the standard block every table bench emits.
 inline void print_standard_report(const core::BackendRuns& runs,
                                   bool include_similarity,
                                   const std::vector<index_t>* truth,
                                   const sparse::Csr* w) {
-  core::stage_table(runs, include_similarity).print();
-  std::printf("\n");
-  core::figure_series(runs).print();
-  std::printf("\n");
-  speedup_table(runs).print();
-  std::printf("\n");
-  core::communication_table({runs}).print();
-  std::printf("\n");
-  if (truth != nullptr && w != nullptr) {
-    core::quality_table(runs, *truth, *w).print();
-    std::printf("\n");
+  print_tables(standard_report_tables(runs, include_similarity, truth, w));
+}
+
+/// Write whatever observability artifacts the flags ask for.  Call once at
+/// the end of a bench, after all runs finished.  The metrics registry is
+/// refreshed from `ctx` first so both the metrics snapshot and the trace
+/// cross-check (tools/check_trace.py --metrics) see final counter values.
+inline void write_observability_artifacts(const CommonFlags& flags,
+                                          device::DeviceContext& ctx) {
+  if (flags.trace_out.empty() && flags.metrics_out.empty()) return;
+  obs::publish_device_context(ctx, obs::metrics());
+  if (!flags.trace_out.empty()) {
+    if (obs::trace().write_json_file(flags.trace_out)) {
+      std::fprintf(stderr, "[bench] wrote trace to %s (%zu events)\n",
+                   flags.trace_out.c_str(), obs::trace().event_count());
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    if (obs::metrics().write_json_file(flags.metrics_out)) {
+      std::fprintf(stderr, "[bench] wrote metrics to %s\n",
+                   flags.metrics_out.c_str());
+    }
+  }
+}
+
+/// Write the RunReport JSON if --report-out was given.
+inline void maybe_write_run_report(const CommonFlags& flags,
+                                   const std::string& bench,
+                                   std::vector<core::BackendRuns> datasets,
+                                   std::vector<TextTable> tables) {
+  if (flags.report_out.empty()) return;
+  core::RunReport report;
+  report.bench = bench;
+  report.datasets = std::move(datasets);
+  report.tables = std::move(tables);
+  if (core::write_run_report_json_file(report, flags.report_out)) {
+    std::fprintf(stderr, "[bench] wrote run report to %s\n",
+                 flags.report_out.c_str());
   }
 }
 

@@ -61,8 +61,9 @@ int main(int argc, char** argv) {
       graph::SimilarityParams{graph::SimilarityMeasure::kCrossCorrelation});
   const sparse::Csr w_csr = sparse::coo_to_csr(w_host);
 
-  bench::print_standard_report(runs, /*include_similarity=*/true, &vol.labels,
-                               &w_csr);
+  std::vector<TextTable> tables = bench::standard_report_tables(
+      runs, /*include_similarity=*/true, &vol.labels, &w_csr);
+  bench::print_tables(tables);
 
   // §V.C extra rows: loop vs vectorized similarity for the baselines.
   {
@@ -92,6 +93,10 @@ int main(int argc, char** argv) {
       }
     }
     extra.print();
+    tables.push_back(std::move(extra));
   }
+  bench::write_observability_artifacts(flags, ctx);
+  bench::maybe_write_run_report(flags, "bench_table3_dti", {runs},
+                                std::move(tables));
   return 0;
 }

@@ -55,7 +55,11 @@ int main(int argc, char** argv) {
   const core::BackendRuns runs =
       bench::run_graph_backends("Syn200", w, k, flags, ctx);
   const sparse::Csr w_csr = sparse::coo_to_csr(w);
-  bench::print_standard_report(runs, /*include_similarity=*/false, &truth,
-                               &w_csr);
+  std::vector<TextTable> tables = bench::standard_report_tables(
+      runs, /*include_similarity=*/false, &truth, &w_csr);
+  bench::print_tables(tables);
+  bench::write_observability_artifacts(flags, ctx);
+  bench::maybe_write_run_report(flags, "bench_table5_syn200", {runs},
+                                std::move(tables));
   return 0;
 }

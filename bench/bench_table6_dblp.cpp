@@ -56,8 +56,12 @@ int main(int argc, char** argv) {
   const core::BackendRuns runs =
       bench::run_graph_backends("dblp", w, flags.k, flags, ctx);
   const sparse::Csr w_csr = sparse::coo_to_csr(w);
-  bench::print_standard_report(runs, /*include_similarity=*/false,
-                               have_truth ? &truth : nullptr,
-                               have_truth ? &w_csr : nullptr);
+  std::vector<TextTable> tables = bench::standard_report_tables(
+      runs, /*include_similarity=*/false, have_truth ? &truth : nullptr,
+      have_truth ? &w_csr : nullptr);
+  bench::print_tables(tables);
+  bench::write_observability_artifacts(flags, ctx);
+  bench::maybe_write_run_report(flags, "bench_table6_dblp", {runs},
+                                std::move(tables));
   return 0;
 }

@@ -76,10 +76,9 @@ int main(int argc, char** argv) {
     all.push_back(bench::run_graph_backends("Syn200", g.w, 50, flags, ctx));
   }
 
-  core::dataset_table(all).print();
-  std::printf("\n");
-  core::communication_table(all).print();
-  std::printf("\n");
+  std::vector<TextTable> tables;
+  tables.push_back(core::dataset_table(all));
+  tables.push_back(core::communication_table(all));
 
   TextTable detail("Transfer detail (device backend)");
   detail.header({"Dataset", "H2D transfers", "D2H transfers",
@@ -99,6 +98,10 @@ int main(int argc, char** argv) {
                   TextTable::fmt(r.eig_stats.matvec_count)});
     }
   }
-  detail.print();
+  tables.push_back(std::move(detail));
+  bench::print_tables(tables);
+  bench::write_observability_artifacts(flags, ctx);
+  bench::maybe_write_run_report(flags, "bench_table7_comm", std::move(all),
+                                std::move(tables));
   return 0;
 }

@@ -1,23 +1,53 @@
 #!/usr/bin/env python3
-"""Regenerate the measured tables inside EXPERIMENTS.md from bench_output.txt.
+"""Regenerate the measured tables inside EXPERIMENTS.md from bench artifacts.
 
-Usage:
+Preferred input is the machine-readable run report each table bench writes
+with --report-out (schema fastsc.run_report.v1, which embeds the rendered
+tables verbatim):
+
+  mkdir -p bench_reports
+  for b in build/bench/bench_table*; do
+      "$b" --report-out=bench_reports/$(basename $b).json; done
+  python3 bench/fill_experiments.py        # rewrites the ``` blocks in place
+
+Benches without a report in bench_reports/ (e.g. the ablations) fall back to
+scraped stdout collected the old way:
+
   for b in build/bench/*; do [ -f "$b" ] && [ -x "$b" ] || continue; \
       echo "===== $(basename $b) ====="; "$b"; echo; done > bench_output.txt
-  python3 bench/fill_experiments.py        # rewrites the ``` blocks in place
 
 The script matches each measured block by the bench section and table header
 it came from, so EXPERIMENTS.md prose stays untouched while the numbers are
 refreshed.
 """
+import json
+import os
 import re
 import sys
 
 OUT = 'bench_output.txt'
+REPORT_DIR = 'bench_reports'
 DOC = 'EXPERIMENTS.md'
 
 
+def report_section(name):
+    """Rendered tables from a --report-out JSON, or None if absent."""
+    path = os.path.join(REPORT_DIR, name + '.json')
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get('schema') != 'fastsc.run_report.v1':
+        sys.exit(f'{path}: unexpected schema {doc.get("schema")!r}')
+    return '\n\n'.join(t['text'].rstrip('\n') for t in doc['tables'])
+
+
 def section(out, name):
+    from_report = report_section(name)
+    if from_report is not None:
+        return from_report
+    if out is None:
+        sys.exit(f'no {REPORT_DIR}/{name}.json and no {OUT} to fall back on')
     m = re.search(r'===== ' + name + r' =====\n(.*?)(?:\n===== |\Z)', out,
                   re.S)
     if not m:
@@ -39,7 +69,7 @@ def block(text, header):
 
 
 def main():
-    out = open(OUT).read()
+    out = open(OUT).read() if os.path.exists(OUT) else None
     doc = open(DOC).read()
 
     # (bench section, [table headers to join]) per measured block, in the

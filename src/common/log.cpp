@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/timer.h"
+
 namespace fastsc {
 
 namespace {
@@ -13,6 +15,7 @@ namespace {
 LogLevel level_from_env() {
   const char* env = std::getenv("FASTSC_LOG");
   if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
@@ -28,6 +31,7 @@ std::atomic<LogLevel>& level_storage() {
 
 const char* level_name(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
     case LogLevel::kWarn: return "WARN";
@@ -45,13 +49,22 @@ void set_log_level(LogLevel level) {
   level_storage().store(level, std::memory_order_relaxed);
 }
 
+std::uint32_t small_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace detail {
 
 void log_line(LogLevel level, std::string_view msg) {
+  const double t = monotonic_seconds();
+  const std::uint32_t tid = small_thread_id();
   static std::mutex mu;
   std::lock_guard lock(mu);
-  std::fprintf(stderr, "[fastsc %s] %.*s\n", level_name(level),
-               static_cast<int>(msg.size()), msg.data());
+  std::fprintf(stderr, "[fastsc %s %10.6f t%u] %.*s\n", level_name(level), t,
+               tid, static_cast<int>(msg.size()), msg.data());
 }
 
 }  // namespace detail

@@ -2,20 +2,37 @@
 //
 // Benches and examples print their primary output (tables) to stdout; the
 // logger is for progress/diagnostic lines so that `bench > table.txt` stays
-// clean.  Level is controlled programmatically or by FASTSC_LOG=debug|info|
-// warn|error|off.
+// clean.  Level is controlled programmatically or by FASTSC_LOG=trace|debug|
+// info|warn|error|off.  Every line carries a monotonic timestamp (seconds
+// since process start) and a small per-thread id so interleaved stream /
+// worker output can be attributed; the ids match the wall-clock track ids
+// in obs/trace.h traces.  The `trace` level additionally makes obs
+// ScopedSpan mirror span begin/end to stderr.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
 namespace fastsc {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5
+};
 
 /// Current global level (initialized from FASTSC_LOG on first use).
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Small dense id for the calling thread (main thread observes 1; each new
+/// thread gets the next integer on first call).  Used as the log-line
+/// thread tag and as the wall-clock track id in traces.
+[[nodiscard]] std::uint32_t small_thread_id();
 
 namespace detail {
 void log_line(LogLevel level, std::string_view msg);
@@ -31,6 +48,7 @@ void log_line(LogLevel level, std::string_view msg);
     }                                                                   \
   } while (false)
 
+#define FASTSC_LOG_TRACE(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kTrace, expr)
 #define FASTSC_LOG_DEBUG(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kDebug, expr)
 #define FASTSC_LOG_INFO(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kInfo, expr)
 #define FASTSC_LOG_WARN(expr) FASTSC_LOG_AT(::fastsc::LogLevel::kWarn, expr)

@@ -25,8 +25,8 @@ StageClock::StageClock(StageClock&& other) noexcept {
   std::lock_guard lock(other.mu_);
   entries_ = std::move(other.entries_);
   timer_ = other.timer_;
-  running_ = other.running_;
-  other.running_ = -1;
+  running_ = std::move(other.running_);
+  other.running_.clear();
 }
 
 StageClock& StageClock::operator=(StageClock&& other) noexcept {
@@ -34,8 +34,8 @@ StageClock& StageClock::operator=(StageClock&& other) noexcept {
   std::scoped_lock lock(mu_, other.mu_);
   entries_ = std::move(other.entries_);
   timer_ = other.timer_;
-  running_ = other.running_;
-  other.running_ = -1;
+  running_ = std::move(other.running_);
+  other.running_.clear();
   return *this;
 }
 
@@ -49,22 +49,23 @@ StageClock::Entry& StageClock::entry_locked(std::string_view stage) {
 
 void StageClock::start(std::string_view stage) {
   std::lock_guard lock(mu_);
-  stop_locked();
+  if (!running_.empty()) {
+    // Pause the enclosing stage: bank its elapsed slice now so the nested
+    // stage's time is excluded from it (exclusive/self accounting).
+    entries_[static_cast<usize>(running_.back())].seconds += timer_.seconds();
+  }
   Entry& e = entry_locked(stage);
-  running_ = static_cast<int>(&e - entries_.data());
+  running_.push_back(static_cast<int>(&e - entries_.data()));
   timer_.reset();
 }
 
 void StageClock::stop() {
   std::lock_guard lock(mu_);
-  stop_locked();
-}
-
-void StageClock::stop_locked() {
-  if (running_ >= 0) {
-    entries_[static_cast<usize>(running_)].seconds += timer_.seconds();
-    running_ = -1;
-  }
+  if (running_.empty()) return;
+  entries_[static_cast<usize>(running_.back())].seconds += timer_.seconds();
+  running_.pop_back();
+  // Resume the preempted stage from now.
+  timer_.reset();
 }
 
 void StageClock::add(std::string_view stage, double seconds) {
@@ -95,10 +96,15 @@ std::vector<std::string> StageClock::stages() const {
   return names;
 }
 
+usize StageClock::depth() const {
+  std::lock_guard lock(mu_);
+  return running_.size();
+}
+
 void StageClock::clear() {
   std::lock_guard lock(mu_);
   entries_.clear();
-  running_ = -1;
+  running_.clear();
 }
 
 }  // namespace fastsc

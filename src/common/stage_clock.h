@@ -19,7 +19,12 @@ namespace fastsc {
 /// one clock and start()/stop()s its own sequential stages, while stream
 /// completion callbacks may add() modeled transfer time from worker threads
 /// concurrently.  The start/stop pair itself still assumes one driving
-/// thread (there is one "currently running" stage).
+/// thread.
+///
+/// start() calls may nest: starting stage B while stage A runs *pauses* A,
+/// and the matching stop() resumes it, so each stage accumulates exclusive
+/// (self) time and total_seconds() never double-counts a nested interval.
+/// Flat start/stop pairs behave exactly as before.
 class StageClock {
  public:
   StageClock() = default;
@@ -30,10 +35,13 @@ class StageClock {
   StageClock(StageClock&& other) noexcept;
   StageClock& operator=(StageClock&& other) noexcept;
 
-  /// Start (or resume) accumulation for `stage`; stops the current stage.
+  /// Start accumulation for `stage`.  If another stage is running it is
+  /// paused (its elapsed time accumulated) and resumed by the matching
+  /// stop().
   void start(std::string_view stage);
 
-  /// Stop the currently running stage, adding its elapsed time.
+  /// Stop the innermost running stage, adding its elapsed time, and resume
+  /// the stage it preempted (if any).  No-op when nothing is running.
   void stop();
 
   /// Add externally measured seconds to a stage (e.g. modeled PCIe time).
@@ -49,6 +57,9 @@ class StageClock {
   /// Stage names in first-start order.
   [[nodiscard]] std::vector<std::string> stages() const;
 
+  /// How many stages are currently running (nesting depth).
+  [[nodiscard]] usize depth() const;
+
   /// Remove all recorded stages.
   void clear();
 
@@ -59,12 +70,11 @@ class StageClock {
   };
 
   Entry& entry_locked(std::string_view stage);
-  void stop_locked();
 
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
-  WallTimer timer_;
-  int running_ = -1;  // index into entries_, or -1
+  WallTimer timer_;  // measures the innermost running stage only
+  std::vector<int> running_;  // stack of indices into entries_
 };
 
 }  // namespace fastsc

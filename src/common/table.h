@@ -30,6 +30,8 @@ class TextTable {
   static std::string fmt(double v, int precision = 4);
   static std::string fmt(index_t v);
 
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
   /// Render as an aligned ASCII table.
   [[nodiscard]] std::string to_string() const;
 

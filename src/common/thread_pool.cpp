@@ -26,6 +26,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_workers(const std::function<void(usize)>& fn) {
+  jobs_dispatched_.fetch_add(1, std::memory_order_relaxed);
   if (threads_.empty()) {
     fn(0);
     return;

@@ -9,7 +9,9 @@
 // where a kernel launch followed by a transfer is ordered.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -35,6 +37,11 @@ class ThreadPool {
   /// calling thread so a 1-worker pool degenerates to a plain call.
   void run_workers(const std::function<void(usize)>& fn);
 
+  /// Bulk jobs dispatched over this pool's lifetime (obs metrics).
+  [[nodiscard]] std::uint64_t jobs_dispatched() const noexcept {
+    return jobs_dispatched_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop(usize worker_index);
 
@@ -46,6 +53,7 @@ class ThreadPool {
   std::uint64_t job_epoch_ = 0;
   usize remaining_ = 0;
   bool shutdown_ = false;
+  std::atomic<std::uint64_t> jobs_dispatched_{0};
 };
 
 /// Process-wide default pool (sized to hardware concurrency).

@@ -22,4 +22,14 @@ class WallTimer {
   clock::time_point start_;
 };
 
+/// Monotonic seconds since the process epoch (first call anywhere in the
+/// process).  The shared timebase for log-line timestamps and wall-clock
+/// trace spans — two spans stamped with this on different threads are
+/// directly comparable.
+[[nodiscard]] inline double monotonic_seconds() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
 }  // namespace fastsc

@@ -1,7 +1,12 @@
 #include "core/report.h"
 
+#include <fstream>
+#include <ostream>
+
+#include "common/log.h"
 #include "metrics/cut.h"
 #include "metrics/external.h"
+#include "obs/json.h"
 
 namespace fastsc::core {
 
@@ -81,6 +86,146 @@ TextTable dataset_table(const std::vector<BackendRuns>& all_runs) {
                TextTable::fmt(runs.edges), TextTable::fmt(runs.clusters)});
   }
   return table;
+}
+
+namespace {
+
+void write_device_counters(obs::JsonWriter& w,
+                           const device::DeviceCounters& c) {
+  w.begin_object();
+  w.field("bytes_h2d", std::uint64_t{c.bytes_h2d});
+  w.field("bytes_d2h", std::uint64_t{c.bytes_d2h});
+  w.field("transfers_h2d", std::uint64_t{c.transfers_h2d});
+  w.field("transfers_d2h", std::uint64_t{c.transfers_d2h});
+  w.field("measured_transfer_seconds", c.measured_transfer_seconds);
+  w.field("modeled_transfer_seconds", c.modeled_transfer_seconds);
+  w.field("kernel_seconds", c.kernel_seconds);
+  w.field("kernel_launches", std::uint64_t{c.kernel_launches});
+  w.field("overlapped_seconds", c.overlapped_seconds);
+  w.field("overlapped_h2d_seconds", c.overlapped_h2d_seconds);
+  w.field("overlapped_d2h_seconds", c.overlapped_d2h_seconds);
+  w.field("modeled_pipeline_seconds", c.modeled_pipeline_seconds());
+  w.field("async_copies", std::uint64_t{c.async_copies});
+  w.field("async_kernel_launches", std::uint64_t{c.async_kernel_launches});
+  w.field("live_bytes", std::uint64_t{c.live_bytes});
+  w.field("peak_bytes", std::uint64_t{c.peak_bytes});
+  w.field("total_allocations", std::uint64_t{c.total_allocations});
+  w.end_object();
+}
+
+void write_run(obs::JsonWriter& w, Backend backend,
+               const SpectralResult& r) {
+  w.begin_object();
+  w.field("backend", backend_name(backend));
+  w.field("n", static_cast<std::int64_t>(r.n));
+  w.field("k", static_cast<std::int64_t>(r.k));
+
+  w.key("stages");
+  w.begin_object();
+  for (const std::string& stage : r.clock.stages()) {
+    w.field(stage, r.clock.seconds(stage));
+  }
+  w.end_object();
+  w.field("total_seconds", r.clock.total_seconds());
+  w.field("spmv_seconds", r.spmv_seconds);
+
+  w.key("eigenvalues");
+  w.begin_array();
+  for (const real v : r.eigenvalues) w.value(v);
+  w.end_array();
+
+  w.key("eig");
+  w.begin_object();
+  w.field("converged", r.eig_converged);
+  w.field("matvec_count", static_cast<std::int64_t>(r.eig_stats.matvec_count));
+  w.field("restart_count",
+          static_cast<std::int64_t>(r.eig_stats.restart_count));
+  w.field("converged_count",
+          static_cast<std::int64_t>(r.eig_stats.converged_count));
+  w.field("rci_seconds", r.eig_stats.rci_seconds);
+  w.field("restart_seconds", r.eig_stats.restart_seconds);
+  w.field("ortho_seconds", r.eig_stats.ortho_seconds);
+  w.key("restart_history");
+  w.begin_array();
+  for (const auto& s : r.eig_stats.restart_history) {
+    w.begin_object();
+    w.field("restart", static_cast<std::int64_t>(s.restart));
+    w.field("converged", static_cast<std::int64_t>(s.converged));
+    w.field("worst_wanted_residual", s.worst_wanted_residual);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("kmeans");
+  w.begin_object();
+  w.field("converged", r.kmeans_converged);
+  w.field("iterations", static_cast<std::int64_t>(r.kmeans_iterations));
+  w.key("inertia_history");
+  w.begin_array();
+  for (const real v : r.kmeans_inertia_history) w.value(v);
+  w.end_array();
+  w.end_object();
+
+  w.key("device_counters");
+  write_device_counters(w, r.device_counters);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_run_report_json(const RunReport& report, std::ostream& os) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "fastsc.run_report.v1");
+  w.field("bench", report.bench);
+
+  w.key("datasets");
+  w.begin_array();
+  for (const BackendRuns& runs : report.datasets) {
+    w.begin_object();
+    w.field("dataset", runs.dataset);
+    w.field("nodes", static_cast<std::int64_t>(runs.nodes));
+    w.field("edges", static_cast<std::int64_t>(runs.edges));
+    w.field("clusters", static_cast<std::int64_t>(runs.clusters));
+    w.key("runs");
+    w.begin_array();
+    for (const auto& [backend, result] : runs.runs) {
+      write_run(w, backend, result);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("tables");
+  w.begin_array();
+  for (const TextTable& t : report.tables) {
+    w.begin_object();
+    w.field("title", t.title());
+    w.field("text", t.to_string());
+    w.field("csv", t.to_csv());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool write_run_report_json_file(const RunReport& report,
+                                const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    FASTSC_LOG_ERROR("cannot open run report output file " << path);
+    return false;
+  }
+  write_run_report_json(report, os);
+  os.flush();
+  if (!os) {
+    FASTSC_LOG_ERROR("failed writing run report output file " << path);
+    return false;
+  }
+  return true;
 }
 
 TextTable quality_table(const BackendRuns& runs,

@@ -7,6 +7,7 @@
 //  * the communication/computation split (Table VII shape) for kDevice.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -46,5 +47,22 @@ struct BackendRuns {
 [[nodiscard]] TextTable quality_table(
     const BackendRuns& runs, const std::vector<index_t>& ground_truth,
     const sparse::Csr& w);
+
+/// Machine-readable run report: everything a table bench measured, as one
+/// JSON document (schema "fastsc.run_report.v1").  Carries both the
+/// structured numbers — per-stage seconds, eigensolver/k-means telemetry,
+/// device counters — and the rendered table text, so downstream consumers
+/// (bench/fill_experiments.py) can either read fields directly or reuse the
+/// exact stdout rendering without scraping a live process.
+struct RunReport {
+  std::string bench;                  ///< bench executable name
+  std::vector<BackendRuns> datasets;  ///< structured results, run order
+  std::vector<TextTable> tables;      ///< rendered tables, print order
+};
+
+void write_run_report_json(const RunReport& report, std::ostream& os);
+/// Returns false (and logs) on I/O failure.
+bool write_run_report_json_file(const RunReport& report,
+                                const std::string& path);
 
 }  // namespace fastsc::core

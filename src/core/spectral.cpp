@@ -14,6 +14,7 @@
 #include "graph/components.h"
 #include "graph/laplacian.h"
 #include "lanczos/rci.h"
+#include "obs/trace.h"
 #include "sparse/convert.h"
 #include "sparse/spmv.h"
 
@@ -190,17 +191,22 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
 
   while (!prob.converge()) {
     WallTimer t;
-    if (pipelined) {
-      pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x, dev_y,
-                       host_y, cfg.overlap_row_tiles);
-    } else {
-      // H2D: the vector ARPACK hands out.
-      dev_x.copy_from_host(
-          std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
-      // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
-      spmv(dev_x.data(), dev_y.data());
-      // D2H: the product back to the RCI.
-      dev_y.copy_to_host(std::span<real>(host_y));
+    {
+      // One span per SpMV wave (H2D + csrmv + D2H); in the pipelined path
+      // this is the wall window the virtual-timeline overlap hides inside.
+      obs::ScopedSpan span("spmv", "wave");
+      if (pipelined) {
+        pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x, dev_y,
+                         host_y, cfg.overlap_row_tiles);
+      } else {
+        // H2D: the vector ARPACK hands out.
+        dev_x.copy_from_host(
+            std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
+        // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
+        spmv(dev_x.data(), dev_y.data());
+        // D2H: the product back to the RCI.
+        dev_y.copy_to_host(std::span<real>(host_y));
+      }
     }
     std::copy(host_y.begin(), host_y.end(), prob.PutVector());
     result.spmv_seconds += t.seconds();
@@ -258,11 +264,13 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
       kc.seeding = cfg.seeding;
       kc.seed = cfg.seed;
       kc.async_pipeline = cfg.async_pipeline;
+      kc.record_inertia = cfg.record_kmeans_inertia;
       const auto res =
           kmeans::kmeans_device(ctx, result.embedding.data(), n, k, kc);
       result.labels = res.labels;
       result.kmeans_converged = res.converged;
       result.kmeans_iterations = res.iterations;
+      result.kmeans_inertia_history = res.inertia_history;
       break;
     }
     case Backend::kMatlabLike: {
@@ -272,6 +280,7 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
       result.labels = res.labels;
       result.kmeans_converged = res.converged;
       result.kmeans_iterations = res.iterations;
+      result.kmeans_inertia_history = res.inertia_history;
       break;
     }
     case Backend::kPythonLike: {
@@ -281,6 +290,7 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
       result.labels = res.labels;
       result.kmeans_converged = res.converged;
       result.kmeans_iterations = res.iterations;
+      result.kmeans_inertia_history = res.inertia_history;
       break;
     }
   }
@@ -323,6 +333,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
                "input points");
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
   const device::DeviceCounters counters_before = ctx.counters();
+  const obs::TraceEnableScope trace_scope(config.trace);
 
   SpectralResult result;
   result.n = n;
@@ -333,34 +344,49 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
   if (config.backend == Backend::kDevice) {
     result.clock.start(kStageSimilarity);
     sparse::DeviceCoo w;
-    if (config.similarity_chunk_edges > 0) {
-      // Out-of-core Algorithm 1: the edge list streams through the device.
-      const sparse::Coo host_w = graph::build_similarity_device_chunked(
-          ctx, x, n, d, sym, config.similarity,
-          config.similarity_chunk_edges);
-      w = sparse::DeviceCoo(ctx, host_w);
-    } else {
-      w = graph::build_similarity_device(ctx, x, n, d, sym,
-                                         config.similarity);
+    {
+      obs::ScopedSpan span(kStageSimilarity, "stage");
+      if (config.similarity_chunk_edges > 0) {
+        // Out-of-core Algorithm 1: the edge list streams through the device.
+        const sparse::Coo host_w = graph::build_similarity_device_chunked(
+            ctx, x, n, d, sym, config.similarity,
+            config.similarity_chunk_edges);
+        w = sparse::DeviceCoo(ctx, host_w);
+      } else {
+        w = graph::build_similarity_device(ctx, x, n, d, sym,
+                                           config.similarity);
+      }
     }
     result.clock.stop();
 
     result.clock.start(kStageEigensolver);
-    eigensolve_device(ctx, w, config, result);
+    {
+      obs::ScopedSpan span(kStageEigensolver, "stage");
+      eigensolve_device(ctx, w, config, result);
+    }
     result.clock.stop();
   } else {
     result.clock.start(kStageSimilarity);
-    const sparse::Coo w = baseline::similarity_loop(x, n, d, sym,
-                                                    config.similarity);
+    sparse::Coo w;
+    {
+      obs::ScopedSpan span(kStageSimilarity, "stage");
+      w = baseline::similarity_loop(x, n, d, sym, config.similarity);
+    }
     result.clock.stop();
 
     result.clock.start(kStageEigensolver);
-    eigensolve_host(w, config, result);
+    {
+      obs::ScopedSpan span(kStageEigensolver, "stage");
+      eigensolve_host(w, config, result);
+    }
     result.clock.stop();
   }
 
   result.clock.start(kStageKmeans);
-  kmeans_stage(ctx, config, result);
+  {
+    obs::ScopedSpan span(kStageKmeans, "stage");
+    kmeans_stage(ctx, config, result);
+  }
   result.clock.stop();
 
   result.device_counters = counters_delta(ctx.counters(), counters_before);
@@ -391,24 +417,31 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   }
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
   const device::DeviceCounters counters_before = ctx.counters();
+  const obs::TraceEnableScope trace_scope(config.trace);
 
   SpectralResult result;
   result.n = w.rows;
   result.k = config.num_clusters;
 
   result.clock.start(kStageEigensolver);
-  if (config.backend == Backend::kDevice) {
-    // Transfer the graph to the device (part of the eigensolver stage cost,
-    // matching the paper's accounting for the graph datasets).
-    sparse::DeviceCoo dev_w(ctx, w);
-    eigensolve_device(ctx, dev_w, config, result);
-  } else {
-    eigensolve_host(w, config, result);
+  {
+    obs::ScopedSpan span(kStageEigensolver, "stage");
+    if (config.backend == Backend::kDevice) {
+      // Transfer the graph to the device (part of the eigensolver stage cost,
+      // matching the paper's accounting for the graph datasets).
+      sparse::DeviceCoo dev_w(ctx, w);
+      eigensolve_device(ctx, dev_w, config, result);
+    } else {
+      eigensolve_host(w, config, result);
+    }
   }
   result.clock.stop();
 
   result.clock.start(kStageKmeans);
-  kmeans_stage(ctx, config, result);
+  {
+    obs::ScopedSpan span(kStageKmeans, "stage");
+    kmeans_stage(ctx, config, result);
+  }
   result.clock.stop();
 
   result.device_counters = counters_delta(ctx.counters(), counters_before);

@@ -95,6 +95,18 @@ struct SpectralConfig {
   /// clusters the raw rows; bench_ablation_embedding_norm compares both).
   bool row_normalize_embedding = false;
 
+  /// Enable the obs trace recorder for the duration of this run (restores
+  /// the previous state afterwards).  Stage spans, per-wave SpMV spans,
+  /// device virtual-timeline events, and solver counters are recorded; dump
+  /// with obs::trace().write_json_file() (benches: --trace-out).  Tracing
+  /// can also be forced globally with FASTSC_TRACE=1.
+  bool trace = false;
+
+  /// Record per-sweep k-means inertia into kmeans_inertia_history (one extra
+  /// device reduction per Lloyd sweep on the device backend).  Implied by
+  /// tracing.
+  bool record_kmeans_inertia = false;
+
   std::uint64_t seed = 42;
 };
 
@@ -116,6 +128,9 @@ struct SpectralResult {
   lanczos::LanczosStats eig_stats;
   /// Wall time spent in SpMV callbacks during the eigensolver stage.
   double spmv_seconds = 0;
+  /// Objective after each Lloyd sweep (empty unless
+  /// SpectralConfig::record_kmeans_inertia or tracing was enabled).
+  std::vector<real> kmeans_inertia_history;
 };
 
 /// Cluster n points in R^d whose candidate edges are given by `edges`

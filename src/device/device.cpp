@@ -4,6 +4,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace fastsc::device {
 
 namespace {
@@ -146,6 +148,18 @@ void DeviceContext::meter_transfer(usize bytes, double measured_seconds,
   }
   copy_intervals_.push_back(Interval{begin, end, h2d});
   prune_intervals_locked();
+
+  // Emit the *exact* interval the overlap accounting above used, on the
+  // virtual PCIe-link track, so a trace consumer can recompute
+  // overlapped_seconds from the JSON (tools/check_trace.py does).
+  // Zero-length transfers carry no overlap information; skip them.
+  if (obs::trace_enabled() && end > begin) {
+    obs::trace().complete(
+        obs::kVirtualPid, obs::kLinkTid, h2d ? "h2d" : "d2h", "transfer",
+        begin * 1e6, (end - begin) * 1e6,
+        {{"bytes", static_cast<double>(bytes)},
+         {"measured_seconds", measured_seconds}});
+  }
 }
 
 void DeviceContext::record_h2d(usize bytes, double measured_seconds) {
@@ -179,6 +193,12 @@ void DeviceContext::record_kernel(double seconds, double modeled_override) {
   }
   kernel_intervals_.push_back(Interval{begin, end, false});
   prune_intervals_locked();
+
+  if (obs::trace_enabled() && end > begin) {
+    obs::trace().complete(obs::kVirtualPid, obs::kComputeTid, "kernel",
+                          "kernel", begin * 1e6, (end - begin) * 1e6,
+                          {{"measured_seconds", seconds}});
+  }
 }
 
 void DeviceContext::record_alloc(usize bytes) {

@@ -1,5 +1,7 @@
 #include "device/stream.h"
 
+#include "obs/trace.h"
+
 namespace fastsc::device {
 
 Stream::Stream(DeviceContext& ctx, std::string name)
@@ -64,6 +66,9 @@ bool Stream::idle() const {
 }
 
 void Stream::thread_main() {
+  // Label this thread's wall-clock trace track after the stream so node
+  // spans land on a recognizable lane in the viewer.
+  obs::name_this_thread(name_);
   for (;;) {
     Op op;
     {

@@ -13,6 +13,7 @@
 #include "device/algorithms.h"
 #include "device/executor.h"
 #include "kmeans/seeding.h"
+#include "obs/trace.h"
 
 namespace fastsc::kmeans {
 
@@ -205,6 +206,21 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
     });
     const index_t num_changed =
         device::reduce_sum(ctx, dev_changed.data(), n);
+
+    // Per-sweep telemetry: the objective under the fresh labels (against the
+    // centroids they were assigned with).  Costs one extra device reduction
+    // per sweep, so it is gated rather than always-on.
+    if (config.record_inertia || obs::trace_enabled()) {
+      const real inertia = device::reduce_sum(ctx, dev_mindist.data(), n);
+      result.inertia_history.push_back(inertia);
+      result.changed_history.push_back(num_changed);
+      if (obs::trace_enabled()) {
+        const double now = obs::wall_now_us();
+        obs::trace().counter("kmeans.inertia", inertia, now);
+        obs::trace().counter("kmeans.changed",
+                             static_cast<double>(num_changed), now);
+      }
+    }
 
     // --- centroid update -----------------------------------------------------
     std::vector<index_t> counts(static_cast<usize>(k), 0);

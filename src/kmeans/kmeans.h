@@ -46,6 +46,10 @@ struct KmeansConfig {
   bool async_pipeline = false;
   index_t centroid_tiles = 2;
   std::uint64_t seed = 42;
+  /// Record the clustering objective after every label update into
+  /// KmeansResult::inertia_history (one extra device reduction per sweep).
+  /// Per-sweep telemetry is also recorded whenever tracing is enabled.
+  bool record_inertia = false;
 };
 
 struct KmeansResult {
@@ -54,6 +58,11 @@ struct KmeansResult {
   index_t iterations = 0;
   real objective = 0;             ///< sum of squared point-centroid distances
   bool converged = false;         ///< true if labels stabilized before max_iters
+  /// Objective after each label update (empty unless record_inertia or
+  /// tracing was on); for restarts > 1, the winning run's history.
+  std::vector<real> inertia_history;
+  /// Points that switched cluster in each sweep (same gating/length).
+  std::vector<index_t> changed_history;
 };
 
 /// Device k-means.  `v` is the host-resident n x d row-major data (the rows

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/validation.h"
 #include "kmeans/seeding.h"
+#include "obs/trace.h"
 
 namespace fastsc::kmeans {
 
@@ -103,6 +104,22 @@ KmeansResult lloyd_single(const real* v, index_t n, index_t d,
       if (result.labels[static_cast<usize>(i)] != best) ++changes;
       result.labels[static_cast<usize>(i)] = best;
       min_dist[static_cast<usize>(i)] = best_val;
+    }
+
+    if (config.record_inertia || obs::trace_enabled()) {
+      // min_dist holds each point's distance to its assigned centroid — the
+      // assignment-step objective, free to sum here (before the update step
+      // may overwrite entries during empty-cluster repair).
+      real inertia = 0;
+      for (index_t i = 0; i < n; ++i) inertia += min_dist[static_cast<usize>(i)];
+      result.inertia_history.push_back(inertia);
+      result.changed_history.push_back(changes);
+      if (obs::trace_enabled()) {
+        const double now = obs::wall_now_us();
+        obs::trace().counter("kmeans.inertia", inertia, now);
+        obs::trace().counter("kmeans.changed", static_cast<double>(changes),
+                             now);
+      }
     }
 
     // Update step.

@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/timer.h"
 #include "lanczos/dense_eig.h"
+#include "obs/trace.h"
 
 namespace fastsc::lanczos {
 
@@ -245,13 +246,23 @@ SymLanczos::Action SymLanczos::restart_or_finish() {
   norm_estimate = std::max(norm_estimate, kEps);
 
   index_t converged = 0;
+  real worst_res = 0;
   for (index_t i = 0; i < config_.nev; ++i) {
     const index_t col = order[static_cast<usize>(i)];
     const real res =
         std::fabs(beta_last_ * y[static_cast<usize>((m - 1) * m + col)]);
     if (res <= config_.tol * norm_estimate) ++converged;
+    worst_res = std::max(worst_res, res);
   }
   stats_.converged_count = converged;
+  stats_.restart_history.push_back(
+      LanczosRestartSample{stats_.restart_count, converged, worst_res});
+  if (obs::trace_enabled()) {
+    const double now = obs::wall_now_us();
+    obs::trace().counter("lanczos.worst_residual", worst_res, now);
+    obs::trace().counter("lanczos.converged", static_cast<double>(converged),
+                         now);
+  }
 
   if (converged >= config_.nev) {
     finalize(theta, y, order, Phase::kConverged);

@@ -70,6 +70,14 @@ struct LanczosConfig {
   std::vector<real> initial_vector;
 };
 
+/// Convergence state observed at the end of one restart cycle (after the
+/// projected eigensolve, before the basis compaction).
+struct LanczosRestartSample {
+  index_t restart = 0;          ///< 0 = the initial m-step factorization
+  index_t converged = 0;        ///< wanted pairs meeting the tolerance
+  real worst_wanted_residual = 0;  ///< max residual over the nev wanted pairs
+};
+
 struct LanczosStats {
   index_t matvec_count = 0;
   index_t restart_count = 0;
@@ -80,6 +88,9 @@ struct LanczosStats {
   double restart_seconds = 0;
   /// Wall time of reorthogonalization.
   double ortho_seconds = 0;
+  /// One entry per restart cycle, in order — the solver's convergence
+  /// trajectory (also emitted as "lanczos.*" trace counters).
+  std::vector<LanczosRestartSample> restart_history;
 };
 
 /// Reverse-communication symmetric Lanczos eigensolver.

@@ -1,0 +1,136 @@
+// Minimal streaming JSON writer for the observability artifacts.
+//
+// Traces, metrics snapshots, and run reports are all emitted through this
+// writer so escaping and number formatting stay uniform.  The writer is
+// deliberately tiny: a comma-state stack over an ostream, no DOM.  Numbers
+// round-trip (shortest representation that parses back to the same double);
+// non-finite values become null, which every JSON consumer can load.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace fastsc::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() {
+    comma();
+    os_ << '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    stack_.pop_back();
+    os_ << '}';
+  }
+  void begin_array() {
+    comma();
+    os_ << '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    stack_.pop_back();
+    os_ << ']';
+  }
+
+  /// Member key inside an object; follow with exactly one value/container.
+  void key(std::string_view k) {
+    comma();
+    write_string(k);
+    os_ << ':';
+    // The upcoming value must not emit another comma.
+    if (!stack_.empty()) stack_.back() = false;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    os_ << (b ? "true" : "false");
+  }
+  void value(double d) {
+    comma();
+    write_number(d);
+  }
+  void value(std::int64_t v) {
+    comma();
+    os_ << v;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    os_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(long long v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null_value() {
+    comma();
+    os_ << "null";
+  }
+
+  /// key + scalar value in one call.
+  template <class T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void comma() {
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  void write_number(double d) {
+    if (!std::isfinite(d)) {
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, d);
+    os_.write(buf, res.ptr - buf);
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  // per open container: "next item needs a comma"
+};
+
+}  // namespace fastsc::obs

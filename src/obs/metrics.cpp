@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace fastsc::obs {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), counts_(edges_.size() + 1) {
+  FASTSC_CHECK(std::is_sorted(edges_.begin(), edges_.end()) &&
+                   std::adjacent_find(edges_.begin(), edges_.end()) ==
+                       edges_.end(),
+               "histogram bucket edges must be strictly increasing");
+}
+
+void Histogram::observe(double v) noexcept {
+  const usize i = static_cast<usize>(
+      std::upper_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of C++20 atomic<double>::fetch_add for toolchain
+  // portability; relaxed is fine — sum is a statistic, not a sync point.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> edges) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(edges)))
+             .first;
+  }
+  return *it->second;
+}
+
+usize MetricsRegistry::instrument_count() const {
+  std::lock_guard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("edges");
+    w.begin_array();
+    for (const double e : h->edges()) w.value(e);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (usize i = 0; i <= h->edges().size(); ++i) {
+      w.value(h->bucket_count(i));
+    }
+    w.end_array();
+    w.field("count", h->total_count());
+    w.field("sum", h->sum());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    FASTSC_LOG_ERROR("cannot open metrics output file " << path);
+    return false;
+  }
+  write_json(os);
+  os.flush();
+  if (!os) {
+    FASTSC_LOG_ERROR("failed writing metrics output file " << path);
+    return false;
+  }
+  return true;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace fastsc::obs

@@ -1,0 +1,167 @@
+// Trace recorder: Chrome trace-event / Perfetto-compatible timelines.
+//
+// The paper's evaluation is entirely observability — per-stage wall times
+// (Tables III-VI) and the communication/computation split (Table VII) — and
+// the async runtime's overlap claims need per-event inspection, not just
+// end-of-run aggregates.  This recorder collects spans and counter samples
+// from any thread and writes the JSON that chrome://tracing and
+// https://ui.perfetto.dev load directly.
+//
+// Two timebases, rendered as two "processes" in the trace viewer:
+//  * pid kWallPid — real wall-clock spans (pipeline stages, executor nodes,
+//    solver waves), one track per thread (tids from small_thread_id()).
+//  * pid kVirtualPid — the device runtime's *virtual* timeline: every H2D /
+//    D2H copy occupies the modeled-PCIe-link track and every kernel the
+//    compute-engine track, with the exact begin/end the overlap accounting
+//    in DeviceContext used.  Summing pairwise overlap between the two
+//    tracks reproduces DeviceCounters::overlapped_seconds bit-for-bit
+//    (tools/check_trace.py and tests/test_trace.cpp verify this).
+//
+// Enablement: FASTSC_TRACE=1 at startup, set_enabled(), or a
+// TraceEnableScope (SpectralConfig::trace routes through one).  When
+// disabled every record call is a single relaxed atomic load and an early
+// return — no allocation, no lock — so instrumented code paths cost nothing
+// in production.  With FASTSC_LOG=trace, recorded events are additionally
+// mirrored to stderr as log lines.
+#pragma once
+
+#include <atomic>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fastsc::obs {
+
+/// Trace "process" ids (trackable groups in the viewer).
+inline constexpr std::uint32_t kWallPid = 1;     ///< real wall-clock spans
+inline constexpr std::uint32_t kVirtualPid = 2;  ///< device virtual timeline
+
+/// Thread ids within kVirtualPid: the two serialized device resources.
+inline constexpr std::uint32_t kLinkTid = 1;     ///< modeled PCIe link
+inline constexpr std::uint32_t kComputeTid = 2;  ///< compute engine
+
+/// One numeric or string argument attached to an event.
+struct TraceArg {
+  TraceArg(std::string k, double v) : key(std::move(k)), num(v) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), str(std::move(v)), is_num(false) {}
+
+  std::string key;
+  double num = 0;
+  std::string str;
+  bool is_num = true;
+};
+
+/// One trace-event-format record.  ts/dur are microseconds (the format's
+/// native unit): wall events since the process epoch, virtual events since
+/// device-context creation.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';  // 'X' complete span, 'C' counter
+  double ts_us = 0;
+  double dur_us = 0;  // complete spans only
+  std::uint32_t pid = kWallPid;
+  std::uint32_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Record a complete span ('X').  No-op when disabled.
+  void complete(std::uint32_t pid, std::uint32_t tid, std::string_view name,
+                std::string_view cat, double ts_us, double dur_us,
+                std::vector<TraceArg> args = {});
+
+  /// Record a counter sample ('C'); the viewer plots the series per name.
+  void counter(std::string_view name, double value, double ts_us,
+               std::uint32_t pid = kWallPid);
+
+  /// Attach a human-readable name to a (pid, tid) track; written as
+  /// trace-viewer metadata.  Cheap and always recorded (once per thread),
+  /// so stream threads can register themselves before tracing turns on.
+  void name_track(std::uint32_t pid, std::uint32_t tid, std::string name);
+
+  [[nodiscard]] usize event_count() const;
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+  /// Write the {"traceEvents": [...]} JSON document.
+  void write_json(std::ostream& os) const;
+  /// Write to a file; returns false (and logs) on I/O failure.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  static bool env_enabled();
+
+  std::atomic<bool> enabled_{env_enabled()};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
+      track_names_;
+};
+
+/// Process-wide recorder (what all instrumented library code uses).
+TraceRecorder& trace();
+
+/// Fast global check instrumentation sites guard on.
+[[nodiscard]] bool trace_enabled();
+
+/// Wall-clock microseconds since the process monotonic epoch (the wall
+/// timebase of every kWallPid event).
+[[nodiscard]] double wall_now_us();
+
+/// Register a name for the calling thread's wall track.
+void name_this_thread(std::string name);
+
+/// RAII wall-clock span on the calling thread's track of the global
+/// recorder.  Inactive (no allocation) unless tracing is enabled or the log
+/// level is `trace` (which mirrors begin/end lines to stderr).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, std::string_view cat = "span",
+                      std::vector<TraceArg> args = {});
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool record_ = false;
+  bool mirror_ = false;
+  double start_us_ = 0;
+  std::string name_;
+  std::string cat_;
+  std::vector<TraceArg> args_;
+};
+
+/// Enable tracing for a scope, restoring the previous state on exit
+/// (SpectralConfig::trace plumbs through this).
+class TraceEnableScope {
+ public:
+  explicit TraceEnableScope(bool enable);
+  ~TraceEnableScope();
+
+  TraceEnableScope(const TraceEnableScope&) = delete;
+  TraceEnableScope& operator=(const TraceEnableScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace fastsc::obs

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace fastsc::solvers {
 
@@ -39,6 +40,12 @@ lanczos::SymEigResult solve_smallest_shift_invert(
         local_stats.outer_matvecs += 1;
         local_stats.total_cg_iterations += cg.iterations;
         local_stats.all_solves_converged &= cg.converged;
+        local_stats.cg_iteration_history.push_back(cg.iterations);
+        if (obs::trace_enabled()) {
+          obs::trace().counter("shift_invert.cg_iterations",
+                               static_cast<double>(cg.iterations),
+                               obs::wall_now_us());
+        }
       });
 
   // Back-map eigenvalues: theta = 1/(lambda - sigma) => lambda = sigma + 1/theta.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "lanczos/rci.h"
 #include "solvers/cg.h"
@@ -30,6 +31,9 @@ struct ShiftInvertStats {
   index_t outer_matvecs = 0;  ///< Lanczos operator applications
   index_t total_cg_iterations = 0;
   bool all_solves_converged = true;
+  /// CG iteration count of each inner solve, in outer-iteration order (also
+  /// emitted as the "shift_invert.cg_iterations" trace counter).
+  std::vector<index_t> cg_iteration_history;
 };
 
 /// Compute the nev eigenvalues of A nearest (above) sigma — for PSD A with

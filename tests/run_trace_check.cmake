@@ -1,0 +1,50 @@
+# End-to-end trace validation, run as a CTest via `cmake -P`:
+#   1. run a tiny bench_table5_syn200 pipeline with --trace-out/--metrics-out,
+#   2. validate the trace JSON with tools/check_trace.py, cross-checking the
+#      recomputed transfer-x-kernel overlap against the published
+#      device.overlapped_seconds gauge (1e-9 tolerance).
+#
+# Expected -D definitions: BENCH (bench executable), PYTHON (python3),
+# CHECKER (tools/check_trace.py), WORKDIR (scratch directory).
+
+foreach(var BENCH PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_trace_check.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(trace_json "${WORKDIR}/trace.json")
+set(metrics_json "${WORKDIR}/metrics.json")
+set(report_json "${WORKDIR}/report.json")
+
+execute_process(
+  COMMAND "${BENCH}"
+          --n=400 --blocks=4 --k=4 --baselines=false
+          --trace-out=${trace_json}
+          --metrics-out=${metrics_json}
+          --report-out=${report_json}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench failed (rc=${bench_rc})\nstdout:\n${bench_out}\n"
+          "stderr:\n${bench_err}")
+endif()
+foreach(artifact "${trace_json}" "${metrics_json}" "${report_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
+          --metrics "${metrics_json}" --tolerance 1e-9
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}${check_err}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py failed (rc=${check_rc})")
+endif()

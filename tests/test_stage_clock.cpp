@@ -29,17 +29,58 @@ TEST(StageClock, AccumulatesElapsedTime) {
   EXPECT_LT(clock.seconds("a"), 2.0);
 }
 
-TEST(StageClock, StartStopsPreviousStage) {
+TEST(StageClock, StartPausesPreviousStage) {
   StageClock clock;
   clock.start("a");
-  spin_ms(10);
-  clock.start("b");
-  spin_ms(10);
+  spin_ms(5);
+  clock.start("b");  // pauses "a", banking its elapsed time
+  spin_ms(5);
+  clock.stop();  // stops "b", resumes "a"
+  const double a_banked = clock.seconds("a");
+  EXPECT_GE(a_banked, 0.004);
+  EXPECT_GE(clock.seconds("b"), 0.004);
+  spin_ms(5);
+  clock.stop();  // now "a" ends, adding the post-"b" interval
+  EXPECT_GT(clock.seconds("a"), a_banked);  // it really resumed
+}
+
+TEST(StageClock, NestedStartTracksDepthAndExclusiveTime) {
+  // Regression for nested instrumentation (an inner span starting a stage
+  // while an outer stage runs): the stack must pause/resume rather than
+  // orphan the outer stage, and total_seconds() must not double-count the
+  // nested interval.
+  StageClock clock;
+  EXPECT_EQ(clock.depth(), 0u);
+  clock.start("outer");
+  EXPECT_EQ(clock.depth(), 1u);
+  spin_ms(5);
+  clock.start("inner");
+  EXPECT_EQ(clock.depth(), 2u);
+  spin_ms(50);
   clock.stop();
-  EXPECT_GE(clock.seconds("a"), 0.005);
-  EXPECT_GE(clock.seconds("b"), 0.005);
-  // "a" must not have kept running while "b" was active.
-  EXPECT_LT(clock.seconds("a"), clock.seconds("a") + clock.seconds("b"));
+  EXPECT_EQ(clock.depth(), 1u);
+  spin_ms(5);
+  clock.stop();
+  EXPECT_EQ(clock.depth(), 0u);
+  const double outer = clock.seconds("outer");
+  const double inner = clock.seconds("inner");
+  EXPECT_GE(outer, 0.008);  // both outer slices, not the inner one
+  EXPECT_GE(inner, 0.045);
+  EXPECT_DOUBLE_EQ(clock.total_seconds(), outer + inner);
+  // Exclusive accounting: outer's own time excludes inner's ~50ms interval.
+  EXPECT_LT(outer, 0.045);
+}
+
+TEST(StageClock, NestedSameStageResumesAccumulation) {
+  StageClock clock;
+  clock.start("x");
+  clock.start("x");  // nested start of the same stage
+  spin_ms(5);
+  clock.stop();
+  clock.stop();
+  EXPECT_EQ(clock.depth(), 0u);
+  EXPECT_GE(clock.seconds("x"), 0.004);
+  ASSERT_EQ(clock.stages().size(), 1u);
 }
 
 TEST(StageClock, ResumingAccumulates) {

@@ -22,7 +22,9 @@ case "${SANITIZER}" in
 esac
 
 # The async runtime's regression surface: everything that crosses stream
-# threads plus the tests that drive full pipelines through it.
+# threads plus the tests that drive full pipelines through it, and the
+# observability layer (trace recorder / metrics registry record from
+# stream and worker threads concurrently).
 TESTS=(
   test_thread_pool
   test_stage_clock
@@ -31,6 +33,8 @@ TESTS=(
   test_stream
   test_executor
   test_spectral_pipeline
+  test_trace
+  test_metrics_registry
 )
 
 echo "== configuring ${SANITIZER}-sanitized build in ${BUILD_DIR} =="

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate a fastsc Chrome trace-event / Perfetto JSON trace.
+
+Checks, in order:
+  1. Schema: top-level object with a "traceEvents" list; every event has
+     name/ph/ts/pid/tid; 'X' (complete) events carry a non-negative dur.
+  2. Track discipline: on each virtual-device track (pid 2: PCIe link tid 1,
+     compute engine tid 2) the spans are pairwise disjoint — the simulated
+     link and compute engine are each serialized, so any overlap within one
+     of those tracks means the emitter is broken.  On wall-clock tracks
+     (pid 1, one tid per thread) spans must be properly nested or disjoint.
+  3. Optional cross-check (--metrics metrics.json): recompute the
+     transfer-x-kernel overlap from the virtual-timeline intervals and
+     compare it against the device.overlapped_seconds gauge (and the
+     h2d/d2h splits) published by the run, within --tolerance.
+
+Exit status 0 on success; 1 with a message on the first failure.
+
+Usage:
+  check_trace.py trace.json [--metrics metrics.json] [--tolerance 1e-9]
+"""
+
+import argparse
+import json
+import sys
+
+WALL_PID = 1
+VIRTUAL_PID = 2
+LINK_TID = 1
+COMPUTE_TID = 2
+
+
+def fail(msg):
+    print("check_trace: FAIL: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" list')
+    return events
+
+
+def check_schema(events):
+    phases = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event #{i} is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in e:
+                fail(f"event #{i} ({e.get('name', '?')}) missing '{field}'")
+        ph = e["ph"]
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph != "M":  # metadata records carry no timestamp
+            if not isinstance(e.get("ts"), (int, float)):
+                fail(f"event #{i} ({e['name']}) has non-numeric ts")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)):
+                fail(f"event #{i} ({e['name']}) 'X' without numeric dur")
+            if dur < 0:
+                fail(f"event #{i} ({e['name']}) negative dur {dur}")
+    if phases.get("X", 0) == 0:
+        fail("trace contains no complete ('X') events")
+    return phases
+
+
+def spans_by_track(events):
+    tracks = {}
+    for e in events:
+        if e["ph"] != "X":
+            continue
+        key = (e["pid"], e["tid"])
+        tracks.setdefault(key, []).append(
+            (float(e["ts"]), float(e["ts"]) + float(e["dur"]), e["name"]))
+    for spans in tracks.values():
+        # Enclosing span first when begins tie, so the nesting check sees
+        # the parent before its children.
+        spans.sort(key=lambda s: (s[0], -s[1]))
+    return tracks
+
+
+def check_track_discipline(tracks):
+    eps = 1e-6  # one trace tick (traces are in microseconds)
+    for (pid, tid), spans in tracks.items():
+        if pid == VIRTUAL_PID:
+            # Serialized engine: strictly disjoint.
+            for (b0, e0, n0), (b1, e1, n1) in zip(spans, spans[1:]):
+                if b1 < e0 - eps:
+                    fail(f"virtual track {pid}:{tid}: '{n1}' "
+                         f"[{b1:.3f},{e1:.3f}) overlaps '{n0}' "
+                         f"[{b0:.3f},{e0:.3f})")
+        else:
+            # Wall-clock thread: nested-or-disjoint (a stage span contains
+            # its inner spmv spans).  Sorted by (begin, end); maintain a
+            # stack of open enclosing spans.
+            stack = []
+            for b, e, n in spans:
+                while stack and stack[-1][1] <= b + eps:
+                    stack.pop()
+                if stack and e > stack[-1][1] + eps:
+                    pb, pe, pn = stack[-1]
+                    fail(f"wall track {pid}:{tid}: '{n}' [{b:.3f},{e:.3f}) "
+                         f"straddles '{pn}' [{pb:.3f},{pe:.3f}) — neither "
+                         f"nested nor disjoint")
+                stack.append((b, e, n))
+
+
+def check_monotonic(tracks):
+    # After sorting, begins are non-decreasing by construction; assert the
+    # raw timestamps are sane (no NaN snuck through as sort garbage).
+    for (pid, tid), spans in tracks.items():
+        for b, e, n in spans:
+            if not (e >= b):  # also catches NaN
+                fail(f"track {pid}:{tid}: span '{n}' has end {e} < begin {b}")
+
+
+def recompute_overlap_seconds(tracks):
+    """Pairwise link-x-compute intersection, mirroring DeviceContext's
+    incremental accounting (each copy/kernel interval pair counted once)."""
+    link = tracks.get((VIRTUAL_PID, LINK_TID), [])
+    compute = tracks.get((VIRTUAL_PID, COMPUTE_TID), [])
+    total = 0.0
+    split = {"h2d": 0.0, "d2h": 0.0}
+    for cb, ce, cname in link:
+        for kb, ke, _ in compute:
+            ov = min(ce, ke) - max(cb, kb)
+            if ov > 0:
+                total += ov
+                if cname in split:
+                    split[cname] += ov
+    scale = 1e-6  # trace is in microseconds, counters in seconds
+    return total * scale, split["h2d"] * scale, split["d2h"] * scale
+
+
+def check_against_metrics(tracks, metrics_path, tolerance):
+    with open(metrics_path, "r", encoding="utf-8") as f:
+        metrics = json.load(f)
+    gauges = metrics.get("gauges", {})
+    want = gauges.get("device.overlapped_seconds")
+    if want is None:
+        fail(f"{metrics_path} has no device.overlapped_seconds gauge")
+    total, h2d, d2h = recompute_overlap_seconds(tracks)
+    checks = [("device.overlapped_seconds", want, total)]
+    for key, got in (("device.overlapped_h2d_seconds", h2d),
+                     ("device.overlapped_d2h_seconds", d2h)):
+        if key in gauges:
+            checks.append((key, gauges[key], got))
+    for key, want, got in checks:
+        if abs(want - got) > tolerance:
+            fail(f"{key}: counter says {want!r} but trace recomputes "
+                 f"{got!r} (|diff| = {abs(want - got):g} > {tolerance:g})")
+    print(f"check_trace: overlap cross-check OK "
+          f"(total {total:.9f}s, h2d {h2d:.9f}s, d2h {d2h:.9f}s)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON written with --trace-out")
+    ap.add_argument("--metrics",
+                    help="metrics JSON written with --metrics-out; "
+                         "cross-check overlapped_seconds against the trace")
+    ap.add_argument("--tolerance", type=float, default=1e-9,
+                    help="absolute tolerance for the overlap cross-check")
+    args = ap.parse_args()
+
+    events = load_events(args.trace)
+    phases = check_schema(events)
+    tracks = spans_by_track(events)
+    check_monotonic(tracks)
+    check_track_discipline(tracks)
+    if args.metrics:
+        check_against_metrics(tracks, args.metrics, args.tolerance)
+    n_spans = sum(len(s) for s in tracks.values())
+    print(f"check_trace: OK — {len(events)} events "
+          f"({phases.get('X', 0)} spans on {len(tracks)} tracks, "
+          f"{phases.get('C', 0)} counter samples, "
+          f"{phases.get('M', 0)} metadata records); "
+          f"{n_spans} spans well-formed")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
