@@ -29,6 +29,7 @@ struct CommonFlags {
   std::string trace_out;    // Chrome trace-event JSON path ("" = off)
   std::string metrics_out;  // metrics snapshot JSON path ("" = off)
   std::string report_out;   // RunReport JSON path ("" = off)
+  std::string faults;       // fault plan spec ("" = none); see src/fault/
 
   static CommonFlags parse(CliParser& cli, index_t default_k) {
     CommonFlags f;
@@ -49,6 +50,10 @@ struct CommonFlags {
         "metrics-out", "", "write a metrics-registry JSON snapshot here");
     f.report_out = cli.get_string(
         "report-out", "", "write the machine-readable run report JSON here");
+    f.faults = cli.get_string(
+        "faults", "",
+        "deterministic fault plan, e.g. site=copy.h2d,nth=2,count=2 "
+        "(clauses ';'-separated; see src/fault/fault.h)");
     // Tracing must be on before the DeviceContext records its first event so
     // the trace's virtual timeline is complete (check_trace.py recomputes
     // the overlap counter from it and expects every interval).
@@ -100,6 +105,9 @@ inline core::BackendRuns run_graph_backends(const std::string& dataset,
     cfg.num_clusters = k;
     cfg.backend = b;
     cfg.seed = flags.seed;
+    if (!flags.faults.empty()) {
+      cfg.faults = fault::FaultPlan::parse(flags.faults);
+    }
     std::fprintf(stderr, "[bench] %s: running %s backend...\n",
                  dataset.c_str(), core::backend_name(b).c_str());
     runs.runs.emplace_back(b, core::spectral_cluster_graph(w, cfg, &ctx));
@@ -122,6 +130,9 @@ inline core::BackendRuns run_points_backends(
     cfg.num_clusters = k;
     cfg.backend = b;
     cfg.seed = flags.seed;
+    if (!flags.faults.empty()) {
+      cfg.faults = fault::FaultPlan::parse(flags.faults);
+    }
     cfg.similarity.measure = graph::SimilarityMeasure::kCrossCorrelation;
     std::fprintf(stderr, "[bench] %s: running %s backend...\n",
                  dataset.c_str(), core::backend_name(b).c_str());

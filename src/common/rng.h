@@ -15,6 +15,15 @@
 
 namespace fastsc {
 
+/// Serializable snapshot of an Rng (checkpoint/resume support): restoring
+/// it reproduces the exact continuation of the stream, including the
+/// Marsaglia cached normal.
+struct RngState {
+  std::uint64_t s[4] = {};
+  real cached_normal = 0;
+  bool has_cached_normal = false;
+};
+
 /// splitmix64 step; used for seeding and cheap hashing.
 [[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
@@ -91,6 +100,20 @@ class Rng {
   /// Geometric sample: number of Bernoulli(p) failures before first success.
   /// Used for O(E[edges]) stochastic-block-model sampling via skipping.
   [[nodiscard]] std::uint64_t geometric_skip(real p) noexcept;
+
+  [[nodiscard]] RngState state() const noexcept {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached_normal = cached_normal_;
+    st.has_cached_normal = has_cached_normal_;
+    return st;
+  }
+
+  void set_state(const RngState& st) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
 
   /// Split off an independent stream (for per-thread determinism).
   [[nodiscard]] Rng split() noexcept {

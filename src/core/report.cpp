@@ -107,6 +107,7 @@ void write_device_counters(obs::JsonWriter& w,
   w.field("modeled_pipeline_seconds", c.modeled_pipeline_seconds());
   w.field("async_copies", std::uint64_t{c.async_copies});
   w.field("async_kernel_launches", std::uint64_t{c.async_kernel_launches});
+  w.field("transfer_retries", std::uint64_t{c.transfer_retries});
   w.field("live_bytes", std::uint64_t{c.live_bytes});
   w.field("peak_bytes", std::uint64_t{c.peak_bytes});
   w.field("total_allocations", std::uint64_t{c.total_allocations});
@@ -164,6 +165,23 @@ void write_run(obs::JsonWriter& w, Backend backend,
   w.key("inertia_history");
   w.begin_array();
   for (const real v : r.kmeans_inertia_history) w.value(v);
+  w.end_array();
+  w.end_object();
+
+  w.key("degradation");
+  w.begin_object();
+  w.field("degraded", r.degradation.degraded);
+  w.field("transfer_retries",
+          std::uint64_t{r.device_counters.transfer_retries});
+  w.key("events");
+  w.begin_array();
+  for (const DegradationEvent& e : r.degradation.events) {
+    w.begin_object();
+    w.field("stage", e.stage);
+    w.field("action", e.action);
+    w.field("reason", e.reason);
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
 

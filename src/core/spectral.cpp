@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <optional>
 
 #include "baseline/matlab_like.h"
 #include "baseline/python_like.h"
@@ -13,7 +15,9 @@
 #include "graph/build.h"
 #include "graph/components.h"
 #include "graph/laplacian.h"
+#include "kmeans/lloyd.h"
 #include "lanczos/rci.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparse/convert.h"
 #include "sparse/spmv.h"
@@ -58,6 +62,34 @@ std::vector<real> to_embedding(const std::vector<real>& vectors,
     }
   }
   return emb;
+}
+
+/// Record one degradation decision: result report + degrade.* counters +
+/// trace counter + a WARN so unattended runs leave an audit trail.
+void note_degradation(SpectralResult& result, const char* stage,
+                      const char* action, const std::string& reason) {
+  result.degradation.degraded = true;
+  result.degradation.events.push_back(DegradationEvent{stage, action, reason});
+  obs::Counter& total = obs::metrics().counter("degrade.fallback");
+  total.add();
+  obs::metrics().counter(std::string("degrade.") + action).add();
+  if (obs::trace_enabled()) {
+    obs::trace().counter("degrade.fallback",
+                         static_cast<double>(total.value()),
+                         obs::wall_now_us());
+  }
+  FASTSC_LOG_WARN("degradation: stage '" << stage << "' -> " << action << " ("
+                                         << reason << ")");
+}
+
+/// Clear the eigensolver outputs of an abandoned attempt before the next
+/// ladder rung re-runs the stage (degradation events are kept).
+void reset_eig_result(SpectralResult& result) {
+  result.eigenvalues.clear();
+  result.embedding.clear();
+  result.eig_converged = false;
+  result.eig_stats = {};
+  result.spmv_seconds = 0;
 }
 
 lanczos::LanczosConfig eig_config(const SpectralConfig& cfg, index_t n) {
@@ -184,33 +216,56 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
     exec = std::make_unique<device::PipelineExecutor>(ctx);
   }
 
-  lanczos::SymEigProb prob(eig_config(cfg, n));
+  lanczos::LanczosConfig ec = eig_config(cfg, n);
+  const DegradationPolicy& pol = cfg.degradation;
+  ec.capture_checkpoints = pol.enabled && pol.resume_failed_solve;
+  lanczos::SymEigProb prob(ec);
   device::DeviceBuffer<real> dev_x(ctx, static_cast<usize>(n));
   device::DeviceBuffer<real> dev_y(ctx, static_cast<usize>(n));
   std::vector<real> host_y(static_cast<usize>(n));
 
-  while (!prob.converge()) {
-    WallTimer t;
-    {
-      // One span per SpMV wave (H2D + csrmv + D2H); in the pipelined path
-      // this is the wall window the virtual-timeline overlap hides inside.
-      obs::ScopedSpan span("spmv", "wave");
-      if (pipelined) {
-        pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x, dev_y,
-                         host_y, cfg.overlap_row_tiles);
-      } else {
-        // H2D: the vector ARPACK hands out.
-        dev_x.copy_from_host(
-            std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
-        // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
-        spmv(dev_x.data(), dev_y.data());
-        // D2H: the product back to the RCI.
-        dev_y.copy_to_host(std::span<real>(host_y));
+  index_t resumes = 0;
+  for (;;) {
+    while (!prob.converge()) {
+      WallTimer t;
+      {
+        // One span per SpMV wave (H2D + csrmv + D2H); in the pipelined path
+        // this is the wall window the virtual-timeline overlap hides inside.
+        obs::ScopedSpan span("spmv", "wave");
+        if (pipelined) {
+          pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x,
+                           dev_y, host_y, cfg.overlap_row_tiles);
+        } else {
+          // H2D: the vector ARPACK hands out.
+          dev_x.copy_from_host(
+              std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
+          // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
+          spmv(dev_x.data(), dev_y.data());
+          // D2H: the product back to the RCI.
+          dev_y.copy_to_host(std::span<real>(host_y));
+        }
       }
+      std::copy(host_y.begin(), host_y.end(), prob.PutVector());
+      result.spmv_seconds += t.seconds();
+      prob.TakeStep();
     }
-    std::copy(host_y.begin(), host_y.end(), prob.PutVector());
-    result.spmv_seconds += t.seconds();
-    prob.TakeStep();
+    if (!prob.Failed() || !ec.capture_checkpoints ||
+        resumes >= pol.max_solver_resumes ||
+        !prob.Solver().has_checkpoint()) {
+      break;
+    }
+    // Rewind to the last restart boundary and continue with an extended
+    // budget instead of restarting the whole Krylov buildup from scratch.
+    ++resumes;
+    note_degradation(result, kStageEigensolver, "solver-resume",
+                     "restart budget exhausted; resuming from checkpoint at "
+                     "restart " +
+                         std::to_string(
+                             prob.Solver().last_checkpoint().restart_count));
+    const index_t extended =
+        prob.Solver().config().max_restarts + ec.max_restarts;
+    prob.Restore(prob.Solver().last_checkpoint());
+    prob.Solver().set_max_restarts(extended);
   }
   result.eigenvalues = prob.Eigenvalues();
   result.eig_converged = !prob.Failed();
@@ -218,6 +273,52 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   const std::vector<real> vectors = prob.FindEigenvectors();
   const std::vector<real> isd = dev_isd.to_host();  // D2H, metered
   result.embedding = to_embedding(vectors, isd, cfg.num_clusters, n);
+}
+
+void eigensolve_host(const sparse::Coo& w, const SpectralConfig& cfg,
+                     SpectralResult& result);
+
+/// Eigensolver degradation ladder: async device pipeline -> synchronous CSR
+/// device path -> host backend.  `device_w` / `host_w` lazily materialize
+/// the similarity matrix on the respective side, so a rung only pays for
+/// the representation it actually uses.
+template <class DeviceW, class HostW>
+void eigensolve_device_ladder(device::DeviceContext& ctx,
+                              const SpectralConfig& cfg,
+                              SpectralResult& result, DeviceW&& device_w,
+                              HostW&& host_w) {
+  const DegradationPolicy& pol = cfg.degradation;
+  std::exception_ptr last_error;
+  std::string reason;
+  try {
+    eigensolve_device(ctx, device_w(), cfg, result);
+    return;
+  } catch (const device::DeviceError& e) {
+    if (!pol.enabled) throw;
+    last_error = std::current_exception();
+    reason = e.what();
+  }
+  if (pol.allow_sync_fallback &&
+      (cfg.async_pipeline || cfg.spmv_format != DeviceSpmvFormat::kCsr)) {
+    note_degradation(result, kStageEigensolver, "device-sync", reason);
+    SpectralConfig sync_cfg = cfg;
+    sync_cfg.async_pipeline = false;
+    sync_cfg.spmv_format = DeviceSpmvFormat::kCsr;
+    reset_eig_result(result);
+    try {
+      eigensolve_device(ctx, device_w(), sync_cfg, result);
+      return;
+    } catch (const device::DeviceError& e) {
+      last_error = std::current_exception();
+      reason = e.what();
+    }
+  }
+  if (!pol.allow_host_fallback) std::rethrow_exception(last_error);
+  note_degradation(result, kStageEigensolver, "host-eigensolver", reason);
+  reset_eig_result(result);
+  SpectralConfig host_cfg = cfg;
+  host_cfg.backend = Backend::kMatlabLike;
+  eigensolve_host(host_w(), host_cfg, result);
 }
 
 void eigensolve_host(const sparse::Coo& w, const SpectralConfig& cfg,
@@ -256,6 +357,12 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
       }
     }
   }
+  const auto assign = [&](const kmeans::KmeansResult& res) {
+    result.labels = res.labels;
+    result.kmeans_converged = res.converged;
+    result.kmeans_iterations = res.iterations;
+    result.kmeans_inertia_history = res.inertia_history;
+  };
   switch (cfg.backend) {
     case Backend::kDevice: {
       kmeans::KmeansConfig kc;
@@ -265,12 +372,37 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
       kc.seed = cfg.seed;
       kc.async_pipeline = cfg.async_pipeline;
       kc.record_inertia = cfg.record_kmeans_inertia;
-      const auto res =
-          kmeans::kmeans_device(ctx, result.embedding.data(), n, k, kc);
-      result.labels = res.labels;
-      result.kmeans_converged = res.converged;
-      result.kmeans_iterations = res.iterations;
-      result.kmeans_inertia_history = res.inertia_history;
+      // Degradation ladder: async device -> sync device -> host Lloyd.
+      const DegradationPolicy& pol = cfg.degradation;
+      std::exception_ptr last_error;
+      std::string reason;
+      bool done = false;
+      try {
+        assign(kmeans::kmeans_device(ctx, result.embedding.data(), n, k, kc));
+        done = true;
+      } catch (const device::DeviceError& e) {
+        if (!pol.enabled) throw;
+        last_error = std::current_exception();
+        reason = e.what();
+      }
+      if (!done && pol.allow_sync_fallback && kc.async_pipeline) {
+        note_degradation(result, kStageKmeans, "kmeans-sync", reason);
+        kmeans::KmeansConfig sync_kc = kc;
+        sync_kc.async_pipeline = false;
+        try {
+          assign(kmeans::kmeans_device(ctx, result.embedding.data(), n, k,
+                                       sync_kc));
+          done = true;
+        } catch (const device::DeviceError& e) {
+          last_error = std::current_exception();
+          reason = e.what();
+        }
+      }
+      if (!done) {
+        if (!pol.allow_host_fallback) std::rethrow_exception(last_error);
+        note_degradation(result, kStageKmeans, "host-kmeans", reason);
+        assign(kmeans::kmeans_lloyd_host(result.embedding.data(), n, k, kc));
+      }
       break;
     }
     case Backend::kMatlabLike: {
@@ -317,6 +449,7 @@ device::DeviceCounters counters_delta(const device::DeviceCounters& after,
   d.overlapped_d2h_seconds -= before.overlapped_d2h_seconds;
   d.async_copies -= before.async_copies;
   d.async_kernel_launches -= before.async_kernel_launches;
+  d.transfer_retries -= before.transfer_retries;
   return d;
 }
 
@@ -334,6 +467,8 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
   const device::DeviceCounters counters_before = ctx.counters();
   const obs::TraceEnableScope trace_scope(config.trace);
+  std::optional<fault::ArmScope> fault_scope;
+  if (!config.faults.empty()) fault_scope.emplace(config.faults);
 
   SpectralResult result;
   result.n = n;
@@ -342,19 +477,35 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
   const graph::EdgeList sym = graph::symmetrized(edges);
 
   if (config.backend == Backend::kDevice) {
+    const DegradationPolicy& pol = config.degradation;
+    std::optional<sparse::DeviceCoo> dev_w;
+    sparse::Coo host_w_storage;
+    bool have_host = false;
+
     result.clock.start(kStageSimilarity);
-    sparse::DeviceCoo w;
     {
       obs::ScopedSpan span(kStageSimilarity, "stage");
-      if (config.similarity_chunk_edges > 0) {
-        // Out-of-core Algorithm 1: the edge list streams through the device.
-        const sparse::Coo host_w = graph::build_similarity_device_chunked(
-            ctx, x, n, d, sym, config.similarity,
-            config.similarity_chunk_edges);
-        w = sparse::DeviceCoo(ctx, host_w);
-      } else {
-        w = graph::build_similarity_device(ctx, x, n, d, sym,
-                                           config.similarity);
+      try {
+        if (config.similarity_chunk_edges > 0) {
+          // Out-of-core Algorithm 1: the edge list streams through the
+          // device.
+          host_w_storage = graph::build_similarity_device_chunked(
+              ctx, x, n, d, sym, config.similarity,
+              config.similarity_chunk_edges);
+          have_host = true;
+          dev_w.emplace(ctx, host_w_storage);
+        } else {
+          dev_w.emplace(graph::build_similarity_device(ctx, x, n, d, sym,
+                                                       config.similarity));
+        }
+      } catch (const device::DeviceError& e) {
+        if (!pol.enabled || !pol.allow_host_fallback) throw;
+        note_degradation(result, kStageSimilarity, "host-similarity",
+                         e.what());
+        dev_w.reset();
+        host_w_storage =
+            baseline::similarity_loop(x, n, d, sym, config.similarity);
+        have_host = true;
       }
     }
     result.clock.stop();
@@ -362,7 +513,18 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     result.clock.start(kStageEigensolver);
     {
       obs::ScopedSpan span(kStageEigensolver, "stage");
-      eigensolve_device(ctx, w, config, result);
+      auto device_w = [&]() -> sparse::DeviceCoo& {
+        if (!dev_w) dev_w.emplace(ctx, host_w_storage);
+        return *dev_w;
+      };
+      auto host_w = [&]() -> const sparse::Coo& {
+        if (!have_host) {
+          host_w_storage = dev_w->to_host();  // D2H, metered
+          have_host = true;
+        }
+        return host_w_storage;
+      };
+      eigensolve_device_ladder(ctx, config, result, device_w, host_w);
     }
     result.clock.stop();
   } else {
@@ -418,6 +580,8 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
   const device::DeviceCounters counters_before = ctx.counters();
   const obs::TraceEnableScope trace_scope(config.trace);
+  std::optional<fault::ArmScope> fault_scope;
+  if (!config.faults.empty()) fault_scope.emplace(config.faults);
 
   SpectralResult result;
   result.n = w.rows;
@@ -428,9 +592,15 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
     obs::ScopedSpan span(kStageEigensolver, "stage");
     if (config.backend == Backend::kDevice) {
       // Transfer the graph to the device (part of the eigensolver stage cost,
-      // matching the paper's accounting for the graph datasets).
-      sparse::DeviceCoo dev_w(ctx, w);
-      eigensolve_device(ctx, dev_w, config, result);
+      // matching the paper's accounting for the graph datasets).  The upload
+      // is lazy so a degraded run that never touches the device skips it.
+      std::optional<sparse::DeviceCoo> dev_w;
+      auto device_w = [&]() -> sparse::DeviceCoo& {
+        if (!dev_w) dev_w.emplace(ctx, w);
+        return *dev_w;
+      };
+      auto host_w = [&]() -> const sparse::Coo& { return w; };
+      eigensolve_device_ladder(ctx, config, result, device_w, host_w);
     } else {
       eigensolve_host(w, config, result);
     }

@@ -25,6 +25,7 @@
 
 #include "common/stage_clock.h"
 #include "device/device.h"
+#include "fault/fault.h"
 #include "graph/grid_index.h"
 #include "graph/similarity.h"
 #include "kmeans/kmeans.h"
@@ -45,6 +46,36 @@ enum class DeviceSpmvFormat { kCsr, kBsr };
 inline constexpr const char* kStageSimilarity = "similarity";
 inline constexpr const char* kStageEigensolver = "eigensolver";
 inline constexpr const char* kStageKmeans = "kmeans";
+
+/// Graceful-degradation policy for the device backend.  When a device stage
+/// throws a DeviceError the pipeline walks a ladder instead of aborting:
+/// async pipeline -> synchronous CSR device path -> host backend; the
+/// eigensolver can additionally resume a kFailed solve from its last IRLM
+/// checkpoint with an extended restart budget.  Every rung taken is recorded
+/// in SpectralResult::degradation and published as degrade.* counters.
+struct DegradationPolicy {
+  bool enabled = true;
+  /// Retry a failed async device stage on the synchronous CSR path.
+  bool allow_sync_fallback = true;
+  /// Last rung: redo the stage on the host (kMatlabLike kernels).
+  bool allow_host_fallback = true;
+  /// Resume a kFailed eigensolve from its last checkpoint with an extended
+  /// restart budget before falling back (LanczosConfig::capture_checkpoints).
+  bool resume_failed_solve = false;
+  index_t max_solver_resumes = 1;
+};
+
+/// One degradation decision: which stage fell back, to what, and why.
+struct DegradationEvent {
+  std::string stage;   ///< kStage* name
+  std::string action;  ///< e.g. "device-sync", "host-eigensolver"
+  std::string reason;  ///< the triggering error's what()
+};
+
+struct DegradationReport {
+  bool degraded = false;
+  std::vector<DegradationEvent> events;
+};
 
 struct SpectralConfig {
   /// Number of clusters (the paper's k; also the eigenpair count).
@@ -107,6 +138,14 @@ struct SpectralConfig {
   /// tracing.
   bool record_kmeans_inertia = false;
 
+  /// How the device backend degrades on DeviceErrors instead of aborting.
+  DegradationPolicy degradation{};
+
+  /// Deterministic fault plan armed (via fault::ArmScope) for the duration
+  /// of the run; empty = no injection.  Also settable process-wide through
+  /// FASTSC_FAULTS.
+  fault::FaultPlan faults{};
+
   std::uint64_t seed = 42;
 };
 
@@ -131,6 +170,9 @@ struct SpectralResult {
   /// Objective after each Lloyd sweep (empty unless
   /// SpectralConfig::record_kmeans_inertia or tracing was enabled).
   std::vector<real> kmeans_inertia_history;
+
+  /// Fallbacks and resumes taken during this run (device backend).
+  DegradationReport degradation;
 };
 
 /// Cluster n points in R^d whose candidate edges are given by `edges`

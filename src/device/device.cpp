@@ -4,6 +4,8 @@
 #include <sstream>
 #include <thread>
 
+#include "common/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fastsc::device {
@@ -202,6 +204,14 @@ void DeviceContext::record_kernel(double seconds, double modeled_override) {
 }
 
 void DeviceContext::record_alloc(usize bytes) {
+  // Fault check outside meter_mu_ — the injector has its own lock, and an
+  // injected OOM must leave the accounting untouched.
+  if (fault::triggered("device.alloc")) {
+    DeviceOutOfMemory e("injected device out of memory: requested " +
+                        std::to_string(bytes) + " bytes");
+    e.annotate_site("device.alloc");
+    throw e;
+  }
   std::lock_guard lock(meter_mu_);
   if (memory_limit_bytes_ != 0 &&
       counters_.live_bytes + bytes > memory_limit_bytes_) {
@@ -218,6 +228,27 @@ void DeviceContext::record_free(usize bytes) noexcept {
   std::lock_guard lock(meter_mu_);
   counters_.live_bytes =
       counters_.live_bytes >= bytes ? counters_.live_bytes - bytes : 0;
+}
+
+void DeviceContext::note_transfer_retry(std::string_view site,
+                                        double backoff_seconds) {
+  {
+    std::lock_guard lock(meter_mu_);
+    counters_.transfer_retries += 1;
+    VirtualClock& clk = current_clock_locked();
+    clk.now += backoff_seconds;
+  }
+  obs::Counter& total = obs::metrics().counter("fault.transfer_retry");
+  total.add();
+  obs::metrics().counter("fault.transfer_retry." + std::string(site)).add();
+  if (obs::trace_enabled()) {
+    obs::trace().counter("fault.transfer_retry",
+                         static_cast<double>(total.value()),
+                         obs::wall_now_us());
+  }
+  FASTSC_LOG_WARN("transient transfer fault at '"
+                  << site << "': retrying after " << backoff_seconds * 1e6
+                  << " us backoff");
 }
 
 void DeviceContext::run_compute(const std::function<void(usize)>& job) {

@@ -40,18 +40,69 @@
 #include "common/timer.h"
 #include "common/types.h"
 #include "device/transfer_model.h"
+#include "fault/fault.h"
 
 namespace fastsc::device {
 
+/// Base of the device error hierarchy.  Carries an optional originating
+/// site so sticky stream errors can surface *where* the first failure
+/// happened when rethrown from a later synchronize().
+class DeviceError : public std::runtime_error {
+ public:
+  explicit DeviceError(const std::string& message)
+      : std::runtime_error(message) {}
+
+  /// Record the failing site once (first annotation wins — the sticky
+  /// error keeps its original location even if re-annotated downstream).
+  void annotate_site(const std::string& site) {
+    if (site_.empty() && !site.empty()) {
+      site_ = site;
+      annotated_ = std::string(std::runtime_error::what()) +
+                   " [site: " + site_ + "]";
+    }
+  }
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return annotated_.empty() ? std::runtime_error::what()
+                              : annotated_.c_str();
+  }
+
+  /// Transient errors (transfer glitches) are retryable; permanent ones
+  /// (OOM) escalate straight to the degradation ladder.
+  [[nodiscard]] virtual bool transient() const noexcept { return false; }
+
+ private:
+  std::string site_;
+  std::string annotated_;
+};
+
 /// Thrown when an allocation would exceed the context's device-memory
 /// budget (cudaErrorMemoryAllocation equivalent).
-class DeviceOutOfMemory : public std::runtime_error {
+class DeviceOutOfMemory : public DeviceError {
  public:
   DeviceOutOfMemory(usize requested, usize live, usize limit)
-      : std::runtime_error(
+      : DeviceError(
             "simulated device out of memory: requested " +
             std::to_string(requested) + " bytes with " + std::to_string(live) +
             " live of " + std::to_string(limit) + " budget") {}
+
+  explicit DeviceOutOfMemory(const std::string& message)
+      : DeviceError(message) {}
+};
+
+/// Transient host<->device transfer failure (injected; the real-hardware
+/// analogues are ECC retries and link CRC replays).  Absorbed by the
+/// bounded retry in run_transfer_with_retry below.
+class DeviceTransferError : public DeviceError {
+ public:
+  DeviceTransferError(const std::string& site, usize bytes, bool h2d)
+      : DeviceError("transient device transfer error at " + site + " (" +
+                    std::to_string(bytes) + " bytes " +
+                    (h2d ? "h2d" : "d2h") + ")") {}
+
+  [[nodiscard]] bool transient() const noexcept override { return true; }
 };
 
 /// Running totals kept by a DeviceContext.  Snapshot with
@@ -83,6 +134,9 @@ struct DeviceCounters {
   /// Operations issued through streams (subset of the totals above).
   usize async_copies = 0;
   usize async_kernel_launches = 0;
+  /// Transient transfer faults absorbed by the bounded retry (each retry
+  /// also charges its backoff to the retrying clock).
+  usize transfer_retries = 0;
   /// Device-memory accounting.
   usize live_bytes = 0;
   usize peak_bytes = 0;
@@ -138,6 +192,15 @@ class PinnedPool {
   Stats stats_;
 };
 
+/// Bounded retry-with-backoff for *transient* transfer errors
+/// (DeviceTransferError::transient()).  The backoff doubles per attempt and
+/// is charged to the retrying thread's virtual clock, so fault-injected
+/// runs stay deterministic on the modeled timeline.
+struct TransferRetryPolicy {
+  index_t max_retries = 3;
+  double backoff_seconds = 25e-6;
+};
+
 /// A simulated GPU: an executor plus metering.  The metering and the
 /// virtual timeline are thread-safe so streams (device/stream.h) can retire
 /// work concurrently with the host; kernel execution itself is serialized
@@ -161,6 +224,16 @@ class DeviceContext {
     return model_;
   }
   void set_transfer_model(TransferModel m) noexcept { model_ = m; }
+
+  void set_transfer_retry(TransferRetryPolicy p) noexcept { retry_ = p; }
+  [[nodiscard]] const TransferRetryPolicy& transfer_retry() const noexcept {
+    return retry_;
+  }
+
+  /// Meter one absorbed transient transfer fault: bump
+  /// DeviceCounters::transfer_retries, charge the backoff to the current
+  /// thread's virtual clock, and publish fault.transfer_retry counters.
+  void note_transfer_retry(std::string_view site, double backoff_seconds);
 
   /// Direct counter access: safe while no stream work is in flight (the
   /// historical single-threaded contract).  Prefer counters_snapshot()
@@ -256,10 +329,33 @@ class DeviceContext {
   double compute_free_at_ = 0;
   std::vector<Interval> copy_intervals_;
   std::vector<Interval> kernel_intervals_;
+  TransferRetryPolicy retry_;
 };
 
 /// Process-wide default device (lazy-constructed), like cudaSetDevice(0).
 DeviceContext& default_device();
+
+/// Run `body`, absorbing transient DeviceTransferErrors with the context's
+/// bounded exponential backoff.  The body must be idempotent up to its
+/// metering (every instrumented site checks fault::triggered *before*
+/// touching data or counters, so a retried transfer meters exactly once).
+/// Rethrows — annotated with `site` — once the budget is exhausted or the
+/// error is permanent.
+template <class Fn>
+auto run_transfer_with_retry(DeviceContext& ctx, const char* site, Fn&& body) {
+  const TransferRetryPolicy policy = ctx.transfer_retry();
+  double backoff = policy.backoff_seconds;
+  for (index_t attempt = 0;; ++attempt) {
+    try {
+      return body();
+    } catch (DeviceError& e) {
+      e.annotate_site(site);
+      if (!e.transient() || attempt >= policy.max_retries) throw;
+      ctx.note_transfer_retry(site, backoff);
+      backoff *= 2;
+    }
+  }
+}
 
 /// Device-resident array of trivially-copyable T.
 ///
@@ -305,22 +401,32 @@ class DeviceBuffer {
   void copy_from_host(std::span<const T> host) {
     FASTSC_CHECK(host.size() == storage_.size(),
                  "host span size must match device buffer size");
-    WallTimer t;
-    if (!host.empty()) {
-      std::memcpy(storage_.data(), host.data(), host.size_bytes());
-    }
-    ctx_->record_h2d(host.size_bytes(), t.seconds());
+    run_transfer_with_retry(*ctx_, "device.h2d", [&] {
+      if (fault::triggered("device.h2d")) {
+        throw DeviceTransferError("device.h2d", host.size_bytes(), true);
+      }
+      WallTimer t;
+      if (!host.empty()) {
+        std::memcpy(storage_.data(), host.data(), host.size_bytes());
+      }
+      ctx_->record_h2d(host.size_bytes(), t.seconds());
+    });
   }
 
   /// cudaMemcpyDeviceToHost.
   void copy_to_host(std::span<T> host) const {
     FASTSC_CHECK(host.size() == storage_.size(),
                  "host span size must match device buffer size");
-    WallTimer t;
-    if (!host.empty()) {
-      std::memcpy(host.data(), storage_.data(), host.size_bytes());
-    }
-    ctx_->record_d2h(host.size_bytes(), t.seconds());
+    run_transfer_with_retry(*ctx_, "device.d2h", [&] {
+      if (fault::triggered("device.d2h")) {
+        throw DeviceTransferError("device.d2h", host.size_bytes(), false);
+      }
+      WallTimer t;
+      if (!host.empty()) {
+        std::memcpy(host.data(), storage_.data(), host.size_bytes());
+      }
+      ctx_->record_d2h(host.size_bytes(), t.seconds());
+    });
   }
 
   /// Convenience: download into a new host vector.

@@ -33,7 +33,7 @@ PipelineExecutor::NodeId PipelineExecutor::add(usize stream_index,
   // Wrap the body in a wall-clock span named after the node so executor
   // graphs show up as labeled blocks on the stream thread's trace track.
   // With tracing off the wrapper adds one relaxed atomic load per node.
-  s.enqueue([label = node.label, body = std::move(body)] {
+  s.enqueue_labeled(node.label, [label = node.label, body = std::move(body)] {
     obs::ScopedSpan span(label, "node");
     body();
   });

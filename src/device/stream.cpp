@@ -22,13 +22,15 @@ Stream::~Stream() {
   thread_.join();
 }
 
-void Stream::enqueue_op(std::function<void()> fn, bool always_run) {
+void Stream::enqueue_op(std::function<void()> fn, bool always_run,
+                        std::string label) {
   Op op;
   op.fn = std::move(fn);
   // An op cannot start, on the virtual timeline, before the moment the
   // issuing thread enqueued it.
   op.issue_virtual_time = ctx_.current_clock_now();
   op.always_run = always_run;
+  op.label = std::move(label);
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(op));
@@ -41,11 +43,11 @@ void Stream::record(const Event& event) {
       [this, event] {
         event.mark_recorded(ctx_, ctx_.clock_now(clock_));
       },
-      /*always_run=*/true);
+      /*always_run=*/true, {});
 }
 
 void Stream::wait(const Event& event) {
-  enqueue_op([event] { event.wait(); }, /*always_run=*/false);
+  enqueue_op([event] { event.wait(); }, /*always_run=*/false, {});
 }
 
 void Stream::synchronize() {
@@ -86,6 +88,13 @@ void Stream::thread_main() {
     DeviceContext::ClockScope scope(clock_);
     try {
       op.fn();
+    } catch (DeviceError& e) {
+      // Annotate the in-flight exception (same object under
+      // std::current_exception) so the sticky error surfaces the
+      // *originating* op's site without losing its concrete type.
+      e.annotate_site(op.label);
+      std::lock_guard lock(mu_);
+      if (!error_) error_ = std::current_exception();
     } catch (...) {
       std::lock_guard lock(mu_);
       if (!error_) error_ = std::current_exception();

@@ -60,12 +60,20 @@ class Stream {
   /// this stream's virtual clock, so any device call made inside (launch,
   /// DeviceBuffer copies, dblas/sparse routines) is attributed to the
   /// stream's timeline.
-  void enqueue(std::function<void()> op) { enqueue_op(std::move(op), false); }
+  void enqueue(std::function<void()> op) {
+    enqueue_op(std::move(op), false, {});
+  }
+
+  /// Like enqueue, but a sticky error raised by this op is annotated with
+  /// `label` so synchronize() can report where the failure originated.
+  void enqueue_labeled(std::string label, std::function<void()> op) {
+    enqueue_op(std::move(op), false, std::move(label));
+  }
 
   /// Stream-ordered kernel launch over [0, n).
   template <class Kernel>
   void launch_async(index_t n, Kernel kernel, LaunchConfig cfg = {}) {
-    enqueue([this, n, kernel = std::move(kernel), cfg] {
+    enqueue_labeled("stream.launch", [this, n, kernel = std::move(kernel), cfg] {
       launch(ctx_, n, kernel, cfg);
     });
   }
@@ -79,10 +87,15 @@ class Stream {
     if (!host.empty()) {
       std::memcpy(block->data(), host.data(), host.size_bytes());
     }
-    enqueue([this, dev, block] {
-      WallTimer t;
-      if (!block->empty()) std::memcpy(dev, block->data(), block->size());
-      ctx_.record_h2d(block->size(), t.seconds());
+    enqueue_labeled("stream.h2d", [this, dev, block] {
+      run_transfer_with_retry(ctx_, "stream.h2d", [&] {
+        if (fault::triggered("stream.h2d")) {
+          throw DeviceTransferError("stream.h2d", block->size(), true);
+        }
+        WallTimer t;
+        if (!block->empty()) std::memcpy(dev, block->data(), block->size());
+        ctx_.record_h2d(block->size(), t.seconds());
+      });
       ctx_.staging_pool().release(std::move(*block));
     });
   }
@@ -98,12 +111,17 @@ class Stream {
   /// synchronize() on this stream.
   template <class T>
   void copy_to_host_async(std::span<T> host, const T* dev) {
-    enqueue([this, host, dev] {
-      WallTimer t;
-      if (!host.empty()) {
-        std::memcpy(host.data(), dev, host.size_bytes());
-      }
-      ctx_.record_d2h(host.size_bytes(), t.seconds());
+    enqueue_labeled("stream.d2h", [this, host, dev] {
+      run_transfer_with_retry(ctx_, "stream.d2h", [&] {
+        if (fault::triggered("stream.d2h")) {
+          throw DeviceTransferError("stream.d2h", host.size_bytes(), false);
+        }
+        WallTimer t;
+        if (!host.empty()) {
+          std::memcpy(host.data(), dev, host.size_bytes());
+        }
+        ctx_.record_d2h(host.size_bytes(), t.seconds());
+      });
     });
   }
 
@@ -145,9 +163,11 @@ class Stream {
     std::function<void()> fn;
     double issue_virtual_time = 0;
     bool always_run = false;  // event records fire even after an error
+    std::string label;        // site annotation for sticky errors
   };
 
-  void enqueue_op(std::function<void()> fn, bool always_run);
+  void enqueue_op(std::function<void()> fn, bool always_run,
+                  std::string label);
   void thread_main();
 
   DeviceContext& ctx_;
@@ -169,16 +189,26 @@ class Stream {
 /// the building blocks executor nodes use to stage tiles.
 template <class T>
 void copy_h2d(DeviceContext& ctx, T* dev, const T* host, usize n) {
-  WallTimer t;
-  if (n != 0) std::memcpy(dev, host, n * sizeof(T));
-  ctx.record_h2d(n * sizeof(T), t.seconds());
+  run_transfer_with_retry(ctx, "copy.h2d", [&] {
+    if (fault::triggered("copy.h2d")) {
+      throw DeviceTransferError("copy.h2d", n * sizeof(T), true);
+    }
+    WallTimer t;
+    if (n != 0) std::memcpy(dev, host, n * sizeof(T));
+    ctx.record_h2d(n * sizeof(T), t.seconds());
+  });
 }
 
 template <class T>
 void copy_d2h(DeviceContext& ctx, T* host, const T* dev, usize n) {
-  WallTimer t;
-  if (n != 0) std::memcpy(host, dev, n * sizeof(T));
-  ctx.record_d2h(n * sizeof(T), t.seconds());
+  run_transfer_with_retry(ctx, "copy.d2h", [&] {
+    if (fault::triggered("copy.d2h")) {
+      throw DeviceTransferError("copy.d2h", n * sizeof(T), false);
+    }
+    WallTimer t;
+    if (n != 0) std::memcpy(host, dev, n * sizeof(T));
+    ctx.record_d2h(n * sizeof(T), t.seconds());
+  });
 }
 
 }  // namespace fastsc::device

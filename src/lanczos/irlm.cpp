@@ -2,19 +2,99 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <istream>
 #include <limits>
 #include <numeric>
+#include <ostream>
 
 #include "blas/hblas.h"
 #include "common/error.h"
 #include "common/timer.h"
+#include "fault/fault.h"
 #include "lanczos/dense_eig.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fastsc::lanczos {
 
 namespace {
 constexpr real kEps = std::numeric_limits<real>::epsilon();
+
+constexpr char kCheckpointMagic[8] = {'F', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+
+template <class T>
+void write_raw(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+void read_raw(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+
+void write_vec(std::ostream& os, const std::vector<real>& v) {
+  const std::uint64_t size = v.size();
+  write_raw(os, size);
+  if (size != 0) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(size * sizeof(real)));
+  }
+}
+
+std::vector<real> read_vec(std::istream& is) {
+  std::uint64_t size = 0;
+  read_raw(is, size);
+  FASTSC_CHECK(is.good() && size < (std::uint64_t{1} << 40),
+               "checkpoint stream corrupt: bad vector size");
+  std::vector<real> v(size);
+  if (size != 0) {
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(size * sizeof(real)));
+  }
+  return v;
+}
+
+}  // namespace
+
+void LanczosCheckpoint::save(std::ostream& os) const {
+  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  write_raw(os, n);
+  write_raw(os, nev);
+  write_raw(os, ncv);
+  write_raw(os, which);
+  write_raw(os, j);
+  write_raw(os, nkept);
+  write_raw(os, beta_last);
+  write_vec(os, v);
+  write_vec(os, t);
+  write_raw(os, restart_count);
+  write_raw(os, matvec_count);
+  write_raw(os, rng);
+  FASTSC_CHECK(os.good(), "checkpoint save failed: bad output stream");
+}
+
+LanczosCheckpoint LanczosCheckpoint::load(std::istream& is) {
+  char magic[sizeof(kCheckpointMagic)] = {};
+  is.read(magic, sizeof(magic));
+  FASTSC_CHECK(
+      is.good() && std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0,
+      "checkpoint load failed: bad magic");
+  LanczosCheckpoint cp;
+  read_raw(is, cp.n);
+  read_raw(is, cp.nev);
+  read_raw(is, cp.ncv);
+  read_raw(is, cp.which);
+  read_raw(is, cp.j);
+  read_raw(is, cp.nkept);
+  read_raw(is, cp.beta_last);
+  cp.v = read_vec(is);
+  cp.t = read_vec(is);
+  read_raw(is, cp.restart_count);
+  read_raw(is, cp.matvec_count);
+  read_raw(is, cp.rng);
+  FASTSC_CHECK(is.good(), "checkpoint load failed: truncated stream");
+  return cp;
 }
 
 SymLanczos::SymLanczos(LanczosConfig config) : config_(config), rng_(config.seed) {
@@ -72,6 +152,54 @@ void SymLanczos::start_iteration() {
   hblas::scal(n, 1.0 / norm, v0);
   j_ = 0;
   nkept_ = 0;
+  if (config_.capture_checkpoints) capture_checkpoint();
+}
+
+void SymLanczos::capture_checkpoint() {
+  checkpoint_.n = config_.n;
+  checkpoint_.nev = config_.nev;
+  checkpoint_.ncv = config_.ncv;
+  checkpoint_.which = static_cast<int>(config_.which);
+  checkpoint_.j = j_;
+  checkpoint_.nkept = nkept_;
+  checkpoint_.beta_last = beta_last_;
+  checkpoint_.v = v_;
+  checkpoint_.t = t_;
+  checkpoint_.restart_count = stats_.restart_count;
+  checkpoint_.matvec_count = stats_.matvec_count;
+  checkpoint_.rng = rng_.state();
+  obs::metrics().counter("lanczos.checkpoints").add();
+}
+
+void SymLanczos::restore(const LanczosCheckpoint& cp) {
+  FASTSC_CHECK(cp.valid(), "cannot restore from an empty checkpoint");
+  FASTSC_CHECK(cp.n == config_.n && cp.nev == config_.nev &&
+                   cp.ncv == config_.ncv &&
+                   cp.which == static_cast<int>(config_.which),
+               "checkpoint does not match this solver's configuration");
+  FASTSC_CHECK(cp.v.size() == v_.size() && cp.t.size() == t_.size(),
+               "checkpoint basis dimensions do not match");
+  v_ = cp.v;
+  t_ = cp.t;
+  j_ = cp.j;
+  nkept_ = cp.nkept;
+  beta_last_ = cp.beta_last;
+  rng_.set_state(cp.rng);
+  stats_.restart_count = cp.restart_count;
+  stats_.matvec_count = cp.matvec_count;
+  // Drop convergence samples from the abandoned continuation; the resumed
+  // solve re-records them from the checkpointed restart onward.
+  std::erase_if(stats_.restart_history, [&](const LanczosRestartSample& s) {
+    return s.restart >= cp.restart_count;
+  });
+  out_eigenvalues_.clear();
+  out_residuals_.clear();
+  final_y_.clear();
+  final_order_.clear();
+  std::fill(w_.begin(), w_.end(), 0.0);
+  checkpoint_ = cp;
+  phase_ = Phase::kAwaitMatvec;
+  obs::metrics().counter("lanczos.resumes").add();
 }
 
 SymLanczos::Action SymLanczos::step() {
@@ -254,6 +382,9 @@ SymLanczos::Action SymLanczos::restart_or_finish() {
     if (res <= config_.tol * norm_estimate) ++converged;
     worst_res = std::max(worst_res, res);
   }
+  // Simulated solver stall: pretend nothing converged this cycle, driving
+  // the iteration toward the restart budget (and the kFailed path).
+  if (fault::triggered("lanczos.convergence")) converged = 0;
   stats_.converged_count = converged;
   stats_.restart_history.push_back(
       LanczosRestartSample{stats_.restart_count, converged, worst_res});
@@ -316,6 +447,7 @@ SymLanczos::Action SymLanczos::restart_or_finish() {
   }
   nkept_ = l;
   j_ = l;
+  if (config_.capture_checkpoints) capture_checkpoint();
   stats_.restart_seconds += restart_timer.seconds();
   return Action::kMultiply;  // next product: A * v_l
 }

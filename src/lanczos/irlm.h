@@ -22,6 +22,7 @@
 // by graph Laplacians.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -68,6 +69,33 @@ struct LanczosConfig {
   /// vector.  A good warm start (e.g. the previous solution when the matrix
   /// changed slightly) reduces restarts — ARPACK's `resid/info=1` option.
   std::vector<real> initial_vector;
+  /// Capture a LanczosCheckpoint at every restart boundary, enabling
+  /// restore() after a kFailed solve (degradation resume path).
+  bool capture_checkpoints = false;
+};
+
+/// Serializable restart-boundary state of a SymLanczos solve.  Restoring it
+/// into a solver with an identical (n, nev, ncv, which) configuration
+/// continues the iteration exactly where the checkpoint was taken.
+struct LanczosCheckpoint {
+  index_t n = 0;
+  index_t nev = 0;
+  index_t ncv = 0;
+  int which = 0;
+  index_t j = 0;
+  index_t nkept = 0;
+  real beta_last = 0;
+  std::vector<real> v;  // (ncv+1) x n basis
+  std::vector<real> t;  // ncv x ncv projected matrix
+  index_t restart_count = 0;
+  index_t matvec_count = 0;
+  RngState rng;
+
+  [[nodiscard]] bool valid() const noexcept { return n > 0 && ncv > 0; }
+
+  /// Binary serialization (magic "FSCKPT01"); throws on a bad stream.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static LanczosCheckpoint load(std::istream& is);
 };
 
 /// Convergence state observed at the end of one restart cycle (after the
@@ -131,6 +159,24 @@ class SymLanczos {
     return phase_ == Phase::kConverged || phase_ == Phase::kFailed;
   }
 
+  /// True once a checkpoint was captured (config_.capture_checkpoints).
+  [[nodiscard]] bool has_checkpoint() const noexcept {
+    return checkpoint_.valid();
+  }
+  [[nodiscard]] const LanczosCheckpoint& last_checkpoint() const noexcept {
+    return checkpoint_;
+  }
+
+  /// Rewind to `cp` (captured here or deserialized): the next step()
+  /// resumes the interrupted solve as kAwaitMatvec.  Throws on a
+  /// configuration mismatch.  Call set_max_restarts to extend the budget
+  /// when resuming a kFailed solve.
+  void restore(const LanczosCheckpoint& cp);
+
+  void set_max_restarts(index_t max_restarts) noexcept {
+    config_.max_restarts = max_restarts;
+  }
+
  private:
   enum class Phase { kStart, kAwaitMatvec, kConverged, kFailed };
 
@@ -150,6 +196,7 @@ class SymLanczos {
       const std::vector<real>& theta) const;
   void finalize(const std::vector<real>& theta, const std::vector<real>& y,
                 const std::vector<index_t>& order, Phase end_phase);
+  void capture_checkpoint();
 
   LanczosConfig config_;
   Phase phase_ = Phase::kStart;
@@ -165,6 +212,7 @@ class SymLanczos {
   std::vector<real> out_residuals_;
   std::vector<real> final_y_;          // ncv x ncv eigvecs of final T
   std::vector<index_t> final_order_;   // selected columns, best-first
+  LanczosCheckpoint checkpoint_;       // latest restart-boundary snapshot
 };
 
 }  // namespace fastsc::lanczos

@@ -63,6 +63,16 @@ class SymEigProb {
   [[nodiscard]] const LanczosStats& Stats() const { return solver_.stats(); }
   [[nodiscard]] SymLanczos& Solver() { return solver_; }
 
+  /// Rewind to a checkpoint (degradation resume after Failed()): the loop
+  /// continues as if the intervening work never happened.  Extend the
+  /// solver's restart budget via Solver().set_max_restarts first if the
+  /// failure was budget exhaustion.
+  void Restore(const LanczosCheckpoint& cp) {
+    solver_.restore(cp);
+    started_ = true;
+    last_action_ = SymLanczos::Action::kMultiply;
+  }
+
  private:
   SymLanczos solver_;
   SymLanczos::Action last_action_ = SymLanczos::Action::kMultiply;

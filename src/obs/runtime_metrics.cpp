@@ -22,6 +22,7 @@ void publish_device_counters(const device::DeviceCounters& c,
   set("modeled_pipeline_seconds", c.modeled_pipeline_seconds());
   set("async_copies", static_cast<double>(c.async_copies));
   set("async_kernel_launches", static_cast<double>(c.async_kernel_launches));
+  set("transfer_retries", static_cast<double>(c.transfer_retries));
   set("live_bytes", static_cast<double>(c.live_bytes));
   set("peak_bytes", static_cast<double>(c.peak_bytes));
   set("total_allocations", static_cast<double>(c.total_allocations));

@@ -1,8 +1,11 @@
 # End-to-end trace validation, run as a CTest via `cmake -P`:
-#   1. run a tiny bench_table5_syn200 pipeline with --trace-out/--metrics-out,
+#   1. run a tiny bench_table5_syn200 pipeline with --trace-out/--metrics-out
+#      and a deterministic transient-fault plan on the h2d copy site (single
+#      clause: execute_process splits list arguments on ';'),
 #   2. validate the trace JSON with tools/check_trace.py, cross-checking the
 #      recomputed transfer-x-kernel overlap against the published
-#      device.overlapped_seconds gauge (1e-9 tolerance).
+#      device.overlapped_seconds gauge (1e-9 tolerance) and requiring the
+#      fault.transfer_retry counter series the retried faults must emit.
 #
 # Expected -D definitions: BENCH (bench executable), PYTHON (python3),
 # CHECKER (tools/check_trace.py), WORKDIR (scratch directory).
@@ -21,6 +24,7 @@ set(report_json "${WORKDIR}/report.json")
 execute_process(
   COMMAND "${BENCH}"
           --n=400 --blocks=4 --k=4 --baselines=false
+          --faults=site=copy.h2d,nth=2,count=2
           --trace-out=${trace_json}
           --metrics-out=${metrics_json}
           --report-out=${report_json}
@@ -41,6 +45,7 @@ endforeach()
 execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
           --metrics "${metrics_json}" --tolerance 1e-9
+          --expect-counter fault.transfer_retry
   RESULT_VARIABLE check_rc
   OUTPUT_VARIABLE check_out
   ERROR_VARIABLE check_err)

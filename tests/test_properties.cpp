@@ -427,5 +427,95 @@ TEST_P(ConversionChain, LongChainIsLossless) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConversionChain, ::testing::Range(0, 6));
 
+// ---------------------------------------------------------------------------
+// Randomized format round trips on rectangular matrices with empty rows,
+// empty columns, duplicate entries, and BSR block sizes that do not divide
+// the dimensions.  The dense accumulation of the raw pushes is the ground
+// truth for every representation.
+// ---------------------------------------------------------------------------
+
+class SparseRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SparseRoundTrip, EveryFormatPreservesTheMatrix) {
+  const auto [seed, block_size] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 101 + 7);
+  const index_t rows = 29, cols = 41;  // deliberately not block-divisible
+  std::vector<real> dense(static_cast<usize>(rows) * static_cast<usize>(cols),
+                          0.0);
+  sparse::Coo coo(rows, cols);
+  for (int e = 0; e < 250; ++e) {
+    // Skip a band of rows and columns so some stay entirely empty; positive
+    // values so duplicate coalescing can never cancel an entry to zero.
+    const auto i = static_cast<index_t>(rng.uniform_index(rows));
+    const auto j = static_cast<index_t>(rng.uniform_index(cols));
+    if (i % 7 == 3 || j % 11 == 5) continue;
+    const real v = rng.uniform(0.1, 1.0);
+    coo.push(i, j, v);
+    dense[static_cast<usize>(i * cols + j)] += v;
+    if (e % 5 == 0) {  // inject duplicates for sort_and_merge to coalesce
+      coo.push(i, j, v);
+      dense[static_cast<usize>(i * cols + j)] += v;
+    }
+  }
+  sparse::sort_and_merge(coo);
+
+  // COO is strictly sorted with no duplicates after the merge.
+  for (usize e = 1; e < coo.values.size(); ++e) {
+    const bool ordered =
+        coo.row_idx[e - 1] < coo.row_idx[e] ||
+        (coo.row_idx[e - 1] == coo.row_idx[e] &&
+         coo.col_idx[e - 1] < coo.col_idx[e]);
+    EXPECT_TRUE(ordered);
+  }
+
+  const sparse::Csr csr = sparse::coo_to_csr(coo);
+  auto expect_dense = [&](const sparse::Csr& m, const char* what) {
+    ASSERT_EQ(m.rows, rows) << what;
+    ASSERT_EQ(m.cols, cols) << what;
+    std::vector<real> d(dense.size());
+    sparse::csr_to_dense(m, d.data());
+    for (usize i = 0; i < dense.size(); ++i) {
+      ASSERT_NEAR(d[i], dense[i], 1e-13) << what << " at flat index " << i;
+    }
+  };
+  expect_dense(csr, "coo_to_csr");
+
+  // COO <-> CSR: an exact structural round trip.
+  const sparse::Coo coo2 = sparse::csr_to_coo(csr);
+  EXPECT_EQ(coo2.row_idx, coo.row_idx);
+  EXPECT_EQ(coo2.col_idx, coo.col_idx);
+  EXPECT_EQ(coo2.values, coo.values);
+
+  // CSR <-> CSC.
+  expect_dense(sparse::csc_to_csr(sparse::csr_to_csc(csr)), "csr<->csc");
+
+  // CSR <-> BSR with a non-divisible tail block (29 % block, 41 % block).
+  const sparse::Bsr bsr = sparse::csr_to_bsr(csr, block_size);
+  expect_dense(sparse::bsr_to_csr(bsr), "csr<->bsr");
+
+  // Dense round trip keeps the nnz structure (no spurious entries).
+  const sparse::Csr redensed = sparse::dense_to_csr(rows, cols, dense.data());
+  EXPECT_EQ(redensed.values.size(), csr.values.size());
+  expect_dense(redensed, "dense_to_csr");
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SparseRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1, 3, 4, 5)));
+
+TEST(SparseRoundTrip, EmptyMatrixSurvivesEveryConversion) {
+  sparse::Coo coo(6, 9);
+  sparse::sort_and_merge(coo);
+  const sparse::Csr csr = sparse::coo_to_csr(coo);
+  EXPECT_EQ(csr.values.size(), 0u);
+  EXPECT_EQ(sparse::csr_to_coo(csr).values.size(), 0u);
+  EXPECT_EQ(sparse::csc_to_csr(sparse::csr_to_csc(csr)).values.size(), 0u);
+  const sparse::Csr back = sparse::bsr_to_csr(sparse::csr_to_bsr(csr, 4));
+  EXPECT_EQ(back.rows, 6);
+  EXPECT_EQ(back.cols, 9);
+  EXPECT_EQ(back.values.size(), 0u);
+}
+
 }  // namespace
 }  // namespace fastsc

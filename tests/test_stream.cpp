@@ -11,10 +11,13 @@
 #include <chrono>
 #include <mutex>
 #include <numeric>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "device/event.h"
+#include "fault/fault.h"
 
 namespace fastsc::device {
 namespace {
@@ -295,6 +298,65 @@ TEST(StreamError, EventRecordFiresAfterFailureSoWaitersDoNotDeadlock) {
   EXPECT_THROW(producer.synchronize(), DeviceOutOfMemory);
   consumer.synchronize();  // would deadlock if the record were skipped
   EXPECT_TRUE(consumed.load());
+}
+
+TEST(StreamError, StickyErrorCarriesOriginatingSite) {
+  // Regression: the sticky first error used to surface from a later
+  // synchronize() with no indication of *which* op failed.  The stream now
+  // annotates the in-flight exception with the failing op's label (without
+  // changing its dynamic type).
+  DeviceContext ctx(1);
+  ctx.set_memory_limit(1000);
+  Stream s(ctx, "sticky-site");
+  s.enqueue_labeled("upload-weights",
+                    [&ctx] { DeviceBuffer<double> big(ctx, 1024); });
+  s.enqueue([] {});  // skipped; must not re-annotate the sticky error
+  try {
+    s.synchronize();
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {  // dynamic type preserved
+    EXPECT_EQ(e.site(), "upload-weights");
+    EXPECT_NE(std::string(e.what()).find("[site: upload-weights]"),
+              std::string::npos);
+  }
+}
+
+TEST(StreamError, FirstErrorSiteWinsOverLaterFailures) {
+  DeviceContext ctx(1);
+  ctx.set_memory_limit(1000);
+  Stream s(ctx, "first-wins");
+  s.enqueue_labeled("first-bad",
+                    [&ctx] { DeviceBuffer<double> big(ctx, 1024); });
+  s.enqueue_labeled("second-bad",
+                    [&ctx] { DeviceBuffer<double> big(ctx, 2048); });
+  try {
+    s.synchronize();
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.site(), "first-bad");
+  }
+}
+
+TEST(StreamError, ExhaustedAsyncRetryPreservesTypeAndSite) {
+  // Every occurrence of the stream h2d site faults, so the bounded retry
+  // gives up; the error that surfaces is still the transient transfer type,
+  // annotated with the site where it originated.
+  fault::ArmScope scope(
+      fault::FaultPlan::parse("site=stream.h2d,nth=1,count=0"));
+  DeviceContext ctx(1);
+  Stream s(ctx, "retry-exhausted");
+  DeviceBuffer<double> dev(ctx, 8);
+  std::vector<double> host(8, 1.0);
+  s.copy_to_device_async(dev, std::span<const double>(host));
+  try {
+    s.synchronize();
+    FAIL() << "expected DeviceTransferError";
+  } catch (const DeviceTransferError& e) {
+    EXPECT_TRUE(e.transient());
+    EXPECT_EQ(e.site(), "stream.h2d");
+  }
+  EXPECT_EQ(ctx.counters_snapshot().transfer_retries,
+            static_cast<usize>(ctx.transfer_retry().max_retries));
 }
 
 TEST(Stream, DestructorDrainsOutstandingWork) {

@@ -35,6 +35,9 @@ TESTS=(
   test_spectral_pipeline
   test_trace
   test_metrics_registry
+  test_fault_injection
+  test_degradation
+  test_irlm_checkpoint
 )
 
 echo "== configuring ${SANITIZER}-sanitized build in ${BUILD_DIR} =="

@@ -9,15 +9,21 @@ Checks, in order:
      link and compute engine are each serialized, so any overlap within one
      of those tracks means the emitter is broken.  On wall-clock tracks
      (pid 1, one tid per thread) spans must be properly nested or disjoint.
-  3. Optional cross-check (--metrics metrics.json): recompute the
+  3. Counter series: every fault.* / degrade.* counter ('C') sample is
+     numeric, non-negative, and non-decreasing by timestamp — the emitters
+     publish cumulative registry values, so a dip means double-reset.
+  4. Optional cross-check (--metrics metrics.json): recompute the
      transfer-x-kernel overlap from the virtual-timeline intervals and
      compare it against the device.overlapped_seconds gauge (and the
      h2d/d2h splits) published by the run, within --tolerance.
+  5. Optional presence check (--expect-counter NAME, repeatable): fail if
+     the trace carries no counter samples with that name.
 
 Exit status 0 on success; 1 with a message on the first failure.
 
 Usage:
   check_trace.py trace.json [--metrics metrics.json] [--tolerance 1e-9]
+                 [--expect-counter fault.transfer_retry]
 """
 
 import argparse
@@ -120,6 +126,52 @@ def check_monotonic(tracks):
                 fail(f"track {pid}:{tid}: span '{n}' has end {e} < begin {b}")
 
 
+def counter_series(events):
+    """Group 'C' samples by (pid, name) -> [(ts, value)] sorted by ts."""
+    series = {}
+    for i, e in enumerate(events):
+        if e["ph"] != "C":
+            continue
+        args = e.get("args")
+        if not isinstance(args, dict) or not isinstance(
+                args.get("value"), (int, float)):
+            fail(f"counter event #{i} ('{e['name']}') has no numeric "
+                 f"args.value")
+        series.setdefault((e["pid"], e["name"]), []).append(
+            (float(e["ts"]), float(args["value"])))
+    for samples in series.values():
+        samples.sort(key=lambda s: s[0])
+    return series
+
+
+def check_counter_series(series):
+    """fault.* / degrade.* counters mirror cumulative registry values, so
+    each series must be non-negative and non-decreasing in time."""
+    checked = 0
+    for (pid, name), samples in series.items():
+        if not (name.startswith("fault.") or name.startswith("degrade.")):
+            continue
+        checked += 1
+        prev = None
+        for ts, v in samples:
+            if v < 0:
+                fail(f"counter '{name}' (pid {pid}) negative value {v} "
+                     f"at ts {ts:.3f}")
+            if prev is not None and v < prev:
+                fail(f"counter '{name}' (pid {pid}) decreases {prev} -> {v} "
+                     f"at ts {ts:.3f}; cumulative series must be monotone")
+            prev = v
+    return checked
+
+
+def check_expected_counters(series, names):
+    present = {name for (_, name) in series}
+    for name in names:
+        if name not in present:
+            fail(f"expected counter '{name}' absent from trace "
+                 f"(present: {sorted(present) or ['<none>']})")
+
+
 def recompute_overlap_seconds(tracks):
     """Pairwise link-x-compute intersection, mirroring DeviceContext's
     incremental accounting (each copy/kernel interval pair counted once)."""
@@ -167,6 +219,10 @@ def main():
                          "cross-check overlapped_seconds against the trace")
     ap.add_argument("--tolerance", type=float, default=1e-9,
                     help="absolute tolerance for the overlap cross-check")
+    ap.add_argument("--expect-counter", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a counter series with this name is "
+                         "present (repeatable)")
     args = ap.parse_args()
 
     events = load_events(args.trace)
@@ -174,12 +230,16 @@ def main():
     tracks = spans_by_track(events)
     check_monotonic(tracks)
     check_track_discipline(tracks)
+    series = counter_series(events)
+    fault_series = check_counter_series(series)
+    check_expected_counters(series, args.expect_counter)
     if args.metrics:
         check_against_metrics(tracks, args.metrics, args.tolerance)
     n_spans = sum(len(s) for s in tracks.values())
     print(f"check_trace: OK — {len(events)} events "
           f"({phases.get('X', 0)} spans on {len(tracks)} tracks, "
-          f"{phases.get('C', 0)} counter samples, "
+          f"{phases.get('C', 0)} counter samples in {len(series)} series "
+          f"of which {fault_series} fault/degrade, "
           f"{phases.get('M', 0)} metadata records); "
           f"{n_spans} spans well-formed")
     sys.exit(0)
