@@ -40,17 +40,25 @@ int main(int argc, char** argv) {
 
   TextTable table("Reorthogonalization ablation (n=" + std::to_string(n) +
                   ", k=" + std::to_string(flags.k) + ")");
-  table.header({"Mode", "time/s", "matvecs", "ortho share",
+  table.header({"Mode", "Kernel", "time/s", "matvecs", "ortho share",
                 "max true residual", "converged"});
 
-  for (const auto mode :
-       {lanczos::ReorthMode::kFull, lanczos::ReorthMode::kLocal}) {
+  struct Case {
+    lanczos::ReorthMode mode;
+    lanczos::OrthoKernel kernel;
+  };
+  for (const auto& [mode, kernel] :
+       {Case{lanczos::ReorthMode::kFull, lanczos::OrthoKernel::kBlockedCgs2},
+        Case{lanczos::ReorthMode::kFull, lanczos::OrthoKernel::kMgs},
+        Case{lanczos::ReorthMode::kLocal, lanczos::OrthoKernel::kBlockedCgs2},
+        Case{lanczos::ReorthMode::kLocal, lanczos::OrthoKernel::kMgs}}) {
     lanczos::LanczosConfig cfg;
     cfg.n = n;
     cfg.nev = flags.k;
     cfg.tol = 1e-8;
     cfg.seed = flags.seed;
     cfg.reorth = mode;
+    cfg.ortho_kernel = kernel;
     WallTimer t;
     const auto r = lanczos::solve_symmetric(cfg, matvec);
     const double total = t.seconds();
@@ -73,6 +81,8 @@ int main(int argc, char** argv) {
 
     table.row({mode == lanczos::ReorthMode::kFull ? "full (paper-grade)"
                                                   : "local (cheap)",
+               kernel == lanczos::OrthoKernel::kBlockedCgs2 ? "blocked CGS2"
+                                                            : "MGS loop",
                TextTable::fmt_seconds(total), TextTable::fmt(r.stats.matvec_count),
                TextTable::fmt(100.0 * r.stats.ortho_seconds /
                                   std::max(1e-12, r.stats.rci_seconds),

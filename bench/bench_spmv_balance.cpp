@@ -1,0 +1,98 @@
+// Micro bench: row-chunked vs merge-path (nnz-balanced) CSR SpMV on a
+// power-law graph.
+//
+// device::launch splits kernels into equal ROW chunks; on a Zipf-degree
+// matrix one chunk inherits the hubs and the whole wave waits on it.  The
+// merge-path partition (sparse/balance.h) bounds every worker's share of
+// rows + nnz instead.  This bench reports the modeled worst-wave work for
+// both splits — the quantity that caps achievable SpMV parallelism — plus
+// wall time for the two kernels, and publishes the model as metrics gauges
+// (spmv.rowchunk_wave_max_nnz / spmv.wave_max_nnz) so the perf_smoke CI
+// check can assert the >= 2x balance win from the artifacts alone.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "data/powerlaw.h"
+#include "sparse/balance.h"
+#include "sparse/convert.h"
+#include "sparse/spmv.h"
+
+int main(int argc, char** argv) {
+  using namespace fastsc;
+  CliParser cli(
+      "bench_spmv_balance: merge-path vs row-chunked SpMV balance on a "
+      "power-law (Zipf-degree) graph");
+  const bool run = cli.parse(argc, argv);
+  bench::CommonFlags flags = bench::CommonFlags::parse(cli, /*default_k=*/8);
+  const auto base_n = cli.get_int("n", 20000, "node count (scaled by --scale)");
+  const auto avg_degree =
+      cli.get_double("avg-degree", 16.0, "target mean degree");
+  const auto reps = cli.get_int("reps", 50, "timed SpMV repetitions");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  // The balance story is about a fixed worker count, so default to 8 lanes
+  // rather than whatever the host machine has.
+  const index_t workers = flags.workers == 0 ? 8 : flags.workers;
+  const auto n = static_cast<index_t>(static_cast<double>(base_n) * flags.scale);
+
+  const data::PowerlawGraph g = data::make_powerlaw(
+      {.n = n, .avg_degree = avg_degree, .seed = flags.seed});
+  const sparse::Csr csr = sparse::coo_to_csr(g.w);
+
+  device::DeviceContext ctx(static_cast<usize>(workers));
+  sparse::DeviceCsr dev(ctx, csr);
+  std::vector<real> x(static_cast<usize>(n));
+  Rng rng(flags.seed);
+  for (real& v : x) v = rng.uniform(-1, 1);
+  device::DeviceBuffer<real> dx(ctx, std::span<const real>(x));
+  device::DeviceBuffer<real> dy(ctx, static_cast<usize>(n));
+
+  // Modeled worst-wave work (entries handled by the busiest worker).
+  const index_t chunked =
+      sparse::rowchunk_max_span_nnz(csr.row_ptr.data(), 0, csr.rows, workers);
+  const sparse::MergePathPartition part =
+      sparse::merge_path_partition(csr.row_ptr.data(), 0, csr.rows, workers);
+  obs::metrics().set_gauge("spmv.rowchunk_wave_max_nnz",
+                           static_cast<double>(chunked));
+
+  // Timed loops; the balanced call also publishes spmv.wave_max_nnz.
+  WallTimer t_row;
+  for (index_t r = 0; r < reps; ++r) {
+    sparse::device_csrmv(ctx, dev, dx.data(), dy.data());
+  }
+  const double row_seconds = t_row.seconds();
+  WallTimer t_bal;
+  for (index_t r = 0; r < reps; ++r) {
+    sparse::device_csrmv_balanced(ctx, dev, dx.data(), dy.data());
+  }
+  const double bal_seconds = t_bal.seconds();
+
+  const double ratio = part.max_span_nnz > 0
+                           ? static_cast<double>(chunked) /
+                                 static_cast<double>(part.max_span_nnz)
+                           : 0.0;
+  TextTable table("SpMV balance on power-law graph (n=" + std::to_string(n) +
+                  ", nnz=" + std::to_string(csr.nnz()) +
+                  ", workers=" + std::to_string(workers) + ")");
+  table.header({"Split", "max wave nnz", "mean wave nnz", "time/s",
+                "balance win"});
+  table.row({"row-chunked (owner-computes)", TextTable::fmt(chunked),
+             TextTable::fmt(static_cast<double>(csr.nnz()) /
+                                static_cast<double>(workers),
+                            1),
+             TextTable::fmt_seconds(row_seconds), "1.0x (baseline)"});
+  table.row({"merge-path balanced", TextTable::fmt(part.max_span_nnz),
+             TextTable::fmt(part.mean_span_nnz, 1),
+             TextTable::fmt_seconds(bal_seconds),
+             TextTable::fmt(ratio, 2) + "x"});
+  table.print();
+
+  bench::write_observability_artifacts(flags, ctx);
+  bench::maybe_write_run_report(flags, "spmv_balance", {}, {table});
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "data/powerlaw.h"
 #include "data/sbm.h"
 #include "sparse/convert.h"
 #include "sparse/spmv.h"
@@ -94,6 +95,56 @@ void BM_SpmvDeviceCsr(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * f.csr.nnz());
 }
 
+// Skewed (Zipf-degree) matrix: the hub rows break the row-chunked split, so
+// this is where the merge-path kernel separates from device_csrmv.
+struct SkewedFixture {
+  sparse::Csr csr;
+  std::vector<real> x, y;
+
+  explicit SkewedFixture(index_t n) {
+    const data::PowerlawGraph g =
+        data::make_powerlaw({.n = n, .avg_degree = 12.0, .seed = 9});
+    csr = sparse::coo_to_csr(g.w);
+    x.assign(static_cast<usize>(n), 0.0);
+    y.assign(static_cast<usize>(n), 0.0);
+    Rng rng(7);
+    for (real& v : x) v = rng.uniform(-1, 1);
+  }
+};
+
+SkewedFixture& skewed_fixture(index_t n) {
+  static std::map<index_t, SkewedFixture> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, SkewedFixture(n)).first;
+  return it->second;
+}
+
+void BM_SpmvDeviceCsrSkewed(benchmark::State& state) {
+  SkewedFixture& f = skewed_fixture(state.range(0));
+  device::DeviceContext ctx;
+  sparse::DeviceCsr dev(ctx, f.csr);
+  device::DeviceBuffer<real> dx(ctx, std::span<const real>(f.x));
+  device::DeviceBuffer<real> dy(ctx, f.y.size());
+  for (auto _ : state) {
+    sparse::device_csrmv(ctx, dev, dx.data(), dy.data());
+    benchmark::DoNotOptimize(dy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.csr.nnz());
+}
+
+void BM_SpmvDeviceCsrSkewedBalanced(benchmark::State& state) {
+  SkewedFixture& f = skewed_fixture(state.range(0));
+  device::DeviceContext ctx;
+  sparse::DeviceCsr dev(ctx, f.csr);
+  device::DeviceBuffer<real> dx(ctx, std::span<const real>(f.x));
+  device::DeviceBuffer<real> dy(ctx, f.y.size());
+  for (auto _ : state) {
+    sparse::device_csrmv_balanced(ctx, dev, dx.data(), dy.data());
+    benchmark::DoNotOptimize(dy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.csr.nnz());
+}
+
 void BM_Coo2CsrDevice(benchmark::State& state) {
   Fixture& f = fixture(state.range(0));
   device::DeviceContext ctx;
@@ -112,4 +163,6 @@ BENCHMARK(BM_SpmvCoo)->Arg(1000)->Arg(8000);
 BENCHMARK(BM_SpmvCsc)->Arg(1000)->Arg(8000);
 BENCHMARK(BM_SpmvBsr)->Arg(1000)->Arg(8000);
 BENCHMARK(BM_SpmvDeviceCsr)->Arg(1000)->Arg(8000);
+BENCHMARK(BM_SpmvDeviceCsrSkewed)->Arg(1000)->Arg(8000);
+BENCHMARK(BM_SpmvDeviceCsrSkewedBalanced)->Arg(1000)->Arg(8000);
 BENCHMARK(BM_Coo2CsrDevice)->Arg(8000);

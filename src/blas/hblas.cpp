@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/par.h"
+
 namespace fastsc::hblas {
 
 real dot(index_t n, const real* x, const real* y) noexcept {
@@ -57,7 +59,8 @@ void gemv(index_t m, index_t n, real alpha, const real* a, index_t lda,
     const real* row = a + i * lda;
     real acc = 0;
     for (index_t j = 0; j < n; ++j) acc += row[j] * x[j];
-    y[i] = alpha * acc + beta * y[i];
+    // beta == 0 is pure overwrite: never read y (it may be uninitialized).
+    y[i] = beta == 0 ? alpha * acc : alpha * acc + beta * y[i];
   }
 }
 
@@ -169,6 +172,77 @@ void gemm_nt_naive(index_t m, index_t n, index_t k, real alpha, const real* a,
       c[i * ldc + j] = alpha * acc + beta * c[i * ldc + j];
     }
   }
+}
+
+namespace {
+
+// Below this many flops the fork/join overhead dominates any speedup, so
+// the _par entry points fall back to the serial kernels.
+constexpr index_t kParMinWork = 1 << 14;
+
+// Claimed chunk for the dynamically-scheduled level-1 loops: big enough to
+// amortize the atomic claim, small enough to rebalance a skewed tail.
+constexpr index_t kParGrain = 4096;
+
+}  // namespace
+
+real dot_par(index_t n, const real* x, const real* y) {
+  if (n < kParMinWork) return dot(n, x, y);
+  return parallel_reduce(
+      index_t{0}, n, real{0}, [&](index_t i) { return x[i] * y[i]; },
+      [](real a, real b) { return a + b; });
+}
+
+void axpy_par(index_t n, real alpha, const real* x, real* y) {
+  if (n < kParMinWork) {
+    axpy(n, alpha, x, y);
+    return;
+  }
+  parallel_for(index_t{0}, n, kParGrain,
+               [&](index_t i) { y[i] += alpha * x[i]; });
+}
+
+void gemv_par(index_t m, index_t n, real alpha, const real* a, index_t lda,
+              const real* x, real beta, real* y) {
+  if (m * n < kParMinWork) {
+    gemv(m, n, alpha, a, lda, x, beta, y);
+    return;
+  }
+  parallel_for(index_t{0}, m, [&](index_t i) {
+    const real* row = a + i * lda;
+    real acc = 0;
+    for (index_t j = 0; j < n; ++j) acc += row[j] * x[j];
+    y[i] = beta == 0 ? alpha * acc : alpha * acc + beta * y[i];
+  });
+}
+
+void gemv_t_par(index_t m, index_t n, real alpha, const real* a, index_t lda,
+                const real* x, real beta, real* y) {
+  if (m * n < kParMinWork) {
+    gemv_t(m, n, alpha, a, lda, x, beta, y);
+    return;
+  }
+  ThreadPool& pool = default_thread_pool();
+  const auto slices = static_cast<index_t>(pool.worker_count());
+  // One contiguous column slice per worker; each worker sweeps every row of
+  // A over its slice (unit-stride in both A and y), so no output element is
+  // shared and the per-column accumulation order matches the serial kernel.
+  parallel_for(pool, index_t{0}, slices, [&](index_t s) {
+    const index_t j0 = (n * s) / slices;
+    const index_t j1 = (n * (s + 1)) / slices;
+    if (j0 == j1) return;
+    if (beta == 0) {
+      for (index_t j = j0; j < j1; ++j) y[j] = 0;
+    } else if (beta != 1) {
+      for (index_t j = j0; j < j1; ++j) y[j] *= beta;
+    }
+    for (index_t i = 0; i < m; ++i) {
+      const real s2 = alpha * x[i];
+      if (s2 == 0) continue;
+      const real* row = a + i * lda;
+      for (index_t j = j0; j < j1; ++j) y[j] += s2 * row[j];
+    }
+  });
 }
 
 }  // namespace fastsc::hblas

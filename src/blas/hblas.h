@@ -63,4 +63,29 @@ void gemm_nt_naive(index_t m, index_t n, index_t k, real alpha, const real* a,
                    index_t lda, const real* b, index_t ldb, real beta, real* c,
                    index_t ldc) noexcept;
 
+// ---- threaded host path ---------------------------------------------------
+//
+// Parallel variants over the process-default ThreadPool (common/par.h),
+// used by the blocked CGS2 reorthogonalization where a single level-2 call
+// spans the whole Lanczos basis.  Deterministic for a fixed worker count:
+// reductions fold per-worker partials in worker order, and every output
+// element is written by exactly one worker.  Inputs below an internal
+// work threshold run the serial kernels, so these are safe drop-ins at
+// any size.
+
+/// Parallel dot (per-worker partials combined in worker order).
+[[nodiscard]] real dot_par(index_t n, const real* x, const real* y);
+
+/// Parallel y += alpha * x.
+void axpy_par(index_t n, real alpha, const real* x, real* y);
+
+/// Parallel gemv: rows of A are independent dots, split across workers.
+void gemv_par(index_t m, index_t n, real alpha, const real* a, index_t lda,
+              const real* x, real beta, real* y);
+
+/// Parallel gemv_t: each worker owns a contiguous slice of output columns
+/// and sweeps all rows of A over it (unit-stride inner loop, race-free).
+void gemv_t_par(index_t m, index_t n, real alpha, const real* a, index_t lda,
+                const real* x, real beta, real* y);
+
 }  // namespace fastsc::hblas

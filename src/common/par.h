@@ -5,6 +5,7 @@
 // logical GPU thread per row / edge / data point, scheduled in blocks).
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "common/thread_pool.h"
@@ -36,6 +37,47 @@ void parallel_for(ThreadPool& pool, index_t begin, index_t end, const Body& body
 template <class Body>
 void parallel_for(index_t begin, index_t end, const Body& body) {
   parallel_for(default_thread_pool(), begin, end, body);
+}
+
+/// Chunked (dynamic) scheduling variant: workers claim consecutive chunks
+/// of `grain` iterations from a shared counter instead of taking one big
+/// contiguous slice each, so loops whose per-iteration cost is imbalanced
+/// stop paying the slowest-chunk tail.  Chunks stay contiguous, so the
+/// per-chunk locality of the owner-computes split is preserved; only the
+/// chunk-to-worker assignment becomes nondeterministic (the body must not
+/// care which worker runs it, same contract as above).  grain <= 0 falls
+/// back to the default owner-computes split.
+template <class Body>
+void parallel_for(ThreadPool& pool, index_t begin, index_t end, index_t grain,
+                  const Body& body) {
+  if (grain <= 0) {
+    parallel_for(pool, begin, end, body);
+    return;
+  }
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const auto workers = static_cast<index_t>(pool.worker_count());
+  if (workers == 1 || n <= grain) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<index_t> next{begin};
+  std::function<void(usize)> job = [&](usize) {
+    for (;;) {
+      const index_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const index_t hi = lo + grain < end ? lo + grain : end;
+      for (index_t i = lo; i < hi; ++i) body(i);
+    }
+  };
+  pool.run_workers(job);
+}
+
+/// Chunked parallel_for on the process-default pool.
+template <class Body>
+void parallel_for(index_t begin, index_t end, index_t grain,
+                  const Body& body) {
+  parallel_for(default_thread_pool(), begin, end, grain, body);
 }
 
 /// Reduce body(i) over [begin, end) with `combine`, starting from `init`.

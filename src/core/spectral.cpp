@@ -122,7 +122,8 @@ void pipelined_matvec(device::DeviceContext& ctx,
                       const sparse::DeviceCsrColBlocks& a, const real* x,
                       device::DeviceBuffer<real>& dev_x,
                       device::DeviceBuffer<real>& dev_y,
-                      std::vector<real>& host_y, index_t row_tiles) {
+                      std::vector<real>& host_y, index_t row_tiles,
+                      bool balanced) {
   using Exec = device::PipelineExecutor;
   exec.reset();
   const index_t n = a.rows;
@@ -145,8 +146,13 @@ void pipelined_matvec(device::DeviceContext& ctx,
     const real beta = b == 0 ? 0.0 : 1.0;
     exec.add(
         Exec::kComputeStream, "csrmv-b" + std::to_string(b),
-        [&ctx, &blk, xp, yp, n, beta] {
-          sparse::device_csrmv_range(ctx, blk, xp, yp, 0, n, 1.0, beta);
+        [&ctx, &blk, xp, yp, n, beta, balanced] {
+          if (balanced) {
+            sparse::device_csrmv_range_balanced(ctx, blk, xp, yp, 0, n, 1.0,
+                                                beta);
+          } else {
+            sparse::device_csrmv_range(ctx, blk, xp, yp, 0, n, 1.0, beta);
+          }
         },
         {h2d[b]});
   }
@@ -160,9 +166,14 @@ void pipelined_matvec(device::DeviceContext& ctx,
     const index_t r1 = (n * (t + 1)) / tiles;
     const Exec::NodeId compute = exec.add(
         Exec::kComputeStream, "csrmv-tail" + std::to_string(t),
-        [&ctx, &last, xp, yp, r0, r1, last_beta] {
-          sparse::device_csrmv_range(ctx, last, xp, yp, r0, r1, 1.0,
-                                     last_beta);
+        [&ctx, &last, xp, yp, r0, r1, last_beta, balanced] {
+          if (balanced) {
+            sparse::device_csrmv_range_balanced(ctx, last, xp, yp, r0, r1, 1.0,
+                                                last_beta);
+          } else {
+            sparse::device_csrmv_range(ctx, last, xp, yp, r0, r1, 1.0,
+                                       last_beta);
+          }
         },
         {h2d[nb - 1]});
     exec.add(Exec::kTransferStream, "d2h-y" + std::to_string(t),
@@ -198,6 +209,8 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   auto spmv = [&](const real* x, real* y) {
     if (cfg.spmv_format == DeviceSpmvFormat::kBsr) {
       sparse::device_bsrmv(ctx, p_bsr, x, y);
+    } else if (cfg.balanced_spmv) {
+      sparse::device_csrmv_balanced(ctx, p, x, y);
     } else {
       sparse::device_csrmv(ctx, p, x, y);
     }
@@ -234,7 +247,8 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
         obs::ScopedSpan span("spmv", "wave");
         if (pipelined) {
           pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x,
-                           dev_y, host_y, cfg.overlap_row_tiles);
+                           dev_y, host_y, cfg.overlap_row_tiles,
+                           cfg.balanced_spmv);
         } else {
           // H2D: the vector ARPACK hands out.
           dev_x.copy_from_host(

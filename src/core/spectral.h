@@ -95,6 +95,12 @@ struct SpectralConfig {
   DeviceSpmvFormat spmv_format = DeviceSpmvFormat::kCsr;
   /// Block size when spmv_format == kBsr.
   index_t bsr_block_size = 4;
+  /// nnz-balanced (merge-path) CSR SpMV inside the eigensolver loop: every
+  /// worker gets a near-equal share of rows + entries instead of a fixed
+  /// row chunk, so hub rows on power-law graphs stop serializing the wave
+  /// (sparse::device_csrmv_balanced; spmv.wave_max_nnz gauges the effect).
+  /// Applies to kCsr, both the synchronous and the pipelined path.
+  bool balanced_spmv = true;
 
   /// Overlapped transfer–compute pipeline for the device backend (CSR only;
   /// BSR keeps the synchronous path).  The eigensolver matrix is split into

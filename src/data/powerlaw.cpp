@@ -1,0 +1,63 @@
+#include "data/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sparse/convert.h"
+
+namespace fastsc::data {
+
+PowerlawGraph make_powerlaw(const PowerlawParams& params) {
+  const index_t n = params.n;
+  FASTSC_CHECK(n >= 2, "need at least two nodes");
+  FASTSC_CHECK(params.avg_degree > 0, "average degree must be positive");
+  FASTSC_CHECK(params.exponent > 1, "degree exponent must exceed 1");
+
+  // Zipf rank weights w_i ~ (i+1)^-alpha with alpha = 1/(gamma - 1): the
+  // rank law whose induced degree tail has exponent gamma.  Prefix sums
+  // drive the endpoint sampling.
+  const real alpha = 1.0 / (params.exponent - 1.0);
+  std::vector<real> prefix(static_cast<usize>(n));
+  real total = 0;
+  for (index_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<real>(i) + 1.0, -alpha);
+    prefix[static_cast<usize>(i)] = total;
+  }
+
+  PowerlawGraph graph;
+  graph.expected_degree.resize(static_cast<usize>(n));
+  const real m = params.avg_degree * static_cast<real>(n) / 2.0;
+  for (index_t i = 0; i < n; ++i) {
+    const real w = std::pow(static_cast<real>(i) + 1.0, -alpha);
+    // Each of the 2m endpoint draws lands on i with probability w_i / W.
+    graph.expected_degree[static_cast<usize>(i)] = 2.0 * m * w / total;
+  }
+
+  Rng rng(params.seed);
+  auto draw_node = [&]() {
+    const real target = rng.uniform() * total;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    return static_cast<index_t>(it - prefix.begin());
+  };
+
+  sparse::Coo coo(n, n);
+  const auto edges = static_cast<index_t>(m);
+  coo.reserve(2 * edges);
+  for (index_t e = 0; e < edges; ++e) {
+    const index_t u = draw_node();
+    const index_t v = draw_node();
+    if (u == v) continue;  // reject self loops
+    coo.push(u, v, params.edge_weight);
+    coo.push(v, u, params.edge_weight);
+  }
+  // Merge duplicate edges (hubs collide often), then clamp the summed
+  // values back to the uniform edge weight.
+  sparse::sort_and_merge(coo);
+  for (real& v : coo.values) v = params.edge_weight;
+
+  graph.w = std::move(coo);
+  return graph;
+}
+
+}  // namespace fastsc::data

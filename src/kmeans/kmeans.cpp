@@ -86,7 +86,8 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
   // Step 2: seeding.
   std::vector<index_t> seed_rows;
   if (config.seeding == Seeding::kKmeansPlusPlus) {
-    seed_rows = kmeanspp_seeds_device(ctx, dev_v.data(), n, d, k, rng);
+    seed_rows = kmeanspp_seeds_device(ctx, dev_v.data(), n, d, k, rng,
+                                      config.seeding_candidates);
   } else {
     seed_rows = random_seeds_host(n, k, rng);
   }

@@ -34,6 +34,11 @@ struct KmeansConfig {
   index_t k = 2;
   index_t max_iters = 300;
   Seeding seeding = Seeding::kKmeansPlusPlus;
+  /// Candidate centroids drawn per k-means++ step (greedy k-means++ when
+  /// > 1): all candidates' distance columns are evaluated in one batched
+  /// kernel per step — the data panel is read once, not once per candidate
+  /// — and the lowest-potential candidate wins.  1 = plain Algorithm 5.
+  index_t seeding_candidates = 1;
   CentroidUpdate centroid_update = CentroidUpdate::kSortByLabel;
   /// Independent runs with different seeds; the best objective wins
   /// (sklearn's n_init; Matlab's "replicates").

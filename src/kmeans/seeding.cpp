@@ -81,10 +81,32 @@ std::vector<index_t> kmeanspp_seeds_host(const real* v, index_t n, index_t d,
   return seeds;
 }
 
+namespace {
+
+/// Binary search the device prefix array for the smallest j with
+/// prefix[j] >= target (host read of device data; same precedent as the
+/// plain sampling path).
+index_t sample_from_prefix(const real* prefix, index_t n, real target) {
+  index_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    if (prefix[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
 std::vector<index_t> kmeanspp_seeds_device(device::DeviceContext& ctx,
                                            const real* dev_v, index_t n,
-                                           index_t d, index_t k, Rng& rng) {
+                                           index_t d, index_t k, Rng& rng,
+                                           index_t candidates) {
   FASTSC_CHECK(k >= 1 && k <= n, "k must be in [1, n]");
+  FASTSC_CHECK(candidates >= 1, "candidate count must be positive");
   std::vector<index_t> seeds;
   seeds.reserve(static_cast<usize>(k));
   seeds.push_back(static_cast<index_t>(rng.uniform_index(
@@ -108,42 +130,91 @@ std::vector<index_t> kmeanspp_seeds_device(device::DeviceContext& ctx,
     });
   }
 
+  const index_t ncand = std::min(candidates, n);
+  device::DeviceBuffer<real> cand_dist(
+      ctx, ncand > 1 ? static_cast<usize>(ncand) * static_cast<usize>(n) : 0);
+  std::vector<index_t> picks(static_cast<usize>(ncand));
+
   for (index_t i = 1; i < k; ++i) {
     // P_j = Dist_j^2 / sum_l Dist_l^2, sampled via inclusive scan + one
     // uniform draw (a single binary search on the device prefix array).
     const real total =
         device::inclusive_scan(ctx, dist2.data(), prefix.data(), n);
-    index_t pick;
     if (total <= 0) {
-      pick = static_cast<index_t>(
+      // All remaining points coincide with centroids; fall back to uniform
+      // (candidate evaluation is moot — every potential is identical).
+      const auto pick = static_cast<index_t>(
           rng.uniform_index(static_cast<std::uint64_t>(n)));
-    } else {
-      const real target = rng.uniform() * total;
-      // Binary search the prefix array (device data; one logical thread).
-      const real* pf = prefix.data();
-      index_t lo = 0, hi = n - 1;
-      while (lo < hi) {
-        const index_t mid = lo + (hi - lo) / 2;
-        if (pf[mid] < target) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
+      seeds.push_back(pick);
+      const real* c = dev_v + pick * d;
+      device::launch(ctx, n, [=](index_t j) {
+        const real* row = dev_v + j * d;
+        real acc = 0;
+        for (index_t l = 0; l < d; ++l) {
+          const real delta = row[l] - c[l];
+          acc += delta * delta;
         }
-      }
-      pick = lo;
+        if (acc < dp[j]) dp[j] = acc;
+      });
+      continue;
     }
-    seeds.push_back(pick);
-    // newDist kernel + elementwise min fold (Algorithm 5's last two lines).
-    const real* c = dev_v + pick * d;
+
+    if (ncand == 1) {
+      const index_t pick =
+          sample_from_prefix(prefix.data(), n, rng.uniform() * total);
+      seeds.push_back(pick);
+      // newDist kernel + elementwise min fold (Algorithm 5's last two lines).
+      const real* c = dev_v + pick * d;
+      device::launch(ctx, n, [=](index_t j) {
+        const real* row = dev_v + j * d;
+        real acc = 0;
+        for (index_t l = 0; l < d; ++l) {
+          const real delta = row[l] - c[l];
+          acc += delta * delta;
+        }
+        if (acc < dp[j]) dp[j] = acc;
+      });
+      continue;
+    }
+
+    // Greedy refinement: draw all candidates up front, then evaluate the
+    // folded distance of every point to every candidate in ONE kernel so
+    // the n x d data panel streams through once per step.
+    for (index_t c = 0; c < ncand; ++c) {
+      picks[static_cast<usize>(c)] =
+          sample_from_prefix(prefix.data(), n, rng.uniform() * total);
+    }
+    const index_t* pk = picks.data();
+    real* cd = cand_dist.data();
+    const index_t nc = ncand;
     device::launch(ctx, n, [=](index_t j) {
       const real* row = dev_v + j * d;
-      real acc = 0;
-      for (index_t l = 0; l < d; ++l) {
-        const real delta = row[l] - c[l];
-        acc += delta * delta;
+      const real cur = dp[j];
+      for (index_t c = 0; c < nc; ++c) {
+        const real* cand = dev_v + pk[c] * d;
+        real acc = 0;
+        for (index_t l = 0; l < d; ++l) {
+          const real delta = row[l] - cand[l];
+          acc += delta * delta;
+        }
+        cd[c * n + j] = acc < cur ? acc : cur;
       }
-      if (acc < dp[j]) dp[j] = acc;
     });
+    // Keep the candidate with the smallest total potential (ties -> the
+    // earliest draw, keeping the result deterministic for a fixed seed).
+    index_t best = 0;
+    real best_pot = device::reduce_sum(ctx, cd, n);
+    for (index_t c = 1; c < ncand; ++c) {
+      const real pot = device::reduce_sum(
+          ctx, cd + static_cast<usize>(c) * static_cast<usize>(n), n);
+      if (pot < best_pot) {
+        best_pot = pot;
+        best = c;
+      }
+    }
+    seeds.push_back(picks[static_cast<usize>(best)]);
+    const real* win = cd + static_cast<usize>(best) * static_cast<usize>(n);
+    device::launch(ctx, n, [=](index_t j) { dp[j] = win[j]; });
   }
   return seeds;
 }

@@ -24,8 +24,17 @@ namespace fastsc::kmeans {
 /// centroid by an inclusive scan of the squared distances plus a single
 /// uniform draw (Thrust-style).  `dev_v` is the device-resident n x d data;
 /// returns the chosen row indices.
+///
+/// `candidates` > 1 enables greedy k-means++ (the scikit-learn default,
+/// Arthur & Vassilvitskii's suggested refinement): at each step it samples
+/// that many candidate centroids by D^2 weighting, evaluates the distance
+/// of every point to ALL candidates in one batched kernel — the data panel
+/// is read once per step instead of once per candidate, the same
+/// amortization as the batched SpMM — and keeps the candidate minimizing
+/// the total potential.  candidates == 1 reproduces the plain behavior
+/// draw-for-draw.
 [[nodiscard]] std::vector<index_t> kmeanspp_seeds_device(
     device::DeviceContext& ctx, const real* dev_v, index_t n, index_t d,
-    index_t k, Rng& rng);
+    index_t k, Rng& rng, index_t candidates = 1);
 
 }  // namespace fastsc::kmeans

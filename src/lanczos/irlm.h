@@ -52,6 +52,17 @@ enum class DenseTier { kBlocked, kNaive };
 /// spectra (bench_ablation_reorth quantifies the tradeoff).
 enum class ReorthMode { kFull, kLocal };
 
+/// How the reorthogonalization passes are computed.
+///
+/// kBlockedCgs2 expresses each pass as classical Gram-Schmidt against the
+/// packed basis — c = V w (gemv), w -= V^T c (gemv_t) — two level-2 calls
+/// per pass through the threaded hblas path instead of up-to-ncv level-1
+/// dot/axpy pairs.  Two CGS passes ("twice is enough", Giraud et al. 2005)
+/// match two-pass MGS to the same working-precision orthogonality, so the
+/// Ritz values agree with the kMgs path to existing tolerances; kMgs keeps
+/// the legacy per-vector loop for the reorth ablation bench.
+enum class OrthoKernel { kBlockedCgs2, kMgs };
+
 struct LanczosConfig {
   index_t n = 0;    ///< problem size
   index_t nev = 1;  ///< number of eigenpairs wanted (paper's k)
@@ -65,6 +76,7 @@ struct LanczosConfig {
   std::uint64_t seed = 42;
   DenseTier dense_tier = DenseTier::kBlocked;
   ReorthMode reorth = ReorthMode::kFull;
+  OrthoKernel ortho_kernel = OrthoKernel::kBlockedCgs2;
   /// Optional starting vector (length n); empty selects a seeded random
   /// vector.  A good warm start (e.g. the previous solution when the matrix
   /// changed slightly) reduces restarts — ARPACK's `resid/info=1` option.
@@ -204,6 +216,7 @@ class SymLanczos {
   std::vector<real> v_;   // (ncv+1) x n row-major basis, rows are vectors
   std::vector<real> t_;   // ncv x ncv projected matrix (symmetric)
   std::vector<real> w_;   // matvec result / working vector, length n
+  std::vector<real> c_;   // CGS2 coefficient scratch, length ncv + 1
   index_t j_ = 0;         // current Lanczos step
   index_t nkept_ = 0;     // thick-restart kept count (arrowhead column)
   real beta_last_ = 0;    // coupling of v_m to the basis

@@ -1,5 +1,6 @@
 #include "solvers/cg.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "blas/hblas.h"
@@ -81,6 +82,114 @@ CgResult conjugate_gradient_jacobi(
         for (index_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
       },
       config);
+}
+
+CgBlockResult conjugate_gradient_block(
+    const std::function<void(const real* x, real* y, index_t nvec)>&
+        block_matvec,
+    index_t n, index_t nrhs, const real* b, real* x, const CgConfig& config) {
+  FASTSC_CHECK(n >= 1, "system size must be positive");
+  FASTSC_CHECK(nrhs >= 0, "right-hand-side count must be non-negative");
+  CgBlockResult result;
+  result.rhs.resize(static_cast<usize>(nrhs));
+  if (nrhs == 0) {
+    result.all_converged = true;
+    return result;
+  }
+  const usize total = static_cast<usize>(nrhs) * static_cast<usize>(n);
+  std::vector<real> r(total);
+  std::vector<real> p(total);
+  std::vector<real> ap(total);
+  std::vector<real> panel(total);
+  std::vector<real> bnorm(static_cast<usize>(nrhs));
+  std::vector<real> rz(static_cast<usize>(nrhs));
+  std::vector<index_t> active;
+  active.reserve(static_cast<usize>(nrhs));
+
+  // R = B - A X, batched over all systems.
+  block_matvec(x, ap.data(), nrhs);
+  ++result.block_applies;
+  for (index_t i = 0; i < nrhs; ++i) {
+    const usize off = static_cast<usize>(i) * static_cast<usize>(n);
+    bnorm[static_cast<usize>(i)] = hblas::nrm2(n, b + off);
+    if (bnorm[static_cast<usize>(i)] == 0) {
+      for (index_t j = 0; j < n; ++j) x[off + static_cast<usize>(j)] = 0;
+      result.rhs[static_cast<usize>(i)].converged = true;
+      continue;
+    }
+    for (index_t j = 0; j < n; ++j) {
+      r[off + static_cast<usize>(j)] =
+          b[off + static_cast<usize>(j)] - ap[off + static_cast<usize>(j)];
+    }
+    hblas::copy(n, r.data() + off, p.data() + off);
+    rz[static_cast<usize>(i)] = hblas::dot(n, r.data() + off, r.data() + off);
+    active.push_back(i);
+  }
+
+  std::vector<index_t> still_active;
+  for (index_t it = 0; it < config.max_iters && !active.empty(); ++it) {
+    // Convergence checks first, same cadence as the single-RHS loop; a
+    // system that converges drops out of this iteration's batch.
+    still_active.clear();
+    for (index_t i : active) {
+      CgResult& out = result.rhs[static_cast<usize>(i)];
+      const usize off = static_cast<usize>(i) * static_cast<usize>(n);
+      out.relative_residual =
+          hblas::nrm2(n, r.data() + off) / bnorm[static_cast<usize>(i)];
+      if (out.relative_residual <= config.tol) {
+        out.converged = true;
+        out.iterations = it;
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    active.swap(still_active);
+    if (active.empty()) break;
+
+    // One batched product over the active panel.
+    const auto act = static_cast<index_t>(active.size());
+    for (index_t k = 0; k < act; ++k) {
+      hblas::copy(n,
+                  p.data() + static_cast<usize>(active[static_cast<usize>(k)]) *
+                                 static_cast<usize>(n),
+                  panel.data() + static_cast<usize>(k) * static_cast<usize>(n));
+    }
+    block_matvec(panel.data(), ap.data(), act);
+    ++result.block_applies;
+
+    for (index_t k = 0; k < act; ++k) {
+      const index_t i = active[static_cast<usize>(k)];
+      const usize off = static_cast<usize>(i) * static_cast<usize>(n);
+      real* pi = p.data() + off;
+      real* ri = r.data() + off;
+      const real* apk =
+          ap.data() + static_cast<usize>(k) * static_cast<usize>(n);
+      const real pap = hblas::dot(n, pi, apk);
+      FASTSC_CHECK(pap > 0, "operator is not positive definite (p'Ap <= 0)");
+      const real alpha = rz[static_cast<usize>(i)] / pap;
+      hblas::axpy(n, alpha, pi, x + off);
+      hblas::axpy(n, -alpha, apk, ri);
+      const real rz_new = hblas::dot(n, ri, ri);
+      const real beta = rz_new / rz[static_cast<usize>(i)];
+      rz[static_cast<usize>(i)] = rz_new;
+      for (index_t j = 0; j < n; ++j) pi[j] = ri[j] + beta * pi[j];
+      result.rhs[static_cast<usize>(i)].iterations = it + 1;
+    }
+  }
+  // Budget exhausted for whatever stayed active.
+  for (index_t i : active) {
+    CgResult& out = result.rhs[static_cast<usize>(i)];
+    const usize off = static_cast<usize>(i) * static_cast<usize>(n);
+    out.relative_residual =
+        hblas::nrm2(n, r.data() + off) / bnorm[static_cast<usize>(i)];
+    out.converged = out.relative_residual <= config.tol;
+  }
+  result.all_converged = true;
+  for (const CgResult& out : result.rhs) {
+    result.iterations = std::max(result.iterations, out.iterations);
+    result.all_converged = result.all_converged && out.converged;
+  }
+  return result;
 }
 
 }  // namespace fastsc::solvers

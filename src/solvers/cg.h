@@ -37,4 +37,24 @@ CgResult conjugate_gradient_jacobi(
     const std::function<void(const real*, real*)>& matvec, index_t n,
     const real* b, const real* inv_diag, real* x, const CgConfig& config = {});
 
+struct CgBlockResult {
+  index_t iterations = 0;  ///< max iterations over the right-hand sides
+  index_t block_applies = 0;  ///< batched operator applications
+  std::vector<CgResult> rhs;  ///< per-RHS outcome, same order as b
+  bool all_converged = false;
+};
+
+/// Solve A X = B for nrhs right-hand sides simultaneously (B and X row-major
+/// nrhs x n, rows are vectors).  Each RHS runs its own CG recurrence —
+/// scalars, convergence, and iterates match conjugate_gradient exactly —
+/// but the per-iteration products A p_i are batched through one
+/// `block_matvec` call over the still-active systems, so a sparse operator
+/// (sparse::device_csrmm) reads the matrix once per iteration instead of
+/// once per RHS.  Converged systems drop out of the batch.
+CgBlockResult conjugate_gradient_block(
+    const std::function<void(const real* x, real* y, index_t nvec)>&
+        block_matvec,
+    index_t n, index_t nrhs, const real* b, real* x,
+    const CgConfig& config = {});
+
 }  // namespace fastsc::solvers

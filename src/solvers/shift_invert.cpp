@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "obs/trace.h"
+#include "solvers/subspace_iteration.h"
 
 namespace fastsc::solvers {
 
@@ -72,6 +73,88 @@ lanczos::SymEigResult solve_smallest_shift_invert(
   }
   if (stats != nullptr) *stats = local_stats;
   return sorted;
+}
+
+lanczos::SymEigResult solve_smallest_shift_invert_block(
+    const std::function<void(const real* x, real* y, index_t nvec)>&
+        block_matvec,
+    const ShiftInvertConfig& config, ShiftInvertStats* stats) {
+  const index_t n = config.lanczos.n;
+  FASTSC_CHECK(n >= 1, "problem size must be positive");
+  const real sigma = config.sigma;
+
+  // Shifted block operator Y = (A - sigma I) X, batched.
+  auto shifted_block = [&](const real* x, real* y, index_t nvec) {
+    block_matvec(x, y, nvec);
+    const usize total = static_cast<usize>(nvec) * static_cast<usize>(n);
+    for (usize i = 0; i < total; ++i) y[i] -= sigma * x[i];
+  };
+
+  ShiftInvertStats local_stats;
+
+  SubspaceConfig scfg;
+  scfg.n = n;
+  scfg.nev = config.lanczos.nev;
+  scfg.tol = config.lanczos.tol;
+  scfg.seed = config.lanczos.seed;
+  scfg.max_iters = std::max<index_t>(config.lanczos.max_restarts, 1) * 10;
+  // Inverse applied to the whole basis at once: one multi-RHS CG solve per
+  // outer iteration, each of whose inner products is a single batched SpMM.
+  scfg.block_matvec = [&](const real* x, real* y, index_t nvec) {
+    const usize total = static_cast<usize>(nvec) * static_cast<usize>(n);
+    std::fill(y, y + total, 0.0);
+    const CgBlockResult cg = conjugate_gradient_block(
+        shifted_block, n, nvec, x, y, config.cg);
+    local_stats.outer_matvecs += nvec;
+    local_stats.all_solves_converged &= cg.all_converged;
+    for (const CgResult& out : cg.rhs) {
+      local_stats.total_cg_iterations += out.iterations;
+      local_stats.cg_iteration_history.push_back(out.iterations);
+    }
+    if (obs::trace_enabled()) {
+      obs::trace().counter("shift_invert.cg_iterations",
+                           static_cast<double>(cg.iterations),
+                           obs::wall_now_us());
+    }
+  };
+  scfg.block = 0;  // nev + guard vectors
+
+  const SubspaceResult sub = subspace_iteration(
+      [&](const real* x, real* y) { scfg.block_matvec(x, y, 1); }, scfg);
+
+  // Back-map theta = 1/(lambda - sigma) => lambda = sigma + 1/theta and sort
+  // ascending in the original spectrum.
+  const auto nev = static_cast<usize>(config.lanczos.nev);
+  std::vector<real> lambdas(nev);
+  for (usize i = 0; i < nev; ++i) {
+    const real theta = sub.eigenvalues[i];
+    FASTSC_ASSERT(theta != 0);
+    lambdas[i] = sigma + 1.0 / theta;
+  }
+  std::vector<index_t> order(nev);
+  for (usize i = 0; i < nev; ++i) order[i] = static_cast<index_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return lambdas[static_cast<usize>(a)] < lambdas[static_cast<usize>(b)];
+  });
+
+  lanczos::SymEigResult result;
+  result.eigenvalues.resize(nev);
+  result.residuals.resize(nev);
+  result.eigenvectors.resize(nev * static_cast<usize>(n));
+  for (usize i = 0; i < nev; ++i) {
+    const auto src = static_cast<usize>(order[i]);
+    result.eigenvalues[i] = lambdas[src];
+    result.residuals[i] = sub.residuals[src];
+    std::copy(sub.eigenvectors.begin() + static_cast<index_t>(src) * n,
+              sub.eigenvectors.begin() + static_cast<index_t>(src + 1) * n,
+              result.eigenvectors.begin() + static_cast<index_t>(i) * n);
+  }
+  result.converged = sub.converged;
+  result.stats.matvec_count = sub.matvec_count;
+  result.stats.restart_count = sub.iterations;
+  result.stats.converged_count = sub.converged ? config.lanczos.nev : 0;
+  if (stats != nullptr) *stats = local_stats;
+  return result;
 }
 
 }  // namespace fastsc::solvers

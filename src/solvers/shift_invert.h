@@ -43,4 +43,16 @@ lanczos::SymEigResult solve_smallest_shift_invert(
     const std::function<void(const real*, real*)>& matvec,
     const ShiftInvertConfig& config, ShiftInvertStats* stats = nullptr);
 
+/// Multi-RHS variant: subspace iteration on (A - sigma I)^-1 where each
+/// outer restart applies the inverse to the whole basis through one
+/// block-CG solve (solvers::conjugate_gradient_block), whose per-iteration
+/// products batch through `block_matvec` — Y = A X for nvec packed row
+/// vectors, typically sparse::device_csrmm — so the matrix is read once
+/// per CG iteration instead of once per basis vector.  Same eigenpairs as
+/// solve_smallest_shift_invert to solver tolerances, ascending order.
+lanczos::SymEigResult solve_smallest_shift_invert_block(
+    const std::function<void(const real* x, real* y, index_t nvec)>&
+        block_matvec,
+    const ShiftInvertConfig& config, ShiftInvertStats* stats = nullptr);
+
 }  // namespace fastsc::solvers

@@ -23,6 +23,12 @@ struct SubspaceConfig {
   index_t max_iters = 1000;   ///< outer iterations
   index_t ritz_every = 5;     ///< Rayleigh-Ritz projection cadence
   std::uint64_t seed = 42;
+  /// Optional batched operator: Y = A X for nvec packed vectors (X and Y
+  /// row-major nvec x n, rows are vectors).  When set, the per-iteration
+  /// A X panel and the residual batch go through one call instead of one
+  /// matvec per basis vector — with sparse::device_csrmm the matrix is
+  /// read once per panel.  Must agree with `matvec` row-for-row.
+  std::function<void(const real* x, real* y, index_t nvec)> block_matvec;
 };
 
 struct SubspaceResult {

@@ -1,0 +1,91 @@
+#include "sparse/balance.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fastsc::sparse {
+
+namespace {
+
+/// Diagonal binary search: find the merge-path coordinate (r, e) with
+/// r + e == d where the merge of the row-end offsets row_ptr[row_begin+1..]
+/// and the entry indices crosses diagonal d.  Both coordinates are relative
+/// to the range (r counts rows past row_begin, e entries past
+/// row_ptr[row_begin]).  The result satisfies the CSR invariant
+/// row_ptr[row_begin + r] - ent0 <= e <= row_ptr[row_begin + r + 1] - ent0.
+struct Coord {
+  index_t row;
+  index_t ent;
+};
+
+Coord merge_path_search(const index_t* row_ptr, index_t row_begin,
+                        index_t rows, index_t nnz, index_t d) {
+  const index_t ent0 = row_ptr[row_begin];
+  index_t lo = d > nnz ? d - nnz : 0;
+  index_t hi = d < rows ? d : rows;
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    // Consume row-end offset `mid` before entry `d - 1 - mid` iff the row
+    // ends at or before that entry.
+    if (row_ptr[row_begin + mid + 1] - ent0 <= d - 1 - mid) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return Coord{lo, d - lo};
+}
+
+}  // namespace
+
+MergePathPartition merge_path_partition(const index_t* row_ptr,
+                                        index_t row_begin, index_t row_end,
+                                        index_t spans) {
+  FASTSC_CHECK(row_begin >= 0 && row_begin <= row_end,
+               "bad merge-path row range");
+  MergePathPartition part;
+  part.row_begin = row_begin;
+  part.row_end = row_end;
+  part.spans = spans < 1 ? 1 : spans;
+
+  const index_t rows = row_end - row_begin;
+  const index_t ent0 = row_ptr[row_begin];
+  const index_t nnz = row_ptr[row_end] - ent0;
+  const index_t total = rows + nnz;
+
+  part.span_row.resize(static_cast<usize>(part.spans) + 1);
+  part.span_ent.resize(static_cast<usize>(part.spans) + 1);
+  for (index_t s = 0; s <= part.spans; ++s) {
+    const index_t d = (total * s) / part.spans;
+    const Coord c = merge_path_search(row_ptr, row_begin, rows, nnz, d);
+    part.span_row[static_cast<usize>(s)] = row_begin + c.row;
+    part.span_ent[static_cast<usize>(s)] = ent0 + c.ent;
+  }
+
+  index_t max_nnz = 0;
+  for (index_t s = 0; s < part.spans; ++s) {
+    max_nnz = std::max(max_nnz, part.span_ent[static_cast<usize>(s) + 1] -
+                                    part.span_ent[static_cast<usize>(s)]);
+  }
+  part.max_span_nnz = max_nnz;
+  part.mean_span_nnz =
+      static_cast<real>(nnz) / static_cast<real>(part.spans);
+  return part;
+}
+
+index_t rowchunk_max_span_nnz(const index_t* row_ptr, index_t row_begin,
+                              index_t row_end, index_t workers) {
+  const index_t rows = row_end - row_begin;
+  if (rows <= 0) return 0;
+  const index_t w = workers < 1 ? 1 : workers;
+  const index_t chunk = (rows + w - 1) / w;
+  index_t max_nnz = 0;
+  for (index_t lo = row_begin; lo < row_end; lo += chunk) {
+    const index_t hi = std::min(lo + chunk, row_end);
+    max_nnz = std::max(max_nnz, row_ptr[hi] - row_ptr[lo]);
+  }
+  return max_nnz;
+}
+
+}  // namespace fastsc::sparse

@@ -4,10 +4,28 @@
 
 #include "common/error.h"
 #include "device/algorithms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fastsc::sparse {
 
+namespace {
+
+/// Shared beta prologue of the accumulate-style host SpMVs: y = beta * y,
+/// with beta == 0 writing zeros outright so callers may pass fresh
+/// (uninitialized) storage — NaNs in y must never leak through 0 * NaN.
+inline void host_beta_prologue(index_t rows, real beta, real* y) {
+  if (beta == 0) {
+    std::fill(y, y + rows, 0.0);
+  } else if (beta != 1) {
+    for (index_t r = 0; r < rows; ++r) y[r] *= beta;
+  }
+}
+
+}  // namespace
+
 void csr_mv(const Csr& a, const real* x, real* y, real alpha, real beta) {
+  host_beta_prologue(a.rows, beta, y);
   for (index_t r = 0; r < a.rows; ++r) {
     real acc = 0;
     for (index_t p = a.row_ptr[static_cast<usize>(r)];
@@ -15,16 +33,12 @@ void csr_mv(const Csr& a, const real* x, real* y, real alpha, real beta) {
       acc += a.values[static_cast<usize>(p)] *
              x[a.col_idx[static_cast<usize>(p)]];
     }
-    y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+    y[r] += alpha * acc;
   }
 }
 
 void coo_mv(const Coo& a, const real* x, real* y, real alpha, real beta) {
-  if (beta == 0) {
-    std::fill(y, y + a.rows, 0.0);
-  } else if (beta != 1) {
-    for (index_t r = 0; r < a.rows; ++r) y[r] *= beta;
-  }
+  host_beta_prologue(a.rows, beta, y);
   const usize nnz = a.values.size();
   for (usize i = 0; i < nnz; ++i) {
     y[a.row_idx[i]] += alpha * a.values[i] * x[a.col_idx[i]];
@@ -32,11 +46,7 @@ void coo_mv(const Coo& a, const real* x, real* y, real alpha, real beta) {
 }
 
 void csc_mv(const Csc& a, const real* x, real* y, real alpha, real beta) {
-  if (beta == 0) {
-    std::fill(y, y + a.rows, 0.0);
-  } else if (beta != 1) {
-    for (index_t r = 0; r < a.rows; ++r) y[r] *= beta;
-  }
+  host_beta_prologue(a.rows, beta, y);
   for (index_t c = 0; c < a.cols; ++c) {
     const real s = alpha * x[c];
     if (s == 0) continue;
@@ -50,11 +60,7 @@ void csc_mv(const Csc& a, const real* x, real* y, real alpha, real beta) {
 
 void bsr_mv(const Bsr& a, const real* x, real* y, real alpha, real beta) {
   const index_t b = a.block_size;
-  if (beta == 0) {
-    std::fill(y, y + a.rows, 0.0);
-  } else if (beta != 1) {
-    for (index_t r = 0; r < a.rows; ++r) y[r] *= beta;
-  }
+  host_beta_prologue(a.rows, beta, y);
   for (index_t br = 0; br < a.block_rows; ++br) {
     const index_t r_lo = br * b;
     const index_t r_hi = std::min(r_lo + b, a.rows);
@@ -118,6 +124,169 @@ void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
       acc += values[p] * x[col_idx[p]];
     }
     y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+  });
+}
+
+std::shared_ptr<const MergePathPartition> CsrBalanceCache::get(
+    const index_t* row_ptr, index_t row_begin, index_t row_end,
+    index_t spans) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.row_begin == row_begin && e.row_end == row_end &&
+          e.spans == spans) {
+        return e.part;
+      }
+    }
+  }
+  // Build outside the lock (the search is read-only, so a racing duplicate
+  // build is wasted work, not a hazard).
+  auto part = std::make_shared<const MergePathPartition>(
+      merge_path_partition(row_ptr, row_begin, row_end, spans));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.row_begin == row_begin && e.row_end == row_end &&
+        e.spans == spans) {
+      return e.part;
+    }
+  }
+  entries_.push_back(Entry{row_begin, row_end, spans, part});
+  return part;
+}
+
+namespace {
+
+/// Shared body of the balanced csrmv variants.  Each span walks its merge
+/// segment: rows it fully owns are written directly; the partial sums of
+/// rows cut by a span boundary go to per-span carry slots (head = 2s,
+/// tail = 2s + 1) that a sequential fixup kernel folds in span order —
+/// same grouping every run, so the result is deterministic for a fixed
+/// worker count.
+void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
+                         const real* x, real* y, index_t row_begin,
+                         index_t row_end, real alpha, real beta) {
+  FASTSC_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= a.rows,
+               "csrmv row range out of bounds");
+  if (row_end == row_begin) return;
+  const index_t* row_ptr = a.row_ptr.data();
+  const index_t* col_idx = a.col_idx.data();
+  const real* values = a.values.data();
+
+  const auto spans = static_cast<index_t>(ctx.pool().worker_count());
+  const std::shared_ptr<const MergePathPartition> part =
+      a.balance->get(row_ptr, row_begin, row_end, spans);
+  obs::metrics().set_gauge("spmv.wave_max_nnz",
+                           static_cast<double>(part->max_span_nnz));
+  obs::metrics().set_gauge("spmv.wave_mean_nnz",
+                           static_cast<double>(part->mean_span_nnz));
+  obs::metrics().counter("spmv.balanced_waves").add(1);
+  if (obs::trace_enabled()) {
+    const double ts = obs::wall_now_us();
+    obs::trace().counter("spmv.wave_max_nnz",
+                         static_cast<double>(part->max_span_nnz), ts);
+    obs::trace().counter("spmv.wave_mean_nnz",
+                         static_cast<double>(part->mean_span_nnz), ts);
+  }
+
+  const index_t* span_row = part->span_row.data();
+  const index_t* span_ent = part->span_ent.data();
+  // Host-side carry scratch captured by the kernels, like device_cscmv's
+  // partial buffers.
+  std::vector<real> carry_val(static_cast<usize>(2 * spans), 0.0);
+  std::vector<index_t> carry_row(static_cast<usize>(2 * spans), -1);
+  real* cval = carry_val.data();
+  index_t* crow = carry_row.data();
+
+  device::launch(ctx, spans, [=](index_t s) {
+    crow[2 * s] = -1;
+    crow[2 * s + 1] = -1;
+    const index_t r0 = span_row[s];
+    const index_t r1 = span_row[s + 1];
+    const index_t e0 = span_ent[s];
+    const index_t e1 = span_ent[s + 1];
+    index_t e = e0;
+    for (index_t r = r0; r < r1; ++r) {
+      const index_t end = row_ptr[r + 1];
+      real acc = 0;
+      for (; e < end; ++e) acc += values[e] * x[col_idx[e]];
+      if (r == r0 && e0 > row_ptr[r0]) {
+        // Head of this span but tail of the row: earlier spans hold the
+        // rest, so stash the partial instead of writing.
+        crow[2 * s] = r;
+        cval[2 * s] = acc;
+      } else {
+        y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+      }
+    }
+    if (e < e1) {
+      // Leading entries of the boundary row r1; later spans finish it.
+      real acc = 0;
+      for (; e < e1; ++e) acc += values[e] * x[col_idx[e]];
+      crow[2 * s + 1] = r1;
+      cval[2 * s + 1] = acc;
+    }
+  });
+
+  // Sequential fixup: consecutive same-row carries (empty slots skipped)
+  // are one boundary row split across spans; fold them in span order.
+  const index_t slots = 2 * spans;
+  device::launch(ctx, 1, [=](index_t) {
+    index_t i = 0;
+    while (i < slots) {
+      if (crow[i] < 0) {
+        ++i;
+        continue;
+      }
+      const index_t r = crow[i];
+      real tot = cval[i];
+      ++i;
+      while (i < slots && (crow[i] == r || crow[i] < 0)) {
+        if (crow[i] == r) tot += cval[i];
+        ++i;
+      }
+      y[r] = alpha * tot + (beta == 0 ? 0 : beta * y[r]);
+    }
+  });
+}
+
+}  // namespace
+
+void device_csrmv_balanced(device::DeviceContext& ctx, const DeviceCsr& a,
+                           const real* x, real* y, real alpha, real beta) {
+  csrmv_balanced_impl(ctx, a, x, y, 0, a.rows, alpha, beta);
+}
+
+void device_csrmv_range_balanced(device::DeviceContext& ctx,
+                                 const DeviceCsr& a, const real* x, real* y,
+                                 index_t row_begin, index_t row_end, real alpha,
+                                 real beta) {
+  csrmv_balanced_impl(ctx, a, x, y, row_begin, row_end, alpha, beta);
+}
+
+void device_csrmm(device::DeviceContext& ctx, const DeviceCsr& a,
+                  const real* x, real* y, index_t nvec, real alpha,
+                  real beta) {
+  FASTSC_CHECK(nvec >= 0, "csrmm vector count must be non-negative");
+  if (nvec == 0) return;
+  const index_t* row_ptr = a.row_ptr.data();
+  const index_t* col_idx = a.col_idx.data();
+  const real* values = a.values.data();
+  const index_t rows = a.rows;
+  const index_t cols = a.cols;
+  // One sweep of A serves all nvec vectors: for each row the entry list is
+  // read once and re-dotted against every input row.  The per-(j, r)
+  // accumulation order matches device_csrmv exactly, so Y's row j is
+  // bitwise identical to csrmv on X's row j.
+  device::launch(ctx, rows, [=](index_t r) {
+    for (index_t j = 0; j < nvec; ++j) {
+      const real* xj = x + j * cols;
+      real acc = 0;
+      for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+        acc += values[p] * xj[col_idx[p]];
+      }
+      real* yj = y + j * rows;
+      yj[r] = alpha * acc + (beta == 0 ? 0 : beta * yj[r]);
+    }
   });
 }
 

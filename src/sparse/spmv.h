@@ -7,7 +7,11 @@
 // comparison bench.
 #pragma once
 
+#include <memory>
+#include <mutex>
+
 #include "device/device.h"
+#include "sparse/balance.h"
 #include "sparse/bsr.h"
 #include "sparse/coo.h"
 #include "sparse/csc.h"
@@ -31,6 +35,30 @@ void bsr_mv(const Bsr& a, const real* x, real* y, real alpha = 1.0,
 
 // ---- device-resident CSR and SpMV -----------------------------------------
 
+/// Memoized merge-path partitions of one DeviceCsr, keyed on
+/// (row_begin, row_end, spans).  The balanced SpMV looks its partition up
+/// here so the O(spans log nnz) search runs once per (matrix, row range,
+/// worker count), not once per wave; the pipelined eigensolver hits the
+/// same ranges every iteration.  Guarded by a mutex because waves of
+/// different row tiles may race on first use.
+class CsrBalanceCache {
+ public:
+  /// Return the cached partition, building it on a miss.
+  [[nodiscard]] std::shared_ptr<const MergePathPartition> get(
+      const index_t* row_ptr, index_t row_begin, index_t row_end,
+      index_t spans);
+
+ private:
+  struct Entry {
+    index_t row_begin;
+    index_t row_end;
+    index_t spans;
+    std::shared_ptr<const MergePathPartition> part;
+  };
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
 /// CSR matrix living in (simulated) device memory.
 struct DeviceCsr {
   index_t rows = 0;
@@ -38,6 +66,9 @@ struct DeviceCsr {
   device::DeviceBuffer<index_t> row_ptr;
   device::DeviceBuffer<index_t> col_idx;
   device::DeviceBuffer<real> values;
+  /// Lazily-built merge-path partitions (shared so DeviceCsr stays movable).
+  std::shared_ptr<CsrBalanceCache> balance =
+      std::make_shared<CsrBalanceCache>();
 
   DeviceCsr() = default;
 
@@ -74,6 +105,26 @@ struct DeviceCoo {
 /// One logical GPU thread per row.
 void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
                   real* y, real alpha = 1.0, real beta = 0.0);
+
+/// nnz-balanced csrmv: the merge-path partition (cached on `a`) gives every
+/// worker a near-equal share of rows + entries, so hub rows no longer
+/// serialize the wave.  Rows cut by a span boundary are reduced by a
+/// deterministic carry-fixup pass, so the result is reproducible for a
+/// fixed worker count (and matches device_csrmv to rounding).  Publishes
+/// the spmv.wave_max_nnz / spmv.wave_mean_nnz balance gauges.
+void device_csrmv_balanced(device::DeviceContext& ctx, const DeviceCsr& a,
+                           const real* x, real* y, real alpha = 1.0,
+                           real beta = 0.0);
+
+/// Y = alpha * A @ X + beta * Y for `nvec` packed vectors: X is row-major
+/// nvec x cols (each row one input vector), Y is nvec x rows.  One sweep of
+/// the matrix serves the whole block (cusparseDcsrmm with the dense operand
+/// transposed), amortizing the A read that dominates a single csrmv.  Row j
+/// of Y is bitwise identical to device_csrmv(a, X row j) — the per-row
+/// accumulation order is the same.
+void device_csrmm(device::DeviceContext& ctx, const DeviceCsr& a,
+                  const real* x, real* y, index_t nvec, real alpha = 1.0,
+                  real beta = 0.0);
 
 /// cusparseXcoo2csr: compress sorted device COO row indices into row_ptr.
 /// Requires row_idx sorted ascending; col order within a row is preserved.
@@ -185,5 +236,13 @@ struct DeviceCsrColBlocks {
 void device_csrmv_range(device::DeviceContext& ctx, const DeviceCsr& a,
                         const real* x, real* y, index_t row_begin,
                         index_t row_end, real alpha = 1.0, real beta = 0.0);
+
+/// nnz-balanced device_csrmv_range (see device_csrmv_balanced).  The
+/// pipelined eigensolver's column blocks and row tiles hit stable ranges,
+/// so their partitions are built once and cached on the block.
+void device_csrmv_range_balanced(device::DeviceContext& ctx,
+                                 const DeviceCsr& a, const real* x, real* y,
+                                 index_t row_begin, index_t row_end,
+                                 real alpha = 1.0, real beta = 0.0);
 
 }  // namespace fastsc::sparse

@@ -1,0 +1,55 @@
+# Performance smoke test, run as a CTest via `cmake -P`:
+#   1. run bench_spmv_balance at tiny scale (power-law graph, 8 workers)
+#      with --trace-out/--metrics-out/--report-out,
+#   2. validate the trace with tools/check_trace.py, requiring the
+#      spmv.wave_max_nnz balance counter series, and asserting from the
+#      metrics snapshot that the merge-path split beats the row-chunked
+#      split on modeled worst-wave work by at least 2x:
+#      spmv.rowchunk_wave_max_nnz / spmv.wave_max_nnz >= 2.
+#
+# Expected -D definitions: BENCH (bench_spmv_balance executable), PYTHON
+# (python3), CHECKER (tools/check_trace.py), WORKDIR (scratch directory).
+
+foreach(var BENCH PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_perf_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(trace_json "${WORKDIR}/trace.json")
+set(metrics_json "${WORKDIR}/metrics.json")
+set(report_json "${WORKDIR}/report.json")
+
+execute_process(
+  COMMAND "${BENCH}"
+          --n=4000 --reps=5 --workers=8
+          --trace-out=${trace_json}
+          --metrics-out=${metrics_json}
+          --report-out=${report_json}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench failed (rc=${bench_rc})\nstdout:\n${bench_out}\n"
+          "stderr:\n${bench_err}")
+endif()
+foreach(artifact "${trace_json}" "${metrics_json}" "${report_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
+          --metrics "${metrics_json}"
+          --expect-counter spmv.wave_max_nnz
+          --expect-gauge-ratio "spmv.rowchunk_wave_max_nnz/spmv.wave_max_nnz>=2"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}${check_err}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py failed (rc=${check_rc})")
+endif()

@@ -133,6 +133,83 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(128, 1, 100),
                       std::make_tuple(1, 200, 64)));
 
+// Threaded host kernels: must agree with their serial counterparts closely
+// enough for the CGS2 reorthogonalization to be interchangeable (parallel
+// summation reorders additions, hence NEAR rather than EQ for reductions),
+// across sizes below and above the parallel-dispatch threshold.
+class HblasPar : public ::testing::TestWithParam<int> {};
+
+TEST_P(HblasPar, DotMatchesSerial) {
+  const auto n = static_cast<usize>(GetParam());
+  Rng rng(n * 31 + 1);
+  const auto x = random_vec(n, rng);
+  const auto y = random_vec(n, rng);
+  const real serial = dot(static_cast<index_t>(n), x.data(), y.data());
+  const real par = dot_par(static_cast<index_t>(n), x.data(), y.data());
+  EXPECT_NEAR(par, serial, 1e-12 * (1.0 + std::fabs(serial)));
+}
+
+TEST_P(HblasPar, AxpyMatchesSerialExactly) {
+  const auto n = static_cast<usize>(GetParam());
+  Rng rng(n * 31 + 2);
+  const auto x = random_vec(n, rng);
+  auto y1 = random_vec(n, rng);
+  auto y2 = y1;
+  axpy(static_cast<index_t>(n), 1.7, x.data(), y1.data());
+  axpy_par(static_cast<index_t>(n), 1.7, x.data(), y2.data());
+  EXPECT_EQ(y1, y2);  // element-wise op: no reassociation, bitwise match
+}
+
+TEST_P(HblasPar, GemvMatchesSerial) {
+  const auto n = static_cast<usize>(GetParam());
+  const usize m = 13;
+  Rng rng(n * 31 + 3);
+  const auto a = random_vec(m * n, rng);
+  const auto x = random_vec(n, rng);
+  auto y1 = random_vec(m, rng);
+  auto y2 = y1;
+  gemv(static_cast<index_t>(m), static_cast<index_t>(n), 2.0, a.data(),
+       static_cast<index_t>(n), x.data(), 0.5, y1.data());
+  gemv_par(static_cast<index_t>(m), static_cast<index_t>(n), 2.0, a.data(),
+           static_cast<index_t>(n), x.data(), 0.5, y2.data());
+  for (usize i = 0; i < m; ++i) {
+    EXPECT_NEAR(y2[i], y1[i], 1e-12 * (1.0 + std::fabs(y1[i]))) << i;
+  }
+}
+
+TEST_P(HblasPar, GemvTMatchesSerial) {
+  const auto n = static_cast<usize>(GetParam());
+  const usize m = 13;
+  Rng rng(n * 31 + 4);
+  const auto a = random_vec(m * n, rng);
+  const auto x = random_vec(m, rng);
+  auto y1 = random_vec(n, rng);
+  auto y2 = y1;
+  gemv_t(static_cast<index_t>(m), static_cast<index_t>(n), -1.0, a.data(),
+         static_cast<index_t>(n), x.data(), 1.0, y1.data());
+  gemv_t_par(static_cast<index_t>(m), static_cast<index_t>(n), -1.0, a.data(),
+             static_cast<index_t>(n), x.data(), 1.0, y2.data());
+  for (usize i = 0; i < n; ++i) {
+    EXPECT_NEAR(y2[i], y1[i], 1e-12 * (1.0 + std::fabs(y1[i]))) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HblasPar,
+                         ::testing::Values(1, 7, 100, 5000, 40000));
+
+TEST(HblasPar, GemvBetaZeroOverwritesGarbage) {
+  const real a[] = {1, 2};
+  const real x[] = {3, 4};
+  real y[] = {std::numeric_limits<real>::quiet_NaN()};
+  gemv_par(1, 2, 1.0, a, 2, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 11.0);
+  real z[] = {std::numeric_limits<real>::quiet_NaN(),
+              std::numeric_limits<real>::quiet_NaN()};
+  gemv_t_par(1, 2, 1.0, a, 2, x, 0.0, z);
+  EXPECT_DOUBLE_EQ(z[0], 3.0);
+  EXPECT_DOUBLE_EQ(z[1], 6.0);
+}
+
 TEST(Hblas, GemmBetaZeroOverwritesGarbage) {
   const real a[] = {1};
   const real b[] = {2};

@@ -335,6 +335,57 @@ TEST(Lanczos, ZeroWarmStartFallsBackToRandom) {
   EXPECT_NEAR(result.eigenvalues[0], 29, 1e-8);
 }
 
+TEST(Lanczos, BlockedCgs2MatchesMgsEigenpairs) {
+  // The default blocked CGS2 ortho kernel and the legacy MGS loop must land
+  // on the same eigenpairs to solver tolerance, in both reorth modes.
+  const index_t n = 300;
+  Rng rng(67);
+  const auto a = random_sparse_symmetric(n, 3, rng);
+  for (const ReorthMode reorth : {ReorthMode::kFull, ReorthMode::kLocal}) {
+    LanczosConfig cfg;
+    cfg.nev = 4;
+    cfg.ncv = 30;
+    cfg.reorth = reorth;
+    cfg.ortho_kernel = OrthoKernel::kBlockedCgs2;
+    const auto cgs2 = solve_dense_matrix(a, n, cfg);
+    cfg.ortho_kernel = OrthoKernel::kMgs;
+    const auto mgs = solve_dense_matrix(a, n, cfg);
+    ASSERT_TRUE(cgs2.converged);
+    ASSERT_TRUE(mgs.converged);
+    for (usize i = 0; i < 4; ++i) {
+      EXPECT_NEAR(cgs2.eigenvalues[i], mgs.eigenvalues[i], 1e-8)
+          << "reorth mode " << static_cast<int>(reorth) << " pair " << i;
+      EXPECT_LT(cgs2.residuals[i], 1e-6);
+    }
+  }
+}
+
+TEST(Lanczos, BlockedCgs2KeepsBasisOrthonormal) {
+  // Drive the solver through restarts (small ncv) and check the returned
+  // eigenvectors are orthonormal — the property the reorthogonalization
+  // pass exists to protect.
+  const index_t n = 200;
+  Rng rng(71);
+  const auto a = random_sparse_symmetric(n, 4, rng);
+  LanczosConfig cfg;
+  cfg.nev = 5;
+  cfg.ncv = 12;  // tight subspace: many restarts, heavy reorth traffic
+  const auto result = solve_dense_matrix(a, n, cfg);
+  ASSERT_TRUE(result.converged);
+  for (usize i = 0; i < 5; ++i) {
+    for (usize j = 0; j <= i; ++j) {
+      real d = 0;
+      for (index_t l = 0; l < n; ++l) {
+        d += result.eigenvectors[i * static_cast<usize>(n) +
+                                 static_cast<usize>(l)] *
+             result.eigenvectors[j * static_cast<usize>(n) +
+                                 static_cast<usize>(l)];
+      }
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
 TEST(Lanczos, NaiveDenseTierGivesSameAnswers) {
   const index_t n = 80;
   Rng rng(51);

@@ -1,0 +1,71 @@
+#include "data/powerlaw.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sparse/convert.h"
+
+namespace fastsc::data {
+namespace {
+
+TEST(Powerlaw, ProducesValidSymmetricGraph) {
+  const PowerlawGraph graph =
+      make_powerlaw({.n = 200, .avg_degree = 8.0, .seed = 3});
+  graph.w.validate();
+  EXPECT_TRUE(graph.w.is_sorted_unique());
+  EXPECT_EQ(graph.w.rows, 200);
+  // Symmetric, no self loops.
+  sparse::Coo t(graph.w.rows, graph.w.cols);
+  for (usize e = 0; e < graph.w.values.size(); ++e) {
+    EXPECT_NE(graph.w.row_idx[e], graph.w.col_idx[e]);
+    t.push(graph.w.col_idx[e], graph.w.row_idx[e], graph.w.values[e]);
+  }
+  sparse::sort_and_merge(t);
+  EXPECT_EQ(t.row_idx, graph.w.row_idx);
+  EXPECT_EQ(t.col_idx, graph.w.col_idx);
+  EXPECT_EQ(t.values, graph.w.values);
+}
+
+TEST(Powerlaw, DeterministicForFixedSeed) {
+  const PowerlawParams params{.n = 100, .avg_degree = 6.0, .seed = 42};
+  const PowerlawGraph a = make_powerlaw(params);
+  const PowerlawGraph b = make_powerlaw(params);
+  EXPECT_EQ(a.w.row_idx, b.w.row_idx);
+  EXPECT_EQ(a.w.col_idx, b.w.col_idx);
+  const PowerlawGraph c =
+      make_powerlaw({.n = 100, .avg_degree = 6.0, .seed = 43});
+  EXPECT_NE(a.w.row_idx, c.w.row_idx);
+}
+
+TEST(Powerlaw, DegreeDistributionIsSkewed) {
+  const PowerlawGraph graph =
+      make_powerlaw({.n = 500, .avg_degree = 10.0, .exponent = 2.1, .seed = 7});
+  const sparse::Csr csr = sparse::coo_to_csr(graph.w);
+  std::vector<index_t> degree(static_cast<usize>(csr.rows));
+  for (index_t r = 0; r < csr.rows; ++r) {
+    degree[static_cast<usize>(r)] =
+        csr.row_ptr[static_cast<usize>(r) + 1] -
+        csr.row_ptr[static_cast<usize>(r)];
+  }
+  const index_t max_deg = *std::max_element(degree.begin(), degree.end());
+  real mean = 0;
+  for (index_t d : degree) mean += static_cast<real>(d);
+  mean /= static_cast<real>(csr.rows);
+  // Zipf weights put a constant fraction of all endpoint mass on node 0, so
+  // the hub degree dwarfs the mean — the imbalance the balanced SpMV needs.
+  EXPECT_GT(static_cast<real>(max_deg), 8.0 * mean);
+  // Expected degrees mirror the planted weights: monotone non-increasing.
+  for (usize i = 1; i < graph.expected_degree.size(); ++i) {
+    EXPECT_LE(graph.expected_degree[i], graph.expected_degree[i - 1] + 1e-12);
+  }
+}
+
+TEST(Powerlaw, RejectsBadParams) {
+  EXPECT_THROW(make_powerlaw({.n = 1}), std::exception);
+  EXPECT_THROW(make_powerlaw({.n = 10, .avg_degree = 0}), std::exception);
+}
+
+}  // namespace
+}  // namespace fastsc::data

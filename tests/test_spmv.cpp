@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -86,6 +88,37 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(17, 33, 100),
                       std::make_tuple(100, 100, 0),
                       std::make_tuple(200, 200, 2000)));
+
+// Regression for the shared beta prologue: with beta == 0 the output must be
+// pure overwrite — poisoning y with NaN beforehand must not leak through any
+// of the four host formats (0 * NaN = NaN would propagate if an
+// implementation multiplied instead of clearing).
+TEST(HostSpmvBetaPrologue, BetaZeroIgnoresPoisonedOutput) {
+  Rng rng(57);
+  const Coo coo = random_coo(40, 40, 250, rng);
+  const Csr csr = coo_to_csr(coo);
+  const Csc csc = csr_to_csc(csr);
+  const Bsr bsr = csr_to_bsr(csr, 3);
+
+  std::vector<real> x(40);
+  for (real& v : x) v = rng.uniform() - 0.5;
+  const std::vector<real> zeros(40, 0.0);
+  const auto expect = dense_mv(coo, x, 2.0, 0.0, zeros);
+
+  const real nan = std::numeric_limits<real>::quiet_NaN();
+  auto check = [&](auto&& mv, const char* what) {
+    std::vector<real> y(40, nan);
+    mv(y.data());
+    for (usize i = 0; i < y.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(y[i])) << what << " i=" << i;
+      EXPECT_NEAR(y[i], expect[i], 1e-12) << what << " i=" << i;
+    }
+  };
+  check([&](real* y) { csr_mv(csr, x.data(), y, 2.0, 0.0); }, "csr");
+  check([&](real* y) { coo_mv(coo, x.data(), y, 2.0, 0.0); }, "coo");
+  check([&](real* y) { csc_mv(csc, x.data(), y, 2.0, 0.0); }, "csc");
+  check([&](real* y) { bsr_mv(bsr, x.data(), y, 2.0, 0.0); }, "bsr");
+}
 
 class DeviceSparse : public ::testing::TestWithParam<int> {
  protected:

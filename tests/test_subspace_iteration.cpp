@@ -63,6 +63,53 @@ TEST(SubspaceIteration, MatchesDenseOracleOnRandomSymmetric) {
   EXPECT_NEAR(result.eigenvalues[1], by_mag[1], 1e-6);
 }
 
+TEST(SubspaceIteration, BlockMatvecPathMatchesPerVectorPath) {
+  const index_t n = 60;
+  Rng rng(19);
+  std::vector<real> a(static_cast<usize>(n) * static_cast<usize>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) {
+      const real v = rng.uniform(-1, 1);
+      a[static_cast<usize>(i * n + j)] = v;
+      a[static_cast<usize>(j * n + i)] = v;
+    }
+  }
+  auto apply_row = [&](const real* x, real* y) {
+    for (index_t i = 0; i < n; ++i) {
+      real acc = 0;
+      for (index_t j = 0; j < n; ++j) {
+        acc += a[static_cast<usize>(i * n + j)] * x[j];
+      }
+      y[i] = acc;
+    }
+  };
+  SubspaceConfig cfg;
+  cfg.n = n;
+  cfg.nev = 3;
+  cfg.tol = 1e-8;
+  cfg.max_iters = 3000;
+  const auto scalar = subspace_iteration(apply_row, cfg);
+
+  index_t block_calls = 0;
+  cfg.block_matvec = [&](const real* x, real* y, index_t nvec) {
+    ++block_calls;
+    for (index_t v = 0; v < nvec; ++v) apply_row(x + v * n, y + v * n);
+  };
+  const auto blocked = subspace_iteration(apply_row, cfg);
+
+  // The block operator applies A row-for-row identically, so the whole
+  // iteration — same RNG, same panels — must reproduce the scalar run.
+  ASSERT_TRUE(blocked.converged);
+  EXPECT_GT(block_calls, 0);
+  EXPECT_EQ(blocked.iterations, scalar.iterations);
+  EXPECT_EQ(blocked.matvec_count, scalar.matvec_count);
+  ASSERT_EQ(blocked.eigenvalues.size(), scalar.eigenvalues.size());
+  for (usize i = 0; i < scalar.eigenvalues.size(); ++i) {
+    EXPECT_DOUBLE_EQ(blocked.eigenvalues[i], scalar.eigenvalues[i]);
+  }
+  EXPECT_EQ(blocked.eigenvectors, scalar.eigenvectors);
+}
+
 TEST(SubspaceIteration, EigenvectorResiduals) {
   // Well-separated dominant eigenvalues (subspace iteration converges at
   // the eigenvalue-ratio rate, so a clustered spectrum would stall — that

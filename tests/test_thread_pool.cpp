@@ -68,6 +68,39 @@ TEST(ParallelFor, NonZeroBegin) {
   EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
 }
 
+TEST(ParallelForGrain, ChunkedScheduleVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  const index_t n = 10000;
+  std::vector<std::atomic<int>> hits(static_cast<usize>(n));
+  parallel_for(pool, index_t{0}, n, index_t{64},
+               [&](index_t i) { hits[static_cast<usize>(i)].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForGrain, NonPositiveGrainFallsBackToOwnerComputes) {
+  ThreadPool pool(3);
+  std::atomic<index_t> sum{0};
+  parallel_for(pool, index_t{10}, index_t{110}, index_t{0},
+               [&](index_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), (10 + 109) * 100 / 2);
+}
+
+TEST(ParallelForGrain, GrainLargerThanRangeRunsSerial) {
+  ThreadPool pool(4);
+  std::atomic<index_t> sum{0};
+  parallel_for(pool, index_t{0}, index_t{7}, index_t{1000},
+               [&](index_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 21);
+}
+
+TEST(ParallelForGrain, EmptyRangeDoesNothing) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, index_t{5}, index_t{5}, index_t{8},
+               [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
 TEST(ParallelReduce, SumsCorrectly) {
   ThreadPool pool(4);
   const index_t n = 100000;

@@ -24,7 +24,9 @@ esac
 # The async runtime's regression surface: everything that crosses stream
 # threads plus the tests that drive full pipelines through it, and the
 # observability layer (trace recorder / metrics registry record from
-# stream and worker threads concurrently).
+# stream and worker threads concurrently).  test_balance and test_hblas
+# exercise the merge-path balanced SpMV / SpMM kernels and the threaded
+# level-2 hblas paths across worker counts; test_powerlaw feeds them.
 TESTS=(
   test_thread_pool
   test_stage_clock
@@ -38,6 +40,9 @@ TESTS=(
   test_fault_injection
   test_degradation
   test_irlm_checkpoint
+  test_hblas
+  test_balance
+  test_powerlaw
 )
 
 echo "== configuring ${SANITIZER}-sanitized build in ${BUILD_DIR} =="

@@ -18,16 +18,23 @@ Checks, in order:
      h2d/d2h splits) published by the run, within --tolerance.
   5. Optional presence check (--expect-counter NAME, repeatable): fail if
      the trace carries no counter samples with that name.
+  6. Optional gauge-ratio assertion (--expect-gauge-ratio "NUM/DEN>=MIN",
+     repeatable, requires --metrics): fail unless both gauges exist in the
+     metrics snapshot and NUM / DEN >= MIN.  This is how perf_smoke asserts
+     the merge-path balance win from artifacts alone:
+     spmv.rowchunk_wave_max_nnz / spmv.wave_max_nnz >= 2.
 
 Exit status 0 on success; 1 with a message on the first failure.
 
 Usage:
   check_trace.py trace.json [--metrics metrics.json] [--tolerance 1e-9]
                  [--expect-counter fault.transfer_retry]
+                 [--expect-gauge-ratio "a.max/b.max>=2"]
 """
 
 import argparse
 import json
+import re
 import sys
 
 WALL_PID = 1
@@ -211,6 +218,35 @@ def check_against_metrics(tracks, metrics_path, tolerance):
           f"(total {total:.9f}s, h2d {h2d:.9f}s, d2h {d2h:.9f}s)")
 
 
+def check_gauge_ratios(metrics_path, specs):
+    """Assert NUM/DEN >= MIN over gauges in the metrics snapshot."""
+    if not specs:
+        return
+    if not metrics_path:
+        fail("--expect-gauge-ratio requires --metrics")
+    with open(metrics_path, "r", encoding="utf-8") as f:
+        gauges = json.load(f).get("gauges", {})
+    for spec in specs:
+        m = re.fullmatch(r"\s*([^/\s]+)\s*/\s*([^>\s]+)\s*>=\s*(\S+)\s*", spec)
+        if m is None:
+            fail(f"malformed --expect-gauge-ratio '{spec}' "
+                 f"(want NUM/DEN>=MIN)")
+        num_name, den_name, want = m.group(1), m.group(2), float(m.group(3))
+        for name in (num_name, den_name):
+            if name not in gauges:
+                fail(f"gauge '{name}' absent from {metrics_path} "
+                     f"(present: {sorted(gauges) or ['<none>']})")
+        den = float(gauges[den_name])
+        if den == 0:
+            fail(f"gauge '{den_name}' is 0; ratio '{spec}' undefined")
+        ratio = float(gauges[num_name]) / den
+        if ratio < want:
+            fail(f"gauge ratio {num_name}/{den_name} = {ratio:.3f} "
+                 f"below required {want:g}")
+        print(f"check_trace: gauge ratio OK — {num_name}/{den_name} = "
+              f"{ratio:.3f} >= {want:g}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="trace JSON written with --trace-out")
@@ -223,6 +259,10 @@ def main():
                     metavar="NAME",
                     help="fail unless a counter series with this name is "
                          "present (repeatable)")
+    ap.add_argument("--expect-gauge-ratio", action="append", default=[],
+                    metavar="NUM/DEN>=MIN",
+                    help="fail unless metrics gauges NUM and DEN exist and "
+                         "NUM/DEN >= MIN (repeatable; requires --metrics)")
     args = ap.parse_args()
 
     events = load_events(args.trace)
@@ -235,6 +275,7 @@ def main():
     check_expected_counters(series, args.expect_counter)
     if args.metrics:
         check_against_metrics(tracks, args.metrics, args.tolerance)
+    check_gauge_ratios(args.metrics, args.expect_gauge_ratio)
     n_spans = sum(len(s) for s in tracks.values())
     print(f"check_trace: OK — {len(events)} events "
           f"({phases.get('X', 0)} spans on {len(tracks)} tracks, "
