@@ -30,6 +30,9 @@ struct CommonFlags {
   std::string metrics_out;  // metrics snapshot JSON path ("" = off)
   std::string report_out;   // RunReport JSON path ("" = off)
   std::string faults;       // fault plan spec ("" = none); see src/fault/
+  double budget_ms = 0;     // total wall budget in ms (0 = none)
+  std::string stage_budget;  // RunBudget spec, e.g. "eigensolver=500;anytime=1"
+  std::string watchdog;      // WatchdogConfig spec, e.g. "heartbeat_ms=100"
 
   static CommonFlags parse(CliParser& cli, index_t default_k) {
     CommonFlags f;
@@ -54,6 +57,18 @@ struct CommonFlags {
         "faults", "",
         "deterministic fault plan, e.g. site=copy.h2d,nth=2,count=2 "
         "(clauses ';'-separated; see src/fault/fault.h)");
+    f.budget_ms = cli.get_double(
+        "budget-ms", 0,
+        "total wall-clock budget per run in ms (0 = none; expiry yields an "
+        "anytime partial result)");
+    f.stage_budget = cli.get_string(
+        "stage-budget", "",
+        "run-budget spec, e.g. eigensolver=500;total.virtual=0.2;anytime=1 "
+        "(see src/common/cancel.h; combined with --budget-ms)");
+    f.watchdog = cli.get_string(
+        "watchdog", "",
+        "hang-watchdog spec, e.g. heartbeat_ms=100,stall_restarts=5 "
+        "(see src/common/cancel.h)");
     // Tracing must be on before the DeviceContext records its first event so
     // the trace's virtual timeline is complete (check_trace.py recomputes
     // the overlap counter from it and expects every interval).
@@ -79,6 +94,19 @@ inline void prune_isolated(sparse::Coo& w, std::vector<index_t>* truth) {
     *truth = std::move(kept);
   }
   w = std::move(pruned);
+}
+
+/// Fold the budget/watchdog flags into a SpectralConfig.  --budget-ms is
+/// shorthand for a total wall clause on top of --stage-budget.
+inline void apply_budget_flags(core::SpectralConfig& cfg,
+                               const CommonFlags& flags) {
+  if (!flags.stage_budget.empty()) {
+    cfg.budget = cancel::RunBudget::parse(flags.stage_budget);
+  }
+  if (flags.budget_ms > 0) cfg.budget.total.wall_ms = flags.budget_ms;
+  if (!flags.watchdog.empty()) {
+    cfg.watchdog = cancel::WatchdogConfig::parse(flags.watchdog);
+  }
 }
 
 inline std::vector<core::Backend> selected_backends(bool baselines) {
@@ -108,6 +136,7 @@ inline core::BackendRuns run_graph_backends(const std::string& dataset,
     if (!flags.faults.empty()) {
       cfg.faults = fault::FaultPlan::parse(flags.faults);
     }
+    apply_budget_flags(cfg, flags);
     std::fprintf(stderr, "[bench] %s: running %s backend...\n",
                  dataset.c_str(), core::backend_name(b).c_str());
     runs.runs.emplace_back(b, core::spectral_cluster_graph(w, cfg, &ctx));
@@ -133,6 +162,7 @@ inline core::BackendRuns run_points_backends(
     if (!flags.faults.empty()) {
       cfg.faults = fault::FaultPlan::parse(flags.faults);
     }
+    apply_budget_flags(cfg, flags);
     cfg.similarity.measure = graph::SimilarityMeasure::kCrossCorrelation;
     std::fprintf(stderr, "[bench] %s: running %s backend...\n",
                  dataset.c_str(), core::backend_name(b).c_str());

@@ -1,5 +1,6 @@
 #include "baseline/matlab_like.h"
 
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "sparse/spmv.h"
 
@@ -15,6 +16,8 @@ sparse::Coo similarity_loop(const real* x, index_t n, index_t d,
   coo.col_idx = edges.v;
   coo.values.resize(static_cast<usize>(nnz));
   for (index_t e = 0; e < nnz; ++e) {
+    // Poll every 4096 edges, same work bound as the thread-pool chunks.
+    if ((e & index_t{4095}) == 0) cancel::poll("similarity.row");
     const index_t i = edges.u[static_cast<usize>(e)];
     const index_t j = edges.v[static_cast<usize>(e)];
     // One "built-in function call" per edge: full recomputation, as a

@@ -8,10 +8,42 @@
 #include <atomic>
 #include <functional>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 
 namespace fastsc {
+
+namespace par_detail {
+
+/// Iterations a worker runs between cancellation checks: large enough that
+/// the disarmed relaxed load vanishes in the loop cost, small enough to
+/// bound work after a hard cancellation fires.
+inline constexpr index_t kCancelStride = 4096;
+
+/// Run body over [lo, hi) in kCancelStride sub-blocks, stopping early when a
+/// hard cancellation is pending.  Workers must not throw through
+/// ThreadPool::run_workers, so they only stop; the coordinator surfaces the
+/// error after the join, making every parallel primitive all-or-throw (a
+/// torn output buffer never escapes).
+template <class Body>
+void run_cancellable(index_t lo, index_t hi, const Body& body) {
+  for (index_t blk = lo; blk < hi; blk += kCancelStride) {
+    if (cancel::interrupted("par.chunk")) return;
+    const index_t stop = blk + kCancelStride < hi ? blk + kCancelStride : hi;
+    for (index_t i = blk; i < stop; ++i) body(i);
+  }
+}
+
+/// Coordinator-side check after the join: throws CancelledError for the hard
+/// causes the workers stop on.  Soft anytime expiries pass through untouched
+/// — workers do not stop for them, so the primitive's output is complete and
+/// the deadline surfaces at the caller's next algorithm boundary.
+inline void surface_interrupt() {
+  if (cancel::interrupted("par.chunk")) cancel::poll("par.chunk");
+}
+
+}  // namespace par_detail
 
 /// Invoke body(i) for every i in [begin, end) using the pool.
 /// body must be safe to call concurrently for distinct i.
@@ -21,16 +53,18 @@ void parallel_for(ThreadPool& pool, index_t begin, index_t end, const Body& body
   if (n <= 0) return;
   const auto workers = static_cast<index_t>(pool.worker_count());
   if (workers == 1 || n == 1) {
-    for (index_t i = begin; i < end; ++i) body(i);
+    par_detail::run_cancellable(begin, end, body);
+    par_detail::surface_interrupt();
     return;
   }
   const index_t chunk = (n + workers - 1) / workers;
   std::function<void(usize)> job = [&](usize w) {
     const index_t lo = begin + static_cast<index_t>(w) * chunk;
     const index_t hi = lo + chunk < end ? lo + chunk : end;
-    for (index_t i = lo; i < hi; ++i) body(i);
+    par_detail::run_cancellable(lo, hi, body);
   };
   pool.run_workers(job);
+  par_detail::surface_interrupt();
 }
 
 /// parallel_for on the process-default pool.
@@ -58,7 +92,8 @@ void parallel_for(ThreadPool& pool, index_t begin, index_t end, index_t grain,
   if (n <= 0) return;
   const auto workers = static_cast<index_t>(pool.worker_count());
   if (workers == 1 || n <= grain) {
-    for (index_t i = begin; i < end; ++i) body(i);
+    par_detail::run_cancellable(begin, end, body);
+    par_detail::surface_interrupt();
     return;
   }
   std::atomic<index_t> next{begin};
@@ -67,10 +102,11 @@ void parallel_for(ThreadPool& pool, index_t begin, index_t end, index_t grain,
       const index_t lo = next.fetch_add(grain, std::memory_order_relaxed);
       if (lo >= end) return;
       const index_t hi = lo + grain < end ? lo + grain : end;
-      for (index_t i = lo; i < hi; ++i) body(i);
+      par_detail::run_cancellable(lo, hi, body);
     }
   };
   pool.run_workers(job);
+  par_detail::surface_interrupt();
 }
 
 /// Chunked parallel_for on the process-default pool.
@@ -91,7 +127,9 @@ T parallel_reduce(ThreadPool& pool, index_t begin, index_t end, T init,
   const auto workers = static_cast<index_t>(pool.worker_count());
   if (workers == 1) {
     T acc = init;
-    for (index_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    par_detail::run_cancellable(begin, end,
+                                [&](index_t i) { acc = combine(acc, body(i)); });
+    par_detail::surface_interrupt();
     return acc;
   }
   const index_t chunk = (n + workers - 1) / workers;
@@ -100,10 +138,14 @@ T parallel_reduce(ThreadPool& pool, index_t begin, index_t end, T init,
     const index_t lo = begin + static_cast<index_t>(w) * chunk;
     const index_t hi = lo + chunk < end ? lo + chunk : end;
     T acc = init;
-    for (index_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+    par_detail::run_cancellable(lo, hi,
+                                [&](index_t i) { acc = combine(acc, body(i)); });
     partials[w] = acc;
   };
   pool.run_workers(job);
+  // A stopped worker leaves a truncated partial; the poll below throws before
+  // the combined value can escape.
+  par_detail::surface_interrupt();
   T acc = init;
   for (const T& p : partials) acc = combine(acc, p);
   return acc;

@@ -27,4 +27,15 @@ inline void check_finite(std::span<const real> values, const char* what) {
                std::string(what) + " contains NaN or Inf");
 }
 
+/// Throw std::invalid_argument if any index falls outside [0, n).
+inline void check_index_range(std::span<const index_t> indices, index_t n,
+                              const char* what) {
+  for (index_t v : indices) {
+    FASTSC_CHECK(v >= 0 && v < n, std::string(what) + " index " +
+                                      std::to_string(v) +
+                                      " outside [0, " + std::to_string(n) +
+                                      ")");
+  }
+}
+
 }  // namespace fastsc

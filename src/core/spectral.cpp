@@ -7,6 +7,7 @@
 
 #include "baseline/matlab_like.h"
 #include "baseline/python_like.h"
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/validation.h"
@@ -238,32 +239,47 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   std::vector<real> host_y(static_cast<usize>(n));
 
   index_t resumes = 0;
+  bool abandoned = false;
   for (;;) {
-    while (!prob.converge()) {
-      WallTimer t;
-      {
-        // One span per SpMV wave (H2D + csrmv + D2H); in the pipelined path
-        // this is the wall window the virtual-timeline overlap hides inside.
-        obs::ScopedSpan span("spmv", "wave");
-        if (pipelined) {
-          pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x,
-                           dev_y, host_y, cfg.overlap_row_tiles,
-                           cfg.balanced_spmv);
-        } else {
-          // H2D: the vector ARPACK hands out.
-          dev_x.copy_from_host(
-              std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
-          // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
-          spmv(dev_x.data(), dev_y.data());
-          // D2H: the product back to the RCI.
-          dev_y.copy_to_host(std::span<real>(host_y));
+    try {
+      while (!prob.converge()) {
+        // One poll per reverse-communication wave; a deadline or cancellation
+        // fired anywhere (including as a sticky stream error inside the wave)
+        // unwinds to the anytime handler below.
+        cancel::poll("lanczos.matvec");
+        WallTimer t;
+        {
+          // One span per SpMV wave (H2D + csrmv + D2H); in the pipelined path
+          // this is the wall window the virtual-timeline overlap hides inside.
+          obs::ScopedSpan span("spmv", "wave");
+          if (pipelined) {
+            pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x,
+                             dev_y, host_y, cfg.overlap_row_tiles,
+                             cfg.balanced_spmv);
+          } else {
+            // H2D: the vector ARPACK hands out.
+            dev_x.copy_from_host(
+                std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
+            // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
+            spmv(dev_x.data(), dev_y.data());
+            // D2H: the product back to the RCI.
+            dev_y.copy_to_host(std::span<real>(host_y));
+          }
         }
+        std::copy(host_y.begin(), host_y.end(), prob.PutVector());
+        result.spmv_seconds += t.seconds();
+        prob.TakeStep();
       }
-      std::copy(host_y.begin(), host_y.end(), prob.PutVector());
-      result.spmv_seconds += t.seconds();
-      prob.TakeStep();
+    } catch (const cancel::CancelledError& e) {
+      if (!cancel::governor().anytime_allowed() || !prob.CanAbandon()) throw;
+      // Anytime cut: freeze the iteration, keep the best partial Ritz pairs,
+      // and stop enforcement so the rest of the pipeline (k-means on the
+      // partial embedding) completes unimpeded.
+      prob.Abandon();
+      cancel::governor().begin_wrapup(e.site().empty() ? e.what() : e.site());
+      abandoned = true;
     }
-    if (!prob.Failed() || !ec.capture_checkpoints ||
+    if (abandoned || !prob.Failed() || !ec.capture_checkpoints ||
         resumes >= pol.max_solver_resumes ||
         !prob.Solver().has_checkpoint()) {
       break;
@@ -355,8 +371,8 @@ void eigensolve_host(const sparse::Coo& w, const SpectralConfig& cfg,
       to_embedding(eig.eigenvectors, isd, cfg.num_clusters, w.rows);
 }
 
-void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
-                  SpectralResult& result) {
+void kmeans_stage_run(device::DeviceContext& ctx, const SpectralConfig& cfg,
+                      SpectralResult& result) {
   const index_t n = result.n;
   const index_t k = cfg.num_clusters;
   if (cfg.row_normalize_embedding) {
@@ -442,8 +458,43 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
   }
 }
 
+void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
+                  SpectralResult& result) {
+  if (cfg.validate_inputs) {
+    // The embedding is the k-means input; an abandoned eigensolve or a NaN
+    // that slipped through a degraded rung must not poison the labels.
+    check_finite(result.embedding, "spectral embedding (k-means input)");
+  }
+  try {
+    kmeans_stage_run(ctx, cfg, result);
+  } catch (const cancel::CancelledError& e) {
+    // The stage's own deadline expired somewhere labels are not yet valid
+    // (seeding, a torn async sweep).  With anytime enabled, enter wrap-up —
+    // enforcement stops — and rerun the stage to completion so the caller
+    // still gets a full assignment.
+    if (!cancel::governor().anytime_allowed()) throw;
+    cancel::governor().begin_wrapup(e.site().empty() ? e.what() : e.site());
+    kmeans_stage_run(ctx, cfg, result);
+  }
+}
+
 device::DeviceContext& resolve_ctx(device::DeviceContext* ctx) {
   return ctx != nullptr ? *ctx : device::default_device();
+}
+
+/// Arms the cancellation governor for this run when a budget, watchdog, or
+/// external token is configured; plain runs never arm, so every poll site
+/// stays on its single-relaxed-load fast path.  The config's budget wins
+/// over FASTSC_BUDGET.
+void govern_run(const SpectralConfig& config, device::DeviceContext& ctx,
+                std::optional<cancel::RunScope>& scope) {
+  const cancel::RunBudget& budget =
+      config.budget.enabled() ? config.budget : cancel::env_budget();
+  if (budget.enabled() || config.watchdog.enabled() ||
+      config.cancel_token.valid()) {
+    scope.emplace(budget, config.watchdog, config.cancel_token,
+                  [&ctx] { return ctx.modeled_transfer_seconds_now(); });
+  }
 }
 
 /// Difference of two counter snapshots (per-run accounting).
@@ -476,13 +527,19 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
   FASTSC_CHECK(n >= 2, "need at least two points");
   FASTSC_CHECK(config.num_clusters >= 1 && config.num_clusters <= n,
                "cluster count must be in [1, n]");
-  check_finite({x, static_cast<usize>(n) * static_cast<usize>(d)},
-               "input points");
+  if (config.validate_inputs) {
+    check_finite({x, static_cast<usize>(n) * static_cast<usize>(d)},
+                 "input points");
+    check_index_range(edges.u, n, "edge endpoint");
+    check_index_range(edges.v, n, "edge endpoint");
+  }
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
   const device::DeviceCounters counters_before = ctx.counters();
   const obs::TraceEnableScope trace_scope(config.trace);
   std::optional<fault::ArmScope> fault_scope;
   if (!config.faults.empty()) fault_scope.emplace(config.faults);
+  std::optional<cancel::RunScope> cancel_scope;
+  govern_run(config, ctx, cancel_scope);
 
   SpectralResult result;
   result.n = n;
@@ -499,6 +556,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     result.clock.start(kStageSimilarity);
     {
       obs::ScopedSpan span(kStageSimilarity, "stage");
+      cancel::StageScope budget_scope(kStageSimilarity);
       try {
         if (config.similarity_chunk_edges > 0) {
           // Out-of-core Algorithm 1: the edge list streams through the
@@ -527,6 +585,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     result.clock.start(kStageEigensolver);
     {
       obs::ScopedSpan span(kStageEigensolver, "stage");
+      cancel::StageScope budget_scope(kStageEigensolver);
       auto device_w = [&]() -> sparse::DeviceCoo& {
         if (!dev_w) dev_w.emplace(ctx, host_w_storage);
         return *dev_w;
@@ -546,6 +605,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     sparse::Coo w;
     {
       obs::ScopedSpan span(kStageSimilarity, "stage");
+      cancel::StageScope budget_scope(kStageSimilarity);
       w = baseline::similarity_loop(x, n, d, sym, config.similarity);
     }
     result.clock.stop();
@@ -553,6 +613,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     result.clock.start(kStageEigensolver);
     {
       obs::ScopedSpan span(kStageEigensolver, "stage");
+      cancel::StageScope budget_scope(kStageEigensolver);
       eigensolve_host(w, config, result);
     }
     result.clock.stop();
@@ -561,10 +622,12 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
   result.clock.start(kStageKmeans);
   {
     obs::ScopedSpan span(kStageKmeans, "stage");
+    cancel::StageScope budget_scope(kStageKmeans);
     kmeans_stage(ctx, config, result);
   }
   result.clock.stop();
 
+  if (cancel::governor().armed()) result.budget = cancel::governor().report();
   result.device_counters = counters_delta(ctx.counters(), counters_before);
   return result;
 }
@@ -575,7 +638,11 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   FASTSC_CHECK(w.rows == w.cols, "graph matrix must be square");
   FASTSC_CHECK(config.num_clusters >= 1 && config.num_clusters <= w.rows,
                "cluster count must be in [1, n]");
-  check_finite(w.values, "similarity matrix values");
+  if (config.validate_inputs) {
+    check_finite(w.values, "similarity matrix values");
+    check_index_range(w.row_idx, w.rows, "similarity matrix row");
+    check_index_range(w.col_idx, w.cols, "similarity matrix column");
+  }
   {
     // A disconnected graph makes the eigenvalue 1 of D^-1 W degenerate
     // (one copy per component), which a Krylov iteration from a single
@@ -596,6 +663,8 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   const obs::TraceEnableScope trace_scope(config.trace);
   std::optional<fault::ArmScope> fault_scope;
   if (!config.faults.empty()) fault_scope.emplace(config.faults);
+  std::optional<cancel::RunScope> cancel_scope;
+  govern_run(config, ctx, cancel_scope);
 
   SpectralResult result;
   result.n = w.rows;
@@ -604,6 +673,7 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   result.clock.start(kStageEigensolver);
   {
     obs::ScopedSpan span(kStageEigensolver, "stage");
+    cancel::StageScope budget_scope(kStageEigensolver);
     if (config.backend == Backend::kDevice) {
       // Transfer the graph to the device (part of the eigensolver stage cost,
       // matching the paper's accounting for the graph datasets).  The upload
@@ -624,10 +694,12 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   result.clock.start(kStageKmeans);
   {
     obs::ScopedSpan span(kStageKmeans, "stage");
+    cancel::StageScope budget_scope(kStageKmeans);
     kmeans_stage(ctx, config, result);
   }
   result.clock.stop();
 
+  if (cancel::governor().armed()) result.budget = cancel::governor().report();
   result.device_counters = counters_delta(ctx.counters(), counters_before);
   return result;
 }

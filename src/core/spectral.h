@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/stage_clock.h"
 #include "device/device.h"
 #include "fault/fault.h"
@@ -152,6 +153,27 @@ struct SpectralConfig {
   /// FASTSC_FAULTS.
   fault::FaultPlan faults{};
 
+  /// Run budget: total and per-stage wall/virtual-clock limits (empty = no
+  /// deadline).  Virtual limits charge against the deterministic device
+  /// transfer timeline, so expiry is exactly reproducible.  With
+  /// budget.anytime (default), expiry mid-eigensolve snapshots the best
+  /// partial Ritz pairs and still clusters (SpectralResult::budget.anytime).
+  /// Also settable process-wide through FASTSC_BUDGET.
+  cancel::RunBudget budget{};
+
+  /// Hang watchdog: stalled-restart / stream-heartbeat / transfer-overrun
+  /// detection that fires the run's cancel token (off by default).
+  cancel::WatchdogConfig watchdog{};
+
+  /// External cancellation: pass CancelSource::token() and call
+  /// request_cancel() from any thread; the run unwinds with a site-annotated
+  /// cancel::CancelledError at its next poll point.
+  cancel::CancelToken cancel_token{};
+
+  /// Validate user-facing inputs (finiteness of points/edge weights/graph
+  /// values and of the embedding handed to k-means) at stage boundaries.
+  bool validate_inputs = true;
+
   std::uint64_t seed = 42;
 };
 
@@ -179,6 +201,10 @@ struct SpectralResult {
 
   /// Fallbacks and resumes taken during this run (device backend).
   DegradationReport degradation;
+
+  /// Budget/watchdog accounting: limits vs. spend per stage, where the
+  /// deadline hit, and whether the result is an anytime (partial) answer.
+  cancel::BudgetReport budget;
 };
 
 /// Cluster n points in R^d whose candidate edges are given by `edges`

@@ -1,12 +1,50 @@
 #include "data/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "common/error.h"
 
 namespace fastsc::data {
+
+namespace {
+
+/// Line-numbered parse failure: "file.txt:17: message — line: '...'".
+/// Corrupted inputs must fail loudly and point at the offending byte range,
+/// never crash or silently mis-parse.
+[[noreturn]] void throw_parse_error(const std::string& path, usize lineno,
+                                    const std::string& message,
+                                    const std::string& line) {
+  std::ostringstream os;
+  os << path << ':' << lineno << ": " << message;
+  if (!line.empty()) {
+    // Clip the echoed line so a corrupted multi-megabyte row stays readable.
+    constexpr usize kMaxEcho = 80;
+    os << " — line: '"
+       << (line.size() <= kMaxEcho ? line : line.substr(0, kMaxEcho) + "…")
+       << "'";
+  }
+  throw std::invalid_argument(os.str());
+}
+
+/// True when only whitespace remains on the stream.
+bool rest_is_blank(std::istream& is) {
+  is >> std::ws;
+  return is.eof();
+}
+
+bool is_comment_or_blank(const std::string& line, char comment_char) {
+  for (char ch : line) {
+    if (ch == comment_char) return true;
+    if (!std::isspace(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;  // blank
+}
+
+}  // namespace
 
 sparse::Coo read_edge_list(const std::string& path, bool symmetrize) {
   std::ifstream in(path);
@@ -15,18 +53,41 @@ sparse::Coo read_edge_list(const std::string& path, bool symmetrize) {
   std::vector<index_t> us, vs;
   std::vector<real> ws;
   std::string line;
+  usize lineno = 0;
   auto id_of = [&](index_t raw) {
     const auto it =
         compact.try_emplace(raw, static_cast<index_t>(compact.size())).first;
     return it->second;
   };
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++lineno;
+    if (is_comment_or_blank(line, '#')) continue;
     std::istringstream ls(line);
     index_t u, v;
-    if (!(ls >> u >> v)) continue;
+    if (!(ls >> u)) {
+      throw_parse_error(path, lineno, "expected integer source vertex", line);
+    }
+    if (!(ls >> v)) {
+      throw_parse_error(path, lineno,
+                        "truncated edge: missing destination vertex", line);
+    }
+    if (u < 0 || v < 0) {
+      throw_parse_error(path, lineno, "negative vertex id", line);
+    }
     real w = 1.0;
-    ls >> w;  // optional; keeps 1.0 on failure
+    if (!rest_is_blank(ls)) {
+      ls.clear();
+      if (!(ls >> w)) {
+        throw_parse_error(path, lineno, "unparseable edge weight", line);
+      }
+      if (!std::isfinite(w)) {
+        throw_parse_error(path, lineno, "non-finite edge weight", line);
+      }
+      if (!rest_is_blank(ls)) {
+        throw_parse_error(path, lineno, "trailing garbage after edge weight",
+                          line);
+      }
+    }
     if (u == v) continue;
     us.push_back(id_of(u));
     vs.push_back(id_of(v));
@@ -64,8 +125,18 @@ std::vector<index_t> read_labels(const std::string& path) {
   std::ifstream in(path);
   FASTSC_CHECK(in.good(), "cannot open labels file: " + path);
   std::vector<index_t> labels;
-  index_t l;
-  while (in >> l) labels.push_back(l);
+  std::string line;
+  usize lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (is_comment_or_blank(line, '#')) continue;
+    std::istringstream ls(line);
+    index_t l;
+    if (!(ls >> l) || !rest_is_blank(ls)) {
+      throw_parse_error(path, lineno, "expected one integer label", line);
+    }
+    labels.push_back(l);
+  }
   return labels;
 }
 
@@ -77,20 +148,31 @@ std::vector<real> read_points(const std::string& path, index_t& rows,
   rows = 0;
   cols = -1;
   std::string line;
+  usize lineno = 0;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++lineno;
+    if (is_comment_or_blank(line, '#')) continue;
     std::istringstream ls(line);
     index_t count = 0;
     real v;
     while (ls >> v) {
+      if (!std::isfinite(v)) {
+        throw_parse_error(path, lineno, "non-finite coordinate", line);
+      }
       data.push_back(v);
       ++count;
+    }
+    if (!ls.eof()) {
+      throw_parse_error(path, lineno, "unparseable coordinate", line);
     }
     if (count == 0) continue;
     if (cols < 0) {
       cols = count;
-    } else {
-      FASTSC_CHECK(count == cols, "ragged rows in points file: " + path);
+    } else if (count != cols) {
+      throw_parse_error(path, lineno,
+                        "ragged row: expected " + std::to_string(cols) +
+                            " columns, got " + std::to_string(count),
+                        line);
     }
     ++rows;
   }
@@ -115,46 +197,91 @@ sparse::Coo read_matrix_market(const std::string& path) {
   std::ifstream in(path);
   FASTSC_CHECK(in.good(), "cannot open MatrixMarket file: " + path);
   std::string line;
+  usize lineno = 0;
   FASTSC_CHECK(static_cast<bool>(std::getline(in, line)),
                "empty MatrixMarket file: " + path);
+  ++lineno;
   std::istringstream banner(line);
   std::string mm, object, format, field, symmetry;
   banner >> mm >> object >> format >> field >> symmetry;
-  FASTSC_CHECK(mm == "%%MatrixMarket", "missing MatrixMarket banner: " + path);
-  FASTSC_CHECK(object == "matrix" && format == "coordinate",
-               "only coordinate matrices are supported: " + path);
-  FASTSC_CHECK(field == "real" || field == "integer" || field == "pattern",
-               "unsupported MatrixMarket field type: " + field);
-  FASTSC_CHECK(symmetry == "general" || symmetry == "symmetric",
-               "unsupported MatrixMarket symmetry: " + symmetry);
+  if (mm != "%%MatrixMarket") {
+    throw_parse_error(path, lineno, "missing MatrixMarket banner", line);
+  }
+  if (object != "matrix" || format != "coordinate") {
+    throw_parse_error(path, lineno, "only coordinate matrices are supported",
+                      line);
+  }
+  if (field != "real" && field != "integer" && field != "pattern") {
+    throw_parse_error(path, lineno,
+                      "unsupported MatrixMarket field type: " + field, line);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw_parse_error(path, lineno,
+                      "unsupported MatrixMarket symmetry: " + symmetry, line);
+  }
   const bool pattern = field == "pattern";
   const bool symmetric = symmetry == "symmetric";
 
   // Skip comments, read the size line.
   index_t rows = 0, cols = 0, nnz = 0;
+  bool have_size = false;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '%') continue;
+    ++lineno;
+    if (is_comment_or_blank(line, '%')) continue;
     std::istringstream ls(line);
-    FASTSC_CHECK(static_cast<bool>(ls >> rows >> cols >> nnz),
-                 "malformed MatrixMarket size line: " + path);
+    if (!(ls >> rows >> cols >> nnz) || !rest_is_blank(ls)) {
+      throw_parse_error(path, lineno, "malformed MatrixMarket size line",
+                        line);
+    }
+    have_size = true;
     break;
   }
+  FASTSC_CHECK(have_size, "missing MatrixMarket size line: " + path);
+  if (rows < 0 || cols < 0 || nnz < 0) {
+    throw_parse_error(path, lineno, "negative MatrixMarket dimensions", line);
+  }
   sparse::Coo coo(rows, cols);
+  // An oversized header count (corrupted or hostile) must not drive a huge
+  // up-front allocation: every entry needs at least "r c\n" = 4 bytes, so
+  // nnz can never exceed the remaining file size.  Truncation past the real
+  // entry count is still caught by the `seen == nnz` check below.
+  {
+    const auto body_start = in.tellg();
+    in.seekg(0, std::ios::end);
+    const auto body_bytes =
+        static_cast<long long>(in.tellg()) - static_cast<long long>(body_start);
+    in.seekg(body_start);
+    if (static_cast<long long>(nnz) > body_bytes / 4 + 1) {
+      throw_parse_error(
+          path, lineno,
+          "oversized entry count " + std::to_string(nnz) + " for a " +
+              std::to_string(body_bytes) + "-byte body",
+          line);
+    }
+  }
   coo.reserve(symmetric ? 2 * nnz : nnz);
   index_t seen = 0;
   while (seen < nnz && std::getline(in, line)) {
-    if (line.empty() || line[0] == '%') continue;
+    ++lineno;
+    if (is_comment_or_blank(line, '%')) continue;
     std::istringstream ls(line);
     index_t r, c;
     real v = 1.0;
-    FASTSC_CHECK(static_cast<bool>(ls >> r >> c),
-                 "malformed MatrixMarket entry: " + line);
-    if (!pattern) {
-      FASTSC_CHECK(static_cast<bool>(ls >> v),
-                   "missing value in MatrixMarket entry: " + line);
+    if (!(ls >> r >> c)) {
+      throw_parse_error(path, lineno, "malformed MatrixMarket entry", line);
     }
-    FASTSC_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                 "MatrixMarket index out of range: " + line);
+    if (!pattern) {
+      if (!(ls >> v)) {
+        throw_parse_error(path, lineno, "missing value in MatrixMarket entry",
+                          line);
+      }
+      if (!std::isfinite(v)) {
+        throw_parse_error(path, lineno, "non-finite MatrixMarket value", line);
+      }
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw_parse_error(path, lineno, "MatrixMarket index out of range", line);
+    }
     coo.push(r - 1, c - 1, v);
     if (symmetric && r != c) coo.push(c - 1, r - 1, v);
     ++seen;

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -165,10 +166,16 @@ void DeviceContext::meter_transfer(usize bytes, double measured_seconds,
 }
 
 void DeviceContext::record_h2d(usize bytes, double measured_seconds) {
+  // Watchdog overrun check before metering, with no locks held (the
+  // governor's lock orders strictly before meter_mu_).
+  cancel::note_transfer("transfer.h2d", measured_seconds,
+                        model_.seconds_for(bytes));
   meter_transfer(bytes, measured_seconds, /*h2d=*/true);
 }
 
 void DeviceContext::record_d2h(usize bytes, double measured_seconds) {
+  cancel::note_transfer("transfer.d2h", measured_seconds,
+                        model_.seconds_for(bytes));
   meter_transfer(bytes, measured_seconds, /*h2d=*/false);
 }
 

@@ -246,6 +246,14 @@ class DeviceContext {
   /// Consistent copy of the counters under the metering lock.
   [[nodiscard]] DeviceCounters counters_snapshot() const;
 
+  /// Position on the deterministic transfer timeline: cumulative modeled
+  /// transfer seconds (a pure function of the bytes moved so far).  This is
+  /// the virtual-now source for cancel::RunBudget virtual limits — identical
+  /// across runs, thread counts, and sanitizers.
+  [[nodiscard]] double modeled_transfer_seconds_now() const {
+    return counters_snapshot().modeled_transfer_seconds;
+  }
+
   [[nodiscard]] PinnedPool& staging_pool() noexcept { return staging_pool_; }
 
   /// Human-readable device description for Table I style output.

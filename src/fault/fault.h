@@ -14,6 +14,8 @@
 //   device.h2d/d2h      DeviceBuffer synchronous copies
 //   copy.h2d/d2h        copy_h2d/copy_d2h (pipeline executor staging)
 //   stream.h2d/d2h      Stream async copy ops
+//   stream.hang         Stream::thread_main wedged-op simulation (spins until
+//                       the cancel watchdog fires; see common/cancel.h)
 //   lanczos.convergence SymLanczos restart check (simulated solver stall)
 //
 // Transfer sites throw the *transient* DeviceTransferError, absorbed by the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/par.h"
 #include "device/algorithms.h"
@@ -204,6 +205,10 @@ sparse::Coo build_similarity_device_chunked(device::DeviceContext& ctx,
   const SimilarityParams p = params;
   const bool clamp = clamp_nonpositive;
   for (index_t start = 0; start < nnz; start += chunk_edges) {
+    // One poll per streamed chunk: bounded work between polls is one chunk's
+    // H2D + kernel + D2H.  Similarity has no partial result, so this throws
+    // on any cancellation (including an expired budget).
+    cancel::poll("similarity.chunk");
     const index_t count = std::min(chunk_edges, nnz - start);
     device::DeviceBuffer<index_t> dev_u(
         ctx, std::span<const index_t>(edges.u.data() + start,

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "blas/dblas.h"
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/validation.h"
@@ -57,6 +58,9 @@ KmeansResult kmeans_device(device::DeviceContext& ctx, const real* v, index_t n,
   FASTSC_CHECK(config.restarts >= 1, "restarts must be positive");
   KmeansResult best;
   for (index_t r = 0; r < config.restarts; ++r) {
+    // A deadline between restarts keeps the best completed run (anytime);
+    // hard cancellation throws from the poll sites inside the run itself.
+    if (r > 0 && cancel::expired("kmeans.restart")) break;
     KmeansConfig cfg = config;
     cfg.seed = config.seed + static_cast<std::uint64_t>(r) * 0x9e3779b9ULL;
     KmeansResult candidate = kmeans_device_single(ctx, v, n, d, cfg);
@@ -139,6 +143,14 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
 
   index_t iter = 0;
   for (; iter < config.max_iters; ++iter) {
+    // Deadline check at the sweep boundary.  The first sweep must run (labels
+    // are still -1, there is no best-so-far), so it polls hard; later sweeps
+    // stop softly on an anytime expiry, keeping the previous assignment.
+    if (iter == 0) {
+      cancel::poll("kmeans.sweep");
+    } else if (cancel::expired("kmeans.sweep")) {
+      break;
+    }
     // --- pairwise distances: S_ij = Vnorm_i + Cnorm_j - 2 <v_i, c_j> -------
     if (exec) {
       // Prefetched centroid tiles: tile t+1 stages its centroid rows H2D on

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/validation.h"
@@ -49,6 +50,9 @@ KmeansResult kmeans_lloyd_host(const real* v, index_t n, index_t d,
   FASTSC_CHECK(config.restarts >= 1, "restarts must be positive");
   KmeansResult best;
   for (index_t r = 0; r < config.restarts; ++r) {
+    // A deadline between restarts keeps the best completed run (anytime);
+    // hard cancellation throws from the poll sites inside the run itself.
+    if (r > 0 && cancel::expired("kmeans.restart")) break;
     KmeansConfig cfg = config;
     cfg.seed = config.seed + static_cast<std::uint64_t>(r) * 0x9e3779b9ULL;
     KmeansResult candidate = lloyd_single(v, n, d, cfg);
@@ -88,6 +92,14 @@ KmeansResult lloyd_single(const real* v, index_t n, index_t d,
 
   index_t iter = 0;
   for (; iter < config.max_iters; ++iter) {
+    // Deadline check at the sweep boundary.  The first sweep must run (labels
+    // are still -1, there is no best-so-far), so it polls hard; later sweeps
+    // stop softly on an anytime expiry, keeping the previous assignment.
+    if (iter == 0) {
+      cancel::poll("kmeans.sweep");
+    } else if (cancel::expired("kmeans.sweep")) {
+      break;
+    }
     // Assignment step: naive double loop, as a scripting environment runs it.
     index_t changes = 0;
     for (index_t i = 0; i < n; ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.h"
 #include "common/error.h"
 #include "device/algorithms.h"
 
@@ -51,6 +52,7 @@ std::vector<index_t> kmeanspp_seeds_host(const real* v, index_t n, index_t d,
     dist2[static_cast<usize>(j)] = sq_dist(v + j * d, c0, d);
   }
   for (index_t i = 1; i < k; ++i) {
+    cancel::poll("kmeans.seeding");
     // Sample proportional to Dist^2 (squared Euclidean distance).
     real total = 0;
     for (real x : dist2) total += x;
@@ -136,6 +138,8 @@ std::vector<index_t> kmeanspp_seeds_device(device::DeviceContext& ctx,
   std::vector<index_t> picks(static_cast<usize>(ncand));
 
   for (index_t i = 1; i < k; ++i) {
+    // One poll per centroid draw: each step is one O(ncand * n * d) kernel.
+    cancel::poll("kmeans.seeding");
     // P_j = Dist_j^2 / sum_l Dist_l^2, sampled via inclusive scan + one
     // uniform draw (a single binary search on the device prefix array).
     const real total =

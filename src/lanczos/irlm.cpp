@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "blas/hblas.h"
+#include "common/cancel.h"
 #include "common/error.h"
 #include "common/timer.h"
 #include "fault/fault.h"
@@ -426,6 +427,10 @@ SymLanczos::Action SymLanczos::restart_or_finish() {
   stats_.converged_count = converged;
   stats_.restart_history.push_back(
       LanczosRestartSample{stats_.restart_count, converged, worst_res});
+  // Stall-watchdog feed: N restarts without relative residual improvement
+  // fire the run's cancel token (deterministic under the stall fault above,
+  // whose plateaued residuals never count as progress).
+  cancel::note_progress(worst_res);
   if (obs::trace_enabled()) {
     const double now = obs::wall_now_us();
     obs::trace().counter("lanczos.worst_residual", worst_res, now);
@@ -488,6 +493,61 @@ SymLanczos::Action SymLanczos::restart_or_finish() {
   if (config_.capture_checkpoints) capture_checkpoint();
   stats_.restart_seconds += restart_timer.seconds();
   return Action::kMultiply;  // next product: A * v_l
+}
+
+SymLanczos::Action SymLanczos::abandon() {
+  FASTSC_CHECK(can_abandon(),
+               "abandon requires an in-flight iteration with at least nev "
+               "basis vectors");
+  const index_t m = config_.ncv;
+  const index_t jb = j_;  // valid basis rows 0..jb-1; jb < m in kAwaitMatvec
+  WallTimer restart_timer;
+
+  // Ritz pairs of the current jb-step factorization: dense eigensolve of the
+  // leading jb x jb block of T.  This covers both shapes the block can have
+  // mid-flight — tridiagonal during expansion, diagonal-plus-arrowhead right
+  // after a thick restart — because the block is simply what the iteration
+  // has projected so far.
+  std::vector<real> tb(static_cast<usize>(jb) * static_cast<usize>(jb));
+  for (index_t i = 0; i < jb; ++i) {
+    for (index_t p = 0; p < jb; ++p) {
+      tb[static_cast<usize>(i * jb + p)] = t_[static_cast<usize>(i * m + p)];
+    }
+  }
+  DenseEigResult eig = dense_sym_eig(tb.data(), jb, /*sym_tol=*/1e-8);
+  const std::vector<real>& theta = eig.eigenvalues;
+  const std::vector<real>& y = eig.eigenvectors;  // jb x jb, eigvecs in cols
+  const std::vector<index_t> order = ritz_order(theta);
+
+  // Residual of Ritz pair (theta, V y) from A V = V T_jb + v_jb b^T with
+  // coupling b[p] = T(p, jb): ||r|| = |b^T y|.  Column jb of T exists
+  // (jb < m) and holds the tridiagonal beta or the restart arrowhead.
+  out_eigenvalues_.clear();
+  out_residuals_.clear();
+  final_order_.clear();
+  final_y_.assign(static_cast<usize>(m) * static_cast<usize>(m), 0.0);
+  for (index_t p = 0; p < jb; ++p) {
+    for (index_t col = 0; col < jb; ++col) {
+      // Zero-padded m x m embedding so extract_eigenvectors() reads the
+      // same (p * m + col) layout as a finished solve.
+      final_y_[static_cast<usize>(p * m + col)] =
+          y[static_cast<usize>(p * jb + col)];
+    }
+  }
+  for (index_t i = 0; i < config_.nev; ++i) {
+    const index_t col = order[static_cast<usize>(i)];
+    out_eigenvalues_.push_back(theta[static_cast<usize>(col)]);
+    real r = 0;
+    for (index_t p = 0; p < jb; ++p) {
+      r += t_[static_cast<usize>(p * m + jb)] * y[static_cast<usize>(p * jb + col)];
+    }
+    out_residuals_.push_back(std::fabs(r));
+    final_order_.push_back(col);
+  }
+  phase_ = Phase::kFailed;
+  stats_.restart_seconds += restart_timer.seconds();
+  obs::metrics().counter("lanczos.abandons").add();
+  return Action::kFailed;
 }
 
 std::vector<real> SymLanczos::extract_eigenvectors() const {

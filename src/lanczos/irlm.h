@@ -185,6 +185,18 @@ class SymLanczos {
   /// when resuming a kFailed solve.
   void restore(const LanczosCheckpoint& cp);
 
+  /// True when abandon() can produce partial Ritz pairs: the iteration is
+  /// mid-flight (kAwaitMatvec) with at least nev basis vectors built.
+  [[nodiscard]] bool can_abandon() const noexcept {
+    return phase_ == Phase::kAwaitMatvec && j_ >= config_.nev;
+  }
+
+  /// Anytime cut: stop the iteration *now* and expose the best Ritz pairs of
+  /// the current j-step factorization through the normal kFailed accessors
+  /// (eigenvalues / residuals / extract_eigenvectors).  Used by the deadline
+  /// subsystem when a run budget expires mid-solve.  Requires can_abandon().
+  Action abandon();
+
   void set_max_restarts(index_t max_restarts) noexcept {
     config_.max_restarts = max_restarts;
   }

@@ -1,5 +1,7 @@
 #include "lanczos/rci.h"
 
+#include "common/cancel.h"
+
 namespace fastsc::lanczos {
 
 SymEigResult solve_symmetric(
@@ -7,6 +9,18 @@ SymEigResult solve_symmetric(
     const std::function<void(const real* x, real* y)>& matvec) {
   SymEigProb prob(config);
   while (!prob.converge()) {
+    // One poll per reverse-communication wave: bounded work between polls is
+    // one matvec plus one TakeStep.  An anytime deadline freezes the
+    // iteration and keeps the best partial Ritz pairs; hard cancellation
+    // unwinds from here.
+    try {
+      cancel::poll("lanczos.host_matvec");
+    } catch (const cancel::CancelledError& e) {
+      if (!cancel::governor().anytime_allowed() || !prob.CanAbandon()) throw;
+      prob.Abandon();
+      cancel::governor().begin_wrapup(e.site().empty() ? e.what() : e.site());
+      break;
+    }
     matvec(prob.GetVector(), prob.PutVector());
     prob.TakeStep();
   }

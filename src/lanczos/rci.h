@@ -73,6 +73,17 @@ class SymEigProb {
     last_action_ = SymLanczos::Action::kMultiply;
   }
 
+  /// Anytime cut on budget expiry: freeze the iteration and surface the best
+  /// partial Ritz pairs through the normal Failed()/FindEigenvectors() path.
+  /// Only valid when CanAbandon().
+  [[nodiscard]] bool CanAbandon() const noexcept {
+    return started_ && solver_.can_abandon();
+  }
+  void Abandon() {
+    last_action_ = solver_.abandon();
+    started_ = true;
+  }
+
  private:
   SymLanczos solver_;
   SymLanczos::Action last_action_ = SymLanczos::Action::kMultiply;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "blas/hblas.h"
+#include "common/cancel.h"
 #include "common/error.h"
 
 namespace fastsc::solvers {
@@ -37,6 +38,7 @@ CgResult pcg(const std::function<void(const real*, real*)>& matvec, index_t n,
   real rz = hblas::dot(n, r.data(), z.data());
 
   for (index_t it = 0; it < config.max_iters; ++it) {
+    cancel::poll("cg.iteration");
     result.relative_residual = hblas::nrm2(n, r.data()) / bnorm;
     if (result.relative_residual <= config.tol) {
       result.converged = true;
@@ -128,6 +130,7 @@ CgBlockResult conjugate_gradient_block(
 
   std::vector<index_t> still_active;
   for (index_t it = 0; it < config.max_iters && !active.empty(); ++it) {
+    cancel::poll("cg.block_iteration");
     // Convergence checks first, same cadence as the single-RHS loop; a
     // system that converges drops out of this iteration's batch.
     still_active.clear();

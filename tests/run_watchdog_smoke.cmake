@@ -1,0 +1,69 @@
+# Watchdog smoke, run as a CTest via `cmake -P`:
+#   1. run a tiny bench_table5_syn200 pipeline with a stream.hang fault (the
+#      stream worker wedges before its next op) under a heartbeat watchdog,
+#   2. require the run to finish with an exit code of 0 — the watchdog must
+#      convert the hang into an anytime result, not a wedged process,
+#   3. validate the trace with tools/check_trace.py and require the
+#      watchdog.fired counter series,
+#   4. require the run-report JSON to carry the anytime budget verdict.
+#
+# Expected -D definitions: BENCH (bench executable), PYTHON (python3),
+# CHECKER (tools/check_trace.py), WORKDIR (scratch directory).
+
+foreach(var BENCH PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_watchdog_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(trace_json "${WORKDIR}/trace.json")
+set(report_json "${WORKDIR}/report.json")
+
+# nth picks the 200th stream op so the hang lands mid-eigensolve, after the
+# initial factorization has banked enough Ritz pairs for an anytime cut
+# (CanAbandon requires j >= nev); the first ~50 ops are setup uploads where
+# abandoning is impossible and the cancellation would rightly be fatal.
+execute_process(
+  COMMAND "${BENCH}"
+          --n=400 --blocks=4 --k=4 --baselines=false
+          --faults=site=stream.hang,nth=200
+          --watchdog=heartbeat_ms=50,poll_ms=5
+          --trace-out=${trace_json}
+          --report-out=${report_json}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench did not survive the injected hang (rc=${bench_rc})\n"
+          "stdout:\n${bench_out}\nstderr:\n${bench_err}")
+endif()
+foreach(artifact "${trace_json}" "${report_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
+          --expect-counter watchdog.fired
+          --expect-counter budget.anytime_results
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}${check_err}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py failed (rc=${check_rc})")
+endif()
+
+# The run report must record an anytime (partial-but-valid) result with the
+# watchdog as the cause.
+file(READ "${report_json}" report)
+if(NOT report MATCHES "\"watchdog_fired\": *true")
+  message(FATAL_ERROR "run report missing watchdog_fired=true")
+endif()
+if(NOT report MATCHES "\"anytime\": *true")
+  message(FATAL_ERROR "run report missing anytime=true")
+endif()
+message(STATUS "watchdog smoke OK: hang converted to an anytime result")

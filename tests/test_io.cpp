@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <random>
 
 namespace fastsc::data {
 namespace {
@@ -168,12 +170,12 @@ TEST_F(IoTest, MatrixMarketRejectsBadInput) {
 }
 
 TEST_F(IoTest, GarbageInputsThrowOrDegradeGracefully) {
-  // Binary junk in an edge list: unparseable lines are skipped, valid
-  // numeric prefixes are honored — never a crash.
+  // Binary junk in an edge list: corrupted lines throw a line-numbered
+  // std::invalid_argument — never a crash, never a silent mis-parse.
   std::ofstream(path("junk.txt"), std::ios::binary)
       << "\x01\x02\xff garbage\n12 bananas\n3 4\n";
-  const sparse::Coo coo = read_edge_list(path("junk.txt"), false);
-  EXPECT_LE(coo.nnz(), 2);  // at most the "12 ..." and "3 4" lines
+  EXPECT_THROW((void)read_edge_list(path("junk.txt"), false),
+               std::invalid_argument);
 
   // Junk in a MatrixMarket body throws cleanly.
   std::ofstream(path("junk.mtx"))
@@ -182,13 +184,141 @@ TEST_F(IoTest, GarbageInputsThrowOrDegradeGracefully) {
   EXPECT_THROW((void)read_matrix_market(path("junk.mtx")),
                std::invalid_argument);
 
-  // Junk in a points file: non-numeric rows are skipped entirely.
+  // Junk in a points file throws too.
   std::ofstream(path("junk.pts")) << "abc def\n1 2\n";
   index_t r, c;
-  const auto pts = read_points(path("junk.pts"), r, c);
-  EXPECT_EQ(r, 1);
-  EXPECT_EQ(c, 2);
-  (void)pts;
+  EXPECT_THROW((void)read_points(path("junk.pts"), r, c),
+               std::invalid_argument);
+}
+
+// Every loader error names the file and 1-based line of the offending input.
+TEST_F(IoTest, ParseErrorsCarryLineNumbers) {
+  auto expect_line = [](auto&& fn, const std::string& file,
+                        const std::string& lineno) {
+    try {
+      fn();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(file + ":" + lineno + ":"), std::string::npos)
+          << "missing '" << file << ":" << lineno << ":' in: " << what;
+    }
+  };
+
+  std::ofstream(path("e.txt")) << "# ok\n0 1\n2 oops\n";
+  expect_line([&] { (void)read_edge_list(path("e.txt")); }, path("e.txt"),
+              "3");
+
+  std::ofstream(path("neg.txt")) << "0 1\n-3 4\n";
+  expect_line([&] { (void)read_edge_list(path("neg.txt")); }, path("neg.txt"),
+              "2");
+
+  std::ofstream(path("w.txt")) << "0 1 not_a_weight\n";
+  expect_line([&] { (void)read_edge_list(path("w.txt")); }, path("w.txt"),
+              "1");
+
+  std::ofstream(path("p.txt")) << "1 2\n3 x\n";
+  expect_line(
+      [&] {
+        index_t r, c;
+        (void)read_points(path("p.txt"), r, c);
+      },
+      path("p.txt"), "2");
+
+  std::ofstream(path("rag.txt")) << "1 2 3\n\n4 5\n";
+  expect_line(
+      [&] {
+        index_t r, c;
+        (void)read_points(path("rag.txt"), r, c);
+      },
+      path("rag.txt"), "3");
+
+  std::ofstream(path("l.txt")) << "0\n1\ntwo\n";
+  expect_line([&] { (void)read_labels(path("l.txt")); }, path("l.txt"), "3");
+
+  std::ofstream(path("m.mtx"))
+      << "%%MatrixMarket matrix coordinate real general\n"
+      << "% comment\n"
+      << "2 2 2\n"
+      << "1 1 1.0\n"
+      << "9 1 1.0\n";
+  expect_line([&] { (void)read_matrix_market(path("m.mtx")); }, path("m.mtx"),
+              "5");
+}
+
+TEST_F(IoTest, EdgeListRejectsNonFiniteAndTrailingGarbage) {
+  // "nan"/"inf" tokens do not parse as numbers in narrow streams; either way
+  // the loader must reject the line rather than store a poisoned weight.
+  std::ofstream(path("nan.txt")) << "0 1 nan\n";
+  EXPECT_THROW((void)read_edge_list(path("nan.txt")), std::invalid_argument);
+  std::ofstream(path("ovf.txt")) << "0 1 1e99999\n";
+  EXPECT_THROW((void)read_edge_list(path("ovf.txt")), std::invalid_argument);
+  std::ofstream(path("trail.txt")) << "0 1 2.5 surprise\n";
+  EXPECT_THROW((void)read_edge_list(path("trail.txt")),
+               std::invalid_argument);
+}
+
+TEST_F(IoTest, MatrixMarketRejectsHostileHeaders) {
+  // A header claiming far more entries than the file could hold must be
+  // rejected up front instead of driving a giant reserve().
+  std::ofstream(path("big.mtx"))
+      << "%%MatrixMarket matrix coordinate real general\n"
+      << "10 10 900000000000\n"
+      << "1 1 1.0\n";
+  EXPECT_THROW((void)read_matrix_market(path("big.mtx")),
+               std::invalid_argument);
+
+  std::ofstream(path("negdim.mtx"))
+      << "%%MatrixMarket matrix coordinate real general\n"
+      << "-2 2 1\n"
+      << "1 1 1.0\n";
+  EXPECT_THROW((void)read_matrix_market(path("negdim.mtx")),
+               std::invalid_argument);
+}
+
+// Property test: flipping any single byte of a valid file must leave the
+// loader in one of two states — clean success or std::invalid_argument.
+// Crashes, hangs, and foreign exception types are all failures.
+TEST_F(IoTest, CorruptedByteFuzzNeverCrashes) {
+  const std::string edge_file = path("fuzz_e.txt");
+  const std::string pts_file = path("fuzz_p.txt");
+  const std::string mtx_file = path("fuzz_m.mtx");
+  std::ofstream(edge_file) << "# graph\n0 1 2.5\n1 2\n2 3 0.25\n10 11\n";
+  std::ofstream(pts_file) << "1.5 -2.0\n0.25 3\n4 5\n";
+  std::ofstream(mtx_file) << "%%MatrixMarket matrix coordinate real general\n"
+                          << "3 3 3\n1 1 1.0\n2 3 -2.5\n3 2 4\n";
+
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  auto run_fuzz = [&](const std::string& orig_path, auto&& load) {
+    const std::string orig = slurp(orig_path);
+    const std::string mutated_path = orig_path + ".mut";
+    std::mt19937 rng(12345);  // deterministic corruption pattern
+    for (usize pos = 0; pos < orig.size(); ++pos) {
+      std::string mutated = orig;
+      mutated[pos] = static_cast<char>(rng());
+      std::ofstream(mutated_path, std::ios::binary) << mutated;
+      try {
+        load(mutated_path);  // success is fine (benign flip)
+      } catch (const std::invalid_argument&) {
+        // rejected cleanly — fine
+      } catch (const std::exception& e) {
+        FAIL() << "byte " << pos << " raised non-invalid_argument: "
+               << e.what();
+      }
+    }
+  };
+
+  run_fuzz(edge_file,
+           [](const std::string& p) { (void)read_edge_list(p); });
+  run_fuzz(pts_file, [](const std::string& p) {
+    index_t r, c;
+    (void)read_points(p, r, c);
+  });
+  run_fuzz(mtx_file,
+           [](const std::string& p) { (void)read_matrix_market(p); });
 }
 
 TEST_F(IoTest, EmptyFilesAreHandled) {

@@ -40,6 +40,8 @@ TESTS=(
   test_fault_injection
   test_degradation
   test_irlm_checkpoint
+  test_cancel
+  test_budget_anytime
   test_hblas
   test_balance
   test_powerlaw

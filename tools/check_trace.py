@@ -151,12 +151,17 @@ def counter_series(events):
     return series
 
 
+CUMULATIVE_PREFIXES = ("fault.", "degrade.", "budget.", "cancel.",
+                       "watchdog.")
+
+
 def check_counter_series(series):
-    """fault.* / degrade.* counters mirror cumulative registry values, so
-    each series must be non-negative and non-decreasing in time."""
+    """fault./degrade./budget./cancel./watchdog. counters mirror cumulative
+    registry values, so each series must be non-negative and non-decreasing
+    in time."""
     checked = 0
     for (pid, name), samples in series.items():
-        if not (name.startswith("fault.") or name.startswith("degrade.")):
+        if not name.startswith(CUMULATIVE_PREFIXES):
             continue
         checked += 1
         prev = None
