@@ -1,0 +1,182 @@
+// Service throughput bench: sustained jobs/sec through fastsc::Service
+// under a mixed FB-scale / DBLP-scale trace.
+//
+// The trace interleaves fresh solves, identical resubmissions (cache
+// hits), delta-edge updates (warm-start re-solves), and oversized jobs
+// that trip per-job quota admission — so one run exercises the queue, the
+// cache, the warm path, and rejection.  Reported: jobs/sec, end-to-end
+// p50/p99 latency, cache-hit ratio, and rejection rate, all in the
+// "Service throughput" table of the RunReport (BENCH_service.json via
+// --report-out) and as service.* gauges in the metrics snapshot.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fastsc/service.h"
+#include "service/trace_replay.h"
+
+namespace {
+
+using namespace fastsc;
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<usize>(p * static_cast<double>(xs.size()));
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+/// Mixed trace: fb/dblp solves with periodic resubmits, updates, and an
+/// oversized job every 8 ops (rejected under the bench's default quota).
+std::vector<service::TraceOp> make_mixed_trace(index_t jobs, double scale,
+                                               std::uint64_t seed) {
+  const auto fb_n = static_cast<index_t>(600 * scale);
+  const auto dblp_n = static_cast<index_t>(2000 * scale);
+  const auto big_n = static_cast<index_t>(20000 * scale);
+  std::vector<service::TraceOp> ops;
+  ops.reserve(static_cast<usize>(jobs));
+  for (index_t i = 0; i < jobs; ++i) {
+    service::TraceOp op;
+    op.seed = seed;
+    op.priority = static_cast<int>(i % 3);
+    if (i % 8 == 7) {
+      // Oversized: estimated device bytes far above the per-job quota.
+      op.op = "solve";
+      op.dataset = "dblp_big";
+      op.n = big_n;
+      op.k = 5;
+    } else if (i % 4 == 3) {
+      op.op = "update";  // warm-start re-solve of the fb graph
+      op.dataset = "fb";
+      op.n = fb_n;
+      op.k = 5;
+      op.delta_frac = 0.01;
+    } else if (i % 4 == 2) {
+      op.op = "solve";  // identical resubmit: cache hit
+      op.dataset = "fb";
+      op.n = fb_n;
+      op.k = 5;
+    } else if (i % 2 == 1) {
+      op.op = "solve";
+      op.dataset = "dblp";
+      op.n = dblp_n;
+      op.k = 8;
+      op.seed = seed + i;  // fresh config fingerprint: forced miss
+    } else {
+      op.op = "solve";
+      op.dataset = "fb";
+      op.n = fb_n;
+      op.k = 5;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli(
+      "bench_service: sustained jobs/sec through fastsc::Service under a "
+      "mixed FB/DBLP trace");
+  const bool run = cli.parse(argc, argv);
+  bench::CommonFlags flags = bench::CommonFlags::parse(cli, /*default_k=*/5);
+  const index_t jobs = cli.get_int("jobs", 24, "trace length (ops)");
+  ServiceConfig scfg;
+  scfg.workers = static_cast<usize>(
+      cli.get_int("service-workers", 2, "service executor threads"));
+  scfg.max_queue_depth = static_cast<usize>(
+      cli.get_int("queue-depth", 64, "queued-job admission limit"));
+  // 2 MiB sits between the largest admissible job (fb at scale 1: ~1 MiB)
+  // and the smallest oversized one (dblp_big at scale 0.5: ~2.9 MiB), so
+  // the trace's every-8th oversized job is rejected at any bench scale.
+  scfg.job_arena_quota_bytes = static_cast<std::uint64_t>(
+      cli.get_double("job-quota-mb", 2,
+                     "per-job device-byte quota (MiB); the trace's oversized "
+                     "jobs are rejected against this") *
+      1024.0 * 1024.0);
+  scfg.arena_budget_bytes = static_cast<std::uint64_t>(
+      cli.get_double("arena-mb", 512,
+                     "aggregate device-byte budget (MiB, 0 = off)") *
+      1024.0 * 1024.0);
+  scfg.cache_capacity_bytes = static_cast<std::uint64_t>(
+      cli.get_double("cache-mb", 128, "result-cache capacity (MiB)") *
+      1024.0 * 1024.0);
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+
+  const std::vector<service::TraceOp> ops =
+      make_mixed_trace(jobs, flags.scale, flags.seed);
+  device::DeviceContext ctx(static_cast<usize>(flags.workers));
+  Service svc(scfg, &ctx);
+  core::SpectralConfig base;
+  base.backend = core::Backend::kDevice;
+  service::TraceReplayer replayer(svc, base);
+
+  std::fprintf(stderr, "[bench] replaying %lld mixed ops...\n",
+               static_cast<long long>(jobs));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const service::TraceOp& op : ops) replayer.submit(op);
+  replayer.wait_all();
+  svc.shutdown(/*drain=*/true);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<double> latency;  // end-to-end: queue + solve
+  std::uint64_t warm_started = 0;
+  for (const service::ReplayedJob& j : replayer.jobs()) {
+    if (j.result.status != JobStatus::kCompleted) continue;
+    latency.push_back(j.result.queue_ms + j.result.solve_ms);
+    if (j.result.warm_started) ++warm_started;
+  }
+  const ServiceStats stats = svc.stats();
+  const double jobs_per_sec =
+      wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0;
+  const double p50 = percentile(latency, 0.50);
+  const double p99 = percentile(latency, 0.99);
+  const std::uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  const double hit_ratio =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0;
+  const double rejection_rate =
+      stats.submitted > 0 ? static_cast<double>(stats.rejected) /
+                                static_cast<double>(stats.submitted)
+                          : 0;
+
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.set_gauge("service.jobs_per_sec", jobs_per_sec);
+  reg.set_gauge("service.latency_p50_ms", p50);
+  reg.set_gauge("service.latency_p99_ms", p99);
+  reg.set_gauge("service.cache_hit_ratio", hit_ratio);
+  reg.set_gauge("service.rejection_rate", rejection_rate);
+
+  TextTable table("Service throughput (mixed FB/DBLP trace)");
+  table.header({"metric", "value"});
+  table.row({"jobs submitted",
+             TextTable::fmt(static_cast<index_t>(stats.submitted))});
+  table.row({"jobs completed",
+             TextTable::fmt(static_cast<index_t>(stats.completed))});
+  table.row({"jobs rejected",
+             TextTable::fmt(static_cast<index_t>(stats.rejected))});
+  table.row({"warm-started",
+             TextTable::fmt(static_cast<index_t>(warm_started))});
+  table.row({"jobs/sec", TextTable::fmt(jobs_per_sec, 2)});
+  table.row({"latency p50 (ms)", TextTable::fmt(p50, 2)});
+  table.row({"latency p99 (ms)", TextTable::fmt(p99, 2)});
+  table.row({"cache hit ratio", TextTable::fmt(hit_ratio, 3)});
+  table.row({"rejection rate", TextTable::fmt(rejection_rate, 3)});
+  table.print();
+  std::printf("\n");
+
+  bench::write_observability_artifacts(flags, ctx);
+  bench::maybe_write_run_report(flags, "bench_service", {}, {table});
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Public service API: the long-lived clustering service.
+//
+// fastsc::Service turns the one-shot spectral_cluster_graph() pipeline into
+// a serving layer (ROADMAP north star: heavy traffic, many concurrent
+// requests):
+//
+//   * a priority job queue with admission control — depth and device-byte
+//     quotas reject work the arena could not hold (JobStatus::kOverloaded)
+//     instead of thrashing it;
+//   * N executor threads running solves concurrently over the shared device
+//     context and thread pool, each job under its *own* cancellation
+//     governor (cancel::GovernorBindScope), so per-job deadlines and
+//     cancel() affect exactly one job;
+//   * a result cache keyed by (graph fingerprint, config fingerprint) with
+//     byte-accounted LRU eviction — identical resubmissions return the
+//     cached labels without solving;
+//   * warm-start re-solves: a job whose graph is a small delta of a cached
+//     one (Job::warm_hint) restores the cached eigensolver checkpoint and
+//     converges in a fraction of the cold-start waves.
+//
+// All methods are thread-safe.  Metrics: service.* and cache.* counters in
+// obs::metrics(), mirrored onto the trace when tracing is enabled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fastsc/job.h"
+#include "fastsc/service_config.h"
+
+namespace fastsc::device {
+class DeviceContext;
+}  // namespace fastsc::device
+
+namespace fastsc {
+
+/// Point-in-time service statistics (mirrors the service.* metrics).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_entries = 0;
+  usize queued = 0;   ///< currently waiting
+  usize running = 0;  ///< currently executing
+};
+
+class Service {
+ public:
+  /// Outcome of submit(): the job id plus its admission status (kQueued, or
+  /// kOverloaded with the rejection reason retrievable via wait()).
+  struct Submitted {
+    JobId id = 0;
+    JobStatus status = JobStatus::kQueued;
+  };
+
+  /// Starts the executor threads.  `ctx` is the shared device context; null
+  /// uses the process default device.
+  explicit Service(ServiceConfig config, device::DeviceContext* ctx = nullptr);
+  ~Service();  ///< shutdown(/*drain=*/false)
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission-controlled enqueue.  Never blocks: an over-quota or
+  /// over-depth job is rejected immediately with kOverloaded (wait() on its
+  /// id returns the rejection detail).
+  Submitted submit(Job job);
+
+  /// Block until the job reaches a terminal status and return its result.
+  /// Unknown ids throw std::invalid_argument.
+  [[nodiscard]] JobResult wait(JobId id);
+
+  /// Request cancellation of a queued or running job (its governor fires at
+  /// the next poll site).  Returns false when the job is unknown or already
+  /// terminal.
+  bool cancel(JobId id);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Stop the executors.  drain=true completes all queued jobs first;
+  /// drain=false cancels queued jobs (kCancelled) and interrupts running
+  /// ones at their next poll site.  Idempotent.
+  void shutdown(bool drain = true);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fastsc

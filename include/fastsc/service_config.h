@@ -1,0 +1,50 @@
+// Public service API: service-wide configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace fastsc {
+
+/// Tuning knobs for a fastsc::Service instance.
+///
+/// Admission control (DESIGN.md §10): a job is rejected with kOverloaded
+/// when (a) the queue already holds max_queue_depth jobs, (b) the job's
+/// estimated device bytes exceed job_arena_quota_bytes, or (c) admitting it
+/// would push the sum of estimated bytes over queued + running jobs past
+/// arena_budget_bytes.  Estimates are computed from the graph's nnz and n
+/// (COO staging + CSR + iteration vectors), the same arithmetic the device
+/// arena will actually allocate.
+struct ServiceConfig {
+  /// Executor threads; each runs one job at a time, so this is the solve
+  /// concurrency.  Minimum 1.
+  usize workers = 2;
+
+  /// Jobs allowed to wait in the queue (running jobs excluded); admission
+  /// beyond this rejects with kOverloaded.
+  usize max_queue_depth = 64;
+
+  /// Aggregate device-byte budget across all admitted (queued + running)
+  /// jobs; 0 = unlimited.
+  std::uint64_t arena_budget_bytes = 512ull << 20;
+
+  /// Per-job device-byte quota; a single job estimated above this is
+  /// rejected outright.  0 = unlimited.
+  std::uint64_t job_arena_quota_bytes = 256ull << 20;
+
+  /// Result cache capacity in bytes (labels + eigenvalues + checkpoint per
+  /// entry, LRU eviction); 0 disables caching entirely.
+  std::uint64_t cache_capacity_bytes = 128ull << 20;
+
+  /// Serve identical (graph, config) resubmissions from the cache.
+  bool enable_cache = true;
+
+  /// Warm-start delta-update re-solves from cached eigensolver checkpoints.
+  bool enable_warm_start = true;
+
+  /// Default per-job deadline when Job::deadline_ms is 0; 0 = none.
+  double default_deadline_ms = 0;
+};
+
+}  // namespace fastsc

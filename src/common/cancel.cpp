@@ -17,7 +17,18 @@
 namespace fastsc::cancel {
 
 namespace detail {
-std::atomic<bool> g_active{false};
+std::atomic<int> g_active{0};
+
+namespace {
+/// Thread-local governor binding; null = "use the process default".
+/// Plain pointer: bound governors outlive their binding scopes by contract
+/// (GovernorBindScope restores the previous binding before the job's
+/// governor is destroyed).
+thread_local Governor* t_bound = nullptr;
+}  // namespace
+
+Governor* bound_governor() noexcept { return t_bound; }
+void bind_governor(Governor* g) noexcept { t_bound = g; }
 }  // namespace detail
 
 namespace {
@@ -303,10 +314,23 @@ struct Governor::Impl {
   std::uint64_t trip_seen = 0;
   std::atomic<std::uint64_t> after_fire{0};
 
+  /// Whether this instance currently holds a +1 in detail::g_active.
+  bool active_contrib = false;
+
+  ~Impl() {
+    // A destroyed governor must drop its contribution or every poll site in
+    // the process pays the slow path forever.
+    if (active_contrib) {
+      detail::g_active.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
   void refresh_active_locked() {
-    detail::g_active.store(
-        armed || recording || trip_set || cause != Cause::kNone,
-        std::memory_order_relaxed);
+    const bool want = armed || recording || trip_set || cause != Cause::kNone;
+    if (want != active_contrib) {
+      detail::g_active.fetch_add(want ? 1 : -1, std::memory_order_relaxed);
+      active_contrib = want;
+    }
   }
 
   void fire_locked(Cause c, std::string why, const std::string& subcounter,
@@ -433,14 +457,25 @@ struct Governor::Impl {
   }
 };
 
-Governor::Impl& Governor::impl() const {
-  static Impl instance;
-  return instance;
+Governor::Governor() : impl_(std::make_unique<Impl>()) {}
+
+Governor::~Governor() {
+  // Per-job governors die with their job; make sure the monitor thread is
+  // gone and the active contribution is dropped (Impl::~Impl backstops the
+  // latter for instances destroyed with trip/recording state set).
+  disarm();
 }
 
 Governor& governor() {
-  static Governor instance;
-  return instance;
+  // Leaked deliberately: stream threads may feed heartbeats during static
+  // destruction, after a function-local static would already be gone.
+  static Governor* instance = new Governor;
+  return *instance;
+}
+
+Governor& current_governor() noexcept {
+  Governor* bound = detail::bound_governor();
+  return bound != nullptr ? *bound : governor();
 }
 
 // --- Governor methods -------------------------------------------------------
@@ -745,7 +780,7 @@ void Governor::reset_for_test() {
 namespace detail {
 
 void on_poll(std::string_view site) {
-  Governor::Impl& I = governor().impl();
+  Governor::Impl& I = current_governor().impl();
   std::vector<std::string> counters;
   std::string warn;
   bool do_throw = false;
@@ -766,7 +801,7 @@ void on_poll(std::string_view site) {
 
 bool on_pending(std::string_view site) noexcept {
   try {
-    Governor::Impl& I = governor().impl();
+    Governor::Impl& I = current_governor().impl();
     std::vector<std::string> counters;
     std::string warn;
     bool result = false;
@@ -783,7 +818,7 @@ bool on_pending(std::string_view site) noexcept {
 }
 
 bool on_expired(std::string_view site) {
-  Governor::Impl& I = governor().impl();
+  Governor::Impl& I = current_governor().impl();
   std::vector<std::string> counters;
   std::string warn;
   bool soft_stop = false;
@@ -810,7 +845,7 @@ bool on_expired(std::string_view site) {
 
 bool on_interrupted(std::string_view site) noexcept {
   try {
-    Governor::Impl& I = governor().impl();
+    Governor::Impl& I = current_governor().impl();
     std::vector<std::string> counters;
     std::string warn;
     bool result = false;
@@ -828,12 +863,16 @@ bool on_interrupted(std::string_view site) noexcept {
 }
 
 void on_heartbeat() noexcept {
-  governor().impl().heartbeat_ticks.fetch_add(1, std::memory_order_relaxed);
+  // Stream threads are never governor-bound, so heartbeats land on the
+  // process default; per-job governors therefore never see heartbeats and
+  // their heartbeat watchdog stays inert (busy_streams == 0 suppresses it).
+  current_governor().impl().heartbeat_ticks.fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void on_stream_busy(bool busy) noexcept {
-  governor().impl().busy_streams.fetch_add(busy ? 1 : -1,
-                                           std::memory_order_relaxed);
+  current_governor().impl().busy_streams.fetch_add(
+      busy ? 1 : -1, std::memory_order_relaxed);
 }
 
 }  // namespace detail
@@ -841,25 +880,27 @@ void on_stream_busy(bool busy) noexcept {
 // --- RAII -------------------------------------------------------------------
 
 RunScope::RunScope(const RunBudget& budget, const WatchdogConfig& watchdog,
-                   CancelToken external, std::function<double()> virtual_now) {
-  if (governor().armed()) return;  // nested run: outer budget keeps governing
-  governor().arm(budget, watchdog, std::move(external),
+                   CancelToken external, std::function<double()> virtual_now)
+    : governor_(&current_governor()) {
+  if (governor_->armed()) return;  // nested run: outer budget keeps governing
+  governor_->arm(budget, watchdog, std::move(external),
                  std::move(virtual_now));
   armed_ = true;
 }
 
 RunScope::~RunScope() {
-  if (armed_) governor().disarm();
+  if (armed_) governor_->disarm();
 }
 
 StageScope::StageScope(std::string_view stage) {
-  if (!governor().armed()) return;
-  governor().begin_stage(stage);
+  cancel::Governor& g = current_governor();
+  if (!g.armed()) return;
+  g.begin_stage(stage);
   active_ = true;
 }
 
 StageScope::~StageScope() {
-  if (active_) governor().end_stage();
+  if (active_) current_governor().end_stage();
 }
 
 }  // namespace fastsc::cancel

@@ -217,11 +217,21 @@ struct BudgetReport {
 
 // --- governor ---------------------------------------------------------------
 
+class Governor;
+
 namespace detail {
-/// True whenever anything is armed (budget, watchdog, external token,
-/// recording mode, or a test trip rule).  The *only* cost at a poll site
-/// when disarmed is one relaxed load of this flag.
-extern std::atomic<bool> g_active;
+/// Count of governors with anything armed (budget, watchdog, external token,
+/// recording mode, or a test trip rule) across the process.  The *only* cost
+/// at a poll site when every governor is disarmed is one relaxed load of
+/// this counter.
+extern std::atomic<int> g_active;
+
+/// Thread-local governor binding: null means "use the process default".
+/// Service executors bind a per-job governor so concurrent jobs poll, expire
+/// and cancel independently; ThreadPool::run_workers propagates the
+/// dispatcher's binding into the workers for the duration of a bulk job.
+[[nodiscard]] Governor* bound_governor() noexcept;
+void bind_governor(Governor* g) noexcept;
 
 void on_poll(std::string_view site);               // may throw CancelledError
 [[nodiscard]] bool on_pending(std::string_view site) noexcept;
@@ -231,10 +241,18 @@ void on_heartbeat() noexcept;
 void on_stream_busy(bool busy) noexcept;
 }  // namespace detail
 
-/// Process-wide deadline/cancellation governor (mirrors fault::injector()).
+/// Deadline/cancellation governor.  One process-wide instance (`governor()`)
+/// backs plain pipeline runs, mirroring fault::injector(); the service layer
+/// additionally creates one instance per job and binds it to the executing
+/// thread (GovernorBindScope) so every job is individually cancellable.
 /// Armed per spectral run via RunScope; stages bracketed via StageScope.
 class Governor {
  public:
+  Governor();
+  ~Governor();
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
   /// Arms budget + watchdog + optional external token.  `virtual_now`
   /// returns the device virtual timeline position in seconds (pass
   /// DeviceContext::modeled_transfer_seconds_now); may be empty when no
@@ -290,30 +308,55 @@ class Governor {
   friend void detail::on_stream_busy(bool) noexcept;
 
   struct Impl;
-  [[nodiscard]] Impl& impl() const;
+  [[nodiscard]] Impl& impl() const { return *impl_; }
+  std::unique_ptr<Impl> impl_;
 };
 
+/// Process-wide default governor (plain pipeline runs, env budgets, tests).
 [[nodiscard]] Governor& governor();
+
+/// The governor poll sites consult: the thread-bound instance when a
+/// GovernorBindScope is active on this thread (or was propagated by
+/// ThreadPool), else the process default.
+[[nodiscard]] Governor& current_governor() noexcept;
+
+/// Binds `g` as the calling thread's governor for the scope's lifetime
+/// (null rebinds to the process default).  The service's executor threads
+/// wrap each job in one of these so the pipeline's internal RunScope arms
+/// the job's own governor instead of the shared one.
+class GovernorBindScope {
+ public:
+  explicit GovernorBindScope(Governor* g) noexcept
+      : previous_(detail::bound_governor()) {
+    detail::bind_governor(g);
+  }
+  ~GovernorBindScope() { detail::bind_governor(previous_); }
+  GovernorBindScope(const GovernorBindScope&) = delete;
+  GovernorBindScope& operator=(const GovernorBindScope&) = delete;
+
+ private:
+  Governor* previous_;
+};
 
 // --- poll sites -------------------------------------------------------------
 
 /// Throwing poll for sequential code; one relaxed load when disarmed.
 inline void poll(std::string_view site) {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return;
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return;
   detail::on_poll(site);
 }
 
 /// Non-throwing poll for thread-pool workers / stream threads: true means
 /// "stop doing work"; the sequential coordinator surfaces the error.
 [[nodiscard]] inline bool pending(std::string_view site) noexcept {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return false;
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return false;
   return detail::on_pending(site);
 }
 
 /// Soft deadline check at an anytime boundary: true = keep best-so-far and
 /// stop.  Throws instead when the cancellation cause forbids partial results.
 [[nodiscard]] inline bool expired(std::string_view site) {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return false;
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return false;
   return detail::on_expired(site);
 }
 
@@ -323,7 +366,7 @@ inline void poll(std::string_view site) {
 /// primitive completes and the deadline surfaces at the next algorithm
 /// boundary instead of tearing a half-written output buffer.
 [[nodiscard]] inline bool interrupted(std::string_view site) noexcept {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return false;
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return false;
   return detail::on_interrupted(site);
 }
 
@@ -335,21 +378,24 @@ inline void stream_busy(bool busy) noexcept { detail::on_stream_busy(busy); }
 
 /// Watchdog feeds with the disarmed-fast-path gate.
 inline void note_progress(double worst_residual) {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return;
-  governor().note_solver_progress(worst_residual);
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return;
+  current_governor().note_solver_progress(worst_residual);
 }
 inline void note_transfer(std::string_view site, double measured_seconds,
                           double modeled_seconds) {
-  if (!detail::g_active.load(std::memory_order_relaxed)) return;
-  governor().note_transfer(site, measured_seconds, modeled_seconds);
+  if (detail::g_active.load(std::memory_order_relaxed) == 0) return;
+  current_governor().note_transfer(site, measured_seconds, modeled_seconds);
 }
 
 // --- RAII -------------------------------------------------------------------
 
-/// Arms the governor for one spectral run; disarms on scope exit.  When the
-/// governor is already armed (nested pipeline, e.g. a baseline comparison
-/// driving spectral_cluster twice) the inner scope is a no-op and the outer
-/// budget keeps governing.
+/// Arms the calling thread's current governor for one spectral run; disarms
+/// on scope exit.  When that governor is already armed (nested pipeline,
+/// e.g. a baseline comparison driving spectral_cluster twice) the inner
+/// scope is a no-op and the outer budget keeps governing.  Scoping is
+/// per-governor: two service jobs, each bound to its own Governor via
+/// GovernorBindScope, arm and expire independently — the first-wins
+/// semantics only apply within one governor instance.
 class RunScope {
  public:
   RunScope(const RunBudget& budget, const WatchdogConfig& watchdog,
@@ -361,6 +407,7 @@ class RunScope {
   [[nodiscard]] bool armed_here() const noexcept { return armed_; }
 
  private:
+  Governor* governor_ = nullptr;  ///< the instance this scope armed
   bool armed_ = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/cancel.h"
+
 namespace fastsc {
 
 ThreadPool::ThreadPool(usize workers) {
@@ -31,9 +33,13 @@ void ThreadPool::run_workers(const std::function<void(usize)>& fn) {
     fn(0);
     return;
   }
+  // One bulk job at a time: concurrent service jobs queue here rather than
+  // clobbering the single job slot.
+  std::lock_guard dispatch(dispatch_mu_);
   {
     std::lock_guard lock(mu_);
     job_ = &fn;
+    job_governor_ = cancel::detail::bound_governor();
     remaining_ = threads_.size();
     ++job_epoch_;
   }
@@ -42,12 +48,14 @@ void ThreadPool::run_workers(const std::function<void(usize)>& fn) {
   std::unique_lock lock(mu_);
   work_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  job_governor_ = nullptr;
 }
 
 void ThreadPool::worker_loop(usize worker_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(usize)>* job = nullptr;
+    cancel::Governor* job_governor = nullptr;
     {
       std::unique_lock lock(mu_);
       work_ready_.wait(lock, [&] {
@@ -56,8 +64,14 @@ void ThreadPool::worker_loop(usize worker_index) {
       if (shutdown_) return;
       seen_epoch = job_epoch_;
       job = job_;
+      job_governor = job_governor_;
     }
-    (*job)(worker_index);
+    {
+      // Poll sites inside the chunk consult the dispatcher's governor, so a
+      // per-job budget cancels its own workers and nobody else's.
+      cancel::GovernorBindScope bind(job_governor);
+      (*job)(worker_index);
+    }
     {
       std::lock_guard lock(mu_);
       if (--remaining_ == 0) work_done_.notify_all();

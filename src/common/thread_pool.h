@@ -19,6 +19,10 @@
 
 #include "common/types.h"
 
+namespace fastsc::cancel {
+class Governor;
+}  // namespace fastsc::cancel
+
 namespace fastsc {
 
 class ThreadPool {
@@ -35,6 +39,13 @@ class ThreadPool {
   /// Execute fn(worker_index) for worker_index in [0, worker_count()), in
   /// parallel, and block until all invocations return.  Worker 0 runs on the
   /// calling thread so a 1-worker pool degenerates to a plain call.
+  ///
+  /// Concurrent callers are serialized (dispatch_mu_): service jobs share
+  /// one pool, so a second job's bulk dispatch waits for the first to drain
+  /// instead of corrupting the job slot.  The caller's thread-bound
+  /// cancellation governor (cancel::GovernorBindScope) is propagated into
+  /// the helper workers for the duration of the job, so per-job budgets and
+  /// cancellation are honored inside parallel kernels.
   void run_workers(const std::function<void(usize)>& fn);
 
   /// Bulk jobs dispatched over this pool's lifetime (obs metrics).
@@ -46,10 +57,12 @@ class ThreadPool {
   void worker_loop(usize worker_index);
 
   std::vector<std::thread> threads_;
+  std::mutex dispatch_mu_;  ///< serializes concurrent run_workers callers
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   const std::function<void(usize)>* job_ = nullptr;
+  cancel::Governor* job_governor_ = nullptr;  ///< dispatcher's bound governor
   std::uint64_t job_epoch_ = 0;
   usize remaining_ = 0;
   bool shutdown_ = false;

@@ -91,6 +91,8 @@ void reset_eig_result(SpectralResult& result) {
   result.eig_converged = false;
   result.eig_stats = {};
   result.spmv_seconds = 0;
+  result.checkpoint.reset();
+  result.warm_started = false;
 }
 
 lanczos::LanczosConfig eig_config(const SpectralConfig& cfg, index_t n) {
@@ -232,8 +234,25 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
 
   lanczos::LanczosConfig ec = eig_config(cfg, n);
   const DegradationPolicy& pol = cfg.degradation;
-  ec.capture_checkpoints = pol.enabled && pol.resume_failed_solve;
+  ec.capture_checkpoints =
+      (pol.enabled && pol.resume_failed_solve) || cfg.capture_checkpoint;
   lanczos::SymEigProb prob(ec);
+  if (cfg.warm_start != nullptr) {
+    // Warm-start re-solve (service delta-edge path): reuse the donor's kept
+    // Ritz basis when it matches this run's solver shape; otherwise fall
+    // back to a cold start rather than failing the run.
+    const lanczos::LanczosCheckpoint& cp = *cfg.warm_start;
+    const lanczos::LanczosConfig& sc = prob.Solver().config();
+    if (cp.valid() && cp.n == sc.n && cp.nev == sc.nev && cp.ncv == sc.ncv &&
+        cp.which == static_cast<int>(sc.which) && cp.j == cp.nkept &&
+        cp.nkept >= 1) {
+      prob.RestoreWarm(cp);
+      result.warm_started = true;
+    } else {
+      FASTSC_LOG_WARN("warm-start checkpoint incompatible with this solve "
+                      "(shape or phase mismatch); cold-starting");
+    }
+  }
   device::DeviceBuffer<real> dev_x(ctx, static_cast<usize>(n));
   device::DeviceBuffer<real> dev_y(ctx, static_cast<usize>(n));
   std::vector<real> host_y(static_cast<usize>(n));
@@ -271,12 +290,13 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
         prob.TakeStep();
       }
     } catch (const cancel::CancelledError& e) {
-      if (!cancel::governor().anytime_allowed() || !prob.CanAbandon()) throw;
+      cancel::Governor& gov = cancel::current_governor();
+      if (!gov.anytime_allowed() || !prob.CanAbandon()) throw;
       // Anytime cut: freeze the iteration, keep the best partial Ritz pairs,
       // and stop enforcement so the rest of the pipeline (k-means on the
       // partial embedding) completes unimpeded.
       prob.Abandon();
-      cancel::governor().begin_wrapup(e.site().empty() ? e.what() : e.site());
+      gov.begin_wrapup(e.site().empty() ? e.what() : e.site());
       abandoned = true;
     }
     if (abandoned || !prob.Failed() || !ec.capture_checkpoints ||
@@ -300,6 +320,10 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   result.eigenvalues = prob.Eigenvalues();
   result.eig_converged = !prob.Failed();
   result.eig_stats = prob.Stats();
+  if (cfg.capture_checkpoint && prob.Solver().has_checkpoint()) {
+    result.checkpoint = std::make_shared<lanczos::LanczosCheckpoint>(
+        prob.Solver().last_checkpoint());
+  }
   const std::vector<real> vectors = prob.FindEigenvectors();
   const std::vector<real> isd = dev_isd.to_host();  // D2H, metered
   result.embedding = to_embedding(vectors, isd, cfg.num_clusters, n);
@@ -472,8 +496,9 @@ void kmeans_stage(device::DeviceContext& ctx, const SpectralConfig& cfg,
     // (seeding, a torn async sweep).  With anytime enabled, enter wrap-up —
     // enforcement stops — and rerun the stage to completion so the caller
     // still gets a full assignment.
-    if (!cancel::governor().anytime_allowed()) throw;
-    cancel::governor().begin_wrapup(e.site().empty() ? e.what() : e.site());
+    cancel::Governor& gov = cancel::current_governor();
+    if (!gov.anytime_allowed()) throw;
+    gov.begin_wrapup(e.site().empty() ? e.what() : e.site());
     kmeans_stage_run(ctx, cfg, result);
   }
 }
@@ -534,7 +559,9 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     check_index_range(edges.v, n, "edge endpoint");
   }
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
-  const device::DeviceCounters counters_before = ctx.counters();
+  // Snapshot under the meter mutex: with fastsc::Service, other jobs' stream
+  // threads may be metering this context concurrently.
+  const device::DeviceCounters counters_before = ctx.counters_snapshot();
   const obs::TraceEnableScope trace_scope(config.trace);
   std::optional<fault::ArmScope> fault_scope;
   if (!config.faults.empty()) fault_scope.emplace(config.faults);
@@ -627,8 +654,11 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
   }
   result.clock.stop();
 
-  if (cancel::governor().armed()) result.budget = cancel::governor().report();
-  result.device_counters = counters_delta(ctx.counters(), counters_before);
+  if (cancel::Governor& gov = cancel::current_governor(); gov.armed()) {
+    result.budget = gov.report();
+  }
+  result.device_counters =
+      counters_delta(ctx.counters_snapshot(), counters_before);
   return result;
 }
 
@@ -659,7 +689,9 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
     }
   }
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
-  const device::DeviceCounters counters_before = ctx.counters();
+  // Snapshot under the meter mutex: with fastsc::Service, other jobs' stream
+  // threads may be metering this context concurrently.
+  const device::DeviceCounters counters_before = ctx.counters_snapshot();
   const obs::TraceEnableScope trace_scope(config.trace);
   std::optional<fault::ArmScope> fault_scope;
   if (!config.faults.empty()) fault_scope.emplace(config.faults);
@@ -699,8 +731,11 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   }
   result.clock.stop();
 
-  if (cancel::governor().armed()) result.budget = cancel::governor().report();
-  result.device_counters = counters_delta(ctx.counters(), counters_before);
+  if (cancel::Governor& gov = cancel::current_governor(); gov.armed()) {
+    result.budget = gov.report();
+  }
+  result.device_counters =
+      counters_delta(ctx.counters_snapshot(), counters_before);
   return result;
 }
 

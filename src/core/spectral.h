@@ -19,6 +19,7 @@
 //                  Lloyd k-means with k-means++ seeding.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -174,6 +175,19 @@ struct SpectralConfig {
   /// values and of the embedding handed to k-means) at stage boundaries.
   bool validate_inputs = true;
 
+  /// Warm-start the device eigensolver from a restart-boundary checkpoint of
+  /// a *nearby* matrix (the service's delta-edge re-solve path; see
+  /// SymLanczos::restore_warm).  Ignored — with a WARN — when the checkpoint
+  /// does not match the solver configuration this run derives (n, nev, ncv,
+  /// which) or is not a restart boundary.  SpectralResult::warm_started
+  /// records whether the warm path was actually taken.
+  std::shared_ptr<const lanczos::LanczosCheckpoint> warm_start{};
+
+  /// Export the eigensolver's last restart-boundary checkpoint into
+  /// SpectralResult::checkpoint (device backend), so a later run on a
+  /// perturbed graph can warm-start from it.
+  bool capture_checkpoint = false;
+
   std::uint64_t seed = 42;
 };
 
@@ -205,6 +219,13 @@ struct SpectralResult {
   /// Budget/watchdog accounting: limits vs. spend per stage, where the
   /// deadline hit, and whether the result is an anytime (partial) answer.
   cancel::BudgetReport budget;
+
+  /// Last restart-boundary eigensolver checkpoint (only when
+  /// SpectralConfig::capture_checkpoint; shared so a result cache can hold
+  /// it without copying the Krylov basis).
+  std::shared_ptr<const lanczos::LanczosCheckpoint> checkpoint{};
+  /// True when the eigensolve warm-started from SpectralConfig::warm_start.
+  bool warm_started = false;
 };
 
 /// Cluster n points in R^d whose candidate edges are given by `edges`

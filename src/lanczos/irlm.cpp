@@ -173,7 +173,7 @@ void SymLanczos::capture_checkpoint() {
   obs::metrics().counter("lanczos.checkpoints").add();
 }
 
-void SymLanczos::restore(const LanczosCheckpoint& cp) {
+void SymLanczos::restore_common(const LanczosCheckpoint& cp) {
   FASTSC_CHECK(cp.valid(), "cannot restore from an empty checkpoint");
   FASTSC_CHECK(cp.n == config_.n && cp.nev == config_.nev &&
                    cp.ncv == config_.ncv &&
@@ -200,8 +200,32 @@ void SymLanczos::restore(const LanczosCheckpoint& cp) {
   final_order_.clear();
   std::fill(w_.begin(), w_.end(), 0.0);
   checkpoint_ = cp;
+}
+
+void SymLanczos::restore(const LanczosCheckpoint& cp) {
+  restore_common(cp);
   phase_ = Phase::kAwaitMatvec;
   obs::metrics().counter("lanczos.resumes").add();
+}
+
+void SymLanczos::restore_warm(const LanczosCheckpoint& cp) {
+  FASTSC_CHECK(cp.j == cp.nkept && cp.nkept >= 1,
+               "warm start requires a restart-boundary checkpoint "
+               "(j == nkept, nkept >= 1)");
+  restore_common(cp);
+  // Fresh accounting: stats() reports the warm re-solve's own cost, so the
+  // service can compare warm vs cold wave counts directly.
+  stats_.restart_count = 0;
+  stats_.matvec_count = 0;
+  stats_.restart_history.clear();
+  // Refresh pass: recompute M[p][i] = v_p . (A' v_i) for the l kept Ritz
+  // vectors, reusing j_ as the refresh column index so multiply_input()
+  // hands out v_row(j_) unchanged.
+  warm_m_.assign(
+      static_cast<usize>(nkept_ + 1) * static_cast<usize>(nkept_), 0.0);
+  j_ = 0;
+  phase_ = Phase::kWarmRefresh;
+  obs::metrics().counter("lanczos.warm_starts").add();
 }
 
 SymLanczos::Action SymLanczos::step() {
@@ -215,6 +239,9 @@ SymLanczos::Action SymLanczos::step() {
       break;
     case Phase::kAwaitMatvec:
       action = process_matvec();
+      break;
+    case Phase::kWarmRefresh:
+      action = process_warm_refresh();
       break;
     case Phase::kConverged:
       action = Action::kConverged;
@@ -356,6 +383,45 @@ SymLanczos::Action SymLanczos::process_matvec() {
     return Action::kMultiply;  // input is v_row(j_), output w_
   }
   return restart_or_finish();
+}
+
+SymLanczos::Action SymLanczos::process_warm_refresh() {
+  const index_t n = config_.n;
+  const index_t l = nkept_;
+  ++stats_.matvec_count;
+
+  // w_ holds A' * v_{j_} for refresh column j_ (a kept Ritz vector).
+  // Project it against the l + 1 retained basis vectors (kept Ritz vectors
+  // plus the continuation vector at row l).
+  for (index_t p = 0; p <= l; ++p) {
+    warm_m_[static_cast<usize>(p * l + j_)] = hblas::dot(n, v_row(p), w_.data());
+  }
+  ++j_;
+  if (j_ < l) {
+    return Action::kMultiply;  // next refresh product: A' * v_{j_}
+  }
+
+  // All kept columns refreshed.  Rebuild T for A': the kept block is the
+  // symmetrized projection (M is symmetric up to the perturbation's
+  // floating-point noise because V is orthonormal and A' symmetric), the
+  // arrowhead column l carries the exact couplings v_l^T A' v_i that
+  // process_matvec subtracts at the j == nkept step, and everything beyond
+  // is rebuilt by the continuing iteration.
+  std::fill(t_.begin(), t_.end(), 0.0);
+  for (index_t i = 0; i < l; ++i) {
+    for (index_t p = 0; p < l; ++p) {
+      t_at(i, p) = 0.5 * (warm_m_[static_cast<usize>(i * l + p)] +
+                          warm_m_[static_cast<usize>(p * l + i)]);
+    }
+    const real s = warm_m_[static_cast<usize>(l * l + i)];
+    t_at(i, l) = s;
+    t_at(l, i) = s;
+  }
+  warm_m_.clear();
+  warm_m_.shrink_to_fit();
+  j_ = l;
+  phase_ = Phase::kAwaitMatvec;
+  return Action::kMultiply;  // next product: A' * v_l, the normal iteration
 }
 
 std::vector<index_t> SymLanczos::ritz_order(

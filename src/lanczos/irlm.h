@@ -185,6 +185,21 @@ class SymLanczos {
   /// when resuming a kFailed solve.
   void restore(const LanczosCheckpoint& cp);
 
+  /// Warm-start this solve from a restart-boundary checkpoint of a *nearby*
+  /// matrix A (the service's delta-edge re-solve path).  The kept Ritz basis
+  /// V_l and continuation vector v_l are reused verbatim, but the projected
+  /// matrix T is stale — it encodes V^T A V, not V^T A' V — so the solver
+  /// first runs a refresh pass: one matvec per kept vector (l = cp.nkept
+  /// products, handed out through the normal kMultiply protocol) rebuilds
+  /// the kept block as the symmetrized projection M = V^T A' V plus the
+  /// arrowhead couplings v_l^T A' v_i, after which the ordinary thick-restart
+  /// iteration continues from j = l.  For a small perturbation ||A' - A||
+  /// the refreshed factorization is exact on the kept block, so convergence
+  /// typically needs a fraction of the cold-start waves.  Requires
+  /// cp.j == cp.nkept (a restart boundary) and a matching configuration;
+  /// solver stats restart from zero so stats() reports the warm cost alone.
+  void restore_warm(const LanczosCheckpoint& cp);
+
   /// True when abandon() can produce partial Ritz pairs: the iteration is
   /// mid-flight (kAwaitMatvec) with at least nev basis vectors built.
   [[nodiscard]] bool can_abandon() const noexcept {
@@ -202,7 +217,7 @@ class SymLanczos {
   }
 
  private:
-  enum class Phase { kStart, kAwaitMatvec, kConverged, kFailed };
+  enum class Phase { kStart, kAwaitMatvec, kWarmRefresh, kConverged, kFailed };
 
   real* v_row(index_t j) noexcept { return v_.data() + j * config_.n; }
   const real* v_row(index_t j) const noexcept {
@@ -212,7 +227,11 @@ class SymLanczos {
 
   void start_iteration();
   Action process_matvec();
+  Action process_warm_refresh();
   Action restart_or_finish();
+  /// Shared checkpoint-restore body (validation + state copy); the public
+  /// restore()/restore_warm() entry points layer phase + accounting on top.
+  void restore_common(const LanczosCheckpoint& cp);
   void reorthogonalize(real* w, index_t upto, real* alpha_correction);
   void random_unit_orthogonal(real* w, index_t upto);
   /// Order Ritz indices best-first per config_.which.
@@ -229,6 +248,7 @@ class SymLanczos {
   std::vector<real> t_;   // ncv x ncv projected matrix (symmetric)
   std::vector<real> w_;   // matvec result / working vector, length n
   std::vector<real> c_;   // CGS2 coefficient scratch, length ncv + 1
+  std::vector<real> warm_m_;  // (nkept+1) x nkept projection during refresh
   index_t j_ = 0;         // current Lanczos step
   index_t nkept_ = 0;     // thick-restart kept count (arrowhead column)
   real beta_last_ = 0;    // coupling of v_m to the basis

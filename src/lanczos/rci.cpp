@@ -16,9 +16,10 @@ SymEigResult solve_symmetric(
     try {
       cancel::poll("lanczos.host_matvec");
     } catch (const cancel::CancelledError& e) {
-      if (!cancel::governor().anytime_allowed() || !prob.CanAbandon()) throw;
+      cancel::Governor& gov = cancel::current_governor();
+      if (!gov.anytime_allowed() || !prob.CanAbandon()) throw;
       prob.Abandon();
-      cancel::governor().begin_wrapup(e.site().empty() ? e.what() : e.site());
+      gov.begin_wrapup(e.site().empty() ? e.what() : e.site());
       break;
     }
     matvec(prob.GetVector(), prob.PutVector());

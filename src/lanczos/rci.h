@@ -73,6 +73,16 @@ class SymEigProb {
     last_action_ = SymLanczos::Action::kMultiply;
   }
 
+  /// Warm-start from a nearby matrix's restart-boundary checkpoint (see
+  /// SymLanczos::restore_warm): the loop's next products feed the kept-basis
+  /// refresh pass, then the iteration continues normally against the new
+  /// operator.
+  void RestoreWarm(const LanczosCheckpoint& cp) {
+    solver_.restore_warm(cp);
+    started_ = true;
+    last_action_ = SymLanczos::Action::kMultiply;
+  }
+
   /// Anytime cut on budget expiry: freeze the iteration and surface the best
   /// partial Ritz pairs through the normal Failed()/FindEigenvectors() path.
   /// Only valid when CanAbandon().

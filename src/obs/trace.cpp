@@ -210,11 +210,12 @@ ScopedSpan::~ScopedSpan() {
   }
 }
 
-TraceEnableScope::TraceEnableScope(bool enable)
-    : previous_(trace().enabled()) {
-  if (enable) trace().set_enabled(true);
+TraceEnableScope::TraceEnableScope(bool enable) : enable_(enable) {
+  if (enable_) trace().push_scope_enable();
 }
 
-TraceEnableScope::~TraceEnableScope() { trace().set_enabled(previous_); }
+TraceEnableScope::~TraceEnableScope() {
+  if (enable_) trace().pop_scope_enable();
+}
 
 }  // namespace fastsc::obs

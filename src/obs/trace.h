@@ -77,10 +77,23 @@ class TraceRecorder {
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_relaxed) ||
+           scope_enables_.load(std::memory_order_relaxed) > 0;
   }
   void set_enabled(bool on) noexcept {
     enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Scoped enablement refcount (TraceEnableScope).  Independent of the
+  /// sticky set_enabled() flag, so N concurrent scopes compose: tracing
+  /// stays on until the last scope pops, instead of the first destructor
+  /// blindly restoring a stale snapshot and turning tracing off under a
+  /// still-running job.
+  void push_scope_enable() noexcept {
+    scope_enables_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void pop_scope_enable() noexcept {
+    scope_enables_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// Record a complete span ('X').  No-op when disabled.
@@ -110,6 +123,7 @@ class TraceRecorder {
   static bool env_enabled();
 
   std::atomic<bool> enabled_{env_enabled()};
+  std::atomic<int> scope_enables_{0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
@@ -150,8 +164,11 @@ class ScopedSpan {
   std::vector<TraceArg> args_;
 };
 
-/// Enable tracing for a scope, restoring the previous state on exit
-/// (SpectralConfig::trace plumbs through this).
+/// Enable tracing for a scope (SpectralConfig::trace plumbs through this).
+/// Refcounted, not save/restore: each enabling scope holds one reference on
+/// the recorder, so nested and concurrent scopes (two service jobs tracing
+/// at once) keep tracing on until the last one exits.  A scope constructed
+/// with enable=false holds no reference and never changes state.
 class TraceEnableScope {
  public:
   explicit TraceEnableScope(bool enable);
@@ -161,7 +178,7 @@ class TraceEnableScope {
   TraceEnableScope& operator=(const TraceEnableScope&) = delete;
 
  private:
-  bool previous_;
+  bool enable_;
 };
 
 }  // namespace fastsc::obs

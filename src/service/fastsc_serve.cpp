@@ -1,0 +1,193 @@
+// fastsc_serve: replay a job trace through a fastsc::Service instance.
+//
+// Reads a trace file (see src/service/trace_replay.h for the grammar and
+// examples/service_trace.txt for a sample), submits every op against a
+// live service, waits for the results, and prints a per-job and aggregate
+// summary.  After draining, the last chained warm-start job is re-solved
+// cold on the same graph so the warm/cold wave counts and label agreement
+// are measured directly; they are published as service.* gauges:
+//
+//   service.latency_p50_ms / service.latency_p99_ms
+//   service.warm_matvecs / service.cold_matvecs
+//   service.warm_vs_cold_ari
+//
+// With --trace-out/--metrics-out the run writes the usual observability
+// artifacts, which tools/check_trace.py can validate (--expect-counter on
+// service.*/cache.* counters, --expect-gauge on the gauges above).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/fingerprint.h"
+#include "core/spectral.h"
+#include "device/device.h"
+#include "fastsc/service.h"
+#include "metrics/external.h"
+#include "obs/metrics.h"
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
+#include "service/trace_replay.h"
+
+namespace {
+
+using namespace fastsc;
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<usize>(p * static_cast<double>(xs.size()));
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("fastsc_serve: replay a job trace through fastsc::Service");
+  const bool run = cli.parse(argc, argv);
+  const std::string trace_path = cli.get_string(
+      "trace", "examples/service_trace.txt", "job trace file to replay");
+  ServiceConfig scfg;
+  scfg.workers = static_cast<usize>(
+      cli.get_int("workers", 2, "service executor threads"));
+  scfg.max_queue_depth = static_cast<usize>(
+      cli.get_int("queue-depth", 64, "queued-job admission limit"));
+  scfg.arena_budget_bytes =
+      static_cast<std::uint64_t>(cli.get_double(
+          "arena-mb", 512, "aggregate device-byte budget (MiB, 0 = off)") *
+          1024.0 * 1024.0);
+  scfg.job_arena_quota_bytes =
+      static_cast<std::uint64_t>(cli.get_double(
+          "job-quota-mb", 256, "per-job device-byte quota (MiB, 0 = off)") *
+          1024.0 * 1024.0);
+  scfg.cache_capacity_bytes =
+      static_cast<std::uint64_t>(cli.get_double(
+          "cache-mb", 128, "result-cache capacity (MiB, 0 = off)") *
+          1024.0 * 1024.0);
+  scfg.default_deadline_ms = cli.get_double(
+      "deadline-ms", 0, "default per-job deadline (ms, 0 = none)");
+  const auto ncv = static_cast<index_t>(cli.get_int(
+      "ncv", 0, "Lanczos basis size for every job (0 = solver default)"));
+  const real eig_tol = static_cast<real>(cli.get_double(
+      "eig-tol", 1e-8, "eigenpair residual tolerance for every job"));
+  const auto device_workers = static_cast<usize>(cli.get_int(
+      "device-workers", 0, "simulated-device worker threads (0 = all cores)"));
+  const std::string trace_out = cli.get_string(
+      "trace-out", "", "write a Chrome trace-event JSON timeline here");
+  const std::string metrics_out = cli.get_string(
+      "metrics-out", "", "write a metrics-registry JSON snapshot here");
+  if (!run) {
+    cli.print_help();
+    return 0;
+  }
+  cli.check_unknown();
+  // Tracing must be on before the DeviceContext records its first event
+  // (same rule as the benches — the virtual timeline must be complete).
+  if (!trace_out.empty()) obs::trace().set_enabled(true);
+
+  const std::vector<service::TraceOp> ops =
+      service::parse_trace_file(trace_path);
+  std::fprintf(stderr, "[serve] replaying %zu ops from %s\n", ops.size(),
+               trace_path.c_str());
+
+  device::DeviceContext ctx(device_workers);
+  Service svc(scfg, &ctx);
+  core::SpectralConfig base;
+  base.backend = core::Backend::kDevice;
+  base.ncv = ncv;
+  base.eig_tol = eig_tol;
+  service::TraceReplayer replayer(svc, base);
+  for (const service::TraceOp& op : ops) {
+    const Service::Submitted sub = replayer.submit(op);
+    if (sub.status == JobStatus::kOverloaded) {
+      std::fprintf(stderr, "[serve] job %llu %s:%s rejected (overloaded)\n",
+                   static_cast<unsigned long long>(sub.id),
+                   op.dataset.c_str(), op.op.c_str());
+    }
+  }
+  replayer.wait_all();
+  svc.shutdown(/*drain=*/true);
+
+  std::vector<double> latencies;
+  std::printf("%-5s %-14s %-10s %-5s %-5s %10s %10s %9s\n", "job", "tag",
+              "status", "hit", "warm", "queue_ms", "solve_ms", "matvecs");
+  for (const service::ReplayedJob& j : replayer.jobs()) {
+    const JobResult& r = j.result;
+    std::printf("%-5llu %-14s %-10s %-5d %-5d %10.2f %10.2f %9lld\n",
+                static_cast<unsigned long long>(j.id),
+                (j.op.dataset + ":" + j.op.op).c_str(),
+                job_status_name(r.status), r.cache_hit ? 1 : 0,
+                r.warm_started ? 1 : 0, r.queue_ms, r.solve_ms,
+                static_cast<long long>(r.spectral.eig_stats.matvec_count));
+    if (r.status == JobStatus::kCompleted && !r.cache_hit) {
+      latencies.push_back(r.solve_ms);
+    }
+  }
+
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.set_gauge("service.latency_p50_ms", percentile(latencies, 0.50));
+  reg.set_gauge("service.latency_p99_ms", percentile(latencies, 0.99));
+
+  // Warm-vs-cold comparison: re-solve the newest warm-started job's graph
+  // cold and compare wave counts + labels.
+  const std::vector<service::ReplayedJob>& jobs = replayer.jobs();
+  for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) {
+    const JobResult& r = it->result;
+    if (r.status != JobStatus::kCompleted || !r.warm_started) continue;
+    const sparse::Coo* g = replayer.current_graph(it->op.dataset);
+    if (g == nullptr || core::graph_fingerprint(*g) != r.graph_fingerprint) {
+      continue;  // dataset mutated again after this job; graph is gone
+    }
+    core::SpectralConfig cold_cfg = replayer.config_for(it->op);
+    const core::SpectralResult cold =
+        core::spectral_cluster_graph(*g, cold_cfg, &ctx);
+    const double ari = metrics::adjusted_rand_index(r.spectral.labels,
+                                                    cold.labels);
+    reg.set_gauge("service.warm_matvecs",
+                  static_cast<double>(r.spectral.eig_stats.matvec_count));
+    reg.set_gauge("service.cold_matvecs",
+                  static_cast<double>(cold.eig_stats.matvec_count));
+    reg.set_gauge("service.warm_vs_cold_ari", ari);
+    std::printf(
+        "\nwarm-start check (job %llu, %s): warm %lld matvecs vs cold %lld "
+        "(%.1f%%), label ARI %.4f\n",
+        static_cast<unsigned long long>(it->id), it->op.dataset.c_str(),
+        static_cast<long long>(r.spectral.eig_stats.matvec_count),
+        static_cast<long long>(cold.eig_stats.matvec_count),
+        100.0 * static_cast<double>(r.spectral.eig_stats.matvec_count) /
+            static_cast<double>(std::max<index_t>(
+                1, cold.eig_stats.matvec_count)),
+        ari);
+    break;
+  }
+
+  const ServiceStats stats = svc.stats();
+  std::printf(
+      "\nservice: submitted=%llu admitted=%llu rejected=%llu "
+      "completed=%llu failed=%llu cancelled=%llu\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.cancelled));
+  std::printf(
+      "cache: hits=%llu misses=%llu evictions=%llu entries=%llu "
+      "bytes=%llu\n",
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      static_cast<unsigned long long>(stats.cache_entries),
+      static_cast<unsigned long long>(stats.cache_bytes));
+
+  obs::publish_device_context(ctx, reg);
+  if (!trace_out.empty() && obs::trace().write_json_file(trace_out)) {
+    std::fprintf(stderr, "[serve] wrote trace to %s (%zu events)\n",
+                 trace_out.c_str(), obs::trace().event_count());
+  }
+  if (!metrics_out.empty() && reg.write_json_file(metrics_out)) {
+    std::fprintf(stderr, "[serve] wrote metrics to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "service/result_cache.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fastsc::service {
+
+namespace {
+
+/// Counter bump + cumulative trace mirror (the cancel.cpp/fault.cpp
+/// pattern, so tools/check_trace.py can assert monotonicity).
+void bump(const char* name) {
+  obs::Counter& c = obs::metrics().counter(name);
+  c.add();
+  if (obs::trace_enabled()) {
+    obs::trace().counter(name, static_cast<double>(c.value()),
+                         obs::wall_now_us());
+  }
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+std::uint64_t ResultCache::entry_bytes(const CacheEntry& e) {
+  std::uint64_t b = sizeof(CacheEntry);
+  b += e.labels.size() * sizeof(index_t);
+  b += e.eigenvalues.size() * sizeof(real);
+  if (e.checkpoint != nullptr) {
+    b += sizeof(lanczos::LanczosCheckpoint);
+    b += e.checkpoint->v.size() * sizeof(real);
+    b += e.checkpoint->t.size() * sizeof(real);
+  }
+  return b;
+}
+
+std::optional<CacheEntry> ResultCache::lookup(const CacheKey& key) {
+  if (capacity_ == 0) {
+    bump("cache.misses");
+    return std::nullopt;
+  }
+  std::lock_guard lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    bump("cache.misses");
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  bump("cache.hits");
+  return *it->second;
+}
+
+std::shared_ptr<const lanczos::LanczosCheckpoint> ResultCache::lookup_warm(
+    std::uint64_t config_fp, index_t n, std::uint64_t warm_hint) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard lock(mu_);
+  if (warm_hint != 0) {
+    const auto it = map_.find(CacheKey{warm_hint, config_fp});
+    if (it != map_.end() && it->second->checkpoint != nullptr &&
+        it->second->n == n) {
+      bump("cache.warm_donors");
+      return it->second->checkpoint;
+    }
+  }
+  // Fall back to the freshest same-shaped entry: most recently used first,
+  // so a stream of updates to one graph keeps chaining warm starts.
+  for (const CacheEntry& e : lru_) {
+    if (e.config_fp == config_fp && e.n == n && e.checkpoint != nullptr) {
+      bump("cache.warm_donors");
+      return e.checkpoint;
+    }
+  }
+  return nullptr;
+}
+
+void ResultCache::insert(CacheEntry entry) {
+  if (capacity_ == 0) return;
+  if (entry.bytes == 0) entry.bytes = entry_bytes(entry);
+  if (entry.bytes > capacity_) return;  // would evict everything and not fit
+  std::lock_guard lock(mu_);
+  const CacheKey key{entry.graph_fp, entry.config_fp};
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Replace in place (refreshed checkpoint after a re-solve).
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  evict_until_fits_locked(entry.bytes);
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  map_.emplace(key, lru_.begin());
+  bump("cache.inserts");
+  publish_gauges_locked();
+}
+
+void ResultCache::evict_until_fits_locked(std::uint64_t incoming_bytes) {
+  while (!lru_.empty() && bytes_ + incoming_bytes > capacity_) {
+    const CacheEntry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    map_.erase(CacheKey{victim.graph_fp, victim.config_fp});
+    lru_.pop_back();
+    bump("cache.evictions");
+  }
+}
+
+void ResultCache::publish_gauges_locked() {
+  obs::metrics().set_gauge("cache.bytes", static_cast<double>(bytes_));
+  obs::metrics().set_gauge("cache.entries", static_cast<double>(lru_.size()));
+}
+
+std::uint64_t ResultCache::bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+usize ResultCache::entries() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace fastsc::service

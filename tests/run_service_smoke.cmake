@@ -1,0 +1,113 @@
+# Service smoke, run as a CTest via `cmake -P`:
+#   1. replay examples/service_trace.txt through fastsc_serve with a small
+#      per-job quota (so the trace's oversized dblp_big job is rejected) and
+#      --trace-out/--metrics-out artifacts,
+#   2. validate the trace with tools/check_trace.py:
+#        - service.*/cache.* counters present and monotone,
+#        - warm-start acceptance from artifacts alone:
+#            service.cold_matvecs / service.warm_matvecs >= 2
+#            service.warm_vs_cold_ari >= 1  (identical partitions)
+#   3. run bench_service at tiny scale and require its BENCH_service.json
+#      run report to carry the throughput table with a nonzero cache-hit
+#      ratio and rejection rate.
+#
+# Expected -D definitions: SERVE (fastsc_serve), BENCH (bench_service),
+# TRACE (examples/service_trace.txt), PYTHON (python3), CHECKER
+# (tools/check_trace.py), WORKDIR (scratch directory).
+
+foreach(var SERVE BENCH TRACE PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_service_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(trace_json "${WORKDIR}/trace.json")
+set(metrics_json "${WORKDIR}/metrics.json")
+set(report_json "${WORKDIR}/BENCH_service.json")
+
+# --job-quota-mb=4: the fb1200 job estimates ~2 MiB of device bytes and the
+# dblp job ~0.6 MiB, so both pass; the dblp_big line (~5.8 MiB) must be
+# rejected with kOverloaded.  --ncv=16 keeps the Krylov basis lean so the
+# cold solve pays several thick restarts — the baseline the warm-start
+# ratio below is measured against.
+execute_process(
+  COMMAND "${SERVE}"
+          --trace=${TRACE} --workers=2 --job-quota-mb=4 --ncv=16
+          --trace-out=${trace_json} --metrics-out=${metrics_json}
+  RESULT_VARIABLE serve_rc
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err)
+message(STATUS "fastsc_serve output:\n${serve_out}")
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "fastsc_serve failed (rc=${serve_rc})\n"
+          "stdout:\n${serve_out}\nstderr:\n${serve_err}")
+endif()
+foreach(artifact "${trace_json}" "${metrics_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "fastsc_serve did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
+          --metrics "${metrics_json}"
+          --expect-counter service.jobs_submitted
+          --expect-counter service.jobs_admitted
+          --expect-counter service.jobs_completed
+          --expect-counter service.jobs_rejected
+          --expect-counter cache.hits
+          --expect-counter cache.misses
+          --expect-counter cache.inserts
+          --expect-counter cache.warm_donors
+          --expect-gauge-ratio "service.cold_matvecs/service.warm_matvecs>=2"
+          --expect-gauge "service.warm_vs_cold_ari>=1"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}${check_err}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py failed (rc=${check_rc})")
+endif()
+
+# Throughput bench at tiny scale: 12 mixed ops, baseline-free, with the
+# run report as the artifact under test.
+execute_process(
+  COMMAND "${BENCH}"
+          --jobs=12 --scale=0.5 --service-workers=2
+          --report-out=${report_json}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+message(STATUS "bench_service output:\n${bench_out}")
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_service failed (rc=${bench_rc})\n"
+          "stdout:\n${bench_out}\nstderr:\n${bench_err}")
+endif()
+if(NOT EXISTS "${report_json}")
+  message(FATAL_ERROR "bench_service did not write ${report_json}")
+endif()
+file(READ "${report_json}" report)
+# MATCHES is a regex test, so the "(ms)" parens must be escaped.
+foreach(needle
+        "Service throughput"
+        "latency p50 \\(ms\\)"
+        "latency p99 \\(ms\\)"
+        "cache hit ratio"
+        "rejection rate")
+  if(NOT report MATCHES "${needle}")
+    message(FATAL_ERROR "BENCH_service.json missing '${needle}'")
+  endif()
+endforeach()
+# The mixed trace must have produced at least one cache hit and one
+# admission rejection.  The table rows live in the report's csv field as
+# "name,value\n" (the \n is JSON-escaped, i.e. a literal backslash-n), and
+# TextTable::fmt renders an exact zero as plain "0".
+if(report MATCHES "cache hit ratio,0\\\\n")
+  message(FATAL_ERROR "bench_service saw no cache hits")
+endif()
+if(report MATCHES "rejection rate,0\\\\n")
+  message(FATAL_ERROR "bench_service saw no admission rejections")
+endif()
+message(STATUS "service smoke OK: admission, cache, and warm-start "
+        "acceptance all hold")

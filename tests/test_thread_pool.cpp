@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/par.h"
 
 namespace fastsc {
@@ -36,6 +38,45 @@ TEST(ThreadPool, RepeatedDispatchesAreIndependent) {
     pool.run_workers([&](usize) { total.fetch_add(1); });
   }
   EXPECT_EQ(total.load(), 150);
+}
+
+// Service executors share one pool: dispatches from several threads must
+// serialize cleanly, each job running every worker exactly once.
+TEST(ThreadPool, ConcurrentDispatchersAreSerialized) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < 25; ++r) {
+        pool.run_workers([&](usize) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4 * 25 * 2);
+}
+
+// Workers must observe the dispatcher's cancellation governor, so per-job
+// deadlines govern the parallel sections run on the job's behalf.
+TEST(ThreadPool, DispatchPropagatesBoundGovernor) {
+  ThreadPool pool(4);
+  cancel::Governor gov;
+  const cancel::GovernorBindScope bind(&gov);
+  std::atomic<int> mismatches{0};
+  pool.run_workers([&](usize) {
+    if (&cancel::current_governor() != &gov) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  // And an unbound dispatcher leaves workers on the default governor.
+  const cancel::GovernorBindScope unbind(nullptr);
+  std::atomic<int> defaulted{0};
+  pool.run_workers([&](usize) {
+    if (&cancel::current_governor() == &cancel::governor()) {
+      defaulted.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(defaulted.load(), static_cast<int>(pool.worker_count()));
 }
 
 TEST(ThreadPool, DefaultPoolIsSingleton) {

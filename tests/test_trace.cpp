@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -187,6 +189,38 @@ TEST(Trace, ExecutorOverlapMatchesDeviceCounters) {
   }
   EXPECT_TRUE(saw_h2d_node);
   EXPECT_TRUE(saw_kernel_node);
+}
+
+// Two service jobs can hold TraceEnableScope with overlapping, non-nested
+// lifetimes.  The scope is a refcount, not a save/restore of a global bool:
+// destroying the first scope must not disable tracing while the second is
+// still alive.
+TEST(Trace, EnableScopesAreRefcountedNotSaveRestore) {
+  trace().set_enabled(false);
+  auto a = std::make_unique<TraceEnableScope>(true);
+  auto b = std::make_unique<TraceEnableScope>(true);
+  EXPECT_TRUE(trace().enabled());
+  a.reset();  // non-LIFO teardown: "job A" finishes first
+  EXPECT_TRUE(trace().enabled());
+  b.reset();
+  EXPECT_FALSE(trace().enabled());
+}
+
+TEST(Trace, EnableScopesFromConcurrentThreads) {
+  trace().set_enabled(false);
+  std::atomic<int> saw_disabled{0};
+  std::vector<std::thread> jobs;
+  for (int t = 0; t < 4; ++t) {
+    jobs.emplace_back([&] {
+      for (int r = 0; r < 200; ++r) {
+        const TraceEnableScope on(true);
+        if (!trace().enabled()) saw_disabled.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& j : jobs) j.join();
+  EXPECT_EQ(saw_disabled.load(), 0);
+  EXPECT_FALSE(trace().enabled());
 }
 
 TEST(Trace, SequentialDeviceWorkProducesNoOverlap) {

@@ -42,6 +42,8 @@ TESTS=(
   test_irlm_checkpoint
   test_cancel
   test_budget_anytime
+  test_service
+  test_result_cache
   test_hblas
   test_balance
   test_powerlaw

@@ -9,9 +9,10 @@ Checks, in order:
      link and compute engine are each serialized, so any overlap within one
      of those tracks means the emitter is broken.  On wall-clock tracks
      (pid 1, one tid per thread) spans must be properly nested or disjoint.
-  3. Counter series: every fault.* / degrade.* counter ('C') sample is
-     numeric, non-negative, and non-decreasing by timestamp — the emitters
-     publish cumulative registry values, so a dip means double-reset.
+  3. Counter series: every fault.* / degrade.* / service.* / cache.*
+     counter ('C') sample is numeric, non-negative, and non-decreasing by
+     timestamp — the emitters publish cumulative registry values, so a dip
+     means double-reset.
   4. Optional cross-check (--metrics metrics.json): recompute the
      transfer-x-kernel overlap from the virtual-timeline intervals and
      compare it against the device.overlapped_seconds gauge (and the
@@ -23,6 +24,10 @@ Checks, in order:
      metrics snapshot and NUM / DEN >= MIN.  This is how perf_smoke asserts
      the merge-path balance win from artifacts alone:
      spmv.rowchunk_wave_max_nnz / spmv.wave_max_nnz >= 2.
+  7. Optional gauge-bound assertion (--expect-gauge "NAME>=MIN" or
+     "NAME<=MAX", repeatable, requires --metrics): fail unless the gauge
+     exists in the metrics snapshot and satisfies the bound.  service_smoke
+     uses this for service.warm_vs_cold_ari >= 1.
 
 Exit status 0 on success; 1 with a message on the first failure.
 
@@ -30,6 +35,7 @@ Usage:
   check_trace.py trace.json [--metrics metrics.json] [--tolerance 1e-9]
                  [--expect-counter fault.transfer_retry]
                  [--expect-gauge-ratio "a.max/b.max>=2"]
+                 [--expect-gauge "service.warm_vs_cold_ari>=1"]
 """
 
 import argparse
@@ -152,13 +158,13 @@ def counter_series(events):
 
 
 CUMULATIVE_PREFIXES = ("fault.", "degrade.", "budget.", "cancel.",
-                       "watchdog.")
+                       "watchdog.", "service.", "cache.")
 
 
 def check_counter_series(series):
-    """fault./degrade./budget./cancel./watchdog. counters mirror cumulative
-    registry values, so each series must be non-negative and non-decreasing
-    in time."""
+    """fault./degrade./budget./cancel./watchdog./service./cache. counters
+    mirror cumulative registry values, so each series must be non-negative
+    and non-decreasing in time."""
     checked = 0
     for (pid, name), samples in series.items():
         if not name.startswith(CUMULATIVE_PREFIXES):
@@ -252,6 +258,30 @@ def check_gauge_ratios(metrics_path, specs):
               f"{ratio:.3f} >= {want:g}")
 
 
+def check_gauges(metrics_path, specs):
+    """Assert NAME >= MIN (or NAME <= MAX) over gauges in the snapshot."""
+    if not specs:
+        return
+    if not metrics_path:
+        fail("--expect-gauge requires --metrics")
+    with open(metrics_path, "r", encoding="utf-8") as f:
+        gauges = json.load(f).get("gauges", {})
+    for spec in specs:
+        m = re.fullmatch(r"\s*([^<>=\s]+)\s*(>=|<=)\s*(\S+)\s*", spec)
+        if m is None:
+            fail(f"malformed --expect-gauge '{spec}' "
+                 f"(want NAME>=MIN or NAME<=MAX)")
+        name, op, bound = m.group(1), m.group(2), float(m.group(3))
+        if name not in gauges:
+            fail(f"gauge '{name}' absent from {metrics_path} "
+                 f"(present: {sorted(gauges) or ['<none>']})")
+        value = float(gauges[name])
+        ok = value >= bound if op == ">=" else value <= bound
+        if not ok:
+            fail(f"gauge {name} = {value:g} violates '{spec}'")
+        print(f"check_trace: gauge OK — {name} = {value:g} {op} {bound:g}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("trace", help="trace JSON written with --trace-out")
@@ -268,6 +298,11 @@ def main():
                     metavar="NUM/DEN>=MIN",
                     help="fail unless metrics gauges NUM and DEN exist and "
                          "NUM/DEN >= MIN (repeatable; requires --metrics)")
+    ap.add_argument("--expect-gauge", action="append", default=[],
+                    metavar="NAME>=MIN",
+                    help="fail unless the metrics gauge exists and satisfies "
+                         "the bound; NAME>=MIN or NAME<=MAX (repeatable; "
+                         "requires --metrics)")
     args = ap.parse_args()
 
     events = load_events(args.trace)
@@ -281,6 +316,7 @@ def main():
     if args.metrics:
         check_against_metrics(tracks, args.metrics, args.tolerance)
     check_gauge_ratios(args.metrics, args.expect_gauge_ratio)
+    check_gauges(args.metrics, args.expect_gauge)
     n_spans = sum(len(s) for s in tracks.values())
     print(f"check_trace: OK — {len(events)} events "
           f"({phases.get('X', 0)} spans on {len(tracks)} tracks, "
