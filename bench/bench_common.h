@@ -232,6 +232,10 @@ inline void print_standard_report(const core::BackendRuns& runs,
 /// cross-check (tools/check_trace.py --metrics) see final counter values.
 inline void write_observability_artifacts(const CommonFlags& flags,
                                           device::DeviceContext& ctx) {
+  // Per-site cost attribution is always printed: it is the kernel-level
+  // breakdown the paper's tables motivate, and it costs nothing to render.
+  core::attribution_table(core::collect_attribution(ctx)).print();
+  std::printf("\n");
   if (flags.trace_out.empty() && flags.metrics_out.empty()) return;
   obs::publish_device_context(ctx, obs::metrics());
   if (!flags.trace_out.empty()) {
@@ -248,16 +252,20 @@ inline void write_observability_artifacts(const CommonFlags& flags,
   }
 }
 
-/// Write the RunReport JSON if --report-out was given.
+/// Write the RunReport JSON if --report-out was given.  When a context is
+/// supplied, the report carries the attribution section (per-site costs +
+/// device-counter totals) that tools/check_trace.py --report validates.
 inline void maybe_write_run_report(const CommonFlags& flags,
                                    const std::string& bench,
                                    std::vector<core::BackendRuns> datasets,
-                                   std::vector<TextTable> tables) {
+                                   std::vector<TextTable> tables,
+                                   const device::DeviceContext* ctx) {
   if (flags.report_out.empty()) return;
   core::RunReport report;
   report.bench = bench;
   report.datasets = std::move(datasets);
   report.tables = std::move(tables);
+  if (ctx != nullptr) report.attribution = core::collect_attribution(*ctx);
   if (core::write_run_report_json_file(report, flags.report_out)) {
     std::fprintf(stderr, "[bench] wrote run report to %s\n",
                  flags.report_out.c_str());

@@ -177,6 +177,6 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   bench::write_observability_artifacts(flags, ctx);
-  bench::maybe_write_run_report(flags, "bench_service", {}, {table});
+  bench::maybe_write_run_report(flags, "bench_service", {}, {table}, &ctx);
   return 0;
 }

@@ -93,6 +93,6 @@ int main(int argc, char** argv) {
   table.print();
 
   bench::write_observability_artifacts(flags, ctx);
-  bench::maybe_write_run_report(flags, "spmv_balance", {}, {table});
+  bench::maybe_write_run_report(flags, "spmv_balance", {}, {table}, &ctx);
   return 0;
 }

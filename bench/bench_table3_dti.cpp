@@ -97,6 +97,6 @@ int main(int argc, char** argv) {
   }
   bench::write_observability_artifacts(flags, ctx);
   bench::maybe_write_run_report(flags, "bench_table3_dti", {runs},
-                                std::move(tables));
+                                std::move(tables), &ctx);
   return 0;
 }

@@ -58,6 +58,6 @@ int main(int argc, char** argv) {
   bench::print_tables(tables);
   bench::write_observability_artifacts(flags, ctx);
   bench::maybe_write_run_report(flags, "bench_table4_fb", {runs},
-                                std::move(tables));
+                                std::move(tables), &ctx);
   return 0;
 }

@@ -60,6 +60,6 @@ int main(int argc, char** argv) {
   bench::print_tables(tables);
   bench::write_observability_artifacts(flags, ctx);
   bench::maybe_write_run_report(flags, "bench_table5_syn200", {runs},
-                                std::move(tables));
+                                std::move(tables), &ctx);
   return 0;
 }

@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/spectral.h"
+#include "obs/attribution.h"
 #include "sparse/coo.h"
 
 namespace fastsc {
@@ -73,6 +75,17 @@ struct JobResult {
 
   double queue_ms = 0;  ///< admission -> dispatch
   double solve_ms = 0;  ///< dispatch -> completion (0 on a cache hit)
+
+  /// Per-site cost attribution of exactly this job's device work (kernel
+  /// launches, transfers, modeled seconds, roofline utilization), collected
+  /// from the job-local registry the executor binds around the solve.
+  /// Empty on cache hits and rejections.
+  std::vector<obs::SiteReport> attribution;
+
+  /// Artifact paths when ServiceConfig::job_artifacts_dir is set ("" when
+  /// not written): a Perfetto trace of this job and its attribution table.
+  std::string trace_path;
+  std::string attribution_path;
 
   /// what() of the failure when status == kFailed / kCancelled / rejection
   /// detail when status == kOverloaded.

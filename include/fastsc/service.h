@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fastsc/job.h"
 #include "fastsc/service_config.h"
@@ -34,6 +35,16 @@ class DeviceContext;
 }  // namespace fastsc::device
 
 namespace fastsc {
+
+/// SLO histogram class for a priority ("low" / "normal" / "high"); the
+/// service observes slo.latency_ms.<class> per job with this label.
+[[nodiscard]] const char* job_class_name(JobPriority p);
+
+/// Bucket edges (milliseconds) of the slo.* histograms the service records
+/// (slo.latency_ms.<class>, slo.queue_ms, slo.solve_ms).  Exposed so
+/// percentile readers (fastsc_serve --prom-out) look up the same
+/// instruments the executors created.
+[[nodiscard]] std::vector<double> slo_ms_edges();
 
 /// Point-in-time service statistics (mirrors the service.* metrics).
 struct ServiceStats {

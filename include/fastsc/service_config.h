@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 
@@ -45,6 +46,14 @@ struct ServiceConfig {
 
   /// Default per-job deadline when Job::deadline_ms is 0; 0 = none.
   double default_deadline_ms = 0;
+
+  /// When non-empty, every executed job writes two artifacts into this
+  /// directory (which must already exist): job_<id>.trace.json (a Perfetto
+  /// timeline of just that job's spans and device work, tee'd into the
+  /// process-wide trace) and job_<id>.attribution.json (the per-site cost
+  /// table from the job's own attribution registry).  The paths land in
+  /// JobResult::trace_path / attribution_path.
+  std::string job_artifacts_dir;
 };
 
 }  // namespace fastsc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/cancel.h"
+#include "obs/attribution.h"
 
 namespace fastsc {
 
@@ -40,6 +41,10 @@ void ThreadPool::run_workers(const std::function<void(usize)>& fn) {
     std::lock_guard lock(mu_);
     job_ = &fn;
     job_governor_ = cancel::detail::bound_governor();
+    const obs::ObsBindings bindings = obs::current_obs_bindings();
+    job_attribution_ = bindings.attribution;
+    job_trace_ = bindings.trace;
+    job_site_ = bindings.site;
     remaining_ = threads_.size();
     ++job_epoch_;
   }
@@ -49,6 +54,9 @@ void ThreadPool::run_workers(const std::function<void(usize)>& fn) {
   work_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
   job_governor_ = nullptr;
+  job_attribution_ = nullptr;
+  job_trace_ = nullptr;
+  job_site_ = nullptr;
 }
 
 void ThreadPool::worker_loop(usize worker_index) {
@@ -56,6 +64,7 @@ void ThreadPool::worker_loop(usize worker_index) {
   for (;;) {
     const std::function<void(usize)>* job = nullptr;
     cancel::Governor* job_governor = nullptr;
+    obs::ObsBindings job_obs;
     {
       std::unique_lock lock(mu_);
       work_ready_.wait(lock, [&] {
@@ -65,11 +74,17 @@ void ThreadPool::worker_loop(usize worker_index) {
       seen_epoch = job_epoch_;
       job = job_;
       job_governor = job_governor_;
+      job_obs.attribution = job_attribution_;
+      job_obs.trace = job_trace_;
+      job_obs.site = job_site_;
     }
     {
       // Poll sites inside the chunk consult the dispatcher's governor, so a
-      // per-job budget cancels its own workers and nobody else's.
+      // per-job budget cancels its own workers and nobody else's; the same
+      // propagation gives trace spans and attribution records emitted from
+      // worker chunks the dispatcher's per-job destination.
       cancel::GovernorBindScope bind(job_governor);
+      obs::ObsBindScope obs_bind(job_obs);
       (*job)(worker_index);
     }
     {

@@ -23,6 +23,11 @@ namespace fastsc::cancel {
 class Governor;
 }  // namespace fastsc::cancel
 
+namespace fastsc::obs {
+class AttributionRegistry;
+class TraceRecorder;
+}  // namespace fastsc::obs
+
 namespace fastsc {
 
 class ThreadPool {
@@ -63,6 +68,12 @@ class ThreadPool {
   std::condition_variable work_done_;
   const std::function<void(usize)>* job_ = nullptr;
   cancel::Governor* job_governor_ = nullptr;  ///< dispatcher's bound governor
+  /// Dispatcher's observability bindings (per-job attribution registry,
+  /// trace recorder, site scope), re-bound inside each helper worker for
+  /// the job's duration — same propagation contract as the governor.
+  obs::AttributionRegistry* job_attribution_ = nullptr;
+  obs::TraceRecorder* job_trace_ = nullptr;
+  const char* job_site_ = nullptr;
   std::uint64_t job_epoch_ = 0;
   usize remaining_ = 0;
   bool shutdown_ = false;

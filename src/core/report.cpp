@@ -88,6 +88,45 @@ TextTable dataset_table(const std::vector<BackendRuns>& all_runs) {
   return table;
 }
 
+AttributionReport collect_attribution(const device::DeviceContext& ctx) {
+  AttributionReport a;
+  a.present = true;
+  a.roofline = ctx.attribution().roofline();
+  a.sites = ctx.attribution().report();
+  a.totals = ctx.attribution().totals();
+  a.device_totals = ctx.counters();
+  return a;
+}
+
+TextTable attribution_table(const AttributionReport& a) {
+  TextTable table(
+      "Kernel-level cost attribution (roofline vs "
+      "peak=" + TextTable::fmt(a.roofline.peak_flops / 1e12, 3) +
+      " Tflop/s, bw=" +
+      TextTable::fmt(a.roofline.bandwidth_bytes_per_sec / 1e9, 2) + " GB/s)");
+  table.header({"Site", "Launches", "Xfers", "MB moved", "Gflops",
+                "MB touched", "Seconds", "Flops/B", "Roofline"});
+  auto row_for = [&](const std::string& name, const obs::SiteStats& s,
+                     double intensity, double utilization) {
+    table.row({name, TextTable::fmt(static_cast<index_t>(s.kernel_launches)),
+               TextTable::fmt(
+                   static_cast<index_t>(s.transfers_h2d + s.transfers_d2h)),
+               TextTable::fmt(
+                   static_cast<double>(s.bytes_h2d + s.bytes_d2h) / 1e6, 3),
+               TextTable::fmt(s.flops / 1e9, 4),
+               TextTable::fmt((s.bytes_read + s.bytes_written) / 1e6, 3),
+               TextTable::fmt_seconds(s.total_seconds()),
+               TextTable::fmt(intensity, 3),
+               utilization > 0 ? TextTable::fmt(utilization, 4) : "-"});
+  };
+  for (const obs::SiteReport& r : a.sites) {
+    row_for(r.site, r.stats, r.arithmetic_intensity, r.roofline_utilization);
+  }
+  row_for("TOTAL", a.totals, obs::arithmetic_intensity(a.totals),
+          obs::roofline_utilization(a.totals, a.roofline));
+  return table;
+}
+
 namespace {
 
 void write_device_counters(obs::JsonWriter& w,
@@ -254,6 +293,35 @@ void write_run_report_json(const RunReport& report, std::ostream& os) {
     w.end_object();
   }
   w.end_array();
+
+  if (report.attribution.present) {
+    const AttributionReport& a = report.attribution;
+    w.key("attribution");
+    w.begin_object();
+    w.key("roofline");
+    w.begin_object();
+    w.field("peak_flops", a.roofline.peak_flops);
+    w.field("bandwidth_bytes_per_sec", a.roofline.bandwidth_bytes_per_sec);
+    w.end_object();
+    w.key("sites");
+    obs::write_attribution_sites(w, a.sites);
+    w.key("totals");
+    w.begin_object();
+    w.field("kernel_launches", std::uint64_t{a.totals.kernel_launches});
+    w.field("transfers_h2d", std::uint64_t{a.totals.transfers_h2d});
+    w.field("transfers_d2h", std::uint64_t{a.totals.transfers_d2h});
+    w.field("bytes_h2d", std::uint64_t{a.totals.bytes_h2d});
+    w.field("bytes_d2h", std::uint64_t{a.totals.bytes_d2h});
+    w.field("flops", a.totals.flops);
+    w.field("bytes_read", a.totals.bytes_read);
+    w.field("bytes_written", a.totals.bytes_written);
+    w.field("kernel_seconds", a.totals.kernel_seconds);
+    w.field("transfer_seconds", a.totals.transfer_seconds);
+    w.end_object();
+    w.key("device_counters");
+    write_device_counters(w, a.device_totals);
+    w.end_object();
+  }
   w.end_object();
   os << '\n';
 }

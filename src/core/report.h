@@ -14,6 +14,7 @@
 
 #include "common/table.h"
 #include "core/spectral.h"
+#include "obs/attribution.h"
 #include "sparse/csr.h"
 
 namespace fastsc::core {
@@ -48,6 +49,27 @@ struct BackendRuns {
     const BackendRuns& runs, const std::vector<index_t>& ground_truth,
     const sparse::Csr& w);
 
+/// Attribution section of a run report: the per-site cost rows from one
+/// DeviceContext's AttributionRegistry, the roofline ceilings they were
+/// scored against, and the context-lifetime DeviceCounters totals the
+/// per-site sums must reproduce (tools/check_trace.py --report verifies
+/// bytes exactly and seconds to 1e-6).
+struct AttributionReport {
+  bool present = false;  ///< emitted only when a context was attached
+  obs::RooflineModel roofline;
+  std::vector<obs::SiteReport> sites;   ///< sorted by site name
+  obs::SiteStats totals;                ///< sum over every site
+  device::DeviceCounters device_totals; ///< context totals (cross-check)
+};
+
+/// Snapshot the context's attribution registry + counters into a section.
+[[nodiscard]] AttributionReport collect_attribution(
+    const device::DeviceContext& ctx);
+
+/// Per-site cost table: launches, bytes, flops, seconds, intensity, and
+/// roofline utilization — one row per site plus a totals row.
+[[nodiscard]] TextTable attribution_table(const AttributionReport& a);
+
 /// Machine-readable run report: everything a table bench measured, as one
 /// JSON document (schema "fastsc.run_report.v1").  Carries both the
 /// structured numbers — per-stage seconds, eigensolver/k-means telemetry,
@@ -58,6 +80,7 @@ struct RunReport {
   std::string bench;                  ///< bench executable name
   std::vector<BackendRuns> datasets;  ///< structured results, run order
   std::vector<TextTable> tables;      ///< rendered tables, print order
+  AttributionReport attribution;      ///< per-site cost rows (if present)
 };
 
 void write_run_report_json(const RunReport& report, std::ostream& os);

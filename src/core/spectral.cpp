@@ -18,6 +18,7 @@
 #include "graph/laplacian.h"
 #include "kmeans/lloyd.h"
 #include "lanczos/rci.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparse/convert.h"
@@ -360,6 +361,9 @@ void eigensolve_device_ladder(device::DeviceContext& ctx,
     sync_cfg.spmv_format = DeviceSpmvFormat::kCsr;
     reset_eig_result(result);
     try {
+      // Ladder-rung site: the retried solve's device work lands in its own
+      // bucket so a degraded run is visible in the attribution table.
+      obs::AttrSiteScope rung_site("fallback.device_sync");
       eigensolve_device(ctx, device_w(), sync_cfg, result);
       return;
     } catch (const device::DeviceError& e) {
@@ -372,6 +376,7 @@ void eigensolve_device_ladder(device::DeviceContext& ctx,
   reset_eig_result(result);
   SpectralConfig host_cfg = cfg;
   host_cfg.backend = Backend::kMatlabLike;
+  obs::AttrSiteScope rung_site("fallback.host_eigensolver");
   eigensolve_host(host_w(), host_cfg, result);
 }
 
@@ -444,6 +449,7 @@ void kmeans_stage_run(device::DeviceContext& ctx, const SpectralConfig& cfg,
         kmeans::KmeansConfig sync_kc = kc;
         sync_kc.async_pipeline = false;
         try {
+          obs::AttrSiteScope rung_site("fallback.kmeans_sync");
           assign(kmeans::kmeans_device(ctx, result.embedding.data(), n, k,
                                        sync_kc));
           done = true;
@@ -455,6 +461,7 @@ void kmeans_stage_run(device::DeviceContext& ctx, const SpectralConfig& cfg,
       if (!done) {
         if (!pol.allow_host_fallback) std::rethrow_exception(last_error);
         note_degradation(result, kStageKmeans, "host-kmeans", reason);
+        obs::AttrSiteScope rung_site("fallback.host_kmeans");
         assign(kmeans::kmeans_lloyd_host(result.embedding.data(), n, k, kc));
       }
       break;
@@ -584,6 +591,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     {
       obs::ScopedSpan span(kStageSimilarity, "stage");
       cancel::StageScope budget_scope(kStageSimilarity);
+      obs::AttrSiteScope stage_site("stage.similarity");
       try {
         if (config.similarity_chunk_edges > 0) {
           // Out-of-core Algorithm 1: the edge list streams through the
@@ -602,6 +610,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
         note_degradation(result, kStageSimilarity, "host-similarity",
                          e.what());
         dev_w.reset();
+        obs::AttrSiteScope rung_site("fallback.host_similarity");
         host_w_storage =
             baseline::similarity_loop(x, n, d, sym, config.similarity);
         have_host = true;
@@ -613,6 +622,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     {
       obs::ScopedSpan span(kStageEigensolver, "stage");
       cancel::StageScope budget_scope(kStageEigensolver);
+      obs::AttrSiteScope stage_site("stage.eigensolver");
       auto device_w = [&]() -> sparse::DeviceCoo& {
         if (!dev_w) dev_w.emplace(ctx, host_w_storage);
         return *dev_w;
@@ -650,6 +660,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
   {
     obs::ScopedSpan span(kStageKmeans, "stage");
     cancel::StageScope budget_scope(kStageKmeans);
+    obs::AttrSiteScope stage_site("stage.kmeans");
     kmeans_stage(ctx, config, result);
   }
   result.clock.stop();
@@ -706,6 +717,7 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   {
     obs::ScopedSpan span(kStageEigensolver, "stage");
     cancel::StageScope budget_scope(kStageEigensolver);
+    obs::AttrSiteScope stage_site("stage.eigensolver");
     if (config.backend == Backend::kDevice) {
       // Transfer the graph to the device (part of the eigensolver stage cost,
       // matching the paper's accounting for the graph datasets).  The upload
@@ -727,6 +739,7 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   {
     obs::ScopedSpan span(kStageKmeans, "stage");
     cancel::StageScope budget_scope(kStageKmeans);
+    obs::AttrSiteScope stage_site("stage.kmeans");
     kmeans_stage(ctx, config, result);
   }
   result.clock.stop();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/error.h"
@@ -17,36 +18,82 @@
 
 namespace fastsc::device {
 
+namespace detail {
+
+/// Attribution site for a generic primitive: an enclosing AttrSiteScope (the
+/// semantically meaningful caller, e.g. "sparse.sort_coo") wins over the
+/// algo.* fallback name, so primitives invoked inside a tagged routine fold
+/// into that routine's bucket instead of a generic one.
+inline const char* algo_site(const char* site) noexcept {
+  return obs::current_attr_site() != nullptr ? nullptr : site;
+}
+
+inline LaunchConfig algo_cfg(const char* site, double flops = -1.0,
+                             double bytes_read = -1.0,
+                             double bytes_written = -1.0) {
+  LaunchConfig cfg;
+  cfg.site = algo_site(site);
+  cfg.flops = flops;
+  cfg.bytes_read = bytes_read;
+  cfg.bytes_written = bytes_written;
+  return cfg;
+}
+
+inline obs::KernelCost algo_cost(const char* site, double flops,
+                                 double bytes_read, double bytes_written) {
+  obs::KernelCost cost;
+  cost.site = algo_site(site);
+  cost.flops = flops;
+  cost.bytes_read = bytes_read;
+  cost.bytes_written = bytes_written;
+  return cost;
+}
+
+}  // namespace detail
+
 /// Fill [out, out+n) with value.
 template <class T>
 void fill(DeviceContext& ctx, T* out, index_t n, T value) {
-  launch(ctx, n, [=](index_t i) { out[i] = value; });
+  launch(ctx, n, [=](index_t i) { out[i] = value; },
+         detail::algo_cfg("algo.fill", static_cast<double>(n), 0.0,
+                          static_cast<double>(n) * sizeof(T)));
 }
 
 /// out[i] = i + start.
 template <class T>
 void sequence(DeviceContext& ctx, T* out, index_t n, T start = T{0}) {
-  launch(ctx, n, [=](index_t i) { out[i] = start + static_cast<T>(i); });
+  launch(ctx, n, [=](index_t i) { out[i] = start + static_cast<T>(i); },
+         detail::algo_cfg("algo.sequence", static_cast<double>(n), 0.0,
+                          static_cast<double>(n) * sizeof(T)));
 }
 
 /// out[i] = op(in[i]).
 template <class T, class U, class UnaryOp>
 void transform(DeviceContext& ctx, const T* in, U* out, index_t n,
                const UnaryOp& op) {
-  launch(ctx, n, [=](index_t i) { out[i] = op(in[i]); });
+  launch(ctx, n, [=](index_t i) { out[i] = op(in[i]); },
+         detail::algo_cfg("algo.transform", static_cast<double>(n),
+                          static_cast<double>(n) * sizeof(T),
+                          static_cast<double>(n) * sizeof(U)));
 }
 
 /// out[i] = op(a[i], b[i]).
 template <class T, class U, class V, class BinaryOp>
 void transform(DeviceContext& ctx, const T* a, const U* b, V* out, index_t n,
                const BinaryOp& op) {
-  launch(ctx, n, [=](index_t i) { out[i] = op(a[i], b[i]); });
+  launch(ctx, n, [=](index_t i) { out[i] = op(a[i], b[i]); },
+         detail::algo_cfg("algo.transform", static_cast<double>(n),
+                          static_cast<double>(n) * (sizeof(T) + sizeof(U)),
+                          static_cast<double>(n) * sizeof(V)));
 }
 
 /// out[i] = in[map[i]].
 template <class T, class I>
 void gather(DeviceContext& ctx, const I* map, const T* in, T* out, index_t n) {
-  launch(ctx, n, [=](index_t i) { out[i] = in[map[i]]; });
+  launch(ctx, n, [=](index_t i) { out[i] = in[map[i]]; },
+         detail::algo_cfg("algo.gather", static_cast<double>(n),
+                          static_cast<double>(n) * (sizeof(I) + sizeof(T)),
+                          static_cast<double>(n) * sizeof(T)));
 }
 
 /// Tree-style parallel reduction: combine(...combine(init, x0)..., xn-1).
@@ -73,7 +120,10 @@ template <class T, class Combine>
     ctx.run_compute(job);
     for (const T& p : partials) result = combine(result, p);
   }
-  ctx.record_kernel(t.seconds());
+  ctx.record_kernel(t.seconds(), -1.0,
+                    detail::algo_cost("algo.reduce", static_cast<double>(n),
+                                      static_cast<double>(n) * sizeof(T),
+                                      static_cast<double>(sizeof(T))));
   return result;
 }
 
@@ -118,7 +168,11 @@ template <class T>
       best = p;
     }
   }
-  ctx.record_kernel(t.seconds());
+  ctx.record_kernel(
+      t.seconds(), -1.0,
+      detail::algo_cost("algo.min_element", static_cast<double>(n),
+                        static_cast<double>(n) * sizeof(T),
+                        static_cast<double>(sizeof(index_t))));
   return best.index;
 }
 
@@ -166,7 +220,11 @@ T exclusive_scan(DeviceContext& ctx, const T* in, T* out, index_t n,
   } else {
     ctx.run_compute(pass2);
   }
-  ctx.record_kernel(t.seconds());
+  ctx.record_kernel(
+      t.seconds(), -1.0,
+      detail::algo_cost("algo.scan", 2.0 * static_cast<double>(n),
+                        static_cast<double>(n) * sizeof(T),
+                        static_cast<double>(n) * sizeof(T)));
   return running;
 }
 
@@ -174,7 +232,10 @@ T exclusive_scan(DeviceContext& ctx, const T* in, T* out, index_t n,
 template <class T>
 T inclusive_scan(DeviceContext& ctx, const T* in, T* out, index_t n) {
   const T total = exclusive_scan(ctx, in, out, n);
-  launch(ctx, n, [=](index_t i) { out[i] += in[i]; });
+  launch(ctx, n, [=](index_t i) { out[i] += in[i]; },
+         detail::algo_cfg("algo.scan", static_cast<double>(n),
+                          2.0 * static_cast<double>(n) * sizeof(T),
+                          static_cast<double>(n) * sizeof(T)));
   return total;
 }
 
@@ -184,11 +245,14 @@ template <class K, class V>
 void sort_by_key(DeviceContext& ctx, K* keys, V* values, index_t n) {
   if (n <= 1) return;
   WallTimer t;
+  const double pair_bytes =
+      static_cast<double>(n) * (sizeof(K) + sizeof(V));
   // Pack into pairs for cache-friendly merging.
   std::vector<std::pair<K, V>> tmp(static_cast<usize>(n));
   launch(ctx, n, [&](index_t i) {
     tmp[static_cast<usize>(i)] = {keys[i], values[i]};
-  });
+  }, detail::algo_cfg("algo.sort_by_key", static_cast<double>(n), pair_bytes,
+                      pair_bytes));
   const auto workers = static_cast<index_t>(ctx.pool().worker_count());
   const index_t chunk = (n + workers - 1) / workers;
   auto cmp = [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
@@ -218,8 +282,14 @@ void sort_by_key(DeviceContext& ctx, K* keys, V* values, index_t n) {
   launch(ctx, n, [&](index_t i) {
     keys[i] = tmp[static_cast<usize>(i)].first;
     values[i] = tmp[static_cast<usize>(i)].second;
-  });
-  ctx.record_kernel(t.seconds());
+  }, detail::algo_cfg("algo.sort_by_key", static_cast<double>(n), pair_bytes,
+                      pair_bytes));
+  const double comparisons =
+      static_cast<double>(n) *
+      std::max(1.0, std::log2(static_cast<double>(n)));
+  ctx.record_kernel(t.seconds(), -1.0,
+                    detail::algo_cost("algo.sort_by_key", comparisons,
+                                      pair_bytes, pair_bytes));
 }
 
 /// reduce_by_key over sorted keys: writes unique keys and per-key sums,
@@ -247,7 +317,11 @@ index_t reduce_by_key(DeviceContext& ctx, const K* keys, const V* values,
   out_keys[seg] = current;
   out_sums[seg] = acc;
   ++seg;
-  ctx.record_kernel(t.seconds());
+  ctx.record_kernel(
+      t.seconds(), -1.0,
+      detail::algo_cost("algo.reduce_by_key", static_cast<double>(n),
+                        static_cast<double>(n) * (sizeof(K) + sizeof(V)),
+                        static_cast<double>(seg) * (sizeof(K) + sizeof(V))));
   return seg;
 }
 
@@ -276,7 +350,11 @@ template <class T, class Pred>
   }
   index_t total = 0;
   for (index_t p : partials) total += p;
-  ctx.record_kernel(t.seconds());
+  ctx.record_kernel(
+      t.seconds(), -1.0,
+      detail::algo_cost("algo.count_if", static_cast<double>(n),
+                        static_cast<double>(n) * sizeof(T),
+                        static_cast<double>(sizeof(index_t))));
   return total;
 }
 

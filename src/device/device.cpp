@@ -165,49 +165,96 @@ void DeviceContext::meter_transfer(usize bytes, double measured_seconds,
   }
 }
 
-void DeviceContext::record_h2d(usize bytes, double measured_seconds) {
+void DeviceContext::attribute_transfer(const char* site, usize bytes,
+                                       bool h2d) {
+  // Same pure function of `bytes` that meter_transfer charged to
+  // modeled_transfer_seconds, so per-site sums reproduce the counter total.
+  const double modeled = model_.seconds_for(bytes);
+  // An enclosing stage scope claims the traffic; otherwise fall back to the
+  // copy mechanism's site, then to the direction-generic bucket.
+  const char* scope = obs::current_attr_site();
+  const char* resolved = scope != nullptr ? scope
+                         : site != nullptr ? site
+                         : h2d            ? "transfer.h2d"
+                                          : "transfer.d2h";
+  attribution_.record_transfer(resolved, bytes, modeled, h2d);
+  if (obs::AttributionRegistry* bound = obs::bound_attribution();
+      bound != nullptr && bound != &attribution_) {
+    bound->record_transfer(resolved, bytes, modeled, h2d);
+  }
+}
+
+void DeviceContext::attribute_kernel(const obs::KernelCost& cost,
+                                     double duration) {
+  const char* scope = obs::current_attr_site();
+  const char* resolved = cost.site != nullptr ? cost.site
+                         : scope != nullptr  ? scope
+                                             : "unattributed";
+  // Direct record_kernel callers (reductions, scans, sorts) may not carry a
+  // cost; floor flops at one so every launch contributes nonzero work.
+  const double flops = cost.flops >= 0 ? cost.flops : 1.0;
+  const double bytes_read = cost.bytes_read >= 0 ? cost.bytes_read : 0.0;
+  const double bytes_written = cost.bytes_written >= 0 ? cost.bytes_written
+                                                       : 0.0;
+  attribution_.record_kernel(resolved, duration, flops, bytes_read,
+                             bytes_written);
+  if (obs::AttributionRegistry* bound = obs::bound_attribution();
+      bound != nullptr && bound != &attribution_) {
+    bound->record_kernel(resolved, duration, flops, bytes_read, bytes_written);
+  }
+}
+
+void DeviceContext::record_h2d(usize bytes, double measured_seconds,
+                               const char* site) {
   // Watchdog overrun check before metering, with no locks held (the
   // governor's lock orders strictly before meter_mu_).
   cancel::note_transfer("transfer.h2d", measured_seconds,
                         model_.seconds_for(bytes));
   meter_transfer(bytes, measured_seconds, /*h2d=*/true);
+  attribute_transfer(site, bytes, /*h2d=*/true);
 }
 
-void DeviceContext::record_d2h(usize bytes, double measured_seconds) {
+void DeviceContext::record_d2h(usize bytes, double measured_seconds,
+                               const char* site) {
   cancel::note_transfer("transfer.d2h", measured_seconds,
                         model_.seconds_for(bytes));
   meter_transfer(bytes, measured_seconds, /*h2d=*/false);
+  attribute_transfer(site, bytes, /*h2d=*/false);
 }
 
-void DeviceContext::record_kernel(double seconds, double modeled_override) {
-  std::lock_guard lock(meter_mu_);
+void DeviceContext::record_kernel(double seconds, double modeled_override,
+                                  const obs::KernelCost& cost) {
   const double duration = modeled_override >= 0 ? modeled_override : seconds;
-  VirtualClock& clk = current_clock_locked();
-  const double begin = std::max(clk.now, compute_free_at_);
-  const double end = begin + duration;
-  clk.now = end;
-  compute_free_at_ = end;
+  {
+    std::lock_guard lock(meter_mu_);
+    VirtualClock& clk = current_clock_locked();
+    const double begin = std::max(clk.now, compute_free_at_);
+    const double end = begin + duration;
+    clk.now = end;
+    compute_free_at_ = end;
 
-  counters_.kernel_seconds += duration;
-  counters_.kernel_launches += 1;
-  if (t_current_clock != nullptr) counters_.async_kernel_launches += 1;
+    counters_.kernel_seconds += duration;
+    counters_.kernel_launches += 1;
+    if (t_current_clock != nullptr) counters_.async_kernel_launches += 1;
 
-  for (const Interval& c : copy_intervals_) {
-    const double ov = std::min(end, c.end) - std::max(begin, c.begin);
-    if (ov > 0) {
-      counters_.overlapped_seconds += ov;
-      (c.h2d ? counters_.overlapped_h2d_seconds
-             : counters_.overlapped_d2h_seconds) += ov;
+    for (const Interval& c : copy_intervals_) {
+      const double ov = std::min(end, c.end) - std::max(begin, c.begin);
+      if (ov > 0) {
+        counters_.overlapped_seconds += ov;
+        (c.h2d ? counters_.overlapped_h2d_seconds
+               : counters_.overlapped_d2h_seconds) += ov;
+      }
+    }
+    kernel_intervals_.push_back(Interval{begin, end, false});
+    prune_intervals_locked();
+
+    if (obs::trace_enabled() && end > begin) {
+      obs::trace().complete(obs::kVirtualPid, obs::kComputeTid, "kernel",
+                            "kernel", begin * 1e6, (end - begin) * 1e6,
+                            {{"measured_seconds", seconds}});
     }
   }
-  kernel_intervals_.push_back(Interval{begin, end, false});
-  prune_intervals_locked();
-
-  if (obs::trace_enabled() && end > begin) {
-    obs::trace().complete(obs::kVirtualPid, obs::kComputeTid, "kernel",
-                          "kernel", begin * 1e6, (end - begin) * 1e6,
-                          {{"measured_seconds", seconds}});
-  }
+  attribute_kernel(cost, duration);
 }
 
 void DeviceContext::record_alloc(usize bytes) {

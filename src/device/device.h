@@ -41,6 +41,7 @@
 #include "common/types.h"
 #include "device/transfer_model.h"
 #include "fault/fault.h"
+#include "obs/attribution.h"
 
 namespace fastsc::device {
 
@@ -209,7 +210,10 @@ class DeviceContext {
  public:
   /// workers == 0 selects hardware concurrency.
   explicit DeviceContext(usize workers = 0, TransferModel model = {})
-      : pool_(workers), model_(model) {}
+      : pool_(workers), model_(model) {
+    attribution_.set_roofline(obs::make_roofline(
+        model_.bandwidth_bytes_per_sec * model_.efficiency));
+  }
 
   /// Device-memory budget in bytes; 0 = unlimited.  The paper's K20c has
   /// 5 GB — set this to study out-of-core behaviour (the chunked builders
@@ -223,7 +227,11 @@ class DeviceContext {
   [[nodiscard]] const TransferModel& transfer_model() const noexcept {
     return model_;
   }
-  void set_transfer_model(TransferModel m) noexcept { model_ = m; }
+  void set_transfer_model(TransferModel m) {
+    model_ = m;
+    attribution_.set_roofline(obs::make_roofline(
+        model_.bandwidth_bytes_per_sec * model_.efficiency));
+  }
 
   void set_transfer_retry(TransferRetryPolicy p) noexcept { retry_ = p; }
   [[nodiscard]] const TransferRetryPolicy& transfer_retry() const noexcept {
@@ -268,13 +276,29 @@ class DeviceContext {
   // calling thread's clock — a stream's clock when invoked from inside a
   // stream op (see ClockScope), the host clock otherwise — so overlap
   // between concurrent streams and the host is attributed exactly once.
-  void record_h2d(usize bytes, double measured_seconds);
-  void record_d2h(usize bytes, double measured_seconds);
+  //
+  // Every call also feeds the cost-attribution registry (and the
+  // thread-bound per-job registry, if any) with the *same* durations the
+  // counters accumulated, so per-site sums reproduce the totals.  `site`
+  // names the copy mechanism; an enclosing obs::AttrSiteScope overrides it.
+  void record_h2d(usize bytes, double measured_seconds,
+                  const char* site = nullptr);
+  void record_d2h(usize bytes, double measured_seconds,
+                  const char* site = nullptr);
   /// `modeled_override` >= 0 replaces the duration on the virtual timeline
   /// and in kernel_seconds (deterministic tests, future kernel cost models).
-  void record_kernel(double seconds, double modeled_override = -1.0);
+  void record_kernel(double seconds, double modeled_override = -1.0,
+                     const obs::KernelCost& cost = {});
   void record_alloc(usize bytes);
   void record_free(usize bytes) noexcept;
+
+  /// Context-lifetime cost attribution (per-site bytes/flops/seconds).
+  [[nodiscard]] obs::AttributionRegistry& attribution() noexcept {
+    return attribution_;
+  }
+  [[nodiscard]] const obs::AttributionRegistry& attribution() const noexcept {
+    return attribution_;
+  }
 
   /// Run a bulk job on the worker pool under the compute-engine lock.  All
   /// device kernels funnel through here so concurrent streams never race on
@@ -317,11 +341,14 @@ class DeviceContext {
   };
 
   void meter_transfer(usize bytes, double measured_seconds, bool h2d);
+  void attribute_transfer(const char* site, usize bytes, bool h2d);
+  void attribute_kernel(const obs::KernelCost& cost, double duration);
   [[nodiscard]] VirtualClock& current_clock_locked();
   void prune_intervals_locked();
 
   ThreadPool pool_;
   TransferModel model_;
+  obs::AttributionRegistry attribution_;
   DeviceCounters counters_;
   usize memory_limit_bytes_ = 0;
 
@@ -417,7 +444,7 @@ class DeviceBuffer {
       if (!host.empty()) {
         std::memcpy(storage_.data(), host.data(), host.size_bytes());
       }
-      ctx_->record_h2d(host.size_bytes(), t.seconds());
+      ctx_->record_h2d(host.size_bytes(), t.seconds(), "device.h2d");
     });
   }
 
@@ -433,7 +460,7 @@ class DeviceBuffer {
       if (!host.empty()) {
         std::memcpy(host.data(), storage_.data(), host.size_bytes());
       }
-      ctx_->record_d2h(host.size_bytes(), t.seconds());
+      ctx_->record_d2h(host.size_bytes(), t.seconds(), "device.d2h");
     });
   }
 
@@ -481,11 +508,36 @@ struct LaunchConfig {
   /// kernels whose simulated speed should not depend on the host machine.
   double modeled_seconds = -1.0;
 
+  /// Attribution site for this launch (stable dotted lowercase identifier,
+  /// e.g. "spmv.balanced").  nullptr falls back to the innermost
+  /// obs::AttrSiteScope on the launching thread, then to "unattributed".
+  const char* site = nullptr;
+
+  /// Modeled work of the whole launch, for per-site arithmetic intensity
+  /// and roofline utilization.  Negative (default) estimates one flop and
+  /// 8 bytes read + 8 bytes written per logical thread.
+  double flops = -1.0;
+  double bytes_read = -1.0;
+  double bytes_written = -1.0;
+
   /// Blocks needed to cover n logical threads.
   [[nodiscard]] index_t grid_for(index_t n) const noexcept {
     return (n + block - 1) / block;
   }
 };
+
+/// Shorthand for the common launch-tagging call shape: name the site and
+/// (optionally) the modeled flops / bytes of the whole launch.
+inline LaunchConfig tagged(const char* site, double flops = -1.0,
+                           double bytes_read = -1.0,
+                           double bytes_written = -1.0) {
+  LaunchConfig cfg;
+  cfg.site = site;
+  cfg.flops = flops;
+  cfg.bytes_read = bytes_read;
+  cfg.bytes_written = bytes_written;
+  return cfg;
+}
 
 /// Launch `kernel(i)` for every global thread id i in [0, n), blocking until
 /// completion (default-stream semantics; from inside a stream op this blocks
@@ -494,8 +546,14 @@ struct LaunchConfig {
 template <class Kernel>
 void launch(DeviceContext& ctx, index_t n, const Kernel& kernel,
             LaunchConfig cfg = {}) {
+  obs::KernelCost cost;
+  cost.site = cfg.site;
+  const double work = static_cast<double>(n > 0 ? n : 0);
+  cost.flops = cfg.flops >= 0 ? cfg.flops : (work > 0 ? work : 1.0);
+  cost.bytes_read = cfg.bytes_read >= 0 ? cfg.bytes_read : 8.0 * work;
+  cost.bytes_written = cfg.bytes_written >= 0 ? cfg.bytes_written : 8.0 * work;
   if (n <= 0) {
-    ctx.record_kernel(0.0);
+    ctx.record_kernel(0.0, -1.0, cost);
     return;
   }
   WallTimer t;
@@ -511,7 +569,7 @@ void launch(DeviceContext& ctx, index_t n, const Kernel& kernel,
     };
     ctx.run_compute(job);
   }
-  ctx.record_kernel(t.seconds(), cfg.modeled_seconds);
+  ctx.record_kernel(t.seconds(), cfg.modeled_seconds, cost);
 }
 
 }  // namespace fastsc::device

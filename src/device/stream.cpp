@@ -5,6 +5,7 @@
 
 #include "common/cancel.h"
 #include "fault/fault.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace fastsc::device {
@@ -64,6 +65,7 @@ void Stream::enqueue_op(std::function<void()> fn, bool always_run,
   op.issue_virtual_time = ctx_.current_clock_now();
   op.always_run = always_run;
   op.label = std::move(label);
+  op.obs = obs::current_obs_bindings();
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(op));
@@ -119,6 +121,7 @@ void Stream::thread_main() {
     }
     ctx_.advance_clock_to(clock_, op.issue_virtual_time);
     DeviceContext::ClockScope scope(clock_);
+    obs::ObsBindScope obs_scope(op.obs);
     cancel::stream_busy(true);
     try {
       // Real work (not fences/records) honours cancellation and the

@@ -94,7 +94,7 @@ class Stream {
         }
         WallTimer t;
         if (!block->empty()) std::memcpy(dev, block->data(), block->size());
-        ctx_.record_h2d(block->size(), t.seconds());
+        ctx_.record_h2d(block->size(), t.seconds(), "stream.h2d");
       });
       ctx_.staging_pool().release(std::move(*block));
     });
@@ -120,7 +120,7 @@ class Stream {
         if (!host.empty()) {
           std::memcpy(host.data(), dev, host.size_bytes());
         }
-        ctx_.record_d2h(host.size_bytes(), t.seconds());
+        ctx_.record_d2h(host.size_bytes(), t.seconds(), "stream.d2h");
       });
     });
   }
@@ -164,6 +164,11 @@ class Stream {
     double issue_virtual_time = 0;
     bool always_run = false;  // event records fire even after an error
     std::string label;        // site annotation for sticky errors
+    /// The enqueuing thread's observability bindings (per-job attribution
+    /// registry / trace recorder / site scope), re-adopted by the stream
+    /// thread for the op's execution so async work is attributed to the job
+    /// that issued it.
+    obs::ObsBindings obs;
   };
 
   void enqueue_op(std::function<void()> fn, bool always_run,
@@ -195,7 +200,7 @@ void copy_h2d(DeviceContext& ctx, T* dev, const T* host, usize n) {
     }
     WallTimer t;
     if (n != 0) std::memcpy(dev, host, n * sizeof(T));
-    ctx.record_h2d(n * sizeof(T), t.seconds());
+    ctx.record_h2d(n * sizeof(T), t.seconds(), "copy.h2d");
   });
 }
 
@@ -207,7 +212,7 @@ void copy_d2h(DeviceContext& ctx, T* host, const T* dev, usize n) {
     }
     WallTimer t;
     if (n != 0) std::memcpy(host, dev, n * sizeof(T));
-    ctx.record_d2h(n * sizeof(T), t.seconds());
+    ctx.record_d2h(n * sizeof(T), t.seconds(), "copy.d2h");
   });
 }
 

@@ -89,6 +89,7 @@ sparse::DeviceCoo build_similarity_device(device::DeviceContext& ctx,
                                           const SimilarityParams& params,
                                           bool clamp_nonpositive) {
   const index_t nnz = edges.size();
+  obs::AttrSiteScope attr_site("graph.similarity");
 
   // Algorithm 1, step 1: transfer the input data X and the edge list E.
   device::DeviceBuffer<real> dev_x(
@@ -144,7 +145,11 @@ sparse::DeviceCoo build_similarity_device(device::DeviceContext& ctx,
     const real s = similarity_precomputed(xp + i * d, xp + j * d, nrm[i],
                                           nrm[j], d, p);
     val[e] = clamp_sim(s, clamp);
-  });
+  }, device::tagged("graph.similarity",
+                    3.0 * static_cast<double>(nnz) * d,
+                    static_cast<double>(nnz) *
+                        (2.0 * d * sizeof(real) + 2.0 * sizeof(index_t)),
+                    static_cast<double>(nnz) * sizeof(real)));
 
   // Step 7: the edge list plus val form the COO matrix on the device.
   sparse::DeviceCoo coo;
@@ -164,6 +169,7 @@ sparse::Coo build_similarity_device_chunked(device::DeviceContext& ctx,
                                             bool clamp_nonpositive) {
   FASTSC_CHECK(chunk_edges >= 1, "chunk size must be positive");
   const index_t nnz = edges.size();
+  obs::AttrSiteScope attr_site("graph.similarity");
 
   // Resident state: X (centered in place) and the per-point statistics —
   // the same prologue as Algorithm 1.
@@ -226,7 +232,11 @@ sparse::Coo build_similarity_device_chunked(device::DeviceContext& ctx,
       const real s = similarity_precomputed(xp + i * d, xp + j * d, nrm[i],
                                             nrm[j], d, p);
       val[e] = clamp_sim(s, clamp);
-    });
+    }, device::tagged("graph.similarity",
+                      3.0 * static_cast<double>(count) * d,
+                      static_cast<double>(count) *
+                          (2.0 * d * sizeof(real) + 2.0 * sizeof(index_t)),
+                      static_cast<double>(count) * sizeof(real)));
     dev_val.copy_to_host(
         std::span<real>(host_vals.data(), static_cast<usize>(count)));
     for (index_t e = 0; e < count; ++e) {

@@ -67,6 +67,9 @@ sparse::Csr sym_normalized_laplacian(const sparse::Coo& w) {
 sparse::DeviceCsr normalized_rw_device(device::DeviceContext& ctx,
                                        sparse::DeviceCoo& w) {
   FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  // Default bucket for this routine; the sort/compress helpers inside carry
+  // their own sparse.* sites which take precedence.
+  obs::AttrSiteScope attr_site("laplacian.normalize");
   const index_t n = w.rows;
   const index_t nnz = w.nnz();
 
@@ -97,7 +100,11 @@ sparse::DeviceCsr normalized_rw_device(device::DeviceContext& ctx,
   const index_t* rows = w.row_idx.data();
   real* vals = w.values.data();
   const real* yp = y.data();
-  device::launch(ctx, nnz, [=](index_t e) { vals[e] /= yp[rows[e]]; });
+  device::launch(ctx, nnz, [=](index_t e) { vals[e] /= yp[rows[e]]; },
+                 device::tagged("laplacian.scale", static_cast<double>(nnz),
+                                static_cast<double>(nnz) *
+                                    (sizeof(real) + sizeof(index_t)),
+                                static_cast<double>(nnz) * sizeof(real)));
 
   // Step 4-5: compress row indices -> CSR of D^-1 W.
   sparse::DeviceCsr out;
@@ -128,6 +135,7 @@ sparse::DeviceCsr sym_normalized_device(
     device::DeviceContext& ctx, sparse::DeviceCoo& w,
     device::DeviceBuffer<real>& inv_sqrt_degree) {
   FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  obs::AttrSiteScope attr_site("laplacian.normalize");
   const index_t n = w.rows;
   const index_t nnz = w.nnz();
 
@@ -152,14 +160,20 @@ sparse::DeviceCsr sym_normalized_device(
   inv_sqrt_degree = device::DeviceBuffer<real>(ctx, static_cast<usize>(n));
   real* isd = inv_sqrt_degree.data();
   const real* yp = y.data();
-  device::launch(ctx, n, [=](index_t i) { isd[i] = 1.0 / std::sqrt(yp[i]); });
+  device::launch(ctx, n, [=](index_t i) { isd[i] = 1.0 / std::sqrt(yp[i]); },
+                 device::tagged("laplacian.scale"));
 
   // ScaleElements: thread e scales entry e by isd[row] * isd[col].
   const index_t* rows = w.row_idx.data();
   const index_t* cols = w.col_idx.data();
   real* vals = w.values.data();
   device::launch(ctx, nnz,
-                 [=](index_t e) { vals[e] *= isd[rows[e]] * isd[cols[e]]; });
+                 [=](index_t e) { vals[e] *= isd[rows[e]] * isd[cols[e]]; },
+                 device::tagged("laplacian.scale", 2.0 * nnz,
+                                static_cast<double>(nnz) *
+                                    (3.0 * sizeof(real) +
+                                     2.0 * sizeof(index_t)),
+                                static_cast<double>(nnz) * sizeof(real)));
 
   sparse::DeviceCsr out;
   sparse::device_coo2csr(ctx, w, out);

@@ -14,6 +14,7 @@
 #include "device/algorithms.h"
 #include "device/executor.h"
 #include "kmeans/seeding.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace fastsc::kmeans {
@@ -79,6 +80,10 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
   FASTSC_CHECK(config.k >= 1 && config.k <= n, "k must be in [1, n]");
   check_finite({v, static_cast<usize>(n) * static_cast<usize>(d)},
                "k-means input data");
+  // Default bucket for the whole solve: untagged primitives (fills, copies,
+  // reductions, buffer transfers) attribute here; the hot launches below
+  // carry their own finer-grained sites.
+  obs::AttrSiteScope attr_site("kmeans.lloyd");
   const index_t k = config.k;
   Rng rng(config.seed);
 
@@ -152,6 +157,10 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
       break;
     }
     // --- pairwise distances: S_ij = Vnorm_i + Cnorm_j - 2 <v_i, c_j> -------
+    // Norm fill + GEMM (and the prefetching centroid tile copies in async
+    // mode) all land in one site: the distance phase dominates the sweep.
+    {
+    obs::AttrSiteScope dist_site("gemm.kmeans_dist");
     if (exec) {
       // Prefetched centroid tiles: tile t+1 stages its centroid rows H2D on
       // the transfer stream while tile t's norms and GEMM slice run on the
@@ -201,6 +210,7 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
       dblas::gemm_nt(ctx, n, k, d, -2.0, dev_v.data(), d, dev_c.data(), d, 1.0,
                      dev_s.data(), k);
     }
+    }
 
     // --- label update: argmin over each row of S ---------------------------
     device::launch(ctx, n, [=](index_t i) {
@@ -216,7 +226,10 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
       changed[i] = (labels[i] != best) ? 1 : 0;
       labels[i] = best;
       mind[i] = best_val;
-    });
+    }, device::tagged("kmeans.argmin", static_cast<double>(n) * k,
+                      static_cast<double>(n) * k * sizeof(real),
+                      static_cast<double>(n) *
+                          (sizeof(real) + 2.0 * sizeof(index_t))));
     const index_t num_changed =
         device::reduce_sum(ctx, dev_changed.data(), n);
 
@@ -236,6 +249,9 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
     }
 
     // --- centroid update -----------------------------------------------------
+    // One site for both update schemes (sort-by-label and direct
+    // accumulation), so the two strategies are comparable in the table.
+    obs::AttrSiteScope update_site("kmeans.centroid_update");
     std::vector<index_t> counts(static_cast<usize>(k), 0);
     if (config.centroid_update == CentroidUpdate::kSortByLabel) {
       // The paper's scheme: sort point ids by label, segmented means.
@@ -327,7 +343,12 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
         } else {
           ctx.run_compute(job);
         }
-        ctx.record_kernel(t.seconds());
+        obs::KernelCost cost;
+        cost.flops = static_cast<double>(n) * d;
+        cost.bytes_read = static_cast<double>(n) * d * sizeof(real);
+        cost.bytes_written =
+            static_cast<double>(workers) * k * d * sizeof(real);
+        ctx.record_kernel(t.seconds(), -1.0, cost);
       }
       real* newc = dev_newc.data();
       const real* oldc = dev_c.data();

@@ -109,6 +109,9 @@ std::vector<index_t> kmeanspp_seeds_device(device::DeviceContext& ctx,
                                            index_t candidates) {
   FASTSC_CHECK(k >= 1 && k <= n, "k must be in [1, n]");
   FASTSC_CHECK(candidates >= 1, "candidate count must be positive");
+  // All seeding work (distance kernels, scans, potential reductions) rolls
+  // up into one site; the solve phases carry their own.
+  obs::AttrSiteScope attr_site("kmeans.seeding");
   std::vector<index_t> seeds;
   seeds.reserve(static_cast<usize>(k));
   seeds.push_back(static_cast<index_t>(rng.uniform_index(
@@ -203,7 +206,10 @@ std::vector<index_t> kmeanspp_seeds_device(device::DeviceContext& ctx,
         }
         cd[c * n + j] = acc < cur ? acc : cur;
       }
-    });
+    }, device::tagged("kmeans.seeding",
+                      3.0 * static_cast<double>(n) * nc * d,
+                      static_cast<double>(n) * (nc + 1.0) * d * sizeof(real),
+                      static_cast<double>(n) * nc * sizeof(real)));
     // Keep the candidate with the smallest total potential (ties -> the
     // earliest draw, keeping the result deterministic for a fixed seed).
     index_t best = 0;

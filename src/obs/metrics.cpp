@@ -111,6 +111,90 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << '\n';
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted names
+/// map onto that by replacing everything else with '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::int64_t cumulative = 0;
+    for (usize i = 0; i < h->edges().size(); ++i) {
+      cumulative += h->bucket_count(i);
+      os << n << "_bucket{le=\"" << h->edges()[i] << "\"} " << cumulative
+         << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h->total_count() << '\n';
+    os << n << "_sum " << h->sum() << '\n';
+    os << n << "_count " << h->total_count() << '\n';
+  }
+}
+
+bool MetricsRegistry::write_prometheus_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    FASTSC_LOG_ERROR("cannot open prometheus output file " << path);
+    return false;
+  }
+  write_prometheus(os);
+  os.flush();
+  if (!os) {
+    FASTSC_LOG_ERROR("failed writing prometheus output file " << path);
+    return false;
+  }
+  return true;
+}
+
+double histogram_quantile(const Histogram& h, double q) {
+  const std::int64_t total = h.total_count();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  const std::vector<double>& edges = h.edges();
+  const usize nbuckets = edges.size() + 1;
+  double below = 0;
+  for (usize i = 0; i < nbuckets; ++i) {
+    const double in_bucket = static_cast<double>(h.bucket_count(i));
+    if (below + in_bucket >= rank && in_bucket > 0) {
+      // Interpolate inside [lo, hi); the unbounded end buckets clamp to
+      // their one finite edge (Prometheus does the same for +Inf).
+      if (edges.empty()) return 0.0;
+      if (i == 0) return edges.front();
+      if (i == nbuckets - 1) return edges.back();
+      const double lo = edges[i - 1];
+      const double hi = edges[i];
+      const double frac = (rank - below) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    below += in_bucket;
+  }
+  return edges.empty() ? 0.0 : edges.back();
+}
+
 bool MetricsRegistry::write_json_file(const std::string& path) const {
   std::ofstream os(path);
   if (!os) {

@@ -107,6 +107,12 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
   bool write_json_file(const std::string& path) const;
 
+  /// Prometheus text exposition format (0.0.4): counters as `counter`,
+  /// gauges as `gauge`, histograms as cumulative `le` buckets with _sum and
+  /// _count.  Metric names are sanitized (dots -> underscores).
+  void write_prometheus(std::ostream& os) const;
+  bool write_prometheus_file(const std::string& path) const;
+
  private:
   mutable std::mutex mu_;  // guards the maps, not the instruments
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
@@ -116,5 +122,11 @@ class MetricsRegistry {
 
 /// Process-wide registry (what the benches snapshot to --metrics-out).
 MetricsRegistry& metrics();
+
+/// Quantile estimate (q in [0, 1]) from a histogram via linear interpolation
+/// inside the bucket containing the target rank — the standard
+/// histogram_quantile() approximation.  The open-ended first/last buckets
+/// clamp to their finite edge.  Returns 0 for an empty histogram.
+[[nodiscard]] double histogram_quantile(const Histogram& h, double q);
 
 }  // namespace fastsc::obs

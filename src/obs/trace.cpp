@@ -13,6 +13,8 @@ namespace fastsc::obs {
 
 namespace {
 
+thread_local TraceRecorder* t_bound_trace = nullptr;
+
 void mirror_event(const TraceEvent& e) {
   if (e.phase == 'C') {
     FASTSC_LOG_TRACE("counter " << e.name << " = "
@@ -38,6 +40,7 @@ void TraceRecorder::complete(std::uint32_t pid, std::uint32_t tid,
                              std::string_view name, std::string_view cat,
                              double ts_us, double dur_us,
                              std::vector<TraceArg> args) {
+  if (tee_ != nullptr) tee_->complete(pid, tid, name, cat, ts_us, dur_us, args);
   if (!enabled()) return;
   TraceEvent e;
   e.name = std::string(name);
@@ -55,6 +58,7 @@ void TraceRecorder::complete(std::uint32_t pid, std::uint32_t tid,
 
 void TraceRecorder::counter(std::string_view name, double value, double ts_us,
                             std::uint32_t pid) {
+  if (tee_ != nullptr) tee_->counter(name, value, ts_us, pid);
   if (!enabled()) return;
   TraceEvent e;
   e.name = std::string(name);
@@ -71,6 +75,7 @@ void TraceRecorder::counter(std::string_view name, double value, double ts_us,
 
 void TraceRecorder::name_track(std::uint32_t pid, std::uint32_t tid,
                                std::string name) {
+  if (tee_ != nullptr) tee_->name_track(pid, tid, name);
   std::lock_guard lock(mu_);
   for (auto& [key, existing] : track_names_) {
     if (key.first == pid && key.second == tid) {
@@ -169,12 +174,33 @@ bool TraceRecorder::write_json_file(const std::string& path) const {
   return true;
 }
 
+namespace detail {
+
+TraceRecorder* bound_trace() noexcept { return t_bound_trace; }
+
+TraceRecorder* set_bound_trace(TraceRecorder* recorder) noexcept {
+  TraceRecorder* previous = t_bound_trace;
+  t_bound_trace = recorder;
+  return previous;
+}
+
+}  // namespace detail
+
 TraceRecorder& trace() {
   static TraceRecorder recorder;
-  return recorder;
+  return t_bound_trace != nullptr ? *t_bound_trace : recorder;
 }
 
 bool trace_enabled() { return trace().enabled(); }
+
+TraceBindScope::TraceBindScope(TraceRecorder* recorder)
+    : previous_(t_bound_trace), active_(recorder != nullptr) {
+  if (active_) t_bound_trace = recorder;
+}
+
+TraceBindScope::~TraceBindScope() {
+  if (active_) t_bound_trace = previous_;
+}
 
 double wall_now_us() { return monotonic_seconds() * 1e6; }
 

@@ -96,6 +96,12 @@ class TraceRecorder {
     scope_enables_.fetch_sub(1, std::memory_order_relaxed);
   }
 
+  /// Forward every event recorded here to `tee` as well (the per-job
+  /// recorders the service binds point their tee at the global recorder, so
+  /// a job-scoped trace never hides events from the process-wide one).  Set
+  /// before the recorder is shared across threads; not synchronized.
+  void set_tee(TraceRecorder* tee) noexcept { tee_ = tee; }
+
   /// Record a complete span ('X').  No-op when disabled.
   void complete(std::uint32_t pid, std::uint32_t tid, std::string_view name,
                 std::string_view cat, double ts_us, double dur_us,
@@ -124,17 +130,43 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{env_enabled()};
   std::atomic<int> scope_enables_{0};
+  TraceRecorder* tee_ = nullptr;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
       track_names_;
 };
 
-/// Process-wide recorder (what all instrumented library code uses).
+namespace detail {
+/// The per-thread bound recorder (TraceBindScope), or nullptr.
+[[nodiscard]] TraceRecorder* bound_trace() noexcept;
+/// Rebind unconditionally (including to nullptr); returns the previous
+/// binding.  Cross-thread propagation (obs::ObsBindScope) uses this.
+TraceRecorder* set_bound_trace(TraceRecorder* recorder) noexcept;
+}  // namespace detail
+
+/// The recorder instrumentation on this thread targets: the bound per-job
+/// recorder inside a TraceBindScope, the process-wide recorder otherwise.
 TraceRecorder& trace();
 
-/// Fast global check instrumentation sites guard on.
+/// Fast check instrumentation sites guard on (bound-or-global recorder).
 [[nodiscard]] bool trace_enabled();
+
+/// RAII binding of a per-job recorder to the calling thread: while bound,
+/// trace() resolves to `recorder` instead of the global one.  Give the
+/// recorder a tee at the global recorder if process-wide artifacts should
+/// still see the job's events.  A null recorder is a no-op.
+class TraceBindScope {
+ public:
+  explicit TraceBindScope(TraceRecorder* recorder);
+  ~TraceBindScope();
+  TraceBindScope(const TraceBindScope&) = delete;
+  TraceBindScope& operator=(const TraceBindScope&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+  bool active_;
+};
 
 /// Wall-clock microseconds since the process monotonic epoch (the wall
 /// timebase of every kWallPid event).

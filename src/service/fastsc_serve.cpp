@@ -16,11 +16,13 @@
 // service.*/cache.* counters, --expect-gauge on the gauges above).
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
 #include "core/fingerprint.h"
+#include "core/report.h"
 #include "core/spectral.h"
 #include "device/device.h"
 #include "fastsc/service.h"
@@ -77,6 +79,17 @@ int main(int argc, char** argv) {
       "trace-out", "", "write a Chrome trace-event JSON timeline here");
   const std::string metrics_out = cli.get_string(
       "metrics-out", "", "write a metrics-registry JSON snapshot here");
+  const std::string report_out = cli.get_string(
+      "report-out", "",
+      "write a run-report JSON (with the attribution section) here");
+  const std::string prom_out = cli.get_string(
+      "prom-out", "",
+      "write a Prometheus text-format dump of every metric (SLO latency "
+      "histograms included) here");
+  scfg.job_artifacts_dir = cli.get_string(
+      "job-artifacts-dir", "",
+      "write per-job artifacts (job_<id>.trace.json + "
+      "job_<id>.attribution.json) into this directory");
   if (!run) {
     cli.print_help();
     return 0;
@@ -85,6 +98,15 @@ int main(int argc, char** argv) {
   // Tracing must be on before the DeviceContext records its first event
   // (same rule as the benches — the virtual timeline must be complete).
   if (!trace_out.empty()) obs::trace().set_enabled(true);
+  if (!scfg.job_artifacts_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(scfg.job_artifacts_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "[serve] cannot create %s: %s\n",
+                   scfg.job_artifacts_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
 
   const std::vector<service::TraceOp> ops =
       service::parse_trace_file(trace_path);
@@ -110,16 +132,20 @@ int main(int argc, char** argv) {
   svc.shutdown(/*drain=*/true);
 
   std::vector<double> latencies;
-  std::printf("%-5s %-14s %-10s %-5s %-5s %10s %10s %9s\n", "job", "tag",
-              "status", "hit", "warm", "queue_ms", "solve_ms", "matvecs");
+  std::printf("%-5s %-14s %-10s %-5s %-5s %10s %10s %9s  %s\n", "job", "tag",
+              "status", "hit", "warm", "queue_ms", "solve_ms", "matvecs",
+              "reason");
   for (const service::ReplayedJob& j : replayer.jobs()) {
     const JobResult& r = j.result;
-    std::printf("%-5llu %-14s %-10s %-5d %-5d %10.2f %10.2f %9lld\n",
+    // Rejection/failure detail rides the summary line so a replay log is
+    // self-explaining (which admission gate fired, why a solve died).
+    std::printf("%-5llu %-14s %-10s %-5d %-5d %10.2f %10.2f %9lld  %s\n",
                 static_cast<unsigned long long>(j.id),
                 (j.op.dataset + ":" + j.op.op).c_str(),
                 job_status_name(r.status), r.cache_hit ? 1 : 0,
                 r.warm_started ? 1 : 0, r.queue_ms, r.solve_ms,
-                static_cast<long long>(r.spectral.eig_stats.matvec_count));
+                static_cast<long long>(r.spectral.eig_stats.matvec_count),
+                r.error.empty() ? "-" : r.error.c_str());
     if (r.status == JobStatus::kCompleted && !r.cache_hit) {
       latencies.push_back(r.solve_ms);
     }
@@ -128,6 +154,23 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry& reg = obs::metrics();
   reg.set_gauge("service.latency_p50_ms", percentile(latencies, 0.50));
   reg.set_gauge("service.latency_p99_ms", percentile(latencies, 0.99));
+
+  // SLO percentiles straight from the service's histograms: one set of
+  // gauges per job class that saw traffic, plus the queue-wait vs solve
+  // split.  These (and the histograms themselves) land in --prom-out.
+  const std::vector<double> slo_edges = slo_ms_edges();
+  auto publish_quantiles = [&reg, &slo_edges](const std::string& name) {
+    const obs::Histogram& h = reg.histogram(name, slo_edges);
+    if (h.total_count() == 0) return;
+    reg.set_gauge(name + ".p50", obs::histogram_quantile(h, 0.50));
+    reg.set_gauge(name + ".p95", obs::histogram_quantile(h, 0.95));
+    reg.set_gauge(name + ".p99", obs::histogram_quantile(h, 0.99));
+  };
+  for (const char* cls : {"low", "normal", "high"}) {
+    publish_quantiles(std::string("slo.latency_ms.") + cls);
+  }
+  publish_quantiles("slo.queue_ms");
+  publish_quantiles("slo.solve_ms");
 
   // Warm-vs-cold comparison: re-solve the newest warm-started job's graph
   // cold and compare wave counts + labels.
@@ -181,6 +224,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.cache_entries),
       static_cast<unsigned long long>(stats.cache_bytes));
 
+  std::printf("\n");
+  core::attribution_table(core::collect_attribution(ctx)).print();
+
   obs::publish_device_context(ctx, reg);
   if (!trace_out.empty() && obs::trace().write_json_file(trace_out)) {
     std::fprintf(stderr, "[serve] wrote trace to %s (%zu events)\n",
@@ -188,6 +234,19 @@ int main(int argc, char** argv) {
   }
   if (!metrics_out.empty() && reg.write_json_file(metrics_out)) {
     std::fprintf(stderr, "[serve] wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!report_out.empty()) {
+    core::RunReport report;
+    report.bench = "fastsc_serve";
+    report.attribution = core::collect_attribution(ctx);
+    if (core::write_run_report_json_file(report, report_out)) {
+      std::fprintf(stderr, "[serve] wrote run report to %s\n",
+                   report_out.c_str());
+    }
+  }
+  if (!prom_out.empty() && reg.write_prometheus_file(prom_out)) {
+    std::fprintf(stderr, "[serve] wrote prometheus dump to %s\n",
+                 prom_out.c_str());
   }
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "common/log.h"
 #include "core/fingerprint.h"
 #include "device/device.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/result_cache.h"
@@ -61,7 +62,33 @@ std::uint64_t estimate_device_bytes(const Job& job) {
   return coo + csr + vectors;
 }
 
+/// Observe one finished job into the SLO histograms.  queue_ms covers
+/// admission -> dispatch, solve_ms dispatch -> terminal (0 on cache hits),
+/// and latency is their sum — the queue-wait vs solve split the Prometheus
+/// dump exposes.
+void observe_slo(JobPriority priority, double queue_ms, double solve_ms) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.histogram(std::string("slo.latency_ms.") + job_class_name(priority),
+                slo_ms_edges())
+      .observe(queue_ms + solve_ms);
+  reg.histogram("slo.queue_ms", slo_ms_edges()).observe(queue_ms);
+  reg.histogram("slo.solve_ms", slo_ms_edges()).observe(solve_ms);
+}
+
 }  // namespace
+
+const char* job_class_name(JobPriority p) {
+  switch (p) {
+    case JobPriority::kLow: return "low";
+    case JobPriority::kHigh: return "high";
+    case JobPriority::kNormal: break;
+  }
+  return "normal";
+}
+
+std::vector<double> slo_ms_edges() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+}
 
 const char* job_status_name(JobStatus s) {
   switch (s) {
@@ -192,6 +219,22 @@ struct Service::Impl {
     cancel::Governor governor;
     cancel::GovernorBindScope bind(&governor);
 
+    // Per-job observability: device work mirrors into a job-local
+    // attribution registry, and — when artifacts were requested — into a
+    // job-local trace recorder tee'd at the process-wide one so the global
+    // timeline stays complete.  Both ride ObsBindings into pool workers and
+    // stream threads alongside the governor.
+    obs::AttributionRegistry job_attr;
+    if (ctx != nullptr) job_attr.set_roofline(ctx->attribution().roofline());
+    obs::AttrBindScope attr_bind(&job_attr);
+    const bool artifacts = !config.job_artifacts_dir.empty();
+    obs::TraceRecorder job_trace;
+    if (artifacts) {
+      job_trace.set_enabled(true);
+      job_trace.set_tee(&obs::trace());  // nothing bound yet: the global one
+    }
+    obs::TraceBindScope trace_bind(artifacts ? &job_trace : nullptr);
+
     core::SpectralConfig cfg = s.job.config;
     cfg.cancel_token = s.cancel_source.token();
     const double deadline = s.job.deadline_ms > 0
@@ -206,6 +249,7 @@ struct Service::Impl {
     const service::CacheKey key{s.result.graph_fingerprint,
                                 s.result.config_fingerprint};
 
+    bool cache_hit = false;
     try {
       obs::ScopedSpan span("job:" + (s.job.tag.empty()
                                          ? std::to_string(id)
@@ -214,43 +258,44 @@ struct Service::Impl {
       if (config.enable_cache) {
         if (std::optional<service::CacheEntry> hit = cache.lookup(key)) {
           ++n_cache_hits;
+          cache_hit = true;
           s.result.cache_hit = true;
           s.result.spectral.labels = std::move(hit->labels);
           s.result.spectral.eigenvalues = std::move(hit->eigenvalues);
           s.result.spectral.n = hit->n;
           s.result.spectral.k = hit->k;
-          std::lock_guard lock(mu);
-          finalize_locked(s, JobStatus::kCompleted);
-          return;
+        } else {
+          ++n_cache_misses;
         }
-        ++n_cache_misses;
       }
 
-      // Cache entries should carry a warm-startable checkpoint, so capture
-      // whenever the result could be inserted.
-      if (config.enable_cache || config.enable_warm_start) {
-        cfg.capture_checkpoint = true;
-      }
-      if (config.enable_warm_start) {
-        cfg.warm_start = cache.lookup_warm(
-            s.result.config_fingerprint, s.job.graph.rows, s.job.warm_hint);
-      }
+      if (!cache_hit) {
+        // Cache entries should carry a warm-startable checkpoint, so
+        // capture whenever the result could be inserted.
+        if (config.enable_cache || config.enable_warm_start) {
+          cfg.capture_checkpoint = true;
+        }
+        if (config.enable_warm_start) {
+          cfg.warm_start = cache.lookup_warm(
+              s.result.config_fingerprint, s.job.graph.rows, s.job.warm_hint);
+        }
 
-      core::SpectralResult solved =
-          core::spectral_cluster_graph(s.job.graph, cfg, ctx);
-      s.result.warm_started = solved.warm_started;
-      if (config.enable_cache || config.enable_warm_start) {
-        service::CacheEntry entry;
-        entry.labels = solved.labels;
-        entry.eigenvalues = solved.eigenvalues;
-        entry.n = solved.n;
-        entry.k = solved.k;
-        entry.checkpoint = solved.checkpoint;
-        entry.graph_fp = key.graph_fp;
-        entry.config_fp = key.config_fp;
-        cache.insert(std::move(entry));
+        core::SpectralResult solved =
+            core::spectral_cluster_graph(s.job.graph, cfg, ctx);
+        s.result.warm_started = solved.warm_started;
+        if (config.enable_cache || config.enable_warm_start) {
+          service::CacheEntry entry;
+          entry.labels = solved.labels;
+          entry.eigenvalues = solved.eigenvalues;
+          entry.n = solved.n;
+          entry.k = solved.k;
+          entry.checkpoint = solved.checkpoint;
+          entry.graph_fp = key.graph_fp;
+          entry.config_fp = key.config_fp;
+          cache.insert(std::move(entry));
+        }
+        s.result.spectral = std::move(solved);
       }
-      s.result.spectral = std::move(solved);
     } catch (const cancel::CancelledError& e) {
       end_status = JobStatus::kCancelled;
       s.result.error = e.what();
@@ -259,7 +304,19 @@ struct Service::Impl {
       s.result.error = e.what();
       FASTSC_LOG_WARN("service job " << id << " failed: " << e.what());
     }
-    s.result.solve_ms = ms_between(t0, Clock::now());
+    if (!cache_hit) s.result.solve_ms = ms_between(t0, Clock::now());
+    observe_slo(s.job.priority, s.result.queue_ms, s.result.solve_ms);
+    s.result.attribution = job_attr.report();
+    if (artifacts) {
+      const std::string stem =
+          config.job_artifacts_dir + "/job_" + std::to_string(id);
+      s.result.trace_path = stem + ".trace.json";
+      s.result.attribution_path = stem + ".attribution.json";
+      job_trace.write_json_file(s.result.trace_path);
+      obs::write_attribution_json_file(s.result.attribution_path,
+                                       s.result.attribution,
+                                       job_attr.roofline());
+    }
     std::lock_guard lock(mu);
     finalize_locked(s, end_status);
   }

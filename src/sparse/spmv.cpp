@@ -1,9 +1,11 @@
 #include "sparse/spmv.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.h"
 #include "device/algorithms.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -118,13 +120,20 @@ void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
   const index_t* row_ptr = a.row_ptr.data();
   const index_t* col_idx = a.col_idx.data();
   const real* values = a.values.data();
-  device::launch(ctx, a.rows, [=](index_t r) {
-    real acc = 0;
-    for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-      acc += values[p] * x[col_idx[p]];
-    }
-    y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
-  });
+  const double nnz = static_cast<double>(a.values.size());
+  device::launch(
+      ctx, a.rows,
+      [=](index_t r) {
+        real acc = 0;
+        for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+          acc += values[p] * x[col_idx[p]];
+        }
+        y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+      },
+      device::tagged("spmv.csr", 2.0 * nnz,
+                     nnz * (2.0 * sizeof(real) + sizeof(index_t)) +
+                         (a.rows + 1.0) * sizeof(index_t),
+                     a.rows * static_cast<double>(sizeof(real))));
 }
 
 std::shared_ptr<const MergePathPartition> CsrBalanceCache::get(
@@ -197,6 +206,14 @@ void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
   real* cval = carry_val.data();
   index_t* crow = carry_row.data();
 
+  const double nnz_range =
+      static_cast<double>(part->span_ent.back() - part->span_ent.front());
+  const double rows_range = static_cast<double>(row_end - row_begin);
+  device::LaunchConfig wave_cfg = device::tagged(
+      "spmv.balanced", 2.0 * nnz_range,
+      nnz_range * (2.0 * sizeof(real) + sizeof(index_t)) +
+          (rows_range + 1.0) * sizeof(index_t),
+      rows_range * static_cast<double>(sizeof(real)));
   device::launch(ctx, spans, [=](index_t s) {
     crow[2 * s] = -1;
     crow[2 * s + 1] = -1;
@@ -225,11 +242,12 @@ void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
       crow[2 * s + 1] = r1;
       cval[2 * s + 1] = acc;
     }
-  });
+  }, wave_cfg);
 
   // Sequential fixup: consecutive same-row carries (empty slots skipped)
   // are one boundary row split across spans; fold them in span order.
   const index_t slots = 2 * spans;
+  const double slots_d = static_cast<double>(slots);
   device::launch(ctx, 1, [=](index_t) {
     index_t i = 0;
     while (i < slots) {
@@ -246,7 +264,9 @@ void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
       }
       y[r] = alpha * tot + (beta == 0 ? 0 : beta * y[r]);
     }
-  });
+  }, device::tagged("spmv.balanced_fixup", 2.0 * slots_d,
+                    slots_d * (sizeof(real) + sizeof(index_t)),
+                    slots_d * static_cast<double>(sizeof(real))));
 }
 
 }  // namespace
@@ -277,17 +297,24 @@ void device_csrmm(device::DeviceContext& ctx, const DeviceCsr& a,
   // read once and re-dotted against every input row.  The per-(j, r)
   // accumulation order matches device_csrmv exactly, so Y's row j is
   // bitwise identical to csrmv on X's row j.
-  device::launch(ctx, rows, [=](index_t r) {
-    for (index_t j = 0; j < nvec; ++j) {
-      const real* xj = x + j * cols;
-      real acc = 0;
-      for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-        acc += values[p] * xj[col_idx[p]];
-      }
-      real* yj = y + j * rows;
-      yj[r] = alpha * acc + (beta == 0 ? 0 : beta * yj[r]);
-    }
-  });
+  const double nnz = static_cast<double>(a.values.size());
+  device::launch(
+      ctx, rows,
+      [=](index_t r) {
+        for (index_t j = 0; j < nvec; ++j) {
+          const real* xj = x + j * cols;
+          real acc = 0;
+          for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+            acc += values[p] * xj[col_idx[p]];
+          }
+          real* yj = y + j * rows;
+          yj[r] = alpha * acc + (beta == 0 ? 0 : beta * yj[r]);
+        }
+      },
+      device::tagged("spmv.csrmm", 2.0 * nnz * nvec,
+                     nnz * (sizeof(real) + sizeof(index_t)) +
+                         nnz * nvec * static_cast<double>(sizeof(real)),
+                     static_cast<double>(rows) * nvec * sizeof(real)));
 }
 
 void device_coo2csr(device::DeviceContext& ctx, const DeviceCoo& coo,
@@ -306,18 +333,25 @@ void device_coo2csr(device::DeviceContext& ctx, const DeviceCoo& coo,
 
   // Each thread r finds the first entry with row >= r by binary search over
   // the sorted row-index array — the standard GPU coo2csr formulation.
-  device::launch(ctx, n_rows + 1, [=](index_t r) {
-    index_t lo = 0, hi = nnz;
-    while (lo < hi) {
-      const index_t mid = lo + (hi - lo) / 2;
-      if (rows_in[mid] < r) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    row_ptr[r] = lo;
-  });
+  obs::AttrSiteScope attr_site("sparse.coo2csr");
+  const double probes = std::ceil(std::log2(static_cast<double>(nnz) + 2.0));
+  device::launch(
+      ctx, n_rows + 1,
+      [=](index_t r) {
+        index_t lo = 0, hi = nnz;
+        while (lo < hi) {
+          const index_t mid = lo + (hi - lo) / 2;
+          if (rows_in[mid] < r) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        row_ptr[r] = lo;
+      },
+      device::tagged("sparse.coo2csr", (n_rows + 1.0) * probes,
+                     (n_rows + 1.0) * probes * sizeof(index_t),
+                     (n_rows + 1.0) * sizeof(index_t)));
 
   device::transform(ctx, coo.col_idx.data(), out.col_idx.data(), nnz,
                     [](index_t c) { return c; });
@@ -370,10 +404,14 @@ void device_cscmv(device::DeviceContext& ctx, const DeviceCsc& a, const real* x,
   const index_t rows = a.rows;
   const index_t cols = a.cols;
   // Scale/clear the output first.
+  obs::AttrSiteScope attr_site("spmv.csc");
   if (beta == 0) {
     device::fill(ctx, y, rows, real{0});
   } else if (beta != 1) {
-    device::launch(ctx, rows, [=](index_t i) { y[i] *= beta; });
+    device::launch(ctx, rows, [=](index_t i) { y[i] *= beta; },
+                   device::tagged("spmv.csc", static_cast<double>(rows),
+                                  rows * static_cast<double>(sizeof(real)),
+                                  rows * static_cast<double>(sizeof(real))));
   }
   if (a.nnz() == 0 || alpha == 0) {
     return;
@@ -386,6 +424,12 @@ void device_cscmv(device::DeviceContext& ctx, const DeviceCsc& a, const real* x,
   // slice, then a row-parallel reduction folds the partials into y (the
   // deterministic stand-in for GPU atomics).
   WallTimer t;
+  const double nnz = static_cast<double>(a.nnz());
+  const obs::KernelCost scatter_cost{
+      "spmv.csc", 2.0 * nnz,
+      nnz * (2.0 * sizeof(real) + sizeof(index_t)) +
+          (cols + 1.0) * sizeof(index_t),
+      nnz * static_cast<double>(sizeof(real))};
   const auto workers = static_cast<index_t>(ctx.pool().worker_count());
   if (workers == 1) {
     for (index_t c = 0; c < cols; ++c) {
@@ -395,7 +439,7 @@ void device_cscmv(device::DeviceContext& ctx, const DeviceCsc& a, const real* x,
         y[row_idx[p]] += s * values[p];
       }
     }
-    ctx.record_kernel(t.seconds());
+    ctx.record_kernel(t.seconds(), -1.0, scatter_cost);
     return;
   }
   std::vector<real> partials(
@@ -414,12 +458,21 @@ void device_cscmv(device::DeviceContext& ctx, const DeviceCsc& a, const real* x,
     }
   };
   ctx.run_compute(job);
-  ctx.record_kernel(t.seconds());
-  device::launch(ctx, rows, [&partials, y, workers, rows](index_t i) {
-    real acc = 0;
-    for (index_t w = 0; w < workers; ++w) acc += partials[w * rows + i];
-    y[i] += acc;
-  });
+  ctx.record_kernel(t.seconds(), -1.0, scatter_cost);
+  const double reduce_reads =
+      static_cast<double>(workers) * rows * sizeof(real);
+  device::launch(ctx, rows,
+                 [&partials, y, workers, rows](index_t i) {
+                   real acc = 0;
+                   for (index_t w = 0; w < workers; ++w) {
+                     acc += partials[w * rows + i];
+                   }
+                   y[i] += acc;
+                 },
+                 device::tagged("spmv.csc_reduce",
+                                static_cast<double>(workers) * rows,
+                                reduce_reads,
+                                rows * static_cast<double>(sizeof(real))));
 }
 
 void device_bsrmv(device::DeviceContext& ctx, const DeviceBsr& a, const real* x,
@@ -430,6 +483,13 @@ void device_bsrmv(device::DeviceContext& ctx, const DeviceBsr& a, const real* x,
   const real* values = a.values.data();
   const index_t rows = a.rows;
   const index_t cols = a.cols;
+  const double nblk = static_cast<double>(a.block_col_idx.size());
+  const double blk2 = static_cast<double>(b) * b;
+  device::LaunchConfig bsr_cfg = device::tagged(
+      "spmv.bsr", 2.0 * nblk * blk2,
+      nblk * (blk2 + static_cast<double>(b)) * sizeof(real) +
+          nblk * sizeof(index_t) + (a.block_rows + 1.0) * sizeof(index_t),
+      rows * static_cast<double>(sizeof(real)));
   device::launch(ctx, a.block_rows, [=](index_t br) {
     const index_t r_lo = br * b;
     const index_t r_hi = r_lo + b < rows ? r_lo + b : rows;
@@ -443,7 +503,7 @@ void device_bsrmv(device::DeviceContext& ctx, const DeviceBsr& a, const real* x,
       }
       y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
     }
-  });
+  }, bsr_cfg);
 }
 
 std::vector<Csr> split_csr_col_blocks(const Csr& a, index_t num_blocks,
@@ -507,6 +567,7 @@ DeviceCsrColBlocks split_device_csr_col_blocks(device::DeviceContext& ctx,
   }
   out.blocks.resize(static_cast<usize>(nb));
 
+  obs::AttrSiteScope attr_site("sparse.col_blocks");
   const index_t n = a.rows;
   const index_t* src_row_ptr = a.row_ptr.data();
   const index_t* src_col_idx = a.col_idx.data();
@@ -537,7 +598,7 @@ DeviceCsrColBlocks split_device_csr_col_blocks(device::DeviceContext& ctx,
       const index_t* last = std::lower_bound(first, row_hi, c_hi);
       lop[r] = static_cast<index_t>(first - src_col_idx);
       hip[r] = static_cast<index_t>(last - src_col_idx);
-    });
+    }, device::tagged("sparse.col_blocks"));
     // Exclusive scan of per-row counts into the block's row_ptr (a real
     // implementation would use a parallel scan; the simulated device runs
     // it as one sequential kernel).
@@ -549,7 +610,9 @@ DeviceCsrColBlocks split_device_csr_col_blocks(device::DeviceContext& ctx,
         blk_row_ptr[r + 1] = acc;
       }
       totalp[0] = acc;
-    });
+    }, device::tagged("sparse.col_blocks", static_cast<double>(n),
+                      2.0 * n * sizeof(index_t),
+                      (n + 2.0) * sizeof(index_t)));
     // The only PCIe traffic: one nnz count to size the block's arrays.
     index_t blk_nnz = 0;
     total.copy_to_host(std::span<index_t>(&blk_nnz, 1));
@@ -564,7 +627,10 @@ DeviceCsrColBlocks split_device_csr_col_blocks(device::DeviceContext& ctx,
         blk_col_idx[dst] = src_col_idx[p];
         blk_values[dst] = src_values[p];
       }
-    });
+    }, device::tagged(
+           "sparse.col_blocks", static_cast<double>(blk_nnz),
+           blk_nnz * (static_cast<double>(sizeof(real)) + sizeof(index_t)),
+           blk_nnz * (static_cast<double>(sizeof(real)) + sizeof(index_t))));
   }
   return out;
 }
@@ -577,27 +643,43 @@ void device_csrmv_range(device::DeviceContext& ctx, const DeviceCsr& a,
   const index_t* row_ptr = a.row_ptr.data();
   const index_t* col_idx = a.col_idx.data();
   const real* values = a.values.data();
-  device::launch(ctx, row_end - row_begin, [=](index_t i) {
-    const index_t r = row_begin + i;
-    real acc = 0;
-    for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-      acc += values[p] * x[col_idx[p]];
-    }
-    y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
-  });
+  // Entry count of the row slice is device-resident; prorate total nnz by
+  // the row fraction for the cost model rather than paying a transfer.
+  const double frac = a.rows > 0
+                          ? static_cast<double>(row_end - row_begin) / a.rows
+                          : 0.0;
+  const double nnz_est = static_cast<double>(a.values.size()) * frac;
+  device::launch(
+      ctx, row_end - row_begin,
+      [=](index_t i) {
+        const index_t r = row_begin + i;
+        real acc = 0;
+        for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+          acc += values[p] * x[col_idx[p]];
+        }
+        y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+      },
+      device::tagged("spmv.csr_range", 2.0 * nnz_est,
+                     nnz_est * (2.0 * sizeof(real) + sizeof(index_t)),
+                     (row_end - row_begin) *
+                         static_cast<double>(sizeof(real))));
 }
 
 void device_sort_coo(device::DeviceContext& ctx, DeviceCoo& coo) {
   const index_t nnz = coo.nnz();
   if (nnz <= 1) return;
+  obs::AttrSiteScope attr_site("sparse.sort_coo");
   device::DeviceBuffer<index_t> keys(ctx, static_cast<usize>(nnz));
   device::DeviceBuffer<index_t> perm(ctx, static_cast<usize>(nnz));
   const index_t cols = coo.cols;
   const index_t* rows_in = coo.row_idx.data();
   const index_t* cols_in = coo.col_idx.data();
   index_t* keyp = keys.data();
-  device::launch(ctx, nnz,
-                 [=](index_t e) { keyp[e] = rows_in[e] * cols + cols_in[e]; });
+  device::launch(
+      ctx, nnz,
+      [=](index_t e) { keyp[e] = rows_in[e] * cols + cols_in[e]; },
+      device::tagged("sparse.sort_coo", 2.0 * nnz, 2.0 * nnz * sizeof(index_t),
+                     static_cast<double>(nnz) * sizeof(index_t)));
   device::sequence(ctx, perm.data(), nnz, index_t{0});
   device::sort_by_key(ctx, keys.data(), perm.data(), nnz);
 

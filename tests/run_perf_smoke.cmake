@@ -46,6 +46,7 @@ execute_process(
           --metrics "${metrics_json}"
           --expect-counter spmv.wave_max_nnz
           --expect-gauge-ratio "spmv.rowchunk_wave_max_nnz/spmv.wave_max_nnz>=2"
+          --report "${report_json}"
   RESULT_VARIABLE check_rc
   OUTPUT_VARIABLE check_out
   ERROR_VARIABLE check_err)

@@ -31,10 +31,15 @@ set(report_json "${WORKDIR}/BENCH_service.json")
 # rejected with kOverloaded.  --ncv=16 keeps the Krylov basis lean so the
 # cold solve pays several thick restarts — the baseline the warm-start
 # ratio below is measured against.
+set(prom_out "${WORKDIR}/metrics.prom")
+set(serve_report "${WORKDIR}/serve_report.json")
+set(job_artifacts "${WORKDIR}/jobs")
 execute_process(
   COMMAND "${SERVE}"
           --trace=${TRACE} --workers=2 --job-quota-mb=4 --ncv=16
           --trace-out=${trace_json} --metrics-out=${metrics_json}
+          --prom-out=${prom_out} --report-out=${serve_report}
+          --job-artifacts-dir=${job_artifacts}
   RESULT_VARIABLE serve_rc
   OUTPUT_VARIABLE serve_out
   ERROR_VARIABLE serve_err)
@@ -43,11 +48,50 @@ if(NOT serve_rc EQUAL 0)
   message(FATAL_ERROR "fastsc_serve failed (rc=${serve_rc})\n"
           "stdout:\n${serve_out}\nstderr:\n${serve_err}")
 endif()
-foreach(artifact "${trace_json}" "${metrics_json}")
+foreach(artifact "${trace_json}" "${metrics_json}" "${prom_out}"
+        "${serve_report}")
   if(NOT EXISTS "${artifact}")
     message(FATAL_ERROR "fastsc_serve did not write ${artifact}")
   endif()
 endforeach()
+
+# Per-job artifacts: the trace's first solve (job 1) must have produced a
+# trace + attribution pair, and the attribution must not be empty.
+foreach(artifact "${job_artifacts}/job_1.trace.json"
+        "${job_artifacts}/job_1.attribution.json")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "fastsc_serve did not write ${artifact}")
+  endif()
+endforeach()
+file(READ "${job_artifacts}/job_1.attribution.json" job1_attr)
+if(NOT job1_attr MATCHES "spmv\\.")
+  message(FATAL_ERROR "job_1.attribution.json has no spmv.* sites")
+endif()
+
+# SLO layer: the Prometheus dump must expose the latency histograms and the
+# derived percentile gauges in text exposition format.
+file(READ "${prom_out}" prom)
+foreach(needle
+        "# TYPE slo_latency_ms_normal histogram"
+        "slo_latency_ms_normal_bucket"
+        "slo_queue_ms_sum"
+        "slo_solve_ms_count"
+        "# TYPE slo_latency_ms_normal_p99 gauge")
+  if(NOT prom MATCHES "${needle}")
+    message(FATAL_ERROR "prometheus dump missing '${needle}'")
+  endif()
+endforeach()
+
+# The serve run report carries the process-wide attribution section.
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" --report "${serve_report}"
+  RESULT_VARIABLE attr_rc
+  OUTPUT_VARIABLE attr_out
+  ERROR_VARIABLE attr_err)
+message(STATUS "${attr_out}${attr_err}")
+if(NOT attr_rc EQUAL 0)
+  message(FATAL_ERROR "serve report attribution check failed (rc=${attr_rc})")
+endif()
 
 execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"

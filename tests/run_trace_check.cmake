@@ -4,8 +4,10 @@
 #      clause: execute_process splits list arguments on ';'),
 #   2. validate the trace JSON with tools/check_trace.py, cross-checking the
 #      recomputed transfer-x-kernel overlap against the published
-#      device.overlapped_seconds gauge (1e-9 tolerance) and requiring the
-#      fault.transfer_retry counter series the retried faults must emit.
+#      device.overlapped_seconds gauge (1e-9 tolerance), requiring the
+#      fault.transfer_retry counter series the retried faults must emit,
+#      and validating the run report's attribution section (site-name
+#      discipline, per-site sums vs device counters).
 #
 # Expected -D definitions: BENCH (bench executable), PYTHON (python3),
 # CHECKER (tools/check_trace.py), WORKDIR (scratch directory).
@@ -46,6 +48,7 @@ execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
           --metrics "${metrics_json}" --tolerance 1e-9
           --expect-counter fault.transfer_retry
+          --report "${report_json}"
   RESULT_VARIABLE check_rc
   OUTPUT_VARIABLE check_out
   ERROR_VARIABLE check_err)

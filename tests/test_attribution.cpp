@@ -1,0 +1,270 @@
+// Attribution registry, site scopes, and the conservation laws the report
+// layer relies on: per-site sums must reproduce the DeviceCounters totals
+// for a full spectral_cluster_graph run on every backend.
+#include "obs/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/spectral.h"
+#include "data/sbm.h"
+#include "device/device.h"
+
+namespace fastsc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Roofline model and registry unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(RooflineModel, AttainableIsMinOfCeilings) {
+  obs::RooflineModel m;
+  m.peak_flops = 100.0;
+  m.bandwidth_bytes_per_sec = 10.0;
+  EXPECT_DOUBLE_EQ(m.attainable_flops(2.0), 20.0);    // bandwidth-bound
+  EXPECT_DOUBLE_EQ(m.attainable_flops(50.0), 100.0);  // compute-bound
+  EXPECT_DOUBLE_EQ(m.attainable_flops(10.0), 100.0);  // the ridge point
+}
+
+TEST(AttributionRegistry, AccumulatesPerSite) {
+  obs::AttributionRegistry reg;
+  reg.record_kernel("spmv.balanced", 0.5, 100.0, 800.0, 400.0);
+  reg.record_kernel("spmv.balanced", 0.25, 50.0, 80.0, 40.0);
+  reg.record_transfer("copy.h2d", 1024, 0.125, /*h2d=*/true);
+  reg.record_transfer("copy.h2d", 512, 0.0625, /*h2d=*/false);
+
+  ASSERT_EQ(reg.site_count(), 2u);
+  const auto rows = reg.report();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].site, "copy.h2d");  // report rows sort by site name
+  EXPECT_EQ(rows[1].site, "spmv.balanced");
+
+  const obs::SiteStats& spmv = rows[1].stats;
+  EXPECT_EQ(spmv.kernel_launches, 2u);
+  EXPECT_DOUBLE_EQ(spmv.kernel_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(spmv.flops, 150.0);
+  EXPECT_DOUBLE_EQ(spmv.bytes_read, 880.0);
+  EXPECT_DOUBLE_EQ(spmv.bytes_written, 440.0);
+  EXPECT_EQ(spmv.transfers_h2d, 0u);
+
+  const obs::SiteStats& copy = rows[0].stats;
+  EXPECT_EQ(copy.transfers_h2d, 1u);
+  EXPECT_EQ(copy.transfers_d2h, 1u);
+  EXPECT_EQ(copy.bytes_h2d, 1024u);
+  EXPECT_EQ(copy.bytes_d2h, 512u);
+  EXPECT_DOUBLE_EQ(copy.transfer_seconds, 0.1875);
+  EXPECT_EQ(copy.kernel_launches, 0u);
+
+  const obs::SiteStats t = reg.totals();
+  EXPECT_EQ(t.kernel_launches, 2u);
+  EXPECT_EQ(t.bytes_h2d, 1024u);
+  EXPECT_EQ(t.bytes_d2h, 512u);
+  EXPECT_DOUBLE_EQ(t.kernel_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(t.transfer_seconds, 0.1875);
+  EXPECT_DOUBLE_EQ(t.flops, 150.0);
+
+  reg.clear();
+  EXPECT_EQ(reg.site_count(), 0u);
+}
+
+TEST(AttributionRegistry, ReportUsesSharedDerivedFormulas) {
+  obs::RooflineModel m;
+  m.peak_flops = 1e6;
+  m.bandwidth_bytes_per_sec = 1e3;
+  obs::AttributionRegistry reg;
+  reg.set_roofline(m);
+  reg.record_kernel("gemm.tiny", 0.5, 400.0, 100.0, 100.0);
+
+  const auto rows = reg.report();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].arithmetic_intensity,
+                   obs::arithmetic_intensity(rows[0].stats));
+  EXPECT_DOUBLE_EQ(rows[0].roofline_utilization,
+                   obs::roofline_utilization(rows[0].stats, m));
+  // intensity = 400 / 200 = 2 flops/byte -> attainable = 2e3 flop/s;
+  // achieved = 400 / 0.5 = 800 flop/s -> utilization 0.4.
+  EXPECT_DOUBLE_EQ(rows[0].arithmetic_intensity, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].roofline_utilization, 0.4);
+}
+
+TEST(AttributionRegistry, TransferOnlySiteUsesLinkUtilization) {
+  obs::RooflineModel m;
+  m.peak_flops = 1e12;
+  m.bandwidth_bytes_per_sec = 1000.0;
+  obs::AttributionRegistry reg;
+  reg.set_roofline(m);
+  // 500 bytes in 1 s over a 1000 B/s link: half the link.
+  reg.record_transfer("copy.h2d", 500, 1.0, /*h2d=*/true);
+  const auto rows = reg.report();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].roofline_utilization, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local site scopes and per-job registry binding.
+// ---------------------------------------------------------------------------
+
+TEST(AttrSiteScope, InnermostWinsAndRestores) {
+  EXPECT_EQ(obs::current_attr_site(), nullptr);
+  {
+    obs::AttrSiteScope outer("stage.similarity");
+    EXPECT_STREQ(obs::current_attr_site(), "stage.similarity");
+    {
+      obs::AttrSiteScope inner("spmv.balanced");
+      EXPECT_STREQ(obs::current_attr_site(), "spmv.balanced");
+    }
+    EXPECT_STREQ(obs::current_attr_site(), "stage.similarity");
+  }
+  EXPECT_EQ(obs::current_attr_site(), nullptr);
+}
+
+TEST(AttrSiteScope, TagsLaunchesWithoutExplicitSite) {
+  device::DeviceContext ctx(1);
+  {
+    obs::AttrSiteScope scope("test.scoped");
+    device::launch(ctx, 16, [](index_t) {});
+  }
+  const auto rows = ctx.attribution().report();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].site, "test.scoped");
+  EXPECT_EQ(rows[0].stats.kernel_launches, 1u);
+  EXPECT_GT(rows[0].stats.flops, 0.0);
+}
+
+TEST(AttrSiteScope, ExplicitLaunchSiteWinsOverScope) {
+  device::DeviceContext ctx(1);
+  obs::AttrSiteScope scope("test.scoped");
+  device::LaunchConfig cfg;
+  cfg.site = "test.explicit";
+  device::launch(ctx, 8, [](index_t) {}, cfg);
+  const auto rows = ctx.attribution().report();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].site, "test.explicit");
+}
+
+TEST(AttrBindScope, MirrorsIntoBoundRegistry) {
+  device::DeviceContext ctx(1);
+  obs::AttributionRegistry job;
+  {
+    obs::AttrBindScope bind(&job);
+    EXPECT_EQ(obs::bound_attribution(), &job);
+    device::LaunchConfig cfg;
+    cfg.site = "test.mirrored";
+    device::launch(ctx, 8, [](index_t) {}, cfg);
+    std::vector<double> host(32, 1.0);
+    device::DeviceBuffer<double> dev(ctx, std::span<const double>(host));
+  }
+  EXPECT_EQ(obs::bound_attribution(), nullptr);
+
+  // Both the context-owned and the bound per-job registry saw the work.
+  const obs::SiteStats ctx_totals = ctx.attribution().totals();
+  const obs::SiteStats job_totals = job.totals();
+  EXPECT_EQ(job_totals.kernel_launches, 1u);
+  EXPECT_EQ(job_totals.bytes_h2d, 32u * sizeof(double));
+  EXPECT_EQ(ctx_totals.kernel_launches, job_totals.kernel_launches);
+  EXPECT_EQ(ctx_totals.bytes_h2d, job_totals.bytes_h2d);
+  EXPECT_DOUBLE_EQ(ctx_totals.kernel_seconds, job_totals.kernel_seconds);
+  EXPECT_DOUBLE_EQ(ctx_totals.transfer_seconds, job_totals.transfer_seconds);
+
+  // Work after the scope ends stays out of the job registry.
+  device::launch(ctx, 8, [](index_t) {});
+  EXPECT_EQ(job.totals().kernel_launches, 1u);
+  EXPECT_EQ(ctx.attribution().totals().kernel_launches, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation properties over a full pipeline run: the per-site breakdown
+// must sum back to the DeviceCounters totals, every launch must carry a
+// modeled cost, and no work may land in the "unattributed" bucket.
+// ---------------------------------------------------------------------------
+
+class AttributionPipeline : public ::testing::TestWithParam<core::Backend> {};
+
+TEST_P(AttributionPipeline, SiteSumsReproduceDeviceCounters) {
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(200, 4);
+  p.p_in = 0.4;
+  p.p_out = 0.02;
+  p.seed = 3;
+  const data::SbmGraph g = data::make_sbm(p);
+
+  core::SpectralConfig cfg;
+  cfg.num_clusters = 4;
+  cfg.backend = GetParam();
+  cfg.seed = 5;
+  device::DeviceContext ctx(2);
+  const core::SpectralResult result =
+      core::spectral_cluster_graph(g.w, cfg, &ctx);
+  EXPECT_TRUE(result.eig_converged);
+
+  const auto rows = ctx.attribution().report();
+  const device::DeviceCounters& c = ctx.counters();
+  if (GetParam() == core::Backend::kDevice) {
+    // The device pipeline must produce an attributed breakdown.
+    ASSERT_FALSE(rows.empty());
+    ASSERT_GT(c.kernel_launches, 0u);
+  } else if (c.kernel_launches == 0 && c.transfers_h2d == 0 &&
+             c.transfers_d2h == 0) {
+    // Host baselines never touch the device: no phantom attribution.
+    EXPECT_TRUE(rows.empty());
+    return;
+  }
+
+  std::uint64_t launches = 0, th2d = 0, td2h = 0, bh2d = 0, bd2h = 0;
+  double kernel_seconds = 0, transfer_seconds = 0;
+  for (const auto& r : rows) {
+    EXPECT_NE(r.site, "unattributed");
+    EXPECT_GE(r.stats.flops, 0.0) << r.site;
+    EXPECT_GE(r.stats.bytes_read, 0.0) << r.site;
+    EXPECT_GE(r.stats.bytes_written, 0.0) << r.site;
+    EXPECT_GE(r.stats.kernel_seconds, 0.0) << r.site;
+    EXPECT_GE(r.stats.transfer_seconds, 0.0) << r.site;
+    // Every launch models a nonzero flop count (the default ladder
+    // guarantees >= 1 flop even for n == 0 launches).
+    if (r.stats.kernel_launches > 0) {
+      EXPECT_GT(r.stats.flops, 0.0) << r.site;
+    }
+    if (r.stats.total_seconds() > 0) {
+      EXPECT_GT(r.roofline_utilization, 0.0) << r.site;
+      EXPECT_LE(r.roofline_utilization, 1.0) << r.site;
+    }
+    launches += r.stats.kernel_launches;
+    th2d += r.stats.transfers_h2d;
+    td2h += r.stats.transfers_d2h;
+    bh2d += r.stats.bytes_h2d;
+    bd2h += r.stats.bytes_d2h;
+    kernel_seconds += r.stats.kernel_seconds;
+    transfer_seconds += r.stats.transfer_seconds;
+  }
+
+  // Counts and bytes are exact integers: sums must match the device totals
+  // exactly, not approximately.
+  EXPECT_EQ(launches, c.kernel_launches);
+  EXPECT_EQ(th2d, c.transfers_h2d);
+  EXPECT_EQ(td2h, c.transfers_d2h);
+  EXPECT_EQ(bh2d, c.bytes_h2d);
+  EXPECT_EQ(bd2h, c.bytes_d2h);
+  // Seconds are the same doubles the counters accumulated; only summation
+  // order differs, so the tolerance is far below any modeled duration.
+  EXPECT_NEAR(kernel_seconds, c.kernel_seconds, 1e-6);
+  EXPECT_NEAR(transfer_seconds, c.modeled_transfer_seconds, 1e-6);
+
+  // totals() must agree with summing the report rows.
+  const obs::SiteStats t = ctx.attribution().totals();
+  EXPECT_EQ(t.kernel_launches, launches);
+  EXPECT_EQ(t.bytes_h2d, bh2d);
+  EXPECT_EQ(t.bytes_d2h, bd2h);
+  EXPECT_NEAR(t.kernel_seconds, kernel_seconds, 1e-12);
+  EXPECT_NEAR(t.transfer_seconds, transfer_seconds, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AttributionPipeline,
+                         ::testing::Values(core::Backend::kDevice,
+                                           core::Backend::kMatlabLike,
+                                           core::Backend::kPythonLike));
+
+}  // namespace
+}  // namespace fastsc

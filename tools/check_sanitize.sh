@@ -37,6 +37,7 @@ TESTS=(
   test_spectral_pipeline
   test_trace
   test_metrics_registry
+  test_attribution
   test_fault_injection
   test_degradation
   test_irlm_checkpoint

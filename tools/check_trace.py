@@ -28,6 +28,14 @@ Checks, in order:
      "NAME<=MAX", repeatable, requires --metrics): fail unless the gauge
      exists in the metrics snapshot and satisfies the bound.  service_smoke
      uses this for service.warm_vs_cold_ari >= 1.
+  8. Optional run-report attribution check (--report report.json): the
+     report's "attribution" section must use disciplined site names
+     (dotted lowercase identifiers, no "unattributed" bucket), carry only
+     non-negative counters, have nonzero flops on every site that launched
+     a kernel, keep roofline utilization in (0, 1], and its per-site sums
+     must reproduce the device-counter totals — byte/launch/transfer
+     counts exactly, seconds within --seconds-tolerance.  The trace
+     argument is optional when --report is given.
 
 Exit status 0 on success; 1 with a message on the first failure.
 
@@ -36,6 +44,7 @@ Usage:
                  [--expect-counter fault.transfer_retry]
                  [--expect-gauge-ratio "a.max/b.max>=2"]
                  [--expect-gauge "service.warm_vs_cold_ari>=1"]
+                 [--report report.json] [--seconds-tolerance 1e-6]
 """
 
 import argparse
@@ -282,9 +291,89 @@ def check_gauges(metrics_path, specs):
         print(f"check_trace: gauge OK — {name} = {value:g} {op} {bound:g}")
 
 
+SITE_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+COUNT_FIELDS = ("kernel_launches", "transfers_h2d", "transfers_d2h",
+                "bytes_h2d", "bytes_d2h")
+MODEL_FIELDS = ("flops", "bytes_read", "bytes_written", "kernel_seconds",
+                "transfer_seconds")
+
+
+def check_report_attribution(report_path, seconds_tol):
+    """Validate the run report's attribution section (check #8)."""
+    with open(report_path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    attr = report.get("attribution")
+    if not isinstance(attr, dict):
+        fail(f"{report_path} has no 'attribution' section")
+    sites = attr.get("sites")
+    if not isinstance(sites, list) or not sites:
+        fail(f"{report_path}: attribution.sites missing or empty")
+    roofline = attr.get("roofline", {})
+    for key in ("peak_flops", "bandwidth_bytes_per_sec"):
+        if not (isinstance(roofline.get(key), (int, float))
+                and roofline[key] > 0):
+            fail(f"{report_path}: attribution.roofline.{key} missing or "
+                 f"non-positive")
+
+    sums = {k: 0 for k in COUNT_FIELDS}
+    sums.update({k: 0.0 for k in MODEL_FIELDS})
+    for s in sites:
+        name = s.get("site", "")
+        if not SITE_RE.fullmatch(name):
+            fail(f"{report_path}: site name '{name}' violates the dotted "
+                 f"lowercase-identifier convention")
+        if name == "unattributed":
+            fail(f"{report_path}: 'unattributed' bucket present — some "
+                 f"launch or transfer is missing a site tag")
+        for field in COUNT_FIELDS + MODEL_FIELDS:
+            v = s.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{report_path}: site '{name}' field '{field}' "
+                     f"missing or negative ({v!r})")
+            sums[field] += v
+        if s["kernel_launches"] > 0 and s["flops"] <= 0:
+            fail(f"{report_path}: site '{name}' launched "
+                 f"{s['kernel_launches']} kernels but modeled 0 flops")
+        util = s.get("roofline_utilization")
+        if not isinstance(util, (int, float)):
+            fail(f"{report_path}: site '{name}' missing "
+                 f"roofline_utilization")
+        has_work = s["kernel_seconds"] + s["transfer_seconds"] > 0
+        if has_work and not 0 < util <= 1:
+            fail(f"{report_path}: site '{name}' roofline_utilization "
+                 f"{util!r} outside (0, 1]")
+
+    dc = attr.get("device_counters")
+    if not isinstance(dc, dict):
+        fail(f"{report_path}: attribution.device_counters missing")
+    exact = (("kernel_launches", "kernel_launches"),
+             ("bytes_h2d", "bytes_h2d"), ("bytes_d2h", "bytes_d2h"),
+             ("transfers_h2d", "transfers_h2d"),
+             ("transfers_d2h", "transfers_d2h"))
+    for site_field, dc_field in exact:
+        if sums[site_field] != dc.get(dc_field):
+            fail(f"{report_path}: per-site {site_field} sums to "
+                 f"{sums[site_field]} but device counters say "
+                 f"{dc.get(dc_field)!r}")
+    near = (("kernel_seconds", "kernel_seconds"),
+            ("transfer_seconds", "modeled_transfer_seconds"))
+    for site_field, dc_field in near:
+        want = dc.get(dc_field, 0.0)
+        if abs(sums[site_field] - want) > seconds_tol:
+            fail(f"{report_path}: per-site {site_field} sums to "
+                 f"{sums[site_field]!r} but device counters say {want!r} "
+                 f"(|diff| > {seconds_tol:g})")
+    print(f"check_trace: attribution OK — {len(sites)} sites, "
+          f"{sums['kernel_launches']} launches, seconds sums match device "
+          f"counters within {seconds_tol:g}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("trace", help="trace JSON written with --trace-out")
+    ap.add_argument("trace", nargs="?",
+                    help="trace JSON written with --trace-out (optional "
+                         "when only --report is being validated)")
     ap.add_argument("--metrics",
                     help="metrics JSON written with --metrics-out; "
                          "cross-check overlapped_seconds against the trace")
@@ -303,7 +392,20 @@ def main():
                     help="fail unless the metrics gauge exists and satisfies "
                          "the bound; NAME>=MIN or NAME<=MAX (repeatable; "
                          "requires --metrics)")
+    ap.add_argument("--report", metavar="REPORT.json",
+                    help="run-report JSON (--report-out); validate its "
+                         "attribution section against the device counters")
+    ap.add_argument("--seconds-tolerance", type=float, default=1e-6,
+                    help="absolute tolerance for the attribution seconds "
+                         "sums (default 1e-6)")
     args = ap.parse_args()
+
+    if args.report:
+        check_report_attribution(args.report, args.seconds_tolerance)
+    if args.trace is None:
+        if not args.report:
+            ap.error("a trace argument or --report is required")
+        sys.exit(0)
 
     events = load_events(args.trace)
     phases = check_schema(events)
