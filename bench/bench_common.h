@@ -272,4 +272,24 @@ inline void maybe_write_run_report(const CommonFlags& flags,
   }
 }
 
+/// Group variant: the attribution section merges every device's registry
+/// (core::collect_attribution(DeviceGroup)), so the report's exact-sum
+/// invariants span the whole group.
+inline void maybe_write_run_report(const CommonFlags& flags,
+                                   const std::string& bench,
+                                   std::vector<core::BackendRuns> datasets,
+                                   std::vector<TextTable> tables,
+                                   const device::DeviceGroup& group) {
+  if (flags.report_out.empty()) return;
+  core::RunReport report;
+  report.bench = bench;
+  report.datasets = std::move(datasets);
+  report.tables = std::move(tables);
+  report.attribution = core::collect_attribution(group);
+  if (core::write_run_report_json_file(report, flags.report_out)) {
+    std::fprintf(stderr, "[bench] wrote run report to %s\n",
+                 flags.report_out.c_str());
+  }
+}
+
 }  // namespace fastsc::bench

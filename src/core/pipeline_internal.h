@@ -1,0 +1,33 @@
+// Pipeline-internal helpers shared by the single-device driver
+// (core/spectral.cpp) and the multi-device sharded driver (core/sharded.cpp).
+// Not part of the public API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spectral.h"
+
+namespace fastsc::core::detail {
+
+/// Build the (n x k) spectral embedding from the eigenvectors of the
+/// symmetric operator S = D^-1/2 W D^-1/2 (row-major k x n input).
+///
+/// The paper's Step 3 asks for eigenvectors of D^-1 W; those are
+/// v_rw = D^-1/2 u_sym, so each vertex row is scaled by 1/sqrt(d_j) and the
+/// resulting eigenvectors are renormalized to unit length before k-means
+/// (paper Step 4 clusters the rows of this matrix).
+[[nodiscard]] std::vector<real> to_embedding(
+    const std::vector<real>& vectors,
+    const std::vector<real>& inv_sqrt_degree, index_t k, index_t n);
+
+/// Record one degradation decision: result report + degrade.* counters +
+/// trace counter + a WARN so unattended runs leave an audit trail.
+void note_degradation(SpectralResult& result, const char* stage,
+                      const char* action, const std::string& reason);
+
+/// Lanczos configuration derived from the pipeline configuration.
+[[nodiscard]] lanczos::LanczosConfig eig_config(const SpectralConfig& cfg,
+                                                index_t n);
+
+}  // namespace fastsc::core::detail

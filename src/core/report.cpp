@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/log.h"
+#include "device/device_group.h"
 #include "metrics/cut.h"
 #include "metrics/external.h"
 #include "obs/json.h"
@@ -98,6 +99,38 @@ AttributionReport collect_attribution(const device::DeviceContext& ctx) {
   return a;
 }
 
+AttributionReport collect_attribution(const device::DeviceGroup& group) {
+  AttributionReport a;
+  a.present = true;
+  a.roofline = group.device(0).attribution().roofline();
+  std::map<std::string, obs::SiteStats> merged;
+  for (usize i = 0; i < group.size(); ++i) {
+    for (const obs::SiteReport& r : group.device(i).attribution().report()) {
+      obs::SiteStats& s = merged[r.site];
+      s.kernel_launches += r.stats.kernel_launches;
+      s.transfers_h2d += r.stats.transfers_h2d;
+      s.transfers_d2h += r.stats.transfers_d2h;
+      s.transfers_d2d += r.stats.transfers_d2d;
+      s.bytes_h2d += r.stats.bytes_h2d;
+      s.bytes_d2h += r.stats.bytes_d2h;
+      s.bytes_d2d += r.stats.bytes_d2d;
+      s.flops += r.stats.flops;
+      s.bytes_read += r.stats.bytes_read;
+      s.bytes_written += r.stats.bytes_written;
+      s.kernel_seconds += r.stats.kernel_seconds;
+      s.transfer_seconds += r.stats.transfer_seconds;
+    }
+  }
+  a.sites.reserve(merged.size());
+  for (const auto& [site, stats] : merged) {
+    a.sites.push_back({site, stats, obs::arithmetic_intensity(stats),
+                       obs::roofline_utilization(stats, a.roofline)});
+  }
+  a.totals = group.rollup_attribution();
+  a.device_totals = group.rollup_counters();
+  return a;
+}
+
 TextTable attribution_table(const AttributionReport& a) {
   TextTable table(
       "Kernel-level cost attribution (roofline vs "
@@ -134,15 +167,19 @@ void write_device_counters(obs::JsonWriter& w,
   w.begin_object();
   w.field("bytes_h2d", std::uint64_t{c.bytes_h2d});
   w.field("bytes_d2h", std::uint64_t{c.bytes_d2h});
+  w.field("bytes_d2d", std::uint64_t{c.bytes_d2d});
   w.field("transfers_h2d", std::uint64_t{c.transfers_h2d});
   w.field("transfers_d2h", std::uint64_t{c.transfers_d2h});
+  w.field("transfers_d2d", std::uint64_t{c.transfers_d2d});
   w.field("measured_transfer_seconds", c.measured_transfer_seconds);
   w.field("modeled_transfer_seconds", c.modeled_transfer_seconds);
+  w.field("modeled_d2d_seconds", c.modeled_d2d_seconds);
   w.field("kernel_seconds", c.kernel_seconds);
   w.field("kernel_launches", std::uint64_t{c.kernel_launches});
   w.field("overlapped_seconds", c.overlapped_seconds);
   w.field("overlapped_h2d_seconds", c.overlapped_h2d_seconds);
   w.field("overlapped_d2h_seconds", c.overlapped_d2h_seconds);
+  w.field("overlapped_d2d_seconds", c.overlapped_d2d_seconds);
   w.field("modeled_pipeline_seconds", c.modeled_pipeline_seconds());
   w.field("async_copies", std::uint64_t{c.async_copies});
   w.field("async_kernel_launches", std::uint64_t{c.async_kernel_launches});

@@ -17,6 +17,10 @@
 #include "obs/attribution.h"
 #include "sparse/csr.h"
 
+namespace fastsc::device {
+class DeviceGroup;
+}  // namespace fastsc::device
+
 namespace fastsc::core {
 
 /// One dataset's worth of backend results keyed by backend.
@@ -65,6 +69,13 @@ struct AttributionReport {
 /// Snapshot the context's attribution registry + counters into a section.
 [[nodiscard]] AttributionReport collect_attribution(
     const device::DeviceContext& ctx);
+
+/// Group variant: merge every device's per-site rows by site name (stats
+/// summed, roofline columns recomputed against device 0's model) so the
+/// exact-sum invariants check_trace.py --report enforces hold across the
+/// whole group, with device_totals = rollup_counters().
+[[nodiscard]] AttributionReport collect_attribution(
+    const device::DeviceGroup& group);
 
 /// Per-site cost table: launches, bytes, flops, seconds, intensity, and
 /// roofline utilization — one row per site plus a totals row.

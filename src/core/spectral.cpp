@@ -12,6 +12,9 @@
 #include "common/log.h"
 #include "common/validation.h"
 #include "common/timer.h"
+#include "core/pipeline_internal.h"
+#include "core/sharded.h"
+#include "device/device_group.h"
 #include "device/executor.h"
 #include "graph/build.h"
 #include "graph/components.h"
@@ -35,15 +38,8 @@ std::string backend_name(Backend b) {
   return "?";
 }
 
-namespace {
+namespace detail {
 
-/// Build the (n x k) spectral embedding from the eigenvectors of the
-/// symmetric operator S = D^-1/2 W D^-1/2 (row-major k x n input).
-///
-/// The paper's Step 3 asks for eigenvectors of D^-1 W; those are
-/// v_rw = D^-1/2 u_sym, so each vertex row is scaled by 1/sqrt(d_j) and the
-/// resulting eigenvectors are renormalized to unit length before k-means
-/// (paper Step 4 clusters the rows of this matrix).
 std::vector<real> to_embedding(const std::vector<real>& vectors,
                                const std::vector<real>& inv_sqrt_degree,
                                index_t k, index_t n) {
@@ -66,8 +62,6 @@ std::vector<real> to_embedding(const std::vector<real>& vectors,
   return emb;
 }
 
-/// Record one degradation decision: result report + degrade.* counters +
-/// trace counter + a WARN so unattended runs leave an audit trail.
 void note_degradation(SpectralResult& result, const char* stage,
                       const char* action, const std::string& reason) {
   result.degradation.degraded = true;
@@ -84,18 +78,6 @@ void note_degradation(SpectralResult& result, const char* stage,
                                          << reason << ")");
 }
 
-/// Clear the eigensolver outputs of an abandoned attempt before the next
-/// ladder rung re-runs the stage (degradation events are kept).
-void reset_eig_result(SpectralResult& result) {
-  result.eigenvalues.clear();
-  result.embedding.clear();
-  result.eig_converged = false;
-  result.eig_stats = {};
-  result.spmv_seconds = 0;
-  result.checkpoint.reset();
-  result.warm_started = false;
-}
-
 lanczos::LanczosConfig eig_config(const SpectralConfig& cfg, index_t n) {
   lanczos::LanczosConfig ec;
   ec.n = n;
@@ -109,6 +91,26 @@ lanczos::LanczosConfig eig_config(const SpectralConfig& cfg, index_t n) {
                       ? lanczos::DenseTier::kNaive
                       : lanczos::DenseTier::kBlocked;
   return ec;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::eig_config;
+using detail::note_degradation;
+using detail::to_embedding;
+
+/// Clear the eigensolver outputs of an abandoned attempt before the next
+/// ladder rung re-runs the stage (degradation events are kept).
+void reset_eig_result(SpectralResult& result) {
+  result.eigenvalues.clear();
+  result.embedding.clear();
+  result.eig_converged = false;
+  result.eig_stats = {};
+  result.spmv_seconds = 0;
+  result.checkpoint.reset();
+  result.warm_started = false;
 }
 
 /// One overlapped SpMV wave on a {transfer, compute} stream pair.
@@ -529,26 +531,7 @@ void govern_run(const SpectralConfig& config, device::DeviceContext& ctx,
   }
 }
 
-/// Difference of two counter snapshots (per-run accounting).
-device::DeviceCounters counters_delta(const device::DeviceCounters& after,
-                                      const device::DeviceCounters& before) {
-  device::DeviceCounters d = after;
-  d.bytes_h2d -= before.bytes_h2d;
-  d.bytes_d2h -= before.bytes_d2h;
-  d.transfers_h2d -= before.transfers_h2d;
-  d.transfers_d2h -= before.transfers_d2h;
-  d.measured_transfer_seconds -= before.measured_transfer_seconds;
-  d.modeled_transfer_seconds -= before.modeled_transfer_seconds;
-  d.kernel_seconds -= before.kernel_seconds;
-  d.kernel_launches -= before.kernel_launches;
-  d.overlapped_seconds -= before.overlapped_seconds;
-  d.overlapped_h2d_seconds -= before.overlapped_h2d_seconds;
-  d.overlapped_d2h_seconds -= before.overlapped_d2h_seconds;
-  d.async_copies -= before.async_copies;
-  d.async_kernel_launches -= before.async_kernel_launches;
-  d.transfer_retries -= before.transfer_retries;
-  return d;
-}
+using device::counters_delta;
 
 }  // namespace
 
@@ -564,6 +547,11 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
                  "input points");
     check_index_range(edges.u, n, "edge endpoint");
     check_index_range(edges.v, n, "edge endpoint");
+  }
+  if (config.num_devices > 1) {
+    FASTSC_LOG_WARN("num_devices > 1 is only supported for the graph "
+                    "pipeline (spectral_cluster_graph); running the points "
+                    "pipeline single-device");
   }
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
   // Snapshot under the meter mutex: with fastsc::Service, other jobs' stream
@@ -700,6 +688,25 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
     }
   }
   device::DeviceContext& ctx = resolve_ctx(ctx_in);
+
+  // Multi-device path: a transient DeviceGroup inheriting this context's
+  // transfer model runs the row-sharded pipeline.  A permanent device error
+  // degrades to the single-device pipeline below (the last rung before the
+  // per-stage ladders take over).
+  std::string sharded_fallback_reason;
+  if (config.backend == Backend::kDevice && config.num_devices > 1) {
+    device::DeviceGroupConfig gc;
+    gc.num_devices = static_cast<usize>(config.num_devices);
+    gc.model = ctx.transfer_model();
+    device::DeviceGroup group(gc);
+    try {
+      return spectral_cluster_graph_sharded(w, config, group);
+    } catch (const device::DeviceError& e) {
+      if (!config.degradation.enabled) throw;
+      sharded_fallback_reason = e.what();
+    }
+  }
+
   // Snapshot under the meter mutex: with fastsc::Service, other jobs' stream
   // threads may be metering this context concurrently.
   const device::DeviceCounters counters_before = ctx.counters_snapshot();
@@ -712,6 +719,10 @@ SpectralResult spectral_cluster_graph(const sparse::Coo& w,
   SpectralResult result;
   result.n = w.rows;
   result.k = config.num_clusters;
+  if (!sharded_fallback_reason.empty()) {
+    note_degradation(result, kStageEigensolver, "single-device",
+                     sharded_fallback_reason);
+  }
 
   result.clock.start(kStageEigensolver);
   {

@@ -119,6 +119,16 @@ struct SpectralConfig {
   index_t overlap_col_blocks = 2;
   index_t overlap_row_tiles = 4;
 
+  /// Number of simulated devices for the graph pipeline (device backend).
+  /// 1 (default) runs the existing single-device path untouched; > 1 builds
+  /// a transient DeviceGroup and runs the row-sharded multi-device pipeline
+  /// (core/sharded.h): halo-exchanged SpMV waves, allreduced CGS2, and
+  /// blocked k-means reductions.  Labels are byte-identical for every value
+  /// of this knob (DESIGN.md §12 determinism contract).  On a permanent
+  /// device error the run degrades to the single-device pipeline when
+  /// degradation.enabled.  Points mode ignores this with a WARN.
+  index_t num_devices = 1;
+
   /// Out-of-core similarity construction (device backend, points mode):
   /// 0 builds the whole edge list on the device at once (Algorithm 1);
   /// > 0 streams the edge list through the device in chunks of this many

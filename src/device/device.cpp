@@ -117,21 +117,30 @@ void DeviceContext::prune_intervals_locked() {
 }
 
 void DeviceContext::meter_transfer(usize bytes, double measured_seconds,
-                                   bool h2d) {
+                                   CopyDir dir) {
   std::lock_guard lock(meter_mu_);
-  const double modeled = model_.seconds_for(bytes);
+  const double modeled = dir == CopyDir::kD2d ? model_.d2d_seconds_for(bytes)
+                                              : model_.seconds_for(bytes);
   VirtualClock& clk = current_clock_locked();
   const double begin = std::max(clk.now, link_free_at_);
   const double end = begin + modeled;
   clk.now = end;
   link_free_at_ = end;
 
-  if (h2d) {
-    counters_.bytes_h2d += bytes;
-    counters_.transfers_h2d += 1;
-  } else {
-    counters_.bytes_d2h += bytes;
-    counters_.transfers_d2h += 1;
+  switch (dir) {
+    case CopyDir::kH2d:
+      counters_.bytes_h2d += bytes;
+      counters_.transfers_h2d += 1;
+      break;
+    case CopyDir::kD2h:
+      counters_.bytes_d2h += bytes;
+      counters_.transfers_d2h += 1;
+      break;
+    case CopyDir::kD2d:
+      counters_.bytes_d2d += bytes;
+      counters_.transfers_d2d += 1;
+      counters_.modeled_d2d_seconds += modeled;
+      break;
   }
   counters_.measured_transfer_seconds += measured_seconds;
   counters_.modeled_transfer_seconds += modeled;
@@ -145,20 +154,23 @@ void DeviceContext::meter_transfer(usize bytes, double measured_seconds,
     const double ov = std::min(end, k.end) - std::max(begin, k.begin);
     if (ov > 0) {
       counters_.overlapped_seconds += ov;
-      (h2d ? counters_.overlapped_h2d_seconds
-           : counters_.overlapped_d2h_seconds) += ov;
+      switch (dir) {
+        case CopyDir::kH2d: counters_.overlapped_h2d_seconds += ov; break;
+        case CopyDir::kD2h: counters_.overlapped_d2h_seconds += ov; break;
+        case CopyDir::kD2d: counters_.overlapped_d2d_seconds += ov; break;
+      }
     }
   }
-  copy_intervals_.push_back(Interval{begin, end, h2d});
+  copy_intervals_.push_back(Interval{begin, end, dir});
   prune_intervals_locked();
 
-  // Emit the *exact* interval the overlap accounting above used, on the
-  // virtual PCIe-link track, so a trace consumer can recompute
+  // Emit the *exact* interval the overlap accounting above used, on this
+  // device's virtual link track, so a trace consumer can recompute
   // overlapped_seconds from the JSON (tools/check_trace.py does).
   // Zero-length transfers carry no overlap information; skip them.
   if (obs::trace_enabled() && end > begin) {
     obs::trace().complete(
-        obs::kVirtualPid, obs::kLinkTid, h2d ? "h2d" : "d2h", "transfer",
+        obs::kVirtualPid, link_tid_, copy_dir_name(dir), "transfer",
         begin * 1e6, (end - begin) * 1e6,
         {{"bytes", static_cast<double>(bytes)},
          {"measured_seconds", measured_seconds}});
@@ -166,21 +178,23 @@ void DeviceContext::meter_transfer(usize bytes, double measured_seconds,
 }
 
 void DeviceContext::attribute_transfer(const char* site, usize bytes,
-                                       bool h2d) {
+                                       CopyDir dir) {
   // Same pure function of `bytes` that meter_transfer charged to
   // modeled_transfer_seconds, so per-site sums reproduce the counter total.
-  const double modeled = model_.seconds_for(bytes);
+  const double modeled = dir == CopyDir::kD2d ? model_.d2d_seconds_for(bytes)
+                                              : model_.seconds_for(bytes);
   // An enclosing stage scope claims the traffic; otherwise fall back to the
   // copy mechanism's site, then to the direction-generic bucket.
   const char* scope = obs::current_attr_site();
-  const char* resolved = scope != nullptr ? scope
-                         : site != nullptr ? site
-                         : h2d            ? "transfer.h2d"
-                                          : "transfer.d2h";
-  attribution_.record_transfer(resolved, bytes, modeled, h2d);
+  const char* resolved = scope != nullptr   ? scope
+                         : site != nullptr  ? site
+                         : dir == CopyDir::kH2d ? "transfer.h2d"
+                         : dir == CopyDir::kD2h ? "transfer.d2h"
+                                                : "transfer.d2d";
+  attribution_.record_transfer(resolved, bytes, modeled, dir);
   if (obs::AttributionRegistry* bound = obs::bound_attribution();
       bound != nullptr && bound != &attribution_) {
-    bound->record_transfer(resolved, bytes, modeled, h2d);
+    bound->record_transfer(resolved, bytes, modeled, dir);
   }
 }
 
@@ -210,16 +224,24 @@ void DeviceContext::record_h2d(usize bytes, double measured_seconds,
   // governor's lock orders strictly before meter_mu_).
   cancel::note_transfer("transfer.h2d", measured_seconds,
                         model_.seconds_for(bytes));
-  meter_transfer(bytes, measured_seconds, /*h2d=*/true);
-  attribute_transfer(site, bytes, /*h2d=*/true);
+  meter_transfer(bytes, measured_seconds, CopyDir::kH2d);
+  attribute_transfer(site, bytes, CopyDir::kH2d);
 }
 
 void DeviceContext::record_d2h(usize bytes, double measured_seconds,
                                const char* site) {
   cancel::note_transfer("transfer.d2h", measured_seconds,
                         model_.seconds_for(bytes));
-  meter_transfer(bytes, measured_seconds, /*h2d=*/false);
-  attribute_transfer(site, bytes, /*h2d=*/false);
+  meter_transfer(bytes, measured_seconds, CopyDir::kD2h);
+  attribute_transfer(site, bytes, CopyDir::kD2h);
+}
+
+void DeviceContext::record_d2d(usize bytes, double measured_seconds,
+                               const char* site) {
+  cancel::note_transfer("transfer.d2d", measured_seconds,
+                        model_.d2d_seconds_for(bytes));
+  meter_transfer(bytes, measured_seconds, CopyDir::kD2d);
+  attribute_transfer(site, bytes, CopyDir::kD2d);
 }
 
 void DeviceContext::record_kernel(double seconds, double modeled_override,
@@ -241,15 +263,18 @@ void DeviceContext::record_kernel(double seconds, double modeled_override,
       const double ov = std::min(end, c.end) - std::max(begin, c.begin);
       if (ov > 0) {
         counters_.overlapped_seconds += ov;
-        (c.h2d ? counters_.overlapped_h2d_seconds
-               : counters_.overlapped_d2h_seconds) += ov;
+        switch (c.dir) {
+          case CopyDir::kH2d: counters_.overlapped_h2d_seconds += ov; break;
+          case CopyDir::kD2h: counters_.overlapped_d2h_seconds += ov; break;
+          case CopyDir::kD2d: counters_.overlapped_d2d_seconds += ov; break;
+        }
       }
     }
-    kernel_intervals_.push_back(Interval{begin, end, false});
+    kernel_intervals_.push_back(Interval{begin, end, CopyDir::kH2d});
     prune_intervals_locked();
 
     if (obs::trace_enabled() && end > begin) {
-      obs::trace().complete(obs::kVirtualPid, obs::kComputeTid, "kernel",
+      obs::trace().complete(obs::kVirtualPid, compute_tid_, "kernel",
                             "kernel", begin * 1e6, (end - begin) * 1e6,
                             {{"measured_seconds", seconds}});
     }

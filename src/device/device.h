@@ -42,8 +42,19 @@
 #include "device/transfer_model.h"
 #include "fault/fault.h"
 #include "obs/attribution.h"
+#include "obs/trace.h"
 
 namespace fastsc::device {
+
+/// Direction of a metered copy; kD2d is a peer transfer between two devices
+/// of a DeviceGroup (device/device_group.h), metered on the destination.
+using CopyDir = obs::TransferDir;
+
+[[nodiscard]] constexpr const char* copy_dir_name(CopyDir dir) noexcept {
+  return dir == CopyDir::kH2d   ? "h2d"
+         : dir == CopyDir::kD2h ? "d2h"
+                                : "d2d";
+}
 
 /// Base of the device error hierarchy.  Carries an optional originating
 /// site so sticky stream errors can surface *where* the first failure
@@ -98,10 +109,14 @@ class DeviceOutOfMemory : public DeviceError {
 /// bounded retry in run_transfer_with_retry below.
 class DeviceTransferError : public DeviceError {
  public:
-  DeviceTransferError(const std::string& site, usize bytes, bool h2d)
+  DeviceTransferError(const std::string& site, usize bytes, CopyDir dir)
       : DeviceError("transient device transfer error at " + site + " (" +
-                    std::to_string(bytes) + " bytes " +
-                    (h2d ? "h2d" : "d2h") + ")") {}
+                    std::to_string(bytes) + " bytes " + copy_dir_name(dir) +
+                    ")") {}
+
+  DeviceTransferError(const std::string& site, usize bytes, bool h2d)
+      : DeviceTransferError(site, bytes,
+                            h2d ? CopyDir::kH2d : CopyDir::kD2h) {}
 
   [[nodiscard]] bool transient() const noexcept override { return true; }
 };
@@ -111,12 +126,19 @@ class DeviceTransferError : public DeviceError {
 struct DeviceCounters {
   usize bytes_h2d = 0;
   usize bytes_d2h = 0;
+  /// Peer-to-peer traffic received from other devices of a DeviceGroup
+  /// (metered on the destination context).
+  usize bytes_d2d = 0;
   usize transfers_h2d = 0;
   usize transfers_d2h = 0;
+  usize transfers_d2d = 0;
   /// Wall time actually spent staging (host memcpy in this simulation).
   double measured_transfer_seconds = 0;
-  /// Modeled PCIe time from the TransferModel.
+  /// Modeled link time from the TransferModel: PCIe copies plus peer (D2D)
+  /// copies — both occupy this device's single link engine.
   double modeled_transfer_seconds = 0;
+  /// The D2D slice of modeled_transfer_seconds (already included above).
+  double modeled_d2d_seconds = 0;
   /// Time spent inside kernel bodies (measured wall time, unless a launch
   /// supplied LaunchConfig::modeled_seconds).
   double kernel_seconds = 0;
@@ -132,6 +154,7 @@ struct DeviceCounters {
   double overlapped_seconds = 0;
   double overlapped_h2d_seconds = 0;
   double overlapped_d2h_seconds = 0;
+  double overlapped_d2d_seconds = 0;
   /// Operations issued through streams (subset of the totals above).
   usize async_copies = 0;
   usize async_kernel_launches = 0;
@@ -285,6 +308,11 @@ class DeviceContext {
                   const char* site = nullptr);
   void record_d2h(usize bytes, double measured_seconds,
                   const char* site = nullptr);
+  /// Peer copy *into* this device from another device of a DeviceGroup.
+  /// Occupies this device's link engine for the TransferModel's D2D
+  /// duration; the group's copy_peer is the only intended caller.
+  void record_d2d(usize bytes, double measured_seconds,
+                  const char* site = nullptr);
   /// `modeled_override` >= 0 replaces the duration on the virtual timeline
   /// and in kernel_seconds (deterministic tests, future kernel cost models).
   void record_kernel(double seconds, double modeled_override = -1.0,
@@ -333,15 +361,29 @@ class DeviceContext {
   /// Read `clock` under the metering lock.
   [[nodiscard]] double clock_now(const VirtualClock& clock) const;
 
+  /// Trace-track ids of this device's virtual-timeline rows (within
+  /// obs::kVirtualPid).  Default to the legacy single-device tracks
+  /// (kLinkTid / kComputeTid); DeviceGroup assigns device i the pair
+  /// (2i+1, 2i+2) so per-device timelines stay disjoint in one trace.
+  void set_trace_tids(std::uint32_t link_tid,
+                      std::uint32_t compute_tid) noexcept {
+    link_tid_ = link_tid;
+    compute_tid_ = compute_tid;
+  }
+  [[nodiscard]] std::uint32_t link_tid() const noexcept { return link_tid_; }
+  [[nodiscard]] std::uint32_t compute_tid() const noexcept {
+    return compute_tid_;
+  }
+
  private:
   struct Interval {
     double begin = 0;
     double end = 0;
-    bool h2d = false;  // copies only
+    CopyDir dir = CopyDir::kH2d;  // copies only
   };
 
-  void meter_transfer(usize bytes, double measured_seconds, bool h2d);
-  void attribute_transfer(const char* site, usize bytes, bool h2d);
+  void meter_transfer(usize bytes, double measured_seconds, CopyDir dir);
+  void attribute_transfer(const char* site, usize bytes, CopyDir dir);
   void attribute_kernel(const obs::KernelCost& cost, double duration);
   [[nodiscard]] VirtualClock& current_clock_locked();
   void prune_intervals_locked();
@@ -365,6 +407,8 @@ class DeviceContext {
   std::vector<Interval> copy_intervals_;
   std::vector<Interval> kernel_intervals_;
   TransferRetryPolicy retry_;
+  std::uint32_t link_tid_ = obs::kLinkTid;
+  std::uint32_t compute_tid_ = obs::kComputeTid;
 };
 
 /// Process-wide default device (lazy-constructed), like cudaSetDevice(0).

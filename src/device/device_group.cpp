@@ -1,0 +1,150 @@
+#include "device/device_group.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fastsc::device {
+
+DeviceGroup::DeviceGroup(const DeviceGroupConfig& config) : config_(config) {
+  FASTSC_CHECK(config_.num_devices >= 1,
+               "a device group needs at least one device");
+  const usize workers =
+      config_.workers_per_device == 0 ? 1 : config_.workers_per_device;
+  contexts_.reserve(config_.num_devices);
+  for (usize i = 0; i < config_.num_devices; ++i) {
+    auto ctx = std::make_unique<DeviceContext>(workers, config_.model);
+    if (config_.memory_limit_bytes != 0) {
+      ctx->set_memory_limit(config_.memory_limit_bytes);
+    }
+    // Device i's virtual timeline lives on tracks (2i+1, 2i+2); device 0
+    // keeps the legacy single-device pair (kLinkTid, kComputeTid) = (1, 2).
+    ctx->set_trace_tids(static_cast<std::uint32_t>(2 * i + 1),
+                        static_cast<std::uint32_t>(2 * i + 2));
+    contexts_.push_back(std::move(ctx));
+  }
+}
+
+void DeviceGroup::model_peer_transfer(usize src, usize dst, usize bytes,
+                                      const char* site) {
+  FASTSC_CHECK(src < size() && dst < size(), "peer device out of range");
+  FASTSC_CHECK(src != dst, "peer transfer requires distinct devices");
+  DeviceContext& to = device(dst);
+  run_transfer_with_retry(to, site, [&] {
+    if (fault::triggered(site)) {
+      throw DeviceTransferError(site, bytes, CopyDir::kD2d);
+    }
+    to.record_d2d(bytes, 0.0, site);
+    note_peer_traffic(bytes);
+  });
+}
+
+void DeviceGroup::note_peer_traffic(usize bytes) {
+  obs::Counter& transfers = obs::metrics().counter("d2d.transfers");
+  transfers.add();
+  obs::Counter& total_bytes = obs::metrics().counter("d2d.bytes");
+  total_bytes.add(static_cast<std::int64_t>(bytes));
+  if (obs::trace_enabled()) {
+    const double ts = obs::wall_now_us();
+    obs::trace().counter("d2d.transfers",
+                         static_cast<double>(transfers.value()), ts);
+    obs::trace().counter("d2d.bytes",
+                         static_cast<double>(total_bytes.value()), ts);
+  }
+}
+
+void accumulate_counters(DeviceCounters& a, const DeviceCounters& b) {
+  a.bytes_h2d += b.bytes_h2d;
+  a.bytes_d2h += b.bytes_d2h;
+  a.bytes_d2d += b.bytes_d2d;
+  a.transfers_h2d += b.transfers_h2d;
+  a.transfers_d2h += b.transfers_d2h;
+  a.transfers_d2d += b.transfers_d2d;
+  a.measured_transfer_seconds += b.measured_transfer_seconds;
+  a.modeled_transfer_seconds += b.modeled_transfer_seconds;
+  a.modeled_d2d_seconds += b.modeled_d2d_seconds;
+  a.kernel_seconds += b.kernel_seconds;
+  a.kernel_launches += b.kernel_launches;
+  a.overlapped_seconds += b.overlapped_seconds;
+  a.overlapped_h2d_seconds += b.overlapped_h2d_seconds;
+  a.overlapped_d2h_seconds += b.overlapped_d2h_seconds;
+  a.overlapped_d2d_seconds += b.overlapped_d2d_seconds;
+  a.async_copies += b.async_copies;
+  a.async_kernel_launches += b.async_kernel_launches;
+  a.transfer_retries += b.transfer_retries;
+  a.live_bytes += b.live_bytes;
+  a.peak_bytes += b.peak_bytes;
+  a.total_allocations += b.total_allocations;
+}
+
+DeviceCounters counters_delta(const DeviceCounters& after,
+                              const DeviceCounters& before) {
+  DeviceCounters d = after;
+  d.bytes_h2d -= before.bytes_h2d;
+  d.bytes_d2h -= before.bytes_d2h;
+  d.bytes_d2d -= before.bytes_d2d;
+  d.transfers_h2d -= before.transfers_h2d;
+  d.transfers_d2h -= before.transfers_d2h;
+  d.transfers_d2d -= before.transfers_d2d;
+  d.measured_transfer_seconds -= before.measured_transfer_seconds;
+  d.modeled_transfer_seconds -= before.modeled_transfer_seconds;
+  d.modeled_d2d_seconds -= before.modeled_d2d_seconds;
+  d.kernel_seconds -= before.kernel_seconds;
+  d.kernel_launches -= before.kernel_launches;
+  d.overlapped_seconds -= before.overlapped_seconds;
+  d.overlapped_h2d_seconds -= before.overlapped_h2d_seconds;
+  d.overlapped_d2h_seconds -= before.overlapped_d2h_seconds;
+  d.overlapped_d2d_seconds -= before.overlapped_d2d_seconds;
+  d.async_copies -= before.async_copies;
+  d.async_kernel_launches -= before.async_kernel_launches;
+  d.transfer_retries -= before.transfer_retries;
+  return d;
+}
+
+DeviceCounters DeviceGroup::rollup_counters() const {
+  DeviceCounters total;
+  for (const auto& ctx : contexts_) {
+    accumulate_counters(total, ctx->counters_snapshot());
+  }
+  return total;
+}
+
+obs::SiteStats DeviceGroup::rollup_attribution() const {
+  obs::SiteStats total;
+  for (const auto& ctx : contexts_) {
+    const obs::SiteStats t = ctx->attribution().totals();
+    total.kernel_launches += t.kernel_launches;
+    total.transfers_h2d += t.transfers_h2d;
+    total.transfers_d2h += t.transfers_d2h;
+    total.transfers_d2d += t.transfers_d2d;
+    total.bytes_h2d += t.bytes_h2d;
+    total.bytes_d2h += t.bytes_d2h;
+    total.bytes_d2d += t.bytes_d2d;
+    total.flops += t.flops;
+    total.bytes_read += t.bytes_read;
+    total.bytes_written += t.bytes_written;
+    total.kernel_seconds += t.kernel_seconds;
+    total.transfer_seconds += t.transfer_seconds;
+  }
+  return total;
+}
+
+double DeviceGroup::modeled_transfer_seconds_now() const {
+  double total = 0;
+  for (const auto& ctx : contexts_) {
+    total += ctx->counters_snapshot().modeled_transfer_seconds;
+  }
+  return total;
+}
+
+double DeviceGroup::max_modeled_pipeline_seconds() const {
+  double worst = 0;
+  for (const auto& ctx : contexts_) {
+    worst = std::max(worst,
+                     ctx->counters_snapshot().modeled_pipeline_seconds());
+  }
+  return worst;
+}
+
+}  // namespace fastsc::device

@@ -21,11 +21,25 @@ struct TransferModel {
   /// Fixed per-transfer latency (driver + DMA setup), seconds.
   double latency_seconds = 10.0e-6;
 
+  /// Peer-to-peer (device<->device) link.  Defaults model an NVLink-class
+  /// interconnect: noticeably faster and lower-latency than the host PCIe
+  /// path, which is what makes halo exchange cheaper than a host bounce.
+  double d2d_bandwidth_bytes_per_sec = 20.0e9;
+  double d2d_efficiency = 0.80;
+  double d2d_latency_seconds = 5.0e-6;
+
   /// Modeled seconds to move `bytes` across the link.
   [[nodiscard]] double seconds_for(usize bytes) const noexcept {
     return latency_seconds +
            static_cast<double>(bytes) /
                (bandwidth_bytes_per_sec * efficiency);
+  }
+
+  /// Modeled seconds to move `bytes` across the peer-to-peer link.
+  [[nodiscard]] double d2d_seconds_for(usize bytes) const noexcept {
+    return d2d_latency_seconds +
+           static_cast<double>(bytes) /
+               (d2d_bandwidth_bytes_per_sec * d2d_efficiency);
   }
 };
 

@@ -180,4 +180,143 @@ sparse::DeviceCsr sym_normalized_device(
   return out;
 }
 
+ShardedNormalized sym_normalized_sharded(device::DeviceGroup& group,
+                                         const sparse::Coo& w,
+                                         const sparse::RowPartition& part) {
+  FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
+  const auto parts = static_cast<index_t>(group.size());
+  FASTSC_CHECK(part.parts == parts && part.rows == w.rows,
+               "partition does not match the group and matrix");
+  obs::AttrSiteScope attr_site("laplacian.normalize");
+  const index_t n = w.rows;
+
+  // Host bucketing: entries by owning device, original order kept within a
+  // bucket (the per-device sort re-establishes the global (row, col) order
+  // block by block — row ranges are disjoint, so each row's entry sequence
+  // is exactly what the whole-matrix sort would produce).
+  std::vector<sparse::Coo> chunks(static_cast<usize>(parts));
+  for (index_t d = 0; d < parts; ++d) {
+    chunks[static_cast<usize>(d)].rows = part.size(d);
+    chunks[static_cast<usize>(d)].cols = n;
+  }
+  for (usize e = 0; e < w.values.size(); ++e) {
+    const index_t d = part.owner(w.row_idx[e]);
+    sparse::Coo& c = chunks[static_cast<usize>(d)];
+    c.row_idx.push_back(w.row_idx[e] - part.begin(d));  // local rows
+    c.col_idx.push_back(w.col_idx[e]);                  // global cols
+    c.values.push_back(w.values[e]);
+  }
+
+  ShardedNormalized out;
+  out.locals.resize(static_cast<usize>(parts));
+  out.structure.resize(static_cast<usize>(parts));
+  out.inv_sqrt_degree.resize(static_cast<usize>(n));
+  std::vector<real> host_deg(static_cast<usize>(n));
+  std::vector<device::DeviceBuffer<real>> degs(static_cast<usize>(parts));
+  std::vector<device::DeviceBuffer<real>> isd(static_cast<usize>(parts));
+
+  // Each device assembles its block and row-sums its degrees; the host
+  // loop is sequential but every upload and kernel is metered on the
+  // owning device's own timeline, so the modeled work runs group-wide.
+  for (index_t d = 0; d < parts; ++d) {
+    device::DeviceContext& ctx = group.device(static_cast<usize>(d));
+    const sparse::Coo& hc = chunks[static_cast<usize>(d)];
+    const index_t nl = part.size(d);
+    sparse::DeviceCoo chunk(ctx, hc);
+    sparse::device_sort_coo(ctx, chunk);
+    sparse::device_coo2csr(ctx, chunk, out.locals[static_cast<usize>(d)]);
+    degs[static_cast<usize>(d)] =
+        device::DeviceBuffer<real>(ctx, static_cast<usize>(nl));
+    if (nl == 0) continue;
+    // Degrees in CSR entry order — the same per-row accumulation the
+    // single-device path's ones-vector csrmv performs (v * 1.0 == v).
+    const index_t* row_ptr = out.locals[static_cast<usize>(d)].row_ptr.data();
+    const real* values = out.locals[static_cast<usize>(d)].values.data();
+    real* dp = degs[static_cast<usize>(d)].data();
+    const auto nnzd = static_cast<double>(hc.values.size());
+    device::launch(
+        ctx, nl,
+        [=](index_t i) {
+          real acc = 0;
+          for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+            acc += values[p];
+          }
+          dp[i] = acc;
+        },
+        device::tagged("laplacian.normalize", nnzd,
+                       nnzd * (sizeof(real) + sizeof(index_t)),
+                       static_cast<double>(nl) * sizeof(real)));
+    degs[static_cast<usize>(d)].copy_to_host(std::span<real>(
+        host_deg.data() + part.begin(d), static_cast<usize>(nl)));
+  }
+  for (real di : host_deg) {
+    FASTSC_CHECK(di > 0,
+                 "zero-degree vertex: remove isolated nodes before "
+                 "normalizing (paper §IV.B)");
+  }
+  for (usize i = 0; i < host_deg.size(); ++i) {
+    out.inv_sqrt_degree[i] = 1.0 / std::sqrt(host_deg[i]);
+  }
+
+  // Full inv-sqrt-degree replica per device: the own segment is computed in
+  // place, every other segment arrives over the D2D mesh (each device
+  // broadcasts its slice to all peers — a one-time allgather).
+  for (index_t d = 0; d < parts; ++d) {
+    device::DeviceContext& ctx = group.device(static_cast<usize>(d));
+    isd[static_cast<usize>(d)] =
+        device::DeviceBuffer<real>(ctx, static_cast<usize>(n));
+    const index_t nl = part.size(d);
+    if (nl == 0) continue;
+    const real* dp = degs[static_cast<usize>(d)].data();
+    real* ip = isd[static_cast<usize>(d)].data() + part.begin(d);
+    device::launch(
+        ctx, nl, [=](index_t i) { ip[i] = 1.0 / std::sqrt(dp[i]); },
+        device::tagged("laplacian.scale"));
+  }
+  for (index_t d = 0; d < parts; ++d) {
+    const index_t nl = part.size(d);
+    if (nl == 0) continue;
+    for (index_t e = 0; e < parts; ++e) {
+      if (e == d) continue;
+      group.copy_peer(static_cast<usize>(d), static_cast<usize>(e),
+                      isd[static_cast<usize>(d)].data() + part.begin(d),
+                      isd[static_cast<usize>(e)].data() + part.begin(d),
+                      static_cast<usize>(nl), "d2d.isd_allgather");
+    }
+  }
+
+  // ScaleElements over each block, then mirror the structure to the host
+  // for the halo bookkeeping (values stay on the devices).
+  for (index_t d = 0; d < parts; ++d) {
+    device::DeviceContext& ctx = group.device(static_cast<usize>(d));
+    sparse::DeviceCsr& local = out.locals[static_cast<usize>(d)];
+    sparse::Csr& st = out.structure[static_cast<usize>(d)];
+    const index_t nl = part.size(d);
+    const index_t rb = part.begin(d);
+    st.rows = nl;
+    st.cols = n;
+    st.row_ptr.resize(static_cast<usize>(nl) + 1);
+    st.col_idx.resize(static_cast<usize>(local.nnz()));
+    local.row_ptr.copy_to_host(std::span<index_t>(st.row_ptr));
+    local.col_idx.copy_to_host(std::span<index_t>(st.col_idx));
+    if (nl == 0 || local.nnz() == 0) continue;
+    const index_t* row_ptr = local.row_ptr.data();
+    const index_t* col_idx = local.col_idx.data();
+    real* vals = local.values.data();
+    const real* ip = isd[static_cast<usize>(d)].data();
+    const auto nnzd = static_cast<double>(local.nnz());
+    device::launch(
+        ctx, nl,
+        [=](index_t i) {
+          for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+            vals[p] *= ip[rb + i] * ip[col_idx[p]];
+          }
+        },
+        device::tagged("laplacian.scale", 2.0 * nnzd,
+                       nnzd * (3.0 * sizeof(real) + 2.0 * sizeof(index_t)),
+                       nnzd * sizeof(real)));
+  }
+  return out;
+}
+
 }  // namespace fastsc::graph

@@ -9,8 +9,10 @@
 #pragma once
 
 #include "device/device.h"
+#include "device/device_group.h"
 #include "sparse/coo.h"
 #include "sparse/csr.h"
+#include "sparse/shard.h"
 #include "sparse/spmv.h"
 
 namespace fastsc::graph {
@@ -51,5 +53,30 @@ namespace fastsc::graph {
 [[nodiscard]] sparse::DeviceCsr sym_normalized_device(
     device::DeviceContext& ctx, sparse::DeviceCoo& w,
     device::DeviceBuffer<real>& inv_sqrt_degree);
+
+/// Output of the distributed Algorithm 2 (sym_normalized_sharded).
+struct ShardedNormalized {
+  /// Device d's normalized row block (rows = part.size(d), global column
+  /// indices), values resident on device d.
+  std::vector<sparse::DeviceCsr> locals;
+  /// Host structure mirrors of `locals` (row_ptr + col_idx; values empty) —
+  /// what sparse::shard_device_locals builds the halo bookkeeping from.
+  std::vector<sparse::Csr> structure;
+  /// Host 1/sqrt(d_i), globally indexed (the embedding back-map needs it).
+  std::vector<real> inv_sqrt_degree;
+};
+
+/// Distributed Algorithm 2 over a DeviceGroup: each device sorts, converts,
+/// and scales its own row block of `w` (cut by `part`), so none of the
+/// normalization work serializes on the root the way the single-device
+/// variant does when reused for a group.  The inverse-sqrt-degree vector is
+/// allgathered device-to-device ("d2d.isd_allgather") because every block
+/// scales by the degree of remote column endpoints.  Every value is bitwise
+/// identical to sym_normalized_device's: per-row entry order survives the
+/// per-block sort (row ranges are disjoint) and the degree / scale
+/// arithmetic is expression-for-expression the same.
+[[nodiscard]] ShardedNormalized sym_normalized_sharded(
+    device::DeviceGroup& group, const sparse::Coo& w,
+    const sparse::RowPartition& part);
 
 }  // namespace fastsc::graph

@@ -200,6 +200,10 @@ class SymLanczos {
   /// solver stats restart from zero so stats() reports the warm cost alone.
   void restore_warm(const LanczosCheckpoint& cp);
 
+  /// Current Lanczos step j — the number of basis vectors built so far.
+  /// Sharded drivers use it to price each CGS2 pass (O(n * j) work).
+  [[nodiscard]] index_t basis_size() const noexcept { return j_; }
+
   /// True when abandon() can produce partial Ritz pairs: the iteration is
   /// mid-flight (kAwaitMatvec) with at least nev basis vectors built.
   [[nodiscard]] bool can_abandon() const noexcept {

@@ -90,19 +90,27 @@ void AttributionRegistry::record_kernel(std::string_view site, double seconds,
 }
 
 void AttributionRegistry::record_transfer(std::string_view site, usize bytes,
-                                          double modeled_seconds, bool h2d) {
+                                          double modeled_seconds,
+                                          TransferDir dir) {
   std::lock_guard lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) {
     it = sites_.emplace(std::string(site), SiteStats{}).first;
   }
   SiteStats& s = it->second;
-  if (h2d) {
-    s.transfers_h2d += 1;
-    s.bytes_h2d += bytes;
-  } else {
-    s.transfers_d2h += 1;
-    s.bytes_d2h += bytes;
+  switch (dir) {
+    case TransferDir::kH2d:
+      s.transfers_h2d += 1;
+      s.bytes_h2d += bytes;
+      break;
+    case TransferDir::kD2h:
+      s.transfers_d2h += 1;
+      s.bytes_d2h += bytes;
+      break;
+    case TransferDir::kD2d:
+      s.transfers_d2d += 1;
+      s.bytes_d2d += bytes;
+      break;
   }
   s.transfer_seconds += modeled_seconds;
 }
@@ -129,8 +137,10 @@ SiteStats AttributionRegistry::totals() const {
     t.kernel_launches += s.kernel_launches;
     t.transfers_h2d += s.transfers_h2d;
     t.transfers_d2h += s.transfers_d2h;
+    t.transfers_d2d += s.transfers_d2d;
     t.bytes_h2d += s.bytes_h2d;
     t.bytes_d2h += s.bytes_d2h;
+    t.bytes_d2d += s.bytes_d2d;
     t.flops += s.flops;
     t.bytes_read += s.bytes_read;
     t.bytes_written += s.bytes_written;
@@ -201,8 +211,10 @@ void write_attribution_sites(JsonWriter& w,
     w.field("kernel_launches", std::uint64_t{s.kernel_launches});
     w.field("transfers_h2d", std::uint64_t{s.transfers_h2d});
     w.field("transfers_d2h", std::uint64_t{s.transfers_d2h});
+    w.field("transfers_d2d", std::uint64_t{s.transfers_d2d});
     w.field("bytes_h2d", std::uint64_t{s.bytes_h2d});
     w.field("bytes_d2h", std::uint64_t{s.bytes_d2h});
+    w.field("bytes_d2d", std::uint64_t{s.bytes_d2d});
     w.field("flops", s.flops);
     w.field("bytes_read", s.bytes_read);
     w.field("bytes_written", s.bytes_written);

@@ -66,6 +66,10 @@ struct RooflineModel {
 /// variable (flop/s; invalid or non-positive values are ignored).
 [[nodiscard]] RooflineModel make_roofline(double bandwidth_bytes_per_sec);
 
+/// Direction of a metered copy.  kD2d is a peer-to-peer transfer between
+/// two devices of a DeviceGroup (metered on the destination context).
+enum class TransferDir { kH2d, kD2h, kD2d };
+
 /// Modeled cost of one kernel launch, carried alongside the metering call.
 /// Negative fields select defaults: 1 flop and 8 bytes read + 8 written per
 /// logical thread (so every launch has nonzero flops), site resolution per
@@ -84,18 +88,20 @@ struct SiteStats {
   std::uint64_t kernel_launches = 0;
   std::uint64_t transfers_h2d = 0;
   std::uint64_t transfers_d2h = 0;
+  std::uint64_t transfers_d2d = 0;
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_d2d = 0;
   double flops = 0;
   double bytes_read = 0;
   double bytes_written = 0;
   double kernel_seconds = 0;    ///< virtual-timeline kernel durations
-  double transfer_seconds = 0;  ///< modeled PCIe seconds
+  double transfer_seconds = 0;  ///< modeled link seconds (PCIe + peer)
 
-  /// All bytes the site touched: modeled kernel traffic plus PCIe staging.
+  /// All bytes the site touched: modeled kernel traffic plus link staging.
   [[nodiscard]] double total_bytes() const noexcept {
     return bytes_read + bytes_written + static_cast<double>(bytes_h2d) +
-           static_cast<double>(bytes_d2h);
+           static_cast<double>(bytes_d2h) + static_cast<double>(bytes_d2d);
   }
   [[nodiscard]] double total_seconds() const noexcept {
     return kernel_seconds + transfer_seconds;
@@ -128,7 +134,12 @@ class AttributionRegistry {
   /// Accumulate one transfer.  `modeled_seconds` must be the TransferModel
   /// duration added to DeviceCounters::modeled_transfer_seconds.
   void record_transfer(std::string_view site, usize bytes,
-                       double modeled_seconds, bool h2d);
+                       double modeled_seconds, TransferDir dir);
+  void record_transfer(std::string_view site, usize bytes,
+                       double modeled_seconds, bool h2d) {
+    record_transfer(site, bytes, modeled_seconds,
+                    h2d ? TransferDir::kH2d : TransferDir::kD2h);
+  }
 
   /// Sorted per-site rows with derived roofline columns.
   [[nodiscard]] std::vector<SiteReport> report() const;

@@ -10,15 +10,19 @@ void publish_device_counters(const device::DeviceCounters& c,
   };
   set("bytes_h2d", static_cast<double>(c.bytes_h2d));
   set("bytes_d2h", static_cast<double>(c.bytes_d2h));
+  set("bytes_d2d", static_cast<double>(c.bytes_d2d));
   set("transfers_h2d", static_cast<double>(c.transfers_h2d));
   set("transfers_d2h", static_cast<double>(c.transfers_d2h));
+  set("transfers_d2d", static_cast<double>(c.transfers_d2d));
   set("measured_transfer_seconds", c.measured_transfer_seconds);
   set("modeled_transfer_seconds", c.modeled_transfer_seconds);
+  set("modeled_d2d_seconds", c.modeled_d2d_seconds);
   set("kernel_seconds", c.kernel_seconds);
   set("kernel_launches", static_cast<double>(c.kernel_launches));
   set("overlapped_seconds", c.overlapped_seconds);
   set("overlapped_h2d_seconds", c.overlapped_h2d_seconds);
   set("overlapped_d2h_seconds", c.overlapped_d2h_seconds);
+  set("overlapped_d2d_seconds", c.overlapped_d2d_seconds);
   set("modeled_pipeline_seconds", c.modeled_pipeline_seconds());
   set("async_copies", static_cast<double>(c.async_copies));
   set("async_kernel_launches", static_cast<double>(c.async_kernel_launches));

@@ -1,20 +1,21 @@
 # Perf regression gate, run as a CTest via `cmake -P`:
-#   1. re-run bench_spmv_balance and bench_service with the exact pinned
-#      flags the committed baselines in bench/baselines/ were captured with,
+#   1. re-run bench_spmv_balance, bench_service, and bench_scaling_devices
+#      with the exact pinned flags the committed baselines in
+#      bench/baselines/ were captured with,
 #   2. judge each fresh metrics snapshot against its baseline with
 #      tools/check_bench_regression.py under the per-metric tolerances in
-#      tools/bench_tolerances.json — both suites must pass,
+#      tools/bench_tolerances.json — all suites must pass,
 #   3. self-test the gate: re-judge the fresh spmv snapshot with
 #      --degrade spmv.wave_max_nnz=2.0 and require that the checker FAILS
 #      (a gate that cannot fail protects nothing).
 #
 # Expected -D definitions: SPMV_BENCH (bench_spmv_balance), SERVICE_BENCH
-# (bench_service), PYTHON (python3), CHECKER (check_bench_regression.py),
-# TOLERANCES (bench_tolerances.json), BASELINES (bench/baselines dir),
-# WORKDIR (scratch directory).
+# (bench_service), SCALING_BENCH (bench_scaling_devices), PYTHON (python3),
+# CHECKER (check_bench_regression.py), TOLERANCES (bench_tolerances.json),
+# BASELINES (bench/baselines dir), WORKDIR (scratch directory).
 
-foreach(var SPMV_BENCH SERVICE_BENCH PYTHON CHECKER TOLERANCES BASELINES
-            WORKDIR)
+foreach(var SPMV_BENCH SERVICE_BENCH SCALING_BENCH PYTHON CHECKER TOLERANCES
+            BASELINES WORKDIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "run_perf_regression.cmake: missing -D${var}=...")
   endif()
@@ -23,6 +24,7 @@ endforeach()
 file(MAKE_DIRECTORY "${WORKDIR}")
 set(spmv_fresh "${WORKDIR}/fresh_spmv_balance.json")
 set(service_fresh "${WORKDIR}/fresh_service.json")
+set(scaling_fresh "${WORKDIR}/fresh_scaling_devices.json")
 
 # Flags here MUST match the "pinned flags" comment in the tolerances file;
 # the gated metrics are deterministic only for these exact inputs.
@@ -42,9 +44,19 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench_service failed (rc=${rc})\n${out}\n${err}")
 endif()
 
+execute_process(
+  COMMAND "${SCALING_BENCH}" --n=8192 --k=16 --max-devices=4
+          --metrics-out=${scaling_fresh}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench_scaling_devices failed (rc=${rc})\n${out}\n${err}")
+endif()
+
 foreach(suite_pair
         "spmv_balance|${spmv_fresh}|BENCH_spmv_balance.json"
-        "service|${service_fresh}|BENCH_service.json")
+        "service|${service_fresh}|BENCH_service.json"
+        "scaling_devices|${scaling_fresh}|BENCH_scaling_devices.json")
   string(REPLACE "|" ";" parts "${suite_pair}")
   list(GET parts 0 suite)
   list(GET parts 1 fresh)

@@ -1,0 +1,62 @@
+# Multi-device scaling smoke test, run as a CTest via `cmake -P`:
+#   1. run bench_scaling_devices on DBLP-like and power-law graphs at
+#      n=32768 with the deterministic kernel cost model, writing
+#      --trace-out/--metrics-out/--report-out,
+#   2. validate the artifacts with tools/check_trace.py: per-device trace
+#      track discipline (device i owns link tid 2i+1 / compute tid 2i+2),
+#      the d2d.bytes counter series, the group-merged attribution section's
+#      exact-sum invariants, and the modeled speedup gates — the 4-device
+#      run must beat the single-device run by >= 1.8x on both datasets
+#      (measured ~2.4x dblp / ~2.2x powerlaw at this scale, so the gate has
+#      honest margin without being noise-sensitive).
+#
+# Expected -D definitions: BENCH (bench_scaling_devices executable), PYTHON
+# (python3), CHECKER (tools/check_trace.py), WORKDIR (scratch directory).
+
+foreach(var BENCH PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_scaling_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(trace_json "${WORKDIR}/trace.json")
+set(metrics_json "${WORKDIR}/metrics.json")
+set(report_json "${WORKDIR}/report.json")
+
+execute_process(
+  COMMAND "${BENCH}"
+          --n=32768 --k=16 --max-devices=4
+          --trace-out=${trace_json}
+          --metrics-out=${metrics_json}
+          --report-out=${report_json}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench failed (rc=${bench_rc})\nstdout:\n${bench_out}\n"
+          "stderr:\n${bench_err}")
+endif()
+foreach(artifact "${trace_json}" "${metrics_json}" "${report_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
+          --metrics "${metrics_json}"
+          --expect-counter d2d.bytes
+          --expect-counter d2d.transfers
+          --expect-gauge "scaling.speedup_2dev>=1.4"
+          --expect-gauge "scaling.speedup_4dev>=1.8"
+          --expect-gauge "scaling.powerlaw.speedup_4dev>=1.8"
+          --report "${report_json}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}${check_err}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py failed (rc=${check_rc})")
+endif()

@@ -142,6 +142,47 @@ TEST_F(BudgetAnytimeTest, KmeansStageBudgetRerunsUnderWrapup) {
   EXPECT_EQ(ctx.counters().live_bytes, 0u);
 }
 
+// Sharded runs charge the budget against the *group's* virtual timeline
+// (sum over devices).  A virtual deadline that lands mid-exchange must
+// still yield a clean, reproducible anytime result.
+TEST_F(BudgetAnytimeTest, ShardedVirtualBudgetTripsMidExchange) {
+  const data::SbmGraph g = easy_graph();
+
+  // Probe the sharded eigensolver's virtual spend with an un-hit budget.
+  SpectralConfig probe = base_config();
+  probe.num_devices = 4;
+  probe.budget = cancel::RunBudget::parse("total.virtual=1e9");
+  const SpectralResult full = spectral_cluster_graph(g.w, probe);
+  ASSERT_GT(full.device_counters.bytes_d2d, 0u);
+  double eig_virtual = 0;
+  for (const cancel::StageSpend& s : full.budget.stages) {
+    if (s.stage == kStageEigensolver) eig_virtual = s.virtual_spent_seconds;
+  }
+  ASSERT_GT(eig_virtual, 0) << "sharded eigensolver stage must move data";
+
+  // Allow ~60% of that spend: the deadline fires at a mid-solve poll while
+  // halo/allreduce traffic is in flight on the modeled links.
+  SpectralConfig budgeted = base_config();
+  budgeted.num_devices = 4;
+  budgeted.budget.anytime = true;
+  budgeted.budget.stages[kStageEigensolver].virtual_seconds =
+      0.6 * eig_virtual;
+
+  const SpectralResult a = spectral_cluster_graph(g.w, budgeted);
+  EXPECT_TRUE(a.budget.expired);
+  EXPECT_TRUE(a.budget.anytime);
+  EXPECT_EQ(a.budget.expired_stage, kStageEigensolver);
+  ASSERT_EQ(a.labels.size(), static_cast<usize>(g.w.rows));
+  EXPECT_GT(a.device_counters.bytes_d2d, 0u);
+  EXPECT_GE(metrics::adjusted_rand_index(a.labels, full.labels), 0.8);
+
+  // The group timeline is deterministic: the trip reproduces exactly.
+  const SpectralResult b = spectral_cluster_graph(g.w, budgeted);
+  EXPECT_EQ(b.labels, a.labels);
+  EXPECT_EQ(b.budget.reason, a.budget.reason);
+  EXPECT_EQ(b.budget.cancel_site, a.budget.cancel_site);
+}
+
 // anytime=0 turns a budget expiry into a hard CancelledError.
 TEST_F(BudgetAnytimeTest, AnytimeDisabledBudgetThrows) {
   const data::SbmGraph g = easy_graph();

@@ -9,10 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/spectral.h"
+#include "data/sbm.h"
 #include "device/device.h"
 #include "device/stream.h"
+#include "metrics/external.h"
 
 namespace fastsc::fault {
 namespace {
@@ -303,6 +307,86 @@ TEST_F(FaultTest, StreamAsyncCopyRetriesTransparently) {
   const device::DeviceCounters c = ctx.counters_snapshot();
   EXPECT_EQ(c.transfer_retries, 1u);
   EXPECT_EQ(c.async_copies, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-pipeline integration: transient faults on every d2d.* site are
+// absorbed by the bounded retry, permanent ones walk the degradation ladder
+// back to the single-device pipeline — labels are unperturbed either way.
+// ---------------------------------------------------------------------------
+
+core::SpectralConfig sharded_config(index_t num_devices) {
+  core::SpectralConfig cfg;
+  cfg.num_clusters = 3;
+  cfg.backend = core::Backend::kDevice;
+  cfg.num_devices = num_devices;
+  cfg.seed = 42;
+  return cfg;
+}
+
+data::SbmGraph sharded_graph() {
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(600, 3);
+  p.p_in = 0.3;
+  p.p_out = 0.01;
+  p.seed = 17;
+  return data::make_sbm(p);
+}
+
+TEST_F(FaultTest, ShardedD2dFaultSweepRecoversExactly) {
+  const data::SbmGraph g = sharded_graph();
+  const core::SpectralResult clean =
+      core::spectral_cluster_graph(g.w, sharded_config(2));
+  ASSERT_EQ(clean.labels.size(), 600u);
+  ASSERT_GT(clean.device_counters.bytes_d2d, 0u);
+
+  for (const char* site : {"d2d.halo", "d2d.allreduce", "d2d.centroid_bcast",
+                           "d2d.centroid_reduce"}) {
+    SCOPED_TRACE(site);
+    core::SpectralConfig cfg = sharded_config(2);
+    cfg.faults = FaultPlan::parse(std::string("site=") + site + ",nth=1");
+    const core::SpectralResult faulted =
+        core::spectral_cluster_graph(g.w, cfg);
+    // The single transient fault was absorbed by the transfer retry; the
+    // data path is untouched, so the result is byte-identical.
+    EXPECT_GE(faulted.device_counters.transfer_retries, 1u);
+    EXPECT_FALSE(faulted.degradation.degraded);
+    EXPECT_EQ(faulted.labels, clean.labels);
+    EXPECT_DOUBLE_EQ(
+        metrics::adjusted_rand_index(faulted.labels, clean.labels), 1.0);
+  }
+}
+
+TEST_F(FaultTest, ShardedPermanentD2dFaultDegradesToSingleDevice) {
+  const data::SbmGraph g = sharded_graph();
+  const core::SpectralResult single =
+      core::spectral_cluster_graph(g.w, sharded_config(1));
+
+  // count=0: every halo copy faults, the retry budget runs out, and the
+  // sharded driver's DeviceError reaches the dispatch ladder.
+  core::SpectralConfig cfg = sharded_config(4);
+  cfg.faults = FaultPlan::parse("site=d2d.halo,nth=1,count=0");
+  const core::SpectralResult r = core::spectral_cluster_graph(g.w, cfg);
+  EXPECT_TRUE(r.degradation.degraded);
+  ASSERT_FALSE(r.degradation.events.empty());
+  bool saw_fallback = false;
+  for (const core::DegradationEvent& e : r.degradation.events) {
+    if (e.action == "single-device") saw_fallback = true;
+  }
+  EXPECT_TRUE(saw_fallback);
+  // The fallback rung is the untouched single-device pipeline.
+  EXPECT_EQ(r.labels, single.labels);
+  EXPECT_DOUBLE_EQ(metrics::adjusted_rand_index(r.labels, single.labels),
+                   1.0);
+}
+
+TEST_F(FaultTest, ShardedPermanentFaultWithDegradationDisabledThrows) {
+  const data::SbmGraph g = sharded_graph();
+  core::SpectralConfig cfg = sharded_config(2);
+  cfg.degradation.enabled = false;
+  cfg.faults = FaultPlan::parse("site=d2d.halo,nth=1,count=0");
+  EXPECT_THROW((void)core::spectral_cluster_graph(g.w, cfg),
+               device::DeviceError);
 }
 
 }  // namespace

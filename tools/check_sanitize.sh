@@ -45,6 +45,8 @@ TESTS=(
   test_budget_anytime
   test_service
   test_result_cache
+  test_device_group
+  test_sharded_differential
   test_hblas
   test_balance
   test_powerlaw

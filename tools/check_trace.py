@@ -4,19 +4,21 @@
 Checks, in order:
   1. Schema: top-level object with a "traceEvents" list; every event has
      name/ph/ts/pid/tid; 'X' (complete) events carry a non-negative dur.
-  2. Track discipline: on each virtual-device track (pid 2: PCIe link tid 1,
-     compute engine tid 2) the spans are pairwise disjoint — the simulated
-     link and compute engine are each serialized, so any overlap within one
-     of those tracks means the emitter is broken.  On wall-clock tracks
+  2. Track discipline: on each virtual-device track (pid 2; device i owns
+     link tid 2i+1 and compute tid 2i+2, so a single device keeps the
+     historical tids 1 and 2) the spans are pairwise disjoint — every
+     simulated link and compute engine is serialized, so any overlap within
+     one of those tracks means the emitter is broken.  On wall-clock tracks
      (pid 1, one tid per thread) spans must be properly nested or disjoint.
-  3. Counter series: every fault.* / degrade.* / service.* / cache.*
-     counter ('C') sample is numeric, non-negative, and non-decreasing by
-     timestamp — the emitters publish cumulative registry values, so a dip
-     means double-reset.
+  3. Counter series: every fault.* / degrade.* / service.* / cache.* /
+     d2d.* counter ('C') sample is numeric, non-negative, and
+     non-decreasing by timestamp — the emitters publish cumulative registry
+     values, so a dip means double-reset.
   4. Optional cross-check (--metrics metrics.json): recompute the
-     transfer-x-kernel overlap from the virtual-timeline intervals and
-     compare it against the device.overlapped_seconds gauge (and the
-     h2d/d2h splits) published by the run, within --tolerance.
+     transfer-x-kernel overlap from the virtual-timeline intervals — summed
+     over every device's (link, compute) track pair — and compare it
+     against the device.overlapped_seconds gauge (and the h2d/d2h/d2d
+     splits) published by the run, within --tolerance.
   5. Optional presence check (--expect-counter NAME, repeatable): fail if
      the trace carries no counter samples with that name.
   6. Optional gauge-ratio assertion (--expect-gauge-ratio "NUM/DEN>=MIN",
@@ -167,7 +169,7 @@ def counter_series(events):
 
 
 CUMULATIVE_PREFIXES = ("fault.", "degrade.", "budget.", "cancel.",
-                       "watchdog.", "service.", "cache.")
+                       "watchdog.", "service.", "cache.", "d2d.")
 
 
 def check_counter_series(series):
@@ -201,20 +203,26 @@ def check_expected_counters(series, names):
 
 def recompute_overlap_seconds(tracks):
     """Pairwise link-x-compute intersection, mirroring DeviceContext's
-    incremental accounting (each copy/kernel interval pair counted once)."""
-    link = tracks.get((VIRTUAL_PID, LINK_TID), [])
-    compute = tracks.get((VIRTUAL_PID, COMPUTE_TID), [])
+    incremental accounting (each copy/kernel interval pair counted once).
+    A DeviceGroup gives device i the tids (2i+1, 2i+2), so overlap is only
+    counted between a link track and its own device's compute track, then
+    summed across devices."""
     total = 0.0
-    split = {"h2d": 0.0, "d2h": 0.0}
-    for cb, ce, cname in link:
-        for kb, ke, _ in compute:
-            ov = min(ce, ke) - max(cb, kb)
-            if ov > 0:
-                total += ov
-                if cname in split:
-                    split[cname] += ov
+    split = {"h2d": 0.0, "d2h": 0.0, "d2d": 0.0}
+    for (pid, tid), link in tracks.items():
+        if pid != VIRTUAL_PID or tid % 2 != 1:
+            continue
+        compute = tracks.get((VIRTUAL_PID, tid + 1), [])
+        for cb, ce, cname in link:
+            for kb, ke, _ in compute:
+                ov = min(ce, ke) - max(cb, kb)
+                if ov > 0:
+                    total += ov
+                    if cname in split:
+                        split[cname] += ov
     scale = 1e-6  # trace is in microseconds, counters in seconds
-    return total * scale, split["h2d"] * scale, split["d2h"] * scale
+    return (total * scale, split["h2d"] * scale, split["d2h"] * scale,
+            split["d2d"] * scale)
 
 
 def check_against_metrics(tracks, metrics_path, tolerance):
@@ -224,10 +232,11 @@ def check_against_metrics(tracks, metrics_path, tolerance):
     want = gauges.get("device.overlapped_seconds")
     if want is None:
         fail(f"{metrics_path} has no device.overlapped_seconds gauge")
-    total, h2d, d2h = recompute_overlap_seconds(tracks)
+    total, h2d, d2h, d2d = recompute_overlap_seconds(tracks)
     checks = [("device.overlapped_seconds", want, total)]
     for key, got in (("device.overlapped_h2d_seconds", h2d),
-                     ("device.overlapped_d2h_seconds", d2h)):
+                     ("device.overlapped_d2h_seconds", d2h),
+                     ("device.overlapped_d2d_seconds", d2d)):
         if key in gauges:
             checks.append((key, gauges[key], got))
     for key, want, got in checks:
@@ -235,7 +244,8 @@ def check_against_metrics(tracks, metrics_path, tolerance):
             fail(f"{key}: counter says {want!r} but trace recomputes "
                  f"{got!r} (|diff| = {abs(want - got):g} > {tolerance:g})")
     print(f"check_trace: overlap cross-check OK "
-          f"(total {total:.9f}s, h2d {h2d:.9f}s, d2h {d2h:.9f}s)")
+          f"(total {total:.9f}s, h2d {h2d:.9f}s, d2h {d2h:.9f}s, "
+          f"d2d {d2d:.9f}s)")
 
 
 def check_gauge_ratios(metrics_path, specs):
@@ -294,7 +304,7 @@ def check_gauges(metrics_path, specs):
 SITE_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 
 COUNT_FIELDS = ("kernel_launches", "transfers_h2d", "transfers_d2h",
-                "bytes_h2d", "bytes_d2h")
+                "transfers_d2d", "bytes_h2d", "bytes_d2h", "bytes_d2d")
 MODEL_FIELDS = ("flops", "bytes_read", "bytes_written", "kernel_seconds",
                 "transfer_seconds")
 
@@ -349,8 +359,10 @@ def check_report_attribution(report_path, seconds_tol):
         fail(f"{report_path}: attribution.device_counters missing")
     exact = (("kernel_launches", "kernel_launches"),
              ("bytes_h2d", "bytes_h2d"), ("bytes_d2h", "bytes_d2h"),
+             ("bytes_d2d", "bytes_d2d"),
              ("transfers_h2d", "transfers_h2d"),
-             ("transfers_d2h", "transfers_d2h"))
+             ("transfers_d2h", "transfers_d2h"),
+             ("transfers_d2d", "transfers_d2d"))
     for site_field, dc_field in exact:
         if sums[site_field] != dc.get(dc_field):
             fail(f"{report_path}: per-site {site_field} sums to "
