@@ -1,0 +1,258 @@
+#include "common/precision.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace fastsc {
+
+const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp64:
+      return "fp64";
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+  }
+  return "fp64";
+}
+
+bool parse_precision(std::string_view s, Precision& out) {
+  if (s == "fp64" || s == "f64" || s == "double") {
+    out = Precision::kFp64;
+    return true;
+  }
+  if (s == "fp32" || s == "f32" || s == "float") {
+    out = Precision::kFp32;
+    return true;
+  }
+  if (s == "bf16" || s == "bfloat16") {
+    out = Precision::kBf16;
+    return true;
+  }
+  return false;
+}
+
+std::uint16_t bf16_from_float(float f) noexcept {
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  if (std::isnan(f)) {
+    // Preserve NaN-ness: keep the top half but force a mantissa bit so the
+    // payload cannot truncate to an Inf pattern.
+    return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round to nearest even on the truncated 16 mantissa bits.
+  const std::uint32_t rounding_bias = 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<std::uint16_t>((bits + rounding_bias) >> 16);
+}
+
+float float_from_bf16(std::uint16_t b) noexcept {
+  const std::uint32_t bits = static_cast<std::uint32_t>(b) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+float float_from_real(real v) noexcept {
+  if (std::isnan(v)) return std::numeric_limits<float>::quiet_NaN() *
+                            (std::signbit(v) ? -1.0f : 1.0f);
+  if (v > static_cast<real>(std::numeric_limits<float>::max())) {
+    // The cast itself is implementation-defined for finite doubles beyond
+    // float range *only* outside the rounding window; be explicit: anything
+    // that RNE would not round back into range overflows to Inf.
+    if (v >= 0x1.ffffffp+127) return std::numeric_limits<float>::infinity();
+  }
+  if (v < -static_cast<real>(std::numeric_limits<float>::max())) {
+    if (v <= -0x1.ffffffp+127) return -std::numeric_limits<float>::infinity();
+  }
+  return static_cast<float>(v);
+}
+
+real quantize(real v, Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp64:
+      return v;
+    case Precision::kFp32:
+      return static_cast<real>(float_from_real(v));
+    case Precision::kBf16:
+      return static_cast<real>(float_from_bf16(bf16_from_float(
+          float_from_real(v))));
+  }
+  return v;
+}
+
+void pack_scalars(const real* src, usize n, Precision p,
+                  unsigned char* dst) noexcept {
+  switch (p) {
+    case Precision::kFp64:
+      if (n > 0) std::memcpy(dst, src, n * sizeof(real));
+      return;
+    case Precision::kFp32: {
+      float* d = reinterpret_cast<float*>(dst);
+      for (usize i = 0; i < n; ++i) d[i] = float_from_real(src[i]);
+      return;
+    }
+    case Precision::kBf16: {
+      std::uint16_t* d = reinterpret_cast<std::uint16_t*>(dst);
+      for (usize i = 0; i < n; ++i) {
+        d[i] = bf16_from_float(float_from_real(src[i]));
+      }
+      return;
+    }
+  }
+}
+
+void unpack_scalars(const unsigned char* src, usize n, Precision p,
+                    real* dst) noexcept {
+  switch (p) {
+    case Precision::kFp64:
+      if (n > 0) std::memcpy(dst, src, n * sizeof(real));
+      return;
+    case Precision::kFp32: {
+      const float* s = reinterpret_cast<const float*>(src);
+      for (usize i = 0; i < n; ++i) dst[i] = static_cast<real>(s[i]);
+      return;
+    }
+    case Precision::kBf16: {
+      const std::uint16_t* s = reinterpret_cast<const std::uint16_t*>(src);
+      for (usize i = 0; i < n; ++i) {
+        dst[i] = static_cast<real>(float_from_bf16(s[i]));
+      }
+      return;
+    }
+  }
+}
+
+void PrecisionPolicy::set_stage(PrecisionStage s, Precision p) noexcept {
+  const auto v = static_cast<std::uint8_t>(p);
+  switch (s) {
+    case PrecisionStage::kSpmv:
+      spmv = v;
+      return;
+    case PrecisionStage::kBasis:
+      basis = v;
+      return;
+    case PrecisionStage::kKmeans:
+      kmeans = v;
+      return;
+    case PrecisionStage::kSimilarity:
+      similarity = v;
+      return;
+  }
+}
+
+Precision PrecisionPolicy::resolve(PrecisionStage s) const noexcept {
+  std::uint8_t v = kUnset;
+  switch (s) {
+    case PrecisionStage::kSpmv:
+      v = spmv;
+      break;
+    case PrecisionStage::kBasis:
+      v = basis;
+      break;
+    case PrecisionStage::kKmeans:
+      v = kmeans;
+      break;
+    case PrecisionStage::kSimilarity:
+      v = similarity;
+      break;
+  }
+  return v == kUnset ? base : static_cast<Precision>(v);
+}
+
+bool PrecisionPolicy::all_fp64() const noexcept {
+  return resolve(PrecisionStage::kSpmv) == Precision::kFp64 &&
+         resolve(PrecisionStage::kBasis) == Precision::kFp64 &&
+         resolve(PrecisionStage::kKmeans) == Precision::kFp64 &&
+         resolve(PrecisionStage::kSimilarity) == Precision::kFp64 &&
+         fuse != FuseKernels::kOn;
+}
+
+bool PrecisionPolicy::fused() const noexcept {
+  if (fuse == FuseKernels::kOn) return true;
+  if (fuse == FuseKernels::kOff) return false;
+  return resolve(PrecisionStage::kSpmv) != Precision::kFp64;
+}
+
+PrecisionPolicy PrecisionPolicy::fp64_fallback() const noexcept {
+  PrecisionPolicy p;
+  p.auto_ladder = false;
+  p.fuse = fuse == FuseKernels::kOn ? FuseKernels::kOn : FuseKernels::kAuto;
+  p.refine_residual_limit = refine_residual_limit;
+  p.refine_rounds = refine_rounds;
+  return p;
+}
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  usize begin = 0;
+  while (begin <= s.size()) {
+    const usize end = s.find(sep, begin);
+    if (end == std::string_view::npos) {
+      out.push_back(s.substr(begin));
+      break;
+    }
+    out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool parse_precision_policy(std::string_view s, PrecisionPolicy& out) {
+  const std::vector<std::string_view> parts = split(s, ',');
+  if (parts.empty() || parts.front().empty()) return false;
+  PrecisionPolicy p;
+  if (parts.front() == "auto") {
+    p.base = Precision::kFp32;
+    p.auto_ladder = true;
+  } else if (!parse_precision(parts.front(), p.base)) {
+    return false;
+  }
+  for (usize i = 1; i < parts.size(); ++i) {
+    const std::string_view part = parts[i];
+    const usize eq = part.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view stage = part.substr(0, eq);
+    Precision prec;
+    if (!parse_precision(part.substr(eq + 1), prec)) return false;
+    if (stage == "spmv") {
+      p.set_stage(PrecisionStage::kSpmv, prec);
+    } else if (stage == "basis") {
+      p.set_stage(PrecisionStage::kBasis, prec);
+    } else if (stage == "kmeans") {
+      p.set_stage(PrecisionStage::kKmeans, prec);
+    } else if (stage == "similarity") {
+      p.set_stage(PrecisionStage::kSimilarity, prec);
+    } else {
+      return false;
+    }
+  }
+  out = p;
+  return true;
+}
+
+std::string precision_policy_name(const PrecisionPolicy& p) {
+  std::string out = p.auto_ladder && p.base == Precision::kFp32
+                        ? std::string("auto")
+                        : std::string(precision_name(p.base));
+  const auto add = [&](const char* stage, std::uint8_t v) {
+    if (v == PrecisionPolicy::kUnset) return;
+    out += ",";
+    out += stage;
+    out += "=";
+    out += precision_name(static_cast<Precision>(v));
+  };
+  add("spmv", p.spmv);
+  add("basis", p.basis);
+  add("kmeans", p.kmeans);
+  add("similarity", p.similarity);
+  return out;
+}
+
+}  // namespace fastsc

@@ -30,4 +30,18 @@ void note_degradation(SpectralResult& result, const char* stage,
 [[nodiscard]] lanczos::LanczosConfig eig_config(const SpectralConfig& cfg,
                                                 index_t n);
 
+/// fp64 Rayleigh-Ritz refinement of a narrow-precision solve (DESIGN.md
+/// §13): orthonormalize the Ritz vectors (CGS2 in fp64), project the exact
+/// operator S = D^-1/2 W D^-1/2 onto their span (W applied host-side in COO
+/// entry order, so single-device and sharded runs refine bit-for-bit
+/// identically), rediagonalize the small projection, and rotate.  `vectors`
+/// holds the eigenvectors row-major (one per eigenvalue, each of length
+/// inv_sqrt_degree.size()); both it and `eigenvalues` are updated in place,
+/// refined pairs reordered to match the incoming eigenvalue ordering.
+/// Returns the post-refinement residual max_i ||S v_i - lambda_i v_i||_2.
+[[nodiscard]] real refine_eigenpairs_fp64(
+    const sparse::Coo& w, const std::vector<real>& inv_sqrt_degree,
+    index_t rounds, std::vector<real>& eigenvalues,
+    std::vector<real>& vectors);
+
 }  // namespace fastsc::core::detail

@@ -78,8 +78,22 @@ void eigensolve_sharded(device::DeviceGroup& group, const sparse::Coo& w,
                         const SpectralConfig& cfg, SpectralResult& result,
                         sparse::RowPartition& part_out) {
   const index_t n = w.rows;
+  const PrecisionPolicy& pp = cfg.precision;
+  const Precision spmv_p = pp.resolve(PrecisionStage::kSpmv);
+  const Precision basis_p = pp.resolve(PrecisionStage::kBasis);
+  const bool fused = pp.fused();
+  const bool eig_narrow =
+      fused || spmv_p != Precision::kFp64 || basis_p != Precision::kFp64;
+  const bool do_refine = eig_narrow && pp.refine_rounds > 0;
 
   lanczos::LanczosConfig ec = detail::eig_config(cfg, n);
+  if (spmv_p != Precision::kFp64 || basis_p != Precision::kFp64) {
+    // Same clamp as the single-device path: don't chase residuals below the
+    // narrow rung's unit roundoff; the fp64 refinement recovers the digits.
+    const bool any_bf16 =
+        spmv_p == Precision::kBf16 || basis_p == Precision::kBf16;
+    ec.tol = std::max(ec.tol, any_bf16 ? real{1e-3} : real{1e-6});
+  }
 
   sparse::RowPartition part;
   {
@@ -104,11 +118,20 @@ void eigensolve_sharded(device::DeviceGroup& group, const sparse::Coo& w,
         ncv_eff);
   }
 
+  graph::NormalizeOptions nopts;
+  nopts.fuse_scale = fused;
   graph::ShardedNormalized norm =
-      graph::sym_normalized_sharded(group, w, part);
+      graph::sym_normalized_sharded(group, w, part, nopts);
   std::vector<real> isd = std::move(norm.inv_sqrt_degree);
   sparse::ShardedCsr sp = sparse::shard_device_locals(
       group, part, std::move(norm.locals), norm.structure);
+  if (fused) {
+    sparse::set_sharded_fused_scale(sp, std::move(norm.isd_replicas));
+  }
+  if (spmv_p != Precision::kFp64) sparse::demote_sharded_values(sp, spmv_p);
+  if (basis_p != Precision::kFp64) {
+    sparse::set_sharded_stage_precision(sp, basis_p);
+  }
   part_out = sp.part;
   const DegradationPolicy& pol = cfg.degradation;
   ec.capture_checkpoints =
@@ -176,8 +199,16 @@ void eigensolve_sharded(device::DeviceGroup& group, const sparse::Coo& w,
     result.checkpoint = std::make_shared<lanczos::LanczosCheckpoint>(
         prob.Solver().last_checkpoint());
   }
-  const std::vector<real> vectors = prob.FindEigenvectors();
+  std::vector<real> vectors = prob.FindEigenvectors();
+  if (do_refine && !vectors.empty()) {
+    // Same host-side fp64 Rayleigh-Ritz pass as the single-device path —
+    // both refine against `w` in its original COO entry order, so labels
+    // stay byte-identical across device counts at every rung.
+    result.refine_residual = detail::refine_eigenpairs_fp64(
+        w, isd, pp.refine_rounds, result.eigenvalues, vectors);
+  }
   result.embedding = detail::to_embedding(vectors, isd, cfg.num_clusters, n);
+  result.precision_used = pp;
 }
 
 /// Empty-cluster repair (identical rule to kmeans.cpp): re-seed each empty
@@ -233,6 +264,21 @@ void kmeans_sharded(device::DeviceGroup& group,
   const real* v = result.embedding.data();
   obs::AttrSiteScope attr_site("kmeans.lloyd");
 
+  // k-means precision rung (DESIGN.md §13): quantize the embedding up front
+  // — the same point kmeans_device quantizes at — so host seeding, repair,
+  // and every device see identical values and labels stay byte-identical
+  // across device counts.
+  const Precision km_p = cfg.precision.resolve(PrecisionStage::kKmeans);
+  const bool km_narrow = km_p != Precision::kFp64;
+  std::vector<real> vquant;
+  if (km_narrow) {
+    vquant.resize(result.embedding.size());
+    for (usize i = 0; i < vquant.size(); ++i) {
+      vquant[i] = quantize(result.embedding[i], km_p);
+    }
+    v = vquant.data();
+  }
+
   // Seeding on the host from the full embedding — trivially independent of
   // the device count (same draws as the host Lloyd baseline).
   Rng rng(cfg.seed);
@@ -259,10 +305,34 @@ void kmeans_sharded(device::DeviceGroup& group,
     sh.row_end = part.end(dev);
     const index_t nl = sh.rows();
     sh.blocks = (nl + kKmeansBlock - 1) / kKmeansBlock;
-    sh.v = device::DeviceBuffer<real>(
-        ctx, std::span<const real>(v + sh.row_begin * d,
-                                   static_cast<usize>(nl) *
-                                       static_cast<usize>(d)));
+    if (!km_narrow) {
+      sh.v = device::DeviceBuffer<real>(
+          ctx, std::span<const real>(v + sh.row_begin * d,
+                                     static_cast<usize>(nl) *
+                                         static_cast<usize>(d)));
+    } else {
+      // Narrow uplink: the local block crosses the link packed at the rung's
+      // width, then widens into the fp64 working copy on the device (the
+      // values are already quantized, so widening is exact).
+      const usize wb = bytes_per_scalar(km_p);
+      const usize cnt = static_cast<usize>(nl) * static_cast<usize>(d);
+      std::vector<unsigned char> packed(cnt * wb);
+      pack_scalars(v + sh.row_begin * d, cnt, km_p, packed.data());
+      const device::DeviceBuffer<unsigned char> staged(
+          ctx, std::span<const unsigned char>(packed));
+      sh.v = device::DeviceBuffer<real>(ctx, cnt);
+      const ConstVecView pv(staged.data(), km_p);
+      real* vp = sh.v.data();
+      const double c = static_cast<double>(cnt);
+      device::LaunchConfig widen_cfg = device::tagged(
+          "precision.stage", c, c * static_cast<double>(wb), c * sizeof(real));
+      widen_cfg.bytes_per_scalar = static_cast<double>(wb);
+      widen_cfg.modeled_seconds = group.modeled_kernel_seconds(
+          widen_cfg.bytes_read + widen_cfg.bytes_written);
+      device::launch(ctx, static_cast<index_t>(cnt),
+                     [=](index_t i) { vp[i] = pv.load(static_cast<usize>(i)); },
+                     widen_cfg);
+    }
     sh.cent = device::DeviceBuffer<real>(ctx, centroids.size());
     sh.cur = device::DeviceBuffer<index_t>(ctx, static_cast<usize>(nl));
     sh.next = device::DeviceBuffer<index_t>(ctx, static_cast<usize>(nl));
@@ -527,6 +597,31 @@ SpectralResult spectral_cluster_graph_sharded(const sparse::Coo& w,
     cancel::StageScope budget_scope(kStageEigensolver);
     obs::AttrSiteScope stage_site("stage.eigensolver");
     eigensolve_sharded(group, w, config, result, part);
+    if (config.precision.auto_ladder &&
+        result.refine_residual > config.precision.refine_residual_limit) {
+      // Auto-precision rung (mirrors core/spectral.cpp): the narrow solve's
+      // fp64 refinement residual stalled above the limit, so abandon its
+      // outputs and re-run the stage with every rung forced to fp64.
+      detail::note_degradation(
+          result, kStageEigensolver, "precision-fallback",
+          "fp64 refinement residual " +
+              std::to_string(result.refine_residual) + " above limit " +
+              std::to_string(config.precision.refine_residual_limit) +
+              "; re-running the eigensolve at fp64");
+      result.eigenvalues.clear();
+      result.embedding.clear();
+      result.eig_converged = false;
+      result.eig_stats = {};
+      result.spmv_seconds = 0;
+      result.checkpoint.reset();
+      result.warm_started = false;
+      result.precision_used = {};
+      result.refine_residual = 0;
+      SpectralConfig fb_cfg = config;
+      fb_cfg.precision = config.precision.fp64_fallback();
+      obs::AttrSiteScope rung_site("fallback.precision_fp64");
+      eigensolve_sharded(group, w, fb_cfg, result, part);
+    }
   }
   result.clock.stop();
 

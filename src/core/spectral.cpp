@@ -20,6 +20,7 @@
 #include "graph/components.h"
 #include "graph/laplacian.h"
 #include "kmeans/lloyd.h"
+#include "lanczos/dense_eig.h"
 #include "lanczos/rci.h"
 #include "obs/attribution.h"
 #include "obs/metrics.h"
@@ -93,12 +94,124 @@ lanczos::LanczosConfig eig_config(const SpectralConfig& cfg, index_t n) {
   return ec;
 }
 
+real refine_eigenpairs_fp64(const sparse::Coo& w,
+                            const std::vector<real>& inv_sqrt_degree,
+                            index_t rounds, std::vector<real>& eigenvalues,
+                            std::vector<real>& vectors) {
+  const auto n = static_cast<index_t>(inv_sqrt_degree.size());
+  if (n <= 0 || vectors.empty() || rounds <= 0) return 0;
+  const auto un = static_cast<usize>(n);
+  const auto nv = static_cast<index_t>(vectors.size() / un);
+  if (nv <= 0) return 0;
+  if (eigenvalues.size() < static_cast<usize>(nv)) {
+    eigenvalues.resize(static_cast<usize>(nv), 0);
+  }
+  const real* isd = inv_sqrt_degree.data();
+
+  // y = S x with W applied entry-by-entry in COO storage order — the order
+  // every caller shares, which keeps refinement bitwise identical across
+  // device counts.
+  std::vector<real> scratch(un);
+  const auto apply = [&](const real* x, real* y) {
+    for (usize i = 0; i < un; ++i) scratch[i] = isd[i] * x[i];
+    std::fill(y, y + un, real{0});
+    const usize nnz = w.values.size();
+    for (usize e = 0; e < nnz; ++e) {
+      y[static_cast<usize>(w.row_idx[e])] +=
+          w.values[e] * scratch[static_cast<usize>(w.col_idx[e])];
+    }
+    for (usize i = 0; i < un; ++i) y[i] *= isd[i];
+  };
+
+  // dense_sym_eig ascends; emit refined pairs in the solver's order.
+  const bool ascending =
+      nv < 2 || eigenvalues.front() <= eigenvalues[static_cast<usize>(nv) - 1];
+  const auto unv = static_cast<usize>(nv);
+  std::vector<real> av(unv * un);
+  std::vector<real> h(unv * unv);
+  std::vector<real> rotated(unv * un);
+  real residual = 0;
+  for (index_t round = 0; round < rounds; ++round) {
+    // CGS2 orthonormalization of the Ritz vectors ("twice is enough").
+    for (index_t i = 0; i < nv; ++i) {
+      real* vi = vectors.data() + static_cast<usize>(i) * un;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (index_t j = 0; j < i; ++j) {
+          const real* vj = vectors.data() + static_cast<usize>(j) * un;
+          real c = 0;
+          for (usize l = 0; l < un; ++l) c += vj[l] * vi[l];
+          for (usize l = 0; l < un; ++l) vi[l] -= c * vj[l];
+        }
+      }
+      real norm2 = 0;
+      for (usize l = 0; l < un; ++l) norm2 += vi[l] * vi[l];
+      if (norm2 > 0) {
+        const real inv = real{1} / std::sqrt(norm2);
+        for (usize l = 0; l < un; ++l) vi[l] *= inv;
+      }
+    }
+    // Project: H = V S V^T (symmetrized against fp64 roundoff).
+    for (index_t i = 0; i < nv; ++i) {
+      apply(vectors.data() + static_cast<usize>(i) * un,
+            av.data() + static_cast<usize>(i) * un);
+    }
+    for (index_t i = 0; i < nv; ++i) {
+      const real* vi = vectors.data() + static_cast<usize>(i) * un;
+      for (index_t j = 0; j < nv; ++j) {
+        const real* aj = av.data() + static_cast<usize>(j) * un;
+        real acc = 0;
+        for (usize l = 0; l < un; ++l) acc += vi[l] * aj[l];
+        h[static_cast<usize>(i) * unv + static_cast<usize>(j)] = acc;
+      }
+    }
+    for (index_t i = 0; i < nv; ++i) {
+      for (index_t j = i + 1; j < nv; ++j) {
+        const real s = (h[static_cast<usize>(i) * unv + static_cast<usize>(j)] +
+                        h[static_cast<usize>(j) * unv + static_cast<usize>(i)]) /
+                       2;
+        h[static_cast<usize>(i) * unv + static_cast<usize>(j)] = s;
+        h[static_cast<usize>(j) * unv + static_cast<usize>(i)] = s;
+      }
+    }
+    const lanczos::DenseEigResult small = lanczos::dense_sym_eig(h.data(), nv);
+    // Rotate V <- U^T V, pairing column `src` of U with refined value `src`.
+    for (index_t out = 0; out < nv; ++out) {
+      const index_t src = ascending ? out : nv - 1 - out;
+      eigenvalues[static_cast<usize>(out)] =
+          small.eigenvalues[static_cast<usize>(src)];
+      real* dst = rotated.data() + static_cast<usize>(out) * un;
+      std::fill(dst, dst + un, real{0});
+      for (index_t j = 0; j < nv; ++j) {
+        const real coef = small.eigenvectors[static_cast<usize>(j) * unv +
+                                             static_cast<usize>(src)];
+        const real* vj = vectors.data() + static_cast<usize>(j) * un;
+        for (usize l = 0; l < un; ++l) dst[l] += coef * vj[l];
+      }
+    }
+    vectors.swap(rotated);
+    residual = 0;
+    for (index_t i = 0; i < nv; ++i) {
+      const real* vi = vectors.data() + static_cast<usize>(i) * un;
+      apply(vi, av.data());
+      const real lambda = eigenvalues[static_cast<usize>(i)];
+      real r2 = 0;
+      for (usize l = 0; l < un; ++l) {
+        const real r = av[l] - lambda * vi[l];
+        r2 += r * r;
+      }
+      residual = std::max(residual, std::sqrt(r2));
+    }
+  }
+  return residual;
+}
+
 }  // namespace detail
 
 namespace {
 
 using detail::eig_config;
 using detail::note_degradation;
+using detail::refine_eigenpairs_fp64;
 using detail::to_embedding;
 
 /// Clear the eigensolver outputs of an abandoned attempt before the next
@@ -111,6 +224,8 @@ void reset_eig_result(SpectralResult& result) {
   result.spmv_seconds = 0;
   result.checkpoint.reset();
   result.warm_started = false;
+  result.precision_used = {};
+  result.refine_residual = 0;
 }
 
 /// One overlapped SpMV wave on a {transfer, compute} stream pair.
@@ -143,6 +258,10 @@ void pipelined_matvec(device::DeviceContext& ctx,
     const index_t c1 = a.col_start[b + 1];
     h2d[b] = exec.add(Exec::kTransferStream, "h2d-x" + std::to_string(b),
                       [&ctx, xp, x, c0, c1] {
+                        // Basis staging lands in its own attribution bucket
+                        // so the precision bench can ratio link bytes across
+                        // rungs (fp64 supplies the denominator).
+                        obs::AttrSiteScope stage_site("spmv.stage");
                         device::copy_h2d(ctx, xp + c0, x + c0,
                                          static_cast<usize>(c1 - c0));
                       });
@@ -184,6 +303,7 @@ void pipelined_matvec(device::DeviceContext& ctx,
         {h2d[nb - 1]});
     exec.add(Exec::kTransferStream, "d2h-y" + std::to_string(t),
              [&ctx, hy, yp, r0, r1] {
+               obs::AttrSiteScope stage_site("spmv.stage");
                device::copy_d2h(ctx, hy + r0, yp + r0,
                                 static_cast<usize>(r1 - r0));
              },
@@ -198,22 +318,47 @@ void pipelined_matvec(device::DeviceContext& ctx,
 /// the link each step — double-buffered through the pipeline executor when
 /// cfg.async_pipeline is set.
 void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
-                       const SpectralConfig& cfg, SpectralResult& result) {
+                       const SpectralConfig& cfg, SpectralResult& result,
+                       const std::vector<real>* degrees = nullptr) {
   const index_t n = w.rows;
+  const PrecisionPolicy& pp = cfg.precision;
+  const Precision spmv_p = pp.resolve(PrecisionStage::kSpmv);
+  const Precision basis_p = pp.resolve(PrecisionStage::kBasis);
+  const bool fused = pp.fused();
+  const bool eig_narrow =
+      fused || spmv_p != Precision::kFp64 || basis_p != Precision::kFp64;
+  const bool do_refine = eig_narrow && pp.refine_rounds > 0;
+
+  // The refinement operator must be the exact fp64 similarity matrix in its
+  // original entry order (refine_eigenpairs_fp64's cross-device-count
+  // contract); snapshot before Algorithm 2 sorts the device COO.
+  sparse::Coo refine_w;
+  if (do_refine) refine_w = w.to_host();  // D2H, metered
+
   device::DeviceBuffer<real> dev_isd;
-  sparse::DeviceCsr p = graph::sym_normalized_device(ctx, w, dev_isd);
+  graph::NormalizeOptions nopts;
+  nopts.fuse_scale = fused;
+  nopts.degrees = degrees;
+  sparse::DeviceCsr p = graph::sym_normalized_device(ctx, w, dev_isd, nopts);
+  if (spmv_p != Precision::kFp64) sparse::demote_csr_values(ctx, p, spmv_p);
 
   // Optional format conversion for the SpMV loop (paper §IV.A: CSC/BSR are
   // also supported).  The conversion round-trips through the host, which is
-  // metered like any other staging.
+  // metered like any other staging.  BSR is an fp64-only path.
+  const bool use_bsr =
+      cfg.spmv_format == DeviceSpmvFormat::kBsr && !eig_narrow;
+  if (cfg.spmv_format == DeviceSpmvFormat::kBsr && eig_narrow) {
+    FASTSC_LOG_WARN("BSR SpMV is fp64-only; the mixed-precision run takes "
+                    "the CSR path");
+  }
   sparse::DeviceBsr p_bsr;
-  if (cfg.spmv_format == DeviceSpmvFormat::kBsr) {
+  if (use_bsr) {
     const sparse::Csr host_csr = p.to_host();
     p_bsr = sparse::DeviceBsr(
         ctx, sparse::csr_to_bsr(host_csr, cfg.bsr_block_size));
   }
   auto spmv = [&](const real* x, real* y) {
-    if (cfg.spmv_format == DeviceSpmvFormat::kBsr) {
+    if (use_bsr) {
       sparse::device_bsrmv(ctx, p_bsr, x, y);
     } else if (cfg.balanced_spmv) {
       sparse::device_csrmv_balanced(ctx, p, x, y);
@@ -224,9 +369,12 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
 
   // Overlapped path: repartition the device-resident normalized matrix into
   // column blocks with device kernels (no matrix PCIe traffic) and keep a
-  // {transfer, compute} stream pair alive across iterations.
-  const bool pipelined =
-      cfg.async_pipeline && cfg.spmv_format == DeviceSpmvFormat::kCsr;
+  // {transfer, compute} stream pair alive across iterations.  Narrow rungs
+  // and the fused epilogue run the synchronous staged wave instead (the
+  // column-block splitter is fp64-only).
+  const bool pipelined = cfg.async_pipeline &&
+                         cfg.spmv_format == DeviceSpmvFormat::kCsr &&
+                         !eig_narrow;
   sparse::DeviceCsrColBlocks p_blocks;
   std::unique_ptr<device::PipelineExecutor> exec;
   if (pipelined) {
@@ -236,6 +384,14 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   }
 
   lanczos::LanczosConfig ec = eig_config(cfg, n);
+  if (spmv_p != Precision::kFp64 || basis_p != Precision::kFp64) {
+    // A narrow rung perturbs the operator at its unit roundoff; asking the
+    // solver for residuals below that only burns restarts.  The fp64
+    // refinement at solve end recovers the extra digits.
+    const bool any_bf16 =
+        spmv_p == Precision::kBf16 || basis_p == Precision::kBf16;
+    ec.tol = std::max(ec.tol, any_bf16 ? real{1e-3} : real{1e-6});
+  }
   const DegradationPolicy& pol = cfg.degradation;
   ec.capture_checkpoints =
       (pol.enabled && pol.resume_failed_solve) || cfg.capture_checkpoint;
@@ -256,8 +412,26 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
                       "(shape or phase mismatch); cold-starting");
     }
   }
-  device::DeviceBuffer<real> dev_x(ctx, static_cast<usize>(n));
-  device::DeviceBuffer<real> dev_y(ctx, static_cast<usize>(n));
+  // Iteration-vector staging: fp64 buffers for the classic wave, or byte
+  // buffers at the basis rung's width — the link then moves packed scalars
+  // and the quantization point matches the sharded x replica exactly.
+  const bool basis_narrow = basis_p != Precision::kFp64;
+  const usize bw = bytes_per_scalar(basis_p);
+  device::DeviceBuffer<real> dev_x;
+  device::DeviceBuffer<real> dev_y;
+  device::DeviceBuffer<unsigned char> x_stage;
+  device::DeviceBuffer<unsigned char> y_stage;
+  std::vector<unsigned char> stage_host;
+  if (basis_narrow) {
+    x_stage = device::DeviceBuffer<unsigned char>(ctx,
+                                                  static_cast<usize>(n) * bw);
+    y_stage = device::DeviceBuffer<unsigned char>(ctx,
+                                                  static_cast<usize>(n) * bw);
+    stage_host.resize(static_cast<usize>(n) * bw);
+  } else {
+    dev_x = device::DeviceBuffer<real>(ctx, static_cast<usize>(n));
+    dev_y = device::DeviceBuffer<real>(ctx, static_cast<usize>(n));
+  }
   std::vector<real> host_y(static_cast<usize>(n));
 
   index_t resumes = 0;
@@ -278,14 +452,58 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
             pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x,
                              dev_y, host_y, cfg.overlap_row_tiles,
                              cfg.balanced_spmv);
+          } else if (eig_narrow) {
+            // Mixed-precision wave: stage x/y at the basis rung's width and
+            // run the view-based csrmv with the optional D^-1/2 epilogue.
+            const real* sc = fused ? dev_isd.data() : nullptr;
+            const ConstVecView xv =
+                basis_narrow ? ConstVecView(x_stage.data(), basis_p)
+                             : ConstVecView(dev_x.data());
+            const VecView yv = basis_narrow ? VecView(y_stage.data(), basis_p)
+                                            : VecView(dev_y.data());
+            {
+              obs::AttrSiteScope stage_site("spmv.stage");
+              if (basis_narrow) {
+                pack_scalars(prob.GetVector(), static_cast<usize>(n), basis_p,
+                             stage_host.data());
+                device::copy_h2d(ctx, x_stage.data(), stage_host.data(),
+                                 static_cast<usize>(n) * bw);
+              } else {
+                dev_x.copy_from_host(std::span<const real>(
+                    prob.GetVector(), static_cast<usize>(n)));
+              }
+            }
+            // Always the row-serial kernel here: the merge-path variant's
+            // carry-fixup rounds boundary rows differently per partition,
+            // and the sharded path accumulates row-serially — cross-device
+            // bitwise label equality at narrow rungs requires the same
+            // entry order on one device.
+            sparse::device_csrmv_mp(ctx, p, xv, yv, 1.0, 0.0, sc);
+            {
+              obs::AttrSiteScope stage_site("spmv.stage");
+              if (basis_narrow) {
+                device::copy_d2h(ctx, stage_host.data(), y_stage.data(),
+                                 static_cast<usize>(n) * bw);
+                unpack_scalars(stage_host.data(), static_cast<usize>(n),
+                               basis_p, host_y.data());
+              } else {
+                dev_y.copy_to_host(std::span<real>(host_y));
+              }
+            }
           } else {
-            // H2D: the vector ARPACK hands out.
-            dev_x.copy_from_host(
-                std::span<const real>(prob.GetVector(), static_cast<usize>(n)));
+            {
+              // H2D: the vector ARPACK hands out.
+              obs::AttrSiteScope stage_site("spmv.stage");
+              dev_x.copy_from_host(std::span<const real>(
+                  prob.GetVector(), static_cast<usize>(n)));
+            }
             // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
             spmv(dev_x.data(), dev_y.data());
-            // D2H: the product back to the RCI.
-            dev_y.copy_to_host(std::span<real>(host_y));
+            {
+              // D2H: the product back to the RCI.
+              obs::AttrSiteScope stage_site("spmv.stage");
+              dev_y.copy_to_host(std::span<real>(host_y));
+            }
           }
         }
         std::copy(host_y.begin(), host_y.end(), prob.PutVector());
@@ -327,28 +545,66 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
     result.checkpoint = std::make_shared<lanczos::LanczosCheckpoint>(
         prob.Solver().last_checkpoint());
   }
-  const std::vector<real> vectors = prob.FindEigenvectors();
+  std::vector<real> vectors = prob.FindEigenvectors();
   const std::vector<real> isd = dev_isd.to_host();  // D2H, metered
+  if (do_refine && !vectors.empty()) {
+    // fp64 rung of the ladder: Rayleigh-Ritz against the exact operator
+    // recovers the digits the narrow solve left on the table and yields the
+    // residual the auto ladder gates on.
+    result.refine_residual = refine_eigenpairs_fp64(
+        refine_w, isd, pp.refine_rounds, result.eigenvalues, vectors);
+  }
   result.embedding = to_embedding(vectors, isd, cfg.num_clusters, n);
+  result.precision_used = pp;
 }
 
 void eigensolve_host(const sparse::Coo& w, const SpectralConfig& cfg,
                      SpectralResult& result);
 
+/// Auto-precision rung (DESIGN.md §13): when the fp64 refinement residual of
+/// a narrow solve exceeds the policy's limit, abandon its outputs and re-run
+/// the eigensolve with every stage forced to fp64 — the same note_degradation
+/// machinery as the PR 3 ladder, action "precision-fallback".
+template <class DeviceW>
+void precision_fallback_rerun(device::DeviceContext& ctx,
+                              const SpectralConfig& cfg,
+                              SpectralResult& result, DeviceW&& device_w,
+                              const std::vector<real>* degrees) {
+  const PrecisionPolicy& pp = cfg.precision;
+  if (!pp.auto_ladder || result.refine_residual <= pp.refine_residual_limit) {
+    return;
+  }
+  note_degradation(result, kStageEigensolver, "precision-fallback",
+                   "fp64 refinement residual " +
+                       std::to_string(result.refine_residual) +
+                       " above limit " +
+                       std::to_string(pp.refine_residual_limit) +
+                       "; re-running the eigensolve at fp64");
+  SpectralConfig fb_cfg = cfg;
+  fb_cfg.precision = pp.fp64_fallback();
+  reset_eig_result(result);
+  obs::AttrSiteScope rung_site("fallback.precision_fp64");
+  eigensolve_device(ctx, device_w(), fb_cfg, result, degrees);
+}
+
 /// Eigensolver degradation ladder: async device pipeline -> synchronous CSR
 /// device path -> host backend.  `device_w` / `host_w` lazily materialize
 /// the similarity matrix on the respective side, so a rung only pays for
-/// the representation it actually uses.
+/// the representation it actually uses.  `degrees` optionally carries the
+/// operator row sums from the fused similarity+degree build so Algorithm 2
+/// skips its ones-SpMV.
 template <class DeviceW, class HostW>
 void eigensolve_device_ladder(device::DeviceContext& ctx,
                               const SpectralConfig& cfg,
                               SpectralResult& result, DeviceW&& device_w,
-                              HostW&& host_w) {
+                              HostW&& host_w,
+                              const std::vector<real>* degrees = nullptr) {
   const DegradationPolicy& pol = cfg.degradation;
   std::exception_ptr last_error;
   std::string reason;
   try {
-    eigensolve_device(ctx, device_w(), cfg, result);
+    eigensolve_device(ctx, device_w(), cfg, result, degrees);
+    precision_fallback_rerun(ctx, cfg, result, device_w, degrees);
     return;
   } catch (const device::DeviceError& e) {
     if (!pol.enabled) throw;
@@ -366,7 +622,8 @@ void eigensolve_device_ladder(device::DeviceContext& ctx,
       // Ladder-rung site: the retried solve's device work lands in its own
       // bucket so a degraded run is visible in the attribution table.
       obs::AttrSiteScope rung_site("fallback.device_sync");
-      eigensolve_device(ctx, device_w(), sync_cfg, result);
+      eigensolve_device(ctx, device_w(), sync_cfg, result, degrees);
+      precision_fallback_rerun(ctx, sync_cfg, result, device_w, degrees);
       return;
     } catch (const device::DeviceError& e) {
       last_error = std::current_exception();
@@ -432,6 +689,7 @@ void kmeans_stage_run(device::DeviceContext& ctx, const SpectralConfig& cfg,
       kc.seeding = cfg.seeding;
       kc.seed = cfg.seed;
       kc.async_pipeline = cfg.async_pipeline;
+      kc.precision = cfg.precision.resolve(PrecisionStage::kKmeans);
       kc.record_inertia = cfg.record_kmeans_inertia;
       // Degradation ladder: async device -> sync device -> host Lloyd.
       const DegradationPolicy& pol = cfg.degradation;
@@ -574,12 +832,16 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
     std::optional<sparse::DeviceCoo> dev_w;
     sparse::Coo host_w_storage;
     bool have_host = false;
+    std::vector<real> fused_degrees;
+    bool have_degrees = false;
 
     result.clock.start(kStageSimilarity);
     {
       obs::ScopedSpan span(kStageSimilarity, "stage");
       cancel::StageScope budget_scope(kStageSimilarity);
       obs::AttrSiteScope stage_site("stage.similarity");
+      const Precision sim_p =
+          config.precision.resolve(PrecisionStage::kSimilarity);
       try {
         if (config.similarity_chunk_edges > 0) {
           // Out-of-core Algorithm 1: the edge list streams through the
@@ -589,6 +851,14 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
               config.similarity_chunk_edges);
           have_host = true;
           dev_w.emplace(ctx, host_w_storage);
+        } else if (config.precision.fused() || sim_p != Precision::kFp64) {
+          // Fused Algorithm 1 + degree pass (DESIGN.md §13): similarity
+          // values quantize to the rung on store, and the operator row sums
+          // come out of the same edge sweep so Algorithm 2 skips its
+          // ones-SpMV.
+          dev_w.emplace(graph::build_similarity_device_fused_degrees(
+              ctx, x, n, d, sym, config.similarity, fused_degrees, sim_p));
+          have_degrees = true;
         } else {
           dev_w.emplace(graph::build_similarity_device(ctx, x, n, d, sym,
                                                        config.similarity));
@@ -598,6 +868,7 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
         note_degradation(result, kStageSimilarity, "host-similarity",
                          e.what());
         dev_w.reset();
+        have_degrees = false;
         obs::AttrSiteScope rung_site("fallback.host_similarity");
         host_w_storage =
             baseline::similarity_loop(x, n, d, sym, config.similarity);
@@ -622,7 +893,8 @@ SpectralResult spectral_cluster_points(const real* x, index_t n, index_t d,
         }
         return host_w_storage;
       };
-      eigensolve_device_ladder(ctx, config, result, device_w, host_w);
+      eigensolve_device_ladder(ctx, config, result, device_w, host_w,
+                               have_degrees ? &fused_degrees : nullptr);
     }
     result.clock.stop();
   } else {

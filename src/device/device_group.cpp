@@ -126,6 +126,8 @@ obs::SiteStats DeviceGroup::rollup_attribution() const {
     total.bytes_written += t.bytes_written;
     total.kernel_seconds += t.kernel_seconds;
     total.transfer_seconds += t.transfer_seconds;
+    total.scalar_bytes += t.scalar_bytes;
+    total.scalar_weighted += t.scalar_weighted;
   }
   return total;
 }

@@ -161,6 +161,126 @@ sparse::DeviceCoo build_similarity_device(device::DeviceContext& ctx,
   return coo;
 }
 
+sparse::DeviceCoo build_similarity_device_fused_degrees(
+    device::DeviceContext& ctx, const real* x, index_t n, index_t d,
+    const EdgeList& edges, const SimilarityParams& params,
+    std::vector<real>& degrees, Precision value_precision,
+    bool clamp_nonpositive) {
+  const index_t nnz = edges.size();
+  obs::AttrSiteScope attr_site("graph.similarity");
+
+  device::DeviceBuffer<real> dev_x(
+      ctx, std::span<const real>(
+               x, static_cast<usize>(n) * static_cast<usize>(d)));
+  device::DeviceBuffer<index_t> dev_u(ctx, std::span<const index_t>(edges.u));
+  device::DeviceBuffer<index_t> dev_v(ctx, std::span<const index_t>(edges.v));
+  device::DeviceBuffer<real> dev_avg(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_norm(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_val(ctx, static_cast<usize>(nnz));
+
+  real* xp = dev_x.data();
+  real* avg = dev_avg.data();
+  real* nrm = dev_norm.data();
+  const bool center = params.measure == SimilarityMeasure::kCrossCorrelation;
+  if (center) {
+    device::launch(ctx, n, [=](index_t i) {
+      const real* row = xp + i * d;
+      real mean = 0;
+      for (index_t l = 0; l < d; ++l) mean += row[l];
+      avg[i] = mean / static_cast<real>(d);
+    });
+  } else {
+    device::fill(ctx, avg, n, real{0});
+  }
+  device::launch(ctx, n, [=](index_t i) {
+    real* row = xp + i * d;
+    const real mean = avg[i];
+    real acc = 0;
+    for (index_t l = 0; l < d; ++l) {
+      row[l] -= mean;
+      acc += row[l] * row[l];
+    }
+    nrm[i] = std::sqrt(acc);
+  });
+
+  // compute_similarity with the value quantized through the target storage
+  // width on store (quantize is the identity at fp64, so the fp64 run is
+  // bitwise the unfused kernel).
+  const index_t* up = dev_u.data();
+  const index_t* vp = dev_v.data();
+  real* val = dev_val.data();
+  const SimilarityParams p = params;
+  const bool clamp = clamp_nonpositive;
+  const Precision prec = value_precision;
+  const auto bps = static_cast<double>(bytes_per_scalar(prec));
+  {
+    const double nnzd = static_cast<double>(nnz);
+    const double rbytes =
+        nnzd * (2.0 * d * sizeof(real) + 2.0 * sizeof(index_t));
+    const double wbytes = nnzd * bps;
+    device::LaunchConfig cfg =
+        device::tagged("graph.similarity", 3.0 * nnzd * d, rbytes, wbytes);
+    const double rscalar = nnzd * 2.0 * d * sizeof(real);
+    cfg.bytes_per_scalar =
+        (rscalar * sizeof(real) + wbytes * bps) / (rscalar + wbytes);
+    device::launch(ctx, nnz, [=](index_t e) {
+      const index_t i = up[e];
+      const index_t j = vp[e];
+      const real s = similarity_precomputed(xp + i * d, xp + j * d, nrm[i],
+                                            nrm[j], d, p);
+      val[e] = quantize(clamp_sim(s, clamp), prec);
+    }, cfg);
+  }
+
+  // Fused degree pass: a fixed number of contiguous edge spans accumulate
+  // span-partial degree rows (each span thread owns its row — no cross-
+  // thread writes), then a fold in ascending span order.  The span count is
+  // a constant, NOT the worker count, so every degree bit is machine- and
+  // device-count-independent.
+  constexpr index_t kFusedDegreeSpans = 64;
+  const index_t spans = std::min<index_t>(kFusedDegreeSpans,
+                                          std::max<index_t>(nnz, 1));
+  device::DeviceBuffer<real> partial(
+      ctx, static_cast<usize>(spans) * static_cast<usize>(n));
+  device::DeviceBuffer<real> deg(ctx, static_cast<usize>(n));
+  device::fill(ctx, partial.data(), spans * n, real{0});
+  real* pp = partial.data();
+  {
+    const double nnzd = static_cast<double>(nnz);
+    device::LaunchConfig cfg = device::tagged(
+        "graph.degree_fused", nnzd, nnzd * (bps + sizeof(index_t)),
+        nnzd * sizeof(real));
+    cfg.bytes_per_scalar =
+        (nnzd * bps * bps + nnzd * 8.0 * 8.0) / (nnzd * bps + nnzd * 8.0);
+    device::launch(ctx, spans, [=](index_t s) {
+      const index_t b = s * nnz / spans;
+      const index_t e1 = (s + 1) * nnz / spans;
+      real* mine = pp + s * n;
+      for (index_t e = b; e < e1; ++e) mine[up[e]] += val[e];
+    }, cfg);
+  }
+  real* dp = deg.data();
+  {
+    const double work = static_cast<double>(spans) * static_cast<double>(n);
+    device::launch(ctx, n, [=](index_t i) {
+      real acc = 0;
+      for (index_t s = 0; s < spans; ++s) acc += pp[s * n + i];
+      dp[i] = acc;
+    }, device::tagged("graph.degree_fused", work, work * sizeof(real),
+                      static_cast<double>(n) * sizeof(real)));
+  }
+  degrees.resize(static_cast<usize>(n));
+  deg.copy_to_host(std::span<real>(degrees));
+
+  sparse::DeviceCoo coo;
+  coo.rows = n;
+  coo.cols = n;
+  coo.row_idx = std::move(dev_u);
+  coo.col_idx = std::move(dev_v);
+  coo.values = std::move(dev_val);
+  return coo;
+}
+
 sparse::Coo build_similarity_device_chunked(device::DeviceContext& ctx,
                                             const real* x, index_t n,
                                             index_t d, const EdgeList& edges,

@@ -44,6 +44,28 @@ namespace fastsc::graph {
     const EdgeList& edges, const SimilarityParams& params,
     bool clamp_nonpositive = true);
 
+/// Fused Algorithm 1 + degree pass (mixed-precision ladder, DESIGN.md §13):
+/// builds the device COO like build_similarity_device and computes the
+/// weighted degrees d_i = sum_j W_ij in the same build stage, without first
+/// materializing a CSR — a span-partial edge sweep (kFusedDegreeSpans fixed
+/// contiguous spans, each folded in ascending span order) replaces the
+/// sort + coo2csr + ones-SpMV degree prologue of Algorithm 2.  The span
+/// count is fixed so the fold order — and hence every degree bit — is
+/// independent of the worker count and of the device count (the sharded
+/// path consumes the same host vector).  Note the fold order differs from
+/// CSR entry order, so fused-build degrees are numerically (not bitwise)
+/// equal to the unfused path's.
+///
+/// `value_precision` below fp64 quantizes each similarity on store (RNE
+/// through the narrow width; degrees then accumulate the *quantized*
+/// values in fp64, keeping d_i an exact row sum of the operator actually
+/// used).  `degrees` is filled with the host vector (length n).
+[[nodiscard]] sparse::DeviceCoo build_similarity_device_fused_degrees(
+    device::DeviceContext& ctx, const real* x, index_t n, index_t d,
+    const EdgeList& edges, const SimilarityParams& params,
+    std::vector<real>& degrees, Precision value_precision = Precision::kFp64,
+    bool clamp_nonpositive = true);
+
 /// Out-of-core variant of Algorithm 1 for edge lists that exceed the device
 /// memory budget (the paper's K20c has 5 GB; the DTI edge list alone is
 /// ~100 MB and the nnz-length value vector rides along).  X and the

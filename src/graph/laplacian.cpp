@@ -1,5 +1,6 @@
 #include "graph/laplacian.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -134,6 +135,13 @@ sparse::Csr sym_normalized_host(const sparse::Coo& w,
 sparse::DeviceCsr sym_normalized_device(
     device::DeviceContext& ctx, sparse::DeviceCoo& w,
     device::DeviceBuffer<real>& inv_sqrt_degree) {
+  return sym_normalized_device(ctx, w, inv_sqrt_degree, NormalizeOptions{});
+}
+
+sparse::DeviceCsr sym_normalized_device(
+    device::DeviceContext& ctx, sparse::DeviceCoo& w,
+    device::DeviceBuffer<real>& inv_sqrt_degree,
+    const NormalizeOptions& opts) {
   FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
   obs::AttrSiteScope attr_site("laplacian.normalize");
   const index_t n = w.rows;
@@ -143,12 +151,24 @@ sparse::DeviceCsr sym_normalized_device(
   sparse::DeviceCsr w_csr;
   sparse::device_coo2csr(ctx, w, w_csr);
 
-  device::DeviceBuffer<real> ones(ctx, static_cast<usize>(n));
-  device::DeviceBuffer<real> y(ctx, static_cast<usize>(n));
-  device::fill(ctx, ones.data(), n, real{1});
-  sparse::device_csrmv(ctx, w_csr, ones.data(), y.data());
+  device::DeviceBuffer<real> y;
+  if (opts.degrees != nullptr) {
+    // Degrees already computed in the fused similarity+degree pass — one
+    // metered upload replaces the ones vector and the degree SpMV.
+    FASTSC_CHECK(static_cast<index_t>(opts.degrees->size()) == n,
+                 "precomputed degree vector must have length rows");
+    for (real di : *opts.degrees) {
+      FASTSC_CHECK(di > 0,
+                   "zero-degree vertex: remove isolated nodes before "
+                   "normalizing (paper §IV.B)");
+    }
+    y = device::DeviceBuffer<real>(ctx, std::span<const real>(*opts.degrees));
+  } else {
+    device::DeviceBuffer<real> ones(ctx, static_cast<usize>(n));
+    y = device::DeviceBuffer<real>(ctx, static_cast<usize>(n));
+    device::fill(ctx, ones.data(), n, real{1});
+    sparse::device_csrmv(ctx, w_csr, ones.data(), y.data());
 
-  {
     const std::vector<real> yh = y.to_host();
     for (real di : yh) {
       FASTSC_CHECK(di > 0,
@@ -162,6 +182,13 @@ sparse::DeviceCsr sym_normalized_device(
   const real* yp = y.data();
   device::launch(ctx, n, [=](index_t i) { isd[i] = 1.0 / std::sqrt(yp[i]); },
                  device::tagged("laplacian.scale"));
+
+  if (opts.fuse_scale) {
+    // Fused epilogue: the raw CSR is the operator; D^-1/2 is applied inside
+    // the SpMV kernels.  Skips the nnz ScaleElements pass AND the second
+    // coo2csr compress below.
+    return w_csr;
+  }
 
   // ScaleElements: thread e scales entry e by isd[row] * isd[col].
   const index_t* rows = w.row_idx.data();
@@ -183,6 +210,13 @@ sparse::DeviceCsr sym_normalized_device(
 ShardedNormalized sym_normalized_sharded(device::DeviceGroup& group,
                                          const sparse::Coo& w,
                                          const sparse::RowPartition& part) {
+  return sym_normalized_sharded(group, w, part, NormalizeOptions{});
+}
+
+ShardedNormalized sym_normalized_sharded(device::DeviceGroup& group,
+                                         const sparse::Coo& w,
+                                         const sparse::RowPartition& part,
+                                         const NormalizeOptions& opts) {
   FASTSC_CHECK(w.rows == w.cols, "similarity matrix must be square");
   const auto parts = static_cast<index_t>(group.size());
   FASTSC_CHECK(part.parts == parts && part.rows == w.rows,
@@ -225,9 +259,25 @@ ShardedNormalized sym_normalized_sharded(device::DeviceGroup& group,
     sparse::DeviceCoo chunk(ctx, hc);
     sparse::device_sort_coo(ctx, chunk);
     sparse::device_coo2csr(ctx, chunk, out.locals[static_cast<usize>(d)]);
+    if (nl == 0) {
+      degs[static_cast<usize>(d)] =
+          device::DeviceBuffer<real>(ctx, static_cast<usize>(nl));
+      continue;
+    }
+    if (opts.degrees != nullptr) {
+      // Fused-build degrees: one metered segment upload per device in
+      // place of the rowsum kernel + degree download.
+      FASTSC_CHECK(static_cast<index_t>(opts.degrees->size()) == n,
+                   "precomputed degree vector must have length rows");
+      degs[static_cast<usize>(d)] = device::DeviceBuffer<real>(
+          ctx, std::span<const real>(opts.degrees->data() + part.begin(d),
+                                     static_cast<usize>(nl)));
+      std::copy_n(opts.degrees->data() + part.begin(d),
+                  static_cast<usize>(nl), host_deg.data() + part.begin(d));
+      continue;
+    }
     degs[static_cast<usize>(d)] =
         device::DeviceBuffer<real>(ctx, static_cast<usize>(nl));
-    if (nl == 0) continue;
     // Degrees in CSR entry order — the same per-row accumulation the
     // single-device path's ones-vector csrmv performs (v * 1.0 == v).
     const index_t* row_ptr = out.locals[static_cast<usize>(d)].row_ptr.data();
@@ -299,6 +349,7 @@ ShardedNormalized sym_normalized_sharded(device::DeviceGroup& group,
     st.col_idx.resize(static_cast<usize>(local.nnz()));
     local.row_ptr.copy_to_host(std::span<index_t>(st.row_ptr));
     local.col_idx.copy_to_host(std::span<index_t>(st.col_idx));
+    if (opts.fuse_scale) continue;  // raw values; epilogue applies D^-1/2
     if (nl == 0 || local.nnz() == 0) continue;
     const index_t* row_ptr = local.row_ptr.data();
     const index_t* col_idx = local.col_idx.data();
@@ -316,6 +367,7 @@ ShardedNormalized sym_normalized_sharded(device::DeviceGroup& group,
                        nnzd * (3.0 * sizeof(real) + 2.0 * sizeof(index_t)),
                        nnzd * sizeof(real)));
   }
+  if (opts.fuse_scale) out.isd_replicas = std::move(isd);
   return out;
 }
 

@@ -48,11 +48,34 @@ namespace fastsc::graph {
 [[nodiscard]] sparse::Csr sym_normalized_host(
     const sparse::Coo& w, std::vector<real>& inv_sqrt_degree);
 
+/// Options for the device/sharded Algorithm 2 variants (mixed-precision
+/// ladder, DESIGN.md §13).
+struct NormalizeOptions {
+  /// Skip the ScaleElements pass and the second coo2csr compress: the
+  /// returned CSR holds the RAW similarity values and the caller applies
+  /// D^-1/2 inside the SpMV epilogue (device_csrmv_mp's fused_scale /
+  /// set_sharded_fused_scale).  The fused operator is numerically (not
+  /// bitwise) equal to pre-scaled values: the epilogue computes
+  /// isd_r * (sum w * (isd_c * x_c)) — bitwise identical to the 3-launch
+  /// scale/spmv/scale sequence, associated differently from scaling w.
+  bool fuse_scale = false;
+  /// Precomputed weighted degrees (length rows; e.g. from the fused
+  /// similarity+degree build pass).  Skips the on-device ones-SpMV /
+  /// rowsum degree pass.  Must be the exact operator row sums.
+  const std::vector<real>* degrees = nullptr;
+};
+
 /// Device variant of sym_normalized_host: Algorithm 2 with the ScaleElements
 /// kernel scaling each COO entry by 1/sqrt(y_row * y_col).
 [[nodiscard]] sparse::DeviceCsr sym_normalized_device(
     device::DeviceContext& ctx, sparse::DeviceCoo& w,
     device::DeviceBuffer<real>& inv_sqrt_degree);
+
+/// As above with NormalizeOptions (fused epilogue / precomputed degrees).
+[[nodiscard]] sparse::DeviceCsr sym_normalized_device(
+    device::DeviceContext& ctx, sparse::DeviceCoo& w,
+    device::DeviceBuffer<real>& inv_sqrt_degree,
+    const NormalizeOptions& opts);
 
 /// Output of the distributed Algorithm 2 (sym_normalized_sharded).
 struct ShardedNormalized {
@@ -64,6 +87,10 @@ struct ShardedNormalized {
   std::vector<sparse::Csr> structure;
   /// Host 1/sqrt(d_i), globally indexed (the embedding back-map needs it).
   std::vector<real> inv_sqrt_degree;
+  /// Per-device full-length 1/sqrt(d) replicas — filled only under
+  /// NormalizeOptions::fuse_scale (locals then hold RAW values); hand these
+  /// to sparse::set_sharded_fused_scale.
+  std::vector<device::DeviceBuffer<real>> isd_replicas;
 };
 
 /// Distributed Algorithm 2 over a DeviceGroup: each device sorts, converts,
@@ -78,5 +105,10 @@ struct ShardedNormalized {
 [[nodiscard]] ShardedNormalized sym_normalized_sharded(
     device::DeviceGroup& group, const sparse::Coo& w,
     const sparse::RowPartition& part);
+
+/// As above with NormalizeOptions (fused epilogue / precomputed degrees).
+[[nodiscard]] ShardedNormalized sym_normalized_sharded(
+    device::DeviceGroup& group, const sparse::Coo& w,
+    const sparse::RowPartition& part, const NormalizeOptions& opts);
 
 }  // namespace fastsc::graph

@@ -46,6 +46,215 @@ void repair_empty_clusters(std::vector<real>& centroids,
   }
 }
 
+/// Narrow-rung Lloyd: mirrors the sharded k-means sweep arithmetic exactly —
+/// direct squared distances, fixed 256-point block partials folded in
+/// ascending block order, host-side centroid update, farthest-point repair,
+/// host seeding — so a single-device run is bitwise label-identical to a
+/// sharded run at the same rung, for any device count.  The fp64 path's
+/// expanded-norm GEMM (Vnorm + Cnorm - 2<v,c>) rounds differently, which a
+/// coarse rung turns into visible label flips at quantization ties.
+/// `v` is the already-quantized host embedding.
+constexpr index_t kNarrowBlock = 256;  // == core's kKmeansBlock
+
+KmeansResult kmeans_lloyd_narrow(device::DeviceContext& ctx, const real* v,
+                                 index_t n, index_t d,
+                                 const KmeansConfig& config) {
+  const index_t k = config.k;
+  const Precision prec = config.precision;
+  Rng rng(config.seed);
+
+  // Host seeding over the quantized points — the same draws the sharded
+  // path makes, independent of the device count.
+  const std::vector<index_t> seed_rows =
+      config.seeding == Seeding::kKmeansPlusPlus
+          ? kmeanspp_seeds_host(v, n, d, k, rng)
+          : random_seeds_host(n, k, rng);
+  std::vector<real> centroids(static_cast<usize>(k) * static_cast<usize>(d));
+  const std::vector<real> host_v(
+      v, v + static_cast<usize>(n) * static_cast<usize>(d));
+  for (index_t c = 0; c < k; ++c) {
+    std::copy(host_v.begin() + seed_rows[static_cast<usize>(c)] * d,
+              host_v.begin() + (seed_rows[static_cast<usize>(c)] + 1) * d,
+              centroids.begin() + c * d);
+  }
+
+  // Narrow uplink: packed scalars over PCIe, widened into the fp64 working
+  // copy the sweep kernels read (values already quantized, so widening is
+  // exact and every device-count sees the same fp64 bits).
+  const usize w = bytes_per_scalar(prec);
+  const usize cnt = static_cast<usize>(n) * static_cast<usize>(d);
+  std::vector<unsigned char> packed(cnt * w);
+  pack_scalars(v, cnt, prec, packed.data());
+  const device::DeviceBuffer<unsigned char> staged(
+      ctx, std::span<const unsigned char>(packed));
+  device::DeviceBuffer<real> dev_v(ctx, cnt);
+  {
+    const ConstVecView pv(staged.data(), prec);
+    real* vp = dev_v.data();
+    const double c = static_cast<double>(cnt);
+    device::LaunchConfig cfg = device::tagged(
+        "precision.stage", c, c * static_cast<double>(w), c * sizeof(real));
+    cfg.bytes_per_scalar = static_cast<double>(w);
+    device::launch(ctx, static_cast<index_t>(cnt),
+                   [=](index_t i) { vp[i] = pv.load(static_cast<usize>(i)); },
+                   cfg);
+  }
+
+  // Partial record per block: k*d centroid sums, k counts, changed, inertia.
+  const index_t blocks = (n + kNarrowBlock - 1) / kNarrowBlock;
+  const usize stride = static_cast<usize>(k) * static_cast<usize>(d) +
+                       static_cast<usize>(k) + 2;
+  device::DeviceBuffer<real> dev_cent(ctx, centroids.size());
+  device::DeviceBuffer<index_t> dev_cur(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<index_t> dev_next(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_mindist(ctx, static_cast<usize>(n));
+  device::DeviceBuffer<real> dev_partials(
+      ctx, static_cast<usize>(blocks) * stride);
+  {
+    // Labels start at the invalid value k so the first sweep counts every
+    // point as changed (the sharded cold-start convention).
+    index_t* cur = dev_cur.data();
+    device::launch(ctx, n, [cur, k](index_t i) { cur[i] = k; },
+                   device::tagged("kmeans.init"));
+  }
+
+  KmeansResult result;
+  std::vector<real> host_partials(static_cast<usize>(blocks) * stride);
+  std::vector<real> sums(centroids.size());
+  std::vector<index_t> counts(static_cast<usize>(k));
+  real inertia = 0;
+  index_t iterations = 0;
+  for (index_t sweep = 0; sweep < config.max_iters; ++sweep) {
+    cancel::poll("kmeans.sweep");
+    dev_cent.copy_from_host(std::span<const real>(centroids));
+
+    const real* pv = dev_v.data();
+    const real* cent = dev_cent.data();
+    index_t* next = dev_next.data();
+    const index_t* cur = dev_cur.data();
+    real* min_dist = dev_mindist.data();
+    real* partials = dev_partials.data();
+    device::launch(
+        ctx, n,
+        [pv, cent, next, min_dist, k, d](index_t i) {
+          const real* row = pv + i * d;
+          index_t best = 0;
+          real best_val = 0;
+          for (index_t c = 0; c < k; ++c) {
+            real dist = 0;
+            const real* cc = cent + c * d;
+            for (index_t l = 0; l < d; ++l) {
+              const real diff = row[l] - cc[l];
+              dist += diff * diff;
+            }
+            if (c == 0 || dist < best_val) {
+              best_val = dist;
+              best = c;
+            }
+          }
+          next[i] = best;
+          min_dist[i] = best_val;
+        },
+        device::tagged(
+            "kmeans.assign",
+            3.0 * static_cast<double>(n) * static_cast<double>(k) *
+                static_cast<double>(d),
+            static_cast<double>(n) * static_cast<double>(d + k * d) *
+                sizeof(real),
+            static_cast<double>(n) * 2.0 * sizeof(real)));
+
+    const usize block_stride = stride;
+    const index_t nl = n;
+    device::launch(
+        ctx, blocks,
+        [pv, next, cur, min_dist, partials, nl, k, d,
+         block_stride](index_t b) {
+          real* rec = partials + static_cast<usize>(b) * block_stride;
+          for (usize s = 0; s < block_stride; ++s) rec[s] = 0;
+          real* rsums = rec;
+          real* rcounts = rec + k * d;
+          real& rchanged = rec[block_stride - 2];
+          real& rinertia = rec[block_stride - 1];
+          const index_t i0 = b * kNarrowBlock;
+          const index_t i1 = std::min(nl, i0 + kNarrowBlock);
+          for (index_t i = i0; i < i1; ++i) {
+            const index_t lab = next[i];
+            const real* row = pv + i * d;
+            for (index_t l = 0; l < d; ++l) rsums[lab * d + l] += row[l];
+            rcounts[lab] += 1;
+            if (next[i] != cur[i]) rchanged += 1;
+            rinertia += min_dist[i];
+          }
+        },
+        device::tagged(
+            "kmeans.block_reduce",
+            static_cast<double>(n) * static_cast<double>(d + 2),
+            static_cast<double>(n) *
+                (static_cast<double>(d) * sizeof(real) +
+                 2.0 * sizeof(index_t)),
+            static_cast<double>(blocks) * static_cast<double>(stride) *
+                sizeof(real)));
+
+    // Fold block partials in ascending global block order — bitwise the
+    // same centroid update the sharded root performs.
+    dev_partials.copy_to_host(std::span<real>(host_partials));
+    std::fill(sums.begin(), sums.end(), real{0});
+    std::fill(counts.begin(), counts.end(), index_t{0});
+    index_t changed = 0;
+    inertia = 0;
+    for (index_t b = 0; b < blocks; ++b) {
+      const real* rec = host_partials.data() + static_cast<usize>(b) * stride;
+      for (usize s = 0; s < sums.size(); ++s) sums[s] += rec[s];
+      for (index_t c = 0; c < k; ++c) {
+        counts[static_cast<usize>(c)] +=
+            static_cast<index_t>(rec[static_cast<usize>(k * d + c)]);
+      }
+      changed += static_cast<index_t>(rec[stride - 2]);
+      inertia += rec[stride - 1];
+    }
+
+    iterations = sweep + 1;
+    if (config.record_inertia || obs::trace_enabled()) {
+      result.inertia_history.push_back(inertia);
+      result.changed_history.push_back(changed);
+      if (obs::trace_enabled()) {
+        const double now = obs::wall_now_us();
+        obs::trace().counter("kmeans.inertia", inertia, now);
+        obs::trace().counter("kmeans.changed", static_cast<double>(changed),
+                             now);
+      }
+    }
+
+    dev_cur.swap(dev_next);
+    if (changed == 0) {
+      result.converged = true;
+      break;
+    }
+
+    for (index_t c = 0; c < k; ++c) {
+      const index_t cc = counts[static_cast<usize>(c)];
+      if (cc == 0) continue;  // repaired below
+      const real inv = real{1} / static_cast<real>(cc);
+      for (index_t l = 0; l < d; ++l) {
+        centroids[static_cast<usize>(c * d + l)] =
+            sums[static_cast<usize>(c * d + l)] * inv;
+      }
+    }
+    if (std::any_of(counts.begin(), counts.end(),
+                    [](index_t c) { return c == 0; })) {
+      repair_empty_clusters(centroids, counts, host_v, dev_mindist.to_host(),
+                            n, d);
+    }
+  }
+
+  result.labels.resize(static_cast<usize>(n));
+  dev_cur.copy_to_host(std::span<index_t>(result.labels));
+  result.centroids = centroids;
+  result.iterations = iterations;
+  result.objective = inertia;
+  return result;
+}
+
 }  // namespace
 
 namespace {
@@ -87,10 +296,22 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
   const index_t k = config.k;
   Rng rng(config.seed);
 
+  // Mixed-precision rung: quantize the input up front so seeding, repair,
+  // and the device data all see the same values (see KmeansConfig).
+  const Precision prec = config.precision;
+  const bool narrow = prec != Precision::kFp64;
+  const usize nd = static_cast<usize>(n) * static_cast<usize>(d);
+  std::vector<real> vquant;
+  if (narrow) {
+    vquant.resize(nd);
+    for (usize i = 0; i < nd; ++i) vquant[i] = quantize(v[i], prec);
+    // Narrow rungs take the sharded-mirror sweep so labels are bitwise
+    // identical to a multi-device run at the same rung.
+    return kmeans_lloyd_narrow(ctx, vquant.data(), n, d, config);
+  }
+
   // Algorithm 4 step 1: transfer V to the device.
-  device::DeviceBuffer<real> dev_v(
-      ctx,
-      std::span<const real>(v, static_cast<usize>(n) * static_cast<usize>(d)));
+  device::DeviceBuffer<real> dev_v(ctx, std::span<const real>(v, nd));
 
   // Step 2: seeding.
   std::vector<index_t> seed_rows;

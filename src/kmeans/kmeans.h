@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/precision.h"
 #include "common/types.h"
 #include "device/device.h"
 
@@ -51,6 +52,15 @@ struct KmeansConfig {
   bool async_pipeline = false;
   index_t centroid_tiles = 2;
   std::uint64_t seed = 42;
+  /// Storage rung for the embedding (DESIGN.md §13).  Below fp64 the input
+  /// rows are quantized through this width up front (every consumer — the
+  /// device upload, seeding, and empty-cluster repair — sees the same
+  /// quantized values, so labels are deterministic), the V upload moves
+  /// packed scalars, and the per-sweep distance phase (norms + GEMM) reads
+  /// narrow storage with fp64 accumulation.  Centroids stay fp64 and are
+  /// re-quantized for each distance sweep.  The prefetched centroid-tile
+  /// pipeline is fp64-only; a narrow rung forces the sync distance phase.
+  Precision precision = Precision::kFp64;
   /// Record the clustering objective after every label update into
   /// KmeansResult::inertia_history (one extra device reduction per sweep).
   /// Per-sweep telemetry is also recorded whenever tracing is enabled.

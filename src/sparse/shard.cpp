@@ -1,6 +1,9 @@
 #include "sparse/shard.h"
 
 #include <algorithm>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "device/stream.h"
@@ -275,26 +278,45 @@ void rowlist_csrmv(device::DeviceGroup& group, device::DeviceContext& ctx,
   const index_t* rlist = rows_idx.data();
   const index_t* row_ptr = sh.local.row_ptr.data();
   const index_t* col_idx = sh.local.col_idx.data();
-  const real* values = sh.local.values.data();
+  const CsrValuesView values = sh.local.values_view();
+  const real* sc = sh.fused_scale.size() != 0 ? sh.fused_scale.data() : nullptr;
+  // Narrow rungs stream x at the staging width straight from the packed
+  // replica; load-widening is exact, so the operand is bitwise the fp64
+  // value the widened replica would hold.
+  const bool xnarrow = sh.stage_precision != Precision::kFp64;
+  const ConstVecView xq(sh.x_narrow.data(), sh.stage_precision);
   const real* x = sh.x_replica.data();
   real* yl = sh.y_local.data();
   const index_t rb = sh.row_begin;
   const double nnzd = static_cast<double>(nnz_cost);
-  device::LaunchConfig cfg = device::tagged(
-      site, 2.0 * nnzd, nnzd * (2.0 * sizeof(real) + sizeof(index_t)),
-      static_cast<double>(n) * sizeof(real));
-  cfg.modeled_seconds =
-      group.modeled_kernel_seconds(nnzd * (2.0 * sizeof(real) +
-                                           sizeof(index_t)));
+  const double bw =
+      static_cast<double>(bytes_per_scalar(sh.local.value_precision));
+  const double bx =
+      xnarrow ? static_cast<double>(bytes_per_scalar(sh.stage_precision))
+              : static_cast<double>(sizeof(real));
+  const double read_bytes =
+      nnzd * (bw + bx + sizeof(index_t)) +
+      (sc != nullptr ? 2.0 * n * sizeof(real) : 0.0);
+  device::LaunchConfig cfg =
+      device::tagged(site, (sc != nullptr ? 3.0 : 2.0) * nnzd, read_bytes,
+                     static_cast<double>(n) * sizeof(real));
+  cfg.bytes_per_scalar = (nnzd * (bw + bx) + n * static_cast<double>(sizeof(real))) /
+                         std::max(2.0 * nnzd + n, 1.0);
+  cfg.modeled_seconds = group.modeled_kernel_seconds(read_bytes);
   device::launch(
       ctx, n,
       [=](index_t i) {
-        const index_t lr = rlist[i] - rb;
+        const index_t gr = rlist[i];
+        const index_t lr = gr - rb;
         real acc = 0;
         for (index_t p = row_ptr[lr]; p < row_ptr[lr + 1]; ++p) {
-          acc += values[p] * x[col_idx[p]];
+          const index_t c = col_idx[p];
+          // Entry-for-entry the same accumulation as device_csrmv_mp: the
+          // fused x term multiplies scale into x before the value product.
+          const real xv = xnarrow ? xq.load(static_cast<usize>(c)) : x[c];
+          acc += values[p] * (sc != nullptr ? sc[c] * xv : xv);
         }
-        yl[lr] = acc;
+        yl[lr] = sc != nullptr ? sc[gr] * acc : acc;
       },
       cfg);
 }
@@ -319,29 +341,117 @@ void run_all(ShardedCsr& a) {
 
 }  // namespace
 
+void set_sharded_stage_precision(ShardedCsr& a, Precision p) {
+  FASTSC_CHECK(a.group != nullptr,
+               "set_sharded_stage_precision on an empty ShardedCsr");
+  const usize w = bytes_per_scalar(p);
+  for (usize d = 0; d < a.shards.size(); ++d) {
+    DeviceCsrShard& sh = a.shards[d];
+    sh.stage_precision = p;
+    if (p == Precision::kFp64) continue;
+    device::DeviceContext& ctx = a.group->device(d);
+    const auto rows = static_cast<usize>(sh.rows());
+    const auto cols = static_cast<usize>(a.cols);
+    if (sh.x_narrow.size() < cols * w) {
+      sh.x_narrow = device::DeviceBuffer<unsigned char>(ctx, cols * w);
+    }
+    if (sh.y_stage.size() < rows * w) {
+      sh.y_stage = device::DeviceBuffer<unsigned char>(ctx, rows * w);
+    }
+    if (sh.halo_stage.size() < sh.halo.size() * w && !sh.halo.empty()) {
+      sh.halo_stage =
+          device::DeviceBuffer<unsigned char>(ctx, sh.halo.size() * w);
+    }
+    if (sh.send_stage.size() < sh.send_idx.size() * w &&
+        sh.send_idx.size() != 0) {
+      sh.send_stage =
+          device::DeviceBuffer<unsigned char>(ctx, sh.send_idx.size() * w);
+    }
+  }
+}
+
+void demote_sharded_values(ShardedCsr& a, Precision p) {
+  FASTSC_CHECK(a.group != nullptr,
+               "demote_sharded_values on an empty ShardedCsr");
+  for (usize d = 0; d < a.shards.size(); ++d) {
+    demote_csr_values(a.group->device(d), a.shards[d].local, p);
+  }
+}
+
+void set_sharded_fused_scale(
+    ShardedCsr& a, std::vector<device::DeviceBuffer<real>> replicas) {
+  FASTSC_CHECK(replicas.size() == a.shards.size(),
+               "fused scale needs one replica per device");
+  for (usize d = 0; d < a.shards.size(); ++d) {
+    FASTSC_CHECK(static_cast<index_t>(replicas[d].size()) == a.cols,
+                 "fused scale replica must cover every column");
+    a.shards[d].fused_scale = std::move(replicas[d]);
+  }
+}
+
+void set_sharded_fused_scale(ShardedCsr& a, const real* scale) {
+  FASTSC_CHECK(a.group != nullptr,
+               "set_sharded_fused_scale on an empty ShardedCsr");
+  std::vector<device::DeviceBuffer<real>> replicas;
+  replicas.reserve(a.shards.size());
+  for (usize d = 0; d < a.shards.size(); ++d) {
+    replicas.emplace_back(
+        a.group->device(d),
+        std::span<const real>(scale, static_cast<usize>(a.cols)));
+  }
+  set_sharded_fused_scale(a, std::move(replicas));
+}
+
 void sharded_csrmv(ShardedCsr& a, const real* x, real* y) {
   FASTSC_CHECK(a.group != nullptr, "sharded_csrmv on an empty ShardedCsr");
   device::DeviceGroup& group = *a.group;
   const usize P = a.shards.size();
   if (a.rows <= 0) return;
+  const Precision prec = a.shards.empty() ? Precision::kFp64
+                                          : a.shards[0].stage_precision;
+  const auto w = static_cast<usize>(bytes_per_scalar(prec));
+  const bool narrow = prec != Precision::kFp64;
 
   // Phase A: every device uploads its own x segment and gathers the values
   // its peers requested.  The phase barrier below makes the send buffers
-  // stable before any peer copy reads them.
-  std::vector<PipelineExecutor::NodeId> unode(P), gnode(P);
+  // stable before any peer copy reads them.  At a narrow staging precision
+  // the upload moves packed scalars straight into the narrow full-column
+  // replica, so every device reads exactly quantize(x[i]) via exact
+  // load-widening (the fp64 x_replica is untouched on narrow rungs).
+  std::vector<std::vector<unsigned char>> xpack(narrow ? P : 0);
+  std::vector<PipelineExecutor::NodeId> xnode(P), gnode(P);
   for (usize d = 0; d < P; ++d) {
     PipelineExecutor& ex = *a.executors[d];
     ex.reset();
-    unode[d] = ex.add(
-        PipelineExecutor::kTransferStream, "shard.x_upload", [&a, &group, x, d] {
-          DeviceCsrShard& sh = a.shards[d];
-          const index_t b = sh.row_begin;
-          device::copy_h2d(group.device(d), sh.x_replica.data() + b, x + b,
-                           static_cast<usize>(sh.rows()));
-        });
+    if (!narrow) {
+      xnode[d] = ex.add(
+          PipelineExecutor::kTransferStream, "shard.x_upload",
+          [&a, &group, x, d] {
+            DeviceCsrShard& sh = a.shards[d];
+            const index_t b = sh.row_begin;
+            device::copy_h2d(group.device(d), sh.x_replica.data() + b, x + b,
+                             static_cast<usize>(sh.rows()));
+          });
+    } else {
+      // Packed upload lands directly in this device's slice of the narrow
+      // full-column replica — no widening kernel; the SpMV kernels widen on
+      // load, which is exact.
+      xnode[d] = ex.add(
+          PipelineExecutor::kTransferStream, "shard.x_upload",
+          [&a, &group, &xpack, x, d, prec, w] {
+            DeviceCsrShard& sh = a.shards[d];
+            const auto rows = static_cast<usize>(sh.rows());
+            xpack[d].resize(rows * w);
+            pack_scalars(x + sh.row_begin, rows, prec, xpack[d].data());
+            device::copy_h2d(
+                group.device(d),
+                sh.x_narrow.data() + static_cast<usize>(sh.row_begin) * w,
+                xpack[d].data(), rows * w);
+          });
+    }
     gnode[d] = ex.add(
         PipelineExecutor::kComputeStream, "shard.halo_gather",
-        [&a, &group, d] {
+        [&a, &group, d, prec, w, narrow] {
           DeviceCsrShard& sh = a.shards[d];
           device::DeviceContext& ctx = group.device(d);
           // One launch over the concatenated request lists: per-peer
@@ -349,24 +459,42 @@ void sharded_csrmv(ShardedCsr& a, const real* x, real* y) {
           const usize cnt = sh.send_idx.size();
           if (cnt == 0) return;
           const index_t* idx = sh.send_idx.data();
-          const real* xr = sh.x_replica.data();
-          real* buf = sh.send_buf.data();
           const double c = static_cast<double>(cnt);
+          const double bx = narrow ? static_cast<double>(w) : sizeof(real);
           device::LaunchConfig cfg = device::tagged(
-              "spmv.halo_gather", c, c * (sizeof(real) + sizeof(index_t)),
-              c * sizeof(real));
-          cfg.modeled_seconds =
-              group.modeled_kernel_seconds(c * 2.0 * sizeof(real));
-          device::launch(
-              ctx, static_cast<index_t>(cnt),
-              [=](index_t i) { buf[i] = xr[idx[i]]; }, cfg);
+              "spmv.halo_gather", c, c * (bx + sizeof(index_t)),
+              c * static_cast<double>(w));
+          cfg.bytes_per_scalar = static_cast<double>(w);
+          cfg.modeled_seconds = group.modeled_kernel_seconds(
+              c * (bx + static_cast<double>(w)));
+          if (!narrow) {
+            const real* xr = sh.x_replica.data();
+            real* buf = sh.send_buf.data();
+            device::launch(
+                ctx, static_cast<index_t>(cnt),
+                [=](index_t i) { buf[i] = xr[idx[i]]; }, cfg);
+          } else {
+            // Gather the narrow replica bytes into the send staging; the
+            // load/store round-trip re-quantizes an already-quantized value,
+            // which is the identity, so the peer receives bitwise the same
+            // bytes the owner's upload landed.
+            const ConstVecView xn(sh.x_narrow.data(), prec);
+            const VecView buf(sh.send_stage.data(), prec);
+            device::launch(
+                ctx, static_cast<index_t>(cnt),
+                [=](index_t i) {
+                  buf.store(static_cast<usize>(i),
+                            xn.load(static_cast<usize>(idx[i])));
+                },
+                cfg);
+          }
         },
-        {unode[d]});
+        {xnode[d]});
   }
   run_all(a);
   std::vector<double> x_ready(P), send_ready(P);
   for (usize d = 0; d < P; ++d) {
-    x_ready[d] = a.executors[d]->done(unode[d]).virtual_time();
+    x_ready[d] = a.executors[d]->done(xnode[d]).virtual_time();
     send_ready[d] = a.executors[d]->done(gnode[d]).virtual_time();
   }
 
@@ -388,7 +516,7 @@ void sharded_csrmv(ShardedCsr& a, const real* x, real* y) {
         });
     const auto hnode = ex.add(
         PipelineExecutor::kTransferStream, "shard.halo_exchange",
-        [&a, &group, &send_ready, d, P] {
+        [&a, &group, &send_ready, d, P, w, narrow] {
           DeviceCsrShard& sh = a.shards[d];
           device::DeviceContext& ctx = group.device(d);
           for (usize e = 0; e < P; ++e) {
@@ -400,28 +528,53 @@ void sharded_csrmv(ShardedCsr& a, const real* x, real* y) {
             // read; floor this link's clock to that completion time.
             ctx.sync_current_clock_to(send_ready[e]);
             const DeviceCsrShard& pe = a.shards[e];
-            group.copy_peer(e, d, pe.send_buf.data() + pe.send_begin[d],
-                            sh.halo_vals.data() + o0, cnt, "d2d.halo");
+            if (!narrow) {
+              group.copy_peer(e, d, pe.send_buf.data() + pe.send_begin[d],
+                              sh.halo_vals.data() + o0, cnt, "d2d.halo");
+            } else {
+              group.copy_peer(e, d,
+                              pe.send_stage.data() + w * pe.send_begin[d],
+                              sh.halo_stage.data() + w * o0, cnt * w,
+                              "d2d.halo");
+            }
           }
         });
     const auto snode = ex.add(
         PipelineExecutor::kComputeStream, "shard.halo_scatter",
-        [&a, &group, d] {
+        [&a, &group, d, prec, w, narrow] {
           DeviceCsrShard& sh = a.shards[d];
           const usize cnt = sh.halo.size();
           if (cnt == 0) return;
           const index_t* idx = sh.halo_idx.data();
-          const real* vals = sh.halo_vals.data();
-          real* xr = sh.x_replica.data();
           const double c = static_cast<double>(cnt);
+          const double bo = narrow ? static_cast<double>(w) : sizeof(real);
           device::LaunchConfig cfg = device::tagged(
-              "spmv.halo_scatter", c, c * (sizeof(real) + sizeof(index_t)),
-              c * sizeof(real));
-          cfg.modeled_seconds =
-              group.modeled_kernel_seconds(c * 2.0 * sizeof(real));
-          device::launch(
-              group.device(d), static_cast<index_t>(cnt),
-              [=](index_t i) { xr[idx[i]] = vals[i]; }, cfg);
+              "spmv.halo_scatter",
+              c, c * (static_cast<double>(w) + sizeof(index_t)), c * bo);
+          cfg.bytes_per_scalar = static_cast<double>(w);
+          cfg.modeled_seconds = group.modeled_kernel_seconds(
+              c * (static_cast<double>(w) + bo));
+          if (!narrow) {
+            real* xr = sh.x_replica.data();
+            const real* vals = sh.halo_vals.data();
+            device::launch(
+                group.device(d), static_cast<index_t>(cnt),
+                [=](index_t i) { xr[idx[i]] = vals[i]; }, cfg);
+          } else {
+            // Scatter the received narrow bytes into the halo slots of the
+            // narrow replica: values were quantized once at the owner's
+            // upload, so the load/store round-trip is the identity and the
+            // slot lands bitwise the same bytes the owner holds.
+            const ConstVecView vals(sh.halo_stage.data(), prec);
+            const VecView xn(sh.x_narrow.data(), prec);
+            device::launch(
+                group.device(d), static_cast<index_t>(cnt),
+                [=](index_t i) {
+                  xn.store(static_cast<usize>(idx[i]),
+                           vals.load(static_cast<usize>(i)));
+                },
+                cfg);
+          }
         },
         {hnode});
     const auto fnode = ex.add(
@@ -432,14 +585,51 @@ void sharded_csrmv(ShardedCsr& a, const real* x, real* y) {
                         sh.frontier_nnz, "spmv.shard_frontier");
         },
         {snode});
-    ex.add(
-        PipelineExecutor::kTransferStream, "shard.y_download",
-        [&a, &group, y, d] {
-          DeviceCsrShard& sh = a.shards[d];
-          device::copy_d2h(group.device(d), y + sh.row_begin,
-                           sh.y_local.data(), static_cast<usize>(sh.rows()));
-        },
-        {inode, fnode});
+    if (!narrow) {
+      ex.add(
+          PipelineExecutor::kTransferStream, "shard.y_download",
+          [&a, &group, y, d] {
+            DeviceCsrShard& sh = a.shards[d];
+            device::copy_d2h(group.device(d), y + sh.row_begin,
+                             sh.y_local.data(), static_cast<usize>(sh.rows()));
+          },
+          {inode, fnode});
+    } else {
+      // Quantize y on device, move the packed bytes over PCIe, widen on the
+      // host — the downlink twin of the x staging above.
+      const auto pnode = ex.add(
+          PipelineExecutor::kComputeStream, "shard.y_pack",
+          [&a, &group, d, prec, w] {
+            DeviceCsrShard& sh = a.shards[d];
+            const auto rows = static_cast<index_t>(sh.rows());
+            if (rows == 0) return;
+            const real* yl = sh.y_local.data();
+            const VecView v(sh.y_stage.data(), prec);
+            const double c = static_cast<double>(rows);
+            device::LaunchConfig cfg = device::tagged(
+                "precision.stage", c, c * sizeof(real),
+                c * static_cast<double>(w));
+            cfg.bytes_per_scalar = static_cast<double>(w);
+            cfg.modeled_seconds = group.modeled_kernel_seconds(
+                c * (sizeof(real) + static_cast<double>(w)));
+            device::launch(
+                group.device(d), rows,
+                [=](index_t i) { v.store(static_cast<usize>(i), yl[i]); },
+                cfg);
+          },
+          {inode, fnode});
+      ex.add(
+          PipelineExecutor::kTransferStream, "shard.y_download",
+          [&a, &group, y, d, prec, w] {
+            DeviceCsrShard& sh = a.shards[d];
+            const auto rows = static_cast<usize>(sh.rows());
+            std::vector<unsigned char> packed(rows * w);
+            device::copy_d2h(group.device(d), packed.data(),
+                             sh.y_stage.data(), rows * w);
+            unpack_scalars(packed.data(), rows, prec, y + sh.row_begin);
+          },
+          {pnode});
+    }
   }
   run_all(a);
   for (usize d = 0; d < P; ++d) a.executors[d]->reset();
@@ -592,16 +782,25 @@ void sharded_csrmm(ShardedCsr& a, const real* x, real* y, index_t nvec) {
           const index_t lrows = sh.rows();
           const index_t* row_ptr = sh.local.row_ptr.data();
           const index_t* col_idx = sh.local.col_idx.data();
-          const real* values = sh.local.values.data();
+          const CsrValuesView values = sh.local.values_view();
+          const real* sc =
+              sh.fused_scale.size() != 0 ? sh.fused_scale.data() : nullptr;
+          const index_t rb = sh.row_begin;
           const real* xb = bufs[d].x_block.data();
           real* yb = bufs[d].y_block.data();
           const index_t ncols = sh.local.cols;
           const double nnzd = static_cast<double>(sh.local.nnz());
+          const auto bw =
+              static_cast<double>(bytes_per_scalar(sh.local.value_precision));
           device::LaunchConfig cfg = device::tagged(
-              "spmv.shard_spmm", 2.0 * nnzd * nvec,
-              nnzd * (sizeof(real) + sizeof(index_t)) +
+              "spmv.shard_spmm", (sc != nullptr ? 3.0 : 2.0) * nnzd * nvec,
+              nnzd * (bw + sizeof(index_t)) +
                   nnzd * nvec * static_cast<double>(sizeof(real)),
               static_cast<double>(lrows) * nvec * sizeof(real));
+          cfg.bytes_per_scalar =
+              (nnzd * bw + nnzd * nvec * 8.0 +
+               static_cast<double>(lrows) * nvec * 8.0) /
+              (nnzd + nnzd * nvec + static_cast<double>(lrows) * nvec);
           cfg.modeled_seconds = group.modeled_kernel_seconds(
               nnzd * nvec * 2.0 * sizeof(real));
           device::launch(
@@ -611,9 +810,12 @@ void sharded_csrmm(ShardedCsr& a, const real* x, real* y, index_t nvec) {
                   const real* xj = xb + j * ncols;
                   real acc = 0;
                   for (index_t p = row_ptr[lr]; p < row_ptr[lr + 1]; ++p) {
-                    acc += values[p] * xj[col_idx[p]];
+                    const index_t c = col_idx[p];
+                    acc += values[static_cast<usize>(p)] *
+                           (sc != nullptr ? sc[c] * xj[c] : xj[c]);
                   }
-                  yb[j * lrows + lr] = acc;
+                  yb[j * lrows + lr] =
+                      sc != nullptr ? sc[rb + lr] * acc : acc;
                 }
               },
               cfg);

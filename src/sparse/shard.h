@@ -112,6 +112,25 @@ struct DeviceCsrShard {
   device::DeviceBuffer<index_t> interior_idx;  ///< device row lists
   device::DeviceBuffer<index_t> frontier_idx;
   device::DeviceBuffer<real> y_local;          ///< local y segment
+
+  /// Staging precision (mixed-precision ladder): when narrower than fp64,
+  /// the PCIe x/y staging and the D2D halo exchange move scalars packed at
+  /// this width, and the SpMV kernels read x straight from the packed
+  /// full-column replica `x_narrow` (the fp64 x_replica above is fp64-path
+  /// only).  Every slot of x_narrow holds the same narrow bytes on every
+  /// device — locals land via the packed upload, halo slots via the byte
+  /// exchange — and load-widening is exact, so the kernels see exactly
+  /// quantize(x[i]) regardless of which link delivered each value,
+  /// preserving the bitwise determinism contract across device counts.
+  Precision stage_precision = Precision::kFp64;
+  device::DeviceBuffer<unsigned char> x_narrow;    ///< global cols * width
+  device::DeviceBuffer<unsigned char> y_stage;     ///< rows() * width
+  device::DeviceBuffer<unsigned char> halo_stage;  ///< |halo| * width
+  device::DeviceBuffer<unsigned char> send_stage;  ///< |send_idx| * width
+
+  /// Full-length D^{-1/2} replica for the fused SpMV epilogue (empty =
+  /// unfused; see device_csrmv_mp for the fused semantics).
+  device::DeviceBuffer<real> fused_scale;
   /// Entry counts under the two row lists (kernel cost telemetry).
   index_t interior_nnz = 0;
   index_t frontier_nnz = 0;
@@ -160,10 +179,32 @@ struct ShardedCsr {
                                              std::vector<DeviceCsr> locals,
                                              const std::vector<Csr>& structure);
 
+/// Switch every wave's x/y PCIe staging and halo exchange to width `p`,
+/// allocating the packed staging buffers (kFp64 reverts to the direct fp64
+/// copies; buffers stay allocated).  Values already on device are
+/// unaffected — pair with demote_sharded_values for the full ladder rung.
+void set_sharded_stage_precision(ShardedCsr& a, Precision p);
+
+/// Demote every shard's local value array to `p` storage in place (one
+/// "precision.demote" pass per device; see demote_csr_values).
+void demote_sharded_values(ShardedCsr& a, Precision p);
+
+/// Install a fused D^{-1/2} epilogue from per-device full-length replicas
+/// of the scale vector (ownership transferred; replicas[d] must live on
+/// device d and have length cols).  Subsequent waves compute y = S A S x
+/// in the multiply kernels, matching device_csrmv_mp's fused semantics.
+void set_sharded_fused_scale(ShardedCsr& a,
+                             std::vector<device::DeviceBuffer<real>> replicas);
+
+/// Convenience for tests: upload a host scale vector (length cols) to every
+/// device (metered H2D) and install it as the fused epilogue.
+void set_sharded_fused_scale(ShardedCsr& a, const real* scale);
+
 /// One sharded SpMV wave: y = A x with host-resident x (length cols) and y
 /// (length rows).  Bitwise equal to device_csrmv of the unsharded matrix
-/// for any device count.  Fault sites: the halo copies ride "d2d.halo";
-/// uploads/downloads ride the copy.h2d / copy.d2h mechanisms.
+/// for any device count (at fp64 staging, to device_csrmv_mp at the shared
+/// staging precision otherwise).  Fault sites: the halo copies ride
+/// "d2d.halo"; uploads/downloads ride the copy.h2d / copy.d2h mechanisms.
 void sharded_csrmv(ShardedCsr& a, const real* x, real* y);
 
 /// Sharded SpMM for `nvec` packed vectors, X row-major nvec x cols and Y

@@ -24,6 +24,30 @@ inline void host_beta_prologue(index_t rows, real beta, real* y) {
   }
 }
 
+/// Cost model of one csrmv-shaped launch over `nnz` entries and `rows`
+/// rows, accounting each scalar array at its storage width.  The fused
+/// scale vector is modeled cache-resident: one read of rows * 8 bytes, not
+/// nnz * 8 — matching what an n-length vector costs a real GPU's DRAM.
+device::LaunchConfig csrmv_cost(const char* site, double nnz, double rows,
+                                Precision w, Precision x, Precision y,
+                                bool fused) {
+  const double bw = static_cast<double>(bytes_per_scalar(w));
+  const double bx = static_cast<double>(bytes_per_scalar(x));
+  const double by = static_cast<double>(bytes_per_scalar(y));
+  const double scale_bytes = fused ? 2.0 * rows * sizeof(real) : 0.0;
+  device::LaunchConfig cfg = device::tagged(
+      site, (fused ? 3.0 : 2.0) * nnz + (fused ? rows : 0.0),
+      nnz * (bw + bx + sizeof(index_t)) + (rows + 1.0) * sizeof(index_t) +
+          scale_bytes,
+      rows * by);
+  // Byte-weighted storage width over the scalar arrays only (structure
+  // indices excluded): 8 for pure fp64, smaller as storage narrows.
+  const double scalar_elems = 2.0 * nnz + rows + (fused ? 2.0 * rows : 0.0);
+  const double scalar_bytes = nnz * (bw + bx) + rows * by + scale_bytes;
+  cfg.bytes_per_scalar = scalar_elems > 0 ? scalar_bytes / scalar_elems : 8.0;
+  return cfg;
+}
+
 }  // namespace
 
 void csr_mv(const Csr& a, const real* x, real* y, real alpha, real beta) {
@@ -96,8 +120,59 @@ Csr DeviceCsr::to_host() const {
   out.cols = cols;
   out.row_ptr = row_ptr.to_host();
   out.col_idx = col_idx.to_host();
-  out.values = values.to_host();
+  switch (value_precision) {
+    case Precision::kFp64:
+      out.values = values.to_host();
+      break;
+    case Precision::kFp32: {
+      const std::vector<float> v = values_f32.to_host();
+      out.values.resize(v.size());
+      for (usize i = 0; i < v.size(); ++i) {
+        out.values[i] = static_cast<real>(v[i]);
+      }
+      break;
+    }
+    case Precision::kBf16: {
+      const std::vector<std::uint16_t> v = values_b16.to_host();
+      out.values.resize(v.size());
+      for (usize i = 0; i < v.size(); ++i) {
+        out.values[i] = static_cast<real>(float_from_bf16(v[i]));
+      }
+      break;
+    }
+  }
   return out;
+}
+
+void demote_csr_values(device::DeviceContext& ctx, DeviceCsr& a, Precision p) {
+  if (p == a.value_precision) return;
+  FASTSC_CHECK(a.value_precision == Precision::kFp64,
+               "demote_csr_values: only fp64 values can be demoted");
+  const index_t nnz = a.nnz();
+  const real* src = a.values.data();
+  device::LaunchConfig cfg = device::tagged(
+      "precision.demote", static_cast<double>(nnz),
+      nnz * static_cast<double>(sizeof(real)),
+      nnz * static_cast<double>(bytes_per_scalar(p)));
+  cfg.bytes_per_scalar = static_cast<double>(bytes_per_scalar(p));
+  if (p == Precision::kFp32) {
+    a.values_f32 = device::DeviceBuffer<float>(ctx, static_cast<usize>(nnz));
+    float* dst = a.values_f32.data();
+    device::launch(ctx, nnz,
+                   [=](index_t i) { dst[i] = float_from_real(src[i]); }, cfg);
+  } else {
+    a.values_b16 =
+        device::DeviceBuffer<std::uint16_t>(ctx, static_cast<usize>(nnz));
+    std::uint16_t* dst = a.values_b16.data();
+    device::launch(
+        ctx, nnz,
+        [=](index_t i) { dst[i] = bf16_from_float(float_from_real(src[i])); },
+        cfg);
+  }
+  a.value_precision = p;
+  // Release the fp64 copy — halving (or quartering) the matrix's device
+  // footprint is the point of the demotion.
+  a.values = device::DeviceBuffer<real>();
 }
 
 DeviceCoo::DeviceCoo(device::DeviceContext& ctx, const Coo& host)
@@ -117,23 +192,36 @@ Coo DeviceCoo::to_host() const {
 
 void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
                   real* y, real alpha, real beta) {
+  device_csrmv_mp(ctx, a, ConstVecView(x), VecView(y), alpha, beta, nullptr);
+}
+
+void device_csrmv_mp(device::DeviceContext& ctx, const DeviceCsr& a,
+                     ConstVecView x, VecView y, real alpha, real beta,
+                     const real* fused_scale) {
   const index_t* row_ptr = a.row_ptr.data();
   const index_t* col_idx = a.col_idx.data();
-  const real* values = a.values.data();
-  const double nnz = static_cast<double>(a.values.size());
+  const CsrValuesView w = a.values_view();
+  const real* sc = fused_scale;
+  const double nnz = static_cast<double>(a.nnz());
   device::launch(
       ctx, a.rows,
       [=](index_t r) {
         real acc = 0;
         for (index_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
-          acc += values[p] * x[col_idx[p]];
+          const index_t c = col_idx[p];
+          const real xv = sc != nullptr
+                              ? sc[c] * x.load(static_cast<usize>(c))
+                              : x.load(static_cast<usize>(c));
+          acc += w[p] * xv;
         }
-        y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+        const real t =
+            alpha * acc +
+            (beta == 0 ? 0 : beta * y.load(static_cast<usize>(r)));
+        y.store(static_cast<usize>(r), sc != nullptr ? sc[r] * t : t);
       },
-      device::tagged("spmv.csr", 2.0 * nnz,
-                     nnz * (2.0 * sizeof(real) + sizeof(index_t)) +
-                         (a.rows + 1.0) * sizeof(index_t),
-                     a.rows * static_cast<double>(sizeof(real))));
+      csrmv_cost(sc != nullptr ? "spmv.fused_scale" : "spmv.csr", nnz,
+                 static_cast<double>(a.rows), a.value_precision, x.prec,
+                 y.prec, sc != nullptr));
 }
 
 std::shared_ptr<const MergePathPartition> CsrBalanceCache::get(
@@ -172,14 +260,16 @@ namespace {
 /// same grouping every run, so the result is deterministic for a fixed
 /// worker count.
 void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
-                         const real* x, real* y, index_t row_begin,
-                         index_t row_end, real alpha, real beta) {
+                         ConstVecView x, VecView y, index_t row_begin,
+                         index_t row_end, real alpha, real beta,
+                         const real* fused_scale) {
   FASTSC_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= a.rows,
                "csrmv row range out of bounds");
   if (row_end == row_begin) return;
   const index_t* row_ptr = a.row_ptr.data();
   const index_t* col_idx = a.col_idx.data();
-  const real* values = a.values.data();
+  const CsrValuesView values = a.values_view();
+  const real* sc = fused_scale;
 
   const auto spans = static_cast<index_t>(ctx.pool().worker_count());
   const std::shared_ptr<const MergePathPartition> part =
@@ -209,11 +299,10 @@ void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
   const double nnz_range =
       static_cast<double>(part->span_ent.back() - part->span_ent.front());
   const double rows_range = static_cast<double>(row_end - row_begin);
-  device::LaunchConfig wave_cfg = device::tagged(
-      "spmv.balanced", 2.0 * nnz_range,
-      nnz_range * (2.0 * sizeof(real) + sizeof(index_t)) +
-          (rows_range + 1.0) * sizeof(index_t),
-      rows_range * static_cast<double>(sizeof(real)));
+  device::LaunchConfig wave_cfg =
+      csrmv_cost(sc != nullptr ? "spmv.fused_scale" : "spmv.balanced",
+                 nnz_range, rows_range, a.value_precision, x.prec, y.prec,
+                 sc != nullptr);
   device::launch(ctx, spans, [=](index_t s) {
     crow[2 * s] = -1;
     crow[2 * s + 1] = -1;
@@ -225,20 +314,34 @@ void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
     for (index_t r = r0; r < r1; ++r) {
       const index_t end = row_ptr[r + 1];
       real acc = 0;
-      for (; e < end; ++e) acc += values[e] * x[col_idx[e]];
+      for (; e < end; ++e) {
+        const index_t c = col_idx[e];
+        const real xv = sc != nullptr ? sc[c] * x.load(static_cast<usize>(c))
+                                      : x.load(static_cast<usize>(c));
+        acc += values[e] * xv;
+      }
       if (r == r0 && e0 > row_ptr[r0]) {
         // Head of this span but tail of the row: earlier spans hold the
-        // rest, so stash the partial instead of writing.
+        // rest, so stash the partial instead of writing.  Carries stay raw
+        // fp64 partials — the fused epilogue is applied once, in the fixup.
         crow[2 * s] = r;
         cval[2 * s] = acc;
       } else {
-        y[r] = alpha * acc + (beta == 0 ? 0 : beta * y[r]);
+        const real t =
+            alpha * acc +
+            (beta == 0 ? 0 : beta * y.load(static_cast<usize>(r)));
+        y.store(static_cast<usize>(r), sc != nullptr ? sc[r] * t : t);
       }
     }
     if (e < e1) {
       // Leading entries of the boundary row r1; later spans finish it.
       real acc = 0;
-      for (; e < e1; ++e) acc += values[e] * x[col_idx[e]];
+      for (; e < e1; ++e) {
+        const index_t c = col_idx[e];
+        const real xv = sc != nullptr ? sc[c] * x.load(static_cast<usize>(c))
+                                      : x.load(static_cast<usize>(c));
+        acc += values[e] * xv;
+      }
       crow[2 * s + 1] = r1;
       cval[2 * s + 1] = acc;
     }
@@ -262,7 +365,9 @@ void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
         if (crow[i] == r) tot += cval[i];
         ++i;
       }
-      y[r] = alpha * tot + (beta == 0 ? 0 : beta * y[r]);
+      const real t =
+          alpha * tot + (beta == 0 ? 0 : beta * y.load(static_cast<usize>(r)));
+      y.store(static_cast<usize>(r), sc != nullptr ? sc[r] * t : t);
     }
   }, device::tagged("spmv.balanced_fixup", 2.0 * slots_d,
                     slots_d * (sizeof(real) + sizeof(index_t)),
@@ -273,14 +378,22 @@ void csrmv_balanced_impl(device::DeviceContext& ctx, const DeviceCsr& a,
 
 void device_csrmv_balanced(device::DeviceContext& ctx, const DeviceCsr& a,
                            const real* x, real* y, real alpha, real beta) {
-  csrmv_balanced_impl(ctx, a, x, y, 0, a.rows, alpha, beta);
+  csrmv_balanced_impl(ctx, a, ConstVecView(x), VecView(y), 0, a.rows, alpha,
+                      beta, nullptr);
+}
+
+void device_csrmv_balanced_mp(device::DeviceContext& ctx, const DeviceCsr& a,
+                              ConstVecView x, VecView y, real alpha, real beta,
+                              const real* fused_scale) {
+  csrmv_balanced_impl(ctx, a, x, y, 0, a.rows, alpha, beta, fused_scale);
 }
 
 void device_csrmv_range_balanced(device::DeviceContext& ctx,
                                  const DeviceCsr& a, const real* x, real* y,
                                  index_t row_begin, index_t row_end, real alpha,
                                  real beta) {
-  csrmv_balanced_impl(ctx, a, x, y, row_begin, row_end, alpha, beta);
+  csrmv_balanced_impl(ctx, a, ConstVecView(x), VecView(y), row_begin, row_end,
+                      alpha, beta, nullptr);
 }
 
 void device_csrmm(device::DeviceContext& ctx, const DeviceCsr& a,
@@ -290,14 +403,23 @@ void device_csrmm(device::DeviceContext& ctx, const DeviceCsr& a,
   if (nvec == 0) return;
   const index_t* row_ptr = a.row_ptr.data();
   const index_t* col_idx = a.col_idx.data();
-  const real* values = a.values.data();
+  const CsrValuesView values = a.values_view();
   const index_t rows = a.rows;
   const index_t cols = a.cols;
   // One sweep of A serves all nvec vectors: for each row the entry list is
   // read once and re-dotted against every input row.  The per-(j, r)
   // accumulation order matches device_csrmv exactly, so Y's row j is
   // bitwise identical to csrmv on X's row j.
-  const double nnz = static_cast<double>(a.values.size());
+  const double nnz = static_cast<double>(a.nnz());
+  const double bw = static_cast<double>(bytes_per_scalar(a.value_precision));
+  device::LaunchConfig mm_cfg = device::tagged(
+      "spmv.csrmm", 2.0 * nnz * nvec,
+      nnz * (bw + sizeof(index_t)) +
+          nnz * nvec * static_cast<double>(sizeof(real)),
+      static_cast<double>(rows) * nvec * sizeof(real));
+  mm_cfg.bytes_per_scalar =
+      (nnz * bw + (nnz + rows) * nvec * sizeof(real)) /
+      std::max(nnz + (nnz + rows) * nvec, 1.0);
   device::launch(
       ctx, rows,
       [=](index_t r) {
@@ -311,16 +433,16 @@ void device_csrmm(device::DeviceContext& ctx, const DeviceCsr& a,
           yj[r] = alpha * acc + (beta == 0 ? 0 : beta * yj[r]);
         }
       },
-      device::tagged("spmv.csrmm", 2.0 * nnz * nvec,
-                     nnz * (sizeof(real) + sizeof(index_t)) +
-                         nnz * nvec * static_cast<double>(sizeof(real)),
-                     static_cast<double>(rows) * nvec * sizeof(real)));
+      mm_cfg);
 }
 
 void device_coo2csr(device::DeviceContext& ctx, const DeviceCoo& coo,
                     DeviceCsr& out) {
   out.rows = coo.rows;
   out.cols = coo.cols;
+  out.value_precision = Precision::kFp64;
+  out.values_f32 = device::DeviceBuffer<float>();
+  out.values_b16 = device::DeviceBuffer<std::uint16_t>();
   const index_t nnz = coo.nnz();
   out.row_ptr = device::DeviceBuffer<index_t>(
       ctx, static_cast<usize>(coo.rows) + 1);
@@ -556,6 +678,10 @@ DeviceCsrColBlocks::DeviceCsrColBlocks(device::DeviceContext& ctx,
 DeviceCsrColBlocks split_device_csr_col_blocks(device::DeviceContext& ctx,
                                                const DeviceCsr& a,
                                                index_t num_blocks) {
+  // The pipelined column-block path is fp64-only (the precision ladder
+  // forces the synchronous staging path for narrower rungs).
+  FASTSC_CHECK(a.value_precision == Precision::kFp64,
+               "split_device_csr_col_blocks requires fp64 values");
   index_t nb = num_blocks < 1 ? 1 : num_blocks;
   if (a.cols > 0 && nb > a.cols) nb = a.cols;
   DeviceCsrColBlocks out;
@@ -642,13 +768,13 @@ void device_csrmv_range(device::DeviceContext& ctx, const DeviceCsr& a,
                "csrmv row range out of bounds");
   const index_t* row_ptr = a.row_ptr.data();
   const index_t* col_idx = a.col_idx.data();
-  const real* values = a.values.data();
+  const CsrValuesView values = a.values_view();
   // Entry count of the row slice is device-resident; prorate total nnz by
   // the row fraction for the cost model rather than paying a transfer.
   const double frac = a.rows > 0
                           ? static_cast<double>(row_end - row_begin) / a.rows
                           : 0.0;
-  const double nnz_est = static_cast<double>(a.values.size()) * frac;
+  const double nnz_est = static_cast<double>(a.nnz()) * frac;
   device::launch(
       ctx, row_end - row_begin,
       [=](index_t i) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/precision.h"
 #include "device/device.h"
 #include "sparse/balance.h"
 #include "sparse/bsr.h"
@@ -59,13 +60,36 @@ class CsrBalanceCache {
   std::vector<Entry> entries_;
 };
 
-/// CSR matrix living in (simulated) device memory.
+/// Widening accessor over a DeviceCsr's value array at whatever storage
+/// precision it currently holds.  The fp64 branch is a plain array read, so
+/// kernels written against the view stay bitwise identical to the
+/// pre-precision code on fp64 matrices.
+struct CsrValuesView {
+  const real* f64 = nullptr;
+  const float* f32 = nullptr;
+  const std::uint16_t* b16 = nullptr;
+
+  [[nodiscard]] real operator[](index_t p) const noexcept {
+    if (f64 != nullptr) return f64[p];
+    if (f32 != nullptr) return static_cast<real>(f32[p]);
+    return static_cast<real>(float_from_bf16(b16[p]));
+  }
+};
+
+/// CSR matrix living in (simulated) device memory.  The structure arrays
+/// are always index_t; the value array is fp64 on upload and may be demoted
+/// in place to fp32/bf16 storage (see demote_csr_values) — kernels then
+/// read it through values_view(), widening each entry to fp64 before
+/// accumulating.
 struct DeviceCsr {
   index_t rows = 0;
   index_t cols = 0;
   device::DeviceBuffer<index_t> row_ptr;
   device::DeviceBuffer<index_t> col_idx;
-  device::DeviceBuffer<real> values;
+  device::DeviceBuffer<real> values;  ///< valid iff value_precision == kFp64
+  device::DeviceBuffer<float> values_f32;
+  device::DeviceBuffer<std::uint16_t> values_b16;
+  Precision value_precision = Precision::kFp64;
   /// Lazily-built merge-path partitions (shared so DeviceCsr stays movable).
   std::shared_ptr<CsrBalanceCache> balance =
       std::make_shared<CsrBalanceCache>();
@@ -76,12 +100,29 @@ struct DeviceCsr {
   DeviceCsr(device::DeviceContext& ctx, const Csr& host);
 
   [[nodiscard]] index_t nnz() const noexcept {
-    return static_cast<index_t>(values.size());
+    return static_cast<index_t>(col_idx.size());
   }
 
-  /// Download back to the host (three D2H transfers, metered).
+  [[nodiscard]] CsrValuesView values_view() const noexcept {
+    CsrValuesView v;
+    switch (value_precision) {
+      case Precision::kFp64: v.f64 = values.data(); break;
+      case Precision::kFp32: v.f32 = values_f32.data(); break;
+      case Precision::kBf16: v.b16 = values_b16.data(); break;
+    }
+    return v;
+  }
+
+  /// Download back to the host (three D2H transfers, metered); values are
+  /// widened to fp64 from whatever storage precision the matrix holds.
   [[nodiscard]] Csr to_host() const;
 };
+
+/// Convert a device CSR's value array to `p` storage in place (one device
+/// pass, site "precision.demote"), releasing the fp64 copy.  Only fp64 ->
+/// {fp32, bf16} conversions are supported; demoting to the current
+/// precision is a no-op.
+void demote_csr_values(device::DeviceContext& ctx, DeviceCsr& a, Precision p);
 
 /// COO matrix living in device memory (graph construction output).
 struct DeviceCoo {
@@ -106,6 +147,24 @@ struct DeviceCoo {
 void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
                   real* y, real alpha = 1.0, real beta = 0.0);
 
+/// Mixed-precision / fused csrmv.  Matrix values are read through the
+/// CSR's storage precision, x and y through their view widths, and every
+/// product accumulates in fp64.  With `fused_scale` == s non-null the
+/// kernel computes the symmetric similarity transform in one pass
+/// (site "spmv.fused_scale"):
+///
+///   y[r] = s[r] * (alpha * sum_p w[p] * (s[col[p]] * x[col[p]]) + beta*y[r])
+///
+/// which for beta == 0 is bitwise identical to the three-launch
+/// z = s (.) x; t = W z; y = s (.) t sequence in fp64 — the fusion removes
+/// the two n-length passes, not any rounding.  (The beta != 0 form scales
+/// the beta*y term too; the eigensolver only uses beta == 0.)  The s
+/// vector is modeled as cache-resident: its DRAM traffic is counted once
+/// (rows * 8 bytes), not per entry.
+void device_csrmv_mp(device::DeviceContext& ctx, const DeviceCsr& a,
+                     ConstVecView x, VecView y, real alpha = 1.0,
+                     real beta = 0.0, const real* fused_scale = nullptr);
+
 /// nnz-balanced csrmv: the merge-path partition (cached on `a`) gives every
 /// worker a near-equal share of rows + entries, so hub rows no longer
 /// serialize the wave.  Rows cut by a span boundary are reduced by a
@@ -115,6 +174,15 @@ void device_csrmv(device::DeviceContext& ctx, const DeviceCsr& a, const real* x,
 void device_csrmv_balanced(device::DeviceContext& ctx, const DeviceCsr& a,
                            const real* x, real* y, real alpha = 1.0,
                            real beta = 0.0);
+
+/// Mixed-precision / fused balanced csrmv (see device_csrmv_mp for the
+/// fused semantics).  The D^{-1/2} epilogue is applied exactly once per
+/// row: complete rows inside a span apply it in the wave, boundary rows
+/// carry raw fp64 partials and the fixup applies it after folding.
+void device_csrmv_balanced_mp(device::DeviceContext& ctx, const DeviceCsr& a,
+                              ConstVecView x, VecView y, real alpha = 1.0,
+                              real beta = 0.0,
+                              const real* fused_scale = nullptr);
 
 /// Y = alpha * A @ X + beta * Y for `nvec` packed vectors: X is row-major
 /// nvec x cols (each row one input vector), Y is nvec x rows.  One sweep of

@@ -1,0 +1,66 @@
+# Mixed-precision ladder smoke test, run as a CTest via `cmake -P`:
+#   1. run bench_ablation_precision on the fp64 + fp32 rungs with the same
+#      pinned flags the committed baseline was captured with
+#      (--trace-out/--metrics-out/--report-out),
+#   2. validate the trace and report with tools/check_trace.py and assert
+#      the ladder's acceptance gauges from the metrics snapshot alone:
+#        - the fp32 rung is >= 1.4x faster per matvec on the modeled
+#          SpMV-dominated stage,
+#        - eigenpair agreement with fp64 is <= 1e-6,
+#        - ARI against the fp64 labels is exactly 1 on every dataset,
+#        - sharded labels are byte-identical to single-device at every rung,
+#        - the fp32 SpMV stage moves at most 0.55x the width-equivalent
+#          bytes of the fp64 baseline.
+#
+# Expected -D definitions: BENCH (bench_ablation_precision executable),
+# PYTHON (python3), CHECKER (tools/check_trace.py), WORKDIR (scratch
+# directory).
+
+foreach(var BENCH PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_precision_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(trace_json "${WORKDIR}/trace.json")
+set(metrics_json "${WORKDIR}/metrics.json")
+set(report_json "${WORKDIR}/report.json")
+
+execute_process(
+  COMMAND "${BENCH}"
+          --n=6000 --devices=4 --workers=8 --precision=fp32
+          --trace-out=${trace_json}
+          --metrics-out=${metrics_json}
+          --report-out=${report_json}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR
+          "bench failed (rc=${bench_rc})\nstdout:\n${bench_out}\n"
+          "stderr:\n${bench_err}")
+endif()
+foreach(artifact "${trace_json}" "${metrics_json}" "${report_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bench did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
+          --metrics "${metrics_json}"
+          --expect-gauge "precision.fp32.spmv_speedup>=1.4"
+          --expect-gauge "precision.fp32.max_eig_err<=1e-6"
+          --expect-gauge "precision.fp32.min_ari>=1"
+          --expect-gauge "precision.fp32.sharded_labels_match>=1"
+          --expect-bytes-ratio
+          "precision.fp32.spmv_stage_bytes/precision.fp64.spmv_stage_bytes<=0.55"
+          --report "${report_json}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}${check_err}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py failed (rc=${check_rc})")
+endif()

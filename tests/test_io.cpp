@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -333,6 +334,59 @@ TEST_F(IoTest, EmptyFilesAreHandled) {
   EXPECT_TRUE(read_labels(path("empty.txt")).empty());
   EXPECT_THROW((void)read_matrix_market(path("empty.txt")),
                std::invalid_argument);
+}
+
+// Precision-aware writers: values written at a narrow storage rung must read
+// back as exactly quantize(v, rung) — the shortened decimal forms
+// (round_trip_digits) are lossless for their rung, so narrow files cost
+// fewer bytes without smuggling in extra rounding error.
+TEST_F(IoTest, NarrowStorageRoundTripFuzz) {
+  std::mt19937_64 gen(20260808);
+  std::uniform_real_distribution<double> mant(-1.0, 1.0);
+  std::uniform_int_distribution<int> expo(-30, 30);
+  std::vector<real> pts(64 * 3);
+  for (real& v : pts) v = std::ldexp(mant(gen), expo(gen));
+  pts[0] = 0.0;
+  pts[1] = -0.0;
+  pts[2] = 1.0 / 3.0;
+
+  for (const Precision p :
+       {Precision::kFp64, Precision::kFp32, Precision::kBf16}) {
+    SCOPED_TRACE(static_cast<int>(p));
+    write_points(path("pq.txt"), pts.data(), 64, 3, p);
+    index_t rows, cols;
+    const auto back = read_points(path("pq.txt"), rows, cols);
+    ASSERT_EQ(rows, 64);
+    ASSERT_EQ(cols, 3);
+    for (usize i = 0; i < pts.size(); ++i) {
+      const real want = quantize(pts[i], p);
+      EXPECT_EQ(back[i], want) << "i=" << i << " v=" << pts[i];
+    }
+
+    sparse::Coo coo(8, 8);
+    std::uniform_int_distribution<index_t> idx(0, 7);
+    for (int e = 0; e < 40; ++e) {
+      coo.push(idx(gen), idx(gen), std::ldexp(mant(gen), expo(gen)));
+    }
+    write_matrix_market(path("mq.mtx"), coo, p);
+    const sparse::Coo mm = read_matrix_market(path("mq.mtx"));
+    ASSERT_EQ(mm.nnz(), coo.nnz());
+    for (usize i = 0; i < coo.values.size(); ++i) {
+      EXPECT_EQ(mm.values[i], quantize(coo.values[i], p)) << "entry " << i;
+    }
+
+    write_edge_list(path("eq.txt"), coo, p);
+    // read_edge_list symmetrizes, so only check that each surviving weight
+    // is some rung value (exactly representable at p).
+    const sparse::Coo el = read_edge_list(path("eq.txt"), false);
+    for (const real v : el.values) EXPECT_EQ(v, quantize(v, p));
+  }
+
+  // The fp64 default stays bit-exact (17 significant digits).
+  write_points(path("pd.txt"), pts.data(), 64, 3);
+  index_t rows, cols;
+  const auto back = read_points(path("pd.txt"), rows, cols);
+  for (usize i = 0; i < pts.size(); ++i) EXPECT_EQ(back[i], pts[i]);
 }
 
 }  // namespace

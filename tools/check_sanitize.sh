@@ -47,6 +47,7 @@ TESTS=(
   test_result_cache
   test_device_group
   test_sharded_differential
+  test_precision
   test_hblas
   test_balance
   test_powerlaw
