@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/report.h"
 #include "fastsc/service.h"
 #include "service/trace_replay.h"
 
@@ -151,12 +152,49 @@ int main(int argc, char** argv) {
                                 static_cast<double>(stats.submitted)
                           : 0;
 
+  // Checksums-on/off: replay the identical trace with the SDC defense layer
+  // (ABFT checksums, sentinels, transfer CRC — DESIGN.md §14) switched off,
+  // on its own service + device so neither pass contaminates the other.
+  // Two numbers land in BENCH_service.json: the wall-clock jobs/sec with
+  // checksums off (report_only — shared CI machines) and the *modeled* flop
+  // overhead ratio of the on-pass, which is deterministic for the pinned
+  // flags and therefore gated by the perf-regression suite.
+  std::fprintf(stderr, "[bench] replaying again with checksums off...\n");
+  double off_wall_s = 0;
+  std::uint64_t off_completed = 0;
+  {
+    core::SpectralConfig off_base = base;
+    off_base.sdc.enabled = false;
+    device::DeviceContext off_ctx(static_cast<usize>(flags.workers));
+    Service off_svc(scfg, &off_ctx);
+    service::TraceReplayer off_replayer(off_svc, off_base);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (const service::TraceOp& op : ops) off_replayer.submit(op);
+    off_replayer.wait_all();
+    off_svc.shutdown(/*drain=*/true);
+    off_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+    off_completed = off_svc.stats().completed;
+  }
+  const double off_jobs_per_sec =
+      off_wall_s > 0 ? static_cast<double>(off_completed) / off_wall_s : 0;
+  double total_flops = 0, sdc_flops = 0;
+  for (const obs::SiteReport& s : core::collect_attribution(ctx).sites) {
+    total_flops += s.stats.flops;
+    if (s.site.rfind("sdc.", 0) == 0) sdc_flops += s.stats.flops;
+  }
+  const double sdc_overhead =
+      total_flops > sdc_flops ? total_flops / (total_flops - sdc_flops) : 1.0;
+
   obs::MetricsRegistry& reg = obs::metrics();
   reg.set_gauge("service.jobs_per_sec", jobs_per_sec);
   reg.set_gauge("service.latency_p50_ms", p50);
   reg.set_gauge("service.latency_p99_ms", p99);
   reg.set_gauge("service.cache_hit_ratio", hit_ratio);
   reg.set_gauge("service.rejection_rate", rejection_rate);
+  reg.set_gauge("service.jobs_per_sec_sdc_off", off_jobs_per_sec);
+  reg.set_gauge("service.sdc_overhead_flops", sdc_overhead);
 
   TextTable table("Service throughput (mixed FB/DBLP trace)");
   table.header({"metric", "value"});
@@ -173,6 +211,9 @@ int main(int argc, char** argv) {
   table.row({"latency p99 (ms)", TextTable::fmt(p99, 2)});
   table.row({"cache hit ratio", TextTable::fmt(hit_ratio, 3)});
   table.row({"rejection rate", TextTable::fmt(rejection_rate, 3)});
+  table.row({"jobs/sec (checksums on)", TextTable::fmt(jobs_per_sec, 2)});
+  table.row({"jobs/sec (checksums off)", TextTable::fmt(off_jobs_per_sec, 2)});
+  table.row({"sdc flop overhead (x)", TextTable::fmt(sdc_overhead, 4)});
   table.print();
   std::printf("\n");
 

@@ -1,0 +1,36 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace fastsc {
+
+namespace {
+
+// Reflected-table construction for the Castagnoli polynomial.  Built once at
+// first use; 1 KiB, cache-resident for the duration of any framing pass.
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t kPolyReflected = 0x82F63B78u;  // 0x1EDC6F41 reversed
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, usize len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (usize i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace fastsc

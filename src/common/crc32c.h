@@ -1,0 +1,22 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) for integrity-at-rest framing.
+//
+// Used by the SDC defense layer to seal byte payloads whose corruption the
+// numeric ABFT checks cannot see: serialized LanczosCheckpoint blobs,
+// ResultCache entries, and staged host<->device transfer buffers.  Software
+// table-driven implementation (slice-by-1); throughput is irrelevant next to
+// the O(nnz) kernels these frames protect, and the container bakes in no
+// hardware CRC intrinsics we could rely on portably.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace fastsc {
+
+/// CRC32C of `len` bytes.  `seed` chains incremental updates:
+/// crc32c(b, n) == crc32c(b + k, n - k, crc32c(b, k)).
+[[nodiscard]] std::uint32_t crc32c(const void* data, usize len,
+                                   std::uint32_t seed = 0);
+
+}  // namespace fastsc

@@ -272,6 +272,17 @@ void write_run(obs::JsonWriter& w, Backend backend,
   w.end_array();
   w.end_object();
 
+  w.key("integrity");
+  w.begin_object();
+  w.field("checks", std::uint64_t{r.integrity.checks});
+  w.field("detected", std::uint64_t{r.integrity.detected});
+  w.field("recomputed", std::uint64_t{r.integrity.recomputed});
+  w.key("events");
+  w.begin_array();
+  for (const std::string& e : r.integrity.events) w.value(e);
+  w.end_array();
+  w.end_object();
+
   w.key("degradation");
   w.begin_object();
   w.field("degraded", r.degradation.degraded);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <exception>
+#include <limits>
 #include <optional>
 
 #include "baseline/matlab_like.h"
 #include "baseline/python_like.h"
 #include "common/cancel.h"
+#include "common/crc32c.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/validation.h"
@@ -16,6 +18,7 @@
 #include "core/sharded.h"
 #include "device/device_group.h"
 #include "device/executor.h"
+#include "fault/fault.h"
 #include "graph/build.h"
 #include "graph/components.h"
 #include "graph/laplacian.h"
@@ -24,6 +27,7 @@
 #include "lanczos/rci.h"
 #include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/sdc.h"
 #include "obs/trace.h"
 #include "sparse/convert.h"
 #include "sparse/spmv.h"
@@ -342,6 +346,62 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   sparse::DeviceCsr p = graph::sym_normalized_device(ctx, w, dev_isd, nopts);
   if (spmv_p != Precision::kFp64) sparse::demote_csr_values(ctx, p, spmv_p);
 
+  // ABFT checksum vector (DESIGN.md §14): Huang-Abraham column sums of the
+  // *effective* operator, taken from the same (possibly demoted) stored
+  // values the kernels read.  With the fused D^-1/2 epilogue the effective
+  // entry is s_r * w_rj * s_j, so c_j = s_j * sum_r s_r * w_rj.  Every SpMV
+  // wave then verifies sum(y) == <c, x> up to accumulation roundoff.  Built
+  // once per solve on the device, downloaded once (n doubles).
+  const bool abft_spmv = cfg.sdc.enabled && cfg.sdc.abft_spmv;
+  const usize nnz = p.col_idx.size();
+  std::vector<real> abft_colsum;
+  if (abft_spmv) {
+    device::DeviceBuffer<real> dev_colsum(ctx, static_cast<usize>(n));
+    obs::AttrSiteScope abft_site("sdc.checksum");
+    const sparse::CsrValuesView vals = p.values_view();
+    const index_t* rp = p.row_ptr.data();
+    const index_t* ci = p.col_idx.data();
+    const real* sd = fused ? dev_isd.data() : nullptr;
+    real* c = dev_colsum.data();
+    const index_t rows = p.rows;
+    device::launch(
+        ctx, 1,
+        [=](index_t) {
+          for (index_t j = 0; j < rows; ++j) c[j] = 0;
+          for (index_t r = 0; r < rows; ++r) {
+            const real sr = sd != nullptr ? sd[r] : real{1};
+            for (index_t e = rp[r]; e < rp[r + 1]; ++e) {
+              c[ci[e]] += sr * vals[e];
+            }
+          }
+          if (sd != nullptr) {
+            for (index_t j = 0; j < rows; ++j) c[j] *= sd[j];
+          }
+        },
+        device::tagged("sdc.checksum", 2.0 * static_cast<double>(nnz),
+                       12.0 * static_cast<double>(nnz),
+                       8.0 * static_cast<double>(n)));
+    abft_colsum = dev_colsum.to_host();  // D2H, metered
+  }
+  // Corruption-at-rest injection point for the matrix payload: *after* the
+  // checksum build, so the colsums describe the values as computed and a
+  // flipped stored bit is a detectable divergence.  (A flip before the
+  // build would poison the checksum itself — a different threat model the
+  // at-rest CRC frames cover.)
+  switch (p.value_precision) {
+    case Precision::kFp64:
+      fault::corrupt_scalars("bitflip.csr.values", p.values.data(), nnz);
+      break;
+    case Precision::kFp32:
+      fault::corrupt_scalars_f32("bitflip.csr.values", p.values_f32.data(),
+                                 nnz);
+      break;
+    case Precision::kBf16:
+      fault::corrupt_scalars_b16("bitflip.csr.values", p.values_b16.data(),
+                                 nnz);
+      break;
+  }
+
   // Optional format conversion for the SpMV loop (paper §IV.A: CSC/BSR are
   // also supported).  The conversion round-trips through the host, which is
   // metered like any other staging.  BSR is an fp64-only path.
@@ -434,6 +494,25 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   }
   std::vector<real> host_y(static_cast<usize>(n));
 
+  // Per-wave SDC detectors (DESIGN.md §14).  The checksum is computed from
+  // the quantized stored values, so the matrix side needs no rung term; only
+  // the basis rung's quantization of the staged x/y adds eps_q * ||y||_1
+  // slack.  The transfer CRC is an exact byte compare at every rung; the
+  // pipelined path skips it (tile uploads interleave with compute), relying
+  // on the per-wave checksum instead.
+  const bool sentinels_on = cfg.sdc.enabled && cfg.sdc.sentinels;
+  const bool transfer_crc =
+      cfg.sdc.enabled && cfg.sdc.transfer_crc && !pipelined;
+  const double tol_scale = static_cast<double>(cfg.sdc.tolerance_scale);
+  const double eps64 = std::numeric_limits<double>::epsilon() / 2;
+  const auto rung_eps = [](Precision pr) {
+    return pr == Precision::kFp64   ? 0.0
+           : pr == Precision::kFp32 ? 0x1p-24
+                                    : 0x1p-8;
+  };
+  const double eps_q = rung_eps(basis_p);  // basis staging quantization
+  const double eps_m = rung_eps(spmv_p);   // matrix storage quantization
+
   index_t resumes = 0;
   bool abandoned = false;
   for (;;) {
@@ -444,13 +523,83 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
         // unwinds to the anytime handler below.
         cancel::poll("lanczos.matvec");
         WallTimer t;
-        {
+        const real* xwave = prob.GetVector();
+        const usize un = static_cast<usize>(n);
+        // Stage x to the device, inject the device-buffer bitflip site, and
+        // (when enabled) seal the upload with a CRC frame: the device copy
+        // is re-hashed by a device kernel and compared byte-for-byte against
+        // the host source, so a flipped device bit is caught before any
+        // kernel consumes it, at every rung.  A mismatch throws *transient*
+        // and run_transfer_with_retry re-runs the idempotent upload.
+        const auto upload_x = [&] {
+          obs::AttrSiteScope stage_site("spmv.stage");
+          if (basis_narrow) {
+            pack_scalars(xwave, un, basis_p, stage_host.data());
+            device::copy_h2d(ctx, x_stage.data(), stage_host.data(), un * bw);
+          } else {
+            dev_x.copy_from_host(std::span<const real>(xwave, un));
+          }
+        };
+        const auto corrupt_device_x = [&] {
+          if (!basis_narrow) {
+            fault::corrupt_scalars("bitflip.device.buffer", dev_x.data(), un);
+          } else if (basis_p == Precision::kFp32) {
+            fault::corrupt_scalars_f32(
+                "bitflip.device.buffer",
+                reinterpret_cast<float*>(x_stage.data()), un);
+          } else {
+            fault::corrupt_scalars_b16(
+                "bitflip.device.buffer",
+                reinterpret_cast<std::uint16_t*>(x_stage.data()), un);
+          }
+        };
+        const auto stage_x = [&] {
+          if (!transfer_crc) {
+            upload_x();
+            corrupt_device_x();
+            return;
+          }
+          device::run_transfer_with_retry(ctx, "sdc.h2d", [&] {
+            upload_x();
+            corrupt_device_x();
+            const void* host_src =
+                basis_narrow ? static_cast<const void*>(stage_host.data())
+                             : static_cast<const void*>(xwave);
+            const void* dev_src =
+                basis_narrow ? static_cast<const void*>(x_stage.data())
+                             : static_cast<const void*>(dev_x.data());
+            const usize bytes = un * (basis_narrow ? bw : sizeof(real));
+            std::uint32_t dev_crc = 0;
+            {
+              obs::AttrSiteScope crc_site("sdc.crc");
+              std::uint32_t* out = &dev_crc;
+              device::launch(
+                  ctx, 1, [=](index_t) { *out = crc32c(dev_src, bytes); },
+                  device::tagged("sdc.crc",
+                                 static_cast<double>(bytes) / 8.0,
+                                 static_cast<double>(bytes), 4.0));
+            }
+            obs::sdc_note_check();
+            ++result.integrity.checks;
+            if (dev_crc != crc32c(host_src, bytes)) {
+              obs::sdc_note_detected("device.buffer",
+                                     "staged x CRC mismatch after H2D");
+              ++result.integrity.detected;
+              result.integrity.events.push_back(
+                  "device.buffer: staged x CRC mismatch (re-uploading)");
+              throw device::DataIntegrityError(
+                  "staged x buffer CRC mismatch after H2D",
+                  /*transient=*/true);
+            }
+          });
+        };
+        const auto run_wave = [&] {
           // One span per SpMV wave (H2D + csrmv + D2H); in the pipelined path
           // this is the wall window the virtual-timeline overlap hides inside.
           obs::ScopedSpan span("spmv", "wave");
           if (pipelined) {
-            pipelined_matvec(ctx, *exec, p_blocks, prob.GetVector(), dev_x,
-                             dev_y, host_y, cfg.overlap_row_tiles,
+            pipelined_matvec(ctx, *exec, p_blocks, xwave, dev_x, dev_y,
+                             host_y, cfg.overlap_row_tiles,
                              cfg.balanced_spmv);
           } else if (eig_narrow) {
             // Mixed-precision wave: stage x/y at the basis rung's width and
@@ -461,18 +610,7 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
                              : ConstVecView(dev_x.data());
             const VecView yv = basis_narrow ? VecView(y_stage.data(), basis_p)
                                             : VecView(dev_y.data());
-            {
-              obs::AttrSiteScope stage_site("spmv.stage");
-              if (basis_narrow) {
-                pack_scalars(prob.GetVector(), static_cast<usize>(n), basis_p,
-                             stage_host.data());
-                device::copy_h2d(ctx, x_stage.data(), stage_host.data(),
-                                 static_cast<usize>(n) * bw);
-              } else {
-                dev_x.copy_from_host(std::span<const real>(
-                    prob.GetVector(), static_cast<usize>(n)));
-              }
-            }
+            stage_x();
             // Always the row-serial kernel here: the merge-path variant's
             // carry-fixup rounds boundary rows differently per partition,
             // and the sharded path accumulates row-serially — cross-device
@@ -483,20 +621,14 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
               obs::AttrSiteScope stage_site("spmv.stage");
               if (basis_narrow) {
                 device::copy_d2h(ctx, stage_host.data(), y_stage.data(),
-                                 static_cast<usize>(n) * bw);
-                unpack_scalars(stage_host.data(), static_cast<usize>(n),
-                               basis_p, host_y.data());
+                                 un * bw);
+                unpack_scalars(stage_host.data(), un, basis_p, host_y.data());
               } else {
                 dev_y.copy_to_host(std::span<real>(host_y));
               }
             }
           } else {
-            {
-              // H2D: the vector ARPACK hands out.
-              obs::AttrSiteScope stage_site("spmv.stage");
-              dev_x.copy_from_host(std::span<const real>(
-                  prob.GetVector(), static_cast<usize>(n)));
-            }
+            stage_x();
             // Device SpMV (cusparseDcsrmv / cusparseDbsrmv).
             spmv(dev_x.data(), dev_y.data());
             {
@@ -504,6 +636,82 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
               obs::AttrSiteScope stage_site("spmv.stage");
               dev_y.copy_to_host(std::span<real>(host_y));
             }
+          }
+        };
+        // ABFT verify loop: one in-place block recompute on a mismatch (a
+        // one-shot upset is gone the second time), then escalate as a
+        // permanent DataIntegrityError into the degradation ladder.
+        for (int attempt = 0;; ++attempt) {
+          run_wave();
+          // In-flight basis corruption: the product on its way back into the
+          // host-side recurrence.
+          fault::corrupt_scalars("bitflip.basis.column", host_y.data(), un);
+          if (!abft_spmv) break;
+          obs::sdc_note_check();
+          ++result.integrity.checks;
+          double cx = 0;
+          double ysum = 0;
+          double ynorm1 = 0;
+          for (usize i = 0; i < un; ++i) {
+            cx += static_cast<double>(abft_colsum[i]) *
+                  quantize(xwave[i], basis_p);
+            ysum += host_y[i];
+            ynorm1 += std::abs(static_cast<double>(host_y[i]));
+          }
+          const double tol =
+              tol_scale *
+              (eps64 * 64 *
+                   std::sqrt(static_cast<double>(nnz) + static_cast<double>(un)) *
+                   (std::abs(cx) + ynorm1) +
+               2 * eps_q * ynorm1 + 1e-300);
+          if (std::abs(ysum - cx) <= tol) break;
+          obs::sdc_note_detected(
+              "spmv.wave", "|sum(y) - <c,x>| = " +
+                               std::to_string(std::abs(ysum - cx)) +
+                               " > tol " + std::to_string(tol));
+          ++result.integrity.detected;
+          result.integrity.events.push_back(
+              "spmv.wave: ABFT checksum mismatch");
+          if (attempt == 0) {
+            obs::sdc_note_recomputed("spmv.wave");
+            ++result.integrity.recomputed;
+            continue;
+          }
+          throw device::DataIntegrityError(
+              "SpMV ABFT checksum mismatch persisted after block recompute");
+        }
+        // Invariant sentinels: ||P||_2 <= 1 for the normalized operator, so
+        // ||y|| <= ||x|| and |x^T y| <= ||x||^2 up to the rungs' roundoff.
+        // No checksum storage — these catch corruption classes the sum
+        // identity can miss (a flipped structure index, a torn recurrence).
+        if (sentinels_on) {
+          obs::sdc_note_check();
+          ++result.integrity.checks;
+          double x2 = 0;
+          double y2 = 0;
+          double xy = 0;
+          for (usize i = 0; i < un; ++i) {
+            x2 += xwave[i] * xwave[i];
+            y2 += static_cast<double>(host_y[i]) * host_y[i];
+            xy += xwave[i] * host_y[i];
+          }
+          const double one = (1 + tol_scale * (1e-6 + 8 * (eps_q + eps_m)));
+          std::string why;
+          if (!(y2 <= one * one * x2)) {
+            why = "||y|| exceeds the operator norm bound";
+          } else if (!(std::abs(xy) <= one * x2)) {
+            why = "Rayleigh quotient outside the operator's numerical range";
+          } else {
+            const real drift = prob.Solver().orthogonality_drift();
+            if (!(drift <= tol_scale * (1e-8 + 64 * eps_q))) {
+              why = "CGS2 basis orthogonality drift " + std::to_string(drift);
+            }
+          }
+          if (!why.empty()) {
+            obs::sdc_note_detected("lanczos.sentinel", why);
+            ++result.integrity.detected;
+            result.integrity.events.push_back("lanczos.sentinel: " + why);
+            throw device::DataIntegrityError("RCI sentinel tripped: " + why);
           }
         }
         std::copy(host_y.begin(), host_y.end(), prob.PutVector());
@@ -541,6 +749,24 @@ void eigensolve_device(device::DeviceContext& ctx, sparse::DeviceCoo& w,
   result.eigenvalues = prob.Eigenvalues();
   result.eig_converged = !prob.Failed();
   result.eig_stats = prob.Stats();
+  if (sentinels_on && result.eig_converged) {
+    // Spectral-range sanity: every Ritz value of D^-1/2 W D^-1/2 lies in
+    // [-1, 1] up to the rungs' operator perturbation; anything outside (or
+    // non-finite) means the tridiagonal recurrence itself was corrupted.
+    obs::sdc_note_check();
+    ++result.integrity.checks;
+    const double slack = tol_scale * (1e-6 + 64 * (eps_q + eps_m));
+    for (const real ev : result.eigenvalues) {
+      if (!(std::abs(ev) <= 1 + slack)) {
+        const std::string why =
+            "Ritz value " + std::to_string(ev) + " outside [-1, 1]";
+        obs::sdc_note_detected("lanczos.sentinel", why);
+        ++result.integrity.detected;
+        result.integrity.events.push_back("lanczos.sentinel: " + why);
+        throw device::DataIntegrityError("RCI sentinel tripped: " + why);
+      }
+    }
+  }
   if (cfg.capture_checkpoint && prob.Solver().has_checkpoint()) {
     result.checkpoint = std::make_shared<lanczos::LanczosCheckpoint>(
         prob.Solver().last_checkpoint());
@@ -602,6 +828,7 @@ void eigensolve_device_ladder(device::DeviceContext& ctx,
   const DegradationPolicy& pol = cfg.degradation;
   std::exception_ptr last_error;
   std::string reason;
+  bool integrity = false;
   try {
     eigensolve_device(ctx, device_w(), cfg, result, degrees);
     precision_fallback_rerun(ctx, cfg, result, device_w, degrees);
@@ -610,9 +837,33 @@ void eigensolve_device_ladder(device::DeviceContext& ctx,
     if (!pol.enabled) throw;
     last_error = std::current_exception();
     reason = e.what();
+    integrity = dynamic_cast<const device::DataIntegrityError*>(&e) != nullptr;
   }
+  // SDC escalation rung (DESIGN.md §14): a detected-but-unrecovered
+  // corruption on a narrow-precision solve re-runs at full fp64 first — the
+  // extra mantissa headroom separates real upsets from rung roundoff, and
+  // the rebuilt device state leaves any poisoned payload behind.
+  if (integrity && cfg.sdc.enabled && !cfg.precision.all_fp64()) {
+    note_degradation(result, kStageEigensolver, "sdc-fp64-resolve", reason);
+    SpectralConfig fb_cfg = cfg;
+    fb_cfg.precision = cfg.precision.fp64_fallback();
+    reset_eig_result(result);
+    try {
+      obs::AttrSiteScope rung_site("fallback.sdc_fp64");
+      eigensolve_device(ctx, device_w(), fb_cfg, result, degrees);
+      return;
+    } catch (const device::DeviceError& e) {
+      last_error = std::current_exception();
+      reason = e.what();
+    }
+  }
+  // The sync rung also serves as the integrity recompute-from-source rung:
+  // it rebuilds every device-resident payload (normalized CSR, checksums)
+  // from the COO, which clears at-rest corruption even when the failing run
+  // was already synchronous CSR.
   if (pol.allow_sync_fallback &&
-      (cfg.async_pipeline || cfg.spmv_format != DeviceSpmvFormat::kCsr)) {
+      (cfg.async_pipeline || cfg.spmv_format != DeviceSpmvFormat::kCsr ||
+       integrity)) {
     note_degradation(result, kStageEigensolver, "device-sync", reason);
     SpectralConfig sync_cfg = cfg;
     sync_cfg.async_pipeline = false;
@@ -691,10 +942,16 @@ void kmeans_stage_run(device::DeviceContext& ctx, const SpectralConfig& cfg,
       kc.async_pipeline = cfg.async_pipeline;
       kc.precision = cfg.precision.resolve(PrecisionStage::kKmeans);
       kc.record_inertia = cfg.record_kmeans_inertia;
-      // Degradation ladder: async device -> sync device -> host Lloyd.
+      kc.abft = cfg.sdc.enabled && cfg.sdc.abft_kmeans;
+      kc.abft_tolerance_scale = cfg.sdc.tolerance_scale;
+      // Degradation ladder: async device -> sync device -> host Lloyd.  An
+      // integrity failure takes the sync rung even when already synchronous:
+      // the re-run rebuilds the device-resident working set from the host
+      // embedding, which clears a one-shot upset.
       const DegradationPolicy& pol = cfg.degradation;
       std::exception_ptr last_error;
       std::string reason;
+      bool integrity = false;
       bool done = false;
       try {
         assign(kmeans::kmeans_device(ctx, result.embedding.data(), n, k, kc));
@@ -703,8 +960,11 @@ void kmeans_stage_run(device::DeviceContext& ctx, const SpectralConfig& cfg,
         if (!pol.enabled) throw;
         last_error = std::current_exception();
         reason = e.what();
+        integrity =
+            dynamic_cast<const device::DataIntegrityError*>(&e) != nullptr;
       }
-      if (!done && pol.allow_sync_fallback && kc.async_pipeline) {
+      if (!done && pol.allow_sync_fallback &&
+          (kc.async_pipeline || integrity)) {
         note_degradation(result, kStageKmeans, "kmeans-sync", reason);
         kmeans::KmeansConfig sync_kc = kc;
         sync_kc.async_pipeline = false;

@@ -80,6 +80,36 @@ struct DegradationReport {
   std::vector<DegradationEvent> events;
 };
 
+/// Silent-data-corruption defense knobs (DESIGN.md §14).  Detection is
+/// layered: Huang–Abraham column-sum checksums on the eigensolver SpMV
+/// waves and the k-means distance GEMM, cheap invariant sentinels in the
+/// RCI loop (basis orthogonality drift, Rayleigh-quotient and norm bounds
+/// of the normalized operator), and CRC32C frames on staged transfer
+/// buffers (at-rest frames on checkpoints and cache entries are always on —
+/// they are part of the storage format).  A detection escalates
+/// recompute-block -> fp64 re-solve rung -> device-sync -> host through the
+/// existing degradation ladder via DataIntegrityError.
+struct SdcPolicy {
+  bool enabled = true;       ///< master switch for the in-run checks below
+  bool abft_spmv = true;     ///< checksum-verify every eigensolver SpMV wave
+  bool abft_kmeans = true;   ///< checksum-verify the k-means distance GEMM
+  bool sentinels = true;     ///< RCI invariant sentinels
+  bool transfer_crc = true;  ///< CRC staged H2D vectors in the RCI loop
+  /// Multiplies every derived detection tolerance; raise above 1 to loosen
+  /// the checks (e.g. experimental kernels with reordered accumulation).
+  real tolerance_scale = 1;
+};
+
+/// What the SDC layer saw during one run (mirrored into the sdc.* counter
+/// family and the run report's integrity section).
+struct IntegrityReport {
+  std::uint64_t checks = 0;      ///< checksum/sentinel verifications run
+  std::uint64_t detected = 0;    ///< mismatches found
+  std::uint64_t recomputed = 0;  ///< recovered by an in-place block recompute
+  /// One "site: detail" line per detection, in order.
+  std::vector<std::string> events;
+};
+
 struct SpectralConfig {
   /// Number of clusters (the paper's k; also the eigenpair count).
   index_t num_clusters = 2;
@@ -175,6 +205,11 @@ struct SpectralConfig {
   /// How the device backend degrades on DeviceErrors instead of aborting.
   DegradationPolicy degradation{};
 
+  /// Silent-data-corruption detection (ABFT checksums, sentinels, transfer
+  /// CRC) and its recovery escalation.  Default-on: the checks are O(n) per
+  /// wave against O(nnz) kernels.
+  SdcPolicy sdc{};
+
   /// Deterministic fault plan armed (via fault::ArmScope) for the duration
   /// of the run; empty = no injection.  Also settable process-wide through
   /// FASTSC_FAULTS.
@@ -250,6 +285,9 @@ struct SpectralResult {
 
   /// Fallbacks and resumes taken during this run (device backend).
   DegradationReport degradation;
+
+  /// SDC checks run / detections / block recomputes during this run.
+  IntegrityReport integrity;
 
   /// Budget/watchdog accounting: limits vs. spend per stage, where the
   /// deadline hit, and whether the result is an anytime (partial) answer.

@@ -121,6 +121,28 @@ class DeviceTransferError : public DeviceError {
   [[nodiscard]] bool transient() const noexcept override { return true; }
 };
 
+/// Silent-data-corruption *detection* surfaced as an error: an ABFT
+/// checksum, invariant sentinel or CRC frame found a payload that no longer
+/// matches what was computed/stored.  The payload itself produced no fault —
+/// this error is raised by the verifier.  Permanent by default so the
+/// degradation ladders escalate (recompute-block already failed by the time
+/// one of these is thrown); `transient_` is set for staged-transfer CRC
+/// mismatches, where re-running the upload inside run_transfer_with_retry
+/// is the designed recovery.
+class DataIntegrityError : public DeviceError {
+ public:
+  explicit DataIntegrityError(const std::string& message,
+                              bool transient = false)
+      : DeviceError("data integrity: " + message), transient_(transient) {}
+
+  [[nodiscard]] bool transient() const noexcept override {
+    return transient_;
+  }
+
+ private:
+  bool transient_ = false;
+};
+
 /// Running totals kept by a DeviceContext.  Snapshot with
 /// DeviceContext::counters_snapshot() when streams may be in flight.
 struct DeviceCounters {

@@ -1,6 +1,8 @@
 #include "fault/fault.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <stdexcept>
 
@@ -205,11 +207,17 @@ std::uint64_t Injector::injected_total() const {
 }
 
 bool Injector::on_site(std::string_view site) {
+  return on_site_info(site).fired;
+}
+
+Injector::FireInfo Injector::on_site_info(std::string_view site) {
   std::uint64_t occurrence = 0;
+  std::uint64_t seed = 0;
   bool fire = false;
   {
     std::lock_guard lock(mu_);
-    if (!armed_ && !recording_) return false;  // raced with disarm
+    if (!armed_ && !recording_) return {};  // raced with disarm
+    seed = seed_;
     auto it = sites_.find(site);
     if (it == sites_.end()) {
       it = sites_.emplace(std::string(site), SiteStats{}).first;
@@ -255,7 +263,7 @@ bool Injector::on_site(std::string_view site) {
     FASTSC_LOG_WARN("fault injection: triggering at site '"
                     << site << "' (occurrence " << occurrence << ")");
   }
-  return fire;
+  return FireInfo{fire, occurrence, seed};
 }
 
 Injector& injector() {
@@ -282,6 +290,107 @@ namespace {
 // lazy env arming in injector().
 [[maybe_unused]] const bool g_env_arm_at_startup = (injector(), true);
 }  // namespace
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The deterministic corruption stream: one 64-bit word per fire, a pure
+/// function of (plan seed, site, occurrence) so re-arming the same plan
+/// flips the same bit of the same element.
+std::uint64_t corruption_word(const Injector::FireInfo& info,
+                              std::string_view site) {
+  std::uint64_t s = info.seed ^ fnv1a(site) ^
+                    (info.occurrence * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+/// Generic scalar flip: probe from h%count for the first element whose
+/// magnitude (as reported by `mag`) is at least 1/4 of the payload max, then
+/// flip bit `bit_lo + h_hi % bit_span` of its `Word`-wide representation.
+/// The bit window covers the top mantissa and exponent bits, so the chosen
+/// element changes by at least a factor of ~2 — large enough that the
+/// rung-aware ABFT tolerances downstream are guaranteed to see it.
+template <typename T, typename Word, typename MagFn>
+void flip_scalar(std::string_view site, T* data, usize count, int bit_lo,
+                 int bit_span, std::uint64_t h, MagFn mag) {
+  double maxabs = 0;
+  for (usize i = 0; i < count; ++i) {
+    const double m = mag(data[i]);
+    if (m > maxabs) maxabs = m;
+  }
+  usize idx = static_cast<usize>(h % count);
+  if (maxabs > 0) {
+    while (mag(data[idx]) < 0.25 * maxabs) idx = (idx + 1) % count;
+  }
+  const int bit = bit_lo + static_cast<int>((h >> 32) % bit_span);
+  Word w;
+  std::memcpy(&w, &data[idx], sizeof(Word));
+  w ^= Word{1} << bit;
+  std::memcpy(&data[idx], &w, sizeof(Word));
+  FASTSC_LOG_WARN("fault injection: bitflip at site '" << site
+                  << "' element " << idx << " bit " << bit);
+}
+
+}  // namespace
+
+bool corrupt_scalars(std::string_view site, real* data, usize count) {
+  if (count == 0 || !active()) return false;
+  const Injector::FireInfo info = injector().on_site_info(site);
+  if (!info.fired) return false;
+  const std::uint64_t h = corruption_word(info, site);
+  flip_scalar<real, std::uint64_t>(site, data, count, 52, 11, h,
+                                   [](real v) { return std::abs(v); });
+  return true;
+}
+
+bool corrupt_scalars_f32(std::string_view site, float* data, usize count) {
+  if (count == 0 || !active()) return false;
+  const Injector::FireInfo info = injector().on_site_info(site);
+  if (!info.fired) return false;
+  const std::uint64_t h = corruption_word(info, site);
+  flip_scalar<float, std::uint32_t>(
+      site, data, count, 23, 8, h,
+      [](float v) { return std::abs(static_cast<double>(v)); });
+  return true;
+}
+
+bool corrupt_scalars_b16(std::string_view site, std::uint16_t* data,
+                         usize count) {
+  if (count == 0 || !active()) return false;
+  const Injector::FireInfo info = injector().on_site_info(site);
+  if (!info.fired) return false;
+  const std::uint64_t h = corruption_word(info, site);
+  const auto b16_mag = [](std::uint16_t v) {
+    const std::uint32_t bits = static_cast<std::uint32_t>(v) << 16;
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return std::abs(static_cast<double>(f));
+  };
+  flip_scalar<std::uint16_t, std::uint16_t>(site, data, count, 7, 8, h,
+                                            b16_mag);
+  return true;
+}
+
+bool corrupt_bytes(std::string_view site, void* data, usize bytes) {
+  if (bytes == 0 || !active()) return false;
+  const Injector::FireInfo info = injector().on_site_info(site);
+  if (!info.fired) return false;
+  const std::uint64_t h = corruption_word(info, site);
+  const usize bit_index = static_cast<usize>(h % (bytes * 8));
+  auto* p = static_cast<unsigned char*>(data);
+  p[bit_index / 8] ^= static_cast<unsigned char>(1u << (bit_index % 8));
+  FASTSC_LOG_WARN("fault injection: bitflip at site '" << site << "' byte "
+                  << bit_index / 8 << " bit " << bit_index % 8);
+  return true;
+}
 
 ArmScope::ArmScope(const FaultPlan& plan)
     : previous_(injector().plan()), was_armed_(injector().armed()) {

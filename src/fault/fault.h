@@ -18,6 +18,15 @@
 //                       the cancel watchdog fires; see common/cancel.h)
 //   lanczos.convergence SymLanczos restart check (simulated solver stall)
 //
+// Bitflip (silent-corruption) sites corrupt payloads in place instead of
+// throwing — see fault::corrupt_* below:
+//
+//   bitflip.csr.values      resident normalized CSR value array
+//   bitflip.basis.column    Lanczos basis column staged back from the device
+//   bitflip.device.buffer   staged host->device transfer buffer
+//   bitflip.checkpoint.blob serialized LanczosCheckpoint payload
+//   bitflip.cache.entry     ResultCache entry at rest
+//
 // Transfer sites throw the *transient* DeviceTransferError, absorbed by the
 // bounded retry in device/device.h; device.alloc throws DeviceOutOfMemory,
 // which is permanent and exercises the DegradationPolicy fallback chain.
@@ -119,6 +128,17 @@ class Injector {
   /// Slow path behind fault::triggered(); returns true when a rule fires.
   [[nodiscard]] bool on_site(std::string_view site);
 
+  /// Fire decision plus the deterministic corruption stream for bitflip
+  /// sites: `occurrence` is the 1-based site occurrence and `seed` the plan
+  /// seed, so fault::corrupt_* derive the flipped element and bit purely
+  /// from (plan seed, site, occurrence).
+  struct FireInfo {
+    bool fired = false;
+    std::uint64_t occurrence = 0;
+    std::uint64_t seed = 0;
+  };
+  [[nodiscard]] FireInfo on_site_info(std::string_view site);
+
  private:
   struct RuleState {
     FaultRule rule;
@@ -156,6 +176,27 @@ extern std::atomic<bool> g_active;
   if (!detail::g_active.load(std::memory_order_relaxed)) return false;
   return injector().on_site(site);
 }
+
+/// Bitflip corruption family.  Unlike the throwing sites above, these sites
+/// (all named "bitflip.<payload>") corrupt a live payload in place when a
+/// rule fires: one bit of one element is flipped, chosen deterministically
+/// from (plan seed, site, occurrence).  Nothing throws — detection is the
+/// job of the ABFT checksums, invariant sentinels and CRC frames downstream.
+///
+/// Scalar variants flip a high mantissa/exponent bit of a *significant*
+/// element (|v| >= 1/4 of the payload's max magnitude) so the perturbation
+/// is at least a factor-2 change of a representative element: a flip in a
+/// denormal tail would be both undetectable and harmless, which would make
+/// the nth=1 sweep tests vacuous.  The byte variant flips any bit anywhere
+/// and is meant for CRC-framed payloads where the compare is exact.
+///
+/// All variants return true iff a rule fired (the payload was modified).
+bool corrupt_scalars(std::string_view site, real* data, usize count);
+bool corrupt_scalars_f32(std::string_view site, float* data, usize count);
+/// bfloat16 payload stored as raw uint16 words.
+bool corrupt_scalars_b16(std::string_view site, std::uint16_t* data,
+                         usize count);
+bool corrupt_bytes(std::string_view site, void* data, usize bytes);
 
 /// RAII arming for a per-run plan (SpectralConfig::faults); restores the
 /// previously armed plan — e.g. a process-wide FASTSC_FAULTS one — on exit.

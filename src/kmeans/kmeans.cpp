@@ -15,6 +15,7 @@
 #include "device/executor.h"
 #include "kmeans/seeding.h"
 #include "obs/attribution.h"
+#include "obs/sdc.h"
 #include "obs/trace.h"
 
 namespace fastsc::kmeans {
@@ -347,6 +348,35 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
   device::fill(ctx, dev_labels.data(), n, index_t{-1});
   dblas::row_squared_norms(ctx, n, d, dev_v.data(), d, dev_vnorm.data());
 
+  // ABFT setup (DESIGN.md §14): the checksum identity
+  //   sum(S) = k*sum(vnorm) + n*sum(cnorm) - 2*<colsum(V), colsum(C)>
+  // needs the column sums of V once per solve (V is fixed) and per sweep
+  // only the centroid column sums plus three reductions — all computed from
+  // the same device-resident arrays, so a clean compare differs by
+  // accumulation-order roundoff alone.
+  device::DeviceBuffer<real> abft_csv;
+  device::DeviceBuffer<real> abft_csc;
+  device::DeviceBuffer<real> abft_prod;
+  if (config.abft) {
+    obs::AttrSiteScope abft_site("sdc.checksum");
+    abft_csv = device::DeviceBuffer<real>(ctx, static_cast<usize>(d));
+    abft_csc = device::DeviceBuffer<real>(ctx, static_cast<usize>(d));
+    abft_prod = device::DeviceBuffer<real>(ctx, static_cast<usize>(d));
+    const real* vp0 = dev_v.data();
+    real* csv = abft_csv.data();
+    const index_t nn = n;
+    const index_t dd = d;
+    device::launch(ctx, d,
+                   [=](index_t j) {
+                     real acc = 0;
+                     for (index_t i = 0; i < nn; ++i) acc += vp0[i * dd + j];
+                     csv[j] = acc;
+                   },
+                   device::tagged("sdc.checksum", static_cast<double>(n) * d,
+                                  static_cast<double>(n) * d * sizeof(real),
+                                  static_cast<double>(d) * sizeof(real)));
+  }
+
   // Overlapped distance phase: a {transfer, compute} stream pair kept alive
   // across iterations so centroid tiles prefetch behind the GEMM.
   std::unique_ptr<device::PipelineExecutor> exec;
@@ -380,7 +410,7 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
     // --- pairwise distances: S_ij = Vnorm_i + Cnorm_j - 2 <v_i, c_j> -------
     // Norm fill + GEMM (and the prefetching centroid tile copies in async
     // mode) all land in one site: the distance phase dominates the sweep.
-    {
+    const auto compute_distances = [&] {
     obs::AttrSiteScope dist_site("gemm.kmeans_dist");
     if (exec) {
       // Prefetched centroid tiles: tile t+1 stages its centroid rows H2D on
@@ -431,6 +461,57 @@ KmeansResult kmeans_device_single(device::DeviceContext& ctx, const real* v,
       dblas::gemm_nt(ctx, n, k, d, -2.0, dev_v.data(), d, dev_c.data(), d, 1.0,
                      dev_s.data(), k);
     }
+    };
+    // Detect -> recompute-block -> escalate: a checksum mismatch redoes the
+    // distance assembly once (transient upset in S); a second mismatch means
+    // the corruption lives upstream (V, centroids, norms) and the k-means
+    // degradation ladder has to rebuild device state.
+    for (int attempt = 0;; ++attempt) {
+      compute_distances();
+      if (!config.abft) break;
+      obs::AttrSiteScope abft_site("sdc.checksum");
+      obs::sdc_note_check();
+      const real* csv = abft_csv.data();
+      real* csc = abft_csc.data();
+      real* prod = abft_prod.data();
+      const real* cp0 = dev_c.data();
+      const index_t kk = k;
+      const index_t dd = d;
+      device::launch(ctx, d,
+                     [=](index_t j) {
+                       real acc = 0;
+                       for (index_t c = 0; c < kk; ++c) acc += cp0[c * dd + j];
+                       csc[j] = acc;
+                       prod[j] = csv[j] * acc;
+                     },
+                     device::tagged("sdc.checksum", static_cast<double>(k) * d,
+                                    static_cast<double>(k) * d * sizeof(real),
+                                    2.0 * d * sizeof(real)));
+      const real sum_s = device::reduce_sum(ctx, dev_s.data(), n * k);
+      const real sum_vn = device::reduce_sum(ctx, dev_vnorm.data(), n);
+      const real sum_cn = device::reduce_sum(ctx, dev_cnorm.data(), k);
+      const real dot = device::reduce_sum(ctx, abft_prod.data(), d);
+      const real predicted = k * sum_vn + n * sum_cn - 2 * dot;
+      const real scale =
+          std::abs(k * sum_vn) + std::abs(n * sum_cn) + 2 * std::abs(dot) + 1;
+      const double elems = static_cast<double>(n) * (k + d) + d;
+      const real tol = config.abft_tolerance_scale *
+                       std::numeric_limits<real>::epsilon() *
+                       (std::sqrt(elems) + 64) * scale;
+      if (std::abs(sum_s - predicted) <= tol) break;
+      obs::sdc_note_detected(
+          "gemm.kmeans_dist",
+          "sum(S) = " + std::to_string(sum_s) + " vs predicted " +
+              std::to_string(predicted) + " (tol " + std::to_string(tol) +
+              ") at sweep " + std::to_string(iter));
+      if (attempt == 0) {
+        obs::sdc_note_recomputed("gemm.kmeans_dist");
+        continue;
+      }
+      throw device::DataIntegrityError(
+          "k-means distance checksum mismatch persisted after recompute at "
+          "sweep " +
+          std::to_string(iter));
     }
 
     // --- label update: argmin over each row of S ---------------------------

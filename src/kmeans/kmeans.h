@@ -65,6 +65,15 @@ struct KmeansConfig {
   /// KmeansResult::inertia_history (one extra device reduction per sweep).
   /// Per-sweep telemetry is also recorded whenever tracing is enabled.
   bool record_inertia = false;
+  /// ABFT checksum on the fp64 distance phase (DESIGN.md §14): the identity
+  /// sum(S) = k*sum(vnorm) + n*sum(cnorm) - 2*<colsum(V), colsum(C)> is
+  /// verified after every distance assembly with all terms reduced from the
+  /// same device-resident arrays.  A mismatch recomputes the distance block
+  /// once, then raises DataIntegrityError into the k-means ladder.  The
+  /// narrow (quantized) distance path has no GEMM and is not checked.
+  bool abft = true;
+  /// Multiplies the derived checksum tolerance (SdcPolicy::tolerance_scale).
+  real abft_tolerance_scale = 1;
 };
 
 struct KmeansResult {

@@ -10,11 +10,14 @@
 
 #include "blas/hblas.h"
 #include "common/cancel.h"
+#include "common/crc32c.h"
 #include "common/error.h"
 #include "common/timer.h"
+#include "device/device.h"
 #include "fault/fault.h"
 #include "lanczos/dense_eig.h"
 #include "obs/metrics.h"
+#include "obs/sdc.h"
 #include "obs/trace.h"
 
 namespace fastsc::lanczos {
@@ -22,7 +25,9 @@ namespace fastsc::lanczos {
 namespace {
 constexpr real kEps = std::numeric_limits<real>::epsilon();
 
-constexpr char kCheckpointMagic[8] = {'F', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+// "02" added the trailing payload CRC32C frame (DESIGN.md §14); "01" blobs
+// predate the integrity work and are rejected rather than trusted unchecked.
+constexpr char kCheckpointMagic[8] = {'F', 'S', 'C', 'K', 'P', 'T', '0', '2'};
 
 template <class T>
 void write_raw(std::ostream& os, const T& value) {
@@ -58,6 +63,26 @@ std::vector<real> read_vec(std::istream& is) {
 
 }  // namespace
 
+std::uint32_t LanczosCheckpoint::payload_crc() const {
+  std::uint32_t crc = 0;
+  const auto mix = [&crc](const void* p, usize bytes) {
+    crc = crc32c(p, bytes, crc);
+  };
+  mix(&n, sizeof(n));
+  mix(&nev, sizeof(nev));
+  mix(&ncv, sizeof(ncv));
+  mix(&which, sizeof(which));
+  mix(&j, sizeof(j));
+  mix(&nkept, sizeof(nkept));
+  mix(&beta_last, sizeof(beta_last));
+  if (!v.empty()) mix(v.data(), v.size() * sizeof(real));
+  if (!t.empty()) mix(t.data(), t.size() * sizeof(real));
+  mix(&restart_count, sizeof(restart_count));
+  mix(&matvec_count, sizeof(matvec_count));
+  mix(&rng, sizeof(rng));
+  return crc;
+}
+
 void LanczosCheckpoint::save(std::ostream& os) const {
   os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
   write_raw(os, n);
@@ -72,6 +97,7 @@ void LanczosCheckpoint::save(std::ostream& os) const {
   write_raw(os, restart_count);
   write_raw(os, matvec_count);
   write_raw(os, rng);
+  write_raw(os, payload_crc());
   FASTSC_CHECK(os.good(), "checkpoint save failed: bad output stream");
 }
 
@@ -94,7 +120,22 @@ LanczosCheckpoint LanczosCheckpoint::load(std::istream& is) {
   read_raw(is, cp.restart_count);
   read_raw(is, cp.matvec_count);
   read_raw(is, cp.rng);
+  std::uint32_t stored_crc = 0;
+  read_raw(is, stored_crc);
   FASTSC_CHECK(is.good(), "checkpoint load failed: truncated stream");
+  // At-rest corruption injection point: the deserialized basis is the live
+  // payload a flipped storage bit would land in.
+  if (!cp.v.empty()) {
+    fault::corrupt_bytes("bitflip.checkpoint.blob", cp.v.data(),
+                         cp.v.size() * sizeof(real));
+  }
+  if (cp.payload_crc() != stored_crc) {
+    obs::sdc_note_detected("checkpoint.blob",
+                           "checkpoint payload failed its CRC32C frame");
+    throw device::DataIntegrityError(
+        "checkpoint blob failed its CRC32C frame (restart " +
+        std::to_string(cp.restart_count) + ")");
+  }
   return cp;
 }
 
@@ -132,6 +173,25 @@ const std::vector<real>& SymLanczos::eigenvalues() const {
 
 const std::vector<real>& SymLanczos::residuals() const {
   return out_residuals_;
+}
+
+real SymLanczos::orthogonality_drift() const {
+  if (phase_ != Phase::kAwaitMatvec || j_ < 2) return 0;
+  const index_t n = config_.n;
+  const auto dot = [n](const real* a, const real* b) {
+    real s = 0;
+    for (index_t i = 0; i < n; ++i) s += a[i] * b[i];
+    return s;
+  };
+  // v_row(j_) is the unit continuation vector multiply_input() hands out;
+  // rows 0..j_ are the settled orthonormal basis.  Checking against the
+  // newest neighbour and the oldest row bounds both local recurrence damage
+  // and a global loss of orthogonality at O(n) cost per wave.
+  const real* vj = v_row(j_);
+  const real d_first = std::abs(dot(vj, v_row(0)));
+  const real d_prev = std::abs(dot(vj, v_row(j_ - 1)));
+  const real unit = std::abs(std::sqrt(dot(vj, vj)) - real{1});
+  return std::max(std::max(d_first, d_prev), unit);
 }
 
 void SymLanczos::start_iteration() {

@@ -105,7 +105,15 @@ struct LanczosCheckpoint {
 
   [[nodiscard]] bool valid() const noexcept { return n > 0 && ncv > 0; }
 
-  /// Binary serialization (magic "FSCKPT01"); throws on a bad stream.
+  /// CRC32C over the logical payload (scalars, basis, projected matrix and
+  /// RNG state, chained in field order).  The save/load framing stores it so
+  /// a blob flipped at rest is rejected at load; ResultCache reuses it to
+  /// seal cached warm-start donors (DESIGN.md §14).
+  [[nodiscard]] std::uint32_t payload_crc() const;
+
+  /// Binary serialization (magic "FSCKPT02"; the frame ends with
+  /// payload_crc()).  Throws on a bad stream; load throws
+  /// device::DataIntegrityError when the payload fails its CRC.
   void save(std::ostream& os) const;
   [[nodiscard]] static LanczosCheckpoint load(std::istream& is);
 };
@@ -203,6 +211,13 @@ class SymLanczos {
   /// Current Lanczos step j — the number of basis vectors built so far.
   /// Sharded drivers use it to price each CGS2 pass (O(n * j) work).
   [[nodiscard]] index_t basis_size() const noexcept { return j_; }
+
+  /// SDC sentinel (DESIGN.md §14): worst orthogonality defect of the settled
+  /// basis rows, max(|<v_j, v_{j-1}>|, |<v_j, v_0>|, | ||v_j|| - 1 |), which
+  /// CGS2 keeps near machine epsilon.  Returns 0 unless the solver is
+  /// mid-iteration (kAwaitMatvec) with at least three settled rows — the
+  /// rows at and below j_ are the orthonormal basis multiply_input() reads.
+  [[nodiscard]] real orthogonality_drift() const;
 
   /// True when abandon() can produce partial Ritz pairs: the iteration is
   /// mid-flight (kAwaitMatvec) with at least nev basis vectors built.

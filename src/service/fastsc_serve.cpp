@@ -14,9 +14,20 @@
 // With --trace-out/--metrics-out the run writes the usual observability
 // artifacts, which tools/check_trace.py can validate (--expect-counter on
 // service.*/cache.* counters, --expect-gauge on the gauges above).
+//
+// --chaos turns the replay into a silent-data-corruption soak (DESIGN.md
+// §14): the trace is first replayed fault-free as a label oracle, then
+// replayed again under a seeded bitflip fault plan covering every
+// corruption site (CSR values, staged basis columns, device transfer
+// buffers, cache entries).  Every job that completes under chaos must
+// produce labels identical (ARI == 1.0) to the oracle's — the detectors
+// and recovery ladder have to absorb every flip — and the run publishes
+// sdc.chaos_label_mismatches plus the checksum-overhead gauge
+// sdc.overhead_ratio (total flops / non-sdc flops of the clean pass).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +37,7 @@
 #include "core/spectral.h"
 #include "device/device.h"
 #include "fastsc/service.h"
+#include "fault/fault.h"
 #include "metrics/external.h"
 #include "obs/metrics.h"
 #include "obs/runtime_metrics.h"
@@ -41,6 +53,36 @@ double percentile(std::vector<double> xs, double p) {
   std::sort(xs.begin(), xs.end());
   const auto rank = static_cast<usize>(p * static_cast<double>(xs.size()));
   return xs[std::min(rank, xs.size() - 1)];
+}
+
+/// Seed-derived bitflip plan for the chaos soak.  The seed picks which
+/// occurrence of each site gets hit (and, inside fault::corrupt_*, which
+/// element and bit flips), so a given seed reproduces the same storm.
+/// bitflip.csr.values is pinned to nth=1 so every seed corrupts at least
+/// one solve — the smoke gate asserts sdc.detected >= 1 — and
+/// bitflip.cache.entry is pinned to the first seal verification (an
+/// exact-key lookup): the evicted entry is re-created by the resulting
+/// cold solve, so downstream warm-start lineage — and with it exact label
+/// agreement with the oracle — is preserved.  A flip that instead ate a
+/// warm donor would legitimately change later labels within convergence
+/// tolerance, which is recovery, not silent corruption, but would fail the
+/// soak's exact-match bar.
+fault::FaultPlan chaos_plan(std::uint64_t seed) {
+  std::uint64_t s = seed + 0x9e3779b97f4a7c15ull;
+  const auto next = [&s](std::uint64_t range) {
+    s ^= s >> 33;
+    s *= 0xff51afd7ed558ccdull;
+    s ^= s >> 29;
+    return 1 + s % range;
+  };
+  return fault::FaultPlan::parse(
+      "site=bitflip.csr.values,nth=1,count=1"
+      ";site=bitflip.basis.column,nth=" + std::to_string(next(6)) +
+      ",count=2"
+      ";site=bitflip.device.buffer,nth=" + std::to_string(next(4)) +
+      ",count=1"
+      ";site=bitflip.cache.entry,nth=1,count=1"
+      ";seed=" + std::to_string(seed));
 }
 
 }  // namespace
@@ -90,6 +132,12 @@ int main(int argc, char** argv) {
       "job-artifacts-dir", "",
       "write per-job artifacts (job_<id>.trace.json + "
       "job_<id>.attribution.json) into this directory");
+  const bool chaos = cli.get_bool(
+      "chaos", false,
+      "SDC soak: replay the trace clean as a label oracle, then again under "
+      "a seeded bitflip plan; rc=1 unless every completed job matches");
+  const auto chaos_seed = static_cast<std::uint64_t>(cli.get_int(
+      "chaos-seed", 1, "seed for the chaos bitflip plan"));
   if (!run) {
     cli.print_help();
     return 0;
@@ -113,13 +161,68 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[serve] replaying %zu ops from %s\n", ops.size(),
                trace_path.c_str());
 
-  device::DeviceContext ctx(device_workers);
-  Service svc(scfg, &ctx);
   core::SpectralConfig base;
   base.backend = core::Backend::kDevice;
   base.ncv = ncv;
   base.eig_tol = eig_tol;
+
+  // Chaos soak, pass 1: fault-free oracle on its own service + device so
+  // the chaos pass below starts from an identical cold state (empty cache,
+  // fresh fingerprints).  One worker keeps job interleaving — and thus the
+  // global fault-site occurrence order — deterministic for a given seed.
+  std::vector<service::ReplayedJob> oracle_jobs;
+  double sdc_overhead_ratio = 1.0;
+  if (chaos) {
+    scfg.workers = 1;
+    // The recovery rung for persistent corruption is the synchronous staged
+    // wave; its summation order differs from the overlapped pipeline's, so
+    // an oracle solved async would disagree on boundary points through no
+    // fault of the detectors.  Both passes therefore run the sync wave —
+    // which also keeps the H2D transfer-CRC detector in the storm's path.
+    base.async_pipeline = false;
+    std::fprintf(stderr,
+                 "[serve] chaos soak: fault-free oracle pass (seed %llu)\n",
+                 static_cast<unsigned long long>(chaos_seed));
+    device::DeviceContext oracle_ctx(device_workers);
+    {
+      Service oracle_svc(scfg, &oracle_ctx);
+      service::TraceReplayer oracle(oracle_svc, base);
+      for (const service::TraceOp& op : ops) (void)oracle.submit(op);
+      oracle.wait_all();
+      oracle_svc.shutdown(/*drain=*/true);
+      oracle_jobs = oracle.jobs();
+    }
+    // Checksum overhead straight from the clean pass's flop attribution:
+    // everything the sdc.* sites burned is pure defense cost.
+    double total_flops = 0, sdc_flops = 0;
+    for (const obs::SiteReport& s :
+         core::collect_attribution(oracle_ctx).sites) {
+      total_flops += s.stats.flops;
+      if (s.site.rfind("sdc.", 0) == 0) sdc_flops += s.stats.flops;
+    }
+    if (total_flops > sdc_flops && sdc_flops >= 0) {
+      sdc_overhead_ratio = total_flops / (total_flops - sdc_flops);
+    }
+    // Drop the oracle pass's timeline events: its device tracks reuse the
+    // same ids as the chaos pass's fresh DeviceContext, and two passes on
+    // one track read as overlapping spans to check_trace.py.  The exported
+    // trace should show only the storm.
+    obs::trace().clear();
+  }
+
+  device::DeviceContext ctx(device_workers);
+  Service svc(scfg, &ctx);
   service::TraceReplayer replayer(svc, base);
+  // Chaos pass 2: the normal replay below runs with the bitflip plan armed
+  // process-wide.  Service jobs carry no per-job fault plan, so nothing
+  // re-arms over this scope; it is reset before the warm-vs-cold re-solve.
+  std::optional<fault::ArmScope> chaos_scope;
+  if (chaos) {
+    const fault::FaultPlan plan = chaos_plan(chaos_seed);
+    std::fprintf(stderr, "[serve] chaos soak: replay under plan %s\n",
+                 plan.to_string().c_str());
+    chaos_scope.emplace(plan);
+  }
   for (const service::TraceOp& op : ops) {
     const Service::Submitted sub = replayer.submit(op);
     if (sub.status == JobStatus::kOverloaded) {
@@ -130,6 +233,47 @@ int main(int argc, char** argv) {
   }
   replayer.wait_all();
   svc.shutdown(/*drain=*/true);
+  chaos_scope.reset();
+
+  // Chaos verdict: every job that completed under the bitflip storm must
+  // label its graph exactly as the oracle did (ARI == 1.0 — identical
+  // partitions up to cluster renumbering).  Anything less means a flip
+  // slipped past the detectors and escaped as silent corruption.
+  std::uint64_t chaos_mismatches = 0;
+  if (chaos) {
+    std::uint64_t compared = 0;
+    const std::vector<service::ReplayedJob>& cjobs = replayer.jobs();
+    for (usize i = 0; i < cjobs.size(); ++i) {
+      const JobResult& r = cjobs[i].result;
+      if (r.status != JobStatus::kCompleted) continue;
+      double ari = -1;
+      if (i < oracle_jobs.size() &&
+          oracle_jobs[i].result.status == JobStatus::kCompleted &&
+          oracle_jobs[i].result.spectral.labels.size() ==
+              r.spectral.labels.size()) {
+        ari = metrics::adjusted_rand_index(r.spectral.labels,
+                                           oracle_jobs[i].result.spectral.labels);
+      }
+      ++compared;
+      if (ari < 1.0) {
+        ++chaos_mismatches;
+        std::fprintf(stderr,
+                     "[serve] chaos: job %llu %s:%s diverges from oracle "
+                     "(ARI %.6f)\n",
+                     static_cast<unsigned long long>(cjobs[i].id),
+                     cjobs[i].op.dataset.c_str(), cjobs[i].op.op.c_str(), ari);
+      }
+    }
+    obs::metrics().set_gauge("sdc.chaos_label_mismatches",
+                             static_cast<double>(chaos_mismatches));
+    obs::metrics().set_gauge("sdc.overhead_ratio", sdc_overhead_ratio);
+    std::printf(
+        "\nchaos soak: %llu completed jobs vs oracle, %llu mismatches, "
+        "checksum overhead %.4fx\n",
+        static_cast<unsigned long long>(compared),
+        static_cast<unsigned long long>(chaos_mismatches),
+        sdc_overhead_ratio);
+  }
 
   std::vector<double> latencies;
   std::printf("%-5s %-14s %-10s %-5s %-5s %10s %10s %9s  %s\n", "job", "tag",
@@ -247,6 +391,11 @@ int main(int argc, char** argv) {
   if (!prom_out.empty() && reg.write_prometheus_file(prom_out)) {
     std::fprintf(stderr, "[serve] wrote prometheus dump to %s\n",
                  prom_out.c_str());
+  }
+  if (chaos_mismatches != 0) {
+    std::fprintf(stderr, "[serve] chaos soak FAILED: %llu label mismatches\n",
+                 static_cast<unsigned long long>(chaos_mismatches));
+    return 1;
   }
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "service/result_cache.h"
 
+#include "common/crc32c.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/sdc.h"
 #include "obs/trace.h"
 
 namespace fastsc::service {
@@ -20,6 +23,21 @@ void bump(const char* name) {
 
 }  // namespace
 
+std::uint32_t CacheEntry::payload_crc() const {
+  std::uint32_t c = 0;
+  if (!labels.empty()) {
+    c = crc32c(labels.data(), labels.size() * sizeof(index_t), c);
+  }
+  if (!eigenvalues.empty()) {
+    c = crc32c(eigenvalues.data(), eigenvalues.size() * sizeof(real), c);
+  }
+  c = crc32c(&n, sizeof(n), c);
+  c = crc32c(&k, sizeof(k), c);
+  const std::uint32_t cp_crc =
+      checkpoint != nullptr ? checkpoint->payload_crc() : 0;
+  return crc32c(&cp_crc, sizeof(cp_crc), c);
+}
+
 ResultCache::ResultCache(std::uint64_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 
@@ -35,6 +53,26 @@ std::uint64_t ResultCache::entry_bytes(const CacheEntry& e) {
   return b;
 }
 
+bool ResultCache::verify_or_evict_locked(std::list<CacheEntry>::iterator it) {
+  CacheEntry& e = *it;
+  // At-rest corruption injection point: the stored label array is the live
+  // payload a flipped DRAM bit would land in.
+  if (!e.labels.empty()) {
+    fault::corrupt_bytes("bitflip.cache.entry", e.labels.data(),
+                         e.labels.size() * sizeof(index_t));
+  }
+  if (e.payload_crc() == e.crc) return true;
+  obs::sdc_note_detected("cache.entry",
+                         "cached result failed its CRC32C seal (graph fp " +
+                             std::to_string(e.graph_fp) + ")");
+  bytes_ -= e.bytes;
+  map_.erase(CacheKey{e.graph_fp, e.config_fp});
+  lru_.erase(it);
+  bump("cache.integrity_evicted");
+  publish_gauges_locked();
+  return false;
+}
+
 std::optional<CacheEntry> ResultCache::lookup(const CacheKey& key) {
   if (capacity_ == 0) {
     bump("cache.misses");
@@ -43,6 +81,11 @@ std::optional<CacheEntry> ResultCache::lookup(const CacheKey& key) {
   std::lock_guard lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
+    bump("cache.misses");
+    return std::nullopt;
+  }
+  if (!verify_or_evict_locked(it->second)) {
+    // Corrupted entry: dropped above; the job falls through to a cold solve.
     bump("cache.misses");
     return std::nullopt;
   }
@@ -59,16 +102,25 @@ std::shared_ptr<const lanczos::LanczosCheckpoint> ResultCache::lookup_warm(
     const auto it = map_.find(CacheKey{warm_hint, config_fp});
     if (it != map_.end() && it->second->checkpoint != nullptr &&
         it->second->n == n) {
-      bump("cache.warm_donors");
-      return it->second->checkpoint;
+      if (verify_or_evict_locked(it->second)) {
+        bump("cache.warm_donors");
+        return it->second->checkpoint;
+      }
+      // Corrupted donor: skipped + evicted; fall through to the LRU scan.
     }
   }
   // Fall back to the freshest same-shaped entry: most recently used first,
   // so a stream of updates to one graph keeps chaining warm starts.
-  for (const CacheEntry& e : lru_) {
-    if (e.config_fp == config_fp && e.n == n && e.checkpoint != nullptr) {
-      bump("cache.warm_donors");
-      return e.checkpoint;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->config_fp == config_fp && it->n == n &&
+        it->checkpoint != nullptr) {
+      const auto candidate = it++;
+      if (verify_or_evict_locked(candidate)) {
+        bump("cache.warm_donors");
+        return candidate->checkpoint;
+      }
+    } else {
+      ++it;
     }
   }
   return nullptr;
@@ -77,6 +129,7 @@ std::shared_ptr<const lanczos::LanczosCheckpoint> ResultCache::lookup_warm(
 void ResultCache::insert(CacheEntry entry) {
   if (capacity_ == 0) return;
   if (entry.bytes == 0) entry.bytes = entry_bytes(entry);
+  entry.crc = entry.payload_crc();  // seal (verified by every lookup)
   if (entry.bytes > capacity_) return;  // would evict everything and not fit
   std::lock_guard lock(mu_);
   const CacheKey key{entry.graph_fp, entry.config_fp};

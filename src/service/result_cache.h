@@ -52,6 +52,13 @@ struct CacheEntry {
   std::uint64_t graph_fp = 0;
   std::uint64_t config_fp = 0;
   std::uint64_t bytes = 0;  ///< computed by ResultCache::insert when 0
+  /// CRC32C seal over the payload (DESIGN.md §14): labels, eigenvalues,
+  /// n/k, and the checkpoint's own payload CRC.  insert() computes it;
+  /// every lookup verifies it and evicts on mismatch
+  /// (cache.integrity_evicted), falling through to a cold solve.
+  std::uint32_t crc = 0;
+
+  [[nodiscard]] std::uint32_t payload_crc() const;
 };
 
 class ResultCache {
@@ -86,6 +93,11 @@ class ResultCache {
  private:
   void evict_until_fits_locked(std::uint64_t incoming_bytes);
   void publish_gauges_locked();
+  /// Apply the at-rest corruption injection site to the stored payload, then
+  /// check the entry's CRC seal.  Returns true when intact; on mismatch the
+  /// entry is erased (cache.integrity_evicted + sdc.detected.cache.entry)
+  /// and false is returned — the caller treats it as absent.
+  bool verify_or_evict_locked(std::list<CacheEntry>::iterator it);
 
   const std::uint64_t capacity_;
   mutable std::mutex mu_;

@@ -1,0 +1,69 @@
+# SDC chaos-soak smoke, run as a CTest via `cmake -P`:
+#   1. replay examples/service_trace.txt through `fastsc_serve --chaos`:
+#      the trace runs once fault-free as a label oracle, then again under a
+#      seeded bitflip plan hitting the CSR values, staged basis columns,
+#      device buffers, and cache entries.  fastsc_serve itself returns
+#      rc=1 unless every completed chaos job's labels match the oracle
+#      (ARI == 1.0), so rc=0 *is* the label-oracle acceptance.
+#   2. validate the artifacts with tools/check_trace.py:
+#        - sdc.* counters monotone, with sdc.detected>=1 (the storm was
+#          actually detected, not silently absorbed),
+#        - checksum-overhead gauge sdc.overhead_ratio <= 1.10 (the ABFT +
+#          CRC defense costs at most 10% of the clean pass's modeled flops),
+#        - zero chaos label mismatches, again from artifacts alone.
+#
+# Expected -D definitions: SERVE (fastsc_serve), TRACE
+# (examples/service_trace.txt), PYTHON (python3), CHECKER
+# (tools/check_trace.py), WORKDIR (scratch directory).
+
+foreach(var SERVE TRACE PYTHON CHECKER WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_sdc_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(trace_json "${WORKDIR}/trace.json")
+set(metrics_json "${WORKDIR}/metrics.json")
+
+# Same shape as service_smoke (--job-quota-mb=4 admits everything but the
+# oversized dblp_big line; --ncv=16 keeps solves cheap); --chaos-seed is
+# pinned so the fault storm — and therefore this gate — is deterministic,
+# and --device-workers is pinned so the recovery re-solves are label-stable
+# run to run (auto worker counts vary with the host's core count).
+execute_process(
+  COMMAND "${SERVE}"
+          --trace=${TRACE} --job-quota-mb=4 --ncv=16
+          --device-workers=4 --chaos --chaos-seed=1
+          --trace-out=${trace_json} --metrics-out=${metrics_json}
+  RESULT_VARIABLE serve_rc
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err)
+message(STATUS "fastsc_serve --chaos output:\n${serve_out}\n${serve_err}")
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "fastsc_serve --chaos failed (rc=${serve_rc}): a "
+          "completed job's labels diverged from the fault-free oracle\n"
+          "stdout:\n${serve_out}\nstderr:\n${serve_err}")
+endif()
+foreach(artifact "${trace_json}" "${metrics_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "fastsc_serve did not write ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace_json}"
+          --metrics "${metrics_json}"
+          --expect-counter "sdc.detected>=1"
+          --expect-counter service.jobs_completed
+          --expect-gauge "sdc.chaos_label_mismatches<=0"
+          --expect-gauge "sdc.overhead_ratio<=1.10"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}${check_err}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py failed (rc=${check_rc})")
+endif()
+message(STATUS "sdc smoke OK: every chaos job matched the oracle, "
+        "detection fired, and the checksum overhead is within 10%")

@@ -1,0 +1,297 @@
+// Tests for the silent-data-corruption defense layer (DESIGN.md §14):
+// an nth=1 bitflip sweep over every addressable corruption site the
+// pipeline touches must be detected (sdc.detected advances) and recovered
+// to the fault-free labels; checkpoint blobs and cached results are
+// CRC32C-framed and rejected/evicted on a flip; and — the false-positive
+// guard — clean runs report zero detections at every precision rung and
+// device count, so the checksums' tolerances hold with margin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/precision.h"
+#include "core/spectral.h"
+#include "data/sbm.h"
+#include "device/device.h"
+#include "fault/fault.h"
+#include "lanczos/irlm.h"
+#include "metrics/external.h"
+#include "obs/metrics.h"
+#include "service/result_cache.h"
+
+namespace fastsc {
+namespace {
+
+/// Every test leaves the process-wide injector disarmed; counters are
+/// process-cumulative, so assertions compare deltas.
+class SdcTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::injector().disarm();
+    fault::injector().set_recording(false);
+  }
+
+  static std::uint64_t detected() {
+    return obs::metrics().counter("sdc.detected").value();
+  }
+  static std::uint64_t counter(const char* name) {
+    return obs::metrics().counter(name).value();
+  }
+};
+
+core::SpectralConfig sdc_config() {
+  core::SpectralConfig cfg;
+  cfg.num_clusters = 3;
+  cfg.backend = core::Backend::kDevice;
+  cfg.seed = 42;
+  // Synchronous staged wave: every bitflip site (CSR values, staged device
+  // buffer, returned basis column) occurs, and the H2D transfer CRC is live.
+  cfg.async_pipeline = false;
+  return cfg;
+}
+
+data::SbmGraph sdc_graph() {
+  data::SbmParams p;
+  p.block_sizes = data::equal_blocks(600, 3);
+  p.p_in = 0.3;
+  p.p_out = 0.01;
+  p.seed = 17;
+  return data::make_sbm(p);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole sweep: discover every bitflip site the pipeline exercises
+// (recording mode counts occurrences without firing), then flip a bit at
+// each one's first occurrence and require detection + exact recovery.
+// ---------------------------------------------------------------------------
+
+TEST_F(SdcTest, BitflipSweepDetectsAndRecoversEverySite) {
+  const data::SbmGraph g = sdc_graph();
+  const core::SpectralConfig cfg = sdc_config();
+
+  fault::injector().set_recording(true);
+  const core::SpectralResult clean = core::spectral_cluster_graph(g.w, cfg);
+  std::vector<std::string> sites;
+  for (const auto& [site, stats] : fault::injector().sites_seen()) {
+    if (site.rfind("bitflip.", 0) == 0) sites.push_back(site);
+  }
+  fault::injector().set_recording(false);
+  ASSERT_EQ(clean.labels.size(), 600u);
+
+  // The live-payload site family must actually be reachable in this
+  // pipeline shape — an empty sweep would vacuously pass.
+  for (const char* must : {"bitflip.csr.values", "bitflip.device.buffer",
+                           "bitflip.basis.column"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), must), sites.end())
+        << "site " << must << " never occurred; the sweep lost coverage";
+  }
+
+  for (const std::string& site : sites) {
+    SCOPED_TRACE(site);
+    const std::uint64_t before = detected();
+    core::SpectralConfig faulted = cfg;
+    faulted.faults = fault::FaultPlan::parse("site=" + site + ",nth=1");
+    const core::SpectralResult r = core::spectral_cluster_graph(g.w, faulted);
+    // Detected somewhere (ABFT checksum, sentinel, or CRC frame)...
+    EXPECT_GE(detected(), before + 1) << "flip at " << site << " was silent";
+    // ...and recovered: the recompute / re-solve ladder lands on the same
+    // partition as the fault-free run.
+    ASSERT_EQ(r.labels.size(), clean.labels.size());
+    EXPECT_DOUBLE_EQ(metrics::adjusted_rand_index(r.labels, clean.labels),
+                     1.0);
+  }
+}
+
+TEST_F(SdcTest, BasisColumnFlipIsRecomputedInPlace) {
+  const data::SbmGraph g = sdc_graph();
+  core::SpectralConfig cfg = sdc_config();
+  cfg.faults = fault::FaultPlan::parse("site=bitflip.basis.column,nth=1");
+  const std::uint64_t recomputed_before = counter("sdc.recomputed");
+  const core::SpectralResult r = core::spectral_cluster_graph(g.w, cfg);
+  // A one-shot in-flight flip dies at the cheap rung of the ladder: the
+  // wave is recomputed in place, no degradation event is taken.
+  EXPECT_GE(counter("sdc.recomputed"), recomputed_before + 1);
+  EXPECT_FALSE(r.degradation.degraded);
+  EXPECT_GE(r.integrity.detected, 1u);
+  EXPECT_GE(r.integrity.recomputed, 1u);
+}
+
+TEST_F(SdcTest, PersistentCsrCorruptionEscalatesToResolve) {
+  const data::SbmGraph g = sdc_graph();
+  const core::SpectralResult clean =
+      core::spectral_cluster_graph(g.w, sdc_config());
+  core::SpectralConfig cfg = sdc_config();
+  cfg.faults = fault::FaultPlan::parse("site=bitflip.csr.values,nth=1");
+  const core::SpectralResult r = core::spectral_cluster_graph(g.w, cfg);
+  // The stored matrix itself is corrupt, so the in-place recompute hits the
+  // same flipped value and the solve escalates to a ladder rung that
+  // rebuilds the operator from the pristine COO.
+  EXPECT_TRUE(r.degradation.degraded);
+  EXPECT_EQ(r.labels, clean.labels);
+}
+
+TEST_F(SdcTest, DisablingSdcSkipsTheChecks) {
+  const data::SbmGraph g = sdc_graph();
+  core::SpectralConfig cfg = sdc_config();
+  cfg.sdc.enabled = false;
+  const std::uint64_t checks_before = counter("sdc.checks");
+  const core::SpectralResult r = core::spectral_cluster_graph(g.w, cfg);
+  EXPECT_EQ(counter("sdc.checks"), checks_before);
+  EXPECT_EQ(r.integrity.checks, 0u);
+  EXPECT_EQ(r.labels.size(), 600u);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity at rest: checkpoint CRC frame and result-cache seal.
+// ---------------------------------------------------------------------------
+
+lanczos::LanczosCheckpoint make_checkpoint() {
+  lanczos::LanczosCheckpoint cp;
+  cp.n = 48;
+  cp.nev = 4;
+  cp.ncv = 12;
+  cp.which = 1;
+  cp.j = 6;
+  cp.nkept = 6;
+  cp.beta_last = 0.25;
+  cp.v.resize(static_cast<usize>(cp.ncv + 1) * static_cast<usize>(cp.n));
+  for (usize i = 0; i < cp.v.size(); ++i) {
+    cp.v[i] = 1.0 / static_cast<real>(i + 1);
+  }
+  cp.t.assign(static_cast<usize>(cp.ncv) * static_cast<usize>(cp.ncv), 0.5);
+  cp.restart_count = 3;
+  cp.matvec_count = 41;
+  return cp;
+}
+
+TEST_F(SdcTest, CheckpointBlobRoundTripsUnderCrcFrame) {
+  const lanczos::LanczosCheckpoint cp = make_checkpoint();
+  std::stringstream ss;
+  cp.save(ss);
+  const lanczos::LanczosCheckpoint back = lanczos::LanczosCheckpoint::load(ss);
+  EXPECT_EQ(back.n, cp.n);
+  EXPECT_EQ(back.v, cp.v);
+  EXPECT_EQ(back.t, cp.t);
+  EXPECT_EQ(back.payload_crc(), cp.payload_crc());
+}
+
+TEST_F(SdcTest, CheckpointBlobFlipIsRejectedAtLoad) {
+  const lanczos::LanczosCheckpoint cp = make_checkpoint();
+  std::stringstream ss;
+  cp.save(ss);
+  fault::ArmScope scope(
+      fault::FaultPlan::parse("site=bitflip.checkpoint.blob,nth=1"));
+  const std::uint64_t before = detected();
+  EXPECT_THROW((void)lanczos::LanczosCheckpoint::load(ss),
+               device::DataIntegrityError);
+  EXPECT_EQ(detected(), before + 1);
+  EXPECT_GE(counter("sdc.detected.checkpoint.blob"), 1u);
+}
+
+service::CacheEntry make_entry(std::uint64_t graph_fp,
+                               bool with_checkpoint) {
+  service::CacheEntry e;
+  e.labels = {0, 1, 2, 0, 1, 2};
+  e.eigenvalues = {0.1, 0.2, 0.3};
+  e.n = 6;
+  e.k = 3;
+  e.graph_fp = graph_fp;
+  e.config_fp = 222;
+  if (with_checkpoint) {
+    e.checkpoint = std::make_shared<const lanczos::LanczosCheckpoint>(
+        make_checkpoint());
+    e.n = e.checkpoint->n;
+  }
+  return e;
+}
+
+TEST_F(SdcTest, CacheLookupVerifiesSealAndEvictsOnFlip) {
+  service::ResultCache cache(1 << 20);
+  cache.insert(make_entry(111, /*with_checkpoint=*/false));
+  ASSERT_TRUE(cache.lookup({111, 222}).has_value());  // clean: seal holds
+
+  fault::ArmScope scope(
+      fault::FaultPlan::parse("site=bitflip.cache.entry,nth=1"));
+  const std::uint64_t before = detected();
+  const std::uint64_t evicted_before = counter("cache.integrity_evicted");
+  // Corrupted lookup: the entry is dropped and the caller sees a miss, so
+  // the job falls through to a cold solve.
+  EXPECT_FALSE(cache.lookup({111, 222}).has_value());
+  EXPECT_EQ(detected(), before + 1);
+  EXPECT_EQ(counter("cache.integrity_evicted"), evicted_before + 1);
+  EXPECT_GE(counter("sdc.detected.cache.entry"), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+  // The rule is exhausted; the entry is simply gone now.
+  EXPECT_FALSE(cache.lookup({111, 222}).has_value());
+}
+
+TEST_F(SdcTest, WarmDonorLookupSkipsAndEvictsCorruptEntry) {
+  service::ResultCache cache(1 << 20);
+  cache.insert(make_entry(111, /*with_checkpoint=*/true));
+  ASSERT_NE(cache.lookup_warm(222, 48, 111), nullptr);  // clean donor
+
+  fault::ArmScope scope(
+      fault::FaultPlan::parse("site=bitflip.cache.entry,nth=1"));
+  const std::uint64_t evicted_before = counter("cache.integrity_evicted");
+  // The hinted donor fails its seal: skipped, evicted, and with no other
+  // candidate the warm lookup reports none — the solve cold-starts.
+  EXPECT_EQ(cache.lookup_warm(222, 48, 111), nullptr);
+  EXPECT_EQ(counter("cache.integrity_evicted"), evicted_before + 1);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST_F(SdcTest, WarmDonorFallsThroughToIntactCandidate) {
+  service::ResultCache cache(1 << 20);
+  cache.insert(make_entry(111, /*with_checkpoint=*/true));
+  cache.insert(make_entry(333, /*with_checkpoint=*/true));
+  // nth=1,count=1: only the first verification (the corrupt hinted donor)
+  // is hit; the LRU-scan fallback's candidate verifies clean.
+  fault::ArmScope scope(
+      fault::FaultPlan::parse("site=bitflip.cache.entry,nth=1"));
+  EXPECT_NE(cache.lookup_warm(222, 48, 111), nullptr);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// False-positive guard: with no faults armed, no detector may trip at any
+// precision rung or device count — the tolerances must absorb legitimate
+// quantization and accumulation roundoff.
+// ---------------------------------------------------------------------------
+
+TEST_F(SdcTest, CleanRunsReportZeroDetectionsAcrossRungsAndDevices) {
+  const data::SbmGraph g = sdc_graph();
+  for (const Precision rung :
+       {Precision::kFp64, Precision::kFp32, Precision::kBf16}) {
+    for (const index_t nd : {1, 2, 4}) {
+      SCOPED_TRACE("rung " + std::string(precision_name(rung)) + " devices " +
+                   std::to_string(nd));
+      core::SpectralConfig cfg = sdc_config();
+      cfg.precision.base = rung;
+      cfg.num_devices = nd;
+      const std::uint64_t before = detected();
+      const core::SpectralResult r = core::spectral_cluster_graph(g.w, cfg);
+      EXPECT_EQ(detected(), before) << "false positive on a clean run";
+      EXPECT_EQ(r.integrity.detected, 0u);
+      EXPECT_EQ(r.labels.size(), 600u);
+    }
+  }
+}
+
+TEST_F(SdcTest, CleanPipelinedRunReportsZeroDetections) {
+  const data::SbmGraph g = sdc_graph();
+  core::SpectralConfig cfg = sdc_config();
+  cfg.async_pipeline = true;  // overlapped path: ABFT still verifies waves
+  const std::uint64_t before = detected();
+  const core::SpectralResult r = core::spectral_cluster_graph(g.w, cfg);
+  EXPECT_EQ(detected(), before);
+  EXPECT_GE(r.integrity.checks, 1u);
+  EXPECT_EQ(r.integrity.detected, 0u);
+}
+
+}  // namespace
+}  // namespace fastsc

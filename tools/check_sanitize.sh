@@ -48,6 +48,7 @@ TESTS=(
   test_device_group
   test_sharded_differential
   test_precision
+  test_sdc
   test_hblas
   test_balance
   test_powerlaw

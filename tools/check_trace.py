@@ -20,7 +20,9 @@ Checks, in order:
      against the device.overlapped_seconds gauge (and the h2d/d2h/d2d
      splits) published by the run, within --tolerance.
   5. Optional presence check (--expect-counter NAME, repeatable): fail if
-     the trace carries no counter samples with that name.
+     the trace carries no counter samples with that name.  The form
+     "NAME>=MIN" additionally requires the final sampled value to reach
+     MIN (sdc_smoke asserts sdc.detected>=1 this way).
   6. Optional gauge-ratio assertion (--expect-gauge-ratio "NUM/DEN>=MIN",
      repeatable, requires --metrics): fail unless both gauges exist in the
      metrics snapshot and NUM / DEN >= MIN.  This is how perf_smoke asserts
@@ -175,7 +177,7 @@ def counter_series(events):
 
 
 CUMULATIVE_PREFIXES = ("fault.", "degrade.", "budget.", "cancel.",
-                       "watchdog.", "service.", "cache.", "d2d.")
+                       "watchdog.", "service.", "cache.", "d2d.", "sdc.")
 
 
 def check_counter_series(series):
@@ -200,11 +202,31 @@ def check_counter_series(series):
 
 
 def check_expected_counters(series, names):
+    """Bare NAME asserts presence; 'NAME>=MIN' additionally requires the
+    series' final (= cumulative max, for monotone counters) value to reach
+    MIN — e.g. the sdc_smoke gate's 'sdc.detected>=1'."""
     present = {name for (_, name) in series}
-    for name in names:
+    for spec in names:
+        name, minimum = spec, None
+        if ">=" in spec:
+            name, bound = spec.split(">=", 1)
+            name = name.strip()
+            try:
+                minimum = float(bound)
+            except ValueError:
+                fail(f"--expect-counter '{spec}': bound '{bound}' is not "
+                     f"a number")
         if name not in present:
             fail(f"expected counter '{name}' absent from trace "
                  f"(present: {sorted(present) or ['<none>']})")
+        if minimum is None:
+            continue
+        final = max(samples[-1][1]
+                    for (_, n), samples in series.items()
+                    if n == name and samples)
+        if final < minimum:
+            fail(f"counter '{name}' final value {final} < required "
+                 f"{minimum}")
 
 
 def recompute_overlap_seconds(tracks):
@@ -429,9 +451,10 @@ def main():
     ap.add_argument("--tolerance", type=float, default=1e-9,
                     help="absolute tolerance for the overlap cross-check")
     ap.add_argument("--expect-counter", action="append", default=[],
-                    metavar="NAME",
+                    metavar="NAME[>=MIN]",
                     help="fail unless a counter series with this name is "
-                         "present (repeatable)")
+                         "present (repeatable); with >=MIN also require "
+                         "its final value to reach MIN")
     ap.add_argument("--expect-gauge-ratio", action="append", default=[],
                     metavar="NUM/DEN>=MIN",
                     help="fail unless metrics gauges NUM and DEN exist and "
